@@ -1,0 +1,37 @@
+//! Criterion benchmark for Experiment 1 (Figure 5): finding an optimal
+//! f-tree for random equi-join queries on flat data.
+//!
+//! The benchmark sweeps the number of relations `R` and equalities `K` on
+//! the paper's `A = 40`-attribute schema and measures the optimiser alone
+//! (data is irrelevant to this experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdb_common::RelId;
+use fdb_datagen::{random_query, random_schema};
+use fdb_plan::optimal_ftree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_optimal_ftree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_optimal_ftree_A40");
+    group.sample_size(10);
+    for &relations in &[2usize, 4, 6, 8] {
+        for &equalities in &[2usize, 4, 6] {
+            let mut rng = StdRng::seed_from_u64(1_000 + (relations * 10 + equalities) as u64);
+            let catalog = random_schema(&mut rng, relations, 40);
+            let rels: Vec<RelId> = catalog.rels().collect();
+            let query = random_query(&mut rng, &catalog, &rels, equalities);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("R{relations}_K{equalities}")),
+                &(catalog, query),
+                |b, (catalog, query)| {
+                    b.iter(|| optimal_ftree(catalog, query, |_| 1).expect("search succeeds"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_ftree);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark for Experiment 2 (Figures 6 and 9): optimising
+//! queries over factorised data with the full-search and greedy optimisers.
+//!
+//! Input f-trees are optimal trees of `K`-equality queries over the paper's
+//! `R = 4`, `A = 10` schema; the benchmark measures the time to optimise `L`
+//! additional equalities with each optimiser (the 2–3 orders of magnitude
+//! gap of Figure 9 shows up directly in the reported times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdb_common::RelId;
+use fdb_datagen::{random_followup_equalities, random_query, random_schema};
+use fdb_plan::{optimal_ftree, ExhaustiveOptimizer, GreedyOptimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_optimisers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_fplan_optimisation_R4_A10");
+    group.sample_size(10);
+    for &(k, l) in &[(2usize, 2usize), (4, 2), (2, 4), (6, 3)] {
+        let mut rng = StdRng::seed_from_u64(2_000 + (k * 10 + l) as u64);
+        let catalog = random_schema(&mut rng, 4, 10);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let base = random_query(&mut rng, &catalog, &rels, k);
+        let input_tree = optimal_ftree(&catalog, &base, |_| 1).expect("base tree").tree;
+        let follow = random_followup_equalities(&mut rng, &catalog, &base, l);
+        if follow.len() < l {
+            continue;
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("full_search", format!("K{k}_L{l}")),
+            &(input_tree.clone(), follow.clone()),
+            |b, (tree, eqs)| {
+                b.iter(|| ExhaustiveOptimizer::new().optimize(tree, eqs).expect("optimises"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("K{k}_L{l}")),
+            &(input_tree, follow),
+            |b, (tree, eqs)| {
+                b.iter(|| GreedyOptimizer::new().optimize(tree, eqs).expect("optimises"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimisers);
+criterion_main!(benches);

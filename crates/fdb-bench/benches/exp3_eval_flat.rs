@@ -1,0 +1,92 @@
+//! Criterion benchmark for Experiment 3 (Figure 7): evaluating equi-join
+//! queries on flat data with FDB (factorised result) and RDB (flat result).
+//!
+//! The scaling workload uses three ternary relations with uniform values in
+//! `[1, 100]`; the combinatorial workload is the paper's `R = 4`, `A = 10`
+//! dataset.  Benchmark sizes are kept modest so `cargo bench` terminates in
+//! minutes; the `experiments` binary runs the full sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdb_common::RelId;
+use fdb_core::FdbEngine;
+use fdb_datagen::{combinatorial_database, populate, random_query, random_schema, ValueDistribution};
+use fdb_relation::{EvalLimits, RdbEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3_scaling_3x3_uniform");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3_000);
+    let catalog = random_schema(&mut rng, 3, 9);
+    let rels: Vec<RelId> = catalog.rels().collect();
+    for &n in &[1_000usize, 3_000] {
+        let db = populate(&mut rng, &catalog, n, 100, ValueDistribution::Uniform);
+        for &k in &[3usize, 4] {
+            let query = random_query(&mut rng, &catalog, &rels, k);
+            group.bench_with_input(
+                BenchmarkId::new("FDB", format!("N{n}_K{k}")),
+                &(db.clone(), query.clone()),
+                |b, (db, query)| {
+                    b.iter(|| FdbEngine::new().evaluate_flat(db, query).expect("evaluates"));
+                },
+            );
+            let rdb = RdbEngine::new().with_limits(
+                EvalLimits::unlimited()
+                    .with_timeout(Duration::from_secs(30))
+                    .with_max_tuples(10_000_000),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("RDB", format!("N{n}_K{k}")),
+                &(db.clone(), query),
+                |b, (db, query)| {
+                    b.iter(|| {
+                        // Timeouts count as completed iterations: the paper
+                        // similarly reports them as missing points rather
+                        // than waiting forever.
+                        let _ = rdb.evaluate(db, query);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_combinatorial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3_combinatorial_R4_A10");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3_100);
+    let db = combinatorial_database(&mut rng, ValueDistribution::Uniform);
+    let catalog = db.catalog().clone();
+    let rels: Vec<RelId> = catalog.rels().collect();
+    for &k in &[2usize, 4, 6] {
+        let query = random_query(&mut rng, &catalog, &rels, k);
+        group.bench_with_input(
+            BenchmarkId::new("FDB", format!("K{k}")),
+            &(db.clone(), query.clone()),
+            |b, (db, query)| {
+                b.iter(|| FdbEngine::new().evaluate_flat(db, query).expect("evaluates"));
+            },
+        );
+        let rdb = RdbEngine::new().with_limits(
+            EvalLimits::unlimited()
+                .with_timeout(Duration::from_secs(30))
+                .with_max_tuples(10_000_000),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("RDB", format!("K{k}")),
+            &(db.clone(), query),
+            |b, (db, query)| {
+                b.iter(|| {
+                    let _ = rdb.evaluate(db, query);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_combinatorial);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmark for Experiment 4 (Figure 8): evaluating follow-up
+//! equality selections on factorised versus flat previous results.
+//!
+//! The input is the result of a `K`-equality query over the combinatorial
+//! dataset; FDB evaluates `L` further equalities on the factorised form
+//! (restructuring it as needed), RDB scans the materialised flat relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdb_common::RelId;
+use fdb_core::{FactorisedQuery, FdbEngine};
+use fdb_datagen::{combinatorial_database, random_followup_equalities, random_query, ValueDistribution};
+use fdb_relation::{EvalLimits, RdbEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_factorised_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_followup_on_previous_results");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4_000);
+    let db = combinatorial_database(&mut rng, ValueDistribution::Uniform);
+    let catalog = db.catalog().clone();
+    let rels: Vec<RelId> = catalog.rels().collect();
+    let engine = FdbEngine::new();
+
+    for &(k, l) in &[(4usize, 1usize), (4, 2), (6, 2)] {
+        let base_query = random_query(&mut rng, &catalog, &rels, k);
+        let base = engine.evaluate_flat(&db, &base_query).expect("base query evaluates");
+        let rdb = RdbEngine::new().with_limits(
+            EvalLimits::unlimited()
+                .with_timeout(Duration::from_secs(30))
+                .with_max_tuples(10_000_000),
+        );
+        let flat_input = rdb.evaluate(&db, &base_query).ok();
+        let follow = random_followup_equalities(&mut rng, &catalog, &base_query, l);
+        if follow.len() < l {
+            continue;
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("FDB_factorised", format!("K{k}_L{l}")),
+            &(base.result.clone(), follow.clone()),
+            |b, (input, eqs)| {
+                b.iter(|| {
+                    engine
+                        .evaluate_factorised(input, &FactorisedQuery::equalities(eqs.clone()))
+                        .expect("follow-up evaluates")
+                });
+            },
+        );
+
+        if let Some(flat) = flat_input {
+            group.bench_with_input(
+                BenchmarkId::new("RDB_scan", format!("K{k}_L{l}")),
+                &(flat, follow),
+                |b, (input, eqs)| {
+                    b.iter(|| {
+                        // One scan over the flat input, filtering by all
+                        // equality conditions — what RDB does for queries on
+                        // a materialised previous result.
+                        let cols: Vec<(usize, usize)> = eqs
+                            .iter()
+                            .map(|(x, y)| {
+                                (input.col_index(*x).unwrap(), input.col_index(*y).unwrap())
+                            })
+                            .collect();
+                        input.filter(|row| cols.iter().all(|&(a, b)| row[a] == row[b]))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorised_eval);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Experiment 1 (Figure 5): query optimisation on flat data.
+//!
+//! For schemas with `A = 40` attributes over `R = 1..8` relations and queries
+//! of `K = 1..9` equality selections, the FDB optimiser searches for an
+//! optimal f-tree of the query result.  The paper reports (left plot) the
+//! optimisation time and (right plot) the average cost `s(T)` of the chosen
+//! f-tree: the cost is 1 for up to two relations and almost always ≤ 2 even
+//! for nine equalities over eight relations, and the search finishes well
+//! under a second for fewer than eight joins.
+
+use crate::Scale;
+use fdb_common::RelId;
+use fdb_datagen::{random_query, random_schema};
+use fdb_plan::optimal_ftree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Number of attributes used by the experiment (as in the paper).
+pub const ATTRIBUTES: usize = 40;
+
+/// One averaged measurement point of Experiment 1.
+#[derive(Clone, Debug)]
+pub struct Exp1Row {
+    /// Number of relations `R`.
+    pub relations: usize,
+    /// Number of equality selections `K`.
+    pub equalities: usize,
+    /// Average optimisation time.
+    pub optimisation_time: Duration,
+    /// Average cost `s(T)` of the optimal f-tree.
+    pub cost: f64,
+    /// Number of repetitions averaged over.
+    pub repetitions: usize,
+}
+
+/// Sweeps `R = 1..=max_relations`, `K = 1..=max_equalities` and averages
+/// optimisation time and optimal cost over `scale.repetitions()` random
+/// queries per configuration.
+pub fn run(scale: Scale, max_relations: usize, max_equalities: usize) -> Vec<Exp1Row> {
+    let mut rng = StdRng::seed_from_u64(0xFDB1);
+    let mut rows = Vec::new();
+    for relations in 1..=max_relations {
+        for equalities in 1..=max_equalities {
+            let reps = scale.repetitions();
+            let mut total_time = Duration::ZERO;
+            let mut total_cost = 0.0;
+            let mut counted = 0usize;
+            for _ in 0..reps {
+                let catalog = random_schema(&mut rng, relations, ATTRIBUTES);
+                let rels: Vec<RelId> = catalog.rels().collect();
+                let query = random_query(&mut rng, &catalog, &rels, equalities);
+                let start = Instant::now();
+                let result = optimal_ftree(&catalog, &query, |_| 1)
+                    .expect("optimal f-tree search succeeds on generated queries");
+                total_time += start.elapsed();
+                total_cost += result.cost;
+                counted += 1;
+            }
+            rows.push(Exp1Row {
+                relations,
+                equalities,
+                optimisation_time: total_time / counted.max(1) as u32,
+                cost: total_cost / counted.max(1) as f64,
+                repetitions: counted,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_shows_the_paper_trends() {
+        let rows = run(Scale::Quick, 3, 3);
+        assert_eq!(rows.len(), 9);
+        // Queries over one or two relations always have optimal cost 1.
+        for row in rows.iter().filter(|r| r.relations <= 2) {
+            assert!((row.cost - 1.0).abs() < 1e-6, "R={} K={} cost={}", row.relations, row.equalities, row.cost);
+        }
+        // Costs never exceed the number of relations and never drop below 1.
+        for row in &rows {
+            assert!(row.cost >= 1.0 - 1e-9);
+            assert!(row.cost <= row.relations as f64 + 1e-9);
+        }
+    }
+}

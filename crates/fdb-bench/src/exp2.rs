@@ -1,0 +1,140 @@
+//! Experiment 2 (Figures 6 and 9): query optimisation on factorised data.
+//!
+//! Input f-trees are optimal f-trees of queries with `K` equality selections
+//! over `R = 4` relations with `A = 10` attributes; the new queries add `L`
+//! further (non-redundant) equalities, with `K + L < A`.  The paper compares
+//! the full-search and greedy optimisers on two axes:
+//!
+//! * Figure 6: the cost `s(f)` of the computed f-plan and the cost `s(T)` of
+//!   the resulting f-tree (greedy is optimal or near-optimal except for
+//!   small `K` and large `L`; all averages lie between 1 and 2);
+//! * Figure 9: the optimisation time (greedy is 2–3 orders of magnitude
+//!   faster).
+
+use crate::Scale;
+use fdb_common::RelId;
+use fdb_datagen::{random_followup_equalities, random_query, random_schema};
+use fdb_plan::{optimal_ftree, ExhaustiveOptimizer, GreedyOptimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Number of relations in the input queries (as in the paper).
+pub const RELATIONS: usize = 4;
+/// Number of attributes (as in the paper).
+pub const ATTRIBUTES: usize = 10;
+
+/// One averaged measurement point of Experiment 2.
+#[derive(Clone, Debug)]
+pub struct Exp2Row {
+    /// Number of equalities `K` already folded into the input f-tree.
+    pub input_equalities: usize,
+    /// Number of new equalities `L` in the query being optimised.
+    pub query_equalities: usize,
+    /// Average f-plan cost `s(f)` of the full-search optimiser.
+    pub full_plan_cost: f64,
+    /// Average result f-tree cost of the full-search optimiser.
+    pub full_result_cost: f64,
+    /// Average f-plan cost of the greedy optimiser.
+    pub greedy_plan_cost: f64,
+    /// Average result f-tree cost of the greedy optimiser.
+    pub greedy_result_cost: f64,
+    /// Average optimisation time of the full-search optimiser.
+    pub full_time: Duration,
+    /// Average optimisation time of the greedy optimiser.
+    pub greedy_time: Duration,
+    /// Number of repetitions averaged over.
+    pub repetitions: usize,
+}
+
+/// Sweeps the `(K, L)` grid with `K + L < ATTRIBUTES` and compares the two
+/// optimisers.
+pub fn run(scale: Scale, max_input_equalities: usize, max_query_equalities: usize) -> Vec<Exp2Row> {
+    let mut rng = StdRng::seed_from_u64(0xFDB2);
+    let mut rows = Vec::new();
+    for k in 1..=max_input_equalities {
+        for l in 1..=max_query_equalities {
+            if k + l >= ATTRIBUTES {
+                continue;
+            }
+            let reps = scale.repetitions();
+            let mut acc = Exp2Row {
+                input_equalities: k,
+                query_equalities: l,
+                full_plan_cost: 0.0,
+                full_result_cost: 0.0,
+                greedy_plan_cost: 0.0,
+                greedy_result_cost: 0.0,
+                full_time: Duration::ZERO,
+                greedy_time: Duration::ZERO,
+                repetitions: 0,
+            };
+            for _ in 0..reps {
+                let catalog = random_schema(&mut rng, RELATIONS, ATTRIBUTES);
+                let rels: Vec<RelId> = catalog.rels().collect();
+                let base_query = random_query(&mut rng, &catalog, &rels, k);
+                if base_query.equalities.len() < k {
+                    continue;
+                }
+                let input_tree = optimal_ftree(&catalog, &base_query, |_| 1)
+                    .expect("optimal f-tree for the base query")
+                    .tree;
+                let follow = random_followup_equalities(&mut rng, &catalog, &base_query, l);
+                if follow.len() < l {
+                    continue;
+                }
+
+                let start = Instant::now();
+                let full = ExhaustiveOptimizer::new()
+                    .optimize(&input_tree, &follow)
+                    .expect("exhaustive optimisation succeeds");
+                acc.full_time += start.elapsed();
+
+                let start = Instant::now();
+                let greedy = GreedyOptimizer::new()
+                    .optimize(&input_tree, &follow)
+                    .expect("greedy optimisation succeeds");
+                acc.greedy_time += start.elapsed();
+
+                acc.full_plan_cost += full.cost.max_intermediate;
+                acc.full_result_cost += full.cost.final_cost;
+                acc.greedy_plan_cost += greedy.cost.max_intermediate;
+                acc.greedy_result_cost += greedy.cost.final_cost;
+                acc.repetitions += 1;
+            }
+            if acc.repetitions > 0 {
+                let n = acc.repetitions as f64;
+                acc.full_plan_cost /= n;
+                acc.full_result_cost /= n;
+                acc.greedy_plan_cost /= n;
+                acc.greedy_result_cost /= n;
+                acc.full_time /= acc.repetitions as u32;
+                acc.greedy_time /= acc.repetitions as u32;
+                rows.push(acc);
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_never_beats_full_search_and_both_stay_small() {
+        let rows = run(Scale::Quick, 3, 2);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert!(
+                row.greedy_plan_cost + 1e-6 >= row.full_plan_cost,
+                "greedy beat full search at K={} L={}",
+                row.input_equalities,
+                row.query_equalities
+            );
+            assert!(row.full_plan_cost >= 1.0 - 1e-9);
+            assert!(row.full_plan_cost <= 2.5, "plan costs stay small on this workload");
+            assert!(row.full_result_cost <= row.full_plan_cost + 1e-6);
+        }
+    }
+}

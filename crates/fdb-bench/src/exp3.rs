@@ -1,0 +1,262 @@
+//! Experiment 3 (Figure 7): query evaluation on flat data.
+//!
+//! Two workloads are swept, exactly as in the paper:
+//!
+//! * **Scaling workload** (left and middle columns of Figure 7): three
+//!   ternary relations of `N` tuples each, values drawn from `[1, 100]`
+//!   uniformly or Zipf-distributed, queries with `K ∈ {2, 3, 4}` equality
+//!   selections.  Reported: result sizes (number of data elements for the
+//!   flat engines, number of singletons for FDB) and evaluation times.
+//! * **Combinatorial workload** (right column): `R = 4` relations over
+//!   `A = 10` attributes — two binary relations of 8² tuples and two ternary
+//!   relations of 8³ tuples, values from `[1, 20]` — with `K = 1..8`
+//!   equality selections.  FDB factorises the up-to-hundreds-of-millions of
+//!   data values into a few thousand singletons.
+//!
+//! The flat baseline is the RDB engine; runs that exceed the timeout are
+//! reported as such (the paper uses a 100-second timeout and omits those
+//! points from its plots).
+
+use crate::Scale;
+use fdb_common::{Query, RelId};
+use fdb_core::FdbEngine;
+use fdb_datagen::{combinatorial_database, populate, random_query, random_schema, ValueDistribution};
+use fdb_relation::{Database, EvalLimits, RdbEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Outcome of one engine run: either a measurement or a timeout.
+#[derive(Clone, Debug)]
+pub enum Measurement {
+    /// The run finished within the limits.
+    Finished {
+        /// Evaluation wall-clock time.
+        time: Duration,
+        /// Result size — data elements for flat engines, singletons for FDB.
+        size: u64,
+        /// Number of result tuples.
+        tuples: u128,
+    },
+    /// The run exceeded the timeout or tuple budget.
+    TimedOut,
+}
+
+impl Measurement {
+    /// The measured time, if the run finished.
+    pub fn time(&self) -> Option<Duration> {
+        match self {
+            Measurement::Finished { time, .. } => Some(*time),
+            Measurement::TimedOut => None,
+        }
+    }
+
+    /// The measured size, if the run finished.
+    pub fn size(&self) -> Option<u64> {
+        match self {
+            Measurement::Finished { size, .. } => Some(*size),
+            Measurement::TimedOut => None,
+        }
+    }
+}
+
+/// One measurement point of Experiment 3.
+#[derive(Clone, Debug)]
+pub struct Exp3Row {
+    /// Which workload the row belongs to (`"uniform"`, `"zipf"`,
+    /// `"combinatorial-u"`, `"combinatorial-z"`).
+    pub workload: String,
+    /// Tuples per relation `N` (for the scaling workload) or total input
+    /// tuples (combinatorial workload).
+    pub n: usize,
+    /// Number of equality selections `K`.
+    pub equalities: usize,
+    /// FDB measurement (size = singletons).
+    pub fdb: Measurement,
+    /// RDB measurement (size = data elements).
+    pub rdb: Measurement,
+}
+
+/// Configuration of the Experiment 3 sweep.
+#[derive(Clone, Debug)]
+pub struct Exp3Config {
+    /// Relation sizes `N` swept for the scaling workload.
+    pub relation_sizes: Vec<usize>,
+    /// Equality counts swept for the scaling workload.
+    pub equalities: Vec<usize>,
+    /// Equality counts swept for the combinatorial workload.
+    pub combinatorial_equalities: Vec<usize>,
+    /// Timeout applied to the flat baseline (and to FDB, defensively).
+    pub timeout: Duration,
+    /// Tuple budget applied to the flat baseline so sweeps cannot exhaust
+    /// memory (the paper's testbed had 32 GB; this container does not).
+    pub max_flat_tuples: usize,
+}
+
+impl Exp3Config {
+    /// Configuration appropriate for the given scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Exp3Config {
+                relation_sizes: vec![1_000, 3_000, 10_000],
+                equalities: vec![2, 3, 4],
+                combinatorial_equalities: (1..=6).collect(),
+                timeout: Duration::from_secs(10),
+                max_flat_tuples: 20_000_000,
+            },
+            Scale::Full => Exp3Config {
+                relation_sizes: vec![1_000, 3_000, 10_000, 30_000, 100_000],
+                equalities: vec![2, 3, 4],
+                combinatorial_equalities: (1..=8).collect(),
+                timeout: Duration::from_secs(60),
+                max_flat_tuples: 50_000_000,
+            },
+        }
+    }
+}
+
+fn measure_fdb(db: &Database, query: &Query) -> Measurement {
+    let start = Instant::now();
+    match FdbEngine::new().evaluate_flat(db, query) {
+        Ok(out) => Measurement::Finished {
+            time: start.elapsed(),
+            size: out.stats.result_size as u64,
+            tuples: out.stats.result_tuples,
+        },
+        Err(_) => Measurement::TimedOut,
+    }
+}
+
+fn measure_rdb(db: &Database, query: &Query, config: &Exp3Config) -> Measurement {
+    let engine = RdbEngine::new().with_limits(
+        EvalLimits::unlimited()
+            .with_timeout(config.timeout)
+            .with_max_tuples(config.max_flat_tuples),
+    );
+    let start = Instant::now();
+    match engine.evaluate(db, query) {
+        Ok(rel) => Measurement::Finished {
+            time: start.elapsed(),
+            size: rel.data_element_count() as u64,
+            tuples: rel.len() as u128,
+        },
+        Err(_) => Measurement::TimedOut,
+    }
+}
+
+/// Runs the scaling workload (left/middle columns of Figure 7).
+pub fn run_scaling(config: &Exp3Config) -> Vec<Exp3Row> {
+    let mut rng = StdRng::seed_from_u64(0xFDB3);
+    let mut rows = Vec::new();
+    for distribution in [ValueDistribution::Uniform, ValueDistribution::Zipf(1.0)] {
+        let workload = match distribution {
+            ValueDistribution::Uniform => "uniform",
+            ValueDistribution::Zipf(_) => "zipf",
+        };
+        let catalog = random_schema(&mut rng, 3, 9);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        for &n in &config.relation_sizes {
+            let db = populate(&mut rng, &catalog, n, 100, distribution);
+            for &k in &config.equalities {
+                let query = random_query(&mut rng, &catalog, &rels, k);
+                rows.push(Exp3Row {
+                    workload: workload.to_string(),
+                    n,
+                    equalities: k,
+                    fdb: measure_fdb(&db, &query),
+                    rdb: measure_rdb(&db, &query, config),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Runs the combinatorial workload (right column of Figure 7).
+pub fn run_combinatorial(config: &Exp3Config) -> Vec<Exp3Row> {
+    let mut rng = StdRng::seed_from_u64(0xFDB3C);
+    let mut rows = Vec::new();
+    for distribution in [ValueDistribution::Uniform, ValueDistribution::Zipf(1.0)] {
+        let workload = match distribution {
+            ValueDistribution::Uniform => "combinatorial-u",
+            ValueDistribution::Zipf(_) => "combinatorial-z",
+        };
+        let db = combinatorial_database(&mut rng, distribution);
+        let catalog = db.catalog().clone();
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let n = db.total_tuples();
+        for &k in &config.combinatorial_equalities {
+            let query = random_query(&mut rng, &catalog, &rels, k);
+            rows.push(Exp3Row {
+                workload: workload.to_string(),
+                n,
+                equalities: k,
+                fdb: measure_fdb(&db, &query),
+                rdb: measure_rdb(&db, &query, config),
+            });
+        }
+    }
+    rows
+}
+
+/// Runs both workloads.
+pub fn run(scale: Scale) -> Vec<Exp3Row> {
+    let config = Exp3Config::for_scale(scale);
+    let mut rows = run_scaling(&config);
+    rows.extend(run_combinatorial(&config));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorised_results_are_never_larger_than_flat_ones() {
+        let config = Exp3Config {
+            relation_sizes: vec![300],
+            equalities: vec![2],
+            combinatorial_equalities: vec![2],
+            timeout: Duration::from_secs(30),
+            max_flat_tuples: 5_000_000,
+        };
+        let rows = run_scaling(&config);
+        assert_eq!(rows.len(), 2); // uniform + zipf
+        for row in &rows {
+            let (Some(fdb_size), Some(rdb_size)) = (row.fdb.size(), row.rdb.size()) else {
+                panic!("tiny configurations must not time out");
+            };
+            assert!(
+                fdb_size <= rdb_size,
+                "factorised size {fdb_size} exceeded flat size {rdb_size}"
+            );
+            // Both engines agree on the number of result tuples.
+            if let (Measurement::Finished { tuples: ft, .. }, Measurement::Finished { tuples: rt, .. }) =
+                (&row.fdb, &row.rdb)
+            {
+                assert_eq!(ft, rt, "tuple counts diverge on {}", row.workload);
+            }
+        }
+    }
+
+    #[test]
+    fn combinatorial_workload_factorises_dramatically() {
+        let config = Exp3Config {
+            relation_sizes: vec![],
+            equalities: vec![],
+            combinatorial_equalities: vec![1, 2],
+            timeout: Duration::from_secs(30),
+            max_flat_tuples: 20_000_000,
+        };
+        let rows = run_combinatorial(&config);
+        for row in rows.iter().filter(|r| r.workload == "combinatorial-u") {
+            let fdb_size = row.fdb.size().expect("FDB never times out here");
+            // FDB factorises the combinatorial result into a few thousand
+            // singletons (the paper reports < 4k for all K).
+            assert!(fdb_size < 10_000, "K={} produced {} singletons", row.equalities, fdb_size);
+            if let Some(rdb_size) = row.rdb.size() {
+                assert!(rdb_size > fdb_size, "flat result must dwarf the factorised one");
+            }
+        }
+    }
+}

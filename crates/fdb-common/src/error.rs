@@ -1,0 +1,133 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the FDB crates.
+pub type Result<T> = std::result::Result<T, FdbError>;
+
+/// Errors surfaced by the FDB engine and its substrates.
+///
+/// The engine is a library, so errors carry enough structured information for
+/// a caller to react programmatically (and a human-readable message for
+/// logging); none of them abort the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdbError {
+    /// An attribute identifier was used that the catalog does not know about.
+    UnknownAttribute {
+        /// Offending attribute index.
+        attr: u32,
+    },
+    /// A relation identifier was used that the catalog does not know about.
+    UnknownRelation {
+        /// Offending relation index.
+        rel: u32,
+    },
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// Arity the relation expects.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A query referenced an attribute that none of its relations provide.
+    AttributeNotInQuery {
+        /// Human readable attribute description.
+        attr: String,
+    },
+    /// An f-tree violates the path constraint (the attributes of some relation
+    /// do not all lie on a single root-to-leaf path).
+    PathConstraintViolation {
+        /// Explanation of which relation is split across paths.
+        detail: String,
+    },
+    /// An operator was applied to nodes in a configuration it does not
+    /// support (e.g. merging nodes that are not siblings).
+    InvalidOperator {
+        /// Explanation of the unsupported configuration.
+        detail: String,
+    },
+    /// An f-representation is structurally inconsistent with its f-tree.
+    MalformedRepresentation {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// The linear program handed to the solver is infeasible.
+    InfeasibleProgram,
+    /// The linear program handed to the solver is unbounded.
+    UnboundedProgram,
+    /// The optimiser could not find any f-plan for the query.
+    NoPlanFound {
+        /// Explanation of why the search failed.
+        detail: String,
+    },
+    /// A relation or query description was internally inconsistent.
+    InvalidInput {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// Evaluation exceeded a caller-imposed resource limit (tuple budget or
+    /// wall-clock deadline).  The experiment harness uses this to record
+    /// timeouts exactly like the paper's missing data points.
+    LimitExceeded {
+        /// Explanation of which limit was hit.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdbError::UnknownAttribute { attr } => write!(f, "unknown attribute id {attr}"),
+            FdbError::UnknownRelation { rel } => write!(f, "unknown relation id {rel}"),
+            FdbError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected} values, got {actual}")
+            }
+            FdbError::AttributeNotInQuery { attr } => {
+                write!(f, "attribute {attr} does not occur in the query")
+            }
+            FdbError::PathConstraintViolation { detail } => {
+                write!(f, "f-tree violates the path constraint: {detail}")
+            }
+            FdbError::InvalidOperator { detail } => {
+                write!(f, "operator applied in an unsupported configuration: {detail}")
+            }
+            FdbError::MalformedRepresentation { detail } => {
+                write!(f, "malformed f-representation: {detail}")
+            }
+            FdbError::InfeasibleProgram => write!(f, "linear program is infeasible"),
+            FdbError::UnboundedProgram => write!(f, "linear program is unbounded"),
+            FdbError::NoPlanFound { detail } => write!(f, "no f-plan found: {detail}"),
+            FdbError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            FdbError::LimitExceeded { detail } => write!(f, "resource limit exceeded: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FdbError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FdbError::InfeasibleProgram, FdbError::InfeasibleProgram);
+        assert_ne!(
+            FdbError::UnknownAttribute { attr: 1 },
+            FdbError::UnknownAttribute { attr: 2 }
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(FdbError::UnboundedProgram);
+        assert!(e.to_string().contains("unbounded"));
+    }
+}

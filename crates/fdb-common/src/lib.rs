@@ -1,0 +1,26 @@
+//! Common building blocks shared by every crate of the FDB reproduction.
+//!
+//! This crate deliberately has no dependencies: it defines the vocabulary the
+//! rest of the workspace speaks — domain [`Value`]s, attribute and relation
+//! identifiers, the query [`Catalog`] describing which attribute belongs to
+//! which relation, the [`Query`] description for select-project-join queries,
+//! and the shared [`FdbError`] type.
+//!
+//! The factorised-database formalism of the paper (Bakibayev, Olteanu,
+//! Závodný: *FDB: A Query Engine for Factorised Relational Databases*, 2012)
+//! treats a database as a set of named relations over named attributes, and a
+//! query as `π_P σ_φ (R_1 × … × R_n)` where `φ` is a conjunction of equality
+//! conditions between attributes or between an attribute and a constant.
+//! Everything in this crate exists to describe exactly that.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod query;
+pub mod value;
+
+pub use catalog::{AttrId, Catalog, RelId};
+pub use error::{FdbError, Result};
+pub use query::{ComparisonOp, ConstSelection, EqualityCondition, Query};
+pub use value::Value;

@@ -1,0 +1,108 @@
+//! Domain values stored in relations and factorised representations.
+//!
+//! The paper evaluates FDB on integer data ("a singleton holds an 8 byte
+//! integer"), so the core value type is a thin wrapper around `u64`.  Keeping
+//! the wrapper (rather than a bare integer) gives us a single place to attach
+//! ordering, formatting and conversion behaviour, and it makes signatures
+//! throughout the workspace self-documenting.
+
+use std::fmt;
+
+/// A single domain value: an 8-byte unsigned integer, as in the paper's
+/// experiments.
+///
+/// Values are totally ordered; f-representations keep the values of every
+/// union in increasing order, and all operators rely on that order (e.g. the
+/// swap operator's priority queue and the merge operator's sort-merge join).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The smallest possible value.
+    pub const MIN: Value = Value(u64::MIN);
+    /// The largest possible value.
+    pub const MAX: Value = Value(u64::MAX);
+
+    /// Creates a value from a raw integer.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the raw integer backing this value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Value(raw)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        Value(raw as u64)
+    }
+}
+
+impl From<usize> for Value {
+    #[inline]
+    fn from(raw: usize) -> Self {
+        Value(raw as u64)
+    }
+}
+
+impl From<Value> for u64 {
+    #[inline]
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_integers() {
+        assert!(Value::new(1) < Value::new(2));
+        assert!(Value::new(100) > Value::new(99));
+        assert_eq!(Value::new(7), Value::from(7u64));
+    }
+
+    #[test]
+    fn min_max_bracket_everything() {
+        let v = Value::new(42);
+        assert!(Value::MIN <= v && v <= Value::MAX);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Value::from(123usize);
+        assert_eq!(u64::from(v), 123);
+        assert_eq!(v.raw(), 123);
+    }
+
+    #[test]
+    fn display_matches_raw() {
+        assert_eq!(Value::new(9).to_string(), "9");
+        assert_eq!(format!("{:?}", Value::new(9)), "9");
+    }
+}

@@ -1,0 +1,453 @@
+//! The FDB engine: optimisation plus evaluation, on flat or factorised input.
+
+use fdb_common::{AttrId, ConstSelection, FdbError, Query, Result};
+use fdb_frep::{build_frep, ops, FRep};
+use fdb_ftree::s_cost;
+use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp, GreedyOptimizer};
+use fdb_relation::Database;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Which f-plan optimiser the engine uses for queries over factorised input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OptimizerKind {
+    /// Exhaustive Dijkstra search over reachable f-trees (Section 4.2).
+    #[default]
+    Exhaustive,
+    /// Greedy heuristic (Section 4.3).
+    Greedy,
+}
+
+/// A query over a factorised input: a conjunction of equality conditions
+/// between attributes of the representation, optional selections with
+/// constants, and an optional projection.
+#[derive(Clone, Debug, Default)]
+pub struct FactorisedQuery {
+    /// Equality conditions `A = B`.
+    pub equalities: Vec<(AttrId, AttrId)>,
+    /// Selections with constants `A θ c`.
+    pub const_selections: Vec<ConstSelection>,
+    /// Projection list (`None` keeps every attribute).
+    pub projection: Option<Vec<AttrId>>,
+}
+
+impl FactorisedQuery {
+    /// A query with only equality conditions.
+    pub fn equalities(equalities: Vec<(AttrId, AttrId)>) -> Self {
+        FactorisedQuery { equalities, ..Default::default() }
+    }
+
+    /// Adds a selection with a constant.
+    pub fn with_const_selection(mut self, sel: ConstSelection) -> Self {
+        self.const_selections.push(sel);
+        self
+    }
+
+    /// Sets the projection list.
+    pub fn with_projection(mut self, attrs: Vec<AttrId>) -> Self {
+        self.projection = Some(attrs);
+        self
+    }
+}
+
+/// Statistics of one evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Time spent in query optimisation (f-tree search or f-plan search).
+    pub optimisation_time: Duration,
+    /// Time spent building or transforming the factorised representation.
+    pub execution_time: Duration,
+    /// The cost `s(T)` of the result's f-tree.
+    pub result_tree_cost: f64,
+    /// The f-plan cost `s(f)` (maximum intermediate cost); equals the result
+    /// tree cost for evaluation on flat input.
+    pub plan_cost: f64,
+    /// Number of singletons in the result representation.
+    pub result_size: usize,
+    /// Number of tuples in the represented result.
+    pub result_tuples: u128,
+    /// The executed f-plan (empty for direct construction on flat input).
+    pub plan: FPlan,
+    /// Number of optimiser states explored.
+    pub explored_states: usize,
+}
+
+/// The result of an evaluation: the factorised representation plus
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct EvalOutput {
+    /// The factorised query result.
+    pub result: FRep,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+/// The FDB query engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FdbEngine {
+    /// Which optimiser to use for queries over factorised input.
+    pub optimizer: OptimizerKind,
+}
+
+impl FdbEngine {
+    /// Creates an engine with the exhaustive optimiser.
+    pub fn new() -> Self {
+        FdbEngine::default()
+    }
+
+    /// Creates an engine using the greedy optimiser.
+    pub fn greedy() -> Self {
+        FdbEngine { optimizer: OptimizerKind::Greedy }
+    }
+
+    /// Evaluates a select-project-join query on a flat relational database.
+    ///
+    /// The optimiser finds an f-tree of the query with minimum `s(T)`; the
+    /// factorised result is built directly over that tree and the projection
+    /// (if any) is applied at the end with the projection operator.
+    pub fn evaluate_flat(&self, db: &Database, query: &Query) -> Result<EvalOutput> {
+        let opt_start = Instant::now();
+        let search = fdb_plan::optimal_ftree(db.catalog(), query, |r| db.rel_len(r) as u64)?;
+        let optimisation_time = opt_start.elapsed();
+
+        let exec_start = Instant::now();
+        let mut result = build_frep(db, query, &search.tree)?;
+        let mut plan = FPlan::empty();
+        if let Some(proj) = &query.projection {
+            let keep: BTreeSet<AttrId> = proj.iter().copied().collect();
+            ops::project(&mut result, &keep)?;
+            plan.push(FPlanOp::Project(keep));
+        }
+        let execution_time = exec_start.elapsed();
+
+        let result_tree_cost = s_cost(result.tree())?;
+        Ok(EvalOutput {
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost,
+                plan_cost: search.cost,
+                result_size: result.size(),
+                result_tuples: result.tuple_count(),
+                plan,
+                explored_states: search.explored_states,
+            },
+            result,
+        })
+    }
+
+    /// Evaluates a query over a factorised input.
+    ///
+    /// Selections with constants are applied first (they are cheap and only
+    /// shrink the representation), then the optimised restructuring/selection
+    /// plan for the equality conditions, and the projection last — the
+    /// operator ordering FDB uses (Section 4).
+    pub fn evaluate_factorised(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+    ) -> Result<EvalOutput> {
+        // Optimise the equality conditions on the input f-tree.
+        let opt_start = Instant::now();
+        let optimised = match self.optimizer {
+            OptimizerKind::Exhaustive => {
+                ExhaustiveOptimizer::new().optimize(input.tree(), &query.equalities)?
+            }
+            OptimizerKind::Greedy => {
+                GreedyOptimizer::new().optimize(input.tree(), &query.equalities)?
+            }
+        };
+        let optimisation_time = opt_start.elapsed();
+
+        // Assemble the full plan: constant selections, restructuring and
+        // equality selections, projection.
+        let mut plan = FPlan::empty();
+        for sel in &query.const_selections {
+            plan.push(FPlanOp::SelectConst { attr: sel.attr, op: sel.op, value: sel.value });
+        }
+        plan.extend(optimised.plan.clone());
+        if let Some(proj) = &query.projection {
+            plan.push(FPlanOp::Project(proj.iter().copied().collect()));
+        }
+
+        let exec_start = Instant::now();
+        let mut result = input.clone();
+        plan.execute(&mut result)?;
+        let execution_time = exec_start.elapsed();
+
+        let result_tree_cost = s_cost(result.tree())?;
+        Ok(EvalOutput {
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost,
+                plan_cost: optimised.cost.max_intermediate,
+                result_size: result.size(),
+                result_tuples: result.tuple_count(),
+                plan,
+                explored_states: optimised.explored_states,
+            },
+            result,
+        })
+    }
+
+    /// Evaluates a query on flat input purely with f-plan operators: every
+    /// relation is loaded as a trivially factorised representation (a chain
+    /// of its attributes), the representations are multiplied together, and
+    /// the query's conditions are evaluated as an f-plan on the product.
+    ///
+    /// This is slower than [`FdbEngine::evaluate_flat`] (the intermediate
+    /// product is large) but exercises the operator pipeline end to end; the
+    /// integration tests use it to cross-check the direct construction.
+    pub fn evaluate_flat_via_operators(&self, db: &Database, query: &Query) -> Result<EvalOutput> {
+        query.validate(db.catalog())?;
+        if query.relations.is_empty() {
+            return Err(FdbError::InvalidInput { detail: "query has no relations".into() });
+        }
+        let exec_start = Instant::now();
+        // Load each relation as a factorised representation over its own
+        // chain f-tree and multiply them together.
+        let mut combined: Option<FRep> = None;
+        for &rel in &query.relations {
+            let single = Query::product(vec![rel]);
+            let tree =
+                fdb_ftree::flat_database_ftree(db.catalog(), &[rel], |r| db.rel_len(r) as u64)?;
+            let rep = build_frep(db, &single, &tree)?;
+            combined = Some(match combined {
+                None => rep,
+                Some(acc) => ops::product(acc, rep)?,
+            });
+        }
+        let mut rep = combined.expect("at least one relation");
+
+        // Constant selections first.
+        let mut plan = FPlan::empty();
+        for sel in &query.const_selections {
+            plan.push(FPlanOp::SelectConst { attr: sel.attr, op: sel.op, value: sel.value });
+        }
+
+        // Optimise and append the equality conditions.
+        let opt_start = Instant::now();
+        let equalities: Vec<(AttrId, AttrId)> =
+            query.equalities.iter().map(|eq| (eq.left, eq.right)).collect();
+        let optimised = match self.optimizer {
+            OptimizerKind::Exhaustive => {
+                ExhaustiveOptimizer::new().optimize(rep.tree(), &equalities)?
+            }
+            OptimizerKind::Greedy => GreedyOptimizer::new().optimize(rep.tree(), &equalities)?,
+        };
+        let optimisation_time = opt_start.elapsed();
+        plan.extend(optimised.plan.clone());
+        if let Some(proj) = &query.projection {
+            plan.push(FPlanOp::Project(proj.iter().copied().collect()));
+        }
+
+        plan.execute(&mut rep)?;
+        let execution_time = exec_start.elapsed();
+
+        let result_tree_cost = s_cost(rep.tree())?;
+        Ok(EvalOutput {
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost,
+                plan_cost: optimised.cost.max_intermediate,
+                result_size: rep.size(),
+                result_tuples: rep.tuple_count(),
+                plan,
+                explored_states: optimised.explored_states,
+            },
+            result: rep,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_common::{Catalog, ComparisonOp, RelId, Value};
+    use fdb_frep::materialize;
+    use fdb_relation::RdbEngine;
+
+    /// The grocery database of Figure 1 (values encoded as small integers).
+    fn grocery() -> (Database, Vec<RelId>) {
+        let mut catalog = Catalog::new();
+        let (orders, _) = catalog.add_relation("Orders", &["oid", "item"]);
+        let (store, _) = catalog.add_relation("Store", &["location", "item"]);
+        let (disp, _) = catalog.add_relation("Disp", &["dispatcher", "location"]);
+        let (produce, _) = catalog.add_relation("Produce", &["supplier", "item"]);
+        let (serve, _) = catalog.add_relation("Serve", &["supplier", "location"]);
+        let mut db = Database::new(catalog);
+        db.insert_raw_rows(orders, &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]])
+            .unwrap();
+        db.insert_raw_rows(
+            store,
+            &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1], vec![3, 1], vec![3, 2]],
+        )
+        .unwrap();
+        db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]]).unwrap();
+        db.insert_raw_rows(produce, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]]).unwrap();
+        db.insert_raw_rows(serve, &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]])
+            .unwrap();
+        (db, vec![orders, store, disp, produce, serve])
+    }
+
+    fn q1(db: &Database, rels: &[RelId]) -> Query {
+        let cat = db.catalog();
+        Query::product(vec![rels[0], rels[1], rels[2]])
+            .with_equality(
+                cat.find_attr("Orders.item").unwrap(),
+                cat.find_attr("Store.item").unwrap(),
+            )
+            .with_equality(
+                cat.find_attr("Store.location").unwrap(),
+                cat.find_attr("Disp.location").unwrap(),
+            )
+    }
+
+    fn rdb_canonical(db: &Database, query: &Query) -> std::collections::BTreeSet<Vec<Value>> {
+        let result = RdbEngine::new().evaluate(db, query).unwrap();
+        let mut sorted = result.attrs().to_vec();
+        sorted.sort_unstable();
+        result.reorder_columns(&sorted).unwrap().tuple_set()
+    }
+
+    #[test]
+    fn flat_evaluation_matches_rdb_on_q1() {
+        let (db, rels) = grocery();
+        let query = q1(&db, &rels);
+        let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        out.result.validate().unwrap();
+        assert_eq!(materialize(&out.result).unwrap().tuple_set(), rdb_canonical(&db, &query));
+        // Q1 admits no f-tree better than s = 2 (Example 5).
+        assert!((out.stats.plan_cost - 2.0).abs() < 1e-6);
+        assert_eq!(out.stats.result_tuples, out.result.tuple_count());
+    }
+
+    #[test]
+    fn both_flat_pipelines_agree() {
+        let (db, rels) = grocery();
+        let query = q1(&db, &rels);
+        let direct = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        let via_ops = FdbEngine::new().evaluate_flat_via_operators(&db, &query).unwrap();
+        via_ops.result.validate().unwrap();
+        assert_eq!(
+            materialize(&direct.result).unwrap().tuple_set(),
+            materialize(&via_ops.result).unwrap().tuple_set()
+        );
+    }
+
+    #[test]
+    fn projection_and_constant_selection_are_applied() {
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let oid = cat.find_attr("Orders.oid").unwrap();
+        let dispatcher = cat.find_attr("Disp.dispatcher").unwrap();
+        let query = q1(&db, &rels)
+            .with_const_selection(oid, ComparisonOp::Eq, Value::new(1))
+            .with_projection(vec![oid, dispatcher]);
+        let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        out.result.validate().unwrap();
+        assert_eq!(out.result.visible_attrs(), vec![oid, dispatcher]);
+        assert_eq!(materialize(&out.result).unwrap().tuple_set(), rdb_canonical(&db, &query));
+    }
+
+    #[test]
+    fn factorised_evaluation_joins_two_previous_results() {
+        // Example 2 of the paper: Q1 ⋈_{item, location} Q2, evaluated on the
+        // factorised results of Q1 and Q2.
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let query1 = q1(&db, &rels);
+        let q2 = Query::product(vec![rels[3], rels[4]]).with_equality(
+            cat.find_attr("Produce.supplier").unwrap(),
+            cat.find_attr("Serve.supplier").unwrap(),
+        );
+        let engine = FdbEngine::new();
+        let r1 = engine.evaluate_flat(&db, &query1).unwrap();
+        let r2 = engine.evaluate_flat(&db, &q2).unwrap();
+        // Product of the two factorised results, then equality selections on
+        // item and location.
+        let product = ops::product(r1.result.clone(), r2.result.clone()).unwrap();
+        let fq = FactorisedQuery::equalities(vec![
+            (cat.find_attr("Orders.item").unwrap(), cat.find_attr("Produce.item").unwrap()),
+            (cat.find_attr("Store.location").unwrap(), cat.find_attr("Serve.location").unwrap()),
+        ]);
+        let joined = engine.evaluate_factorised(&product, &fq).unwrap();
+        joined.result.validate().unwrap();
+
+        // Reference: the flat join of all five relations.
+        let full_query = Query::product(rels.clone())
+            .with_equality(
+                cat.find_attr("Orders.item").unwrap(),
+                cat.find_attr("Store.item").unwrap(),
+            )
+            .with_equality(
+                cat.find_attr("Store.location").unwrap(),
+                cat.find_attr("Disp.location").unwrap(),
+            )
+            .with_equality(
+                cat.find_attr("Produce.supplier").unwrap(),
+                cat.find_attr("Serve.supplier").unwrap(),
+            )
+            .with_equality(
+                cat.find_attr("Orders.item").unwrap(),
+                cat.find_attr("Produce.item").unwrap(),
+            )
+            .with_equality(
+                cat.find_attr("Store.location").unwrap(),
+                cat.find_attr("Serve.location").unwrap(),
+            );
+        assert_eq!(
+            materialize(&joined.result).unwrap().tuple_set(),
+            rdb_canonical(&db, &full_query)
+        );
+        assert!(!joined.stats.plan.is_empty());
+    }
+
+    #[test]
+    fn greedy_and_exhaustive_engines_agree_on_the_result() {
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let query1 = q1(&db, &rels);
+        let base = FdbEngine::new().evaluate_flat(&db, &query1).unwrap();
+        let fq = FactorisedQuery::equalities(vec![(
+            cat.find_attr("Orders.oid").unwrap(),
+            cat.find_attr("Disp.dispatcher").unwrap(),
+        )]);
+        let a = FdbEngine::new().evaluate_factorised(&base.result, &fq).unwrap();
+        let b = FdbEngine::greedy().evaluate_factorised(&base.result, &fq).unwrap();
+        assert_eq!(
+            materialize(&a.result).unwrap().tuple_set(),
+            materialize(&b.result).unwrap().tuple_set()
+        );
+        assert!(b.stats.plan_cost + 1e-6 >= a.stats.plan_cost);
+    }
+
+    #[test]
+    fn factorised_query_with_selection_and_projection() {
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let base = FdbEngine::new().evaluate_flat(&db, &q1(&db, &rels)).unwrap();
+        let item = cat.find_attr("Orders.item").unwrap();
+        let dispatcher = cat.find_attr("Disp.dispatcher").unwrap();
+        let fq = FactorisedQuery::default()
+            .with_const_selection(ConstSelection {
+                attr: item,
+                op: ComparisonOp::Eq,
+                value: Value::new(2),
+            })
+            .with_projection(vec![dispatcher]);
+        let out = FdbEngine::new().evaluate_factorised(&base.result, &fq).unwrap();
+        out.result.validate().unwrap();
+        assert_eq!(out.result.visible_attrs(), vec![dispatcher]);
+        // Reference through the flat engine.
+        let reference = q1(&db, &rels)
+            .with_const_selection(item, ComparisonOp::Eq, Value::new(2))
+            .with_projection(vec![dispatcher]);
+        assert_eq!(
+            materialize(&out.result).unwrap().tuple_set(),
+            rdb_canonical(&db, &reference)
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! The FDB query engine: select-project-join evaluation on factorised
+//! relational databases.
+//!
+//! This crate ties the substrates together into the engine the paper
+//! describes:
+//!
+//! * [`FdbEngine::evaluate_flat`] answers a query over a flat relational
+//!   database: the optimiser picks an f-tree of minimal cost `s(T)` for the
+//!   query result and the factorised result is built directly over it,
+//!   without ever materialising the flat result (Experiments 1 and 3);
+//! * [`FdbEngine::evaluate_factorised`] answers a query over a factorised
+//!   input (typically the result of a previous query): the optimiser — the
+//!   exhaustive Dijkstra search or the greedy heuristic — produces an
+//!   f-plan of restructuring and selection operators, which is then executed
+//!   on the representation (Experiments 2 and 4);
+//! * [`FdbEngine::evaluate_flat_via_operators`] is the alternative
+//!   evaluation path that treats each flat relation as a trivially
+//!   factorised input and runs a pure f-plan over the product — useful for
+//!   cross-checking the two pipelines against each other.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind};

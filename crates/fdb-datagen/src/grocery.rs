@@ -1,0 +1,155 @@
+//! The grocery-retailer example database of Figure 1.
+//!
+//! String values are encoded as small integers so they fit the engine's
+//! integer domain; the mapping is exposed so examples can print readable
+//! output.
+
+use fdb_common::{AttrId, Catalog, Query, RelId};
+use fdb_relation::Database;
+
+/// The grocery database together with handles to its relations, attributes
+/// and value names.
+#[derive(Clone, Debug)]
+pub struct GroceryDb {
+    /// The populated database.
+    pub db: Database,
+    /// Orders(oid, item).
+    pub orders: RelId,
+    /// Store(location, item).
+    pub store: RelId,
+    /// Disp(dispatcher, location).
+    pub disp: RelId,
+    /// Produce(supplier, item).
+    pub produce: RelId,
+    /// Serve(supplier, location).
+    pub serve: RelId,
+}
+
+/// Item names, indexed by encoded value (1-based).
+pub const ITEMS: [&str; 3] = ["Milk", "Cheese", "Melon"];
+/// Location names, indexed by encoded value (1-based).
+pub const LOCATIONS: [&str; 3] = ["Istanbul", "Izmir", "Antalya"];
+/// Dispatcher names, indexed by encoded value (1-based).
+pub const DISPATCHERS: [&str; 3] = ["Adnan", "Yasemin", "Volkan"];
+/// Supplier names, indexed by encoded value (1-based).
+pub const SUPPLIERS: [&str; 3] = ["Guney", "Dikici", "Byzantium"];
+
+impl GroceryDb {
+    /// Looks up an attribute by qualified name, e.g. `"Store.item"`.
+    pub fn attr(&self, qualified: &str) -> AttrId {
+        self.db
+            .catalog()
+            .find_attr(qualified)
+            .unwrap_or_else(|| panic!("unknown grocery attribute {qualified}"))
+    }
+
+    /// The catalog of the database.
+    pub fn catalog(&self) -> &Catalog {
+        self.db.catalog()
+    }
+
+    /// Query Q1 of Example 1: `Orders ⋈_item Store ⋈_location Disp`.
+    pub fn q1(&self) -> Query {
+        Query::product(vec![self.orders, self.store, self.disp])
+            .with_equality(self.attr("Orders.item"), self.attr("Store.item"))
+            .with_equality(self.attr("Store.location"), self.attr("Disp.location"))
+    }
+
+    /// Query Q2 of Example 1: `Produce ⋈_supplier Serve`.
+    pub fn q2(&self) -> Query {
+        Query::product(vec![self.produce, self.serve])
+            .with_equality(self.attr("Produce.supplier"), self.attr("Serve.supplier"))
+    }
+}
+
+/// Builds the grocery database of Figure 1.
+///
+/// Encoding: items Milk=1, Cheese=2, Melon=3; locations Istanbul=1, Izmir=2,
+/// Antalya=3; dispatchers Adnan=1, Yasemin=2, Volkan=3; suppliers Guney=1,
+/// Dikici=2, Byzantium=3; order ids as printed in the paper.
+pub fn grocery_database() -> GroceryDb {
+    let mut catalog = Catalog::new();
+    let (orders, _) = catalog.add_relation("Orders", &["oid", "item"]);
+    let (store, _) = catalog.add_relation("Store", &["location", "item"]);
+    let (disp, _) = catalog.add_relation("Disp", &["dispatcher", "location"]);
+    let (produce, _) = catalog.add_relation("Produce", &["supplier", "item"]);
+    let (serve, _) = catalog.add_relation("Serve", &["supplier", "location"]);
+    let mut db = Database::new(catalog);
+
+    // Orders: (01, Milk), (01, Cheese), (02, Melon), (03, Cheese), (03, Melon)
+    db.insert_raw_rows(orders, &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]])
+        .expect("schema matches");
+    // Store: (Istanbul, Milk), (Istanbul, Cheese), (Istanbul, Melon),
+    //        (Izmir, Milk), (Antalya, Milk), (Antalya, Cheese)
+    db.insert_raw_rows(
+        store,
+        &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1], vec![3, 1], vec![3, 2]],
+    )
+    .expect("schema matches");
+    // Disp: (Adnan, Istanbul), (Adnan, Izmir), (Yasemin, Istanbul), (Volkan, Antalya)
+    db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]])
+        .expect("schema matches");
+    // Produce: (Guney, Milk), (Guney, Cheese), (Dikici, Milk), (Byzantium, Melon)
+    db.insert_raw_rows(produce, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]])
+        .expect("schema matches");
+    // Serve: (Guney, Antalya), (Dikici, Istanbul), (Dikici, Izmir),
+    //        (Dikici, Antalya), (Byzantium, Istanbul)
+    db.insert_raw_rows(serve, &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]])
+        .expect("schema matches");
+
+    GroceryDb { db, orders, store, disp, produce, serve }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_relation::RdbEngine;
+
+    #[test]
+    fn figure1_cardinalities_are_reproduced() {
+        let g = grocery_database();
+        assert_eq!(g.db.rel_len(g.orders), 5);
+        assert_eq!(g.db.rel_len(g.store), 6);
+        assert_eq!(g.db.rel_len(g.disp), 4);
+        assert_eq!(g.db.rel_len(g.produce), 4);
+        assert_eq!(g.db.rel_len(g.serve), 5);
+    }
+
+    #[test]
+    fn q1_result_starts_with_the_tuples_of_example1() {
+        // Example 1 lists (01, Milk, Istanbul, Adnan), (01, Milk, Istanbul,
+        // Yasemin), (01, Milk, Izmir, Adnan), (01, Milk, Antalya, Volkan) …
+        let g = grocery_database();
+        let result = RdbEngine::new().evaluate(&g.db, &g.q1()).unwrap();
+        let oid = result.col_index(g.attr("Orders.oid")).unwrap();
+        let item = result.col_index(g.attr("Orders.item")).unwrap();
+        let loc = result.col_index(g.attr("Store.location")).unwrap();
+        let disp = result.col_index(g.attr("Disp.dispatcher")).unwrap();
+        let has = |o: u64, i: u64, l: u64, d: u64| {
+            result.rows().any(|r| {
+                r[oid].raw() == o && r[item].raw() == i && r[loc].raw() == l && r[disp].raw() == d
+            })
+        };
+        assert!(has(1, 1, 1, 1)); // 01, Milk, Istanbul, Adnan
+        assert!(has(1, 1, 1, 2)); // 01, Milk, Istanbul, Yasemin
+        assert!(has(1, 1, 2, 1)); // 01, Milk, Izmir, Adnan
+        assert!(has(1, 1, 3, 3)); // 01, Milk, Antalya, Volkan
+    }
+
+    #[test]
+    fn q2_result_matches_example1() {
+        // Q2 = Produce ⋈_supplier Serve has exactly the 6 tuples factorised
+        // in Example 1: Guney×{Milk,Cheese}×{Antalya},
+        // Dikici×{Milk}×{Istanbul,Izmir,Antalya}, Byzantium×{Melon}×{Istanbul}.
+        let g = grocery_database();
+        let result = RdbEngine::new().evaluate(&g.db, &g.q2()).unwrap();
+        assert_eq!(result.len(), 2 + 3 + 1);
+    }
+
+    #[test]
+    fn attribute_lookup_panics_on_unknown_names() {
+        let g = grocery_database();
+        let result = std::panic::catch_unwind(|| g.attr("Nope.missing"));
+        assert!(result.is_err());
+    }
+}

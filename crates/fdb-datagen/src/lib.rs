@@ -1,0 +1,30 @@
+//! Workload and data generators for the FDB experiments.
+//!
+//! The paper's experimental design (Section 5) generates `R` relations with
+//! `A` attributes distributed uniformly over them, fills each relation with a
+//! given number of tuples whose values are drawn from `[1, M]` under a
+//! uniform or Zipf distribution, and poses equi-join queries whose selections
+//! are conjunctions of `K` non-redundant equalities.  This crate provides
+//! exactly those generators, plus the two concrete datasets used in the
+//! evaluation figures:
+//!
+//! * [`schema::random_schema`] / [`data::populate`] / [`queries::random_query`]
+//!   — the random schema/data/query generators;
+//! * [`data::combinatorial_database`] — the "combinatorial" dataset of
+//!   Experiment 3's right-hand column (`R = 4`, `A = 10`, two binary
+//!   relations of 8² tuples, two ternary relations of 8³ tuples, values in
+//!   `[1, 20]`);
+//! * [`grocery`] — the grocery-retailer example of Figure 1, used by the
+//!   examples and the documentation.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod grocery;
+pub mod queries;
+pub mod schema;
+
+pub use data::{combinatorial_database, populate, random_relation, ValueDistribution};
+pub use grocery::{grocery_database, GroceryDb};
+pub use queries::{random_equalities, random_followup_equalities, random_query};
+pub use schema::random_schema;

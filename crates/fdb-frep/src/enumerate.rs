@@ -1,0 +1,194 @@
+//! Enumeration of the relation represented by an f-representation.
+//!
+//! F-representations allow constant-delay enumeration of their tuples: after
+//! `O(|E|)` preparation, successive tuples are produced with `O(|S|)` work
+//! each (`S` the schema).  [`for_each_tuple`] walks the representation
+//! depth-first, filling a single reusable buffer — this is the constant-delay
+//! enumeration in callback form.  [`materialize`] collects the tuples into a
+//! flat [`Relation`] (mainly for tests, examples and the RDB comparisons).
+
+use crate::frep::{FRep, Union};
+use fdb_common::{AttrId, Result, Value};
+use fdb_relation::Relation;
+use std::collections::BTreeMap;
+
+/// Calls `f` once per tuple of the represented relation.  The buffer handed
+/// to the callback lists the values of the representation's *visible*
+/// attributes in ascending attribute-id order.
+pub fn for_each_tuple<F: FnMut(&[Value])>(rep: &FRep, mut f: F) {
+    let attrs = rep.visible_attrs();
+    let positions: BTreeMap<AttrId, usize> =
+        attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let mut buffer = vec![Value::default(); attrs.len()];
+    if rep.represents_empty() {
+        return;
+    }
+    let roots: Vec<&Union> = rep.roots().iter().collect();
+    product_rec(rep, &roots, &positions, &mut buffer, &mut f);
+}
+
+fn product_rec<F: FnMut(&[Value])>(
+    rep: &FRep,
+    unions: &[&Union],
+    positions: &BTreeMap<AttrId, usize>,
+    buffer: &mut Vec<Value>,
+    f: &mut F,
+) {
+    let Some((first, rest)) = unions.split_first() else {
+        f(buffer);
+        return;
+    };
+    let visible = rep.tree().visible_attrs(first.node);
+    for entry in &first.entries {
+        for attr in &visible {
+            buffer[positions[attr]] = entry.value;
+        }
+        if entry.children.is_empty() {
+            product_rec(rep, rest, positions, buffer, f);
+        } else {
+            let mut combined: Vec<&Union> = Vec::with_capacity(entry.children.len() + rest.len());
+            combined.extend(entry.children.iter());
+            combined.extend(rest.iter().copied());
+            product_rec(rep, &combined, positions, buffer, f);
+        }
+    }
+}
+
+/// Materialises the represented relation as a flat [`Relation`] over the
+/// visible attributes (ascending id order).
+pub fn materialize(rep: &FRep) -> Result<Relation> {
+    let attrs = rep.visible_attrs();
+    let mut out = Relation::new(attrs);
+    let mut error = None;
+    for_each_tuple(rep, |tuple| {
+        if error.is_none() {
+            if let Err(e) = out.push_row(tuple) {
+                error = Some(e);
+            }
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Counts tuples by enumeration (used by tests to cross-check
+/// [`FRep::tuple_count`]).
+pub fn count_by_enumeration(rep: &FRep) -> u128 {
+    let mut n: u128 = 0;
+    for_each_tuple(rep, |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frep::{Entry, FRep, Union};
+    use fdb_ftree::{DepEdge, FTree};
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// ⟨A:1⟩×(⟨B:1⟩ ∪ ⟨B:2⟩) ∪ ⟨A:2⟩×⟨B:2⟩ over the f-tree A → B.
+    fn example3() -> FRep {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 3)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(
+                        b,
+                        vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+                    )],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![Entry::leaf(Value::new(2))])],
+                },
+            ],
+        );
+        FRep::from_parts(tree, vec![union]).unwrap()
+    }
+
+    /// A two-root forest: (⟨A:1⟩ ∪ ⟨A:2⟩) × (⟨B:5⟩ ∪ ⟨B:6⟩ ∪ ⟨B:7⟩).
+    fn product_forest() -> FRep {
+        let edges = vec![
+            DepEdge::new("R", attrs(&[0]), 2),
+            DepEdge::new("S", attrs(&[1]), 3),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), None).unwrap();
+        let ua = Union::new(a, vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))]);
+        let ub = Union::new(
+            b,
+            vec![Entry::leaf(Value::new(5)), Entry::leaf(Value::new(6)), Entry::leaf(Value::new(7))],
+        );
+        FRep::from_parts(tree, vec![ua, ub]).unwrap()
+    }
+
+    #[test]
+    fn example3_enumerates_its_three_tuples() {
+        let rep = example3();
+        let rel = materialize(&rep).unwrap();
+        let expected: BTreeSet<Vec<Value>> = [
+            vec![Value::new(1), Value::new(1)],
+            vec![Value::new(1), Value::new(2)],
+            vec![Value::new(2), Value::new(2)],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(rel.tuple_set(), expected);
+        assert_eq!(count_by_enumeration(&rep), rep.tuple_count());
+    }
+
+    #[test]
+    fn product_of_roots_enumerates_the_cross_product() {
+        let rep = product_forest();
+        let rel = materialize(&rep).unwrap();
+        assert_eq!(rel.len(), 6);
+        assert_eq!(rel.arity(), 2);
+        assert_eq!(count_by_enumeration(&rep), 6);
+    }
+
+    #[test]
+    fn empty_representation_enumerates_nothing() {
+        let edges = vec![DepEdge::new("R", attrs(&[0]), 0)];
+        let mut tree = FTree::new(edges);
+        tree.add_node(attrs(&[0]), None).unwrap();
+        let rep = FRep::empty(tree);
+        assert_eq!(count_by_enumeration(&rep), 0);
+        assert!(materialize(&rep).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nullary_representation_enumerates_one_empty_tuple() {
+        let rep = FRep::empty(FTree::new(vec![]));
+        let mut tuples = 0;
+        for_each_tuple(&rep, |t| {
+            assert!(t.is_empty());
+            tuples += 1;
+        });
+        assert_eq!(tuples, 1);
+    }
+
+    #[test]
+    fn class_attributes_share_the_entry_value() {
+        // A node labelled by two attributes emits the same value for both.
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 1)];
+        let mut tree = FTree::new(edges);
+        let ab = tree.add_node(attrs(&[0, 1]), None).unwrap();
+        let u = Union::new(ab, vec![Entry::leaf(Value::new(9))]);
+        let rep = FRep::from_parts(tree, vec![u]).unwrap();
+        let rel = materialize(&rep).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0), &[Value::new(9), Value::new(9)]);
+    }
+}

@@ -1,0 +1,455 @@
+//! The f-representation data structure.
+//!
+//! An [`FRep`] owns an [`FTree`] and, for every root of the forest, one
+//! [`Union`].  A union over an f-tree node `N` labelled by class
+//! `{A₁,…,A_k}` is
+//!
+//! ```text
+//!   ⋃_a ⟨A₁:a⟩ × … × ⟨A_k:a⟩ × E_a^{child₁} × … × E_a^{child_m}
+//! ```
+//!
+//! i.e. a list of [`Entry`]s, one per distinct value `a` (kept in increasing
+//! order, as all operators require), each carrying one child [`Union`] per
+//! child of `N` in the f-tree.  A forest is a product of its root unions.
+//!
+//! The size of an f-representation is its number of singletons: every entry
+//! of a union over `N` contributes one singleton per *visible* (not
+//! projected-away) attribute of `N`'s class.
+
+use fdb_common::{AttrId, FdbError, Result, Value};
+use fdb_ftree::{FTree, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One `⟨value⟩ × children…` term of a [`Union`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// The common value of all attributes labelling the union's node.
+    pub value: Value,
+    /// One child union per child of the node in the f-tree (in any order;
+    /// each child union records which node it ranges over).
+    pub children: Vec<Union>,
+}
+
+impl Entry {
+    /// Creates an entry with no children (for unions over leaf nodes).
+    pub fn leaf(value: Value) -> Self {
+        Entry { value, children: Vec::new() }
+    }
+
+    /// Returns the child union over the given node, if present.
+    pub fn child(&self, node: NodeId) -> Option<&Union> {
+        self.children.iter().find(|u| u.node == node)
+    }
+
+    /// Returns a mutable reference to the child union over the given node.
+    pub fn child_mut(&mut self, node: NodeId) -> Option<&mut Union> {
+        self.children.iter_mut().find(|u| u.node == node)
+    }
+
+    /// Removes and returns the child union over the given node.
+    pub fn take_child(&mut self, node: NodeId) -> Option<Union> {
+        let idx = self.children.iter().position(|u| u.node == node)?;
+        Some(self.children.remove(idx))
+    }
+}
+
+/// A union of singleton-products over one f-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Union {
+    /// The f-tree node this union ranges over.
+    pub node: NodeId,
+    /// The entries, sorted strictly increasing by value.
+    pub entries: Vec<Entry>,
+}
+
+impl Union {
+    /// Creates an empty union over a node (represents the empty relation for
+    /// that part of the factorisation).
+    pub fn empty(node: NodeId) -> Self {
+        Union { node, entries: Vec::new() }
+    }
+
+    /// Creates a union from entries (the caller must supply them sorted by
+    /// value).
+    pub fn new(node: NodeId, entries: Vec<Entry>) -> Self {
+        Union { node, entries }
+    }
+
+    /// Returns `true` if the union has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries (distinct values).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Binary-searches for the entry with the given value.
+    pub fn find_value(&self, value: Value) -> Option<&Entry> {
+        self.entries
+            .binary_search_by(|e| e.value.cmp(&value))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+}
+
+/// A factorised representation over an f-tree.
+#[derive(Clone, Debug)]
+pub struct FRep {
+    tree: FTree,
+    roots: Vec<Union>,
+}
+
+impl FRep {
+    /// Creates an f-representation from its parts.  `roots` must contain one
+    /// union per root of `tree`, in any order.
+    pub fn from_parts(tree: FTree, roots: Vec<Union>) -> Result<Self> {
+        let rep = FRep { tree, roots };
+        rep.validate()?;
+        Ok(rep)
+    }
+
+    /// Creates an f-representation from its parts without validating.  Used
+    /// internally by operators that maintain the invariants themselves; tests
+    /// call [`FRep::validate`] afterwards.
+    pub(crate) fn from_parts_unchecked(tree: FTree, roots: Vec<Union>) -> Self {
+        FRep { tree, roots }
+    }
+
+    /// The representation of the empty relation over the given f-tree.
+    pub fn empty(tree: FTree) -> Self {
+        let roots = tree.roots().iter().map(|&r| Union::empty(r)).collect();
+        FRep { tree, roots }
+    }
+
+    /// The f-tree describing this representation's nesting structure.
+    pub fn tree(&self) -> &FTree {
+        &self.tree
+    }
+
+    /// Mutable access to the f-tree — reserved for the operator module,
+    /// which keeps tree and data in lockstep.
+    pub(crate) fn tree_mut(&mut self) -> &mut FTree {
+        &mut self.tree
+    }
+
+    /// The root unions (one per f-tree root).
+    pub fn roots(&self) -> &[Union] {
+        &self.roots
+    }
+
+    /// Mutable access to the root unions — reserved for the operator module.
+    pub(crate) fn roots_mut(&mut self) -> &mut Vec<Union> {
+        &mut self.roots
+    }
+
+    /// Decomposes the representation into its parts.
+    pub fn into_parts(self) -> (FTree, Vec<Union>) {
+        (self.tree, self.roots)
+    }
+
+    /// The visible (non-projected) attributes of the representation, sorted.
+    pub fn visible_attrs(&self) -> Vec<AttrId> {
+        let mut attrs: Vec<AttrId> = self
+            .tree
+            .node_ids()
+            .into_iter()
+            .flat_map(|n| self.tree.visible_attrs(n).into_iter().collect::<Vec<_>>())
+            .collect();
+        attrs.sort_unstable();
+        attrs
+    }
+
+    /// Returns `true` if the represented relation is empty: some root union
+    /// is empty (a product with the empty relation is empty).  A forest with
+    /// no nodes represents the relation containing the nullary tuple and is
+    /// *not* empty.
+    pub fn represents_empty(&self) -> bool {
+        self.roots.iter().any(Union::is_empty)
+    }
+
+    /// The size of the representation: its number of singletons.  Every
+    /// entry of a union over node `N` contributes one singleton per visible
+    /// attribute of `N`.
+    pub fn size(&self) -> usize {
+        let mut total = 0usize;
+        for root in &self.roots {
+            self.size_union(root, &mut total);
+        }
+        total
+    }
+
+    fn size_union(&self, union: &Union, total: &mut usize) {
+        let singletons_per_entry = self.tree.visible_attrs(union.node).len();
+        *total += singletons_per_entry * union.entries.len();
+        for entry in &union.entries {
+            for child in &entry.children {
+                self.size_union(child, total);
+            }
+        }
+    }
+
+    /// Number of tuples in the represented relation (without enumerating
+    /// them): products multiply, unions add.
+    pub fn tuple_count(&self) -> u128 {
+        self.roots.iter().map(|u| Self::count_union(u)).product()
+    }
+
+    fn count_union(union: &Union) -> u128 {
+        union
+            .entries
+            .iter()
+            .map(|e| e.children.iter().map(Self::count_union).product::<u128>())
+            .sum()
+    }
+
+    /// Checks all structural invariants:
+    ///
+    /// * the tree itself is well-formed and satisfies the path constraint;
+    /// * there is exactly one root union per f-tree root;
+    /// * every union's entries are sorted strictly increasing by value;
+    /// * every entry has exactly one child union per f-tree child of its
+    ///   node.
+    pub fn validate(&self) -> Result<()> {
+        self.tree.check_structure()?;
+        self.tree.check_path_constraint()?;
+        let tree_roots: BTreeSet<NodeId> = self.tree.roots().iter().copied().collect();
+        let rep_roots: BTreeSet<NodeId> = self.roots.iter().map(|u| u.node).collect();
+        if tree_roots != rep_roots || self.roots.len() != self.tree.roots().len() {
+            return Err(FdbError::MalformedRepresentation {
+                detail: format!(
+                    "root unions {rep_roots:?} do not match f-tree roots {tree_roots:?}"
+                ),
+            });
+        }
+        for root in &self.roots {
+            self.validate_union(root)?;
+        }
+        Ok(())
+    }
+
+    fn validate_union(&self, union: &Union) -> Result<()> {
+        self.tree.check_node(union.node)?;
+        let expected_children: BTreeSet<NodeId> =
+            self.tree.children(union.node).iter().copied().collect();
+        let mut prev: Option<Value> = None;
+        for entry in &union.entries {
+            if let Some(p) = prev {
+                if entry.value <= p {
+                    return Err(FdbError::MalformedRepresentation {
+                        detail: format!(
+                            "union over {} has out-of-order or duplicate value {}",
+                            union.node, entry.value
+                        ),
+                    });
+                }
+            }
+            prev = Some(entry.value);
+            let child_nodes: BTreeSet<NodeId> = entry.children.iter().map(|u| u.node).collect();
+            if child_nodes != expected_children || entry.children.len() != expected_children.len() {
+                return Err(FdbError::MalformedRepresentation {
+                    detail: format!(
+                        "entry {} of union over {} has children {child_nodes:?}, expected {expected_children:?}",
+                        entry.value, union.node
+                    ),
+                });
+            }
+            for child in &entry.children {
+                self.validate_union(child)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes entries whose product has become empty (some child union with
+    /// no entries), propagating upwards.  Root unions are allowed to end up
+    /// empty — that simply means the represented relation is empty.
+    pub fn prune_empty(&mut self) {
+        for root in &mut self.roots {
+            Self::prune_union(root);
+        }
+    }
+
+    fn prune_union(union: &mut Union) {
+        union.entries.retain_mut(|entry| {
+            for child in &mut entry.children {
+                Self::prune_union(child);
+                if child.is_empty() {
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// Renders the representation as nested text (values only), useful in
+    /// examples and debugging.  Attribute names are resolved by `name`.
+    pub fn render<F>(&self, mut name: F) -> String
+    where
+        F: FnMut(AttrId) -> String,
+    {
+        let mut out = String::new();
+        for root in &self.roots {
+            self.render_union(root, 0, &mut name, &mut out);
+        }
+        out
+    }
+
+    fn render_union<F>(&self, union: &Union, depth: usize, name: &mut F, out: &mut String)
+    where
+        F: FnMut(AttrId) -> String,
+    {
+        let label: Vec<String> =
+            self.tree.class(union.node).iter().map(|&a| name(a)).collect();
+        out.push_str(&format!("{}∪ {}:\n", "  ".repeat(depth), label.join(",")));
+        for entry in &union.entries {
+            out.push_str(&format!("{}⟨{}⟩\n", "  ".repeat(depth + 1), entry.value));
+            for child in &entry.children {
+                self.render_union(child, depth + 2, name, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for FRep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(|a| format!("{a}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_ftree::DepEdge;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// Example 3 of the paper: R = {(1,1), (1,2), (2,2)} over {A, B} with the
+    /// f-tree A → B.  Its unique f-representation is
+    /// ⟨A:1⟩×(⟨B:1⟩ ∪ ⟨B:2⟩) ∪ ⟨A:2⟩×⟨B:2⟩.
+    fn example3() -> FRep {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 3)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(
+                        b,
+                        vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+                    )],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![Entry::leaf(Value::new(2))])],
+                },
+            ],
+        );
+        FRep::from_parts(tree, vec![union]).unwrap()
+    }
+
+    #[test]
+    fn example3_size_and_count() {
+        let rep = example3();
+        // Singletons: ⟨A:1⟩, ⟨B:1⟩, ⟨B:2⟩, ⟨A:2⟩, ⟨B:2⟩ = 5.
+        assert_eq!(rep.size(), 5);
+        assert_eq!(rep.tuple_count(), 3);
+        assert!(!rep.represents_empty());
+        assert_eq!(rep.visible_attrs(), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn empty_representation() {
+        let edges = vec![DepEdge::new("R", attrs(&[0]), 0)];
+        let mut tree = FTree::new(edges);
+        tree.add_node(attrs(&[0]), None).unwrap();
+        let rep = FRep::empty(tree);
+        rep.validate().unwrap();
+        assert!(rep.represents_empty());
+        assert_eq!(rep.size(), 0);
+        assert_eq!(rep.tuple_count(), 0);
+    }
+
+    #[test]
+    fn nullary_representation_has_one_tuple() {
+        // An empty forest represents ⟨⟩, the relation with the nullary tuple.
+        let rep = FRep::empty(FTree::new(vec![]));
+        rep.validate().unwrap();
+        assert!(!rep.represents_empty());
+        assert_eq!(rep.tuple_count(), 1);
+        assert_eq!(rep.size(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_order_values() {
+        let rep = example3();
+        let (tree, mut roots) = rep.into_parts();
+        roots[0].entries.swap(0, 1);
+        assert!(matches!(
+            FRep::from_parts(tree, roots),
+            Err(FdbError::MalformedRepresentation { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_missing_children() {
+        let rep = example3();
+        let (tree, mut roots) = rep.into_parts();
+        roots[0].entries[0].children.clear();
+        assert!(matches!(
+            FRep::from_parts(tree, roots),
+            Err(FdbError::MalformedRepresentation { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_root_set() {
+        let rep = example3();
+        let (tree, roots) = rep.into_parts();
+        let b = tree.node_of_attr(AttrId(1)).unwrap();
+        let bogus = vec![Union::empty(b), roots.into_iter().next().unwrap()];
+        assert!(FRep::from_parts(tree, bogus).is_err());
+    }
+
+    #[test]
+    fn prune_removes_entries_with_empty_children() {
+        let rep = example3();
+        let (tree, mut roots) = rep.into_parts();
+        // Make the B-union under A=1 empty: the A=1 entry must disappear.
+        roots[0].entries[0].children[0].entries.clear();
+        let mut rep = FRep::from_parts_unchecked(tree, roots);
+        rep.prune_empty();
+        rep.validate().unwrap();
+        assert_eq!(rep.tuple_count(), 1);
+        assert_eq!(rep.roots()[0].entries.len(), 1);
+        assert_eq!(rep.roots()[0].entries[0].value, Value::new(2));
+    }
+
+    #[test]
+    fn union_lookup_helpers() {
+        let rep = example3();
+        let root = &rep.roots()[0];
+        assert_eq!(root.len(), 2);
+        assert!(root.find_value(Value::new(2)).is_some());
+        assert!(root.find_value(Value::new(3)).is_none());
+        let b = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let entry = root.find_value(Value::new(1)).unwrap();
+        assert_eq!(entry.child(b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let rep = example3();
+        let text = rep.render(|a| if a == AttrId(0) { "A".into() } else { "B".into() });
+        assert!(text.contains("∪ A:"));
+        assert!(text.contains("⟨1⟩"));
+        assert!(text.contains("∪ B:"));
+    }
+}

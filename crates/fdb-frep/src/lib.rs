@@ -1,0 +1,30 @@
+//! Factorised representations (f-representations) and the f-plan operators.
+//!
+//! An f-representation is a relational algebra expression built from
+//! singletons `⟨A:a⟩`, unions and products, whose nesting structure follows
+//! an f-tree (Definitions 1 and 2 of the paper).  This crate implements:
+//!
+//! * the [`FRep`] data structure ([`frep`]): a forest of value-sorted unions
+//!   mirroring the f-tree, with size accounting (number of singletons),
+//!   structural validation and tuple counting;
+//! * construction of the factorised result of a select-project-join query
+//!   over a given f-tree directly from a flat database ([`build`]), without
+//!   materialising the flat result;
+//! * enumeration of the represented relation ([`enumerate`]): constant-delay
+//!   traversal and materialisation into a flat [`fdb_relation::Relation`];
+//! * the data-level f-plan operators ([`ops`]): Cartesian product, push-up
+//!   and normalisation, swap, merge, absorb, selection with a constant, and
+//!   projection.  Each operator transforms both the representation and its
+//!   f-tree, keeping the two consistent, and runs in (quasi)linear time in
+//!   the sizes of its input and output.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod enumerate;
+pub mod frep;
+pub mod ops;
+
+pub use build::build_frep;
+pub use enumerate::{for_each_tuple, materialize};
+pub use frep::{Entry, FRep, Union};

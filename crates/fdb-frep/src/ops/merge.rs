@@ -1,0 +1,179 @@
+//! The merge selection operator `µ_{A,B}`.
+//!
+//! Merge enforces an equality `A = B` between two *sibling* nodes of the
+//! f-tree: wherever the two sibling unions occur in a product, they are
+//! replaced by a single union over the merged node that keeps only the
+//! values present in both, combining their children (Figure 3(c)):
+//!
+//! ```text
+//! (⋃_a ⟨A:a⟩ × E_a) × (⋃_b ⟨B:b⟩ × F_b)  ⇒  ⋃_{a=b} ⟨A:a⟩⟨B:b⟩ × E_a × F_b
+//! ```
+//!
+//! The implementation is a sort-merge join over the two (sorted) value lists,
+//! so it runs in time linear in the input sizes.
+
+use crate::frep::{Entry, FRep, Union};
+use crate::ops::visit_contexts_of_node_mut;
+use fdb_common::{FdbError, Result};
+use fdb_ftree::NodeId;
+
+/// Merge operator `µ_{A,B}` on sibling nodes: enforces `A = B`, fusing the
+/// two nodes (the surviving node is `a`).  Returns the surviving node id.
+pub fn merge(rep: &mut FRep, a: NodeId, b: NodeId) -> Result<NodeId> {
+    rep.tree().check_node(a)?;
+    rep.tree().check_node(b)?;
+    if !rep.tree().are_siblings(a, b) {
+        return Err(FdbError::InvalidOperator {
+            detail: format!("merge: {a} and {b} are not siblings"),
+        });
+    }
+    let parent = rep.tree().parent(a);
+
+    visit_contexts_of_node_mut(rep, parent, &mut |context: &mut Vec<Union>| {
+        let Some(pos_a) = context.iter().position(|u| u.node == a) else { return };
+        let Some(pos_b) = context.iter().position(|u| u.node == b) else { return };
+        // Remove the higher index first so the lower one stays valid.
+        let (first, second) = if pos_a > pos_b { (pos_a, pos_b) } else { (pos_b, pos_a) };
+        let u1 = context.remove(first);
+        let u2 = context.remove(second);
+        let (a_union, b_union) = if u1.node == a { (u1, u2) } else { (u2, u1) };
+        context.push(merge_unions(a, a_union, b_union));
+    });
+
+    rep.tree_mut().merge_siblings(a, b)?;
+    // Values present on one side only have disappeared; entries whose product
+    // became empty elsewhere must be pruned away.
+    rep.prune_empty();
+    Ok(a)
+}
+
+/// Sort-merge join of two sibling unions into one union over `node`.
+fn merge_unions(node: NodeId, a_union: Union, b_union: Union) -> Union {
+    let mut entries = Vec::with_capacity(a_union.entries.len().min(b_union.entries.len()));
+    let mut b_iter = b_union.entries.into_iter().peekable();
+    for a_entry in a_union.entries {
+        // Advance the B side to the first value ≥ the A value.
+        while b_iter.peek().is_some_and(|be| be.value < a_entry.value) {
+            b_iter.next();
+        }
+        if b_iter.peek().is_some_and(|be| be.value == a_entry.value) {
+            let b_entry = b_iter.next().expect("peeked");
+            let mut children = a_entry.children;
+            children.extend(b_entry.children);
+            entries.push(Entry { value: a_entry.value, children });
+        }
+    }
+    Union::new(node, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize;
+    use crate::ops::product::product;
+    use fdb_common::{AttrId, Value};
+    use fdb_ftree::{DepEdge, FTree};
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// A small factorisation item{attr 0} → partner{attr 1}.
+    fn rep_over(attr_root: u32, attr_child: u32, name: &str, data: &[(u64, &[u64])]) -> FRep {
+        let edges = vec![DepEdge::new(name, attrs(&[attr_root, attr_child]), data.len() as u64)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[attr_root]), None).unwrap();
+        let child = tree.add_node(attrs(&[attr_child]), Some(root)).unwrap();
+        let entries = data
+            .iter()
+            .map(|&(v, children)| Entry {
+                value: Value::new(v),
+                children: vec![Union::new(
+                    child,
+                    children.iter().map(|&c| Entry::leaf(Value::new(c))).collect(),
+                )],
+            })
+            .collect();
+        FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap()
+    }
+
+    #[test]
+    fn merging_sibling_roots_joins_on_the_shared_values() {
+        // Example 9 in miniature: two factorisations with items at the top
+        // are joined on item by merging the two root nodes.
+        let left = rep_over(0, 1, "Orders", &[(1, &[10]), (2, &[20, 21]), (3, &[30])]);
+        let right = rep_over(2, 3, "Produce", &[(2, &[77]), (3, &[88, 99]), (4, &[11])]);
+        let mut rep = product(left, right).unwrap();
+        let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        let survivor = merge(&mut rep, a, b).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(survivor, a);
+        // Only items 2 and 3 survive.
+        let root = &rep.roots()[0];
+        assert_eq!(root.len(), 2);
+        assert_eq!(rep.tree().class(a), &attrs(&[0, 2]));
+        // The flat view must equal the join: item 2 → {20,21}×{77},
+        // item 3 → {30}×{88,99}.
+        let flat = materialize(&rep).unwrap();
+        assert_eq!(flat.len(), 2 + 2);
+        // Both item attributes carry the same value in every tuple.
+        let c0 = flat.col_index(AttrId(0)).unwrap();
+        let c2 = flat.col_index(AttrId(2)).unwrap();
+        assert!(flat.rows().all(|r| r[c0] == r[c2]));
+    }
+
+    #[test]
+    fn merge_of_disjoint_value_sets_gives_the_empty_representation() {
+        let left = rep_over(0, 1, "R", &[(1, &[10])]);
+        let right = rep_over(2, 3, "S", &[(2, &[20])]);
+        let mut rep = product(left, right).unwrap();
+        let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        merge(&mut rep, a, b).unwrap();
+        rep.validate().unwrap();
+        assert!(rep.represents_empty());
+        assert_eq!(rep.tuple_count(), 0);
+    }
+
+    #[test]
+    fn merge_requires_siblings() {
+        let left = rep_over(0, 1, "R", &[(1, &[10])]);
+        let mut rep = left;
+        let root = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let child = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        assert!(merge(&mut rep, root, child).is_err());
+    }
+
+    #[test]
+    fn merge_deeper_in_the_tree_joins_within_each_context() {
+        // A forest of one tree: root{0} → (x{1}, y{2}); relations make x and
+        // y independent of each other but both dependent on the root.
+        let edges = vec![
+            DepEdge::new("RX", attrs(&[0, 1]), 2),
+            DepEdge::new("RY", attrs(&[0, 2]), 2),
+        ];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[0]), None).unwrap();
+        let x = tree.add_node(attrs(&[1]), Some(root)).unwrap();
+        let y = tree.add_node(attrs(&[2]), Some(root)).unwrap();
+        let entry = |v: u64, xs: &[u64], ys: &[u64]| Entry {
+            value: Value::new(v),
+            children: vec![
+                Union::new(x, xs.iter().map(|&a| Entry::leaf(Value::new(a))).collect()),
+                Union::new(y, ys.iter().map(|&a| Entry::leaf(Value::new(a))).collect()),
+            ],
+        };
+        // Under root=1 the x/y values overlap in {5}; under root=2 they do
+        // not overlap at all, so that whole entry must disappear.
+        let u = Union::new(root, vec![entry(1, &[4, 5], &[5, 6]), entry(2, &[7], &[8])]);
+        let mut rep = FRep::from_parts(tree, vec![u]).unwrap();
+        merge(&mut rep, x, y).unwrap();
+        rep.validate().unwrap();
+        let flat = materialize(&rep).unwrap();
+        assert_eq!(flat.len(), 1);
+        let row = flat.row(0);
+        assert_eq!(row, &[Value::new(1), Value::new(5), Value::new(5)]);
+    }
+}

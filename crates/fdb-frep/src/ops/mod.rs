@@ -1,0 +1,80 @@
+//! Data-level f-plan operators.
+//!
+//! Each operator of the paper's Section 3 transforms an f-representation
+//! *and* its f-tree, keeping the two consistent:
+//!
+//! | operator | module | f-tree effect |
+//! |---|---|---|
+//! | Cartesian product `×` | [`mod@product`] | forests are concatenated |
+//! | push-up `ψ_B`, normalisation `η` | [`restructure`] | a subtree moves one level up |
+//! | swap `χ_{A,B}` | [`mod@swap`] | a child exchanges places with its parent |
+//! | merge `µ_{A,B}` | [`mod@merge`] | two sibling nodes fuse |
+//! | absorb `α_{A,B}` | [`mod@absorb`] | a node fuses into an ancestor |
+//! | selection with constant `σ_{AθC}` | [`select`] | the node may become constant-bound |
+//! | projection `π_Ā` | [`mod@project`] | projected leaves disappear |
+//!
+//! All operators preserve the invariants of [`crate::FRep`]: values inside every
+//! union stay sorted and distinct, every entry carries one child union per
+//! f-tree child, the path constraint holds, and (where the paper promises
+//! it) normalisation is preserved.  They run in time linear in the sizes of
+//! their input and output representations, up to logarithmic factors for the
+//! value regrouping done by swap and merge.
+
+pub mod absorb;
+pub mod merge;
+pub mod product;
+pub mod project;
+pub mod restructure;
+pub mod select;
+pub mod swap;
+
+pub use absorb::absorb;
+pub use merge::merge;
+pub use product::product;
+pub use project::project;
+pub use restructure::{normalise, push_up};
+pub use select::select_const;
+pub use swap::swap;
+
+use crate::frep::Union;
+use fdb_ftree::NodeId;
+
+/// Applies `f` to every union over `target` in the representation rooted at
+/// the given product context.  Unions of a node are never nested inside one
+/// another, so recursion stops once the target is found.
+pub(crate) fn visit_unions_of_node_mut<F: FnMut(&mut Union)>(
+    unions: &mut [Union],
+    target: NodeId,
+    f: &mut F,
+) {
+    for u in unions.iter_mut() {
+        if u.node == target {
+            f(u);
+        } else {
+            for entry in u.entries.iter_mut() {
+                visit_unions_of_node_mut(&mut entry.children, target, f);
+            }
+        }
+    }
+}
+
+/// Applies `f` to every *product context* (a mutable list of sibling unions)
+/// that directly contains a union over `target`: the top-level root list when
+/// `target` is a root, otherwise the children list of every entry of every
+/// union over `target`'s parent.
+pub(crate) fn visit_contexts_of_node_mut<F: FnMut(&mut Vec<Union>)>(
+    rep: &mut crate::frep::FRep,
+    parent: Option<NodeId>,
+    f: &mut F,
+) {
+    match parent {
+        None => f(rep.roots_mut()),
+        Some(p) => {
+            visit_unions_of_node_mut(rep.roots_mut(), p, &mut |parent_union: &mut Union| {
+                for entry in parent_union.entries.iter_mut() {
+                    f(&mut entry.children);
+                }
+            });
+        }
+    }
+}

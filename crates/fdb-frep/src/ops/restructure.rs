@@ -1,0 +1,223 @@
+//! The push-up operator `ψ_B` and the normalisation operator `η`.
+//!
+//! Push-up factors a common subexpression out of a union: when a node `B` is
+//! a child of `A` but `A` does not depend on `B` or its descendants, every
+//! copy of the `B`-union under the different `A`-values is identical, so one
+//! copy can be lifted out of the `A`-union and multiplied with it
+//! (Figure 3(a)):
+//!
+//! ```text
+//! ⋃_a ⟨A:a⟩ × (⋃_b ⟨B:b⟩ × F_b) × E_a   ⇒   (⋃_b ⟨B:b⟩ × F_b) × ⋃_a ⟨A:a⟩ × E_a
+//! ```
+//!
+//! Normalisation applies push-ups bottom-up until no node can be lifted any
+//! further; the result is the unique normalised f-tree reachable this way,
+//! and the representation only ever shrinks.
+
+use crate::frep::{FRep, Union};
+use crate::ops::{visit_contexts_of_node_mut, visit_unions_of_node_mut};
+use fdb_common::{FdbError, Result};
+use fdb_ftree::NodeId;
+
+/// Push-up operator `ψ_B`: lifts node `b` (with its subtree) one level up in
+/// both the f-tree and the representation.
+pub fn push_up(rep: &mut FRep, b: NodeId) -> Result<()> {
+    rep.tree().check_node(b)?;
+    let Some(a) = rep.tree().parent(b) else {
+        return Err(FdbError::InvalidOperator { detail: format!("push-up: {b} is a root") });
+    };
+    if rep.tree().depends_on_subtree(a, b) {
+        return Err(FdbError::InvalidOperator {
+            detail: format!("push-up: parent {a} depends on the subtree of {b}"),
+        });
+    }
+    let grandparent = rep.tree().parent(a);
+
+    // In every product context that holds the A-union, extract the (shared)
+    // B-union from its entries and add it to the context as a new factor.
+    visit_contexts_of_node_mut(rep, grandparent, &mut |context: &mut Vec<Union>| {
+        let mut lifted: Vec<Union> = Vec::new();
+        for union in context.iter_mut() {
+            if union.node != a {
+                continue;
+            }
+            let mut extracted: Option<Union> = None;
+            for entry in union.entries.iter_mut() {
+                let b_union = entry
+                    .take_child(b)
+                    .expect("validated representation: every A-entry has a B child union");
+                // All copies are equal because neither B nor its descendants
+                // depend on A; keep the first, drop the rest.
+                if extracted.is_none() {
+                    extracted = Some(b_union);
+                }
+            }
+            lifted.push(extracted.unwrap_or_else(|| Union::empty(b)));
+        }
+        context.extend(lifted);
+    });
+
+    rep.tree_mut().push_up(b)?;
+    Ok(())
+}
+
+/// Normalisation operator `η`: applies push-ups bottom-up until the f-tree is
+/// normalised.  Returns the nodes pushed up, in order.
+pub fn normalise(rep: &mut FRep) -> Result<Vec<NodeId>> {
+    let mut applied = Vec::new();
+    loop {
+        let mut changed = false;
+        for node in rep.tree().bottom_up() {
+            while rep.tree().can_push_up(node) {
+                push_up(rep, node)?;
+                applied.push(node);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(applied)
+}
+
+/// Internal helper used by other operators: after a structural change, the
+/// unions over `node` might hold entries in a different order; this verifies
+/// (in debug builds) that sortedness still holds.
+#[allow(dead_code)]
+pub(crate) fn debug_assert_sorted(rep: &mut FRep, node: NodeId) {
+    if cfg!(debug_assertions) {
+        visit_unions_of_node_mut(rep.roots_mut(), node, &mut |u: &mut Union| {
+            debug_assert!(
+                u.entries.windows(2).all(|w| w[0].value < w[1].value),
+                "union over {node} lost its value order"
+            );
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize;
+    use crate::frep::Entry;
+    use fdb_common::{AttrId, Value};
+    use fdb_ftree::{DepEdge, FTree};
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// A representation over the tree A{0} → B{1} where B does *not* depend
+    /// on A (two separate unary relations):
+    /// ⟨A:1⟩×(⟨B:5⟩∪⟨B:6⟩) ∪ ⟨A:2⟩×(⟨B:5⟩∪⟨B:6⟩).
+    fn independent_pair() -> FRep {
+        let edges = vec![
+            DepEdge::new("R", attrs(&[0]), 2),
+            DepEdge::new("S", attrs(&[1]), 2),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let b_union = || {
+            Union::new(b, vec![Entry::leaf(Value::new(5)), Entry::leaf(Value::new(6))])
+        };
+        let a_union = Union::new(
+            a,
+            vec![
+                Entry { value: Value::new(1), children: vec![b_union()] },
+                Entry { value: Value::new(2), children: vec![b_union()] },
+            ],
+        );
+        FRep::from_parts(tree, vec![a_union]).unwrap()
+    }
+
+    #[test]
+    fn push_up_factors_out_the_common_subexpression() {
+        let mut rep = independent_pair();
+        let before = materialize(&rep).unwrap().tuple_set();
+        let size_before = rep.size(); // 2 A-singletons + 4 B-singletons = 6
+        assert_eq!(size_before, 6);
+        let b = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        push_up(&mut rep, b).unwrap();
+        rep.validate().unwrap();
+        // Now (⋃A) × (⋃B): 2 + 2 = 4 singletons, same represented relation.
+        assert_eq!(rep.size(), 4);
+        assert_eq!(rep.tree().roots().len(), 2);
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+    }
+
+    #[test]
+    fn push_up_is_rejected_when_dependent() {
+        // A and B in the same relation: the B-unions under different A values
+        // are genuinely different, so push-up must refuse.
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 3)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let a_union = Union::new(
+            a,
+            vec![Entry {
+                value: Value::new(1),
+                children: vec![Union::new(b, vec![Entry::leaf(Value::new(5))])],
+            }],
+        );
+        let mut rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        assert!(push_up(&mut rep, b).is_err());
+        assert!(push_up(&mut rep, a).is_err()); // roots cannot be pushed up
+    }
+
+    #[test]
+    fn normalise_reaches_a_normalised_tree_and_preserves_the_relation() {
+        let mut rep = independent_pair();
+        let before = materialize(&rep).unwrap().tuple_set();
+        let applied = normalise(&mut rep).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert!(rep.tree().is_normalised());
+        rep.validate().unwrap();
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+        // Normalising again is a no-op.
+        assert!(normalise(&mut rep).unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_up_deeper_in_the_tree_keeps_context() {
+        // Tree: C{2} → A{0} → B{1}; relations: {2,0} and {1} and {2}.
+        // B is independent of A, so it can be pushed up to be a child of C;
+        // the B-union must stay inside each C-entry.
+        let edges = vec![
+            DepEdge::new("RCA", attrs(&[2, 0]), 2),
+            DepEdge::new("SB", attrs(&[1]), 1),
+        ];
+        let mut tree = FTree::new(edges);
+        let c = tree.add_node(attrs(&[2]), None).unwrap();
+        let a = tree.add_node(attrs(&[0]), Some(c)).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let make_b = || Union::new(b, vec![Entry::leaf(Value::new(9))]);
+        let make_a = |vals: &[u64]| {
+            Union::new(
+                a,
+                vals.iter()
+                    .map(|&v| Entry { value: Value::new(v), children: vec![make_b()] })
+                    .collect(),
+            )
+        };
+        let c_union = Union::new(
+            c,
+            vec![
+                Entry { value: Value::new(1), children: vec![make_a(&[10, 11])] },
+                Entry { value: Value::new(2), children: vec![make_a(&[12])] },
+            ],
+        );
+        let mut rep = FRep::from_parts(tree, vec![c_union]).unwrap();
+        let before = materialize(&rep).unwrap().tuple_set();
+        assert_eq!(rep.size(), 8);
+        push_up(&mut rep, b).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(rep.tree().parent(b), Some(c));
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+        // Size shrinks: the two B singletons under C=1 collapse into one.
+        assert_eq!(rep.size(), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Selection with a constant, `σ_{A θ c}`.
+//!
+//! The operator scans every union over the node labelled by `A` and keeps
+//! only the entries whose value satisfies the comparison.  Unions that become
+//! empty make the surrounding products empty, so the representation is pruned
+//! afterwards.  For an equality comparison the node is additionally marked as
+//! bound to the constant: every remaining `A`-value equals `c`, so the node
+//! no longer contributes to the size bound `s(T)`.
+
+use crate::frep::{FRep, Union};
+use crate::ops::visit_unions_of_node_mut;
+use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+
+/// Selection with constant `σ_{attr θ value}` on the representation.
+pub fn select_const(
+    rep: &mut FRep,
+    attr: AttrId,
+    op: ComparisonOp,
+    value: Value,
+) -> Result<()> {
+    let Some(node) = rep.tree().node_of_attr(attr) else {
+        return Err(FdbError::AttributeNotInQuery { attr: format!("{attr}") });
+    };
+    visit_unions_of_node_mut(rep.roots_mut(), node, &mut |union: &mut Union| {
+        union.entries.retain(|entry| op.eval(entry.value, value));
+    });
+    if op == ComparisonOp::Eq {
+        rep.tree_mut().bind_constant(node, value)?;
+    }
+    rep.prune_empty();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize;
+    use crate::frep::Entry;
+    use fdb_ftree::{DepEdge, FTree, NodeId};
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// A{0} → B{1}: A=1 → B{10,20}, A=2 → B{20}, A=3 → B{30,40}.
+    fn sample() -> (FRep, NodeId, NodeId) {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 5)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let entry = |v: u64, bs: &[u64]| Entry {
+            value: Value::new(v),
+            children: vec![Union::new(
+                b,
+                bs.iter().map(|&x| Entry::leaf(Value::new(x))).collect(),
+            )],
+        };
+        let u = Union::new(a, vec![entry(1, &[10, 20]), entry(2, &[20]), entry(3, &[30, 40])]);
+        (FRep::from_parts(tree, vec![u]).unwrap(), a, b)
+    }
+
+    #[test]
+    fn equality_selection_binds_the_node() {
+        let (mut rep, a, _) = sample();
+        select_const(&mut rep, AttrId(0), ComparisonOp::Eq, Value::new(2)).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(rep.tuple_count(), 1);
+        assert_eq!(rep.tree().constant(a), Some(Value::new(2)));
+        let flat = materialize(&rep).unwrap();
+        assert_eq!(flat.row(0), &[Value::new(2), Value::new(20)]);
+        // Binding the constant removes the node from the size bound.
+        assert!((fdb_ftree::s_cost(rep.tree()).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_selection_keeps_matching_entries() {
+        let (mut rep, a, _) = sample();
+        select_const(&mut rep, AttrId(0), ComparisonOp::Ge, Value::new(2)).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(rep.tuple_count(), 3);
+        assert_eq!(rep.tree().constant(a), None);
+    }
+
+    #[test]
+    fn selection_on_an_inner_child_prunes_empty_parents() {
+        let (mut rep, _, _) = sample();
+        // Only B > 25 survives: the A=1 and A=2 entries must disappear.
+        select_const(&mut rep, AttrId(1), ComparisonOp::Gt, Value::new(25)).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(rep.roots()[0].len(), 1);
+        assert_eq!(rep.roots()[0].entries[0].value, Value::new(3));
+        assert_eq!(rep.tuple_count(), 2);
+    }
+
+    #[test]
+    fn selection_that_matches_nothing_empties_the_representation() {
+        let (mut rep, _, _) = sample();
+        select_const(&mut rep, AttrId(0), ComparisonOp::Eq, Value::new(99)).unwrap();
+        rep.validate().unwrap();
+        assert!(rep.represents_empty());
+        assert_eq!(rep.size(), 0);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (mut rep, _, _) = sample();
+        assert!(select_const(&mut rep, AttrId(9), ComparisonOp::Eq, Value::new(1)).is_err());
+    }
+
+    #[test]
+    fn ne_selection_removes_a_single_value() {
+        let (mut rep, _, _) = sample();
+        let before = materialize(&rep).unwrap();
+        select_const(&mut rep, AttrId(1), ComparisonOp::Ne, Value::new(20)).unwrap();
+        rep.validate().unwrap();
+        let after = materialize(&rep).unwrap();
+        let col = before.col_index(AttrId(1)).unwrap();
+        let expected: BTreeSet<Vec<Value>> =
+            before.rows().filter(|r| r[col] != Value::new(20)).map(|r| r.to_vec()).collect();
+        assert_eq!(after.tuple_set(), expected);
+    }
+}

@@ -1,0 +1,287 @@
+//! The swap operator `χ_{A,B}`.
+//!
+//! Swap exchanges a node `B` with its parent `A`: the representation grouped
+//! first by `A` then `B` is regrouped first by `B` then `A` (Figure 3(b)):
+//!
+//! ```text
+//! ⋃_a ⟨A:a⟩ × E_a × ⋃_b (⟨B:b⟩ × F_b × G_ab)
+//!     ⇒  ⋃_b ⟨B:b⟩ × F_b × ⋃_a (⟨A:a⟩ × E_a × G_ab)
+//! ```
+//!
+//! where `E_a` are the subtrees under `A`, `F_b` the children of `B` that do
+//! not depend on `A` (they stay with `B`), and `G_ab` the children of `B`
+//! that do depend on `A` (they follow `A` down).  The regrouping is the
+//! sort-merge equivalent of the paper's Figure 4 priority-queue algorithm:
+//! values of `B` are gathered into an ordered map, and for each `B`-value the
+//! pairing `A`-values arrive in increasing order because the outer union is
+//! already sorted — the same `O(N log N)` bound with the same output.
+
+use crate::frep::{Entry, FRep, Union};
+use crate::ops::visit_contexts_of_node_mut;
+use fdb_common::{FdbError, Result, Value};
+use fdb_ftree::{NodeId, SwapOutcome};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Swap operator `χ_{A,B}` where `b`'s parent is `A`: regroups the
+/// representation by `B` before `A` and updates the f-tree accordingly.
+pub fn swap(rep: &mut FRep, b: NodeId) -> Result<SwapOutcome> {
+    rep.tree().check_node(b)?;
+    let Some(a) = rep.tree().parent(b) else {
+        return Err(FdbError::InvalidOperator { detail: format!("swap: {b} is a root") });
+    };
+    let grandparent = rep.tree().parent(a);
+    // Which children of B depend on A (G_ab, they follow A down) and which do
+    // not (F_b, they stay with B) — must match what the tree-level swap does.
+    let moved_down: BTreeSet<NodeId> = rep
+        .tree()
+        .children(b)
+        .iter()
+        .copied()
+        .filter(|&c| rep.tree().depends_on_subtree(a, c))
+        .collect();
+
+    visit_contexts_of_node_mut(rep, grandparent, &mut |context: &mut Vec<Union>| {
+        for union in context.iter_mut() {
+            if union.node == a {
+                let old = std::mem::replace(union, Union::empty(a));
+                *union = regroup(old, a, b, &moved_down);
+            }
+        }
+    });
+
+    let outcome = rep.tree_mut().swap_with_parent(b)?;
+    debug_assert_eq!(
+        outcome.moved_down.iter().copied().collect::<BTreeSet<_>>(),
+        moved_down,
+        "tree-level and data-level dependency splits must agree"
+    );
+    Ok(outcome)
+}
+
+/// Regroups one `A`-union into the corresponding `B`-union.
+fn regroup(a_union: Union, a: NodeId, b: NodeId, moved_down: &BTreeSet<NodeId>) -> Union {
+    struct PerB {
+        /// The F_b factors (children of B independent of A), captured from
+        /// the first (a, b) pair — all copies are equal by independence.
+        f_b: Option<Vec<Union>>,
+        /// The inner union over A being assembled for this B value.
+        a_entries: Vec<Entry>,
+    }
+    let mut by_b: BTreeMap<Value, PerB> = BTreeMap::new();
+
+    for a_entry in a_union.entries {
+        let a_value = a_entry.value;
+        let mut children = a_entry.children;
+        let b_pos = children
+            .iter()
+            .position(|u| u.node == b)
+            .expect("validated representation: every A-entry has a B child union");
+        let b_union = children.remove(b_pos);
+        let e_a = children; // the T_A subtrees
+
+        for b_entry in b_union.entries {
+            let (g_ab, f_b): (Vec<Union>, Vec<Union>) =
+                b_entry.children.into_iter().partition(|u| moved_down.contains(&u.node));
+            let slot = by_b
+                .entry(b_entry.value)
+                .or_insert(PerB { f_b: None, a_entries: Vec::new() });
+            if slot.f_b.is_none() {
+                slot.f_b = Some(f_b);
+            }
+            let mut new_children = e_a.clone();
+            new_children.extend(g_ab);
+            slot.a_entries.push(Entry { value: a_value, children: new_children });
+        }
+    }
+
+    let entries: Vec<Entry> = by_b
+        .into_iter()
+        .map(|(b_value, slot)| {
+            let mut children = slot.f_b.unwrap_or_default();
+            children.push(Union::new(a, slot.a_entries));
+            Entry { value: b_value, children }
+        })
+        .collect();
+    Union::new(b, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize;
+    use fdb_common::AttrId;
+    use fdb_ftree::{DepEdge, FTree};
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// The grocery Q1 result of Example 1 over the f-tree T1
+    /// (item → (oid, location → dispatcher)), with values encoded as
+    /// integers: Milk=1, Cheese=2, Melon=3; Istanbul=1, Izmir=2, Antalya=3;
+    /// Adnan=1, Yasemin=2, Volkan=3.
+    fn grocery_q1_over_t1() -> FRep {
+        // Attribute ids: oid=0, Orders.item=1, Store.location=2,
+        // Store.item=3, dispatcher=4, Disp.location=5.
+        let edges = vec![
+            DepEdge::new("Orders", attrs(&[0, 1]), 5),
+            DepEdge::new("Store", attrs(&[2, 3]), 6),
+            DepEdge::new("Disp", attrs(&[4, 5]), 4),
+        ];
+        let mut tree = FTree::new(edges);
+        let item = tree.add_node(attrs(&[1, 3]), None).unwrap();
+        let oid = tree.add_node(attrs(&[0]), Some(item)).unwrap();
+        let location = tree.add_node(attrs(&[2, 5]), Some(item)).unwrap();
+        let dispatcher = tree.add_node(attrs(&[4]), Some(location)).unwrap();
+
+        let disp_union = |vals: &[u64]| {
+            Union::new(dispatcher, vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect())
+        };
+        let loc_entry = |loc: u64, dispatchers: &[u64]| Entry {
+            value: Value::new(loc),
+            children: vec![disp_union(dispatchers)],
+        };
+        let oid_union = |vals: &[u64]| {
+            Union::new(oid, vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect())
+        };
+        // Milk: orders {1}, locations Istanbul{Adnan,Yasemin}, Izmir{Adnan}, Antalya{Volkan}
+        // Cheese: orders {1,3}, locations Istanbul{Adnan,Yasemin}, Antalya{Volkan}
+        // Melon: orders {2,3}, locations Istanbul{Adnan,Yasemin}
+        let item_union = Union::new(
+            item,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![
+                        oid_union(&[1]),
+                        Union::new(
+                            location,
+                            vec![loc_entry(1, &[1, 2]), loc_entry(2, &[1]), loc_entry(3, &[3])],
+                        ),
+                    ],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![
+                        oid_union(&[1, 3]),
+                        Union::new(location, vec![loc_entry(1, &[1, 2]), loc_entry(3, &[3])]),
+                    ],
+                },
+                Entry {
+                    value: Value::new(3),
+                    children: vec![
+                        oid_union(&[2, 3]),
+                        Union::new(location, vec![loc_entry(1, &[1, 2])]),
+                    ],
+                },
+            ],
+        );
+        FRep::from_parts(tree, vec![item_union]).unwrap()
+    }
+
+    #[test]
+    fn swapping_item_and_location_matches_example1() {
+        // χ_{item,location} turns the T1 factorisation into the T2
+        // factorisation of Example 1: grouped by location first.
+        let mut rep = grocery_q1_over_t1();
+        let before = materialize(&rep).unwrap().tuple_set();
+        let location = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        let item = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let outcome = swap(&mut rep, location).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(outcome.new_parent, location);
+        assert_eq!(outcome.old_parent, item);
+        // dispatcher stays with location, oid follows item (it depends on it).
+        assert_eq!(outcome.kept.len(), 1);
+        assert!(outcome.moved_down.is_empty());
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+        // T2 of Example 1: the root union now ranges over the three
+        // locations; under Istanbul there are three items.
+        let root = &rep.roots()[0];
+        assert_eq!(root.node, location);
+        assert_eq!(root.len(), 3);
+        let istanbul = root.find_value(Value::new(1)).unwrap();
+        let item_union = istanbul.child(item).unwrap();
+        assert_eq!(item_union.len(), 3);
+    }
+
+    #[test]
+    fn swap_back_restores_the_original_grouping() {
+        let mut rep = grocery_q1_over_t1();
+        let original_key = rep.tree().canonical_key();
+        let original_size = rep.size();
+        let before = materialize(&rep).unwrap().tuple_set();
+        let location = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        swap(&mut rep, location).unwrap();
+        let item = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        swap(&mut rep, item).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(rep.tree().canonical_key(), original_key);
+        assert_eq!(rep.size(), original_size);
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+    }
+
+    #[test]
+    fn swap_rejects_roots() {
+        let mut rep = grocery_q1_over_t1();
+        let item = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        assert!(swap(&mut rep, item).is_err());
+    }
+
+    #[test]
+    fn dependent_children_follow_the_old_parent_down() {
+        // Tree A{0} → B{1} → (C{2}, D{3}) with relations {0,1}, {0,2}, {1,3}:
+        // C depends on A (G_ab), D does not (F_b).
+        let edges = vec![
+            DepEdge::new("RAB", attrs(&[0, 1]), 1),
+            DepEdge::new("RAC", attrs(&[0, 2]), 1),
+            DepEdge::new("RBD", attrs(&[1, 3]), 1),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+        let d = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+
+        // Data: A=1 with B∈{10, 20}; under (1,10): C={100}, D={7};
+        //       under (1,20): C={200}, D={8};  A=2 with B={10}: C={300}, D={7}.
+        let b_entry = |bv: u64, cv: u64, dv: u64| Entry {
+            value: Value::new(bv),
+            children: vec![
+                Union::new(c, vec![Entry::leaf(Value::new(cv))]),
+                Union::new(d, vec![Entry::leaf(Value::new(dv))]),
+            ],
+        };
+        let a_union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(b, vec![b_entry(10, 100, 7), b_entry(20, 200, 8)])],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![b_entry(10, 300, 7)])],
+                },
+            ],
+        );
+        let mut rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        let before = materialize(&rep).unwrap().tuple_set();
+        let outcome = swap(&mut rep, b).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(outcome.moved_down, vec![c]);
+        assert_eq!(outcome.kept, vec![d]);
+        assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
+        // Structure: root over B with values 10, 20; under B=10 the D-union
+        // {7} is shared while the A-union has entries 1 and 2 with their own
+        // C-unions.
+        let root = &rep.roots()[0];
+        assert_eq!(root.node, b);
+        assert_eq!(root.len(), 2);
+        let b10 = root.find_value(Value::new(10)).unwrap();
+        assert_eq!(b10.child(a).unwrap().len(), 2);
+        assert_eq!(b10.child(d).unwrap().len(), 1);
+        let a1 = b10.child(a).unwrap().find_value(Value::new(1)).unwrap();
+        assert_eq!(a1.child(c).unwrap().entries[0].value, Value::new(100));
+    }
+}

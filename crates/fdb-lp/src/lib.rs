@@ -1,0 +1,25 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The FDB paper computes the parameter `s(T)` of an f-tree as the maximum
+//! *fractional edge cover number* over its root-to-leaf paths, and solves the
+//! corresponding covering linear programs with GLPK.  GLPK is not available
+//! here, so this crate provides the substrate from scratch: a dense,
+//! two-phase primal simplex solver that is more than sufficient for the tiny
+//! programs FDB generates (a handful of variables — one per relation on the
+//! path — and a handful of constraints — one per attribute class on the
+//! path).
+//!
+//! The crate exposes two layers:
+//!
+//! * [`LinearProgram`] / [`Solution`]: a general `min cᵀx s.t. Ax {≥,≤,=} b,
+//!   x ≥ 0` solver, solved by the two-phase primal simplex in [`simplex`].
+//! * [`cover::fractional_edge_cover`] and [`cover::integral_edge_cover`]:
+//!   the specific hypergraph edge-cover numbers used for `s(T)`.
+
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod simplex;
+
+pub use cover::{fractional_edge_cover, integral_edge_cover, CoverInstance};
+pub use simplex::{ConstraintSense, LinearProgram, Solution};

@@ -1,0 +1,279 @@
+//! F-plans: sequences of f-plan operators.
+//!
+//! Operators are described at the schema level (node identifiers of the
+//! input f-tree, attribute identifiers for selections and projections).  The
+//! same plan can be *simulated* on an f-tree alone (used by the optimisers
+//! to cost candidate plans without touching data) or *executed* on an
+//! f-representation (which transforms both the data and its tree).
+
+use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_frep::{ops, FRep};
+use fdb_ftree::{FTree, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One f-plan operator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FPlanOp {
+    /// Push-up `ψ_B`: lift `node` above its parent.
+    PushUp(NodeId),
+    /// Normalisation `η`: push up nodes until the tree is normalised.
+    Normalise,
+    /// Swap `χ`: exchange `node` with its parent.
+    Swap(NodeId),
+    /// Merge `µ`: fuse the two sibling nodes (enforces equality of their
+    /// classes); the first node survives.
+    Merge(NodeId, NodeId),
+    /// Absorb `α`: fuse the descendant (second) node into the ancestor
+    /// (first) node, then normalise.
+    Absorb(NodeId, NodeId),
+    /// Selection with a constant `σ_{A θ c}`.
+    SelectConst {
+        /// Attribute compared against the constant.
+        attr: AttrId,
+        /// Comparison operator.
+        op: ComparisonOp,
+        /// The constant.
+        value: Value,
+    },
+    /// Projection `π` onto the given attributes.
+    Project(BTreeSet<AttrId>),
+}
+
+impl fmt::Display for FPlanOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FPlanOp::PushUp(n) => write!(f, "ψ({n})"),
+            FPlanOp::Normalise => write!(f, "η"),
+            FPlanOp::Swap(n) => write!(f, "χ({n})"),
+            FPlanOp::Merge(a, b) => write!(f, "µ({a},{b})"),
+            FPlanOp::Absorb(a, b) => write!(f, "α({a},{b})"),
+            FPlanOp::SelectConst { attr, op, value } => write!(f, "σ({attr} {op:?} {value})"),
+            FPlanOp::Project(attrs) => write!(f, "π({} attrs)", attrs.len()),
+        }
+    }
+}
+
+impl FPlanOp {
+    /// Applies the operator to an f-tree only (schema-level simulation).
+    pub fn apply_to_tree(&self, tree: &mut FTree) -> Result<()> {
+        match self {
+            FPlanOp::PushUp(n) => tree.push_up(*n),
+            FPlanOp::Normalise => {
+                tree.normalise();
+                Ok(())
+            }
+            FPlanOp::Swap(n) => tree.swap_with_parent(*n).map(|_| ()),
+            FPlanOp::Merge(a, b) => tree.merge_siblings(*a, *b).map(|_| ()),
+            FPlanOp::Absorb(a, b) => {
+                tree.absorb_into_ancestor(*a, *b)?;
+                tree.normalise();
+                Ok(())
+            }
+            FPlanOp::SelectConst { attr, op, value } => {
+                let Some(node) = tree.node_of_attr(*attr) else {
+                    return Err(FdbError::AttributeNotInQuery { attr: format!("{attr}") });
+                };
+                if *op == ComparisonOp::Eq {
+                    tree.bind_constant(node, *value)?;
+                }
+                Ok(())
+            }
+            FPlanOp::Project(keep) => {
+                let all = tree.all_attrs();
+                let marked: BTreeSet<AttrId> = all.difference(keep).copied().collect();
+                tree.mark_attrs_projected(&marked);
+                // Schema-level projection: repeatedly drop exhausted leaves;
+                // fully-projected inner nodes are kept (they would be swapped
+                // to leaves during execution, which does not change s(T) for
+                // the worse).
+                loop {
+                    let removable = tree.removable_projected_leaves();
+                    if removable.is_empty() {
+                        break;
+                    }
+                    for leaf in removable {
+                        tree.remove_projected_leaf(leaf)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes the operator on an f-representation (data level).
+    pub fn execute(&self, rep: &mut FRep) -> Result<()> {
+        match self {
+            FPlanOp::PushUp(n) => ops::push_up(rep, *n),
+            FPlanOp::Normalise => ops::normalise(rep).map(|_| ()),
+            FPlanOp::Swap(n) => ops::swap(rep, *n).map(|_| ()),
+            FPlanOp::Merge(a, b) => ops::merge(rep, *a, *b).map(|_| ()),
+            FPlanOp::Absorb(a, b) => ops::absorb(rep, *a, *b).map(|_| ()),
+            FPlanOp::SelectConst { attr, op, value } => ops::select_const(rep, *attr, *op, *value),
+            FPlanOp::Project(keep) => ops::project(rep, keep),
+        }
+    }
+}
+
+/// A sequence of f-plan operators.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FPlan {
+    /// The operators, in execution order.
+    pub ops: Vec<FPlanOp>,
+}
+
+impl FPlan {
+    /// The empty plan (the identity transformation).
+    pub fn empty() -> Self {
+        FPlan { ops: Vec::new() }
+    }
+
+    /// Creates a plan from a list of operators.
+    pub fn new(ops: Vec<FPlanOp>) -> Self {
+        FPlan { ops }
+    }
+
+    /// Number of operators in the plan.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an operator.
+    pub fn push(&mut self, op: FPlanOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends all operators of another plan.
+    pub fn extend(&mut self, other: FPlan) {
+        self.ops.extend(other.ops);
+    }
+
+    /// Simulates the plan on a copy of the given f-tree, returning every
+    /// intermediate tree (including the input as the first element and the
+    /// final tree as the last).
+    pub fn simulate(&self, tree: &FTree) -> Result<Vec<FTree>> {
+        let mut trees = Vec::with_capacity(self.ops.len() + 1);
+        let mut current = tree.clone();
+        trees.push(current.clone());
+        for op in &self.ops {
+            op.apply_to_tree(&mut current)?;
+            trees.push(current.clone());
+        }
+        Ok(trees)
+    }
+
+    /// Returns the final f-tree after simulating the plan.
+    pub fn final_tree(&self, tree: &FTree) -> Result<FTree> {
+        let mut current = tree.clone();
+        for op in &self.ops {
+            op.apply_to_tree(&mut current)?;
+        }
+        Ok(current)
+    }
+
+    /// Executes the plan on the representation, transforming it in place.
+    pub fn execute(&self, rep: &mut FRep) -> Result<()> {
+        for op in &self.ops {
+            op.execute(rep)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.ops.iter().map(|op| op.to_string()).collect();
+        write!(f, "[{}]", parts.join(" ; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_frep::{Entry, Union};
+    use fdb_ftree::DepEdge;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// item{0,2} → (oid{1}, supplier{3}) over Orders{1,0} and Produce{3,2},
+    /// already merged on item — a mini version of the paper's T5.
+    fn sample_rep() -> FRep {
+        let edges = vec![
+            DepEdge::new("Orders", attrs(&[0, 1]), 3),
+            DepEdge::new("Produce", attrs(&[2, 3]), 3),
+        ];
+        let mut tree = FTree::new(edges);
+        let item = tree.add_node(attrs(&[0, 2]), None).unwrap();
+        let oid = tree.add_node(attrs(&[1]), Some(item)).unwrap();
+        let supplier = tree.add_node(attrs(&[3]), Some(item)).unwrap();
+        let entry = |v: u64, oids: &[u64], sups: &[u64]| Entry {
+            value: Value::new(v),
+            children: vec![
+                Union::new(oid, oids.iter().map(|&x| Entry::leaf(Value::new(x))).collect()),
+                Union::new(supplier, sups.iter().map(|&x| Entry::leaf(Value::new(x))).collect()),
+            ],
+        };
+        let u = Union::new(item, vec![entry(1, &[10, 11], &[7]), entry(2, &[12], &[7, 8])]);
+        FRep::from_parts(tree, vec![u]).unwrap()
+    }
+
+    #[test]
+    fn simulate_and_execute_stay_consistent() {
+        let rep = sample_rep();
+        let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let plan = FPlan::new(vec![
+            FPlanOp::Swap(oid),
+            FPlanOp::SelectConst { attr: AttrId(3), op: ComparisonOp::Eq, value: Value::new(7) },
+            FPlanOp::Project(attrs(&[1, 3])),
+        ]);
+        // Schema-level simulation.
+        let trees = plan.simulate(rep.tree()).unwrap();
+        assert_eq!(trees.len(), 4);
+        let final_tree = plan.final_tree(rep.tree()).unwrap();
+        assert_eq!(trees.last().unwrap().canonical_key(), final_tree.canonical_key());
+        // Data-level execution ends up over the same tree shape.
+        let mut executed = rep.clone();
+        plan.execute(&mut executed).unwrap();
+        executed.validate().unwrap();
+        assert_eq!(
+            executed.visible_attrs(),
+            vec![AttrId(1), AttrId(3)],
+            "projection kept only oid and supplier"
+        );
+    }
+
+    #[test]
+    fn plan_display_is_readable() {
+        let plan = FPlan::new(vec![FPlanOp::Normalise, FPlanOp::Swap(NodeId(1))]);
+        let text = plan.to_string();
+        assert!(text.contains("η"));
+        assert!(text.contains("χ(n1)"));
+    }
+
+    #[test]
+    fn invalid_operator_is_reported() {
+        let rep = sample_rep();
+        let item = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        // Swapping a root is invalid both in simulation and execution.
+        let plan = FPlan::new(vec![FPlanOp::Swap(item)]);
+        assert!(plan.simulate(rep.tree()).is_err());
+        let mut rep = rep;
+        assert!(plan.execute(&mut rep).is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let rep = sample_rep();
+        let plan = FPlan::empty();
+        assert!(plan.is_empty());
+        let final_tree = plan.final_tree(rep.tree()).unwrap();
+        assert_eq!(final_tree.canonical_key(), rep.tree().canonical_key());
+    }
+}

@@ -1,0 +1,33 @@
+//! F-plans and query optimisation for factorised databases.
+//!
+//! An *f-plan* is a sequence of f-plan operators (swap, merge, absorb,
+//! push-up, selection with a constant, projection) that evaluates a
+//! select-project-join query over a factorised representation.  This crate
+//! provides:
+//!
+//! * the [`FPlan`] / [`FPlanOp`] description of plans ([`fplan`]), their
+//!   schema-level simulation on f-trees and their data-level execution on
+//!   f-representations;
+//! * the two cost measures of the paper's Section 4.1 ([`cost`]): the
+//!   asymptotic measure based on the size-bound parameter `s(T)` of every
+//!   intermediate f-tree, and the estimate-based measure derived from
+//!   relation cardinalities;
+//! * the optimisers ([`optimizer`]):
+//!   - [`optimizer::ftree_search`] finds an optimal (minimum `s(T)`) f-tree
+//!     of a query over flat input — Experiment 1 of the paper;
+//!   - [`optimizer::exhaustive`] runs Dijkstra over the space of normalised
+//!     f-trees reachable by f-plan operators to find an optimal f-plan for a
+//!     query over factorised input — Section 4.2;
+//!   - [`optimizer::greedy`] is the polynomial-time heuristic of Section 4.3.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fplan;
+pub mod optimizer;
+
+pub use cost::{estimate_frep_size, CostModel, FPlanCost};
+pub use fplan::{FPlan, FPlanOp};
+pub use optimizer::exhaustive::{ExhaustiveOptimizer, ExhaustiveConfig};
+pub use optimizer::ftree_search::{optimal_ftree, FTreeSearchResult};
+pub use optimizer::greedy::GreedyOptimizer;

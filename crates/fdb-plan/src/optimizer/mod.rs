@@ -1,0 +1,30 @@
+//! Query optimisers for factorised data.
+//!
+//! * [`ftree_search`] — finds an optimal f-tree (minimum `s(T)`) for a query
+//!   over *flat* relational input, searching the space of normalised f-trees
+//!   by recursive decomposition with memoisation (Experiment 1).
+//! * [`exhaustive`] — finds an optimal f-plan for a conjunction of equality
+//!   selections over *factorised* input by running Dijkstra over the space
+//!   of f-trees reachable through f-plan operators (Section 4.2).
+//! * [`greedy`] — the polynomial-time heuristic that restructures only the
+//!   nodes participating in selection conditions and orders the conditions
+//!   by the cost of their individual plans (Section 4.3).
+
+pub mod exhaustive;
+pub mod ftree_search;
+pub mod greedy;
+
+use crate::cost::FPlanCost;
+use crate::fplan::FPlan;
+
+/// The outcome of f-plan optimisation: the chosen plan, its cost, and how
+/// much of the search space was explored.
+#[derive(Clone, Debug)]
+pub struct OptimizedPlan {
+    /// The chosen f-plan.
+    pub plan: FPlan,
+    /// Cost of the chosen plan under the asymptotic measure.
+    pub cost: FPlanCost,
+    /// Number of f-trees (states) examined by the optimiser.
+    pub explored_states: usize,
+}

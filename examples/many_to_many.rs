@@ -1,0 +1,79 @@
+//! Many-to-many workload: the scenario where factorisation shines.
+//!
+//! Generates the paper's Experiment-3 style dataset (three ternary relations,
+//! values drawn uniformly or Zipf-skewed from [1, 100]) and sweeps the
+//! relation size, comparing FDB's factorised result sizes and evaluation
+//! times against the flat RDB baseline.
+//!
+//! ```bash
+//! cargo run --release --example many_to_many
+//! ```
+
+use fdb::common::{Query, RelId};
+use fdb::datagen::{populate, random_query, random_schema, ValueDistribution};
+use fdb::engine::FdbEngine;
+use fdb::relation::{EvalLimits, RdbEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+    // Three relations of three attributes each, as in Figure 7.
+    let catalog = random_schema(&mut rng, 3, 9);
+    let relations: Vec<RelId> = catalog.rels().collect();
+
+    println!(
+        "{:>12} {:>6} {:>9} {:>16} {:>16} {:>12} {:>12}",
+        "distribution", "N", "K", "FDB singletons", "RDB data elems", "FDB time", "RDB time"
+    );
+
+    for distribution in [ValueDistribution::Uniform, ValueDistribution::Zipf(1.0)] {
+        for n in [500usize, 1_000, 2_000] {
+            let db = populate(&mut rng, &catalog, n, 100, distribution);
+            for k in [2usize, 3, 4] {
+                let query: Query = random_query(&mut rng, &catalog, &relations, k);
+
+                let fdb_start = Instant::now();
+                let fdb_out = FdbEngine::new().evaluate_flat(&db, &query).expect("FDB evaluates");
+                let fdb_time = fdb_start.elapsed();
+
+                // The flat baseline gets a timeout so the sweep always
+                // finishes — exactly how the paper reports missing points.
+                let rdb = RdbEngine::new().with_limits(
+                    EvalLimits::unlimited()
+                        .with_timeout(Duration::from_secs(10))
+                        .with_max_tuples(5_000_000),
+                );
+                let rdb_start = Instant::now();
+                let rdb_result = rdb.evaluate(&db, &query);
+                let rdb_time = rdb_start.elapsed();
+                let (rdb_size, rdb_label) = match &rdb_result {
+                    Ok(rel) => (rel.data_element_count().to_string(), format!("{rdb_time:?}")),
+                    Err(_) => ("—".to_string(), "timeout".to_string()),
+                };
+
+                let dist_label = match distribution {
+                    ValueDistribution::Uniform => "uniform",
+                    ValueDistribution::Zipf(_) => "zipf",
+                };
+                println!(
+                    "{:>12} {:>6} {:>9} {:>16} {:>16} {:>12} {:>12}",
+                    dist_label,
+                    n,
+                    k,
+                    fdb_out.stats.result_size,
+                    rdb_size,
+                    format!("{fdb_time:?}"),
+                    rdb_label,
+                );
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "Factorised results stay orders of magnitude smaller than the flat ones as N grows,\n\
+         and FDB's evaluation time follows its (small) output size — the behaviour of Figure 7."
+    );
+}

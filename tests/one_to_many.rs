@@ -1,0 +1,116 @@
+//! The paper's observation about one-to-many (key–foreign-key) joins: when
+//! joins are on keys, result sizes grow only linearly in the input, so the
+//! advantage of factorisation shrinks to roughly the number of relations in
+//! the query — unlike the many-to-many case where it is orders of magnitude.
+
+use fdb::common::{Catalog, Query};
+use fdb::engine::FdbEngine;
+use fdb::frep::materialize;
+use fdb::relation::{Database, RdbEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a star-schema-like database: a fact table referencing two
+/// dimension tables by key (every foreign key matches exactly one dimension
+/// row — a pure one-to-many setting).
+fn key_foreign_key_db(facts: usize, dims: usize) -> (Database, Query) {
+    let mut catalog = Catalog::new();
+    let (fact, _) = catalog.add_relation("Fact", &["fid", "d1_fk", "d2_fk"]);
+    let (dim1, _) = catalog.add_relation("Dim1", &["d1_id", "d1_payload"]);
+    let (dim2, _) = catalog.add_relation("Dim2", &["d2_id", "d2_payload"]);
+    let mut db = Database::new(catalog.clone());
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let fact_rows: Vec<Vec<u64>> = (0..facts)
+        .map(|i| {
+            vec![i as u64 + 1, rng.gen_range(1..=dims as u64), rng.gen_range(1..=dims as u64)]
+        })
+        .collect();
+    db.insert_raw_rows(fact, &fact_rows).unwrap();
+    let dim_rows: Vec<Vec<u64>> = (1..=dims as u64).map(|i| vec![i, 1000 + i]).collect();
+    db.insert_raw_rows(dim1, &dim_rows).unwrap();
+    db.insert_raw_rows(dim2, &dim_rows).unwrap();
+
+    let query = Query::product(vec![fact, dim1, dim2])
+        .with_equality(
+            catalog.find_attr("Fact.d1_fk").unwrap(),
+            catalog.find_attr("Dim1.d1_id").unwrap(),
+        )
+        .with_equality(
+            catalog.find_attr("Fact.d2_fk").unwrap(),
+            catalog.find_attr("Dim2.d2_id").unwrap(),
+        );
+    (db, query)
+}
+
+#[test]
+fn key_foreign_key_joins_grow_linearly_and_engines_agree() {
+    let (db, query) = key_foreign_key_db(400, 25);
+    let fdb = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+    let rdb = RdbEngine::new().evaluate(&db, &query).unwrap();
+
+    // One result tuple per fact row: the join result does not exceed the
+    // relation with the foreign keys, exactly as the paper notes for TPC-H.
+    assert_eq!(rdb.len(), 400);
+    assert_eq!(fdb.stats.result_tuples, 400);
+    let mut attrs = rdb.attrs().to_vec();
+    attrs.sort_unstable();
+    assert_eq!(
+        materialize(&fdb.result).unwrap().tuple_set(),
+        rdb.reorder_columns(&attrs).unwrap().tuple_set()
+    );
+}
+
+#[test]
+fn key_foreign_key_gap_is_a_small_constant_factor() {
+    let (db, query) = key_foreign_key_db(600, 30);
+    let fdb = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+    let rdb = RdbEngine::new().evaluate(&db, &query).unwrap();
+
+    let flat_elements = rdb.data_element_count() as f64;
+    let singletons = fdb.stats.result_size as f64;
+    let ratio = flat_elements / singletons;
+    // Factorised is still smaller, but only by a factor around the number of
+    // relations in the query (the paper: "only by a factor that is
+    // approximately the number of relations"), not by orders of magnitude.
+    assert!(ratio >= 1.0, "factorisation never loses");
+    assert!(
+        ratio <= 10.0,
+        "one-to-many joins must not show the many-to-many blow-up (ratio {ratio})"
+    );
+    // The size-bound parameter s(T) is oblivious to key constraints (it is a
+    // worst-case bound over all databases), so it may still be 2 here; the
+    // *actual* sizes above are what stay linear.
+    assert!(fdb.stats.plan_cost <= 2.0 + 1e-6);
+}
+
+#[test]
+fn many_to_many_control_shows_the_contrast() {
+    // Same shape of query but with heavily repeated join values: the gap now
+    // widens far beyond the relation count, the behaviour Experiment 3 is
+    // built around.  This is the control case for the two tests above.
+    let mut catalog = Catalog::new();
+    let (r, _) = catalog.add_relation("R", &["a", "j1"]);
+    let (s, _) = catalog.add_relation("S", &["j1b", "j2"]);
+    let (t, _) = catalog.add_relation("T", &["j2b", "b"]);
+    let mut db = Database::new(catalog.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    for rel in [r, s, t] {
+        let rows: Vec<Vec<u64>> =
+            (0..500).map(|_| vec![rng.gen_range(1..=5u64), rng.gen_range(1..=5u64)]).collect();
+        let mut dedup = rows;
+        dedup.sort();
+        dedup.dedup();
+        db.insert_raw_rows(rel, &dedup).unwrap();
+    }
+    let query = Query::product(vec![r, s, t])
+        .with_equality(catalog.find_attr("R.j1").unwrap(), catalog.find_attr("S.j1b").unwrap())
+        .with_equality(catalog.find_attr("S.j2").unwrap(), catalog.find_attr("T.j2b").unwrap());
+    let fdb = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+    let rdb = RdbEngine::new().evaluate(&db, &query).unwrap();
+    let ratio = rdb.data_element_count() as f64 / fdb.stats.result_size as f64;
+    assert!(
+        ratio > 10.0,
+        "many-to-many joins must show a much larger factorisation gap (ratio {ratio})"
+    );
+}

@@ -1,0 +1,129 @@
+//! Size-bound tests: factorised representations respect the `O(|D|^{s(T)})`
+//! bound of the paper, and factorisation beats flat representation by the
+//! expected margins on the paper's characteristic workloads.
+
+use fdb::common::{Query, RelId};
+use fdb::datagen::{populate, random_schema, ValueDistribution};
+use fdb::engine::FdbEngine;
+use fdb::ftree::s_cost;
+use fdb::lp::{fractional_edge_cover, integral_edge_cover, CoverInstance};
+use fdb::plan::optimal_ftree;
+use fdb::relation::RdbEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A product of independent relations factorises to the *sum* of the input
+/// sizes while its flat representation is their product (the introduction's
+/// motivating example: exponential gap in the number of relations).
+#[test]
+fn product_queries_factorise_to_linear_size() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for relations in 2..=4usize {
+        let catalog = random_schema(&mut rng, relations, relations);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, 20, 1_000, ValueDistribution::Uniform);
+        let query = Query::product(rels);
+        let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        // Factorised: Σ |R_i| singletons.  Flat: Π |R_i| tuples × arity.
+        assert_eq!(out.stats.result_size, 20 * relations);
+        assert_eq!(out.stats.result_tuples, 20u128.pow(relations as u32));
+        assert!((out.stats.plan_cost - 1.0).abs() < 1e-6);
+    }
+}
+
+/// The size of the factorised result is bounded by `|D|^{s(T)}` (up to the
+/// number of attributes as a constant factor), and `s(T)` computed for the
+/// chosen tree matches the optimiser's reported cost.
+#[test]
+fn factorised_sizes_respect_the_s_bound() {
+    let mut rng = StdRng::seed_from_u64(123);
+    for seed in 0..8u64 {
+        let catalog = random_schema(&mut rng, 3, 6 + (seed as usize % 3));
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, 60, 10, ValueDistribution::Uniform);
+        let query = fdb::datagen::random_query(&mut rng, &catalog, &rels, 2);
+        let search = optimal_ftree(&catalog, &query, |r| db.rel_len(r) as u64).unwrap();
+        let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        assert!((s_cost(out.result.tree()).unwrap() - out.stats.result_tree_cost).abs() < 1e-6);
+        assert!((search.cost - out.stats.plan_cost).abs() < 1e-6);
+
+        let d = db.total_data_elements() as f64;
+        let attrs = catalog.attr_count() as f64;
+        let bound = attrs * d.powf(search.cost);
+        assert!(
+            (out.stats.result_size as f64) <= bound + 1e-6,
+            "seed {seed}: size {} exceeds A·|D|^s = {bound}",
+            out.stats.result_size
+        );
+    }
+}
+
+/// The chain-join family of Example 6: a chain of n relations factorises in
+/// polynomial size although the flat result grows much faster; the optimal
+/// cost for a 4-chain is 2 while the flat result already needs 4 columns ×
+/// up to |R|² tuples.
+#[test]
+fn chain_joins_show_the_exponential_gap() {
+    let mut catalog = fdb::common::Catalog::new();
+    let mut rels = Vec::new();
+    for i in 0..4 {
+        let (r, _) = catalog.add_relation(&format!("R{i}"), &["A", "B"]);
+        rels.push(r);
+    }
+    // Bipartite-clique data: every relation pairs all of 1..=m with 1..=m,
+    // the worst case for flat joins and the best case for factorisation.
+    let m = 12u64;
+    let mut db = fdb::relation::Database::new(catalog.clone());
+    for &r in &rels {
+        let rows: Vec<Vec<u64>> =
+            (1..=m).flat_map(|a| (1..=m).map(move |b| vec![a, b])).collect();
+        db.insert_raw_rows(r, &rows).unwrap();
+    }
+    let attr = |i: usize, name: &str| catalog.find_attr(&format!("R{i}.{name}")).unwrap();
+    let query = Query::product(rels)
+        .with_equality(attr(0, "B"), attr(1, "A"))
+        .with_equality(attr(1, "B"), attr(2, "A"))
+        .with_equality(attr(2, "B"), attr(3, "A"));
+
+    let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+    let flat = RdbEngine::new().evaluate(&db, &query).unwrap();
+    // Flat: m^5 tuples of 8 attributes.  Factorised: the optimiser guarantees
+    // a cost-2 f-tree, i.e. O(|R|²) = O(m⁴) singletons — in practice far
+    // fewer — while the flat representation needs 8·m⁵ data elements.
+    assert_eq!(flat.len() as u128, (m as u128).pow(5));
+    assert!((out.stats.plan_cost - 2.0).abs() < 1e-6);
+    assert!(out.stats.result_size < 2 * (m as usize).pow(4));
+    assert!(
+        (flat.data_element_count() as f64) / (out.stats.result_size as f64) > 50.0,
+        "factorisation must win by well over an order of magnitude on chain joins"
+    );
+}
+
+/// The fractional edge cover solver agrees with the integral one on small
+/// instances (and never exceeds it) — the foundation the cost model rests on.
+#[test]
+fn fractional_cover_is_consistent_with_integral_cover() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        use rand::Rng;
+        let vertices = rng.gen_range(1..7usize);
+        let edges = rng.gen_range(1..6usize);
+        let mut instance = CoverInstance::new(vertices);
+        for _ in 0..edges {
+            let size = rng.gen_range(1..=vertices);
+            let mut members: Vec<usize> = (0..vertices).collect();
+            use rand::seq::SliceRandom;
+            members.shuffle(&mut rng);
+            instance.add_edge(members.into_iter().take(size).collect());
+        }
+        if !instance.is_coverable() {
+            assert!(fractional_edge_cover(&instance).is_err());
+            assert_eq!(integral_edge_cover(&instance), None);
+            continue;
+        }
+        let frac = fractional_edge_cover(&instance).unwrap();
+        let int = integral_edge_cover(&instance).unwrap() as f64;
+        assert!(frac <= int + 1e-6, "fractional {frac} must not exceed integral {int}");
+        assert!(frac >= 1.0 - 1e-6, "non-empty instances need at least weight 1");
+    }
+}
