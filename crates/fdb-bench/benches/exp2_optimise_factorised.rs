@@ -21,7 +21,9 @@ fn bench_optimisers(c: &mut Criterion) {
         let catalog = random_schema(&mut rng, 4, 10);
         let rels: Vec<RelId> = catalog.rels().collect();
         let base = random_query(&mut rng, &catalog, &rels, k);
-        let input_tree = optimal_ftree(&catalog, &base, |_| 1).expect("base tree").tree;
+        let input_tree = optimal_ftree(&catalog, &base, |_| 1)
+            .expect("base tree")
+            .tree;
         let follow = random_followup_equalities(&mut rng, &catalog, &base, l);
         if follow.len() < l {
             continue;
@@ -31,14 +33,22 @@ fn bench_optimisers(c: &mut Criterion) {
             BenchmarkId::new("full_search", format!("K{k}_L{l}")),
             &(input_tree.clone(), follow.clone()),
             |b, (tree, eqs)| {
-                b.iter(|| ExhaustiveOptimizer::new().optimize(tree, eqs).expect("optimises"));
+                b.iter(|| {
+                    ExhaustiveOptimizer::new()
+                        .optimize(tree, eqs)
+                        .expect("optimises")
+                });
             },
         );
         group.bench_with_input(
             BenchmarkId::new("greedy", format!("K{k}_L{l}")),
             &(input_tree, follow),
             |b, (tree, eqs)| {
-                b.iter(|| GreedyOptimizer::new().optimize(tree, eqs).expect("optimises"));
+                b.iter(|| {
+                    GreedyOptimizer::new()
+                        .optimize(tree, eqs)
+                        .expect("optimises")
+                });
             },
         );
     }

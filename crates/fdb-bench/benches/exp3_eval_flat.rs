@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdb_common::RelId;
 use fdb_core::FdbEngine;
-use fdb_datagen::{combinatorial_database, populate, random_query, random_schema, ValueDistribution};
+use fdb_datagen::{
+    combinatorial_database, populate, random_query, random_schema, ValueDistribution,
+};
 use fdb_relation::{EvalLimits, RdbEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +31,11 @@ fn bench_scaling(c: &mut Criterion) {
                 BenchmarkId::new("FDB", format!("N{n}_K{k}")),
                 &(db.clone(), query.clone()),
                 |b, (db, query)| {
-                    b.iter(|| FdbEngine::new().evaluate_flat(db, query).expect("evaluates"));
+                    b.iter(|| {
+                        FdbEngine::new()
+                            .evaluate_flat(db, query)
+                            .expect("evaluates")
+                    });
                 },
             );
             let rdb = RdbEngine::new().with_limits(
@@ -67,7 +73,11 @@ fn bench_combinatorial(c: &mut Criterion) {
             BenchmarkId::new("FDB", format!("K{k}")),
             &(db.clone(), query.clone()),
             |b, (db, query)| {
-                b.iter(|| FdbEngine::new().evaluate_flat(db, query).expect("evaluates"));
+                b.iter(|| {
+                    FdbEngine::new()
+                        .evaluate_flat(db, query)
+                        .expect("evaluates")
+                });
             },
         );
         let rdb = RdbEngine::new().with_limits(

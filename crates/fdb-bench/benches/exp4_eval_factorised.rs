@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdb_common::RelId;
 use fdb_core::{FactorisedQuery, FdbEngine};
-use fdb_datagen::{combinatorial_database, random_followup_equalities, random_query, ValueDistribution};
+use fdb_datagen::{
+    combinatorial_database, random_followup_equalities, random_query, ValueDistribution,
+};
 use fdb_relation::{EvalLimits, RdbEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +27,9 @@ fn bench_factorised_eval(c: &mut Criterion) {
 
     for &(k, l) in &[(4usize, 1usize), (4, 2), (6, 2)] {
         let base_query = random_query(&mut rng, &catalog, &rels, k);
-        let base = engine.evaluate_flat(&db, &base_query).expect("base query evaluates");
+        let base = engine
+            .evaluate_flat(&db, &base_query)
+            .expect("base query evaluates");
         let rdb = RdbEngine::new().with_limits(
             EvalLimits::unlimited()
                 .with_timeout(Duration::from_secs(30))

@@ -9,8 +9,40 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures; `EXPERIMENTS.md` records a full run.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, report, Scale};
 use std::time::Instant;
+
+/// Runs the PR 1 enumeration benchmark and writes its machine-readable
+/// output.  With `--baseline`, writes `BENCH_BASELINE.json` (raw rows) for a
+/// later run to compare against; otherwise writes `BENCH_PR1.json`, merging
+/// `BENCH_BASELINE.json` (if present in the working directory) and reporting
+/// per-workload and geometric-mean speedups.
+fn run_bench_pr1(baseline_mode: bool) {
+    let start = Instant::now();
+    let rows = pr1::run();
+    for row in &rows {
+        println!(
+            "{:<26} {:>12} tuples  {:>12.0} tuples/s  (reps {}, materialize {:.4}s)",
+            row.name, row.tuples, row.tuples_per_sec, row.reps, row.materialize_seconds
+        );
+    }
+    if baseline_mode {
+        std::fs::write("BENCH_BASELINE.json", pr1::render_json(&rows))
+            .expect("writing BENCH_BASELINE.json");
+        println!("\nwrote BENCH_BASELINE.json");
+    } else {
+        let baseline_rows = std::fs::read_to_string("BENCH_BASELINE.json")
+            .ok()
+            .map(|text| pr1::parse_json(&text));
+        let output = pr1::render_comparison_json(&rows, baseline_rows.as_deref());
+        std::fs::write("BENCH_PR1.json", &output).expect("writing BENCH_PR1.json");
+        println!("\nwrote BENCH_PR1.json");
+        if baseline_rows.is_none() {
+            println!("(no BENCH_BASELINE.json found — emitted fresh rows only)");
+        }
+    }
+    println!("(bench-pr1 finished in {:?})\n", start.elapsed());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +54,11 @@ fn main() {
         .filter(|a| !a.starts_with('-'))
         .collect();
     let run_all = which.is_empty() || which.contains(&"all");
+
+    if which.contains(&"bench-pr1") {
+        run_bench_pr1(args.iter().any(|a| a == "--baseline"));
+        return;
+    }
 
     println!(
         "FDB experiment harness — scale: {:?} (use --quick for a fast run)\n",

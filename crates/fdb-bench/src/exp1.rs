@@ -79,7 +79,13 @@ mod tests {
         assert_eq!(rows.len(), 9);
         // Queries over one or two relations always have optimal cost 1.
         for row in rows.iter().filter(|r| r.relations <= 2) {
-            assert!((row.cost - 1.0).abs() < 1e-6, "R={} K={} cost={}", row.relations, row.equalities, row.cost);
+            assert!(
+                (row.cost - 1.0).abs() < 1e-6,
+                "R={} K={} cost={}",
+                row.relations,
+                row.equalities,
+                row.cost
+            );
         }
         // Costs never exceed the number of relations and never drop below 1.
         for row in &rows {

@@ -133,7 +133,10 @@ mod tests {
                 row.query_equalities
             );
             assert!(row.full_plan_cost >= 1.0 - 1e-9);
-            assert!(row.full_plan_cost <= 2.5, "plan costs stay small on this workload");
+            assert!(
+                row.full_plan_cost <= 2.5,
+                "plan costs stay small on this workload"
+            );
             assert!(row.full_result_cost <= row.full_plan_cost + 1e-6);
         }
     }

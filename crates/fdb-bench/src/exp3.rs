@@ -20,7 +20,9 @@
 use crate::Scale;
 use fdb_common::{Query, RelId};
 use fdb_core::FdbEngine;
-use fdb_datagen::{combinatorial_database, populate, random_query, random_schema, ValueDistribution};
+use fdb_datagen::{
+    combinatorial_database, populate, random_query, random_schema, ValueDistribution,
+};
 use fdb_relation::{Database, EvalLimits, RdbEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -231,8 +233,10 @@ mod tests {
                 "factorised size {fdb_size} exceeded flat size {rdb_size}"
             );
             // Both engines agree on the number of result tuples.
-            if let (Measurement::Finished { tuples: ft, .. }, Measurement::Finished { tuples: rt, .. }) =
-                (&row.fdb, &row.rdb)
+            if let (
+                Measurement::Finished { tuples: ft, .. },
+                Measurement::Finished { tuples: rt, .. },
+            ) = (&row.fdb, &row.rdb)
             {
                 assert_eq!(ft, rt, "tuple counts diverge on {}", row.workload);
             }
@@ -253,9 +257,17 @@ mod tests {
             let fdb_size = row.fdb.size().expect("FDB never times out here");
             // FDB factorises the combinatorial result into a few thousand
             // singletons (the paper reports < 4k for all K).
-            assert!(fdb_size < 10_000, "K={} produced {} singletons", row.equalities, fdb_size);
+            assert!(
+                fdb_size < 10_000,
+                "K={} produced {} singletons",
+                row.equalities,
+                fdb_size
+            );
             if let Some(rdb_size) = row.rdb.size() {
-                assert!(rdb_size > fdb_size, "flat result must dwarf the factorised one");
+                assert!(
+                    rdb_size > fdb_size,
+                    "flat result must dwarf the factorised one"
+                );
             }
         }
     }

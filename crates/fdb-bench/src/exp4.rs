@@ -15,7 +15,9 @@ use crate::exp3::Measurement;
 use crate::Scale;
 use fdb_common::{AttrId, Query, RelId};
 use fdb_core::{FactorisedQuery, FdbEngine};
-use fdb_datagen::{combinatorial_database, random_followup_equalities, random_query, ValueDistribution};
+use fdb_datagen::{
+    combinatorial_database, random_followup_equalities, random_query, ValueDistribution,
+};
 use fdb_relation::{EvalLimits, LimitChecker, RdbEngine, Relation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,7 +91,7 @@ fn rdb_select_scan(
         if cols.iter().all(|&(ca, cb)| row[ca] == row[cb]) {
             out.push_row(row)?;
             produced += 1;
-            if produced % 4096 == 0 {
+            if produced.is_multiple_of(4096) {
                 checker.check(produced)?;
             }
         }
@@ -119,7 +121,9 @@ pub fn run_with_config(config: &Exp4Config) -> Vec<Exp4Row> {
             continue;
         }
         // The factorised input (FDB) and the flat input (RDB).
-        let Ok(base_fdb) = engine.evaluate_flat(&db, &base_query) else { continue };
+        let Ok(base_fdb) = engine.evaluate_flat(&db, &base_query) else {
+            continue;
+        };
         let rdb_engine = RdbEngine::new().with_limits(
             EvalLimits::unlimited()
                 .with_timeout(config.timeout)
@@ -136,9 +140,10 @@ pub fn run_with_config(config: &Exp4Config) -> Vec<Exp4Row> {
             // FDB: optimise and run the f-plan on the factorised input.
             let fdb = {
                 let start = Instant::now();
-                match engine
-                    .evaluate_factorised(&base_fdb.result, &FactorisedQuery::equalities(follow.clone()))
-                {
+                match engine.evaluate_factorised(
+                    &base_fdb.result,
+                    &FactorisedQuery::equalities(follow.clone()),
+                ) {
                     Ok(out) => Measurement::Finished {
                         time: start.elapsed(),
                         size: out.stats.result_size as u64,
@@ -199,12 +204,27 @@ mod tests {
         assert!(!rows.is_empty());
         for row in &rows {
             if let (
-                Measurement::Finished { tuples: ft, size: fsize, .. },
-                Measurement::Finished { tuples: rt, size: rsize, .. },
+                Measurement::Finished {
+                    tuples: ft,
+                    size: fsize,
+                    ..
+                },
+                Measurement::Finished {
+                    tuples: rt,
+                    size: rsize,
+                    ..
+                },
             ) = (&row.fdb, &row.rdb)
             {
-                assert_eq!(ft, rt, "K={} L={}", row.input_equalities, row.query_equalities);
-                assert!(fsize <= rsize, "factorised result must not exceed the flat one");
+                assert_eq!(
+                    ft, rt,
+                    "K={} L={}",
+                    row.input_equalities, row.query_equalities
+                );
+                assert!(
+                    fsize <= rsize,
+                    "factorised result must not exceed the flat one"
+                );
             }
         }
     }

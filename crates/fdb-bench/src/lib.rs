@@ -24,6 +24,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod pr1;
 pub mod report;
 
 /// Scale of an experiment run.

@@ -1,0 +1,357 @@
+//! PR 1 enumeration benchmark: constant-delay enumeration throughput.
+//!
+//! Measures how fast [`fdb_frep::for_each_tuple`] walks factorised query
+//! results — the hot loop the arena-backed representation refactor targets —
+//! on the workloads of Experiments 3 and 4 plus the paper's grocery example:
+//!
+//! * `grocery_q1q2_join` — the Example 2 join of the grocery Q1 and Q2
+//!   results, enumerated repeatedly (the representation is tiny, so the
+//!   benchmark spins many repetitions);
+//! * `exp3_scaling_N3000_K3` — the factorised result of a 3-equality query
+//!   over three ternary relations of 3 000 tuples (uniform values);
+//! * `exp3_combinatorial_K3` — the factorised result of a 3-equality query
+//!   over the combinatorial dataset;
+//! * `exp4_followup_K3_L1` — the result of a 1-equality follow-up query
+//!   evaluated *on* the factorised K = 3 input.
+//!
+//! Every row reports full-enumeration throughput (tuples per second, best of
+//! several timed repetitions) and one `materialize` wall time.  The
+//! `experiments` binary serialises the rows as machine-readable JSON
+//! (`BENCH_PR1.json`), one row object per line, so before/after comparisons
+//! can be scripted.
+
+use fdb_core::{FactorisedQuery, FdbEngine};
+use fdb_datagen::{
+    combinatorial_database, grocery_database, populate, random_followup_equalities, random_query,
+    random_schema, ValueDistribution,
+};
+use fdb_frep::{for_each_tuple, materialize, ops, FRep};
+use fdb_relation::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct Pr1Row {
+    /// Workload name (stable across refactors, used to pair baselines).
+    pub name: String,
+    /// Number of singletons of the enumerated representation.
+    pub singletons: u64,
+    /// Number of tuples one full enumeration produces.
+    pub tuples: u128,
+    /// Enumeration repetitions per timed measurement.
+    pub reps: u32,
+    /// Wall time of the best timed measurement (`reps` full enumerations).
+    pub enum_seconds: f64,
+    /// Enumeration throughput: `reps × tuples / enum_seconds`.
+    pub tuples_per_sec: f64,
+    /// Wall time of one `materialize` call.
+    pub materialize_seconds: f64,
+}
+
+/// Total tuples a timed measurement should aim to enumerate.
+const TARGET_TUPLES_PER_MEASUREMENT: u128 = 4_000_000;
+/// Timed measurements per row; the best (fastest) one is reported.
+const MEASUREMENTS: usize = 5;
+
+/// Measures one representation, spinning enough repetitions to make the
+/// timing robust even for tiny inputs.
+fn measure(name: &str, rep: &FRep) -> Pr1Row {
+    let tuples = rep.tuple_count();
+    let reps: u32 = TARGET_TUPLES_PER_MEASUREMENT
+        .checked_div(tuples)
+        .map_or(1, |r| r.clamp(1, 200_000) as u32);
+
+    // Warm-up plus a checksum so the enumeration cannot be optimised away.
+    let mut checksum = 0u64;
+    let mut enumerated = 0u128;
+    for_each_tuple(rep, |t| {
+        enumerated += 1;
+        for v in t {
+            checksum = checksum.wrapping_add(v.raw());
+        }
+    });
+    assert_eq!(
+        enumerated, tuples,
+        "{name}: tuple_count disagrees with enumeration"
+    );
+
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASUREMENTS {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let mut sink = 0u64;
+            for_each_tuple(rep, |t| {
+                for v in t {
+                    sink = sink.wrapping_add(v.raw());
+                }
+            });
+            assert_eq!(
+                sink, checksum,
+                "{name}: enumeration changed between repetitions"
+            );
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+
+    let mat_start = Instant::now();
+    let flat = materialize(rep).expect("materialisation succeeds");
+    let materialize_seconds = mat_start.elapsed().as_secs_f64();
+    assert_eq!(flat.len() as u128, tuples, "{name}: materialize row count");
+
+    Pr1Row {
+        name: name.to_string(),
+        singletons: rep.size() as u64,
+        tuples,
+        reps,
+        enum_seconds: best,
+        tuples_per_sec: (reps as u128 * tuples) as f64 / best.max(1e-12),
+        materialize_seconds,
+    }
+}
+
+/// The grocery Example 2 join: Q1 ⋈ Q2 on item and location, kept factorised.
+fn grocery_join() -> FRep {
+    let g = grocery_database();
+    let engine = FdbEngine::new();
+    let r1 = engine.evaluate_flat(&g.db, &g.q1()).expect("Q1 evaluates");
+    let r2 = engine.evaluate_flat(&g.db, &g.q2()).expect("Q2 evaluates");
+    let product = ops::product(r1.result, r2.result).expect("disjoint attributes");
+    let fq = FactorisedQuery::equalities(vec![
+        (g.attr("Orders.item"), g.attr("Produce.item")),
+        (g.attr("Store.location"), g.attr("Serve.location")),
+    ]);
+    engine
+        .evaluate_factorised(&product, &fq)
+        .expect("join evaluates")
+        .result
+}
+
+/// Tuple-count band a benchmark representation should fall into: enough
+/// tuples for the timing to be dominated by enumeration, few enough for the
+/// sweep to stay fast.
+const TUPLE_BAND: std::ops::RangeInclusive<u128> = 50_000..=50_000_000;
+
+/// The exp3 scaling workload representation (uniform, N = 3000): the first
+/// K = 3 query (scanning deterministic seeds) whose result lands in the
+/// benchmark's tuple band.
+fn exp3_scaling() -> FRep {
+    for seed in 0u64.. {
+        let mut rng = StdRng::seed_from_u64(0x5031_3A33 ^ seed);
+        let catalog = random_schema(&mut rng, 3, 9);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, 3_000, 100, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 3);
+        let rep = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("scaling query evaluates")
+            .result;
+        if TUPLE_BAND.contains(&rep.tuple_count()) {
+            return rep;
+        }
+    }
+    unreachable!("some seed produces a result in the tuple band");
+}
+
+/// The combinatorial database and a K-equality factorised result in the
+/// benchmark's tuple band (scanning deterministic seeds).
+fn exp3_combinatorial(k: usize) -> (Database, fdb_common::Query, FRep) {
+    for seed in 0u64.. {
+        let mut rng = StdRng::seed_from_u64(0x5031_3A43 ^ seed);
+        let db = combinatorial_database(&mut rng, ValueDistribution::Uniform);
+        let catalog = db.catalog().clone();
+        let rels: Vec<_> = catalog.rels().collect();
+        let query = random_query(&mut rng, &catalog, &rels, k);
+        let rep = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("combinatorial query evaluates")
+            .result;
+        if TUPLE_BAND.contains(&rep.tuple_count()) {
+            return (db, query, rep);
+        }
+    }
+    unreachable!("some seed produces a result in the tuple band");
+}
+
+/// Runs the full PR 1 benchmark.
+pub fn run() -> Vec<Pr1Row> {
+    let mut rows = Vec::new();
+
+    rows.push(measure("grocery_q1q2_join", &grocery_join()));
+    rows.push(measure("exp3_scaling_N3000_K3", &exp3_scaling()));
+
+    let (db, base_query, base_rep) = exp3_combinatorial(3);
+    rows.push(measure("exp3_combinatorial_K3", &base_rep));
+
+    // A follow-up query on the factorised input whose result still has a
+    // meaningful number of tuples (L = 1, first seed that is non-empty).
+    for seed in 0u64.. {
+        let mut rng = StdRng::seed_from_u64(0x5031_3A44 ^ seed);
+        let follow = random_followup_equalities(&mut rng, db.catalog(), &base_query, 1);
+        if follow.is_empty() {
+            continue;
+        }
+        let followed = FdbEngine::new()
+            .evaluate_factorised(&base_rep, &FactorisedQuery::equalities(follow))
+            .expect("follow-up evaluates")
+            .result;
+        if followed.tuple_count() >= 1_000 {
+            rows.push(measure("exp4_followup_K3_L1", &followed));
+            break;
+        }
+    }
+
+    rows
+}
+
+/// Serialises rows as JSON: one row object per line inside a `rows` array.
+pub fn render_json(rows: &[Pr1Row]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr1-frep-enumeration\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"tuples\": {}, \"reps\": {}, \
+             \"enum_seconds\": {:.6}, \"tuples_per_sec\": {:.1}, \"materialize_seconds\": {:.6}}}{}",
+            row.name,
+            row.singletons,
+            row.tuples,
+            row.reps,
+            row.enum_seconds,
+            row.tuples_per_sec,
+            row.materialize_seconds,
+            comma
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses rows back from the JSON rendered by [`render_json`] (line-oriented;
+/// used to pair a committed baseline with a fresh run).
+pub fn parse_json(text: &str) -> Vec<Pr1Row> {
+    fn field(line: &str, key: &str) -> Option<String> {
+        let pos = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[pos..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    }
+    text.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|line| {
+            Some(Pr1Row {
+                name: field(line, "name")?,
+                singletons: field(line, "singletons")?.parse().ok()?,
+                tuples: field(line, "tuples")?.parse().ok()?,
+                reps: field(line, "reps")?.parse().ok()?,
+                enum_seconds: field(line, "enum_seconds")?.parse().ok()?,
+                tuples_per_sec: field(line, "tuples_per_sec")?.parse().ok()?,
+                materialize_seconds: field(line, "materialize_seconds")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Renders the PR 1 comparison JSON: the fresh rows plus, when a baseline is
+/// available, the baseline rows and per-row/geometric-mean speedups.
+pub fn render_comparison_json(current: &[Pr1Row], baseline: Option<&[Pr1Row]>) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr1-frep-enumeration\",\n");
+    out.push_str("  \"arena\": ");
+    out.push_str(&indent_block(&render_json(current)));
+    if let Some(base) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(&indent_block(&render_json(base)));
+        let mut speedups = Vec::new();
+        out.push_str(",\n  \"speedup_tuples_per_sec\": {\n");
+        let paired: Vec<_> = current
+            .iter()
+            .filter_map(|c| base.iter().find(|b| b.name == c.name).map(|b| (c, b)))
+            .collect();
+        for (i, (c, b)) in paired.iter().enumerate() {
+            let ratio = c.tuples_per_sec / b.tuples_per_sec.max(1e-12);
+            speedups.push(ratio);
+            let comma = if i + 1 < paired.len() { "," } else { "" };
+            writeln!(out, "    \"{}\": {:.3}{}", c.name, ratio, comma).expect("string write");
+        }
+        out.push_str("  },\n");
+        let geomean = if speedups.is_empty() {
+            0.0
+        } else {
+            (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+        };
+        writeln!(out, "  \"speedup_geomean\": {geomean:.3}").expect("string write");
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent_block(json: &str) -> String {
+    let mut out = String::new();
+    for (i, line) in json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rows_round_trip() {
+        let rows = vec![Pr1Row {
+            name: "sample".into(),
+            singletons: 42,
+            tuples: 1_000,
+            reps: 7,
+            enum_seconds: 0.25,
+            tuples_per_sec: 28_000.0,
+            materialize_seconds: 0.125,
+        }];
+        let parsed = parse_json(&render_json(&rows));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "sample");
+        assert_eq!(parsed[0].singletons, 42);
+        assert_eq!(parsed[0].tuples, 1_000);
+        assert_eq!(parsed[0].reps, 7);
+        assert!((parsed[0].tuples_per_sec - 28_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comparison_reports_speedups() {
+        let base = vec![Pr1Row {
+            name: "w".into(),
+            singletons: 1,
+            tuples: 10,
+            reps: 1,
+            enum_seconds: 1.0,
+            tuples_per_sec: 10.0,
+            materialize_seconds: 1.0,
+        }];
+        let mut current = base.clone();
+        current[0].tuples_per_sec = 25.0;
+        let text = render_comparison_json(&current, Some(&base));
+        assert!(text.contains("\"w\": 2.500"));
+        assert!(text.contains("\"speedup_geomean\": 2.500"));
+        // Without a baseline the comparison is still valid JSON-ish output.
+        let solo = render_comparison_json(&current, None);
+        assert!(solo.contains("\"arena\""));
+        assert!(!solo.contains("baseline"));
+    }
+
+    #[test]
+    fn grocery_measurement_is_consistent() {
+        let row = measure("grocery", &grocery_join());
+        assert!(row.tuples > 0);
+        assert!(row.tuples_per_sec > 0.0);
+        assert!(row.reps >= 1);
+    }
+}

@@ -31,8 +31,15 @@ fn fmt_measurement(m: &Measurement) -> (String, String) {
 /// Renders the Experiment 1 table (Figure 5).
 pub fn render_exp1(rows: &[Exp1Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Experiment 1 — query optimisation on flat data (Figure 5)");
-    let _ = writeln!(out, "{:>3} {:>3} {:>14} {:>10}", "R", "K", "opt time", "s(T)");
+    let _ = writeln!(
+        out,
+        "Experiment 1 — query optimisation on flat data (Figure 5)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} {:>3} {:>14} {:>10}",
+        "R", "K", "opt time", "s(T)"
+    );
     for row in rows {
         let _ = writeln!(
             out,
@@ -56,7 +63,14 @@ pub fn render_exp2(rows: &[Exp2Row]) -> String {
     let _ = writeln!(
         out,
         "{:>3} {:>3} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "K", "L", "full s(f)", "full s(T)", "greedy s(f)", "greedy s(T)", "full time", "greedy time"
+        "K",
+        "L",
+        "full s(f)",
+        "full s(T)",
+        "greedy s(f)",
+        "greedy s(T)",
+        "full time",
+        "greedy time"
     );
     for row in rows {
         let _ = writeln!(
@@ -83,11 +97,22 @@ pub fn render_exp2(rows: &[Exp2Row]) -> String {
 /// measurement by those constant factors.
 pub fn render_exp3(rows: &[Exp3Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Experiment 3 — query evaluation on flat data (Figure 7)");
+    let _ = writeln!(
+        out,
+        "Experiment 3 — query evaluation on flat data (Figure 7)"
+    );
     let _ = writeln!(
         out,
         "{:>16} {:>7} {:>3} {:>14} {:>16} {:>12} {:>12} {:>14} {:>14}",
-        "workload", "N", "K", "FDB singles", "RDB elements", "FDB time", "RDB time", "~SQLite time", "~PostgreSQL"
+        "workload",
+        "N",
+        "K",
+        "FDB singles",
+        "RDB elements",
+        "FDB time",
+        "RDB time",
+        "~SQLite time",
+        "~PostgreSQL"
     );
     for row in rows {
         let (fdb_size, fdb_time) = fmt_measurement(&row.fdb);
@@ -119,11 +144,21 @@ pub fn render_exp3(rows: &[Exp3Row]) -> String {
 /// Renders the Experiment 4 table (Figure 8).
 pub fn render_exp4(rows: &[Exp4Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Experiment 4 — query evaluation on factorised data (Figure 8)");
+    let _ = writeln!(
+        out,
+        "Experiment 4 — query evaluation on factorised data (Figure 8)"
+    );
     let _ = writeln!(
         out,
         "{:>3} {:>3} {:>14} {:>16} {:>14} {:>16} {:>12} {:>12}",
-        "K", "L", "input singles", "input elements", "FDB singles", "RDB elements", "FDB time", "RDB time"
+        "K",
+        "L",
+        "input singles",
+        "input elements",
+        "FDB singles",
+        "RDB elements",
+        "FDB time",
+        "RDB time"
     );
     for row in rows {
         let (fdb_size, fdb_time) = fmt_measurement(&row.fdb);
@@ -134,7 +169,11 @@ pub fn render_exp4(rows: &[Exp4Row]) -> String {
             row.input_equalities,
             row.query_equalities,
             row.input_singletons,
-            if row.input_data_elements == 0 { "—".into() } else { row.input_data_elements.to_string() },
+            if row.input_data_elements == 0 {
+                "—".into()
+            } else {
+                row.input_data_elements.to_string()
+            },
             fdb_size,
             rdb_size,
             fdb_time,

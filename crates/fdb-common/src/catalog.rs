@@ -82,7 +82,9 @@ impl Catalog {
 
     /// Starts building a catalog.
     pub fn builder() -> CatalogBuilder {
-        CatalogBuilder { catalog: Catalog::new() }
+        CatalogBuilder {
+            catalog: Catalog::new(),
+        }
     }
 
     /// Adds a relation with the given attribute names, returning the new
@@ -96,10 +98,16 @@ impl Catalog {
         let mut attrs = Vec::with_capacity(attr_names.len());
         for attr_name in attr_names {
             let attr = AttrId(self.attrs.len() as u32);
-            self.attrs.push(AttrMeta { name: attr_name.as_ref().to_owned(), rel });
+            self.attrs.push(AttrMeta {
+                name: attr_name.as_ref().to_owned(),
+                rel,
+            });
             attrs.push(attr);
         }
-        self.rels.push(RelMeta { name: name.to_owned(), attrs: attrs.clone() });
+        self.rels.push(RelMeta {
+            name: name.to_owned(),
+            attrs: attrs.clone(),
+        });
         (rel, attrs)
     }
 
@@ -278,7 +286,10 @@ mod tests {
             cat.check_attr(AttrId(6)),
             Err(FdbError::UnknownAttribute { attr: 6 })
         );
-        assert_eq!(cat.check_rel(RelId(9)), Err(FdbError::UnknownRelation { rel: 9 }));
+        assert_eq!(
+            cat.check_rel(RelId(9)),
+            Err(FdbError::UnknownRelation { rel: 9 })
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl fmt::Display for FdbError {
             FdbError::UnknownAttribute { attr } => write!(f, "unknown attribute id {attr}"),
             FdbError::UnknownRelation { rel } => write!(f, "unknown relation id {rel}"),
             FdbError::ArityMismatch { expected, actual } => {
-                write!(f, "arity mismatch: expected {expected} values, got {actual}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, got {actual}"
+                )
             }
             FdbError::AttributeNotInQuery { attr } => {
                 write!(f, "attribute {attr} does not occur in the query")
@@ -89,7 +92,10 @@ impl fmt::Display for FdbError {
                 write!(f, "f-tree violates the path constraint: {detail}")
             }
             FdbError::InvalidOperator { detail } => {
-                write!(f, "operator applied in an unsupported configuration: {detail}")
+                write!(
+                    f,
+                    "operator applied in an unsupported configuration: {detail}"
+                )
             }
             FdbError::MalformedRepresentation { detail } => {
                 write!(f, "malformed f-representation: {detail}")
@@ -111,7 +117,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = FdbError::ArityMismatch { expected: 3, actual: 2 };
+        let e = FdbError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 2"));
     }

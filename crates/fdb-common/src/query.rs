@@ -97,7 +97,12 @@ impl Query {
     /// Creates a query over the given relations with no conditions and the
     /// identity projection.
     pub fn product(relations: Vec<RelId>) -> Self {
-        Query { relations, equalities: Vec::new(), const_selections: Vec::new(), projection: None }
+        Query {
+            relations,
+            equalities: Vec::new(),
+            const_selections: Vec::new(),
+            projection: None,
+        }
     }
 
     /// Adds an equality condition and returns the query for chaining.
@@ -108,7 +113,8 @@ impl Query {
 
     /// Adds a selection with a constant and returns the query for chaining.
     pub fn with_const_selection(mut self, attr: AttrId, op: ComparisonOp, value: Value) -> Self {
-        self.const_selections.push(ConstSelection { attr, op, value });
+        self.const_selections
+            .push(ConstSelection { attr, op, value });
         self
     }
 
@@ -221,7 +227,9 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates a union-find where every listed attribute is its own class.
     pub fn new(attrs: &[AttrId]) -> Self {
-        UnionFind { parent: attrs.iter().map(|&a| (a, a)).collect() }
+        UnionFind {
+            parent: attrs.iter().map(|&a| (a, a)).collect(),
+        }
     }
 
     /// Finds the representative of an attribute's class (with path
@@ -277,7 +285,10 @@ mod tests {
     fn all_and_output_attrs() {
         let cat = catalog();
         let q = Query::product(vec![RelId(0), RelId(1)]);
-        assert_eq!(q.all_attrs(&cat), vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]);
+        assert_eq!(
+            q.all_attrs(&cat),
+            vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]
+        );
         let q = q.with_projection(vec![AttrId(3), AttrId(0), AttrId(3)]);
         assert_eq!(q.output_attrs(&cat), vec![AttrId(0), AttrId(3)]);
     }
@@ -305,7 +316,9 @@ mod tests {
             .with_equality(AttrId(2), AttrId(0))
             .with_equality(AttrId(0), AttrId(5));
         let classes = q.equivalence_classes(&cat);
-        let big: BTreeSet<AttrId> = [AttrId(0), AttrId(1), AttrId(2), AttrId(5)].into_iter().collect();
+        let big: BTreeSet<AttrId> = [AttrId(0), AttrId(1), AttrId(2), AttrId(5)]
+            .into_iter()
+            .collect();
         assert!(classes.contains(&big));
     }
 
@@ -324,7 +337,10 @@ mod tests {
         let cat = catalog();
         // T.D referenced but T not part of the query.
         let q = Query::product(vec![RelId(0), RelId(1)]).with_equality(AttrId(0), AttrId(5));
-        assert!(matches!(q.validate(&cat), Err(FdbError::AttributeNotInQuery { .. })));
+        assert!(matches!(
+            q.validate(&cat),
+            Err(FdbError::AttributeNotInQuery { .. })
+        ));
         let ok = Query::product(vec![RelId(0), RelId(1)]).with_equality(AttrId(1), AttrId(2));
         assert!(ok.validate(&cat).is_ok());
     }

@@ -34,7 +34,10 @@ pub struct FactorisedQuery {
 impl FactorisedQuery {
     /// A query with only equality conditions.
     pub fn equalities(equalities: Vec<(AttrId, AttrId)>) -> Self {
-        FactorisedQuery { equalities, ..Default::default() }
+        FactorisedQuery {
+            equalities,
+            ..Default::default()
+        }
     }
 
     /// Adds a selection with a constant.
@@ -82,6 +85,15 @@ pub struct EvalOutput {
     pub stats: EvalStats,
 }
 
+impl EvalOutput {
+    /// Streams the result tuples with the constant-delay arena cursor
+    /// (columns in ascending attribute-id order) without materialising the
+    /// flat relation.
+    pub fn tuples(&self) -> fdb_frep::TupleCursor<'_> {
+        fdb_frep::TupleCursor::new(&self.result)
+    }
+}
+
 /// The FDB query engine.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FdbEngine {
@@ -97,7 +109,9 @@ impl FdbEngine {
 
     /// Creates an engine using the greedy optimiser.
     pub fn greedy() -> Self {
-        FdbEngine { optimizer: OptimizerKind::Greedy }
+        FdbEngine {
+            optimizer: OptimizerKind::Greedy,
+        }
     }
 
     /// Evaluates a select-project-join query on a flat relational database.
@@ -142,11 +156,7 @@ impl FdbEngine {
     /// shrink the representation), then the optimised restructuring/selection
     /// plan for the equality conditions, and the projection last — the
     /// operator ordering FDB uses (Section 4).
-    pub fn evaluate_factorised(
-        &self,
-        input: &FRep,
-        query: &FactorisedQuery,
-    ) -> Result<EvalOutput> {
+    pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree.
         let opt_start = Instant::now();
         let optimised = match self.optimizer {
@@ -163,7 +173,11 @@ impl FdbEngine {
         // equality selections, projection.
         let mut plan = FPlan::empty();
         for sel in &query.const_selections {
-            plan.push(FPlanOp::SelectConst { attr: sel.attr, op: sel.op, value: sel.value });
+            plan.push(FPlanOp::SelectConst {
+                attr: sel.attr,
+                op: sel.op,
+                value: sel.value,
+            });
         }
         plan.extend(optimised.plan.clone());
         if let Some(proj) = &query.projection {
@@ -202,7 +216,9 @@ impl FdbEngine {
     pub fn evaluate_flat_via_operators(&self, db: &Database, query: &Query) -> Result<EvalOutput> {
         query.validate(db.catalog())?;
         if query.relations.is_empty() {
-            return Err(FdbError::InvalidInput { detail: "query has no relations".into() });
+            return Err(FdbError::InvalidInput {
+                detail: "query has no relations".into(),
+            });
         }
         let exec_start = Instant::now();
         // Load each relation as a factorised representation over its own
@@ -223,13 +239,20 @@ impl FdbEngine {
         // Constant selections first.
         let mut plan = FPlan::empty();
         for sel in &query.const_selections {
-            plan.push(FPlanOp::SelectConst { attr: sel.attr, op: sel.op, value: sel.value });
+            plan.push(FPlanOp::SelectConst {
+                attr: sel.attr,
+                op: sel.op,
+                value: sel.value,
+            });
         }
 
         // Optimise and append the equality conditions.
         let opt_start = Instant::now();
-        let equalities: Vec<(AttrId, AttrId)> =
-            query.equalities.iter().map(|eq| (eq.left, eq.right)).collect();
+        let equalities: Vec<(AttrId, AttrId)> = query
+            .equalities
+            .iter()
+            .map(|eq| (eq.left, eq.right))
+            .collect();
         let optimised = match self.optimizer {
             OptimizerKind::Exhaustive => {
                 ExhaustiveOptimizer::new().optimize(rep.tree(), &equalities)?
@@ -278,17 +301,32 @@ mod tests {
         let (produce, _) = catalog.add_relation("Produce", &["supplier", "item"]);
         let (serve, _) = catalog.add_relation("Serve", &["supplier", "location"]);
         let mut db = Database::new(catalog);
-        db.insert_raw_rows(orders, &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]])
-            .unwrap();
         db.insert_raw_rows(
-            store,
-            &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1], vec![3, 1], vec![3, 2]],
+            orders,
+            &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]],
         )
         .unwrap();
-        db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]]).unwrap();
-        db.insert_raw_rows(produce, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]]).unwrap();
-        db.insert_raw_rows(serve, &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]])
+        db.insert_raw_rows(
+            store,
+            &[
+                vec![1, 1],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 1],
+                vec![3, 1],
+                vec![3, 2],
+            ],
+        )
+        .unwrap();
+        db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]])
             .unwrap();
+        db.insert_raw_rows(produce, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]])
+            .unwrap();
+        db.insert_raw_rows(
+            serve,
+            &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]],
+        )
+        .unwrap();
         (db, vec![orders, store, disp, produce, serve])
     }
 
@@ -318,10 +356,20 @@ mod tests {
         let query = q1(&db, &rels);
         let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
         out.result.validate().unwrap();
-        assert_eq!(materialize(&out.result).unwrap().tuple_set(), rdb_canonical(&db, &query));
+        assert_eq!(
+            materialize(&out.result).unwrap().tuple_set(),
+            rdb_canonical(&db, &query)
+        );
         // Q1 admits no f-tree better than s = 2 (Example 5).
         assert!((out.stats.plan_cost - 2.0).abs() < 1e-6);
         assert_eq!(out.stats.result_tuples, out.result.tuple_count());
+        // The streaming cursor sees exactly as many tuples as the count.
+        let mut cursor = out.tuples();
+        let mut streamed = 0u128;
+        while cursor.advance() {
+            streamed += 1;
+        }
+        assert_eq!(streamed, out.stats.result_tuples);
     }
 
     #[test]
@@ -329,7 +377,9 @@ mod tests {
         let (db, rels) = grocery();
         let query = q1(&db, &rels);
         let direct = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
-        let via_ops = FdbEngine::new().evaluate_flat_via_operators(&db, &query).unwrap();
+        let via_ops = FdbEngine::new()
+            .evaluate_flat_via_operators(&db, &query)
+            .unwrap();
         via_ops.result.validate().unwrap();
         assert_eq!(
             materialize(&direct.result).unwrap().tuple_set(),
@@ -349,7 +399,10 @@ mod tests {
         let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
         out.result.validate().unwrap();
         assert_eq!(out.result.visible_attrs(), vec![oid, dispatcher]);
-        assert_eq!(materialize(&out.result).unwrap().tuple_set(), rdb_canonical(&db, &query));
+        assert_eq!(
+            materialize(&out.result).unwrap().tuple_set(),
+            rdb_canonical(&db, &query)
+        );
     }
 
     #[test]
@@ -370,8 +423,14 @@ mod tests {
         // item and location.
         let product = ops::product(r1.result.clone(), r2.result.clone()).unwrap();
         let fq = FactorisedQuery::equalities(vec![
-            (cat.find_attr("Orders.item").unwrap(), cat.find_attr("Produce.item").unwrap()),
-            (cat.find_attr("Store.location").unwrap(), cat.find_attr("Serve.location").unwrap()),
+            (
+                cat.find_attr("Orders.item").unwrap(),
+                cat.find_attr("Produce.item").unwrap(),
+            ),
+            (
+                cat.find_attr("Store.location").unwrap(),
+                cat.find_attr("Serve.location").unwrap(),
+            ),
         ]);
         let joined = engine.evaluate_factorised(&product, &fq).unwrap();
         joined.result.validate().unwrap();
@@ -415,8 +474,12 @@ mod tests {
             cat.find_attr("Orders.oid").unwrap(),
             cat.find_attr("Disp.dispatcher").unwrap(),
         )]);
-        let a = FdbEngine::new().evaluate_factorised(&base.result, &fq).unwrap();
-        let b = FdbEngine::greedy().evaluate_factorised(&base.result, &fq).unwrap();
+        let a = FdbEngine::new()
+            .evaluate_factorised(&base.result, &fq)
+            .unwrap();
+        let b = FdbEngine::greedy()
+            .evaluate_factorised(&base.result, &fq)
+            .unwrap();
         assert_eq!(
             materialize(&a.result).unwrap().tuple_set(),
             materialize(&b.result).unwrap().tuple_set()
@@ -428,7 +491,9 @@ mod tests {
     fn factorised_query_with_selection_and_projection() {
         let (db, rels) = grocery();
         let cat = db.catalog();
-        let base = FdbEngine::new().evaluate_flat(&db, &q1(&db, &rels)).unwrap();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
         let item = cat.find_attr("Orders.item").unwrap();
         let dispatcher = cat.find_attr("Disp.dispatcher").unwrap();
         let fq = FactorisedQuery::default()
@@ -438,7 +503,9 @@ mod tests {
                 value: Value::new(2),
             })
             .with_projection(vec![dispatcher]);
-        let out = FdbEngine::new().evaluate_factorised(&base.result, &fq).unwrap();
+        let out = FdbEngine::new()
+            .evaluate_factorised(&base.result, &fq)
+            .unwrap();
         out.result.validate().unwrap();
         assert_eq!(out.result.visible_attrs(), vec![dispatcher]);
         // Reference through the flat engine.

@@ -40,8 +40,10 @@ pub fn populate<R: Rng + ?Sized>(
 ) -> Database {
     let mut db = Database::new(catalog.clone());
     for rel in catalog.rels() {
-        let instance = random_relation(rng, catalog, rel, tuples_per_relation, domain, distribution);
-        db.insert_relation(rel, instance).expect("schema matches by construction");
+        let instance =
+            random_relation(rng, catalog, rel, tuples_per_relation, domain, distribution);
+        db.insert_relation(rel, instance)
+            .expect("schema matches by construction");
     }
     db
 }
@@ -68,7 +70,9 @@ pub fn random_relation<R: Rng + ?Sized>(
     let mut attempts = 0;
     while rows.len() < tuples && attempts < max_attempts {
         attempts += 1;
-        let row: Vec<u64> = (0..arity).map(|_| distribution.sample(rng, domain)).collect();
+        let row: Vec<u64> = (0..arity)
+            .map(|_| distribution.sample(rng, domain))
+            .collect();
         if seen.insert(row.clone()) {
             rows.push(row);
         }
@@ -156,7 +160,10 @@ mod tests {
         let relation = db.relation(rel);
         let ones = relation.rows().filter(|r| r[0].raw() == 1).count();
         let hundreds = relation.rows().filter(|r| r[0].raw() == 100).count();
-        assert!(ones > hundreds * 5, "Zipf must heavily favour the smallest value");
+        assert!(
+            ones > hundreds * 5,
+            "Zipf must heavily favour the smallest value"
+        );
         for row in relation.rows() {
             assert!((1..=100).contains(&row[0].raw()));
         }

@@ -77,13 +77,23 @@ pub fn grocery_database() -> GroceryDb {
     let mut db = Database::new(catalog);
 
     // Orders: (01, Milk), (01, Cheese), (02, Melon), (03, Cheese), (03, Melon)
-    db.insert_raw_rows(orders, &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]])
-        .expect("schema matches");
+    db.insert_raw_rows(
+        orders,
+        &[vec![1, 1], vec![1, 2], vec![2, 3], vec![3, 2], vec![3, 3]],
+    )
+    .expect("schema matches");
     // Store: (Istanbul, Milk), (Istanbul, Cheese), (Istanbul, Melon),
     //        (Izmir, Milk), (Antalya, Milk), (Antalya, Cheese)
     db.insert_raw_rows(
         store,
-        &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1], vec![3, 1], vec![3, 2]],
+        &[
+            vec![1, 1],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 1],
+            vec![3, 1],
+            vec![3, 2],
+        ],
     )
     .expect("schema matches");
     // Disp: (Adnan, Istanbul), (Adnan, Izmir), (Yasemin, Istanbul), (Volkan, Antalya)
@@ -94,10 +104,20 @@ pub fn grocery_database() -> GroceryDb {
         .expect("schema matches");
     // Serve: (Guney, Antalya), (Dikici, Istanbul), (Dikici, Izmir),
     //        (Dikici, Antalya), (Byzantium, Istanbul)
-    db.insert_raw_rows(serve, &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]])
-        .expect("schema matches");
+    db.insert_raw_rows(
+        serve,
+        &[vec![1, 3], vec![2, 1], vec![2, 2], vec![2, 3], vec![3, 1]],
+    )
+    .expect("schema matches");
 
-    GroceryDb { db, orders, store, disp, produce, serve }
+    GroceryDb {
+        db,
+        orders,
+        store,
+        disp,
+        produce,
+        serve,
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Random query generation: equi-joins with `K` non-redundant equalities.
 
-use fdb_common::{AttrId, Catalog, Query, RelId};
 use fdb_common::query::UnionFind;
+use fdb_common::{AttrId, Catalog, Query, RelId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -18,8 +18,10 @@ pub fn random_equalities<R: Rng + ?Sized>(
     relations: &[RelId],
     k: usize,
 ) -> Vec<(AttrId, AttrId)> {
-    let attrs: Vec<AttrId> =
-        relations.iter().flat_map(|&r| catalog.rel_attrs(r).iter().copied()).collect();
+    let attrs: Vec<AttrId> = relations
+        .iter()
+        .flat_map(|&r| catalog.rel_attrs(r).iter().copied())
+        .collect();
     let mut uf = UnionFind::new(&attrs);
     let mut conditions = Vec::with_capacity(k);
     let max_attempts = 50 * (k + 1) * attrs.len().max(1);
@@ -136,7 +138,7 @@ mod tests {
     fn random_queries_validate_against_their_catalog() {
         let mut rng = StdRng::seed_from_u64(14);
         for _ in 0..20 {
-            let relations = rng.gen_range(1..=6);
+            let relations: usize = rng.gen_range(1..=6);
             let attributes = rng.gen_range(relations.max(2)..=20);
             let catalog = random_schema(&mut rng, relations, attributes);
             let rels: Vec<RelId> = catalog.rels().collect();

@@ -13,7 +13,10 @@ use rand::Rng;
 /// numbered, so `Ri.aj` names are unique).
 pub fn random_schema<R: Rng + ?Sized>(rng: &mut R, relations: usize, attributes: usize) -> Catalog {
     assert!(relations >= 1, "need at least one relation");
-    assert!(attributes >= relations, "need at least one attribute per relation");
+    assert!(
+        attributes >= relations,
+        "need at least one attribute per relation"
+    );
 
     // Assign each attribute to a relation: first give every relation one
     // attribute, then spread the rest uniformly.

@@ -76,8 +76,7 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
         let class = tree.class(node);
         let mut per_rel: Vec<(usize, Vec<usize>)> = Vec::new();
         for (idx, rel) in relations.iter().enumerate() {
-            let cols: Vec<usize> =
-                class.iter().filter_map(|&a| rel.col_index(a)).collect();
+            let cols: Vec<usize> = class.iter().filter_map(|&a| rel.col_index(a)).collect();
             if !cols.is_empty() {
                 per_rel.push((idx, cols));
             }
@@ -90,9 +89,15 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
         node_cols.insert(node, per_rel);
     }
 
-    let builder = Builder { tree, relations: &relations, node_cols: &node_cols };
-    let mut restriction: Vec<Vec<u32>> =
-        relations.iter().map(|r| (0..r.len() as u32).collect()).collect();
+    let builder = Builder {
+        tree,
+        relations: &relations,
+        node_cols: &node_cols,
+    };
+    let mut restriction: Vec<Vec<u32>> = relations
+        .iter()
+        .map(|r| (0..r.len() as u32).collect())
+        .collect();
     let roots: Vec<Union> = tree
         .roots()
         .iter()
@@ -125,7 +130,8 @@ impl Builder<'_> {
         // Group the surviving rows of every relevant relation by their value
         // of this node's class (rows whose class columns disagree are
         // inconsistent with the intra-class equality and are dropped).
-        let mut groups: Vec<(usize, BTreeMap<Value, Vec<u32>>)> = Vec::with_capacity(relevant.len());
+        let mut groups: Vec<(usize, BTreeMap<Value, Vec<u32>>)> =
+            Vec::with_capacity(relevant.len());
         for (rel_idx, cols) in relevant {
             let rel = &self.relations[*rel_idx];
             let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
@@ -161,7 +167,10 @@ impl Builder<'_> {
             let mut saved: Vec<(usize, Vec<u32>)> = Vec::with_capacity(groups.len());
             for (rel_idx, map) in &groups {
                 let rows = map.get(&value).cloned().unwrap_or_default();
-                saved.push((*rel_idx, std::mem::replace(&mut restriction[*rel_idx], rows)));
+                saved.push((
+                    *rel_idx,
+                    std::mem::replace(&mut restriction[*rel_idx], rows),
+                ));
             }
 
             let mut child_unions: Vec<Union> = Vec::with_capacity(children.len());
@@ -175,7 +184,10 @@ impl Builder<'_> {
                 child_unions.push(u);
             }
             if alive {
-                entries.push(Entry { value, children: child_unions });
+                entries.push(Entry {
+                    value,
+                    children: child_unions,
+                });
             }
 
             for (rel_idx, rows) in saved {
@@ -210,10 +222,18 @@ mod tests {
         .unwrap();
         db.insert_raw_rows(
             store,
-            &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1], vec![3, 1], vec![3, 2]],
+            &[
+                vec![1, 1],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 1],
+                vec![3, 1],
+                vec![3, 2],
+            ],
         )
         .unwrap();
-        db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]]).unwrap();
+        db.insert_raw_rows(disp, &[vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 3]])
+            .unwrap();
         (db, vec![orders, store, disp])
     }
 
@@ -237,20 +257,29 @@ mod tests {
         let cat = db.catalog();
         let edges = fdb_ftree::dep_edges_for_query(cat, query, |r| db.rel_len(r) as u64);
         let mut t = FTree::new(edges);
-        let item_class: BTreeSet<AttrId> =
-            [cat.find_attr("Orders.item").unwrap(), cat.find_attr("Store.item").unwrap()]
-                .into_iter()
-                .collect();
-        let loc_class: BTreeSet<AttrId> =
-            [cat.find_attr("Store.location").unwrap(), cat.find_attr("Disp.location").unwrap()]
-                .into_iter()
-                .collect();
+        let item_class: BTreeSet<AttrId> = [
+            cat.find_attr("Orders.item").unwrap(),
+            cat.find_attr("Store.item").unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let loc_class: BTreeSet<AttrId> = [
+            cat.find_attr("Store.location").unwrap(),
+            cat.find_attr("Disp.location").unwrap(),
+        ]
+        .into_iter()
+        .collect();
         let item = t.add_node(item_class, None).unwrap();
-        t.add_node([cat.find_attr("Orders.oid").unwrap()].into_iter().collect(), Some(item))
-            .unwrap();
+        t.add_node(
+            [cat.find_attr("Orders.oid").unwrap()].into_iter().collect(),
+            Some(item),
+        )
+        .unwrap();
         let location = t.add_node(loc_class, Some(item)).unwrap();
         t.add_node(
-            [cat.find_attr("Disp.dispatcher").unwrap()].into_iter().collect(),
+            [cat.find_attr("Disp.dispatcher").unwrap()]
+                .into_iter()
+                .collect(),
             Some(location),
         )
         .unwrap();
@@ -282,7 +311,8 @@ mod tests {
     fn fallback_ftree_gives_the_same_relation() {
         let (db, rels) = grocery();
         let query = q1(&db, &rels);
-        let tree = ftree_from_query_classes(db.catalog(), &query, |r| db.rel_len(r) as u64).unwrap();
+        let tree =
+            ftree_from_query_classes(db.catalog(), &query, |r| db.rel_len(r) as u64).unwrap();
         let rep = build_frep(&db, &query, &tree).unwrap();
         let flat = materialize(&rep).unwrap();
         assert_eq!(flat.tuple_set(), rdb_result(&db, &query));
@@ -332,13 +362,26 @@ mod tests {
         let edges = fdb_ftree::dep_edges_for_query(cat, &query, |_| 2);
         let mut tree = FTree::new(edges);
         let b_class: BTreeSet<AttrId> =
-            [cat.find_attr("R.B").unwrap(), cat.find_attr("S.B").unwrap()].into_iter().collect();
+            [cat.find_attr("R.B").unwrap(), cat.find_attr("S.B").unwrap()]
+                .into_iter()
+                .collect();
         let b = tree.add_node(b_class, None).unwrap();
-        tree.add_node([cat.find_attr("R.A").unwrap()].into_iter().collect(), Some(b)).unwrap();
-        tree.add_node([cat.find_attr("S.C").unwrap()].into_iter().collect(), Some(b)).unwrap();
+        tree.add_node(
+            [cat.find_attr("R.A").unwrap()].into_iter().collect(),
+            Some(b),
+        )
+        .unwrap();
+        tree.add_node(
+            [cat.find_attr("S.C").unwrap()].into_iter().collect(),
+            Some(b),
+        )
+        .unwrap();
         let rep = build_frep(&db, &query, &tree).unwrap();
         assert_eq!(rep.tuple_count(), 1);
-        assert_eq!(materialize(&rep).unwrap().tuple_set(), rdb_result(&db, &query));
+        assert_eq!(
+            materialize(&rep).unwrap().tuple_set(),
+            rdb_result(&db, &query)
+        );
     }
 
     #[test]
@@ -346,8 +389,13 @@ mod tests {
         let (db, rels) = grocery();
         let query = q1(&db, &rels);
         // A tree missing the dispatcher attribute is rejected.
-        let mut tree = FTree::new(vec![DepEdge::new("Orders", [AttrId(0), AttrId(1)].into_iter().collect(), 5)]);
-        tree.add_node([AttrId(0)].into_iter().collect(), None).unwrap();
+        let mut tree = FTree::new(vec![DepEdge::new(
+            "Orders",
+            [AttrId(0), AttrId(1)].into_iter().collect(),
+            5,
+        )]);
+        tree.add_node([AttrId(0)].into_iter().collect(), None)
+            .unwrap();
         assert!(build_frep(&db, &query, &tree).is_err());
     }
 
@@ -359,8 +407,10 @@ mod tests {
         let (r, _) = catalog.add_relation("R", &["A"]);
         let (s, _) = catalog.add_relation("S", &["B"]);
         let mut db = Database::new(catalog);
-        db.insert_raw_rows(r, &(0..20).map(|i| vec![i]).collect::<Vec<_>>()).unwrap();
-        db.insert_raw_rows(s, &(0..30).map(|i| vec![i]).collect::<Vec<_>>()).unwrap();
+        db.insert_raw_rows(r, &(0..20).map(|i| vec![i]).collect::<Vec<_>>())
+            .unwrap();
+        db.insert_raw_rows(s, &(0..30).map(|i| vec![i]).collect::<Vec<_>>())
+            .unwrap();
         let query = Query::product(vec![r, s]);
         let tree =
             fdb_ftree::flat_database_ftree(db.catalog(), &[r, s], |rel| db.rel_len(rel) as u64)

@@ -2,55 +2,243 @@
 //!
 //! F-representations allow constant-delay enumeration of their tuples: after
 //! `O(|E|)` preparation, successive tuples are produced with `O(|S|)` work
-//! each (`S` the schema).  [`for_each_tuple`] walks the representation
-//! depth-first, filling a single reusable buffer — this is the constant-delay
-//! enumeration in callback form.  [`materialize`] collects the tuples into a
-//! flat [`Relation`] (mainly for tests, examples and the RDB comparisons).
+//! each (`S` the schema).  [`TupleCursor`] implements that enumeration as an
+//! **iterative odometer** over the arena store — no recursion, no per-entry
+//! allocation, no map lookups in the hot loop:
+//!
+//! * setup computes one *slot* per f-tree node (parents before descendants),
+//!   each knowing its parent slot, its position in the parent's fixed child
+//!   order, and the positions in the output buffer its value feeds
+//!   (precomputed once, replacing the old per-singleton `BTreeMap` lookup);
+//! * every slot holds a current union (an arena index) and a current entry;
+//!   advancing to the next tuple bumps the deepest slot with another entry
+//!   and refills the slots after it — the classic odometer, with child
+//!   unions fetched by O(1) index thanks to the arena's fixed child order.
+//!
+//! [`for_each_tuple`] drives the cursor in callback form; [`materialize`]
+//! collects the tuples into a flat [`Relation`] (mainly for tests, examples
+//! and the RDB comparisons).
 
-use crate::frep::{FRep, Union};
-use fdb_common::{AttrId, Result, Value};
+use crate::frep::FRep;
+use fdb_common::{Result, Value};
 use fdb_relation::Relation;
-use std::collections::BTreeMap;
+
+/// Parent marker for slots whose union is a root union.
+const NO_PARENT: u32 = u32::MAX;
+
+/// One f-tree node's position in the enumeration order.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    /// Index of the parent slot (`NO_PARENT` for roots).
+    parent: u32,
+    /// For roots: index into the store's root list.  For inner slots: the
+    /// node's position in the parent node's f-tree child order (the kid
+    /// index inside the arena's child-slot table).
+    kid_index: u32,
+    /// Start of this node's buffer positions in `val_positions`.
+    vals_start: u32,
+    /// Number of buffer positions (visible attributes of the node's class).
+    vals_len: u32,
+}
+
+/// An iterative, allocation-free (after setup) cursor over the tuples of an
+/// f-representation.  Tuples are produced in the lexicographic order induced
+/// by the f-tree (each union is value-sorted); the buffer lists the values
+/// of the representation's *visible* attributes in ascending attribute-id
+/// order.
+pub struct TupleCursor<'a> {
+    rep: &'a FRep,
+    slots: Vec<Slot>,
+    /// Flattened buffer positions; slot `s` writes its entry value to
+    /// `buffer[val_positions[p]]` for `p` in `vals_start..vals_start+vals_len`.
+    val_positions: Vec<u32>,
+    /// Current union (arena index) per slot.
+    cur_union: Vec<u32>,
+    /// Current entry index per slot.
+    cur_entry: Vec<u32>,
+    buffer: Vec<Value>,
+    state: CursorState,
+}
+
+/// One step of the odometer loop (see [`TupleCursor::bump_and_fill`]).
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Bump the deepest slot strictly below the given end position.
+    Bump(usize),
+    /// Fill slots from the given position onwards with first entries.
+    Fill(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CursorState {
+    /// `advance` has not been called yet.
+    Fresh,
+    /// The slot arrays hold a complete configuration (= one tuple).
+    AtTuple,
+    /// All tuples have been produced.
+    Exhausted,
+}
+
+impl<'a> TupleCursor<'a> {
+    /// Prepares a cursor (the `O(|E|)`-free, `O(nodes + |S|)` setup).
+    pub fn new(rep: &'a FRep) -> Self {
+        let attrs = rep.visible_attrs();
+        let tree = rep.tree();
+
+        // Buffer position of every visible attribute, in ascending order.
+        let position_of = |attr| attrs.binary_search(&attr).expect("visible attribute") as u32;
+
+        let mut slots = Vec::new();
+        let mut val_positions = Vec::new();
+        // Depth-first over each root's subtree, parents pushed before
+        // children so refilling a suffix of slots always finds the parent's
+        // current entry already set.
+        for (root_index, root) in rep.roots().enumerate() {
+            let mut stack: Vec<(fdb_ftree::NodeId, u32, u32)> =
+                vec![(root.node(), NO_PARENT, root_index as u32)];
+            while let Some((node, parent, kid_index)) = stack.pop() {
+                let slot_index = slots.len() as u32;
+                let vals_start = val_positions.len() as u32;
+                for attr in tree.visible_attrs(node) {
+                    val_positions.push(position_of(attr));
+                }
+                slots.push(Slot {
+                    parent,
+                    kid_index,
+                    vals_start,
+                    vals_len: val_positions.len() as u32 - vals_start,
+                });
+                // Push children in reverse so they pop in child order.
+                let children = tree.children(node);
+                for (k, &child) in children.iter().enumerate().rev() {
+                    stack.push((child, slot_index, k as u32));
+                }
+            }
+        }
+
+        let slot_count = slots.len();
+        TupleCursor {
+            rep,
+            slots,
+            val_positions,
+            cur_union: vec![0; slot_count],
+            cur_entry: vec![0; slot_count],
+            buffer: vec![Value::default(); attrs.len()],
+            state: CursorState::Fresh,
+        }
+    }
+
+    /// The union (arena index) slot `s` currently ranges over.
+    #[inline]
+    fn union_of_slot(&self, s: usize) -> u32 {
+        let slot = self.slots[s];
+        let store = self.rep.store();
+        if slot.parent == NO_PARENT {
+            store.roots[slot.kid_index as usize]
+        } else {
+            let p = slot.parent as usize;
+            store.kid(self.cur_union[p], self.cur_entry[p], slot.kid_index)
+        }
+    }
+
+    /// Writes slot `s`'s current entry value into the buffer positions of
+    /// its node's visible attributes.
+    #[inline]
+    fn write_values(&mut self, s: usize) {
+        let slot = self.slots[s];
+        let value =
+            self.rep.store().entry_slice(self.cur_union[s])[self.cur_entry[s] as usize].value;
+        for p in slot.vals_start..slot.vals_start + slot.vals_len {
+            self.buffer[self.val_positions[p as usize] as usize] = value;
+        }
+    }
+
+    /// Advances to the next tuple; returns `false` when exhausted.
+    pub fn advance(&mut self) -> bool {
+        match self.state {
+            CursorState::Exhausted => false,
+            CursorState::Fresh => {
+                self.state = CursorState::AtTuple;
+                if self.rep.represents_empty() {
+                    self.state = CursorState::Exhausted;
+                    return false;
+                }
+                if self.slots.is_empty() {
+                    // Nullary representation: exactly one empty tuple.
+                    return true;
+                }
+                self.bump_and_fill(Step::Fill(0))
+            }
+            CursorState::AtTuple => {
+                if self.slots.is_empty() {
+                    self.state = CursorState::Exhausted;
+                    return false;
+                }
+                self.bump_and_fill(Step::Bump(self.slots.len()))
+            }
+        }
+    }
+
+    /// The odometer: `Bump(end)` finds the deepest slot below `end` with
+    /// another entry (slots below `end` are always validly configured);
+    /// `Fill(s)` (re)initialises slots `s..` with their first entries,
+    /// falling back to a bump when it meets an empty union.
+    fn bump_and_fill(&mut self, start: Step) -> bool {
+        let slot_count = self.slots.len();
+        let mut step = start;
+        loop {
+            match step {
+                Step::Bump(end) => {
+                    let mut s = end;
+                    loop {
+                        if s == 0 {
+                            self.state = CursorState::Exhausted;
+                            return false;
+                        }
+                        s -= 1;
+                        if self.cur_entry[s] + 1 < self.rep.store().union_len(self.cur_union[s]) {
+                            self.cur_entry[s] += 1;
+                            self.write_values(s);
+                            step = Step::Fill(s + 1);
+                            break;
+                        }
+                    }
+                }
+                Step::Fill(mut fill) => {
+                    while fill < slot_count {
+                        let union = self.union_of_slot(fill);
+                        if self.rep.store().union_len(union) == 0 {
+                            // Nothing to choose here: only changing an
+                            // earlier slot can help.
+                            break;
+                        }
+                        self.cur_union[fill] = union;
+                        self.cur_entry[fill] = 0;
+                        self.write_values(fill);
+                        fill += 1;
+                    }
+                    if fill == slot_count {
+                        return true;
+                    }
+                    step = Step::Bump(fill);
+                }
+            }
+        }
+    }
+
+    /// The current tuple (valid after `advance` returned `true`).
+    pub fn tuple(&self) -> &[Value] {
+        &self.buffer
+    }
+}
 
 /// Calls `f` once per tuple of the represented relation.  The buffer handed
 /// to the callback lists the values of the representation's *visible*
 /// attributes in ascending attribute-id order.
 pub fn for_each_tuple<F: FnMut(&[Value])>(rep: &FRep, mut f: F) {
-    let attrs = rep.visible_attrs();
-    let positions: BTreeMap<AttrId, usize> =
-        attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
-    let mut buffer = vec![Value::default(); attrs.len()];
-    if rep.represents_empty() {
-        return;
-    }
-    let roots: Vec<&Union> = rep.roots().iter().collect();
-    product_rec(rep, &roots, &positions, &mut buffer, &mut f);
-}
-
-fn product_rec<F: FnMut(&[Value])>(
-    rep: &FRep,
-    unions: &[&Union],
-    positions: &BTreeMap<AttrId, usize>,
-    buffer: &mut Vec<Value>,
-    f: &mut F,
-) {
-    let Some((first, rest)) = unions.split_first() else {
-        f(buffer);
-        return;
-    };
-    let visible = rep.tree().visible_attrs(first.node);
-    for entry in &first.entries {
-        for attr in &visible {
-            buffer[positions[attr]] = entry.value;
-        }
-        if entry.children.is_empty() {
-            product_rec(rep, rest, positions, buffer, f);
-        } else {
-            let mut combined: Vec<&Union> = Vec::with_capacity(entry.children.len() + rest.len());
-            combined.extend(entry.children.iter());
-            combined.extend(rest.iter().copied());
-            product_rec(rep, &combined, positions, buffer, f);
-        }
+    let mut cursor = TupleCursor::new(rep);
+    while cursor.advance() {
+        f(cursor.tuple());
     }
 }
 
@@ -84,7 +272,9 @@ pub fn count_by_enumeration(rep: &FRep) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frep::{Entry, FRep, Union};
+    use crate::frep::FRep;
+    use crate::node::{Entry, Union};
+    use fdb_common::AttrId;
     use fdb_ftree::{DepEdge, FTree};
     use std::collections::BTreeSet;
 
@@ -126,10 +316,17 @@ mod tests {
         let mut tree = FTree::new(edges);
         let a = tree.add_node(attrs(&[0]), None).unwrap();
         let b = tree.add_node(attrs(&[1]), None).unwrap();
-        let ua = Union::new(a, vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))]);
+        let ua = Union::new(
+            a,
+            vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+        );
         let ub = Union::new(
             b,
-            vec![Entry::leaf(Value::new(5)), Entry::leaf(Value::new(6)), Entry::leaf(Value::new(7))],
+            vec![
+                Entry::leaf(Value::new(5)),
+                Entry::leaf(Value::new(6)),
+                Entry::leaf(Value::new(7)),
+            ],
         );
         FRep::from_parts(tree, vec![ua, ub]).unwrap()
     }
@@ -147,6 +344,16 @@ mod tests {
         .collect();
         assert_eq!(rel.tuple_set(), expected);
         assert_eq!(count_by_enumeration(&rep), rep.tuple_count());
+    }
+
+    #[test]
+    fn tuples_come_out_in_lexicographic_order() {
+        let rep = example3();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for_each_tuple(&rep, |t| rows.push(t.to_vec()));
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted);
     }
 
     #[test]
@@ -190,5 +397,46 @@ mod tests {
         let rel = materialize(&rep).unwrap();
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.row(0), &[Value::new(9), Value::new(9)]);
+    }
+
+    #[test]
+    fn empty_inner_union_skips_only_its_branch() {
+        // A{0} → B{1}; A=1 has an empty B-union (unpruned), A=2 has B{7}.
+        // Only A=2's tuple must be produced.
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 2)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::empty(b)],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![Entry::leaf(Value::new(7))])],
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![union]).unwrap();
+        let rel = materialize(&rep).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0), &[Value::new(2), Value::new(7)]);
+    }
+
+    #[test]
+    fn cursor_can_be_driven_manually() {
+        let rep = product_forest();
+        let mut cursor = TupleCursor::new(&rep);
+        let mut count = 0;
+        while cursor.advance() {
+            assert_eq!(cursor.tuple().len(), 2);
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        // Once exhausted, the cursor stays exhausted.
+        assert!(!cursor.advance());
     }
 }

@@ -1,127 +1,71 @@
-//! The f-representation data structure.
+//! The f-representation data structure, arena-backed.
 //!
 //! An [`FRep`] owns an [`FTree`] and, for every root of the forest, one
-//! [`Union`].  A union over an f-tree node `N` labelled by class
-//! `{A₁,…,A_k}` is
+//! union.  A union over an f-tree node `N` labelled by class `{A₁,…,A_k}` is
 //!
 //! ```text
 //!   ⋃_a ⟨A₁:a⟩ × … × ⟨A_k:a⟩ × E_a^{child₁} × … × E_a^{child_m}
 //! ```
 //!
-//! i.e. a list of [`Entry`]s, one per distinct value `a` (kept in increasing
-//! order, as all operators require), each carrying one child [`Union`] per
-//! child of `N` in the f-tree.  A forest is a product of its root unions.
+//! i.e. a list of entries, one per distinct value `a` (kept in increasing
+//! order, as all operators require), each carrying one child union per child
+//! of `N` in the f-tree.  A forest is a product of its root unions.
+//!
+//! # Storage
+//!
+//! The unions are **not** stored as a pointer tree: they live in the
+//! contiguous arenas of [`crate::store`] (union headers, entry records and a
+//! child-slot table in fixed f-tree child order), which makes enumeration an
+//! allocation-free walk over flat arrays and turns the whole-representation
+//! statistics ([`FRep::size`], [`FRep::tuple_count`]) into flat loops.  Data
+//! is read through [`UnionRef`]/[`EntryRef`] views; construction and
+//! structural rewriting use the owned [`Union`]/[`Entry`] builder form of
+//! [`crate::node`] via [`FRep::from_parts`] / [`FRep::to_forest`].
 //!
 //! The size of an f-representation is its number of singletons: every entry
 //! of a union over `N` contributes one singleton per *visible* (not
 //! projected-away) attribute of `N`'s class.
 
-use fdb_common::{AttrId, FdbError, Result, Value};
+use crate::node;
+use crate::store::Store;
+
+// Convenience re-exports: the builder types and arena views travel with the
+// representation they construct and read.
+pub use crate::node::{Entry, Union};
+pub use crate::store::{EntryRef, UnionRef};
+use fdb_common::{AttrId, Result};
 use fdb_ftree::{FTree, NodeId};
-use std::collections::BTreeSet;
 use std::fmt;
-
-/// One `⟨value⟩ × children…` term of a [`Union`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct Entry {
-    /// The common value of all attributes labelling the union's node.
-    pub value: Value,
-    /// One child union per child of the node in the f-tree (in any order;
-    /// each child union records which node it ranges over).
-    pub children: Vec<Union>,
-}
-
-impl Entry {
-    /// Creates an entry with no children (for unions over leaf nodes).
-    pub fn leaf(value: Value) -> Self {
-        Entry { value, children: Vec::new() }
-    }
-
-    /// Returns the child union over the given node, if present.
-    pub fn child(&self, node: NodeId) -> Option<&Union> {
-        self.children.iter().find(|u| u.node == node)
-    }
-
-    /// Returns a mutable reference to the child union over the given node.
-    pub fn child_mut(&mut self, node: NodeId) -> Option<&mut Union> {
-        self.children.iter_mut().find(|u| u.node == node)
-    }
-
-    /// Removes and returns the child union over the given node.
-    pub fn take_child(&mut self, node: NodeId) -> Option<Union> {
-        let idx = self.children.iter().position(|u| u.node == node)?;
-        Some(self.children.remove(idx))
-    }
-}
-
-/// A union of singleton-products over one f-tree node.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Union {
-    /// The f-tree node this union ranges over.
-    pub node: NodeId,
-    /// The entries, sorted strictly increasing by value.
-    pub entries: Vec<Entry>,
-}
-
-impl Union {
-    /// Creates an empty union over a node (represents the empty relation for
-    /// that part of the factorisation).
-    pub fn empty(node: NodeId) -> Self {
-        Union { node, entries: Vec::new() }
-    }
-
-    /// Creates a union from entries (the caller must supply them sorted by
-    /// value).
-    pub fn new(node: NodeId, entries: Vec<Entry>) -> Self {
-        Union { node, entries }
-    }
-
-    /// Returns `true` if the union has no entries.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Number of entries (distinct values).
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Binary-searches for the entry with the given value.
-    pub fn find_value(&self, value: Value) -> Option<&Entry> {
-        self.entries
-            .binary_search_by(|e| e.value.cmp(&value))
-            .ok()
-            .map(|i| &self.entries[i])
-    }
-}
 
 /// A factorised representation over an f-tree.
 #[derive(Clone, Debug)]
 pub struct FRep {
     tree: FTree,
-    roots: Vec<Union>,
+    store: Store,
 }
 
 impl FRep {
     /// Creates an f-representation from its parts.  `roots` must contain one
     /// union per root of `tree`, in any order.
     pub fn from_parts(tree: FTree, roots: Vec<Union>) -> Result<Self> {
-        let rep = FRep { tree, roots };
-        rep.validate()?;
-        Ok(rep)
+        tree.check_structure()?;
+        tree.check_path_constraint()?;
+        node::validate_forest(&tree, &roots)?;
+        Ok(FRep::from_parts_unchecked(tree, roots))
     }
 
     /// Creates an f-representation from its parts without validating.  Used
     /// internally by operators that maintain the invariants themselves; tests
     /// call [`FRep::validate`] afterwards.
     pub(crate) fn from_parts_unchecked(tree: FTree, roots: Vec<Union>) -> Self {
-        FRep { tree, roots }
+        let store = Store::freeze(&tree, &roots);
+        FRep { tree, store }
     }
 
     /// The representation of the empty relation over the given f-tree.
     pub fn empty(tree: FTree) -> Self {
-        let roots = tree.roots().iter().map(|&r| Union::empty(r)).collect();
-        FRep { tree, roots }
+        let roots: Vec<Union> = tree.roots().iter().map(|&r| Union::empty(r)).collect();
+        FRep::from_parts_unchecked(tree, roots)
     }
 
     /// The f-tree describing this representation's nesting structure.
@@ -135,19 +79,67 @@ impl FRep {
         &mut self.tree
     }
 
-    /// The root unions (one per f-tree root).
-    pub fn roots(&self) -> &[Union] {
-        &self.roots
+    /// The arena store (crate-internal; operators rebuild it).
+    pub(crate) fn store(&self) -> &Store {
+        &self.store
     }
 
-    /// Mutable access to the root unions — reserved for the operator module.
-    pub(crate) fn roots_mut(&mut self) -> &mut Vec<Union> {
-        &mut self.roots
+    /// Replaces the arena store (crate-internal).
+    pub(crate) fn set_store(&mut self, store: Store) {
+        self.store = store;
     }
 
-    /// Decomposes the representation into its parts.
+    /// Mutable access to the arena store (crate-internal).
+    pub(crate) fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Number of root unions (= number of f-tree roots).
+    pub fn root_count(&self) -> usize {
+        self.store.roots.len()
+    }
+
+    /// The `i`-th root union.
+    pub fn root(&self, i: usize) -> UnionRef<'_> {
+        UnionRef {
+            tree: &self.tree,
+            store: &self.store,
+            id: self.store.roots[i],
+        }
+    }
+
+    /// Iterates over the root unions.
+    pub fn roots(&self) -> impl ExactSizeIterator<Item = UnionRef<'_>> {
+        self.store.roots.iter().map(|&id| UnionRef {
+            tree: &self.tree,
+            store: &self.store,
+            id,
+        })
+    }
+
+    /// The first union over the given node found in the representation, if
+    /// any (unions of one node are never nested inside one another).
+    pub fn union_of_node(&self, node: NodeId) -> Option<UnionRef<'_>> {
+        self.store
+            .unions
+            .iter()
+            .position(|rec| rec.node == node)
+            .map(|id| UnionRef {
+                tree: &self.tree,
+                store: &self.store,
+                id: id as u32,
+            })
+    }
+
+    /// Thaws the representation's data into the owned builder forest.
+    pub fn to_forest(&self) -> Vec<Union> {
+        self.store.thaw(&self.tree)
+    }
+
+    /// Decomposes the representation into its f-tree and builder forest.
     pub fn into_parts(self) -> (FTree, Vec<Union>) {
-        (self.tree, self.roots)
+        let forest = self.store.thaw(&self.tree);
+        (self.tree, forest)
     }
 
     /// The visible (non-projected) attributes of the representation, sorted.
@@ -167,42 +159,51 @@ impl FRep {
     /// no nodes represents the relation containing the nullary tuple and is
     /// *not* empty.
     pub fn represents_empty(&self) -> bool {
-        self.roots.iter().any(Union::is_empty)
+        self.store
+            .roots
+            .iter()
+            .any(|&r| self.store.union_len(r) == 0)
     }
 
     /// The size of the representation: its number of singletons.  Every
     /// entry of a union over node `N` contributes one singleton per visible
-    /// attribute of `N`.
+    /// attribute of `N`.  A flat loop over the union arena (every stored
+    /// union is reachable).
     pub fn size(&self) -> usize {
-        let mut total = 0usize;
-        for root in &self.roots {
-            self.size_union(root, &mut total);
-        }
-        total
-    }
-
-    fn size_union(&self, union: &Union, total: &mut usize) {
-        let singletons_per_entry = self.tree.visible_attrs(union.node).len();
-        *total += singletons_per_entry * union.entries.len();
-        for entry in &union.entries {
-            for child in &entry.children {
-                self.size_union(child, total);
-            }
-        }
+        let visible: std::collections::BTreeMap<NodeId, usize> = self
+            .tree
+            .node_ids()
+            .into_iter()
+            .map(|n| (n, self.tree.visible_attrs(n).len()))
+            .collect();
+        self.store
+            .unions
+            .iter()
+            .map(|rec| visible.get(&rec.node).copied().unwrap_or(0) * rec.entries_len as usize)
+            .sum()
     }
 
     /// Number of tuples in the represented relation (without enumerating
-    /// them): products multiply, unions add.
+    /// them): products multiply, unions add.  A flat bottom-up loop thanks
+    /// to the arena's topological index order.
     pub fn tuple_count(&self) -> u128 {
-        self.roots.iter().map(|u| Self::count_union(u)).product()
-    }
-
-    fn count_union(union: &Union) -> u128 {
-        union
-            .entries
-            .iter()
-            .map(|e| e.children.iter().map(Self::count_union).product::<u128>())
-            .sum()
+        let store = &self.store;
+        let mut counts = vec![0u128; store.unions.len()];
+        for uid in (0..store.unions.len()).rev() {
+            let rec = store.unions[uid];
+            let kid_count = self.tree.children(rec.node).len();
+            let mut total = 0u128;
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                let entry = store.entries[e as usize];
+                let mut product = 1u128;
+                for k in 0..kid_count {
+                    product *= counts[store.kids[entry.kids_start as usize + k] as usize];
+                }
+                total += product;
+            }
+            counts[uid] = total;
+        }
+        store.roots.iter().map(|&r| counts[r as usize]).product()
     }
 
     /// Checks all structural invariants:
@@ -211,77 +212,19 @@ impl FRep {
     /// * there is exactly one root union per f-tree root;
     /// * every union's entries are sorted strictly increasing by value;
     /// * every entry has exactly one child union per f-tree child of its
-    ///   node.
+    ///   node, laid out in f-tree child order;
+    /// * the arena's index order is topological and every union reachable.
     pub fn validate(&self) -> Result<()> {
         self.tree.check_structure()?;
         self.tree.check_path_constraint()?;
-        let tree_roots: BTreeSet<NodeId> = self.tree.roots().iter().copied().collect();
-        let rep_roots: BTreeSet<NodeId> = self.roots.iter().map(|u| u.node).collect();
-        if tree_roots != rep_roots || self.roots.len() != self.tree.roots().len() {
-            return Err(FdbError::MalformedRepresentation {
-                detail: format!(
-                    "root unions {rep_roots:?} do not match f-tree roots {tree_roots:?}"
-                ),
-            });
-        }
-        for root in &self.roots {
-            self.validate_union(root)?;
-        }
-        Ok(())
-    }
-
-    fn validate_union(&self, union: &Union) -> Result<()> {
-        self.tree.check_node(union.node)?;
-        let expected_children: BTreeSet<NodeId> =
-            self.tree.children(union.node).iter().copied().collect();
-        let mut prev: Option<Value> = None;
-        for entry in &union.entries {
-            if let Some(p) = prev {
-                if entry.value <= p {
-                    return Err(FdbError::MalformedRepresentation {
-                        detail: format!(
-                            "union over {} has out-of-order or duplicate value {}",
-                            union.node, entry.value
-                        ),
-                    });
-                }
-            }
-            prev = Some(entry.value);
-            let child_nodes: BTreeSet<NodeId> = entry.children.iter().map(|u| u.node).collect();
-            if child_nodes != expected_children || entry.children.len() != expected_children.len() {
-                return Err(FdbError::MalformedRepresentation {
-                    detail: format!(
-                        "entry {} of union over {} has children {child_nodes:?}, expected {expected_children:?}",
-                        entry.value, union.node
-                    ),
-                });
-            }
-            for child in &entry.children {
-                self.validate_union(child)?;
-            }
-        }
-        Ok(())
+        self.store.validate(&self.tree)
     }
 
     /// Removes entries whose product has become empty (some child union with
     /// no entries), propagating upwards.  Root unions are allowed to end up
     /// empty — that simply means the represented relation is empty.
     pub fn prune_empty(&mut self) {
-        for root in &mut self.roots {
-            Self::prune_union(root);
-        }
-    }
-
-    fn prune_union(union: &mut Union) {
-        union.entries.retain_mut(|entry| {
-            for child in &mut entry.children {
-                Self::prune_union(child);
-                if child.is_empty() {
-                    return false;
-                }
-            }
-            true
-        });
+        self.store = self.store.retain_and_prune(&self.tree, |_, _| true);
     }
 
     /// Renders the representation as nested text (values only), useful in
@@ -291,22 +234,26 @@ impl FRep {
         F: FnMut(AttrId) -> String,
     {
         let mut out = String::new();
-        for root in &self.roots {
+        for root in self.roots() {
             self.render_union(root, 0, &mut name, &mut out);
         }
         out
     }
 
-    fn render_union<F>(&self, union: &Union, depth: usize, name: &mut F, out: &mut String)
+    fn render_union<F>(&self, union: UnionRef<'_>, depth: usize, name: &mut F, out: &mut String)
     where
         F: FnMut(AttrId) -> String,
     {
-        let label: Vec<String> =
-            self.tree.class(union.node).iter().map(|&a| name(a)).collect();
+        let label: Vec<String> = self
+            .tree
+            .class(union.node())
+            .iter()
+            .map(|&a| name(a))
+            .collect();
         out.push_str(&format!("{}∪ {}:\n", "  ".repeat(depth), label.join(",")));
-        for entry in &union.entries {
-            out.push_str(&format!("{}⟨{}⟩\n", "  ".repeat(depth + 1), entry.value));
-            for child in &entry.children {
+        for entry in union.entries() {
+            out.push_str(&format!("{}⟨{}⟩\n", "  ".repeat(depth + 1), entry.value()));
+            for child in entry.children() {
                 self.render_union(child, depth + 2, name, out);
             }
         }
@@ -322,7 +269,10 @@ impl fmt::Display for FRep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Entry;
+    use fdb_common::{FdbError, Value};
     use fdb_ftree::DepEdge;
+    use std::collections::BTreeSet;
 
     fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
         ids.iter().map(|&i| AttrId(i)).collect()
@@ -419,6 +369,20 @@ mod tests {
     }
 
     #[test]
+    fn arena_validation_catches_malformed_frozen_data() {
+        // from_parts_unchecked freezes without checking; validate() must
+        // still reject the malformation at the arena level.
+        let rep = example3();
+        let (tree, mut roots) = rep.into_parts();
+        roots[0].entries[0].children.clear();
+        let rep = FRep::from_parts_unchecked(tree, roots);
+        assert!(matches!(
+            rep.validate(),
+            Err(FdbError::MalformedRepresentation { .. })
+        ));
+    }
+
+    #[test]
     fn prune_removes_entries_with_empty_children() {
         let rep = example3();
         let (tree, mut roots) = rep.into_parts();
@@ -428,26 +392,42 @@ mod tests {
         rep.prune_empty();
         rep.validate().unwrap();
         assert_eq!(rep.tuple_count(), 1);
-        assert_eq!(rep.roots()[0].entries.len(), 1);
-        assert_eq!(rep.roots()[0].entries[0].value, Value::new(2));
+        assert_eq!(rep.root(0).len(), 1);
+        assert_eq!(rep.root(0).entry(0).value(), Value::new(2));
     }
 
     #[test]
     fn union_lookup_helpers() {
         let rep = example3();
-        let root = &rep.roots()[0];
+        let root = rep.root(0);
         assert_eq!(root.len(), 2);
         assert!(root.find_value(Value::new(2)).is_some());
         assert!(root.find_value(Value::new(3)).is_none());
         let b = rep.tree().node_of_attr(AttrId(1)).unwrap();
         let entry = root.find_value(Value::new(1)).unwrap();
         assert_eq!(entry.child(b).unwrap().len(), 2);
+        assert_eq!(rep.union_of_node(root.node()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn forest_round_trip_preserves_everything() {
+        let rep = example3();
+        let rebuilt = FRep::from_parts(rep.tree().clone(), rep.to_forest()).unwrap();
+        assert_eq!(rebuilt.size(), rep.size());
+        assert_eq!(rebuilt.tuple_count(), rep.tuple_count());
+        assert_eq!(rebuilt.store(), rep.store());
     }
 
     #[test]
     fn render_contains_values() {
         let rep = example3();
-        let text = rep.render(|a| if a == AttrId(0) { "A".into() } else { "B".into() });
+        let text = rep.render(|a| {
+            if a == AttrId(0) {
+                "A".into()
+            } else {
+                "B".into()
+            }
+        });
         assert!(text.contains("∪ A:"));
         assert!(text.contains("⟨1⟩"));
         assert!(text.contains("∪ B:"));

@@ -4,14 +4,18 @@
 //! singletons `⟨A:a⟩`, unions and products, whose nesting structure follows
 //! an f-tree (Definitions 1 and 2 of the paper).  This crate implements:
 //!
-//! * the [`FRep`] data structure ([`frep`]): a forest of value-sorted unions
-//!   mirroring the f-tree, with size accounting (number of singletons),
-//!   structural validation and tuple counting;
+//! * the [`FRep`] data structure ([`frep`]), stored in the flat arenas of
+//!   [`store`]: contiguous union headers, entry records and a child-slot
+//!   table in fixed f-tree child order, with size accounting (number of
+//!   singletons), structural validation and tuple counting as flat loops;
+//! * the owned [`Union`]/[`Entry`] *builder* form ([`node`]) used to
+//!   construct representations and to rewrite them structurally;
 //! * construction of the factorised result of a select-project-join query
 //!   over a given f-tree directly from a flat database ([`build`]), without
 //!   materialising the flat result;
-//! * enumeration of the represented relation ([`enumerate`]): constant-delay
-//!   traversal and materialisation into a flat [`fdb_relation::Relation`];
+//! * enumeration of the represented relation ([`enumerate`]): an iterative,
+//!   allocation-free constant-delay cursor ([`TupleCursor`]) and
+//!   materialisation into a flat [`fdb_relation::Relation`];
 //! * the data-level f-plan operators ([`ops`]): Cartesian product, push-up
 //!   and normalisation, swap, merge, absorb, selection with a constant, and
 //!   projection.  Each operator transforms both the representation and its
@@ -23,8 +27,12 @@
 pub mod build;
 pub mod enumerate;
 pub mod frep;
+pub mod node;
 pub mod ops;
+pub mod store;
 
 pub use build::build_frep;
-pub use enumerate::{for_each_tuple, materialize};
-pub use frep::{Entry, FRep, Union};
+pub use enumerate::{count_by_enumeration, for_each_tuple, materialize, TupleCursor};
+pub use frep::FRep;
+pub use node::{Entry, Union};
+pub use store::{EntryRef, UnionRef};

@@ -9,9 +9,10 @@
 //! normalisation step: removing `B` can make nodes below it independent of
 //! the nodes in between, so they may be pushed up.
 
-use crate::frep::{FRep, Union};
-use crate::ops::restructure::normalise;
-use crate::ops::visit_unions_of_node_mut;
+use crate::frep::FRep;
+use crate::node::Union;
+use crate::ops::restructure::normalise_impl;
+use crate::ops::{visit_unions_of_node_mut, MutRep};
 use fdb_common::{FdbError, Result, Value};
 use fdb_ftree::NodeId;
 
@@ -27,15 +28,17 @@ pub fn absorb(rep: &mut FRep, a: NodeId, b: NodeId) -> Result<Vec<NodeId>> {
         });
     }
 
-    visit_unions_of_node_mut(rep.roots_mut(), a, &mut |a_union: &mut Union| {
+    let mut m = MutRep::thaw(rep);
+    visit_unions_of_node_mut(&mut m.roots, a, &mut |a_union: &mut Union| {
         a_union
             .entries
             .retain_mut(|entry| restrict_children(&mut entry.children, b, entry.value));
     });
 
-    rep.tree_mut().absorb_into_ancestor(a, b)?;
-    rep.prune_empty();
-    let pushed = normalise(rep)?;
+    m.tree.absorb_into_ancestor(a, b)?;
+    m.prune_empty();
+    let pushed = normalise_impl(&mut m)?;
+    *rep = m.freeze();
     Ok(pushed)
 }
 
@@ -47,8 +50,10 @@ fn restrict_children(children: &mut Vec<Union>, b: NodeId, value: Value) -> bool
     let mut idx = 0;
     while idx < children.len() {
         if children[idx].node == b {
-            let b_union = children.remove(idx);
-            match b_union.entries.into_iter().find(|e| e.value == value) {
+            let mut b_union = children.remove(idx);
+            // Binary search on the sorted entries (unions keep their values
+            // strictly increasing), not a linear scan.
+            match b_union.take_value(value) {
                 Some(matched) => spliced.extend(matched.children),
                 None => return false,
             }

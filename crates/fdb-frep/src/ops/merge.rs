@@ -12,8 +12,9 @@
 //! The implementation is a sort-merge join over the two (sorted) value lists,
 //! so it runs in time linear in the input sizes.
 
-use crate::frep::{Entry, FRep, Union};
-use crate::ops::visit_contexts_of_node_mut;
+use crate::frep::FRep;
+use crate::node::{Entry, Union};
+use crate::ops::{visit_contexts_of_node_mut, MutRep};
 use fdb_common::{FdbError, Result};
 use fdb_ftree::NodeId;
 
@@ -29,21 +30,31 @@ pub fn merge(rep: &mut FRep, a: NodeId, b: NodeId) -> Result<NodeId> {
     }
     let parent = rep.tree().parent(a);
 
-    visit_contexts_of_node_mut(rep, parent, &mut |context: &mut Vec<Union>| {
-        let Some(pos_a) = context.iter().position(|u| u.node == a) else { return };
-        let Some(pos_b) = context.iter().position(|u| u.node == b) else { return };
+    let mut m = MutRep::thaw(rep);
+    visit_contexts_of_node_mut(&mut m, parent, &mut |context: &mut Vec<Union>| {
+        let Some(pos_a) = context.iter().position(|u| u.node == a) else {
+            return;
+        };
+        let Some(pos_b) = context.iter().position(|u| u.node == b) else {
+            return;
+        };
         // Remove the higher index first so the lower one stays valid.
-        let (first, second) = if pos_a > pos_b { (pos_a, pos_b) } else { (pos_b, pos_a) };
+        let (first, second) = if pos_a > pos_b {
+            (pos_a, pos_b)
+        } else {
+            (pos_b, pos_a)
+        };
         let u1 = context.remove(first);
         let u2 = context.remove(second);
         let (a_union, b_union) = if u1.node == a { (u1, u2) } else { (u2, u1) };
         context.push(merge_unions(a, a_union, b_union));
     });
 
-    rep.tree_mut().merge_siblings(a, b)?;
+    m.tree.merge_siblings(a, b)?;
     // Values present on one side only have disappeared; entries whose product
     // became empty elsewhere must be pruned away.
-    rep.prune_empty();
+    m.prune_empty();
+    *rep = m.freeze();
     Ok(a)
 }
 
@@ -60,7 +71,10 @@ fn merge_unions(node: NodeId, a_union: Union, b_union: Union) -> Union {
             let b_entry = b_iter.next().expect("peeked");
             let mut children = a_entry.children;
             children.extend(b_entry.children);
-            entries.push(Entry { value: a_entry.value, children });
+            entries.push(Entry {
+                value: a_entry.value,
+                children,
+            });
         }
     }
     Union::new(node, entries)
@@ -81,7 +95,11 @@ mod tests {
 
     /// A small factorisation item{attr 0} → partner{attr 1}.
     fn rep_over(attr_root: u32, attr_child: u32, name: &str, data: &[(u64, &[u64])]) -> FRep {
-        let edges = vec![DepEdge::new(name, attrs(&[attr_root, attr_child]), data.len() as u64)];
+        let edges = vec![DepEdge::new(
+            name,
+            attrs(&[attr_root, attr_child]),
+            data.len() as u64,
+        )];
         let mut tree = FTree::new(edges);
         let root = tree.add_node(attrs(&[attr_root]), None).unwrap();
         let child = tree.add_node(attrs(&[attr_child]), Some(root)).unwrap();
@@ -91,7 +109,10 @@ mod tests {
                 value: Value::new(v),
                 children: vec![Union::new(
                     child,
-                    children.iter().map(|&c| Entry::leaf(Value::new(c))).collect(),
+                    children
+                        .iter()
+                        .map(|&c| Entry::leaf(Value::new(c)))
+                        .collect(),
                 )],
             })
             .collect();
@@ -111,7 +132,7 @@ mod tests {
         rep.validate().unwrap();
         assert_eq!(survivor, a);
         // Only items 2 and 3 survive.
-        let root = &rep.roots()[0];
+        let root = rep.root(0);
         assert_eq!(root.len(), 2);
         assert_eq!(rep.tree().class(a), &attrs(&[0, 2]));
         // The flat view must equal the join: item 2 → {20,21}×{77},

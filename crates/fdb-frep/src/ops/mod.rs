@@ -13,12 +13,23 @@
 //! | selection with constant `σ_{AθC}` | [`select`] | the node may become constant-bound |
 //! | projection `π_Ā` | [`mod@project`] | projected leaves disappear |
 //!
-//! All operators preserve the invariants of [`crate::FRep`]: values inside every
-//! union stay sorted and distinct, every entry carries one child union per
-//! f-tree child, the path constraint holds, and (where the paper promises
-//! it) normalisation is preserved.  They run in time linear in the sizes of
-//! their input and output representations, up to logarithmic factors for the
-//! value regrouping done by swap and merge.
+//! # Arena-native versus builder-form operators
+//!
+//! Since the arena refactor ([`crate::store`]) the value-level operators —
+//! selection with a constant, Cartesian product, and pruning — run directly
+//! on the flat arenas (a filtered rebuild, respectively an index-offset
+//! concatenation), with no pointer tree in sight.  The *structural*
+//! operators (swap, merge, absorb, push-up, projection) splice and regroup
+//! subtrees arbitrarily, which is natural on the owned [`crate::node`]
+//! builder form and hopeless in place on a flat arena; they thaw the store
+//! once into a [`MutRep`], restructure, and freeze back — two linear passes
+//! bracketing the same (quasi)linear rewriting logic as before, preserving
+//! the paper's operator cost bounds.
+//!
+//! All operators preserve the invariants of [`crate::FRep`]: values inside
+//! every union stay sorted and distinct, every entry carries one child union
+//! per f-tree child, the path constraint holds, and (where the paper
+//! promises it) normalisation is preserved.
 
 pub mod absorb;
 pub mod merge;
@@ -36,12 +47,43 @@ pub use restructure::{normalise, push_up};
 pub use select::select_const;
 pub use swap::swap;
 
-use crate::frep::Union;
-use fdb_ftree::NodeId;
+use crate::frep::FRep;
+use crate::node::{self, Union};
+use fdb_ftree::{FTree, NodeId};
 
-/// Applies `f` to every union over `target` in the representation rooted at
-/// the given product context.  Unions of a node are never nested inside one
-/// another, so recursion stops once the target is found.
+/// A representation thawed into the owned builder form, as the structural
+/// operators rewrite it.  Constructed from an [`FRep`] with [`MutRep::thaw`]
+/// and turned back with [`MutRep::freeze`]; the intermediate states may
+/// violate the arena invariants (that is the point), the final freeze
+/// re-establishes them.
+pub(crate) struct MutRep {
+    pub(crate) tree: FTree,
+    pub(crate) roots: Vec<Union>,
+}
+
+impl MutRep {
+    /// Thaws a representation (one linear pass over the arena).
+    pub(crate) fn thaw(rep: &FRep) -> MutRep {
+        MutRep {
+            tree: rep.tree().clone(),
+            roots: rep.to_forest(),
+        }
+    }
+
+    /// Freezes the rewritten forest back into an arena-backed [`FRep`].
+    pub(crate) fn freeze(self) -> FRep {
+        FRep::from_parts_unchecked(self.tree, self.roots)
+    }
+
+    /// Removes entries whose product became empty, propagating upwards.
+    pub(crate) fn prune_empty(&mut self) {
+        node::prune_forest(&mut self.roots);
+    }
+}
+
+/// Applies `f` to every union over `target` in the given builder forest.
+/// Unions of a node are never nested inside one another, so recursion stops
+/// once the target is found.
 pub(crate) fn visit_unions_of_node_mut<F: FnMut(&mut Union)>(
     unions: &mut [Union],
     target: NodeId,
@@ -59,18 +101,18 @@ pub(crate) fn visit_unions_of_node_mut<F: FnMut(&mut Union)>(
 }
 
 /// Applies `f` to every *product context* (a mutable list of sibling unions)
-/// that directly contains a union over `target`: the top-level root list when
-/// `target` is a root, otherwise the children list of every entry of every
-/// union over `target`'s parent.
+/// that directly contains a union over a child of `parent`: the top-level
+/// root list when `parent` is `None`, otherwise the children list of every
+/// entry of every union over `parent`.
 pub(crate) fn visit_contexts_of_node_mut<F: FnMut(&mut Vec<Union>)>(
-    rep: &mut crate::frep::FRep,
+    rep: &mut MutRep,
     parent: Option<NodeId>,
     f: &mut F,
 ) {
     match parent {
-        None => f(rep.roots_mut()),
+        None => f(&mut rep.roots),
         Some(p) => {
-            visit_unions_of_node_mut(rep.roots_mut(), p, &mut |parent_union: &mut Union| {
+            visit_unions_of_node_mut(&mut rep.roots, p, &mut |parent_union: &mut Union| {
                 for entry in parent_union.entries.iter_mut() {
                     f(&mut entry.children);
                 }

@@ -18,8 +18,8 @@
 //! semantics — a factorised representation never stores duplicate tuples).
 
 use crate::frep::FRep;
-use crate::ops::swap::swap;
-use crate::ops::visit_contexts_of_node_mut;
+use crate::ops::swap::swap_impl;
+use crate::ops::{visit_contexts_of_node_mut, MutRep};
 use fdb_common::{AttrId, Result};
 use std::collections::BTreeSet;
 
@@ -32,36 +32,41 @@ pub fn project(rep: &mut FRep, keep: &BTreeSet<AttrId>) -> Result<()> {
     if marked.is_empty() {
         return Ok(());
     }
-    rep.tree_mut().mark_attrs_projected(&marked);
+
+    // The whole leaf-removal / swap-down loop runs on the thawed builder
+    // form; the arena is frozen exactly once at the end.
+    let mut m = MutRep::thaw(rep);
+    m.tree.mark_attrs_projected(&marked);
 
     loop {
         // Remove every leaf whose attributes have all been projected away.
-        let removable = rep.tree().removable_projected_leaves();
+        let removable = m.tree.removable_projected_leaves();
         if !removable.is_empty() {
             for leaf in removable {
-                let parent = rep.tree().parent(leaf);
-                visit_contexts_of_node_mut(rep, parent, &mut |context| {
+                let parent = m.tree.parent(leaf);
+                visit_contexts_of_node_mut(&mut m, parent, &mut |context| {
                     context.retain(|u| u.node != leaf);
                 });
-                rep.tree_mut().remove_projected_leaf(leaf)?;
+                m.tree.remove_projected_leaf(leaf)?;
             }
             continue;
         }
         // Otherwise pick a fully-projected inner node and swap it one level
         // down (each swap strictly shrinks its subtree, so this terminates).
-        let marked_inner = rep
-            .tree()
+        let marked_inner = m
+            .tree
             .node_ids()
             .into_iter()
-            .find(|&n| rep.tree().visible_attrs(n).is_empty() && !rep.tree().is_leaf(n));
+            .find(|&n| m.tree.visible_attrs(n).is_empty() && !m.tree.is_leaf(n));
         match marked_inner {
             Some(node) => {
-                let child = rep.tree().children(node)[0];
-                swap(rep, child)?;
+                let child = m.tree.children(node)[0];
+                swap_impl(&mut m, child)?;
             }
             None => break,
         }
     }
+    *rep = m.freeze();
     Ok(())
 }
 
@@ -100,7 +105,10 @@ mod tests {
             vec![
                 Entry {
                     value: Value::new(1),
-                    children: vec![Union::new(b, vec![b_entry(10, &[100, 200]), b_entry(11, &[100])])],
+                    children: vec![Union::new(
+                        b,
+                        vec![b_entry(10, &[100, 200]), b_entry(11, &[100])],
+                    )],
                 },
                 Entry {
                     value: Value::new(2),

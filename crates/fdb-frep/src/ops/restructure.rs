@@ -14,24 +14,44 @@
 //! further; the result is the unique normalised f-tree reachable this way,
 //! and the representation only ever shrinks.
 
-use crate::frep::{FRep, Union};
-use crate::ops::{visit_contexts_of_node_mut, visit_unions_of_node_mut};
+use crate::frep::FRep;
+use crate::node::Union;
+use crate::ops::{visit_contexts_of_node_mut, MutRep};
 use fdb_common::{FdbError, Result};
 use fdb_ftree::NodeId;
 
 /// Push-up operator `ψ_B`: lifts node `b` (with its subtree) one level up in
 /// both the f-tree and the representation.
 pub fn push_up(rep: &mut FRep, b: NodeId) -> Result<()> {
-    rep.tree().check_node(b)?;
-    let Some(a) = rep.tree().parent(b) else {
-        return Err(FdbError::InvalidOperator { detail: format!("push-up: {b} is a root") });
+    check_push_up(rep.tree(), b)?;
+    let mut m = MutRep::thaw(rep);
+    push_up_impl(&mut m, b)?;
+    *rep = m.freeze();
+    Ok(())
+}
+
+/// Validates push-up applicability without touching data.
+fn check_push_up(tree: &fdb_ftree::FTree, b: NodeId) -> Result<()> {
+    tree.check_node(b)?;
+    let Some(a) = tree.parent(b) else {
+        return Err(FdbError::InvalidOperator {
+            detail: format!("push-up: {b} is a root"),
+        });
     };
-    if rep.tree().depends_on_subtree(a, b) {
+    if tree.depends_on_subtree(a, b) {
         return Err(FdbError::InvalidOperator {
             detail: format!("push-up: parent {a} depends on the subtree of {b}"),
         });
     }
-    let grandparent = rep.tree().parent(a);
+    Ok(())
+}
+
+/// The builder-form push-up, shared with normalisation and the operators
+/// that normalise as a final step (so a chain of push-ups thaws only once).
+pub(crate) fn push_up_impl(rep: &mut MutRep, b: NodeId) -> Result<()> {
+    check_push_up(&rep.tree, b)?;
+    let a = rep.tree.parent(b).expect("checked: b has a parent");
+    let grandparent = rep.tree.parent(a);
 
     // In every product context that holds the A-union, extract the (shared)
     // B-union from its entries and add it to the context as a new factor.
@@ -57,19 +77,27 @@ pub fn push_up(rep: &mut FRep, b: NodeId) -> Result<()> {
         context.extend(lifted);
     });
 
-    rep.tree_mut().push_up(b)?;
+    rep.tree.push_up(b)?;
     Ok(())
 }
 
 /// Normalisation operator `η`: applies push-ups bottom-up until the f-tree is
 /// normalised.  Returns the nodes pushed up, in order.
 pub fn normalise(rep: &mut FRep) -> Result<Vec<NodeId>> {
+    let mut m = MutRep::thaw(rep);
+    let applied = normalise_impl(&mut m)?;
+    *rep = m.freeze();
+    Ok(applied)
+}
+
+/// The builder-form normalisation loop.
+pub(crate) fn normalise_impl(rep: &mut MutRep) -> Result<Vec<NodeId>> {
     let mut applied = Vec::new();
     loop {
         let mut changed = false;
-        for node in rep.tree().bottom_up() {
-            while rep.tree().can_push_up(node) {
-                push_up(rep, node)?;
+        for node in rep.tree.bottom_up() {
+            while rep.tree.can_push_up(node) {
+                push_up_impl(rep, node)?;
                 applied.push(node);
                 changed = true;
             }
@@ -79,21 +107,6 @@ pub fn normalise(rep: &mut FRep) -> Result<Vec<NodeId>> {
         }
     }
     Ok(applied)
-}
-
-/// Internal helper used by other operators: after a structural change, the
-/// unions over `node` might hold entries in a different order; this verifies
-/// (in debug builds) that sortedness still holds.
-#[allow(dead_code)]
-pub(crate) fn debug_assert_sorted(rep: &mut FRep, node: NodeId) {
-    if cfg!(debug_assertions) {
-        visit_unions_of_node_mut(rep.roots_mut(), node, &mut |u: &mut Union| {
-            debug_assert!(
-                u.entries.windows(2).all(|w| w[0].value < w[1].value),
-                "union over {node} lost its value order"
-            );
-        });
-    }
 }
 
 #[cfg(test)]
@@ -121,13 +134,22 @@ mod tests {
         let a = tree.add_node(attrs(&[0]), None).unwrap();
         let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
         let b_union = || {
-            Union::new(b, vec![Entry::leaf(Value::new(5)), Entry::leaf(Value::new(6))])
+            Union::new(
+                b,
+                vec![Entry::leaf(Value::new(5)), Entry::leaf(Value::new(6))],
+            )
         };
         let a_union = Union::new(
             a,
             vec![
-                Entry { value: Value::new(1), children: vec![b_union()] },
-                Entry { value: Value::new(2), children: vec![b_union()] },
+                Entry {
+                    value: Value::new(1),
+                    children: vec![b_union()],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![b_union()],
+                },
             ],
         );
         FRep::from_parts(tree, vec![a_union]).unwrap()
@@ -199,15 +221,24 @@ mod tests {
             Union::new(
                 a,
                 vals.iter()
-                    .map(|&v| Entry { value: Value::new(v), children: vec![make_b()] })
+                    .map(|&v| Entry {
+                        value: Value::new(v),
+                        children: vec![make_b()],
+                    })
                     .collect(),
             )
         };
         let c_union = Union::new(
             c,
             vec![
-                Entry { value: Value::new(1), children: vec![make_a(&[10, 11])] },
-                Entry { value: Value::new(2), children: vec![make_a(&[12])] },
+                Entry {
+                    value: Value::new(1),
+                    children: vec![make_a(&[10, 11])],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![make_a(&[12])],
+                },
             ],
         );
         let mut rep = FRep::from_parts(tree, vec![c_union]).unwrap();

@@ -1,33 +1,31 @@
 //! Selection with a constant, `σ_{A θ c}`.
 //!
-//! The operator scans every union over the node labelled by `A` and keeps
-//! only the entries whose value satisfies the comparison.  Unions that become
-//! empty make the surrounding products empty, so the representation is pruned
-//! afterwards.  For an equality comparison the node is additionally marked as
-//! bound to the constant: every remaining `A`-value equals `c`, so the node
-//! no longer contributes to the size bound `s(T)`.
+//! The operator keeps only the entries of the `A`-node's unions whose value
+//! satisfies the comparison.  It is **arena-native**: one filtered rebuild
+//! of the flat store ([`crate::store`]) applies the predicate and the
+//! subsequent pruning (entries whose product became empty disappear, empty
+//! unions propagate upwards) in three flat passes, with no pointer tree and
+//! no per-node allocation.  For an equality comparison the node is
+//! additionally marked as bound to the constant: every remaining `A`-value
+//! equals `c`, so the node no longer contributes to the size bound `s(T)`.
 
-use crate::frep::{FRep, Union};
-use crate::ops::visit_unions_of_node_mut;
+use crate::frep::FRep;
 use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
 
 /// Selection with constant `σ_{attr θ value}` on the representation.
-pub fn select_const(
-    rep: &mut FRep,
-    attr: AttrId,
-    op: ComparisonOp,
-    value: Value,
-) -> Result<()> {
+pub fn select_const(rep: &mut FRep, attr: AttrId, op: ComparisonOp, value: Value) -> Result<()> {
     let Some(node) = rep.tree().node_of_attr(attr) else {
-        return Err(FdbError::AttributeNotInQuery { attr: format!("{attr}") });
+        return Err(FdbError::AttributeNotInQuery {
+            attr: format!("{attr}"),
+        });
     };
-    visit_unions_of_node_mut(rep.roots_mut(), node, &mut |union: &mut Union| {
-        union.entries.retain(|entry| op.eval(entry.value, value));
-    });
+    let filtered = rep
+        .store()
+        .retain_and_prune(rep.tree(), |n, v| n != node || op.eval(v, value));
+    rep.set_store(filtered);
     if op == ComparisonOp::Eq {
         rep.tree_mut().bind_constant(node, value)?;
     }
-    rep.prune_empty();
     Ok(())
 }
 
@@ -35,7 +33,7 @@ pub fn select_const(
 mod tests {
     use super::*;
     use crate::enumerate::materialize;
-    use crate::frep::Entry;
+    use crate::node::{Entry, Union};
     use fdb_ftree::{DepEdge, FTree, NodeId};
     use std::collections::BTreeSet;
 
@@ -56,7 +54,10 @@ mod tests {
                 bs.iter().map(|&x| Entry::leaf(Value::new(x))).collect(),
             )],
         };
-        let u = Union::new(a, vec![entry(1, &[10, 20]), entry(2, &[20]), entry(3, &[30, 40])]);
+        let u = Union::new(
+            a,
+            vec![entry(1, &[10, 20]), entry(2, &[20]), entry(3, &[30, 40])],
+        );
         (FRep::from_parts(tree, vec![u]).unwrap(), a, b)
     }
 
@@ -88,8 +89,8 @@ mod tests {
         // Only B > 25 survives: the A=1 and A=2 entries must disappear.
         select_const(&mut rep, AttrId(1), ComparisonOp::Gt, Value::new(25)).unwrap();
         rep.validate().unwrap();
-        assert_eq!(rep.roots()[0].len(), 1);
-        assert_eq!(rep.roots()[0].entries[0].value, Value::new(3));
+        assert_eq!(rep.root(0).len(), 1);
+        assert_eq!(rep.root(0).entry(0).value(), Value::new(3));
         assert_eq!(rep.tuple_count(), 2);
     }
 
@@ -116,8 +117,11 @@ mod tests {
         rep.validate().unwrap();
         let after = materialize(&rep).unwrap();
         let col = before.col_index(AttrId(1)).unwrap();
-        let expected: BTreeSet<Vec<Value>> =
-            before.rows().filter(|r| r[col] != Value::new(20)).map(|r| r.to_vec()).collect();
+        let expected: BTreeSet<Vec<Value>> = before
+            .rows()
+            .filter(|r| r[col] != Value::new(20))
+            .map(|r| r.to_vec())
+            .collect();
         assert_eq!(after.tuple_set(), expected);
     }
 }

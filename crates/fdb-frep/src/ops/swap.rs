@@ -16,8 +16,9 @@
 //! pairing `A`-values arrive in increasing order because the outer union is
 //! already sorted — the same `O(N log N)` bound with the same output.
 
-use crate::frep::{Entry, FRep, Union};
-use crate::ops::visit_contexts_of_node_mut;
+use crate::frep::FRep;
+use crate::node::{Entry, Union};
+use crate::ops::{visit_contexts_of_node_mut, MutRep};
 use fdb_common::{FdbError, Result, Value};
 use fdb_ftree::{NodeId, SwapOutcome};
 use std::collections::{BTreeMap, BTreeSet};
@@ -25,19 +26,30 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Swap operator `χ_{A,B}` where `b`'s parent is `A`: regroups the
 /// representation by `B` before `A` and updates the f-tree accordingly.
 pub fn swap(rep: &mut FRep, b: NodeId) -> Result<SwapOutcome> {
-    rep.tree().check_node(b)?;
-    let Some(a) = rep.tree().parent(b) else {
-        return Err(FdbError::InvalidOperator { detail: format!("swap: {b} is a root") });
+    let mut m = MutRep::thaw(rep);
+    let outcome = swap_impl(&mut m, b)?;
+    *rep = m.freeze();
+    Ok(outcome)
+}
+
+/// The builder-form swap, shared with the projection operator (which swaps
+/// repeatedly and freezes only once).
+pub(crate) fn swap_impl(rep: &mut MutRep, b: NodeId) -> Result<SwapOutcome> {
+    rep.tree.check_node(b)?;
+    let Some(a) = rep.tree.parent(b) else {
+        return Err(FdbError::InvalidOperator {
+            detail: format!("swap: {b} is a root"),
+        });
     };
-    let grandparent = rep.tree().parent(a);
+    let grandparent = rep.tree.parent(a);
     // Which children of B depend on A (G_ab, they follow A down) and which do
     // not (F_b, they stay with B) — must match what the tree-level swap does.
     let moved_down: BTreeSet<NodeId> = rep
-        .tree()
+        .tree
         .children(b)
         .iter()
         .copied()
-        .filter(|&c| rep.tree().depends_on_subtree(a, c))
+        .filter(|&c| rep.tree.depends_on_subtree(a, c))
         .collect();
 
     visit_contexts_of_node_mut(rep, grandparent, &mut |context: &mut Vec<Union>| {
@@ -49,7 +61,7 @@ pub fn swap(rep: &mut FRep, b: NodeId) -> Result<SwapOutcome> {
         }
     });
 
-    let outcome = rep.tree_mut().swap_with_parent(b)?;
+    let outcome = rep.tree.swap_with_parent(b)?;
     debug_assert_eq!(
         outcome.moved_down.iter().copied().collect::<BTreeSet<_>>(),
         moved_down,
@@ -80,17 +92,23 @@ fn regroup(a_union: Union, a: NodeId, b: NodeId, moved_down: &BTreeSet<NodeId>) 
         let e_a = children; // the T_A subtrees
 
         for b_entry in b_union.entries {
-            let (g_ab, f_b): (Vec<Union>, Vec<Union>) =
-                b_entry.children.into_iter().partition(|u| moved_down.contains(&u.node));
-            let slot = by_b
-                .entry(b_entry.value)
-                .or_insert(PerB { f_b: None, a_entries: Vec::new() });
+            let (g_ab, f_b): (Vec<Union>, Vec<Union>) = b_entry
+                .children
+                .into_iter()
+                .partition(|u| moved_down.contains(&u.node));
+            let slot = by_b.entry(b_entry.value).or_insert(PerB {
+                f_b: None,
+                a_entries: Vec::new(),
+            });
             if slot.f_b.is_none() {
                 slot.f_b = Some(f_b);
             }
             let mut new_children = e_a.clone();
             new_children.extend(g_ab);
-            slot.a_entries.push(Entry { value: a_value, children: new_children });
+            slot.a_entries.push(Entry {
+                value: a_value,
+                children: new_children,
+            });
         }
     }
 
@@ -99,7 +117,10 @@ fn regroup(a_union: Union, a: NodeId, b: NodeId, moved_down: &BTreeSet<NodeId>) 
         .map(|(b_value, slot)| {
             let mut children = slot.f_b.unwrap_or_default();
             children.push(Union::new(a, slot.a_entries));
-            Entry { value: b_value, children }
+            Entry {
+                value: b_value,
+                children,
+            }
         })
         .collect();
     Union::new(b, entries)
@@ -135,14 +156,20 @@ mod tests {
         let dispatcher = tree.add_node(attrs(&[4]), Some(location)).unwrap();
 
         let disp_union = |vals: &[u64]| {
-            Union::new(dispatcher, vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect())
+            Union::new(
+                dispatcher,
+                vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect(),
+            )
         };
         let loc_entry = |loc: u64, dispatchers: &[u64]| Entry {
             value: Value::new(loc),
             children: vec![disp_union(dispatchers)],
         };
         let oid_union = |vals: &[u64]| {
-            Union::new(oid, vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect())
+            Union::new(
+                oid,
+                vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect(),
+            )
         };
         // Milk: orders {1}, locations Istanbul{Adnan,Yasemin}, Izmir{Adnan}, Antalya{Volkan}
         // Cheese: orders {1,3}, locations Istanbul{Adnan,Yasemin}, Antalya{Volkan}
@@ -156,7 +183,11 @@ mod tests {
                         oid_union(&[1]),
                         Union::new(
                             location,
-                            vec![loc_entry(1, &[1, 2]), loc_entry(2, &[1]), loc_entry(3, &[3])],
+                            vec![
+                                loc_entry(1, &[1, 2]),
+                                loc_entry(2, &[1]),
+                                loc_entry(3, &[3]),
+                            ],
                         ),
                     ],
                 },
@@ -197,8 +228,8 @@ mod tests {
         assert_eq!(materialize(&rep).unwrap().tuple_set(), before);
         // T2 of Example 1: the root union now ranges over the three
         // locations; under Istanbul there are three items.
-        let root = &rep.roots()[0];
-        assert_eq!(root.node, location);
+        let root = rep.root(0);
+        assert_eq!(root.node(), location);
         assert_eq!(root.len(), 3);
         let istanbul = root.find_value(Value::new(1)).unwrap();
         let item_union = istanbul.child(item).unwrap();
@@ -257,7 +288,10 @@ mod tests {
             vec![
                 Entry {
                     value: Value::new(1),
-                    children: vec![Union::new(b, vec![b_entry(10, 100, 7), b_entry(20, 200, 8)])],
+                    children: vec![Union::new(
+                        b,
+                        vec![b_entry(10, 100, 7), b_entry(20, 200, 8)],
+                    )],
                 },
                 Entry {
                     value: Value::new(2),
@@ -275,13 +309,13 @@ mod tests {
         // Structure: root over B with values 10, 20; under B=10 the D-union
         // {7} is shared while the A-union has entries 1 and 2 with their own
         // C-unions.
-        let root = &rep.roots()[0];
-        assert_eq!(root.node, b);
+        let root = rep.root(0);
+        assert_eq!(root.node(), b);
         assert_eq!(root.len(), 2);
         let b10 = root.find_value(Value::new(10)).unwrap();
         assert_eq!(b10.child(a).unwrap().len(), 2);
         assert_eq!(b10.child(d).unwrap().len(), 1);
         let a1 = b10.child(a).unwrap().find_value(Value::new(1)).unwrap();
-        assert_eq!(a1.child(c).unwrap().entries[0].value, Value::new(100));
+        assert_eq!(a1.child(c).unwrap().entry(0).value(), Value::new(100));
     }
 }

@@ -1,0 +1,622 @@
+//! The arena store backing [`crate::FRep`].
+//!
+//! # Layout
+//!
+//! Instead of a pointer tree of heap-allocated `Vec`s, a representation is
+//! flattened into three contiguous arenas plus a root list:
+//!
+//! ```text
+//! unions:  [ UnionRec { node, entries_start, entries_len } … ]
+//! entries: [ EntryRec { value, kids_start } … ]
+//! kids:    [ union index … ]
+//! roots:   [ union index … ]                  (one per f-tree root)
+//! ```
+//!
+//! * The entries of one union are **contiguous** in `entries` and sorted
+//!   strictly increasing by value, so `find_value` is a cache-friendly
+//!   binary search over a flat slice.
+//! * The child unions of one entry occupy a contiguous run of `kids` whose
+//!   length is `tree.children(node).len()` and whose order is **exactly the
+//!   f-tree's child order**, so looking up "the child union over node `N`"
+//!   is an O(1) index instead of the old linear scan over a `Vec<Union>`.
+//! * Union indices are **topological**: every kid index is strictly greater
+//!   than the index of the union containing it.  Bottom-up passes (tuple
+//!   counting, pruning) are therefore flat reverse loops over `unions`, and
+//!   top-down passes are flat forward loops — no recursion, no hashing.
+//!
+//! The store is immutable in place; operators either rebuild it with the
+//! flat passes in this module ([`Store::retain_and_prune`],
+//! [`Store::append_remapped`]) or thaw to the [`crate::node`] builder form,
+//! restructure, and freeze back.
+
+use crate::node::{Entry, Union};
+use fdb_common::{FdbError, Result, Value};
+use fdb_ftree::{FTree, NodeId};
+use std::collections::BTreeMap;
+
+/// Sentinel kid index for a child union missing from a malformed builder
+/// forest; [`Store::validate`] reports it, nothing else may encounter it.
+const MISSING_KID: u32 = u32::MAX;
+
+/// Header of one union: which node it ranges over and where its entries
+/// live in the entry arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct UnionRec {
+    pub(crate) node: NodeId,
+    pub(crate) entries_start: u32,
+    pub(crate) entries_len: u32,
+}
+
+/// One entry: its value and where its kid list starts in the kid arena (the
+/// list's length is the f-tree child count of the union's node).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct EntryRec {
+    pub(crate) value: Value,
+    pub(crate) kids_start: u32,
+}
+
+/// The flattened representation data (see the module docs for the layout).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct Store {
+    pub(crate) unions: Vec<UnionRec>,
+    pub(crate) entries: Vec<EntryRec>,
+    pub(crate) kids: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
+}
+
+impl Store {
+    /// Freezes a builder forest into a fresh arena.  Tolerates malformed
+    /// forests (missing child unions become [`MISSING_KID`], surplus child
+    /// unions are dropped) — [`Store::validate`] or
+    /// [`crate::node::validate_forest`] is responsible for rejecting them.
+    pub(crate) fn freeze(tree: &FTree, roots: &[Union]) -> Store {
+        let mut store = Store::default();
+        let root_ids: Vec<u32> = roots.iter().map(|u| store.freeze_union(tree, u)).collect();
+        store.roots = root_ids;
+        store
+    }
+
+    fn freeze_union(&mut self, tree: &FTree, union: &Union) -> u32 {
+        let uid = self.unions.len() as u32;
+        let entries_start = self.entries.len() as u32;
+        self.unions.push(UnionRec {
+            node: union.node,
+            entries_start,
+            entries_len: union.entries.len() as u32,
+        });
+        for entry in &union.entries {
+            self.entries.push(EntryRec {
+                value: entry.value,
+                kids_start: MISSING_KID,
+            });
+        }
+        let child_order: Vec<NodeId> = tree.children(union.node).to_vec();
+        let mut kid_ids: Vec<u32> = Vec::with_capacity(child_order.len());
+        for (i, entry) in union.entries.iter().enumerate() {
+            kid_ids.clear();
+            for &child_node in &child_order {
+                kid_ids.push(match entry.child(child_node) {
+                    Some(child_union) => self.freeze_union(tree, child_union),
+                    None => MISSING_KID,
+                });
+            }
+            let kids_start = self.kids.len() as u32;
+            self.kids.extend_from_slice(&kid_ids);
+            self.entries[(entries_start + i as u32) as usize].kids_start = kids_start;
+        }
+        uid
+    }
+
+    /// Thaws the arena back into the builder form.
+    pub(crate) fn thaw(&self, tree: &FTree) -> Vec<Union> {
+        self.roots
+            .iter()
+            .map(|&uid| self.thaw_union(tree, uid))
+            .collect()
+    }
+
+    fn thaw_union(&self, tree: &FTree, uid: u32) -> Union {
+        let rec = self.unions[uid as usize];
+        let kid_count = tree.children(rec.node).len();
+        let entries = (rec.entries_start..rec.entries_start + rec.entries_len)
+            .map(|e| {
+                let entry = self.entries[e as usize];
+                let children = (0..kid_count)
+                    .map(|k| self.thaw_union(tree, self.kids[entry.kids_start as usize + k]))
+                    .collect();
+                Entry {
+                    value: entry.value,
+                    children,
+                }
+            })
+            .collect();
+        Union {
+            node: rec.node,
+            entries,
+        }
+    }
+
+    /// Number of entries of the given union.
+    #[inline]
+    pub(crate) fn union_len(&self, uid: u32) -> u32 {
+        self.unions[uid as usize].entries_len
+    }
+
+    /// The entry records of the given union, as a contiguous slice.
+    #[inline]
+    pub(crate) fn entry_slice(&self, uid: u32) -> &[EntryRec] {
+        let rec = self.unions[uid as usize];
+        &self.entries[rec.entries_start as usize..(rec.entries_start + rec.entries_len) as usize]
+    }
+
+    /// The kid union index of entry `entry_index` of union `uid` at kid
+    /// position `kid_index` (the f-tree child order position).
+    #[inline]
+    pub(crate) fn kid(&self, uid: u32, entry_index: u32, kid_index: u32) -> u32 {
+        let rec = self.unions[uid as usize];
+        let entry = self.entries[(rec.entries_start + entry_index) as usize];
+        self.kids[(entry.kids_start + kid_index) as usize]
+    }
+
+    /// Checks every arena invariant against the tree; used by
+    /// [`crate::FRep::validate`].
+    pub(crate) fn validate(&self, tree: &FTree) -> Result<()> {
+        use std::collections::BTreeSet;
+        let malformed = |detail: String| FdbError::MalformedRepresentation { detail };
+
+        let tree_roots: BTreeSet<NodeId> = tree.roots().iter().copied().collect();
+        let rep_roots: BTreeSet<NodeId> = self
+            .roots
+            .iter()
+            .map(|&r| {
+                self.unions
+                    .get(r as usize)
+                    .map(|rec| rec.node)
+                    .ok_or_else(|| malformed(format!("root union index {r} out of bounds")))
+            })
+            .collect::<Result<_>>()?;
+        if tree_roots != rep_roots || self.roots.len() != tree.roots().len() {
+            return Err(malformed(format!(
+                "root unions {rep_roots:?} do not match f-tree roots {tree_roots:?}"
+            )));
+        }
+
+        let mut reachable = vec![false; self.unions.len()];
+        for &r in &self.roots {
+            reachable[r as usize] = true;
+        }
+        for uid in 0..self.unions.len() {
+            let rec = self.unions[uid];
+            tree.check_node(rec.node)?;
+            let child_order = tree.children(rec.node);
+            let end = rec.entries_start as usize + rec.entries_len as usize;
+            if end > self.entries.len() {
+                return Err(malformed(format!("union {uid} entry range out of bounds")));
+            }
+            let mut prev: Option<Value> = None;
+            for e in rec.entries_start as usize..end {
+                let entry = self.entries[e];
+                if let Some(p) = prev {
+                    if entry.value <= p {
+                        return Err(malformed(format!(
+                            "union over {} has out-of-order or duplicate value {}",
+                            rec.node, entry.value
+                        )));
+                    }
+                }
+                prev = Some(entry.value);
+                if !child_order.is_empty() {
+                    let kids_end = entry.kids_start as usize + child_order.len();
+                    if entry.kids_start == MISSING_KID || kids_end > self.kids.len() {
+                        return Err(malformed(format!(
+                            "entry {} of union over {} is missing child unions",
+                            entry.value, rec.node
+                        )));
+                    }
+                    for (k, &child_node) in child_order.iter().enumerate() {
+                        let kid = self.kids[entry.kids_start as usize + k];
+                        if kid == MISSING_KID {
+                            return Err(malformed(format!(
+                                "entry {} of union over {} is missing the child union over {child_node}",
+                                entry.value, rec.node
+                            )));
+                        }
+                        let kid_rec = self
+                            .unions
+                            .get(kid as usize)
+                            .ok_or_else(|| malformed(format!("kid index {kid} out of bounds")))?;
+                        if kid_rec.node != child_node {
+                            return Err(malformed(format!(
+                                "entry {} of union over {} has a child over {} where {child_node} was expected",
+                                entry.value, rec.node, kid_rec.node
+                            )));
+                        }
+                        if kid as usize <= uid {
+                            return Err(malformed(format!(
+                                "kid {kid} of union {uid} violates the topological order"
+                            )));
+                        }
+                        if reachable[uid] {
+                            reachable[kid as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(unreachable) = reachable.iter().position(|&r| !r) {
+            return Err(malformed(format!(
+                "union {unreachable} is not reachable from any root"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The generic flat rebuild primitive: keeps the entries for which
+    /// `keep(node, value)` holds, then removes entries whose product became
+    /// empty (some kid union without entries), propagating upwards exactly
+    /// like the old recursive prune.  Unions that became unreachable are
+    /// dropped from the arena; root unions may end up empty.
+    ///
+    /// Runs in three flat passes (no recursion, no per-node allocation).
+    pub(crate) fn retain_and_prune<F>(&self, tree: &FTree, mut keep: F) -> Store
+    where
+        F: FnMut(NodeId, Value) -> bool,
+    {
+        let kid_counts: BTreeMap<NodeId, u32> = tree
+            .node_ids()
+            .into_iter()
+            .map(|n| (n, tree.children(n).len() as u32))
+            .collect();
+
+        // Pass 1 (bottom-up, reverse index order): decide per entry whether
+        // it survives, and per union whether it still has entries.
+        let mut entry_alive = vec![false; self.entries.len()];
+        let mut union_empty = vec![true; self.unions.len()];
+        for uid in (0..self.unions.len()).rev() {
+            let rec = self.unions[uid];
+            let kid_count = kid_counts[&rec.node];
+            let mut any_alive = false;
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                let entry = self.entries[e as usize];
+                let mut alive = keep(rec.node, entry.value);
+                if alive {
+                    for k in 0..kid_count {
+                        let kid = self.kids[(entry.kids_start + k) as usize];
+                        if union_empty[kid as usize] {
+                            alive = false;
+                            break;
+                        }
+                    }
+                }
+                entry_alive[e as usize] = alive;
+                any_alive |= alive;
+            }
+            union_empty[uid] = !any_alive;
+        }
+
+        // Pass 2 (top-down): reachability under the surviving entries, and
+        // the old→new union index remapping.
+        let mut reachable = vec![false; self.unions.len()];
+        for &r in &self.roots {
+            reachable[r as usize] = true;
+        }
+        let mut remap = vec![0u32; self.unions.len()];
+        let mut next = 0u32;
+        for uid in 0..self.unions.len() {
+            if !reachable[uid] {
+                continue;
+            }
+            remap[uid] = next;
+            next += 1;
+            let rec = self.unions[uid];
+            let kid_count = kid_counts[&rec.node];
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                if !entry_alive[e as usize] {
+                    continue;
+                }
+                let entry = self.entries[e as usize];
+                for k in 0..kid_count {
+                    let kid = self.kids[(entry.kids_start + k) as usize];
+                    reachable[kid as usize] = true;
+                }
+            }
+        }
+
+        // Pass 3 (top-down): emit the pruned arena.
+        let mut out = Store::default();
+        out.unions.reserve(next as usize);
+        out.roots = self.roots.iter().map(|&r| remap[r as usize]).collect();
+        for (uid, &rec) in self.unions.iter().enumerate() {
+            if !reachable[uid] {
+                continue;
+            }
+            let kid_count = kid_counts[&rec.node];
+            let entries_start = out.entries.len() as u32;
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                if !entry_alive[e as usize] {
+                    continue;
+                }
+                let entry = self.entries[e as usize];
+                let kids_start = out.kids.len() as u32;
+                for k in 0..kid_count {
+                    let kid = self.kids[(entry.kids_start + k) as usize];
+                    out.kids.push(remap[kid as usize]);
+                }
+                out.entries.push(EntryRec {
+                    value: entry.value,
+                    kids_start,
+                });
+            }
+            out.unions.push(UnionRec {
+                node: rec.node,
+                entries_start,
+                entries_len: out.entries.len() as u32 - entries_start,
+            });
+        }
+        out
+    }
+
+    /// Appends another store (over disjoint f-tree nodes) to this one,
+    /// remapping its node identifiers through `node_map` — the data half of
+    /// the Cartesian product operator.  Runs in time linear in `other`.
+    pub(crate) fn append_remapped(&mut self, other: &Store, node_map: &BTreeMap<NodeId, NodeId>) {
+        let union_offset = self.unions.len() as u32;
+        let entry_offset = self.entries.len() as u32;
+        let kid_offset = self.kids.len() as u32;
+        self.unions.extend(other.unions.iter().map(|rec| UnionRec {
+            node: node_map[&rec.node],
+            entries_start: rec.entries_start + entry_offset,
+            entries_len: rec.entries_len,
+        }));
+        self.entries
+            .extend(other.entries.iter().map(|entry| EntryRec {
+                value: entry.value,
+                kids_start: entry.kids_start + kid_offset,
+            }));
+        self.kids
+            .extend(other.kids.iter().map(|&kid| kid + union_offset));
+        self.roots
+            .extend(other.roots.iter().map(|&r| r + union_offset));
+    }
+}
+
+/// A read-only view of one union in the arena.
+#[derive(Clone, Copy)]
+pub struct UnionRef<'a> {
+    pub(crate) tree: &'a FTree,
+    pub(crate) store: &'a Store,
+    pub(crate) id: u32,
+}
+
+impl<'a> UnionRef<'a> {
+    /// The f-tree node this union ranges over.
+    pub fn node(&self) -> NodeId {
+        self.store.unions[self.id as usize].node
+    }
+
+    /// Number of entries (distinct values).
+    pub fn len(&self) -> usize {
+        self.store.union_len(self.id) as usize
+    }
+
+    /// Returns `true` if the union has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th entry (entries are sorted increasing by value).
+    pub fn entry(&self, i: usize) -> EntryRef<'a> {
+        assert!(i < self.len(), "entry index {i} out of bounds");
+        EntryRef {
+            tree: self.tree,
+            store: self.store,
+            union: self.id,
+            index: i as u32,
+        }
+    }
+
+    /// Iterates over the entries in increasing value order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = EntryRef<'a>> + '_ {
+        let (tree, store, union) = (self.tree, self.store, self.id);
+        (0..self.store.union_len(self.id)).map(move |index| EntryRef {
+            tree,
+            store,
+            union,
+            index,
+        })
+    }
+
+    /// Binary-searches the contiguous entry slice for the given value.
+    pub fn find_value(&self, value: Value) -> Option<EntryRef<'a>> {
+        let slice = self.store.entry_slice(self.id);
+        slice
+            .binary_search_by(|e| e.value.cmp(&value))
+            .ok()
+            .map(|i| EntryRef {
+                tree: self.tree,
+                store: self.store,
+                union: self.id,
+                index: i as u32,
+            })
+    }
+
+    /// The values of this union, in increasing order.
+    pub fn values(&self) -> impl ExactSizeIterator<Item = Value> + 'a {
+        self.store.entry_slice(self.id).iter().map(|e| e.value)
+    }
+}
+
+/// A read-only view of one entry in the arena.
+#[derive(Clone, Copy)]
+pub struct EntryRef<'a> {
+    pub(crate) tree: &'a FTree,
+    pub(crate) store: &'a Store,
+    pub(crate) union: u32,
+    pub(crate) index: u32,
+}
+
+impl<'a> EntryRef<'a> {
+    /// The entry's value.
+    pub fn value(&self) -> Value {
+        self.store.entry_slice(self.union)[self.index as usize].value
+    }
+
+    /// The node of the union this entry belongs to.
+    pub fn node(&self) -> NodeId {
+        self.store.unions[self.union as usize].node
+    }
+
+    /// Number of child unions (the f-tree child count of the node).
+    pub fn child_count(&self) -> usize {
+        self.tree.children(self.node()).len()
+    }
+
+    /// The child union at kid position `k` (the f-tree child order) — an
+    /// O(1) index into the kid arena.
+    pub fn child_at(&self, k: usize) -> UnionRef<'a> {
+        assert!(k < self.child_count(), "kid index {k} out of bounds");
+        let kid = self.store.kid(self.union, self.index, k as u32);
+        UnionRef {
+            tree: self.tree,
+            store: self.store,
+            id: kid,
+        }
+    }
+
+    /// The child union over the given node, if `node` is a child of this
+    /// entry's node in the f-tree.
+    pub fn child(&self, node: NodeId) -> Option<UnionRef<'a>> {
+        let k = self
+            .tree
+            .children(self.node())
+            .iter()
+            .position(|&c| c == node)?;
+        Some(self.child_at(k))
+    }
+
+    /// Iterates over the child unions in f-tree child order.
+    pub fn children(&self) -> impl ExactSizeIterator<Item = UnionRef<'a>> + '_ {
+        (0..self.child_count()).map(move |k| self.child_at(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_common::AttrId;
+    use fdb_ftree::DepEdge;
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// A{0} → B{1}: A=1 → B{10,20}, A=2 → B{20}.
+    fn sample() -> (FTree, Vec<Union>) {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 3)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let entry = |v: u64, bs: &[u64]| Entry {
+            value: Value::new(v),
+            children: vec![Union::new(
+                b,
+                bs.iter().map(|&x| Entry::leaf(Value::new(x))).collect(),
+            )],
+        };
+        let roots = vec![Union::new(a, vec![entry(1, &[10, 20]), entry(2, &[20])])];
+        (tree, roots)
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips() {
+        let (tree, roots) = sample();
+        let store = Store::freeze(&tree, &roots);
+        store.validate(&tree).unwrap();
+        assert_eq!(store.thaw(&tree), roots);
+        // One union per node instance: the A union and one B union per entry.
+        assert_eq!(store.unions.len(), 3);
+        assert_eq!(store.entries.len(), 5);
+        assert_eq!(store.kids.len(), 2);
+    }
+
+    #[test]
+    fn kid_indices_are_topological() {
+        let (tree, roots) = sample();
+        let store = Store::freeze(&tree, &roots);
+        for (uid, rec) in store.unions.iter().enumerate() {
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                let entry = store.entries[e as usize];
+                for k in 0..tree.children(rec.node).len() {
+                    assert!(store.kids[entry.kids_start as usize + k] > uid as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_missing_kids() {
+        let (tree, mut roots) = sample();
+        roots[0].entries[0].children.clear();
+        let store = Store::freeze(&tree, &roots);
+        assert!(store.validate(&tree).is_err());
+    }
+
+    #[test]
+    fn retain_and_prune_filters_and_propagates() {
+        let (tree, roots) = sample();
+        let b = tree.node_of_attr(AttrId(1)).unwrap();
+        let store = Store::freeze(&tree, &roots);
+        // Keep only B > 15: the A=1 entry keeps B{20}, A=2 keeps B{20}.
+        let pruned = store.retain_and_prune(&tree, |n, v| n != b || v > Value::new(15));
+        pruned.validate(&tree).unwrap();
+        let thawed = pruned.thaw(&tree);
+        assert_eq!(thawed[0].len(), 2);
+        assert_eq!(thawed[0].entries[0].children[0].len(), 1);
+        // Keep only B > 25: nothing survives, the root union becomes empty.
+        let emptied = store.retain_and_prune(&tree, |n, v| n != b || v > Value::new(25));
+        emptied.validate(&tree).unwrap();
+        assert_eq!(emptied.thaw(&tree)[0].len(), 0);
+    }
+
+    #[test]
+    fn append_remapped_concatenates_disjoint_stores() {
+        let (tree_a, roots_a) = sample();
+        let mut store = Store::freeze(&tree_a, &roots_a);
+        let edges = vec![DepEdge::new("S", attrs(&[2]), 1)];
+        let mut tree_b = FTree::new(edges);
+        let c = tree_b.add_node(attrs(&[2]), None).unwrap();
+        let other = Store::freeze(&tree_b, &[Union::new(c, vec![Entry::leaf(Value::new(9))])]);
+
+        let mut combined_tree = tree_a.clone();
+        let map = combined_tree.import_forest(&tree_b).unwrap();
+        store.append_remapped(&other, &map);
+        store.validate(&combined_tree).unwrap();
+        assert_eq!(store.roots.len(), 2);
+        let thawed = store.thaw(&combined_tree);
+        assert_eq!(thawed[1].node, map[&c]);
+        assert_eq!(thawed[1].entries[0].value, Value::new(9));
+    }
+
+    #[test]
+    fn refs_expose_o1_child_lookup_and_binary_search() {
+        let (tree, roots) = sample();
+        let store = Store::freeze(&tree, &roots);
+        let a_union = UnionRef {
+            tree: &tree,
+            store: &store,
+            id: store.roots[0],
+        };
+        assert_eq!(a_union.len(), 2);
+        let b = tree.node_of_attr(AttrId(1)).unwrap();
+        let a1 = a_union.find_value(Value::new(1)).unwrap();
+        assert_eq!(a1.value(), Value::new(1));
+        let b_union = a1.child(b).unwrap();
+        assert_eq!(
+            b_union.values().collect::<Vec<_>>(),
+            vec![Value::new(10), Value::new(20)]
+        );
+        assert!(a_union.find_value(Value::new(3)).is_none());
+        assert!(a1.child(a_union.node()).is_none());
+    }
+}

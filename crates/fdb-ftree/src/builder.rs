@@ -79,7 +79,11 @@ pub fn flat_database_ftree(
     let mut edges = Vec::with_capacity(relations.len());
     for &rel in relations {
         let attrs: BTreeSet<AttrId> = catalog.rel_attrs(rel).iter().copied().collect();
-        edges.push(DepEdge::new(catalog.rel_name(rel), attrs, cardinality_of(rel)));
+        edges.push(DepEdge::new(
+            catalog.rel_name(rel),
+            attrs,
+            cardinality_of(rel),
+        ));
     }
     let mut tree = FTree::new(edges);
     for &rel in relations {

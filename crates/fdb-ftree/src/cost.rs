@@ -60,9 +60,16 @@ pub fn s_cost_details(tree: &FTree) -> Result<Vec<PathCost>> {
         nodes.push(leaf);
         // Constant-bound nodes do not contribute to the size bound: the only
         // f-representation over them is a single singleton.
-        let nodes: Vec<NodeId> = nodes.into_iter().filter(|&n| tree.constant(n).is_none()).collect();
+        let nodes: Vec<NodeId> = nodes
+            .into_iter()
+            .filter(|&n| tree.constant(n).is_none())
+            .collect();
         if nodes.is_empty() {
-            out.push(PathCost { leaf, nodes, cost: 0.0 });
+            out.push(PathCost {
+                leaf,
+                nodes,
+                cost: 0.0,
+            });
             continue;
         }
         let instance = path_cover_instance(tree, &nodes);

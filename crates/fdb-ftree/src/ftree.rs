@@ -47,7 +47,11 @@ pub struct DepEdge {
 impl DepEdge {
     /// Creates a new dependency edge.
     pub fn new(label: impl Into<String>, attrs: BTreeSet<AttrId>, cardinality: u64) -> Self {
-        DepEdge { label: label.into(), attrs, cardinality }
+        DepEdge {
+            label: label.into(),
+            attrs,
+            cardinality,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ pub struct FTree {
 impl FTree {
     /// Creates an empty f-tree with the given dependency edges.
     pub fn new(edges: Vec<DepEdge>) -> Self {
-        FTree { nodes: Vec::new(), roots: Vec::new(), edges }
+        FTree {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            edges,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -87,7 +95,9 @@ impl FTree {
     /// `parent` is `None`).  Returns the new node's id.
     pub fn add_node(&mut self, class: BTreeSet<AttrId>, parent: Option<NodeId>) -> Result<NodeId> {
         if class.is_empty() {
-            return Err(FdbError::InvalidInput { detail: "f-tree node class must be non-empty".into() });
+            return Err(FdbError::InvalidInput {
+                detail: "f-tree node class must be non-empty".into(),
+            });
         }
         for attr in &class {
             if self.node_of_attr(*attr).is_some() {
@@ -136,7 +146,9 @@ impl FTree {
     pub fn check_node(&self, id: NodeId) -> Result<()> {
         match self.nodes.get(id.index()) {
             Some(Some(_)) => Ok(()),
-            _ => Err(FdbError::InvalidInput { detail: format!("no such f-tree node: {id}") }),
+            _ => Err(FdbError::InvalidInput {
+                detail: format!("no such f-tree node: {id}"),
+            }),
         }
     }
 
@@ -180,7 +192,11 @@ impl FTree {
 
     /// The attributes of a node that are still visible (not projected away).
     pub fn visible_attrs(&self, id: NodeId) -> BTreeSet<AttrId> {
-        self.node(id).class.difference(&self.node(id).projected).copied().collect()
+        self.node(id)
+            .class
+            .difference(&self.node(id).projected)
+            .copied()
+            .collect()
     }
 
     /// The constant this node has been bound to by an equality selection, if
@@ -219,12 +235,17 @@ impl FTree {
 
     /// All attributes labelling nodes of the forest.
     pub fn all_attrs(&self) -> BTreeSet<AttrId> {
-        self.node_ids().iter().flat_map(|&id| self.class(id).iter().copied()).collect()
+        self.node_ids()
+            .iter()
+            .flat_map(|&id| self.class(id).iter().copied())
+            .collect()
     }
 
     /// The node labelled by the given attribute, if any.
     pub fn node_of_attr(&self, attr: AttrId) -> Option<NodeId> {
-        self.node_ids().into_iter().find(|&id| self.node(id).class.contains(&attr))
+        self.node_ids()
+            .into_iter()
+            .find(|&id| self.node(id).class.contains(&attr))
     }
 
     /// Ancestors of a node, nearest first (excluding the node itself).
@@ -258,7 +279,10 @@ impl FTree {
 
     /// Leaves of the forest.
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.node_ids().into_iter().filter(|&id| self.is_leaf(id)).collect()
+        self.node_ids()
+            .into_iter()
+            .filter(|&id| self.is_leaf(id))
+            .collect()
     }
 
     /// Depth of a node (roots have depth 0).
@@ -304,7 +328,9 @@ impl FTree {
     /// descendant of `b` — the condition under which `b` may *not* be pushed
     /// above `a`.
     pub fn depends_on_subtree(&self, a: NodeId, b: NodeId) -> bool {
-        self.subtree(b).into_iter().any(|n| self.nodes_dependent(a, n))
+        self.subtree(b)
+            .into_iter()
+            .any(|n| self.nodes_dependent(a, n))
     }
 
     /// Checks the path constraint: every dependency edge's attributes label
@@ -354,7 +380,9 @@ impl FTree {
                     self.check_node(p)?;
                     if !self.node(p).children.contains(&id) {
                         return Err(FdbError::InvalidInput {
-                            detail: format!("node {id} not listed among children of its parent {p}"),
+                            detail: format!(
+                                "node {id} not listed among children of its parent {p}"
+                            ),
                         });
                     }
                     if self.roots.contains(&id) {
@@ -395,8 +423,11 @@ impl FTree {
     /// they are equal up to reordering of children/roots — exactly the
     /// equivalence the optimiser's search space is defined over.
     pub fn canonical_key(&self) -> String {
-        let mut root_keys: Vec<String> =
-            self.roots.iter().map(|&r| self.canonical_subtree_key(r)).collect();
+        let mut root_keys: Vec<String> = self
+            .roots
+            .iter()
+            .map(|&r| self.canonical_subtree_key(r))
+            .collect();
         root_keys.sort();
         root_keys.join("+")
     }
@@ -404,14 +435,22 @@ impl FTree {
     fn canonical_subtree_key(&self, id: NodeId) -> String {
         let node = self.node(id);
         let attrs: Vec<String> = node.class.iter().map(|a| a.0.to_string()).collect();
-        let mut child_keys: Vec<String> =
-            node.children.iter().map(|&c| self.canonical_subtree_key(c)).collect();
+        let mut child_keys: Vec<String> = node
+            .children
+            .iter()
+            .map(|&c| self.canonical_subtree_key(c))
+            .collect();
         child_keys.sort();
         let constant = match node.constant {
             Some(v) => format!("={v}"),
             None => String::new(),
         };
-        format!("({}{}[{}])", attrs.join(","), constant, child_keys.join(","))
+        format!(
+            "({}{}[{}])",
+            attrs.join(","),
+            constant,
+            child_keys.join(",")
+        )
     }
 
     /// Renders the forest as indented ASCII, resolving attribute names via
@@ -437,7 +476,12 @@ impl FTree {
             Some(v) => format!(" = {v}"),
             None => String::new(),
         };
-        out.push_str(&format!("{}{}{}\n", "  ".repeat(depth), label.join(","), constant));
+        out.push_str(&format!(
+            "{}{}{}\n",
+            "  ".repeat(depth),
+            label.join(","),
+            constant
+        ));
         for &c in &node.children {
             self.render_node(c, depth + 1, name, out);
         }
@@ -499,7 +543,12 @@ impl FTree {
 
     /// Merges the projected/constant bookkeeping of `src` into `dst` (used by
     /// merge and absorb, which fuse two nodes).
-    pub(crate) fn merge_markers(&mut self, dst: NodeId, src_projected: BTreeSet<AttrId>, src_constant: Option<Value>) {
+    pub(crate) fn merge_markers(
+        &mut self,
+        dst: NodeId,
+        src_projected: BTreeSet<AttrId>,
+        src_constant: Option<Value>,
+    ) {
         {
             let node = self.node_mut(dst);
             node.projected.extend(src_projected);
@@ -638,9 +687,7 @@ mod tests {
 
         // Putting dispatcher and location in *sibling* subtrees violates the
         // Disp edge.
-        let edges = vec![
-            DepEdge::new("Disp", attrs(&[0, 1]), 4),
-        ];
+        let edges = vec![DepEdge::new("Disp", attrs(&[0, 1]), 4)];
         let mut bad = FTree::new(edges);
         let root = bad.add_node(attrs(&[2]), None).unwrap();
         bad.add_node(attrs(&[0]), Some(root)).unwrap();

@@ -63,7 +63,9 @@ impl FTree {
     pub fn push_up(&mut self, b: NodeId) -> Result<()> {
         self.check_node(b)?;
         let Some(a) = self.parent(b) else {
-            return Err(FdbError::InvalidOperator { detail: format!("push-up: {b} is a root") });
+            return Err(FdbError::InvalidOperator {
+                detail: format!("push-up: {b} is a root"),
+            });
         };
         if self.depends_on_subtree(a, b) {
             return Err(FdbError::InvalidOperator {
@@ -113,14 +115,17 @@ impl FTree {
     pub fn swap_with_parent(&mut self, b: NodeId) -> Result<SwapOutcome> {
         self.check_node(b)?;
         let Some(a) = self.parent(b) else {
-            return Err(FdbError::InvalidOperator { detail: format!("swap: {b} is a root") });
+            return Err(FdbError::InvalidOperator {
+                detail: format!("swap: {b} is a root"),
+            });
         };
         let grandparent = self.parent(a);
 
         // Partition b's children by dependency on a.
         let b_children: Vec<NodeId> = self.children(b).to_vec();
-        let (moved_down, kept): (Vec<NodeId>, Vec<NodeId>) =
-            b_children.into_iter().partition(|&c| self.depends_on_subtree(a, c));
+        let (moved_down, kept): (Vec<NodeId>, Vec<NodeId>) = b_children
+            .into_iter()
+            .partition(|&c| self.depends_on_subtree(a, c));
 
         // Detach b from a, re-root it where a was, and hang a under b.
         self.detach(b);
@@ -132,7 +137,12 @@ impl FTree {
             self.detach(*c);
             self.attach(*c, Some(a));
         }
-        Ok(SwapOutcome { old_parent: a, new_parent: b, moved_down, kept })
+        Ok(SwapOutcome {
+            old_parent: a,
+            new_parent: b,
+            moved_down,
+            kept,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -454,7 +464,7 @@ mod tests {
         assert_eq!(t.class(merged), &attrs(&[0, 2]));
         assert_eq!(t.children(merged), &[r_oid, s_sup]);
         assert_eq!(t.node_count(), 3);
-        assert!(t.roots() == &[r_item]);
+        assert!(t.roots() == [r_item]);
     }
 
     #[test]
@@ -536,7 +546,10 @@ mod tests {
         t.mark_attrs_projected(&attrs(&[1]));
         t.remove_projected_leaf(x).unwrap();
         assert_eq!(t.edges().len(), 1);
-        assert!(t.nodes_dependent(a, c), "transitive dependency must be preserved");
+        assert!(
+            t.nodes_dependent(a, c),
+            "transitive dependency must be preserved"
+        );
         assert!(!t.can_push_up(c));
     }
 }

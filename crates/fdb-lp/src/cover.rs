@@ -32,7 +32,10 @@ pub struct CoverInstance {
 impl CoverInstance {
     /// Creates an instance with the given number of vertices and no edges.
     pub fn new(num_vertices: usize) -> Self {
-        CoverInstance { num_vertices, edges: Vec::new() }
+        CoverInstance {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an edge covering the given vertices and returns its index.
@@ -96,7 +99,10 @@ pub fn integral_edge_cover(instance: &CoverInstance) -> Option<usize> {
     }
     let n = instance.edges.len();
     // Represent vertex sets as bitmasks; instances here have < 64 vertices.
-    assert!(instance.num_vertices <= 64, "integral cover limited to 64 vertices");
+    assert!(
+        instance.num_vertices <= 64,
+        "integral cover limited to 64 vertices"
+    );
     let full: u64 = if instance.num_vertices == 64 {
         u64::MAX
     } else {
@@ -105,14 +111,13 @@ pub fn integral_edge_cover(instance: &CoverInstance) -> Option<usize> {
     let masks: Vec<u64> = instance
         .edges
         .iter()
-        .map(|e| e.iter().filter(|&&v| v < instance.num_vertices).fold(0u64, |m, &v| m | (1 << v)))
+        .map(|e| {
+            e.iter()
+                .filter(|&&v| v < instance.num_vertices)
+                .fold(0u64, |m, &v| m | (1 << v))
+        })
         .collect();
-    for size in 1..=n {
-        if search_cover(&masks, full, 0, size, 0) {
-            return Some(size);
-        }
-    }
-    None
+    (1..=n).find(|&size| search_cover(&masks, full, 0, size, 0))
 }
 
 fn search_cover(masks: &[u64], full: u64, covered: u64, remaining: usize, start: usize) -> bool {

@@ -65,7 +65,11 @@ impl LinearProgram {
     /// Creates a program over `num_vars` non-negative variables with a zero
     /// objective and no constraints.
     pub fn new(num_vars: usize) -> Self {
-        LinearProgram { num_vars, objective: vec![0.0; num_vars], constraints: Vec::new() }
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of decision variables.
@@ -90,7 +94,11 @@ impl LinearProgram {
     pub fn add_constraint(&mut self, coeffs: Vec<f64>, sense: ConstraintSense, rhs: f64) {
         let mut c = coeffs;
         c.resize(self.num_vars, 0.0);
-        self.constraints.push(Constraint { coeffs: c, sense, rhs });
+        self.constraints.push(Constraint {
+            coeffs: c,
+            sense,
+            rhs,
+        });
     }
 
     /// Minimises the objective.  Returns an error if the program is
@@ -119,17 +127,26 @@ impl LinearProgram {
             // With no constraints and non-negative variables the optimum of a
             // minimisation is attained at x = 0 unless some objective
             // coefficient is negative (then the LP is unbounded below).
-            let c: Vec<f64> =
-                self.objective.iter().map(|&v| if negate_objective { -v } else { v }).collect();
+            let c: Vec<f64> = self
+                .objective
+                .iter()
+                .map(|&v| if negate_objective { -v } else { v })
+                .collect();
             if c.iter().any(|&ci| ci < -EPS) {
                 return Err(FdbError::UnboundedProgram);
             }
-            return Ok(Solution { objective: 0.0, values: vec![0.0; n] });
+            return Ok(Solution {
+                objective: 0.0,
+                values: vec![0.0; n],
+            });
         }
 
         // Count slack columns.
-        let num_slacks =
-            self.constraints.iter().filter(|c| c.sense != ConstraintSense::Equal).count();
+        let num_slacks = self
+            .constraints
+            .iter()
+            .filter(|c| c.sense != ConstraintSense::Equal)
+            .count();
         let total_cols = n + num_slacks + m; // decision + slack + artificial
         let art_start = n + num_slacks;
 
@@ -180,8 +197,8 @@ impl LinearProgram {
 
         // Phase one: minimise the sum of artificial variables.
         let mut phase1_cost = vec![0.0; total_cols];
-        for j in art_start..total_cols {
-            phase1_cost[j] = 1.0;
+        for artificial_cost in phase1_cost.iter_mut().skip(art_start) {
+            *artificial_cost = 1.0;
         }
         let status = run_simplex(&mut rows, &mut rhs, &mut basis, &phase1_cost, total_cols);
         if status == SimplexStatus::Unbounded {
@@ -213,8 +230,12 @@ impl LinearProgram {
 
         // Phase two: original objective, artificial columns forbidden.
         let mut cost = vec![0.0; total_cols];
-        for j in 0..n {
-            cost[j] = if negate_objective { -self.objective[j] } else { self.objective[j] };
+        for (j, cost_j) in cost.iter_mut().enumerate().take(n) {
+            *cost_j = if negate_objective {
+                -self.objective[j]
+            } else {
+                self.objective[j]
+            };
         }
         let status = run_simplex(&mut rows, &mut rhs, &mut basis, &cost, art_start);
         if status == SimplexStatus::Unbounded {
@@ -282,8 +303,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = rhs[i] / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.map_or(true, |l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leaving.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leaving = Some(i);

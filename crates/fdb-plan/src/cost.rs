@@ -60,7 +60,11 @@ pub fn plan_cost(plan: &FPlan, input: &FTree) -> Result<FPlanCost> {
     }
     let max_intermediate = steps.iter().copied().fold(0.0, f64::max);
     let final_cost = *steps.last().expect("at least the input tree");
-    Ok(FPlanCost { max_intermediate, final_cost, steps })
+    Ok(FPlanCost {
+        max_intermediate,
+        final_cost,
+        steps,
+    })
 }
 
 /// The cost model used by the optimisers.
@@ -165,13 +169,19 @@ mod tests {
         // Its intermediate tree has cost 2.
         let plan1 = FPlan::new(vec![FPlanOp::Swap(b), FPlanOp::Absorb(b, f)]);
         let cost1 = plan_cost(&plan1, &tree).unwrap();
-        assert!((cost1.max_intermediate - 2.0).abs() < 1e-6, "plan1 cost {cost1:?}");
+        assert!(
+            (cost1.max_intermediate - 2.0).abs() < 1e-6,
+            "plan1 cost {cost1:?}"
+        );
         assert!((cost1.final_cost - 1.0).abs() < 1e-6);
 
         // Plan 2: swap F with E, then merge F with B — all trees have cost 1.
         let plan2 = FPlan::new(vec![FPlanOp::Swap(f), FPlanOp::Merge(b, f)]);
         let cost2 = plan_cost(&plan2, &tree).unwrap();
-        assert!((cost2.max_intermediate - 1.0).abs() < 1e-6, "plan2 cost {cost2:?}");
+        assert!(
+            (cost2.max_intermediate - 1.0).abs() < 1e-6,
+            "plan2 cost {cost2:?}"
+        );
         assert!((cost2.final_cost - 1.0).abs() < 1e-6);
 
         assert!(cost2.better_than(&cost1));
@@ -180,10 +190,22 @@ mod tests {
 
     #[test]
     fn better_than_breaks_ties_on_final_cost_then_length() {
-        let a = FPlanCost { max_intermediate: 2.0, final_cost: 1.0, steps: vec![1.0, 2.0, 1.0] };
-        let b = FPlanCost { max_intermediate: 2.0, final_cost: 2.0, steps: vec![2.0, 2.0] };
+        let a = FPlanCost {
+            max_intermediate: 2.0,
+            final_cost: 1.0,
+            steps: vec![1.0, 2.0, 1.0],
+        };
+        let b = FPlanCost {
+            max_intermediate: 2.0,
+            final_cost: 2.0,
+            steps: vec![2.0, 2.0],
+        };
         assert!(a.better_than(&b));
-        let c = FPlanCost { max_intermediate: 2.0, final_cost: 1.0, steps: vec![1.0, 1.0] };
+        let c = FPlanCost {
+            max_intermediate: 2.0,
+            final_cost: 1.0,
+            steps: vec![1.0, 1.0],
+        };
         assert!(c.better_than(&a));
     }
 

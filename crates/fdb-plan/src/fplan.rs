@@ -72,7 +72,9 @@ impl FPlanOp {
             }
             FPlanOp::SelectConst { attr, op, value } => {
                 let Some(node) = tree.node_of_attr(*attr) else {
-                    return Err(FdbError::AttributeNotInQuery { attr: format!("{attr}") });
+                    return Err(FdbError::AttributeNotInQuery {
+                        attr: format!("{attr}"),
+                    });
                 };
                 if *op == ComparisonOp::Eq {
                     tree.bind_constant(node, *value)?;
@@ -216,11 +218,20 @@ mod tests {
         let entry = |v: u64, oids: &[u64], sups: &[u64]| Entry {
             value: Value::new(v),
             children: vec![
-                Union::new(oid, oids.iter().map(|&x| Entry::leaf(Value::new(x))).collect()),
-                Union::new(supplier, sups.iter().map(|&x| Entry::leaf(Value::new(x))).collect()),
+                Union::new(
+                    oid,
+                    oids.iter().map(|&x| Entry::leaf(Value::new(x))).collect(),
+                ),
+                Union::new(
+                    supplier,
+                    sups.iter().map(|&x| Entry::leaf(Value::new(x))).collect(),
+                ),
             ],
         };
-        let u = Union::new(item, vec![entry(1, &[10, 11], &[7]), entry(2, &[12], &[7, 8])]);
+        let u = Union::new(
+            item,
+            vec![entry(1, &[10, 11], &[7]), entry(2, &[12], &[7, 8])],
+        );
         FRep::from_parts(tree, vec![u]).unwrap()
     }
 
@@ -230,14 +241,21 @@ mod tests {
         let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
         let plan = FPlan::new(vec![
             FPlanOp::Swap(oid),
-            FPlanOp::SelectConst { attr: AttrId(3), op: ComparisonOp::Eq, value: Value::new(7) },
+            FPlanOp::SelectConst {
+                attr: AttrId(3),
+                op: ComparisonOp::Eq,
+                value: Value::new(7),
+            },
             FPlanOp::Project(attrs(&[1, 3])),
         ]);
         // Schema-level simulation.
         let trees = plan.simulate(rep.tree()).unwrap();
         assert_eq!(trees.len(), 4);
         let final_tree = plan.final_tree(rep.tree()).unwrap();
-        assert_eq!(trees.last().unwrap().canonical_key(), final_tree.canonical_key());
+        assert_eq!(
+            trees.last().unwrap().canonical_key(),
+            final_tree.canonical_key()
+        );
         // Data-level execution ends up over the same tree shape.
         let mut executed = rep.clone();
         plan.execute(&mut executed).unwrap();

@@ -28,6 +28,6 @@ pub mod optimizer;
 
 pub use cost::{estimate_frep_size, CostModel, FPlanCost};
 pub use fplan::{FPlan, FPlanOp};
-pub use optimizer::exhaustive::{ExhaustiveOptimizer, ExhaustiveConfig};
+pub use optimizer::exhaustive::{ExhaustiveConfig, ExhaustiveOptimizer};
 pub use optimizer::ftree_search::{optimal_ftree, FTreeSearchResult};
 pub use optimizer::greedy::GreedyOptimizer;

@@ -28,7 +28,9 @@ pub struct ExhaustiveConfig {
 
 impl Default for ExhaustiveConfig {
     fn default() -> Self {
-        ExhaustiveConfig { max_states: 500_000 }
+        ExhaustiveConfig {
+            max_states: 500_000,
+        }
     }
 }
 
@@ -108,7 +110,9 @@ impl ExhaustiveOptimizer {
     ) -> Result<OptimizedPlan> {
         for (a, b) in equalities {
             if input_tree.node_of_attr(*a).is_none() || input_tree.node_of_attr(*b).is_none() {
-                return Err(FdbError::AttributeNotInQuery { attr: format!("{a} = {b}") });
+                return Err(FdbError::AttributeNotInQuery {
+                    attr: format!("{a} = {b}"),
+                });
             }
         }
 
@@ -134,7 +138,9 @@ impl ExhaustiveOptimizer {
         let mut goal_bottleneck: Option<f64> = None;
 
         while let Some(item) = heap.pop() {
-            let Some(state) = best.get(&item.key).cloned() else { continue };
+            let Some(state) = best.get(&item.key).cloned() else {
+                continue;
+            };
             // Skip stale queue entries.
             if item.bottleneck.0 > state.bottleneck + 1e-9 {
                 continue;
@@ -168,7 +174,11 @@ impl ExhaustiveOptimizer {
                 let key = next_tree.canonical_key();
                 let mut plan = state.plan.clone();
                 plan.push(op);
-                let candidate = State { tree: next_tree, plan, bottleneck };
+                let candidate = State {
+                    tree: next_tree,
+                    plan,
+                    bottleneck,
+                };
                 let replace = match best.get(&key) {
                     None => true,
                     Some(existing) => {
@@ -213,18 +223,21 @@ impl ExhaustiveOptimizer {
         let (goal, _) = chosen.expect("at least one goal collected");
         let plan = FPlan::new(goal.plan);
         let cost = crate::cost::plan_cost(&plan, input_tree)?;
-        Ok(OptimizedPlan { plan, cost, explored_states: explored })
+        Ok(OptimizedPlan {
+            plan,
+            cost,
+            explored_states: explored,
+        })
     }
 
     fn is_goal(tree: &FTree, equalities: &[(AttrId, AttrId)]) -> bool {
-        equalities.iter().all(|(a, b)| tree.node_of_attr(*a) == tree.node_of_attr(*b))
+        equalities
+            .iter()
+            .all(|(a, b)| tree.node_of_attr(*a) == tree.node_of_attr(*b))
     }
 
     /// Enumerates the operator applications available from a state.
-    fn neighbours(
-        tree: &FTree,
-        equalities: &[(AttrId, AttrId)],
-    ) -> Result<Vec<(FPlanOp, FTree)>> {
+    fn neighbours(tree: &FTree, equalities: &[(AttrId, AttrId)]) -> Result<Vec<(FPlanOp, FTree)>> {
         let mut out = Vec::new();
         // All swaps.
         for node in tree.node_ids() {
@@ -300,7 +313,11 @@ mod tests {
         let result = ExhaustiveOptimizer::new()
             .optimize(&tree, &[(AttrId(1), AttrId(5))])
             .unwrap();
-        assert!((result.cost.max_intermediate - 1.0).abs() < 1e-6, "{:?}", result.cost);
+        assert!(
+            (result.cost.max_intermediate - 1.0).abs() < 1e-6,
+            "{:?}",
+            result.cost
+        );
         assert!((result.cost.final_cost - 1.0).abs() < 1e-6);
         // The plan transforms the tree into one where B and F share a node.
         let final_tree = result.plan.final_tree(&tree).unwrap();
@@ -348,8 +365,14 @@ mod tests {
             .optimize(&tree, &[(AttrId(1), AttrId(5)), (AttrId(2), AttrId(4))])
             .unwrap();
         let final_tree = result.plan.final_tree(&tree).unwrap();
-        assert_eq!(final_tree.node_of_attr(AttrId(1)), final_tree.node_of_attr(AttrId(5)));
-        assert_eq!(final_tree.node_of_attr(AttrId(2)), final_tree.node_of_attr(AttrId(4)));
+        assert_eq!(
+            final_tree.node_of_attr(AttrId(1)),
+            final_tree.node_of_attr(AttrId(5))
+        );
+        assert_eq!(
+            final_tree.node_of_attr(AttrId(2)),
+            final_tree.node_of_attr(AttrId(4))
+        );
         final_tree.check_path_constraint().unwrap();
         assert!(result.cost.max_intermediate <= 2.0 + 1e-6);
     }

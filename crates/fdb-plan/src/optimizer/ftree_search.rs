@@ -50,7 +50,11 @@ pub fn optimal_ftree(
     let classes = query.equivalence_classes(catalog);
     let edges = dep_edges_for_query(catalog, query, cardinality_of);
     if classes.is_empty() {
-        return Ok(FTreeSearchResult { tree: FTree::new(edges), cost: 0.0, explored_states: 0 });
+        return Ok(FTreeSearchResult {
+            tree: FTree::new(edges),
+            cost: 0.0,
+            explored_states: 0,
+        });
     }
 
     // Signature of a class: the set of relations (edge indices) with an
@@ -93,16 +97,28 @@ pub fn optimal_ftree(
 
     let all_classes: Vec<usize> = (0..classes.len()).collect();
     let anc: BTreeSet<usize> = BTreeSet::new();
-    let cost = search.best_forest(&all_classes, &sig_id_of_class, &anc)?.max;
+    let cost = search
+        .best_forest(&all_classes, &sig_id_of_class, &anc)?
+        .max;
 
     // Reconstruct an optimal tree from the memoised root choices.
     let mut tree = FTree::new(edges);
-    search.reconstruct_forest(&all_classes, &sig_id_of_class, &anc, None, &classes, &mut tree)?;
+    search.reconstruct_forest(
+        &all_classes,
+        &sig_id_of_class,
+        &anc,
+        None,
+        &classes,
+        &mut tree,
+    )?;
     tree.check_path_constraint()?;
-    debug_assert!(tree.is_normalised() || true);
 
     let explored_states = search.memo.len();
-    Ok(FTreeSearchResult { tree, cost, explored_states })
+    Ok(FTreeSearchResult {
+        tree,
+        cost,
+        explored_states,
+    })
 }
 
 type MultisetKey = Vec<(usize, usize)>;
@@ -124,10 +140,16 @@ struct SubCost {
 }
 
 impl SubCost {
-    const ZERO: SubCost = SubCost { max: 0.0, size_proxy: 0.0 };
+    const ZERO: SubCost = SubCost {
+        max: 0.0,
+        size_proxy: 0.0,
+    };
 
     fn combine_forest(self, other: SubCost) -> SubCost {
-        SubCost { max: self.max.max(other.max), size_proxy: self.size_proxy + other.size_proxy }
+        SubCost {
+            max: self.max.max(other.max),
+            size_proxy: self.size_proxy + other.size_proxy,
+        }
     }
 
     fn better_than(self, other: SubCost) -> bool {
@@ -181,8 +203,10 @@ impl Search<'_> {
         let mut components = Vec::new();
         while let Some(seed) = remaining.pop() {
             let mut component = vec![seed];
-            let mut frontier_rels: BTreeSet<usize> =
-                self.unique_sigs[sig_id_of_class[seed]].iter().copied().collect();
+            let mut frontier_rels: BTreeSet<usize> = self.unique_sigs[sig_id_of_class[seed]]
+                .iter()
+                .copied()
+                .collect();
             loop {
                 let (connected, rest): (Vec<usize>, Vec<usize>) =
                     remaining.into_iter().partition(|&c| {
@@ -240,11 +264,17 @@ impl Search<'_> {
         sig_id_of_class: &[usize],
         anc: &BTreeSet<usize>,
     ) -> Result<SubCost> {
-        let key = (self.multiset_key(component, sig_id_of_class), anc.iter().copied().collect::<AncKey>());
+        let key = (
+            self.multiset_key(component, sig_id_of_class),
+            anc.iter().copied().collect::<AncKey>(),
+        );
         if let Some(&(cost, _)) = self.memo.get(&key) {
             return Ok(cost);
         }
-        let mut best = SubCost { max: f64::INFINITY, size_proxy: f64::INFINITY };
+        let mut best = SubCost {
+            max: f64::INFINITY,
+            size_proxy: f64::INFINITY,
+        };
         let mut best_root_sig = usize::MAX;
         // Branch over distinct signatures present in the component.
         let mut tried: BTreeSet<usize> = BTreeSet::new();
@@ -301,11 +331,21 @@ impl Search<'_> {
                 .find(|&c| sig_id_of_class[c] == root_sig)
                 .expect("memoised root signature occurs in the component");
             let node = tree.add_node(class_attrs[root_class].clone(), parent)?;
-            let rest: Vec<usize> =
-                component.iter().copied().filter(|&c| c != root_class).collect();
+            let rest: Vec<usize> = component
+                .iter()
+                .copied()
+                .filter(|&c| c != root_class)
+                .collect();
             let mut new_anc = anc.clone();
             new_anc.insert(root_sig);
-            self.reconstruct_forest(&rest, sig_id_of_class, &new_anc, Some(node), class_attrs, tree)?;
+            self.reconstruct_forest(
+                &rest,
+                sig_id_of_class,
+                &new_anc,
+                Some(node),
+                class_attrs,
+                tree,
+            )?;
         }
         Ok(())
     }
@@ -439,9 +479,18 @@ mod tests {
         let (s, _) = catalog.add_relation("S", &["B", "C"]);
         let (t, _) = catalog.add_relation("T", &["C", "A"]);
         let q = Query::product(vec![r, s, t])
-            .with_equality(catalog.find_attr("R.A").unwrap(), catalog.find_attr("T.A").unwrap())
-            .with_equality(catalog.find_attr("R.B").unwrap(), catalog.find_attr("S.B").unwrap())
-            .with_equality(catalog.find_attr("S.C").unwrap(), catalog.find_attr("T.C").unwrap());
+            .with_equality(
+                catalog.find_attr("R.A").unwrap(),
+                catalog.find_attr("T.A").unwrap(),
+            )
+            .with_equality(
+                catalog.find_attr("R.B").unwrap(),
+                catalog.find_attr("S.B").unwrap(),
+            )
+            .with_equality(
+                catalog.find_attr("S.C").unwrap(),
+                catalog.find_attr("T.C").unwrap(),
+            );
         let result = optimal_ftree(&catalog, &q, |_| 1).unwrap();
         assert!(close(result.cost, 1.5), "triangle cost = {}", result.cost);
     }

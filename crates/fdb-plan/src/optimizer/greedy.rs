@@ -40,7 +40,9 @@ impl GreedyOptimizer {
     ) -> Result<OptimizedPlan> {
         for (a, b) in equalities {
             if input_tree.node_of_attr(*a).is_none() || input_tree.node_of_attr(*b).is_none() {
-                return Err(FdbError::AttributeNotInQuery { attr: format!("{a} = {b}") });
+                return Err(FdbError::AttributeNotInQuery {
+                    attr: format!("{a} = {b}"),
+                });
             }
         }
         let mut tree = input_tree.clone();
@@ -90,7 +92,11 @@ impl GreedyOptimizer {
         }
 
         let cost = plan_cost(&overall, input_tree)?;
-        Ok(OptimizedPlan { plan: overall, cost, explored_states: explored })
+        Ok(OptimizedPlan {
+            plan: overall,
+            cost,
+            explored_states: explored,
+        })
     }
 }
 
@@ -166,11 +172,7 @@ fn sibling_scenario(tree: &FTree, a: NodeId, b: NodeId) -> Option<FPlan> {
         let target = if da >= db { a } else { b };
         if work.parent(target).is_none() {
             let other = if target == a { b } else { a };
-            if work.parent(other).is_none() {
-                // Both are roots yet not siblings — cannot happen, roots are
-                // always siblings of each other.
-                return None;
-            }
+            work.parent(other)?;
             work.swap_with_parent(other).ok()?;
             plan.push(FPlanOp::Swap(other));
             continue;
@@ -210,10 +212,19 @@ mod tests {
     #[test]
     fn greedy_finds_the_cost_one_plan_for_example11() {
         let tree = example11_tree();
-        let result = GreedyOptimizer::new().optimize(&tree, &[(AttrId(1), AttrId(5))]).unwrap();
-        assert!((result.cost.max_intermediate - 1.0).abs() < 1e-6, "{:?}", result.cost);
+        let result = GreedyOptimizer::new()
+            .optimize(&tree, &[(AttrId(1), AttrId(5))])
+            .unwrap();
+        assert!(
+            (result.cost.max_intermediate - 1.0).abs() < 1e-6,
+            "{:?}",
+            result.cost
+        );
         let final_tree = result.plan.final_tree(&tree).unwrap();
-        assert_eq!(final_tree.node_of_attr(AttrId(1)), final_tree.node_of_attr(AttrId(5)));
+        assert_eq!(
+            final_tree.node_of_attr(AttrId(1)),
+            final_tree.node_of_attr(AttrId(5))
+        );
     }
 
     #[test]
@@ -241,7 +252,9 @@ mod tests {
         ];
         for conditions in condition_sets {
             let greedy = GreedyOptimizer::new().optimize(&tree, &conditions).unwrap();
-            let exhaustive = ExhaustiveOptimizer::new().optimize(&tree, &conditions).unwrap();
+            let exhaustive = ExhaustiveOptimizer::new()
+                .optimize(&tree, &conditions)
+                .unwrap();
             assert!(
                 greedy.cost.max_intermediate + 1e-6 >= exhaustive.cost.max_intermediate,
                 "greedy beat exhaustive on {conditions:?}"
@@ -252,7 +265,9 @@ mod tests {
     #[test]
     fn satisfied_conditions_yield_the_empty_plan() {
         let tree = example11_tree();
-        let result = GreedyOptimizer::new().optimize(&tree, &[(AttrId(0), AttrId(3))]).unwrap();
+        let result = GreedyOptimizer::new()
+            .optimize(&tree, &[(AttrId(0), AttrId(3))])
+            .unwrap();
         assert!(result.plan.is_empty());
     }
 
@@ -268,15 +283,22 @@ mod tests {
         let s_root = tree.add_node(attrs(&[2]), None).unwrap();
         tree.add_node(attrs(&[3]), Some(s_root)).unwrap();
         // Join the two leaves: both must be swapped up to the top and merged.
-        let result = GreedyOptimizer::new().optimize(&tree, &[(AttrId(1), AttrId(3))]).unwrap();
+        let result = GreedyOptimizer::new()
+            .optimize(&tree, &[(AttrId(1), AttrId(3))])
+            .unwrap();
         let final_tree = result.plan.final_tree(&tree).unwrap();
-        assert_eq!(final_tree.node_of_attr(AttrId(1)), final_tree.node_of_attr(AttrId(3)));
+        assert_eq!(
+            final_tree.node_of_attr(AttrId(1)),
+            final_tree.node_of_attr(AttrId(3))
+        );
         assert!(result.plan.len() >= 3, "two swaps plus a merge expected");
     }
 
     #[test]
     fn unknown_attributes_are_rejected() {
         let tree = example11_tree();
-        assert!(GreedyOptimizer::new().optimize(&tree, &[(AttrId(0), AttrId(70))]).is_err());
+        assert!(GreedyOptimizer::new()
+            .optimize(&tree, &[(AttrId(0), AttrId(70))])
+            .is_err());
     }
 }

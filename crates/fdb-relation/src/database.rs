@@ -18,7 +18,10 @@ pub struct Database {
 impl Database {
     /// Creates an empty database over the given catalog.
     pub fn new(catalog: Catalog) -> Self {
-        Database { catalog, relations: BTreeMap::new() }
+        Database {
+            catalog,
+            relations: BTreeMap::new(),
+        }
     }
 
     /// The schema catalog.
@@ -81,19 +84,26 @@ impl Database {
     /// Total number of data elements (`Σ arity × rows`) across all relations,
     /// the `|D|` size measure the paper's bounds are stated in.
     pub fn total_data_elements(&self) -> usize {
-        self.relations.values().map(Relation::data_element_count).sum()
+        self.relations
+            .values()
+            .map(Relation::data_element_count)
+            .sum()
     }
 
     /// Number of distinct values of an attribute in its stored relation.
     pub fn distinct_count(&self, attr: AttrId) -> usize {
         let rel = self.catalog.attr_relation(attr);
-        self.relations.get(&rel).map_or(0, |r| r.distinct_values(attr).len())
+        self.relations
+            .get(&rel)
+            .map_or(0, |r| r.distinct_values(attr).len())
     }
 
     /// Sorted distinct values of an attribute in its stored relation.
     pub fn distinct_values(&self, attr: AttrId) -> Vec<Value> {
         let rel = self.catalog.attr_relation(attr);
-        self.relations.get(&rel).map_or_else(Vec::new, |r| r.distinct_values(attr))
+        self.relations
+            .get(&rel)
+            .map_or_else(Vec::new, |r| r.distinct_values(attr))
     }
 }
 
@@ -106,7 +116,8 @@ mod tests {
         let (r, _) = catalog.add_relation("R", &["A", "B"]);
         let (s, _) = catalog.add_relation("S", &["B", "C"]);
         let mut db = Database::new(catalog);
-        db.insert_raw_rows(r, &[vec![1, 2], vec![1, 3], vec![2, 3]]).unwrap();
+        db.insert_raw_rows(r, &[vec![1, 2], vec![1, 3], vec![2, 3]])
+            .unwrap();
         db.insert_raw_rows(s, &[vec![2, 7], vec![3, 8]]).unwrap();
         (db, r, s)
     }
@@ -144,7 +155,11 @@ mod tests {
         // Attribute B of R (AttrId 1) has values {2, 3}; attribute B of S
         // (AttrId 2) has values {2, 3} as well but is a different attribute.
         assert_eq!(db.distinct_count(AttrId(1)), 2);
-        let vals: Vec<u64> = db.distinct_values(AttrId(3)).iter().map(|v| v.raw()).collect();
+        let vals: Vec<u64> = db
+            .distinct_values(AttrId(3))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(vals, vec![7, 8]);
     }
 }

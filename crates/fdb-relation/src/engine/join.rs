@@ -26,7 +26,7 @@ pub(crate) fn cross_product(
             row_buf.extend_from_slice(rrow);
             out.push_row(&row_buf)?;
             produced += 1;
-            if produced % CHECK_EVERY == 0 {
+            if produced.is_multiple_of(CHECK_EVERY) {
                 checker.check(produced)?;
             }
         }
@@ -49,12 +49,19 @@ pub fn hash_join(
 
     // Build on the smaller side; remember whether sides were flipped so the
     // output column order stays `left ++ right`.
-    let (build, probe, flipped) =
-        if left.len() <= right.len() { (left, right, false) } else { (right, left, true) };
-    let build_cols: Vec<usize> =
-        keys.iter().map(|&(l, r)| if flipped { r } else { l }).collect();
-    let probe_cols: Vec<usize> =
-        keys.iter().map(|&(l, r)| if flipped { l } else { r }).collect();
+    let (build, probe, flipped) = if left.len() <= right.len() {
+        (left, right, false)
+    } else {
+        (right, left, true)
+    };
+    let build_cols: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if flipped { r } else { l })
+        .collect();
+    let probe_cols: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if flipped { l } else { r })
+        .collect();
 
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
     for (i, row) in build.rows().enumerate() {
@@ -80,7 +87,7 @@ pub fn hash_join(
                 }
                 out.push_row(&row_buf)?;
                 produced += 1;
-                if produced % CHECK_EVERY == 0 {
+                if produced.is_multiple_of(CHECK_EVERY) {
                     checker.check(produced)?;
                 }
             }
@@ -113,9 +120,8 @@ pub fn sort_merge_join(
     let mut sorted_right = right.clone();
     sorted_right.sort_by_cols(&right_cols);
 
-    let key_of = |row: &[Value], cols: &[usize]| -> Vec<Value> {
-        cols.iter().map(|&c| row[c]).collect()
-    };
+    let key_of =
+        |row: &[Value], cols: &[usize]| -> Vec<Value> { cols.iter().map(|&c| row[c]).collect() };
 
     let mut produced = 0usize;
     let mut row_buf: Vec<Value> = Vec::with_capacity(left.arity() + right.arity());
@@ -145,7 +151,7 @@ pub fn sort_merge_join(
                         row_buf.extend_from_slice(sorted_right.row(rj));
                         out.push_row(&row_buf)?;
                         produced += 1;
-                        if produced % CHECK_EVERY == 0 {
+                        if produced.is_multiple_of(CHECK_EVERY) {
                             checker.check(produced)?;
                         }
                     }
@@ -176,8 +182,14 @@ mod tests {
 
     #[test]
     fn hash_and_sort_merge_agree() {
-        let left = rel(&[0, 1], &[vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 30]]);
-        let right = rel(&[2, 3], &[vec![10, 7], vec![10, 8], vec![20, 9], vec![40, 1]]);
+        let left = rel(
+            &[0, 1],
+            &[vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 30]],
+        );
+        let right = rel(
+            &[2, 3],
+            &[vec![10, 7], vec![10, 8], vec![20, 9], vec![40, 1]],
+        );
         let keys = [(1usize, 0usize)];
         let h = hash_join(&left, &right, &keys, &checker()).unwrap();
         let s = sort_merge_join(&left, &right, &keys, &checker()).unwrap();
@@ -203,8 +215,12 @@ mod tests {
         let left = rel(&[0], &[]);
         let right = rel(&[1], &[vec![1], vec![2]]);
         let keys = [(0usize, 0usize)];
-        assert!(hash_join(&left, &right, &keys, &checker()).unwrap().is_empty());
-        assert!(sort_merge_join(&left, &right, &keys, &checker()).unwrap().is_empty());
+        assert!(hash_join(&left, &right, &keys, &checker())
+            .unwrap()
+            .is_empty());
+        assert!(sort_merge_join(&left, &right, &keys, &checker())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

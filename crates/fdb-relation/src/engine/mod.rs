@@ -24,7 +24,6 @@ mod plan;
 pub use join::{hash_join, sort_merge_join};
 pub use plan::{GreedyJoinPlanner, JoinStep};
 
-
 use crate::database::Database;
 use crate::relation::Relation;
 use fdb_common::{AttrId, FdbError, Query, Result};
@@ -156,7 +155,11 @@ impl RdbEngine {
     }
 
     /// Evaluates the query, also returning evaluation statistics.
-    pub fn evaluate_with_stats(&self, db: &Database, query: &Query) -> Result<(Relation, RdbStats)> {
+    pub fn evaluate_with_stats(
+        &self,
+        db: &Database,
+        query: &Query,
+    ) -> Result<(Relation, RdbStats)> {
         query.validate(db.catalog())?;
         let checker = LimitChecker::new(&self.limits);
         let mut stats = RdbStats::default();
@@ -180,7 +183,9 @@ impl RdbEngine {
             pending.push(rel);
         }
         if pending.is_empty() {
-            return Err(FdbError::InvalidInput { detail: "query has no relations".into() });
+            return Err(FdbError::InvalidInput {
+                detail: "query has no relations".into(),
+            });
         }
 
         // Greedy pairwise joining.
@@ -243,13 +248,17 @@ impl RdbEngine {
                 by_class.entry(class).or_default().push(col);
             }
         }
-        let groups: Vec<Vec<usize>> =
-            by_class.into_values().filter(|cols| cols.len() > 1).collect();
+        let groups: Vec<Vec<usize>> = by_class
+            .into_values()
+            .filter(|cols| cols.len() > 1)
+            .collect();
         if groups.is_empty() {
             return rel;
         }
         rel.filter(|row| {
-            groups.iter().all(|cols| cols.windows(2).all(|w| row[w[0]] == row[w[1]]))
+            groups
+                .iter()
+                .all(|cols| cols.windows(2).all(|w| row[w[0]] == row[w[1]]))
         })
     }
 }
@@ -266,9 +275,12 @@ mod tests {
         let (s, sa) = catalog.add_relation("S", &["B", "C"]);
         let (t, ta) = catalog.add_relation("T", &["C", "D"]);
         let mut db = Database::new(catalog);
-        db.insert_raw_rows(r, &[vec![1, 10], vec![1, 20], vec![2, 10]]).unwrap();
-        db.insert_raw_rows(s, &[vec![10, 100], vec![10, 200], vec![20, 100]]).unwrap();
-        db.insert_raw_rows(t, &[vec![100, 7], vec![200, 7], vec![200, 8]]).unwrap();
+        db.insert_raw_rows(r, &[vec![1, 10], vec![1, 20], vec![2, 10]])
+            .unwrap();
+        db.insert_raw_rows(s, &[vec![10, 100], vec![10, 200], vec![20, 100]])
+            .unwrap();
+        db.insert_raw_rows(t, &[vec![100, 7], vec![200, 7], vec![200, 8]])
+            .unwrap();
         let attrs = [ra, sa, ta].concat();
         (db, vec![r, s, t], attrs)
     }
@@ -285,8 +297,11 @@ mod tests {
         // relations, filtering by all equalities and constant selections.
         let cat = db.catalog();
         let rels: Vec<Relation> = query.relations.iter().map(|&r| db.relation(r)).collect();
-        let all_attrs: Vec<AttrId> =
-            query.relations.iter().flat_map(|&r| cat.rel_attrs(r).to_vec()).collect();
+        let all_attrs: Vec<AttrId> = query
+            .relations
+            .iter()
+            .flat_map(|&r| cat.rel_attrs(r).to_vec())
+            .collect();
         let mut result = std::collections::BTreeSet::new();
         let mut indices = vec![0usize; rels.len()];
         'outer: loop {
@@ -298,7 +313,10 @@ mod tests {
                 tuple.extend_from_slice(rel.row(i));
             }
             let pos = |a: AttrId| all_attrs.iter().position(|&x| x == a).unwrap();
-            let eq_ok = query.equalities.iter().all(|eq| tuple[pos(eq.left)] == tuple[pos(eq.right)]);
+            let eq_ok = query
+                .equalities
+                .iter()
+                .all(|eq| tuple[pos(eq.left)] == tuple[pos(eq.right)]);
             let sel_ok = query
                 .const_selections
                 .iter()
@@ -360,7 +378,10 @@ mod tests {
         let result = RdbEngine::new().evaluate(&db, &query).unwrap();
         let mut sorted_attrs = result.attrs().to_vec();
         sorted_attrs.sort_unstable();
-        assert_eq!(result.reorder_columns(&sorted_attrs).unwrap().tuple_set(), expected);
+        assert_eq!(
+            result.reorder_columns(&sorted_attrs).unwrap().tuple_set(),
+            expected
+        );
         assert!(expected.iter().all(|t| t[0] == Value::new(1)));
     }
 
@@ -389,8 +410,7 @@ mod tests {
     fn tuple_budget_aborts_evaluation() {
         let (db, rels, attrs) = chain_db();
         let query = chain_query(&rels, &attrs);
-        let engine =
-            RdbEngine::new().with_limits(EvalLimits::unlimited().with_max_tuples(1));
+        let engine = RdbEngine::new().with_limits(EvalLimits::unlimited().with_max_tuples(1));
         let err = engine.evaluate(&db, &query).unwrap_err();
         assert!(matches!(err, FdbError::LimitExceeded { .. }));
     }
@@ -400,7 +420,8 @@ mod tests {
         let mut catalog = Catalog::new();
         let (r, ra) = catalog.add_relation("R", &["A", "B"]);
         let mut db = Database::new(catalog);
-        db.insert_raw_rows(r, &[vec![1, 1], vec![1, 2], vec![3, 3]]).unwrap();
+        db.insert_raw_rows(r, &[vec![1, 1], vec![1, 2], vec![3, 3]])
+            .unwrap();
         let query = Query::product(vec![r]).with_equality(ra[0], ra[1]);
         let result = RdbEngine::new().evaluate(&db, &query).unwrap();
         assert_eq!(result.len(), 2);

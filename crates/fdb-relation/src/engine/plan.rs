@@ -36,12 +36,17 @@ impl GreedyJoinPlanner {
     /// Creates a planner given the attribute → equivalence class mapping of
     /// the query.
     pub fn new(class_of: &BTreeMap<AttrId, usize>) -> Self {
-        GreedyJoinPlanner { class_of: class_of.clone() }
+        GreedyJoinPlanner {
+            class_of: class_of.clone(),
+        }
     }
 
     /// Returns the equivalence classes present in a relation's columns.
     fn classes_of(&self, rel: &Relation) -> BTreeSet<usize> {
-        rel.attrs().iter().filter_map(|a| self.class_of.get(a).copied()).collect()
+        rel.attrs()
+            .iter()
+            .filter_map(|a| self.class_of.get(a).copied())
+            .collect()
     }
 
     /// Chooses the next pair of intermediates to combine.
@@ -52,14 +57,12 @@ impl GreedyJoinPlanner {
     /// determinism.
     pub fn next_step(&self, pending: &[Relation]) -> JoinStep {
         assert!(pending.len() >= 2, "need at least two intermediates");
-        let classes: Vec<BTreeSet<usize>> =
-            pending.iter().map(|r| self.classes_of(r)).collect();
+        let classes: Vec<BTreeSet<usize>> = pending.iter().map(|r| self.classes_of(r)).collect();
 
         let mut best: Option<(bool, u128, usize, usize, Vec<usize>)> = None;
         for i in 0..pending.len() {
             for j in (i + 1)..pending.len() {
-                let shared: Vec<usize> =
-                    classes[i].intersection(&classes[j]).copied().collect();
+                let shared: Vec<usize> = classes[i].intersection(&classes[j]).copied().collect();
                 let joinable = !shared.is_empty();
                 let cost = pending[i].len() as u128 * pending[j].len() as u128;
                 let candidate = (joinable, cost, i, j, shared);
@@ -77,7 +80,11 @@ impl GreedyJoinPlanner {
             }
         }
         let (_, _, left, right, key_classes) = best.expect("at least one pair exists");
-        JoinStep { left, right, key_classes }
+        JoinStep {
+            left,
+            right,
+            key_classes,
+        }
     }
 }
 

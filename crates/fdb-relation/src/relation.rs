@@ -25,7 +25,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation over the given attributes.
     pub fn new(attrs: Vec<AttrId>) -> Self {
-        Relation { attrs, data: Vec::new() }
+        Relation {
+            attrs,
+            data: Vec::new(),
+        }
     }
 
     /// Creates a relation from rows, validating arity.
@@ -84,7 +87,10 @@ impl Relation {
     /// Appends a row.
     pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.arity() {
-            return Err(FdbError::ArityMismatch { expected: self.arity(), actual: row.len() });
+            return Err(FdbError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.len(),
+            });
         }
         self.data.extend_from_slice(row);
         Ok(())
@@ -126,8 +132,10 @@ impl Relation {
     /// mentioned do not participate in the ordering, ties keep their relative
     /// order).
     pub fn sort_by_attrs(&mut self, sort_attrs: &[AttrId]) {
-        let cols: Vec<usize> =
-            sort_attrs.iter().filter_map(|&a| self.col_index(a)).collect();
+        let cols: Vec<usize> = sort_attrs
+            .iter()
+            .filter_map(|&a| self.col_index(a))
+            .collect();
         self.sort_by_cols(&cols);
     }
 
@@ -213,7 +221,8 @@ impl Relation {
         let cols: Vec<usize> = attrs
             .iter()
             .map(|&a| {
-                self.col_index(a).ok_or(FdbError::UnknownAttribute { attr: a.0 })
+                self.col_index(a)
+                    .ok_or(FdbError::UnknownAttribute { attr: a.0 })
             })
             .collect::<Result<_>>()?;
         let mut out = Relation::new(attrs.to_vec());
@@ -298,15 +307,23 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let mut r = Relation::new(attrs(&[0, 1]));
         let err = r.push_row(&[Value::new(1)]).unwrap_err();
-        assert_eq!(err, FdbError::ArityMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            FdbError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]
     fn sorting_is_lexicographic_and_stable() {
         let mut r = rel(&[0, 1], &[vec![2, 1], vec![1, 9], vec![2, 0], vec![1, 3]]);
         r.sort_by_attrs(&attrs(&[0, 1]));
-        let rows: Vec<Vec<u64>> =
-            r.rows().map(|row| row.iter().map(|v| v.raw()).collect()).collect();
+        let rows: Vec<Vec<u64>> = r
+            .rows()
+            .map(|row| row.iter().map(|v| v.raw()).collect())
+            .collect();
         assert_eq!(rows, vec![vec![1, 3], vec![1, 9], vec![2, 0], vec![2, 1]]);
     }
 
@@ -320,7 +337,10 @@ mod tests {
 
     #[test]
     fn dedup_removes_duplicates_globally_after_sort() {
-        let mut r = rel(&[0, 1], &[vec![1, 1], vec![2, 2], vec![1, 1], vec![2, 2], vec![1, 1]]);
+        let mut r = rel(
+            &[0, 1],
+            &[vec![1, 1], vec![2, 2], vec![1, 1], vec![2, 2], vec![1, 1]],
+        );
         r.sort_and_dedup();
         assert_eq!(r.len(), 2);
     }
@@ -328,14 +348,21 @@ mod tests {
     #[test]
     fn distinct_values_are_sorted() {
         let r = rel(&[0, 1], &[vec![5, 1], vec![3, 1], vec![5, 2], vec![1, 2]]);
-        let vals: Vec<u64> = r.distinct_values(AttrId(0)).iter().map(|v| v.raw()).collect();
+        let vals: Vec<u64> = r
+            .distinct_values(AttrId(0))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(vals, vec![1, 3, 5]);
         assert!(r.distinct_values(AttrId(7)).is_empty());
     }
 
     #[test]
     fn filter_and_project() {
-        let r = rel(&[0, 1, 2], &[vec![1, 10, 100], vec![2, 20, 200], vec![3, 30, 300]]);
+        let r = rel(
+            &[0, 1, 2],
+            &[vec![1, 10, 100], vec![2, 20, 200], vec![3, 30, 300]],
+        );
         let f = r.filter(|row| row[0].raw() >= 2);
         assert_eq!(f.len(), 2);
         let p = f.project(&attrs(&[2, 0])).unwrap();

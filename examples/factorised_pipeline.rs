@@ -13,7 +13,9 @@
 //! ```
 
 use fdb::common::RelId;
-use fdb::datagen::{combinatorial_database, random_followup_equalities, random_query, ValueDistribution};
+use fdb::datagen::{
+    combinatorial_database, random_followup_equalities, random_query, ValueDistribution,
+};
 use fdb::engine::{FactorisedQuery, FdbEngine, OptimizerKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,8 +29,14 @@ fn main() {
     // Step 0: factorise a first query with two equality conditions.
     let base_query = random_query(&mut rng, &catalog, &relations, 2);
     let engine = FdbEngine::new();
-    let base = engine.evaluate_flat(&db, &base_query).expect("base query evaluates");
-    println!("base query: K = {} equalities over {} relations", base_query.equalities.len(), relations.len());
+    let base = engine
+        .evaluate_flat(&db, &base_query)
+        .expect("base query evaluates");
+    println!(
+        "base query: K = {} equalities over {} relations",
+        base_query.equalities.len(),
+        relations.len()
+    );
     println!(
         "  factorised result: {} singletons, {} tuples, f-tree cost {:.1}",
         base.stats.result_size, base.stats.result_tuples, base.stats.result_tree_cost

@@ -22,7 +22,9 @@ fn main() {
     let attr_name = |a| cat.qualified_attr_name(a);
 
     println!("=== Q1: Orders ⋈ item Store ⋈ location Disp ===");
-    let q1 = engine.evaluate_flat(&grocery.db, &grocery.q1()).expect("Q1 evaluates");
+    let q1 = engine
+        .evaluate_flat(&grocery.db, &grocery.q1())
+        .expect("Q1 evaluates");
     println!("optimal f-tree (cost s = {:.0}):", q1.stats.plan_cost);
     print!("{}", q1.result.tree().render(attr_name));
     println!(
@@ -50,7 +52,9 @@ fn main() {
 
     println!();
     println!("=== Q2: Produce ⋈ supplier Serve ===");
-    let q2 = engine.evaluate_flat(&grocery.db, &grocery.q2()).expect("Q2 evaluates");
+    let q2 = engine
+        .evaluate_flat(&grocery.db, &grocery.q2())
+        .expect("Q2 evaluates");
     println!("optimal f-tree (cost s = {:.0}):", q2.stats.plan_cost);
     print!("{}", q2.result.tree().render(attr_name));
     println!("factorisation over T3:");
@@ -63,9 +67,14 @@ fn main() {
         ops::product(q1.result.clone(), q2.result.clone()).expect("attribute sets are disjoint");
     let follow_up = FactorisedQuery::equalities(vec![
         (grocery.attr("Orders.item"), grocery.attr("Produce.item")),
-        (grocery.attr("Store.location"), grocery.attr("Serve.location")),
+        (
+            grocery.attr("Store.location"),
+            grocery.attr("Serve.location"),
+        ),
     ]);
-    let joined = engine.evaluate_factorised(&product, &follow_up).expect("join evaluates");
+    let joined = engine
+        .evaluate_factorised(&product, &follow_up)
+        .expect("join evaluates");
     println!("chosen f-plan: {}", joined.stats.plan);
     println!(
         "plan cost s(f) = {:.0}, result f-tree cost = {:.0}",

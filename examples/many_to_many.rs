@@ -35,7 +35,9 @@ fn main() {
                 let query: Query = random_query(&mut rng, &catalog, &relations, k);
 
                 let fdb_start = Instant::now();
-                let fdb_out = FdbEngine::new().evaluate_flat(&db, &query).expect("FDB evaluates");
+                let fdb_out = FdbEngine::new()
+                    .evaluate_flat(&db, &query)
+                    .expect("FDB evaluates");
                 let fdb_time = fdb_start.elapsed();
 
                 // The flat baseline gets a timeout so the sweep always
@@ -49,7 +51,10 @@ fn main() {
                 let rdb_result = rdb.evaluate(&db, &query);
                 let rdb_time = rdb_start.elapsed();
                 let (rdb_size, rdb_label) = match &rdb_result {
-                    Ok(rel) => (rel.data_element_count().to_string(), format!("{rdb_time:?}")),
+                    Ok(rel) => (
+                        rel.data_element_count().to_string(),
+                        format!("{rdb_time:?}"),
+                    ),
                     Err(_) => ("—".to_string(), "timeout".to_string()),
                 };
 

@@ -26,22 +26,39 @@ fn main() {
     let db = populate(&mut rng, &catalog, 2_000, 100, ValueDistribution::Uniform);
 
     let query = Query::product(vec![r, s, t])
-        .with_equality(catalog.find_attr("R.b").unwrap(), catalog.find_attr("S.c").unwrap())
-        .with_equality(catalog.find_attr("S.d").unwrap(), catalog.find_attr("T.e").unwrap());
+        .with_equality(
+            catalog.find_attr("R.b").unwrap(),
+            catalog.find_attr("S.c").unwrap(),
+        )
+        .with_equality(
+            catalog.find_attr("S.d").unwrap(),
+            catalog.find_attr("T.e").unwrap(),
+        );
 
     // FDB: optimise the f-tree and build the factorised result directly.
     let fdb = FdbEngine::new();
-    let output = fdb.evaluate_flat(&db, &query).expect("FDB evaluation succeeds");
+    let output = fdb
+        .evaluate_flat(&db, &query)
+        .expect("FDB evaluation succeeds");
     println!("== FDB (factorised) ==");
     println!("optimal f-tree cost s(T) : {:.2}", output.stats.plan_cost);
-    println!("optimisation time        : {:?}", output.stats.optimisation_time);
-    println!("evaluation time          : {:?}", output.stats.execution_time);
+    println!(
+        "optimisation time        : {:?}",
+        output.stats.optimisation_time
+    );
+    println!(
+        "evaluation time          : {:?}",
+        output.stats.execution_time
+    );
     println!("result singletons        : {}", output.stats.result_size);
     println!("result tuples            : {}", output.stats.result_tuples);
     println!();
     println!("f-tree of the result:");
     let cat = db.catalog();
-    print!("{}", output.result.tree().render(|a| cat.qualified_attr_name(a)));
+    print!(
+        "{}",
+        output.result.tree().render(|a| cat.qualified_attr_name(a))
+    );
 
     // RDB: the flat baseline.
     let rdb = RdbEngine::new();

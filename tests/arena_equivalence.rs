@@ -1,0 +1,178 @@
+//! Arena-migration equivalence: the arena-backed representation and its
+//! iterative cursor must be observationally identical to the flat relational
+//! path — same tuple multiset, same ascending-attribute column order — and
+//! the representation statistics must be invariant under the builder-form
+//! round trip (`to_forest` / `from_parts`).
+
+use fdb::common::{Query, RelId, Value};
+use fdb::datagen::{grocery_database, populate, random_query, random_schema, ValueDistribution};
+use fdb::engine::FdbEngine;
+use fdb::frep::{for_each_tuple, materialize, FRep, Union};
+use fdb::relation::{Database, RdbEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Canonical (attribute-sorted) tuple multiset of the flat RDB result.  Flat
+/// join results are sets, so a `BTreeMap` to counts doubles as a multiset
+/// check against the enumeration (which must not produce duplicates).
+fn rdb_tuple_counts(db: &Database, query: &Query) -> BTreeMap<Vec<Value>, usize> {
+    let result = RdbEngine::new().evaluate(db, query).expect("RDB evaluates");
+    let mut attrs = result.attrs().to_vec();
+    attrs.sort_unstable();
+    let reordered = result.reorder_columns(&attrs).expect("same attributes");
+    let mut counts = BTreeMap::new();
+    for row in reordered.rows() {
+        *counts.entry(row.to_vec()).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+/// The tuple multiset the cursor enumerates.
+fn enumerated_tuple_counts(rep: &FRep) -> BTreeMap<Vec<Value>, usize> {
+    let mut counts = BTreeMap::new();
+    for_each_tuple(rep, |t| {
+        *counts.entry(t.to_vec()).or_insert(0usize) += 1;
+    });
+    counts
+}
+
+/// Reference singleton count computed on the thawed builder forest — an
+/// implementation of `FRep::size` that never touches the arena.
+fn reference_size(rep: &FRep) -> usize {
+    fn count(rep: &FRep, union: &Union) -> usize {
+        let own = rep.tree().visible_attrs(union.node).len() * union.entries.len();
+        own + union
+            .entries
+            .iter()
+            .flat_map(|e| e.children.iter())
+            .map(|child| count(rep, child))
+            .sum::<usize>()
+    }
+    rep.to_forest().iter().map(|u| count(rep, u)).sum()
+}
+
+/// Every check bundled: multiset equality against RDB, ascending-attribute
+/// buffer order, tuple-count consistency, and size invariance under the
+/// builder round trip.
+fn check_rep(db: &Database, query: &Query, rep: &FRep, context: &str) {
+    rep.validate()
+        .unwrap_or_else(|e| panic!("{context}: invalid representation: {e:?}"));
+
+    // Ascending-attribute order: the buffer columns are the visible
+    // attributes sorted by id.
+    let attrs = rep.visible_attrs();
+    let mut sorted = attrs.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        attrs, sorted,
+        "{context}: visible attributes must come out ascending"
+    );
+
+    // Same tuple multiset as the flat relational path.
+    let expected = rdb_tuple_counts(db, query);
+    let actual = enumerated_tuple_counts(rep);
+    assert_eq!(
+        actual, expected,
+        "{context}: enumeration disagrees with the RDB result"
+    );
+
+    // materialize is for_each_tuple collected: same cardinality, same set.
+    let flat = materialize(rep).expect("materialisation succeeds");
+    assert_eq!(
+        flat.len() as u128,
+        rep.tuple_count(),
+        "{context}: tuple_count"
+    );
+    assert_eq!(
+        flat.attrs(),
+        &attrs[..],
+        "{context}: materialised column order"
+    );
+
+    // Size invariance: the arena's flat-loop size equals the builder-form
+    // reference count, and survives a thaw/freeze round trip.
+    let size = rep.size();
+    assert_eq!(
+        size,
+        reference_size(rep),
+        "{context}: arena size vs builder reference"
+    );
+    let round_tripped = FRep::from_parts(rep.tree().clone(), rep.to_forest())
+        .unwrap_or_else(|e| panic!("{context}: round trip rejected: {e:?}"));
+    assert_eq!(
+        round_tripped.size(),
+        size,
+        "{context}: size after round trip"
+    );
+    assert_eq!(
+        round_tripped.tuple_count(),
+        rep.tuple_count(),
+        "{context}: count after round trip"
+    );
+}
+
+#[test]
+fn grocery_queries_agree_with_the_flat_path() {
+    let g = grocery_database();
+    for (name, query) in [("q1", g.q1()), ("q2", g.q2())] {
+        let out = FdbEngine::new()
+            .evaluate_flat(&g.db, &query)
+            .expect("FDB evaluates");
+        check_rep(&g.db, &query, &out.result, name);
+        assert!(
+            out.result.size() > 0,
+            "{name}: grocery results are non-empty"
+        );
+    }
+}
+
+#[test]
+fn randomized_grocery_scale_workloads_agree_with_the_flat_path() {
+    // Grocery-scale sweeps: a handful of small relations, value domains
+    // narrow enough that joins actually match, both value distributions.
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x00A1_1E90 ^ seed);
+        let relations = 1 + (seed as usize % 3);
+        let attributes = relations + 1 + (seed as usize % 4);
+        let catalog = random_schema(&mut rng, relations, attributes);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let distribution = if seed % 2 == 0 {
+            ValueDistribution::Uniform
+        } else {
+            ValueDistribution::Zipf(1.0)
+        };
+        let db = populate(&mut rng, &catalog, 30, 8, distribution);
+        let k = (seed as usize) % attributes.min(3);
+        let query = random_query(&mut rng, &catalog, &rels, k);
+
+        let out = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("FDB evaluates");
+        check_rep(&db, &query, &out.result, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn selections_preserve_the_equivalence() {
+    // Constant selections exercise the arena-native filtered rebuild.
+    let g = grocery_database();
+    let item = g.attr("Orders.item");
+    for (op, value) in [
+        (fdb::ComparisonOp::Eq, 2),
+        (fdb::ComparisonOp::Ge, 2),
+        (fdb::ComparisonOp::Ne, 1),
+        (fdb::ComparisonOp::Eq, 99), // selects nothing
+    ] {
+        let query = g.q1().with_const_selection(item, op, Value::new(value));
+        let out = FdbEngine::new()
+            .evaluate_flat(&g.db, &query)
+            .expect("FDB evaluates");
+        check_rep(
+            &g.db,
+            &query,
+            &out.result,
+            &format!("σ(item {op:?} {value})"),
+        );
+    }
+}

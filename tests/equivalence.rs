@@ -17,19 +17,30 @@ fn rdb_tuples(db: &Database, query: &Query) -> BTreeSet<Vec<Value>> {
     let result = RdbEngine::new().evaluate(db, query).expect("RDB evaluates");
     let mut attrs = result.attrs().to_vec();
     attrs.sort_unstable();
-    result.reorder_columns(&attrs).expect("same attributes").tuple_set()
+    result
+        .reorder_columns(&attrs)
+        .expect("same attributes")
+        .tuple_set()
 }
 
 /// Generates a random database and query from a seed, small enough for the
 /// flat baseline to enumerate comfortably.
-fn scenario(seed: u64, relations: usize, attributes: usize, tuples: usize, domain: u64, k: usize)
-    -> (Database, Query)
-{
+fn scenario(
+    seed: u64,
+    relations: usize,
+    attributes: usize,
+    tuples: usize,
+    domain: u64,
+    k: usize,
+) -> (Database, Query) {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = random_schema(&mut rng, relations, attributes);
     let rels: Vec<RelId> = catalog.rels().collect();
-    let distribution =
-        if seed % 2 == 0 { ValueDistribution::Uniform } else { ValueDistribution::Zipf(1.0) };
+    let distribution = if seed.is_multiple_of(2) {
+        ValueDistribution::Uniform
+    } else {
+        ValueDistribution::Zipf(1.0)
+    };
     let db = populate(&mut rng, &catalog, tuples, domain, distribution);
     let query = random_query(&mut rng, &catalog, &rels, k);
     (db, query)
@@ -117,8 +128,12 @@ fn factorised_size_never_exceeds_flat_size() {
     // is bounded by the number of data elements of the flat result.
     for seed in 0..20u64 {
         let (db, query) = scenario(seed, 3, 7, 40, 8, 2);
-        let out = FdbEngine::new().evaluate_flat(&db, &query).expect("FDB evaluates");
-        let flat = RdbEngine::new().evaluate(&db, &query).expect("RDB evaluates");
+        let out = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("FDB evaluates");
+        let flat = RdbEngine::new()
+            .evaluate(&db, &query)
+            .expect("RDB evaluates");
         assert!(
             out.stats.result_size <= flat.data_element_count().max(1),
             "seed {seed}: {} singletons > {} data elements",

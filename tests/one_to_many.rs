@@ -23,7 +23,11 @@ fn key_foreign_key_db(facts: usize, dims: usize) -> (Database, Query) {
     let mut rng = StdRng::seed_from_u64(2024);
     let fact_rows: Vec<Vec<u64>> = (0..facts)
         .map(|i| {
-            vec![i as u64 + 1, rng.gen_range(1..=dims as u64), rng.gen_range(1..=dims as u64)]
+            vec![
+                i as u64 + 1,
+                rng.gen_range(1..=dims as u64),
+                rng.gen_range(1..=dims as u64),
+            ]
         })
         .collect();
     db.insert_raw_rows(fact, &fact_rows).unwrap();
@@ -96,16 +100,23 @@ fn many_to_many_control_shows_the_contrast() {
     let mut db = Database::new(catalog.clone());
     let mut rng = StdRng::seed_from_u64(7);
     for rel in [r, s, t] {
-        let rows: Vec<Vec<u64>> =
-            (0..500).map(|_| vec![rng.gen_range(1..=5u64), rng.gen_range(1..=5u64)]).collect();
+        let rows: Vec<Vec<u64>> = (0..500)
+            .map(|_| vec![rng.gen_range(1..=5u64), rng.gen_range(1..=5u64)])
+            .collect();
         let mut dedup = rows;
         dedup.sort();
         dedup.dedup();
         db.insert_raw_rows(rel, &dedup).unwrap();
     }
     let query = Query::product(vec![r, s, t])
-        .with_equality(catalog.find_attr("R.j1").unwrap(), catalog.find_attr("S.j1b").unwrap())
-        .with_equality(catalog.find_attr("S.j2").unwrap(), catalog.find_attr("T.j2b").unwrap());
+        .with_equality(
+            catalog.find_attr("R.j1").unwrap(),
+            catalog.find_attr("S.j1b").unwrap(),
+        )
+        .with_equality(
+            catalog.find_attr("S.j2").unwrap(),
+            catalog.find_attr("T.j2b").unwrap(),
+        );
     let fdb = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
     let rdb = RdbEngine::new().evaluate(&db, &query).unwrap();
     let ratio = rdb.data_element_count() as f64 / fdb.stats.result_size as f64;

@@ -14,13 +14,22 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Builds a random factorised query result to act as the operator input.
-fn random_frep(seed: u64, relations: usize, attributes: usize, tuples: usize, k: usize) -> (Database, Query, FRep) {
+fn random_frep(
+    seed: u64,
+    relations: usize,
+    attributes: usize,
+    tuples: usize,
+    k: usize,
+) -> (Database, Query, FRep) {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = random_schema(&mut rng, relations, attributes);
     let rels: Vec<RelId> = catalog.rels().collect();
     let db = populate(&mut rng, &catalog, tuples, 6, ValueDistribution::Uniform);
     let query = random_query(&mut rng, &catalog, &rels, k);
-    let rep = FdbEngine::new().evaluate_flat(&db, &query).expect("builds").result;
+    let rep = FdbEngine::new()
+        .evaluate_flat(&db, &query)
+        .expect("builds")
+        .result;
     (db, query, rep)
 }
 

@@ -75,8 +75,9 @@ fn chain_joins_show_the_exponential_gap() {
     let m = 12u64;
     let mut db = fdb::relation::Database::new(catalog.clone());
     for &r in &rels {
-        let rows: Vec<Vec<u64>> =
-            (1..=m).flat_map(|a| (1..=m).map(move |b| vec![a, b])).collect();
+        let rows: Vec<Vec<u64>> = (1..=m)
+            .flat_map(|a| (1..=m).map(move |b| vec![a, b]))
+            .collect();
         db.insert_raw_rows(r, &rows).unwrap();
     }
     let attr = |i: usize, name: &str| catalog.find_attr(&format!("R{i}.{name}")).unwrap();
@@ -123,7 +124,13 @@ fn fractional_cover_is_consistent_with_integral_cover() {
         }
         let frac = fractional_edge_cover(&instance).unwrap();
         let int = integral_edge_cover(&instance).unwrap() as f64;
-        assert!(frac <= int + 1e-6, "fractional {frac} must not exceed integral {int}");
-        assert!(frac >= 1.0 - 1e-6, "non-empty instances need at least weight 1");
+        assert!(
+            frac <= int + 1e-6,
+            "fractional {frac} must not exceed integral {int}"
+        );
+        assert!(
+            frac >= 1.0 - 1e-6,
+            "non-empty instances need at least weight 1"
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with a `#![proptest_config(…)]` header and
+//! `arg in range` strategies over integer ranges, plus [`prop_assert!`],
+//! [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`].
+//!
+//! Each property runs `cases` times with arguments sampled from a
+//! deterministic RNG derived from the property name and case index — no
+//! shrinking, no persistence, but fully reproducible failures.
+
+#![warn(missing_docs)]
+
+/// Configuration accepted by `#![proptest_config(…)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+
+    /// Deterministic RNG for one case of one property.
+    pub fn rng_for_case(property: &str, case: u32) -> StdRng {
+        use rand::SeedableRng;
+        // FNV-1a over the property name, mixed with the case index.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in property.bytes() {
+            hash = (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Samples one strategy (an integer range) for a property argument.
+    pub fn sample<T, S: rand::SampleRange<T>>(rng: &mut StdRng, strategy: S) -> T {
+        strategy.sample_from(rng)
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` running `body` for every sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::ProptestConfig = $config;
+                for __pt_case in 0..__pt_config.cases {
+                    let mut __pt_rng = $crate::__rt::rng_for_case(stringify!($name), __pt_case);
+                    $(let $arg = $crate::__rt::sample(&mut __pt_rng, $strategy);)+
+                    let __pt_outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__pt_message) = __pt_outcome {
+                        panic!(
+                            "property {} failed on case {}: {}",
+                            stringify!($name),
+                            __pt_case,
+                            __pt_message
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_left, __pt_right) = (&$left, &$right);
+        if !(__pt_left == __pt_right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_left,
+                __pt_right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_left, __pt_right) = (&$left, &$right);
+        if __pt_left == __pt_right {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_left
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Sampled arguments respect their ranges.
+        #[test]
+        fn arguments_stay_in_range(a in 0u64..100, b in 5usize..=9) {
+            prop_assert!(a < 100);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b + 1, b);
+        }
+
+        /// Assumptions skip cases without failing.
+        #[test]
+        fn assumptions_skip(a in 0u64..4) {
+            prop_assume!(a != 2);
+            prop_assert!(a != 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed on case 0")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+
+            fn always_fails(a in 0u64..4) {
+                prop_assert!(a > 100, "a was {}", a);
+            }
+        }
+        always_fails();
+    }
+}

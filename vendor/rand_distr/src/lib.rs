@@ -1,0 +1,116 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides only what the workspace uses: the [`Distribution`] trait and a
+//! [`Zipf`] distribution over `{1, …, n}` with exponent `s` (probability of
+//! `k` proportional to `k^-s`).  Sampling is done by inversion against the
+//! precomputed cumulative weights — `O(log n)` per draw after `O(n)` setup —
+//! which is exact and plenty fast for the domains the paper's experiments
+//! use (`n ≤ 100`).
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid [`Zipf`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Zipf parameters (need n ≥ 1 and finite s ≥ 0)")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over `{1, …, n}`: `P(k) ∝ k^-s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalised) weights; `cumulative[k-1] = Σ_{i≤k} i^-s`.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, …, n}` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ZipfError> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cumulative.last().expect("n ≥ 1");
+        // Uniform in (0, total]: inversion by binary search over the CDF.
+        let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64 * total;
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        (idx.min(self.cumulative.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let dist = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skews_towards_small_values() {
+        let dist = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ones = 0;
+        let mut hundreds = 0;
+        for _ in 0..20_000 {
+            match dist.sample(&mut rng) as u64 {
+                1 => ones += 1,
+                100 => hundreds += 1,
+                _ => {}
+            }
+        }
+        assert!(ones > hundreds * 10, "ones={ones} hundreds={hundreds}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let dist = Zipf::new(4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+}
