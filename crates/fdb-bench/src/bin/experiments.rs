@@ -9,24 +9,27 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures; `EXPERIMENTS.md` records a full run.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, report, Scale};
 use std::time::Instant;
 
 /// Runs the PR 1 enumeration benchmark and writes its machine-readable
 /// output.  With `--baseline`, writes `BENCH_BASELINE.json` (raw rows) for a
 /// later run to compare against; otherwise writes `BENCH_PR1.json`, merging
 /// `BENCH_BASELINE.json` (if present in the working directory) and reporting
-/// per-workload and geometric-mean speedups.
-fn run_bench_pr1(baseline_mode: bool) {
+/// per-workload and geometric-mean speedups.  At `--scale smoke` only the
+/// grocery workload runs and nothing is written — a CI bit-rot canary.
+fn run_bench_pr1(baseline_mode: bool, smoke: bool) {
     let start = Instant::now();
-    let rows = pr1::run();
+    let rows = if smoke { pr1::run_smoke() } else { pr1::run() };
     for row in &rows {
         println!(
             "{:<26} {:>12} tuples  {:>12.0} tuples/s  (reps {}, materialize {:.4}s)",
             row.name, row.tuples, row.tuples_per_sec, row.reps, row.materialize_seconds
         );
     }
-    if baseline_mode {
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else if baseline_mode {
         std::fs::write("BENCH_BASELINE.json", pr1::render_json(&rows))
             .expect("writing BENCH_BASELINE.json");
         println!("\nwrote BENCH_BASELINE.json");
@@ -44,19 +47,64 @@ fn run_bench_pr1(baseline_mode: bool) {
     println!("(bench-pr1 finished in {:?})\n", start.elapsed());
 }
 
+/// Runs the PR 2 structural-operator and construction benchmark (arena
+/// native vs thaw path) and writes `BENCH_PR2.json`.  At `--scale smoke`
+/// the inputs shrink and nothing is written.
+fn run_bench_pr2(smoke: bool) {
+    let start = Instant::now();
+    let scale = if smoke {
+        pr2::Pr2Scale::Smoke
+    } else {
+        pr2::Pr2Scale::Full
+    };
+    let report = pr2::run(scale);
+    print!("{}", pr2::render_table(&report));
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else {
+        std::fs::write("BENCH_PR2.json", pr2::render_json(&report))
+            .expect("writing BENCH_PR2.json");
+        println!("\nwrote BENCH_PR2.json");
+    }
+    println!("(bench-pr2 finished in {:?})\n", start.elapsed());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    // `--scale smoke` shrinks the PR benchmarks to a CI-friendly canary run;
+    // `--scale full` (the default) runs the committed measurement sizes.
+    // The scale value is consumed here so it never leaks into the
+    // experiment-selector list below.
+    let mut scale_value: Option<&str> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        match args.get(pos + 1).map(String::as_str) {
+            Some(v @ ("smoke" | "full")) => scale_value = Some(v),
+            Some(v) => {
+                eprintln!("error: unknown --scale value {v:?} (expected \"smoke\" or \"full\")");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("error: --scale requires a value (\"smoke\" or \"full\")");
+                std::process::exit(2);
+            }
+        }
+    }
+    let smoke = scale_value == Some("smoke");
     let which: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| !a.starts_with('-'))
+        .filter(|a| !a.starts_with('-') && Some(*a) != scale_value)
         .collect();
     let run_all = which.is_empty() || which.contains(&"all");
 
     if which.contains(&"bench-pr1") {
-        run_bench_pr1(args.iter().any(|a| a == "--baseline"));
+        run_bench_pr1(args.iter().any(|a| a == "--baseline"), smoke);
+        return;
+    }
+    if which.contains(&"bench-pr2") {
+        run_bench_pr2(smoke);
         return;
     }
 

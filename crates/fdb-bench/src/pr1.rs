@@ -175,6 +175,49 @@ fn exp3_combinatorial(k: usize) -> (Database, fdb_common::Query, FRep) {
     unreachable!("some seed produces a result in the tuple band");
 }
 
+/// Runs a smoke-scale PR 1 benchmark: the grocery workload only, with a
+/// reduced tuple target — a CI bit-rot canary, not a measurement.
+pub fn run_smoke() -> Vec<Pr1Row> {
+    let mut row = {
+        let rep = grocery_join();
+        let tuples = rep.tuple_count();
+        let reps: u32 = (100_000u128)
+            .checked_div(tuples)
+            .map_or(1, |r| r.clamp(1, 10_000) as u32);
+        let mut checksum = 0u64;
+        for_each_tuple(&rep, |t| {
+            for v in t {
+                checksum = checksum.wrapping_add(v.raw());
+            }
+        });
+        let start = Instant::now();
+        for _ in 0..reps {
+            let mut sink = 0u64;
+            for_each_tuple(&rep, |t| {
+                for v in t {
+                    sink = sink.wrapping_add(v.raw());
+                }
+            });
+            assert_eq!(sink, checksum, "smoke: enumeration changed");
+        }
+        let enum_seconds = start.elapsed().as_secs_f64();
+        let mat_start = Instant::now();
+        let flat = materialize(&rep).expect("materialisation succeeds");
+        assert_eq!(flat.len() as u128, tuples, "smoke: materialize row count");
+        Pr1Row {
+            name: "grocery_q1q2_join".into(),
+            singletons: rep.size() as u64,
+            tuples,
+            reps,
+            enum_seconds,
+            tuples_per_sec: (reps as u128 * tuples) as f64 / enum_seconds.max(1e-12),
+            materialize_seconds: mat_start.elapsed().as_secs_f64(),
+        }
+    };
+    row.name = format!("{}_smoke", row.name);
+    vec![row]
+}
+
 /// Runs the full PR 1 benchmark.
 pub fn run() -> Vec<Pr1Row> {
     let mut rows = Vec::new();

@@ -1,0 +1,590 @@
+//! PR 2 benchmark: arena-native structural operators and direct arena
+//! construction.
+//!
+//! Two measurement groups:
+//!
+//! * **Structural operators** — each of swap, merge, absorb, push-up and
+//!   projection applied to a synthetic mid-size f-representation, measuring
+//!   the arena-native rewrite (`fdb_frep::ops`) against the thaw-path
+//!   reference it replaced (`fdb_frep::ops::oracle`: thaw to the builder
+//!   form, restructure the pointer tree, freeze back).  Both sides run the
+//!   same logical rewrite; the delta is the two linear copies plus the
+//!   per-node allocations the thaw path pays around it.
+//! * **Construction** — `build_frep` (direct arena emission with watermark
+//!   rollback) against the pre-PR-2 forest path
+//!   (`build_frep_via_forest`: assemble an owned builder forest, freeze
+//!   once) on the grocery join and a randomized exp3-style workload.
+//!
+//! The `experiments bench-pr2` subcommand prints the table and serialises
+//! the rows as `BENCH_PR2.json`; `--scale smoke` shrinks the inputs and
+//! repetition counts so CI can keep the harness from bit-rotting.
+
+use fdb_common::{AttrId, Catalog, Query, Value};
+use fdb_datagen::{populate, random_query, random_schema, ValueDistribution};
+use fdb_frep::build::build_frep_via_forest;
+use fdb_frep::{build_frep, ops, Entry, FRep, Union};
+use fdb_ftree::{DepEdge, FTree, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One structural-operator measurement.
+#[derive(Clone, Debug)]
+pub struct OpRow {
+    /// Workload name (stable across refactors).
+    pub name: String,
+    /// Singleton count of the input representation.
+    pub singletons: u64,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one arena-native application.
+    pub arena_seconds: f64,
+    /// Best wall time of one thaw-path (oracle) application.
+    pub thaw_seconds: f64,
+    /// `thaw_seconds / arena_seconds`.
+    pub speedup: f64,
+}
+
+/// One construction measurement.
+#[derive(Clone, Debug)]
+pub struct BuildRow {
+    /// Workload name.
+    pub name: String,
+    /// Singleton count of the built representation.
+    pub singletons: u64,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one direct arena build.
+    pub direct_seconds: f64,
+    /// Best wall time of one builder-forest build.
+    pub forest_seconds: f64,
+    /// `forest_seconds / direct_seconds`.
+    pub speedup: f64,
+}
+
+/// The full PR 2 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr2Report {
+    /// Structural-operator rows.
+    pub ops: Vec<OpRow>,
+    /// Geometric mean of the operator speedups.
+    pub ops_speedup_geomean: f64,
+    /// Construction rows.
+    pub build: Vec<BuildRow>,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr2Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR2.json` numbers.
+    Full,
+}
+
+impl Pr2Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr2Scale::Smoke => Dims {
+                outer: 40,
+                inner: 8,
+                measurements: 2,
+                reps: 2,
+                build_rows: 300,
+            },
+            Pr2Scale::Full => Dims {
+                outer: 400,
+                inner: 40,
+                measurements: 5,
+                reps: 12,
+                build_rows: 3_000,
+            },
+        }
+    }
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Entries of the outermost union.
+    outer: u64,
+    /// Entries per nested union.
+    inner: u64,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Operator applications per measurement.
+    reps: u32,
+    /// Rows per relation in the construction workload.
+    build_rows: usize,
+}
+
+fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+    ids.iter().map(|&i| AttrId(i)).collect()
+}
+
+fn leaf_union(node: NodeId, values: impl Iterator<Item = u64>) -> Union {
+    Union::new(node, values.map(|v| Entry::leaf(Value::new(v))).collect())
+}
+
+/// Swap workload: A{0} → B{1} → (C{2}, D{3}) with C dependent on A (it
+/// follows A down) and D independent (it stays with B) — the general swap
+/// with both a `G_ab` and an `F_b` part.
+fn swap_input(d: Dims) -> (FRep, NodeId) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RAC", attrs(&[0, 2]), d.outer),
+        DepEdge::new("RBD", attrs(&[1, 3]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let d_node = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                // Overlapping B ranges across A values make the regrouped
+                // inner unions non-trivial.
+                (av..av + d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![
+                            leaf_union(c, std::iter::once(av * 1_000 + bv)),
+                            leaf_union(d_node, std::iter::once(bv)),
+                        ],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    (rep, b)
+}
+
+/// Merge workload: the product of two root unions over overlapping value
+/// ranges, merged on their roots — half the values survive, so the prune
+/// pass does real work.
+fn merge_input(d: Dims) -> (FRep, NodeId, NodeId) {
+    let build_side = |root_attr: u32, child_attr: u32, name: &str, offset: u64| {
+        let edges = vec![DepEdge::new(name, attrs(&[root_attr, child_attr]), d.outer)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[root_attr]), None).unwrap();
+        let child = tree.add_node(attrs(&[child_attr]), Some(root)).unwrap();
+        let entries = (0..d.outer)
+            .map(|v| Entry {
+                value: Value::new(v + offset),
+                children: vec![leaf_union(child, v..v + d.inner)],
+            })
+            .collect();
+        FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap()
+    };
+    let left = build_side(0, 1, "R", 0);
+    let right = build_side(2, 3, "S", d.outer / 2);
+    let rep = ops::product(left, right).unwrap();
+    let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+    let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+    (rep, a, b)
+}
+
+/// Absorb workload: the chain A{0} → B{1} → C{2} with `A = C` enforced by
+/// absorbing C into A; roughly half the (A, B) branches survive.
+fn absorb_input(d: Dims) -> (FRep, NodeId, NodeId) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RBC", attrs(&[1, 2]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (0..d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        // Even B values carry a C-union containing the A
+                        // value (the entry survives), odd ones do not.
+                        children: vec![if bv % 2 == 0 {
+                            leaf_union(c, [av, av + d.outer].into_iter())
+                        } else {
+                            leaf_union(c, [av + d.outer].into_iter())
+                        }],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    (rep, a, c)
+}
+
+/// Push-up workload: A{0} → B{1} with B independent of A — every A-entry
+/// carries an identical B-union that the operator lifts out once.
+fn push_up_input(d: Dims) -> (FRep, NodeId) {
+    let edges = vec![
+        DepEdge::new("R", attrs(&[0]), d.outer),
+        DepEdge::new("S", attrs(&[1]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![leaf_union(b, 0..d.inner * 4)],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    (rep, b)
+}
+
+/// Projection workload: the chain A{0} → B{1} → C{2} projected onto
+/// {A, C} — the inner node B is swapped down to a leaf and removed.
+fn project_input(d: Dims) -> (FRep, BTreeSet<AttrId>) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RBC", attrs(&[1, 2]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (av..av + d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![leaf_union(c, bv..bv + 3)],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    (rep, attrs(&[0, 2]))
+}
+
+/// Times `apply` on fresh clones of `input`, best of `measurements` runs of
+/// `reps` applications; returns seconds per application.
+fn time_op<F: FnMut(&mut FRep)>(input: &FRep, d: Dims, mut apply: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let mut total = 0.0f64;
+        for _ in 0..d.reps {
+            let mut rep = input.clone();
+            let start = Instant::now();
+            apply(&mut rep);
+            total += start.elapsed().as_secs_f64();
+            assert!(rep.size() > 0, "benchmark op must not empty the input");
+        }
+        best = best.min(total / d.reps as f64);
+    }
+    best
+}
+
+/// Measures one structural operator both ways and checks the two paths agree
+/// bit for bit before timing.
+fn measure_op<A, O>(name: &str, input: &FRep, d: Dims, mut arena: A, mut thaw: O) -> OpRow
+where
+    A: FnMut(&mut FRep),
+    O: FnMut(&mut FRep),
+{
+    let mut via_arena = input.clone();
+    let mut via_thaw = input.clone();
+    arena(&mut via_arena);
+    thaw(&mut via_thaw);
+    assert!(
+        via_arena.store_identical(&via_thaw),
+        "{name}: arena-native and thaw-path outputs diverge"
+    );
+
+    let arena_seconds = time_op(input, d, &mut arena);
+    let thaw_seconds = time_op(input, d, &mut thaw);
+    OpRow {
+        name: name.to_string(),
+        singletons: input.size() as u64,
+        reps: d.reps,
+        arena_seconds,
+        thaw_seconds,
+        speedup: thaw_seconds / arena_seconds.max(1e-12),
+    }
+}
+
+/// The grocery Q1 construction workload.
+fn grocery_build() -> (fdb_relation::Database, Query, FTree) {
+    let g = fdb_datagen::grocery_database();
+    let query = g.q1();
+    let search = fdb_plan::optimal_ftree(g.db.catalog(), &query, |r| g.db.rel_len(r) as u64)
+        .expect("grocery Q1 has an f-tree");
+    (g.db, query, search.tree)
+}
+
+/// An exp3-style randomized construction workload: three relations of
+/// `rows` tuples joined by two equalities.
+fn exp3_build(rows: usize) -> (fdb_relation::Database, Query, FTree) {
+    for seed in 0u64.. {
+        let mut rng = StdRng::seed_from_u64(0x5032_3A33 ^ seed);
+        let catalog: Catalog = random_schema(&mut rng, 3, 8);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, rows, 50, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 2);
+        let Ok(search) = fdb_plan::optimal_ftree(db.catalog(), &query, |r| db.rel_len(r) as u64)
+        else {
+            continue;
+        };
+        let Ok(rep) = build_frep(&db, &query, &search.tree) else {
+            continue;
+        };
+        if rep.size() > rows {
+            return (db, query, search.tree);
+        }
+    }
+    unreachable!("some seed produces a non-trivial construction workload");
+}
+
+/// Measures one construction workload both ways.
+fn measure_build(
+    name: &str,
+    db: &fdb_relation::Database,
+    query: &Query,
+    tree: &FTree,
+    d: Dims,
+) -> BuildRow {
+    let direct = build_frep(db, query, tree).expect("direct build succeeds");
+    let forest = build_frep_via_forest(db, query, tree).expect("forest build succeeds");
+    assert_eq!(
+        direct.to_forest(),
+        forest.to_forest(),
+        "{name}: the two construction paths diverge"
+    );
+
+    let time = |f: &mut dyn FnMut() -> FRep| {
+        let mut best = f64::INFINITY;
+        for _ in 0..d.measurements {
+            let mut total = 0.0f64;
+            for _ in 0..d.reps {
+                let start = Instant::now();
+                let rep = f();
+                total += start.elapsed().as_secs_f64();
+                std::hint::black_box(&rep);
+            }
+            best = best.min(total / d.reps as f64);
+        }
+        best
+    };
+    let direct_seconds = time(&mut || build_frep(db, query, tree).expect("build"));
+    let forest_seconds = time(&mut || build_frep_via_forest(db, query, tree).expect("build"));
+    BuildRow {
+        name: name.to_string(),
+        singletons: direct.size() as u64,
+        reps: d.reps,
+        direct_seconds,
+        forest_seconds,
+        speedup: forest_seconds / direct_seconds.max(1e-12),
+    }
+}
+
+/// Runs the full PR 2 benchmark at the given scale.
+pub fn run(scale: Pr2Scale) -> Pr2Report {
+    let d = scale.dims();
+    let mut op_rows = Vec::new();
+
+    let (rep, b) = swap_input(d);
+    op_rows.push(measure_op(
+        "swap_chain_with_split",
+        &rep,
+        d,
+        |r| {
+            ops::swap(r, b).expect("swap applies");
+        },
+        |r| {
+            ops::oracle::swap(r, b).expect("swap applies");
+        },
+    ));
+
+    let (rep, a, bb) = merge_input(d);
+    op_rows.push(measure_op(
+        "merge_sibling_roots",
+        &rep,
+        d,
+        move |r| {
+            ops::merge(r, a, bb).expect("merge applies");
+        },
+        move |r| {
+            ops::oracle::merge(r, a, bb).expect("merge applies");
+        },
+    ));
+
+    let (rep, a, c) = absorb_input(d);
+    op_rows.push(measure_op(
+        "absorb_chain_endpoint",
+        &rep,
+        d,
+        move |r| {
+            ops::absorb(r, a, c).expect("absorb applies");
+        },
+        move |r| {
+            ops::oracle::absorb(r, a, c).expect("absorb applies");
+        },
+    ));
+
+    let (rep, b) = push_up_input(d);
+    op_rows.push(measure_op(
+        "push_up_independent_child",
+        &rep,
+        d,
+        move |r| {
+            ops::push_up(r, b).expect("push-up applies");
+        },
+        move |r| {
+            ops::oracle::push_up(r, b).expect("push-up applies");
+        },
+    ));
+
+    let (rep, keep) = project_input(d);
+    let keep2 = keep.clone();
+    op_rows.push(measure_op(
+        "project_away_inner_node",
+        &rep,
+        d,
+        move |r| {
+            ops::project(r, &keep).expect("projection applies");
+        },
+        move |r| {
+            ops::oracle::project(r, &keep2).expect("projection applies");
+        },
+    ));
+
+    let geomean =
+        (op_rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / op_rows.len().max(1) as f64).exp();
+
+    let mut build_rows = Vec::new();
+    let (db, query, tree) = grocery_build();
+    build_rows.push(measure_build("build_grocery_q1", &db, &query, &tree, d));
+    let (db, query, tree) = exp3_build(d.build_rows);
+    build_rows.push(measure_build("build_exp3_random_K2", &db, &query, &tree, d));
+
+    Pr2Report {
+        ops: op_rows,
+        ops_speedup_geomean: geomean,
+        build: build_rows,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR1.json`).
+pub fn render_json(report: &Pr2Report) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr2-structural-ops\",\n  \"ops\": [\n");
+    for (i, row) in report.ops.iter().enumerate() {
+        let comma = if i + 1 < report.ops.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
+             \"arena_seconds\": {:.6}, \"thaw_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.reps,
+            row.arena_seconds,
+            row.thaw_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"ops_speedup_geomean\": {:.3},",
+        report.ops_speedup_geomean
+    )
+    .expect("string write");
+    out.push_str("  \"build\": [\n");
+    for (i, row) in report.build.iter().enumerate() {
+        let comma = if i + 1 < report.build.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
+             \"direct_seconds\": {:.6}, \"forest_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.reps,
+            row.direct_seconds,
+            row.forest_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table printed by the `experiments` binary.
+pub fn render_table(report: &Pr2Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<28} {:>12} {:>14} {:>14} {:>9}",
+        "structural op", "singletons", "arena (s)", "thaw path (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.ops {
+        writeln!(
+            out,
+            "{:<28} {:>12} {:>14.6} {:>14.6} {:>8.2}x",
+            row.name, row.singletons, row.arena_seconds, row.thaw_seconds, row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "geometric-mean speedup: {:.2}x\n",
+        report.ops_speedup_geomean
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "{:<28} {:>12} {:>14} {:>14} {:>9}",
+        "construction", "singletons", "direct (s)", "forest (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.build {
+        writeln!(
+            out,
+            "{:<28} {:>12} {:>14.6} {:>14.6} {:>8.2}x",
+            row.name, row.singletons, row.direct_seconds, row.forest_seconds, row.speedup
+        )
+        .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_runs_and_reports_consistent_rows() {
+        let report = run(Pr2Scale::Smoke);
+        assert_eq!(report.ops.len(), 5);
+        assert_eq!(report.build.len(), 2);
+        assert!(report.ops_speedup_geomean > 0.0);
+        for row in &report.ops {
+            assert!(row.arena_seconds > 0.0 && row.thaw_seconds > 0.0);
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"ops_speedup_geomean\""));
+        assert!(json.contains("build_grocery_q1"));
+        let table = render_table(&report);
+        assert!(table.contains("geometric-mean speedup"));
+    }
+}

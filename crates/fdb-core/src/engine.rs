@@ -155,7 +155,11 @@ impl FdbEngine {
     /// Selections with constants are applied first (they are cheap and only
     /// shrink the representation), then the optimised restructuring/selection
     /// plan for the equality conditions, and the projection last — the
-    /// operator ordering FDB uses (Section 4).
+    /// operator ordering FDB uses (Section 4).  Every plan step executes as
+    /// an arena-native rewrite of the flat representation store (including
+    /// the structural swap/merge/absorb/push-up/projection steps), so a plan
+    /// of `k` operators performs `k` single-pass arena rebuilds with no
+    /// pointer-tree round trips in between.
     pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree.
         let opt_start = Instant::now();

@@ -16,25 +16,44 @@
 //! one root-to-leaf path, sibling subtrees never share a relation, so this
 //! local pruning yields exactly the join result.
 //!
+//! # Direct arena emission
+//!
+//! The semi-join emits [`crate::store`] arena records directly as it
+//! recurses — there is no intermediate builder forest and no final freeze
+//! pass.  Each union's header is pushed before its subtrees (so union
+//! indices stay topological), the kid unions of every candidate value are
+//! built straight into the arena, and if one of them comes up empty the
+//! candidate is retracted by **watermark rollback**: the three arena vectors
+//! are truncated back to their lengths from before the candidate, which
+//! removes every record its half-built subtrees emitted.  Surviving
+//! candidates park their value and kid indices in two watermarked scratch
+//! vectors; once all candidates of a union are decided, its entry block and
+//! kid runs are appended contiguously.  (Entry blocks therefore land
+//! *after* the blocks of their descendants — a valid layout the arena views
+//! never distinguish, just not the one [`crate::store::Store::freeze`]
+//! picks.)  The old forest-building path survives as
+//! [`build_frep_via_forest`] for the equivalence tests and the `bench-pr2`
+//! construction benchmark.
+//!
 //! The running time is `O(|Q| · |D|^{s(T̂)})` up to logarithmic factors — the
 //! tight bound of the paper — because the work done per node is proportional
 //! to the number of value combinations of its ancestors (and those are
 //! bounded by the path cover).
 
 use crate::frep::{Entry, FRep, Union};
+use crate::store::{EntryRec, Store, UnionRec};
 use fdb_common::{AttrId, FdbError, Query, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use fdb_relation::{Database, Relation};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Builds the f-representation of `query`'s result over `tree` from the flat
-/// database `db`.
-///
-/// The f-tree must label exactly the query's attributes (projections are
-/// applied afterwards with the projection operator, as FDB defers them to
-/// the end of the f-plan).  Constant selections of the query are pushed onto
-/// the base relations before the factorisation is built.
-pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
+/// Which relations have which columns in each f-tree node's class.
+type NodeCols = BTreeMap<NodeId, Vec<(usize, Vec<usize>)>>;
+
+/// Validates the query against the tree and prepares the base relations
+/// (constant selections applied) plus the per-node column map — shared
+/// between the arena path and the forest oracle.
+fn prepare(db: &Database, query: &Query, tree: &FTree) -> Result<(Vec<Relation>, NodeCols)> {
     query.validate(db.catalog())?;
     tree.check_path_constraint()?;
 
@@ -71,7 +90,7 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
     }
 
     // For every f-tree node, which relations have which columns in its class.
-    let mut node_cols: BTreeMap<NodeId, Vec<(usize, Vec<usize>)>> = BTreeMap::new();
+    let mut node_cols: NodeCols = BTreeMap::new();
     for node in tree.node_ids() {
         let class = tree.class(node);
         let mut per_rel: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -88,22 +107,43 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
         }
         node_cols.insert(node, per_rel);
     }
+    Ok((relations, node_cols))
+}
 
-    let builder = Builder {
+/// The identity row restriction: every row of every relation.
+fn full_restriction(relations: &[Relation]) -> Vec<Vec<u32>> {
+    relations
+        .iter()
+        .map(|r| (0..r.len() as u32).collect())
+        .collect()
+}
+
+/// Builds the f-representation of `query`'s result over `tree` from the flat
+/// database `db`.
+///
+/// The f-tree must label exactly the query's attributes (projections are
+/// applied afterwards with the projection operator, as FDB defers them to
+/// the end of the f-plan).  Constant selections of the query are pushed onto
+/// the base relations before the factorisation is built.
+pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
+    let (relations, node_cols) = prepare(db, query, tree)?;
+    let mut builder = Builder {
         tree,
         relations: &relations,
         node_cols: &node_cols,
+        store: Store::default(),
+        scratch_values: Vec::new(),
+        scratch_kids: Vec::new(),
     };
-    let mut restriction: Vec<Vec<u32>> = relations
-        .iter()
-        .map(|r| (0..r.len() as u32).collect())
-        .collect();
-    let roots: Vec<Union> = tree
+    let mut restriction = full_restriction(&relations);
+    let roots: Vec<u32> = tree
         .roots()
         .iter()
         .map(|&root| builder.build_union(root, &mut restriction))
         .collect();
-    let mut rep = FRep::from_parts_unchecked(tree.clone(), roots);
+    let mut store = builder.store;
+    store.roots = roots;
+    let mut rep = FRep::from_store(tree.clone(), store);
     // A root union that came out empty empties the whole product; prune for
     // a canonical empty representation.
     if rep.represents_empty() {
@@ -116,15 +156,25 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
 struct Builder<'a> {
     tree: &'a FTree,
     relations: &'a [Relation],
-    node_cols: &'a BTreeMap<NodeId, Vec<(usize, Vec<usize>)>>,
+    node_cols: &'a NodeCols,
+    /// The output arena, appended to during the top-down semi-join and
+    /// truncated back to the per-candidate watermarks on retraction.
+    store: Store,
+    /// Scratch: surviving candidate values of every union on the recursion
+    /// stack (each level works in its own watermarked tail region).
+    scratch_values: Vec<Value>,
+    /// Scratch: kid union indices of the surviving candidates, `children`
+    /// per value.
+    scratch_kids: Vec<u32>,
 }
 
 impl Builder<'_> {
     /// Builds the union over `node` under the current per-relation row
-    /// restriction.  The restriction is temporarily narrowed for the
+    /// restriction, emitting its records into the arena, and returns its
+    /// union index.  The restriction is temporarily narrowed for the
     /// relations relevant to this node while recursing and restored before
     /// returning.
-    fn build_union(&self, node: NodeId, restriction: &mut Vec<Vec<u32>>) -> Union {
+    fn build_union(&mut self, node: NodeId, restriction: &mut Vec<Vec<u32>>) -> u32 {
         let relevant = &self.node_cols[&node];
 
         // Group the surviving rows of every relevant relation by their value
@@ -159,11 +209,150 @@ impl Builder<'_> {
             .filter(|v| groups.iter().all(|(_, m)| m.contains_key(v)))
             .collect();
 
-        let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        let mut entries: Vec<Entry> = Vec::with_capacity(candidates.len());
+        // Header first: the union's index must precede its subtrees'.
+        let uid = self.store.unions.len() as u32;
+        self.store.unions.push(UnionRec {
+            node,
+            entries_start: 0,
+            entries_len: 0,
+        });
+
+        let tree = self.tree;
+        let children: &[NodeId] = tree.children(node);
+        let values_mark = self.scratch_values.len();
+        let kids_mark = self.scratch_kids.len();
         for value in candidates {
             // Narrow the restriction of the relevant relations to the rows
             // matching `value`, remembering what to restore.
+            let mut saved: Vec<(usize, Vec<u32>)> = Vec::with_capacity(groups.len());
+            for (rel_idx, map) in &groups {
+                let rows = map.get(&value).cloned().unwrap_or_default();
+                saved.push((
+                    *rel_idx,
+                    std::mem::replace(&mut restriction[*rel_idx], rows),
+                ));
+            }
+
+            // Watermarks for the rollback: everything the candidate's
+            // subtrees emit sits past these lengths.
+            let unions_mark = self.store.unions.len();
+            let entries_mark = self.store.entries.len();
+            let arena_kids_mark = self.store.kids.len();
+            let entry_kids_mark = self.scratch_kids.len();
+            let mut alive = true;
+            for &child in children {
+                let kid = self.build_union(child, restriction);
+                if self.store.unions[kid as usize].entries_len == 0 {
+                    alive = false;
+                    break;
+                }
+                self.scratch_kids.push(kid);
+            }
+            if alive {
+                self.scratch_values.push(value);
+            } else {
+                // Retract the candidate: truncate the arena back to the
+                // watermarks, deleting the half-built subtrees.
+                self.store.unions.truncate(unions_mark);
+                self.store.entries.truncate(entries_mark);
+                self.store.kids.truncate(arena_kids_mark);
+                self.scratch_kids.truncate(entry_kids_mark);
+            }
+
+            for (rel_idx, rows) in saved {
+                restriction[rel_idx] = rows;
+            }
+        }
+
+        // All candidates decided: append the entry block and kid runs
+        // contiguously and finish the header.
+        let entries_start = self.store.entries.len() as u32;
+        let survivors = (self.scratch_values.len() - values_mark) as u32;
+        for i in 0..survivors as usize {
+            let kids_start = self.store.kids.len() as u32;
+            let run_start = kids_mark + i * children.len();
+            self.store
+                .kids
+                .extend_from_slice(&self.scratch_kids[run_start..run_start + children.len()]);
+            self.store.entries.push(EntryRec {
+                value: self.scratch_values[values_mark + i],
+                kids_start,
+            });
+        }
+        let rec = &mut self.store.unions[uid as usize];
+        rec.entries_start = entries_start;
+        rec.entries_len = survivors;
+        self.scratch_values.truncate(values_mark);
+        self.scratch_kids.truncate(kids_mark);
+        uid
+    }
+}
+
+/// The pre-PR-2 construction path: assemble an owned builder forest during
+/// the semi-join and freeze it into an arena once at the end.  Kept as the
+/// oracle for the equivalence tests and the `bench-pr2` construction
+/// benchmark; [`build_frep`] emits arena records directly instead.
+#[doc(hidden)]
+pub fn build_frep_via_forest(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
+    let (relations, node_cols) = prepare(db, query, tree)?;
+    let builder = ForestBuilder {
+        tree,
+        relations: &relations,
+        node_cols: &node_cols,
+    };
+    let mut restriction = full_restriction(&relations);
+    let roots: Vec<Union> = tree
+        .roots()
+        .iter()
+        .map(|&root| builder.build_union(root, &mut restriction))
+        .collect();
+    let mut rep = FRep::from_parts_unchecked(tree.clone(), roots);
+    if rep.represents_empty() {
+        rep = FRep::empty(tree.clone());
+    }
+    rep.validate()?;
+    Ok(rep)
+}
+
+struct ForestBuilder<'a> {
+    tree: &'a FTree,
+    relations: &'a [Relation],
+    node_cols: &'a NodeCols,
+}
+
+impl ForestBuilder<'_> {
+    fn build_union(&self, node: NodeId, restriction: &mut Vec<Vec<u32>>) -> Union {
+        let relevant = &self.node_cols[&node];
+        let mut groups: Vec<(usize, BTreeMap<Value, Vec<u32>>)> =
+            Vec::with_capacity(relevant.len());
+        for (rel_idx, cols) in relevant {
+            let rel = &self.relations[*rel_idx];
+            let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+            for &row_idx in &restriction[*rel_idx] {
+                let row = rel.row(row_idx as usize);
+                let v = row[cols[0]];
+                if cols.iter().all(|&c| row[c] == v) {
+                    map.entry(v).or_default().push(row_idx);
+                }
+            }
+            groups.push((*rel_idx, map));
+        }
+
+        let (smallest_pos, _) = groups
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, m))| m.len())
+            .expect("node has at least one relevant relation");
+        let candidates: Vec<Value> = groups[smallest_pos]
+            .1
+            .keys()
+            .copied()
+            .filter(|v| groups.iter().all(|(_, m)| m.contains_key(v)))
+            .collect();
+
+        let children: Vec<NodeId> = self.tree.children(node).to_vec();
+        let mut entries: Vec<Entry> = Vec::with_capacity(candidates.len());
+        for value in candidates {
             let mut saved: Vec<(usize, Vec<u32>)> = Vec::with_capacity(groups.len());
             for (rel_idx, map) in &groups {
                 let rows = map.get(&value).cloned().unwrap_or_default();
@@ -308,6 +497,20 @@ mod tests {
     }
 
     #[test]
+    fn direct_build_agrees_with_the_forest_oracle() {
+        let (db, rels) = grocery();
+        let query = q1(&db, &rels);
+        let tree = t1(&db, &query);
+        let direct = build_frep(&db, &query, &tree).unwrap();
+        let forest = build_frep_via_forest(&db, &query, &tree).unwrap();
+        // Same logical representation (the arena layouts differ: the direct
+        // build places entry blocks after the child subtrees).
+        assert_eq!(direct.to_forest(), forest.to_forest());
+        assert_eq!(direct.size(), forest.size());
+        assert_eq!(direct.tuple_count(), forest.tuple_count());
+    }
+
+    #[test]
     fn fallback_ftree_gives_the_same_relation() {
         let (db, rels) = grocery();
         let query = q1(&db, &rels);
@@ -382,6 +585,10 @@ mod tests {
             materialize(&rep).unwrap().tuple_set(),
             rdb_result(&db, &query)
         );
+        // The watermark rollback retracted the dangling candidates: what
+        // remains is what the forest path builds.
+        let forest = build_frep_via_forest(&db, &query, &tree).unwrap();
+        assert_eq!(rep.to_forest(), forest.to_forest());
     }
 
     #[test]

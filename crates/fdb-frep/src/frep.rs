@@ -18,9 +18,12 @@
 //! child-slot table in fixed f-tree child order), which makes enumeration an
 //! allocation-free walk over flat arrays and turns the whole-representation
 //! statistics ([`FRep::size`], [`FRep::tuple_count`]) into flat loops.  Data
-//! is read through [`UnionRef`]/[`EntryRef`] views; construction and
-//! structural rewriting use the owned [`Union`]/[`Entry`] builder form of
-//! [`crate::node`] via [`FRep::from_parts`] / [`FRep::to_forest`].
+//! is read through [`UnionRef`]/[`EntryRef`] views; every operator —
+//! including the structural ones — rewrites arena-to-arena ([`crate::ops`]),
+//! and [`crate::build`] emits arena records directly.  The owned
+//! [`Union`]/[`Entry`] builder form of [`crate::node`] remains the
+//! hand-construction interface ([`FRep::from_parts`] / [`FRep::to_forest`])
+//! and the substrate of the test oracle.
 //!
 //! The size of an f-representation is its number of singletons: every entry
 //! of a union over `N` contributes one singleton per *visible* (not
@@ -60,6 +63,35 @@ impl FRep {
     pub(crate) fn from_parts_unchecked(tree: FTree, roots: Vec<Union>) -> Self {
         let store = Store::freeze(&tree, &roots);
         FRep { tree, store }
+    }
+
+    /// Creates an f-representation directly from an arena store.  Used by
+    /// the arena-native operators and [`crate::build`], which maintain the
+    /// invariants themselves.
+    pub(crate) fn from_store(tree: FTree, store: Store) -> Self {
+        FRep { tree, store }
+    }
+
+    /// Replaces both parts at once — how an arena-native structural operator
+    /// installs its rewritten tree and arena.
+    pub(crate) fn replace_parts(&mut self, tree: FTree, store: Store) {
+        self.tree = tree;
+        self.store = store;
+    }
+
+    /// Returns `true` if the two representations have bit-for-bit identical
+    /// arenas (not merely the same represented relation).  Exposed for the
+    /// oracle-equivalence tests; hidden because arena layout is not API.
+    #[doc(hidden)]
+    pub fn store_identical(&self, other: &FRep) -> bool {
+        self.store == other.store
+    }
+
+    /// Debug rendering of the raw arena records, for oracle-equivalence test
+    /// failure messages.
+    #[doc(hidden)]
+    pub fn dump_store(&self) -> String {
+        format!("{:#?}", self.store)
     }
 
     /// The representation of the empty relation over the given f-tree.

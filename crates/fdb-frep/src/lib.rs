@@ -9,18 +9,22 @@
 //!   table in fixed f-tree child order, with size accounting (number of
 //!   singletons), structural validation and tuple counting as flat loops;
 //! * the owned [`Union`]/[`Entry`] *builder* form ([`node`]) used to
-//!   construct representations and to rewrite them structurally;
+//!   hand-construct representations (and backing the thaw-path test oracle
+//!   in [`ops::oracle`]);
 //! * construction of the factorised result of a select-project-join query
-//!   over a given f-tree directly from a flat database ([`build`]), without
-//!   materialising the flat result;
+//!   over a given f-tree directly from a flat database ([`build`]): the
+//!   top-down semi-join emits arena records as it recurses, retracting dead
+//!   candidates by watermark rollback, without materialising the flat
+//!   result or an intermediate builder forest;
 //! * enumeration of the represented relation ([`enumerate`]): an iterative,
 //!   allocation-free constant-delay cursor ([`TupleCursor`]) and
 //!   materialisation into a flat [`fdb_relation::Relation`];
 //! * the data-level f-plan operators ([`ops`]): Cartesian product, push-up
 //!   and normalisation, swap, merge, absorb, selection with a constant, and
-//!   projection.  Each operator transforms both the representation and its
-//!   f-tree, keeping the two consistent, and runs in (quasi)linear time in
-//!   the sizes of its input and output.
+//!   projection — all arena-native, rewriting the flat store in single
+//!   passes with no pointer-tree round trip.  Each operator transforms both
+//!   the representation and its f-tree, keeping the two consistent, and
+//!   runs in (quasi)linear time in the sizes of its input and output.
 
 #![warn(missing_docs)]
 

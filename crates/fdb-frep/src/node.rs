@@ -3,12 +3,14 @@
 //! [`Union`] and [`Entry`] are the pointer-rich form of the factorised data:
 //! every union owns a `Vec` of entries and every entry owns one child union
 //! per f-tree child.  Since the arena refactor ([`crate::store`]) this form
-//! is no longer how an [`crate::FRep`] *stores* its data — it is the form in
-//! which representations are **constructed** (tests, examples, [`crate::build`])
-//! and in which the structural operators (swap, merge, absorb, push-up,
-//! projection) **rewrite** them, because arbitrary splicing is natural on an
-//! owned tree and hopeless on a flat arena.  `FRep::from_parts` freezes a
-//! builder forest into the arena; `FRep::to_forest` thaws it back.
+//! is no longer how an [`crate::FRep`] *stores* its data, and since the
+//! arena-native operator rewrite ([`crate::ops`]) it is no longer on any
+//! production rewrite path either: it survives as the form in which
+//! representations are hand-**constructed** (tests, examples) and as the
+//! substrate of the thaw-path oracle ([`crate::ops::oracle`]) that the
+//! equivalence tests and benchmarks compare against.  `FRep::from_parts`
+//! freezes a builder forest into the arena; `FRep::to_forest` thaws it
+//! back.
 
 use fdb_common::{FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
@@ -36,11 +38,6 @@ impl Entry {
     /// Returns the child union over the given node, if present.
     pub fn child(&self, node: NodeId) -> Option<&Union> {
         self.children.iter().find(|u| u.node == node)
-    }
-
-    /// Returns a mutable reference to the child union over the given node.
-    pub fn child_mut(&mut self, node: NodeId) -> Option<&mut Union> {
-        self.children.iter_mut().find(|u| u.node == node)
     }
 
     /// Removes and returns the child union over the given node.

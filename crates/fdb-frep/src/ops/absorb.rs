@@ -8,13 +8,22 @@
 //! (Figure 3(d)).  As in the paper, the operator finishes with a
 //! normalisation step: removing `B` can make nodes below it independent of
 //! the nodes in between, so they may be pushed up.
+//!
+//! The operator is **arena-native**: one [`Rewriter`] pass walks the arena
+//! carrying the current `A`-value as context, binary-searches each `B`-union
+//! for it, and splices the matching entry's kid subtrees into `B`'s former
+//! parent; entries whose `B`-union misses the context value are dropped on
+//! the spot.  The subsequent [`Store::retain_and_prune`] pass cascades those
+//! removals upwards, exactly as the paper prescribes.  No thaw, no builder
+//! tree; the old implementation survives as [`crate::ops::oracle`].
 
 use crate::frep::FRep;
-use crate::node::Union;
-use crate::ops::restructure::normalise_impl;
-use crate::ops::{visit_unions_of_node_mut, MutRep};
+use crate::ops::restructure::normalise;
+use crate::ops::{child_pos, debug_validate};
+use crate::store::{Rewriter, Store};
 use fdb_common::{FdbError, Result, Value};
-use fdb_ftree::NodeId;
+use fdb_ftree::{FTree, NodeId};
+use std::collections::BTreeSet;
 
 /// Absorb operator `α_{A,B}` where `a` is an ancestor of `b`: enforces
 /// `A = B`, fuses `b` into `a` and normalises.  Returns the nodes pushed up
@@ -27,61 +36,161 @@ pub fn absorb(rep: &mut FRep, a: NodeId, b: NodeId) -> Result<Vec<NodeId>> {
             detail: format!("absorb: {a} is not an ancestor of {b}"),
         });
     }
-
-    let mut m = MutRep::thaw(rep);
-    visit_unions_of_node_mut(&mut m.roots, a, &mut |a_union: &mut Union| {
-        a_union
-            .entries
-            .retain_mut(|entry| restrict_children(&mut entry.children, b, entry.value));
-    });
-
-    m.tree.absorb_into_ancestor(a, b)?;
-    m.prune_empty();
-    let pushed = normalise_impl(&mut m)?;
-    *rep = m.freeze();
-    Ok(pushed)
+    let b_parent = rep
+        .tree()
+        .parent(b)
+        .expect("b has an ancestor, so a parent");
+    let mut new_tree = rep.tree().clone();
+    new_tree.absorb_into_ancestor(a, b)?;
+    let restricted = absorb_rewrite(rep.store(), rep.tree(), &new_tree, a, b, b_parent);
+    // Entries whose B-union had no matching value (or whose product emptied
+    // transitively) disappear here.
+    let pruned = restricted.retain_and_prune(&new_tree, |_, _| true);
+    rep.replace_parts(new_tree, pruned);
+    debug_validate(rep, "absorb");
+    normalise(rep)
 }
 
-/// Restricts every union over `b` among `children` (recursively) to the
-/// single entry with the given value and splices the `b` level out.  Returns
-/// `false` if the product represented by `children` became empty.
-fn restrict_children(children: &mut Vec<Union>, b: NodeId, value: Value) -> bool {
-    let mut spliced: Vec<Union> = Vec::new();
-    let mut idx = 0;
-    while idx < children.len() {
-        if children[idx].node == b {
-            let mut b_union = children.remove(idx);
-            // Binary search on the sorted entries (unions keep their values
-            // strictly increasing), not a linear scan.
-            match b_union.take_value(value) {
-                Some(matched) => spliced.extend(matched.children),
-                None => return false,
-            }
-        } else {
-            let union = &mut children[idx];
-            union
-                .entries
-                .retain_mut(|entry| restrict_children(&mut entry.children, b, value));
-            if union.is_empty() {
-                // Every value of this union became inconsistent with `A = B`:
-                // the enclosing product is empty.
-                return false;
-            }
-            idx += 1;
+/// Emits the restricted-and-spliced (not yet pruned) arena.
+fn absorb_rewrite(
+    src: &Store,
+    old_tree: &FTree,
+    new_tree: &FTree,
+    a: NodeId,
+    b: NodeId,
+    b_parent: NodeId,
+) -> Store {
+    let old_b_children = old_tree.children(b);
+    let mut ab = AbsorbRewrite {
+        rw: Rewriter::new(src, old_tree),
+        a,
+        b_parent,
+        on_path: old_tree.ancestors(b).into_iter().collect(),
+        pos_b: child_pos(old_tree.children(b_parent), b),
+        spliced_slots: new_tree
+            .children(b_parent)
+            .iter()
+            .map(|&c| {
+                if old_b_children.contains(&c) {
+                    (true, child_pos(old_b_children, c))
+                } else {
+                    (false, child_pos(old_tree.children(b_parent), c))
+                }
+            })
+            .collect(),
+        matches: Vec::new(),
+    };
+    let roots: Vec<u32> = src.roots.iter().map(|&r| ab.emit(r, None)).collect();
+    ab.rw.finish(roots)
+}
+
+struct AbsorbRewrite<'a> {
+    rw: Rewriter<'a>,
+    a: NodeId,
+    b_parent: NodeId,
+    /// Ancestors of `b` in the old tree: the root-to-`B` path whose unions
+    /// must be re-emitted (everything else is copied verbatim).
+    on_path: BTreeSet<NodeId>,
+    /// Kid position of `b` in its parent's old child list.
+    pos_b: u32,
+    /// For each kid slot of the rewritten `B`-parent union: `(spliced from
+    /// the matched B-entry, old kid position)`.
+    spliced_slots: Vec<(bool, u32)>,
+    /// Scratch: `(entry index, B-union id, matched B-entry index)` of the
+    /// surviving entries of the `B`-parent union being rewritten.
+    matches: Vec<(u32, u32, u32)>,
+}
+
+impl AbsorbRewrite<'_> {
+    /// Emits union `uid`; `ctx` is the `A`-value of the enclosing `A`-entry,
+    /// if the walk has passed one.
+    fn emit(&mut self, uid: u32, ctx: Option<Value>) -> u32 {
+        let src = self.rw.src;
+        let rec = src.unions[uid as usize];
+        if rec.node == self.b_parent {
+            return self.emit_spliced(uid, ctx);
         }
+        if rec.node != self.a && !self.on_path.contains(&rec.node) {
+            return self.rw.copy_union(uid);
+        }
+        // On the root-to-B path (possibly the A-union itself, which sets the
+        // context value for its subtree).
+        let sets_ctx = rec.node == self.a;
+        let out = self
+            .rw
+            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let kid_count = self.rw.src_kid_count(rec.node);
+        for i in 0..rec.entries_len {
+            let entry_ctx = if sets_ctx {
+                Some(src.entry_slice(uid)[i as usize].value)
+            } else {
+                ctx
+            };
+            let mark = self.rw.mark();
+            for k in 0..kid_count {
+                let kid = self.emit(src.kid(uid, i, k), entry_ctx);
+                self.rw.push_kid(kid);
+            }
+            self.rw.end_entry(out, i, mark);
+        }
+        out
     }
-    children.extend(spliced);
-    true
+
+    /// The `B`-parent union: each entry's `B` slot is replaced by the kid
+    /// subtrees of the `B`-entry matching the context value (binary search
+    /// over the sorted entry slice); entries whose `B`-union misses the
+    /// value are dropped — the prune pass cascades the removals upwards.
+    fn emit_spliced(&mut self, uid: u32, ctx: Option<Value>) -> u32 {
+        let src = self.rw.src;
+        let rec = src.unions[uid as usize];
+        let sets_ctx = rec.node == self.a;
+        let entries = src.entry_slice(uid);
+        self.matches.clear();
+        for i in 0..rec.entries_len {
+            let value = if sets_ctx {
+                entries[i as usize].value
+            } else {
+                ctx.expect("the B-parent lies inside an A-entry subtree")
+            };
+            let b_uid = src.kid(uid, i, self.pos_b);
+            if let Ok(j) = src
+                .entry_slice(b_uid)
+                .binary_search_by(|e| e.value.cmp(&value))
+            {
+                self.matches.push((i, b_uid, j as u32));
+            }
+        }
+        let out = self.rw.begin_union_raw(rec.node, self.matches.len() as u32);
+        for m in 0..self.matches.len() {
+            self.rw
+                .push_value(entries[self.matches[m].0 as usize].value);
+        }
+        for m in 0..self.matches.len() {
+            let (i, b_uid, j) = self.matches[m];
+            let mark = self.rw.mark();
+            for s in 0..self.spliced_slots.len() {
+                let (from_b, pos) = self.spliced_slots[s];
+                let kid = if from_b {
+                    self.rw.copy_union(src.kid(b_uid, j, pos))
+                } else {
+                    self.rw.copy_union(src.kid(uid, i, pos))
+                };
+                self.rw.push_kid(kid);
+            }
+            self.rw.end_entry(out, m as u32, mark);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::enumerate::materialize;
-    use crate::frep::Entry;
+    use crate::frep::{Entry, Union};
+    use crate::ops::oracle;
     use fdb_common::AttrId;
-    use fdb_ftree::{DepEdge, FTree};
-    use std::collections::BTreeSet;
+    use fdb_ftree::DepEdge;
 
     fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
         ids.iter().map(|&i| AttrId(i)).collect()
@@ -126,6 +235,7 @@ mod tests {
     #[test]
     fn absorb_keeps_only_matching_values() {
         let mut rep = chain_rep();
+        let reference = rep.clone();
         let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
         let c = rep.tree().node_of_attr(AttrId(2)).unwrap();
         // Reference: flat tuples with A = C.
@@ -144,6 +254,15 @@ mod tests {
         assert!(rep.tree().is_normalised());
         // Only the A=1 branch had C=1 below B=10; A=2 had C∈{1,3} ∌ 2.
         assert_eq!(rep.tuple_count(), 1);
+        // Bit-for-bit what the thaw path would have built.
+        let mut via_oracle = reference;
+        oracle::absorb(&mut via_oracle, a, c).unwrap();
+        assert!(
+            rep.store_identical(&via_oracle),
+            "arena:\n{}\noracle:\n{}",
+            rep.dump_store(),
+            via_oracle.dump_store()
+        );
     }
 
     #[test]
@@ -196,6 +315,7 @@ mod tests {
             ],
         );
         let mut rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        let reference = rep.clone();
         let expected: BTreeSet<Vec<Value>> = materialize(&rep)
             .unwrap()
             .rows()
@@ -210,6 +330,17 @@ mod tests {
         assert_eq!(rep.tree().children(root).len(), 2);
         assert!(pushed.contains(&d));
         assert!(rep.tree().is_normalised());
+        // Same push-up sequence and bit-for-bit the same store as the thaw
+        // path.
+        let mut via_oracle = reference;
+        let oracle_pushed = oracle::absorb(&mut via_oracle, a, cc).unwrap();
+        assert_eq!(pushed, oracle_pushed);
+        assert!(
+            rep.store_identical(&via_oracle),
+            "arena:\n{}\noracle:\n{}",
+            rep.dump_store(),
+            via_oracle.dump_store()
+        );
     }
 
     #[test]

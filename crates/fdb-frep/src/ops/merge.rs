@@ -9,14 +9,21 @@
 //! (⋃_a ⟨A:a⟩ × E_a) × (⋃_b ⟨B:b⟩ × F_b)  ⇒  ⋃_{a=b} ⟨A:a⟩⟨B:b⟩ × E_a × F_b
 //! ```
 //!
-//! The implementation is a sort-merge join over the two (sorted) value lists,
-//! so it runs in time linear in the input sizes.
+//! The operator is **arena-native**: the output arena is emitted in one pass
+//! through a [`Rewriter`].  In every product context holding the two sibling
+//! unions their sorted value lists are sort-merge joined on the fly (time
+//! linear in the inputs, as in the paper) and the common entries emitted
+//! with both sides' kid subtrees copied record-by-record; a final
+//! [`Store::retain_and_prune`] pass removes the entries whose product became
+//! empty because some merged union lost all its values.  No thaw, no
+//! builder tree; the old implementation survives as [`crate::ops::oracle`].
 
 use crate::frep::FRep;
-use crate::node::{Entry, Union};
-use crate::ops::{visit_contexts_of_node_mut, MutRep};
+use crate::ops::{child_pos, debug_validate};
+use crate::store::{Rewriter, Store};
 use fdb_common::{FdbError, Result};
-use fdb_ftree::NodeId;
+use fdb_ftree::{FTree, NodeId};
+use std::collections::BTreeSet;
 
 /// Merge operator `µ_{A,B}` on sibling nodes: enforces `A = B`, fusing the
 /// two nodes (the surviving node is `a`).  Returns the surviving node id.
@@ -29,65 +36,209 @@ pub fn merge(rep: &mut FRep, a: NodeId, b: NodeId) -> Result<NodeId> {
         });
     }
     let parent = rep.tree().parent(a);
-
-    let mut m = MutRep::thaw(rep);
-    visit_contexts_of_node_mut(&mut m, parent, &mut |context: &mut Vec<Union>| {
-        let Some(pos_a) = context.iter().position(|u| u.node == a) else {
-            return;
-        };
-        let Some(pos_b) = context.iter().position(|u| u.node == b) else {
-            return;
-        };
-        // Remove the higher index first so the lower one stays valid.
-        let (first, second) = if pos_a > pos_b {
-            (pos_a, pos_b)
-        } else {
-            (pos_b, pos_a)
-        };
-        let u1 = context.remove(first);
-        let u2 = context.remove(second);
-        let (a_union, b_union) = if u1.node == a { (u1, u2) } else { (u2, u1) };
-        context.push(merge_unions(a, a_union, b_union));
-    });
-
-    m.tree.merge_siblings(a, b)?;
+    let mut new_tree = rep.tree().clone();
+    new_tree.merge_siblings(a, b)?;
+    let merged = merge_rewrite(rep.store(), rep.tree(), &new_tree, a, b, parent);
     // Values present on one side only have disappeared; entries whose product
     // became empty elsewhere must be pruned away.
-    m.prune_empty();
-    *rep = m.freeze();
+    let pruned = merged.retain_and_prune(&new_tree, |_, _| true);
+    rep.replace_parts(new_tree, pruned);
+    debug_validate(rep, "merge");
     Ok(a)
 }
 
-/// Sort-merge join of two sibling unions into one union over `node`.
-fn merge_unions(node: NodeId, a_union: Union, b_union: Union) -> Union {
-    let mut entries = Vec::with_capacity(a_union.entries.len().min(b_union.entries.len()));
-    let mut b_iter = b_union.entries.into_iter().peekable();
-    for a_entry in a_union.entries {
-        // Advance the B side to the first value ≥ the A value.
-        while b_iter.peek().is_some_and(|be| be.value < a_entry.value) {
-            b_iter.next();
+/// Emits the merged (not yet pruned) arena.
+fn merge_rewrite(
+    src: &Store,
+    old_tree: &FTree,
+    new_tree: &FTree,
+    a: NodeId,
+    b: NodeId,
+    parent: Option<NodeId>,
+) -> Store {
+    let mut mg = MergeRewrite {
+        rw: Rewriter::new(src, old_tree),
+        a,
+        parent,
+        on_path: old_tree.ancestors(a).into_iter().collect(),
+        pos_a_in_p: parent.map(|p| child_pos(old_tree.children(p), a)),
+        pos_b_in_p: parent.map(|p| child_pos(old_tree.children(p), b)),
+        parent_slots: parent
+            .map(|p| {
+                new_tree
+                    .children(p)
+                    .iter()
+                    .map(|&c| child_pos(old_tree.children(p), c))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        merged_slots: new_tree
+            .children(a)
+            .iter()
+            .map(|&c| {
+                if old_tree.children(b).contains(&c) {
+                    (true, child_pos(old_tree.children(b), c))
+                } else {
+                    (false, child_pos(old_tree.children(a), c))
+                }
+            })
+            .collect(),
+        pairs: Vec::new(),
+    };
+    let roots: Vec<u32> = match parent {
+        Some(_) => src.roots.iter().map(|&r| mg.emit(r)).collect(),
+        None => {
+            // Both unions sit in the root product: the merged union replaces
+            // them at the end of the root list, exactly where the thaw-path
+            // oracle re-pushes it.
+            let root_of = |node: NodeId| {
+                src.roots
+                    .iter()
+                    .copied()
+                    .find(|&r| src.unions[r as usize].node == node)
+                    .expect("validated representation: one root union per root node")
+            };
+            let (a_root, b_root) = (root_of(a), root_of(b));
+            let mut roots: Vec<u32> = src
+                .roots
+                .iter()
+                .filter(|&&r| r != a_root && r != b_root)
+                .map(|&r| mg.rw.copy_union(r))
+                .collect();
+            roots.push(mg.merge_unions(a_root, b_root));
+            roots
         }
-        if b_iter.peek().is_some_and(|be| be.value == a_entry.value) {
-            let b_entry = b_iter.next().expect("peeked");
-            let mut children = a_entry.children;
-            children.extend(b_entry.children);
-            entries.push(Entry {
-                value: a_entry.value,
-                children,
-            });
+    };
+    mg.rw.finish(roots)
+}
+
+struct MergeRewrite<'a> {
+    rw: Rewriter<'a>,
+    a: NodeId,
+    parent: Option<NodeId>,
+    /// Ancestors of `a` in the old tree (so including the parent).
+    on_path: BTreeSet<NodeId>,
+    /// Kid positions of the two siblings in the parent's old child list.
+    pos_a_in_p: Option<u32>,
+    pos_b_in_p: Option<u32>,
+    /// Old kid positions of the parent's remaining children, in new child
+    /// order (the merged union keeps `a`'s slot).
+    parent_slots: Vec<u32>,
+    /// For each kid slot of the merged union: `(comes_from_b, old kid
+    /// position)` — the merged node inherits `b`'s children after `a`'s.
+    merged_slots: Vec<(bool, u32)>,
+    /// Scratch for the sort-merge join: `(a entry index, b entry index)`.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl MergeRewrite<'_> {
+    fn emit(&mut self, uid: u32) -> u32 {
+        let src = self.rw.src;
+        let rec = src.unions[uid as usize];
+        if Some(rec.node) == self.parent {
+            return self.emit_parent(uid);
         }
+        if !self.on_path.contains(&rec.node) {
+            return self.rw.copy_union(uid);
+        }
+        // A strict ancestor above the parent: child slots unchanged, the
+        // transform happens below.
+        let out = self
+            .rw
+            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let kid_count = self.rw.src_kid_count(rec.node);
+        for i in 0..rec.entries_len {
+            let mark = self.rw.mark();
+            for k in 0..kid_count {
+                let kid = self.emit(src.kid(uid, i, k));
+                self.rw.push_kid(kid);
+            }
+            self.rw.end_entry(out, i, mark);
+        }
+        out
     }
-    Union::new(node, entries)
+
+    /// The parent union: each entry's `A` and `B` kid slots fuse into one.
+    fn emit_parent(&mut self, uid: u32) -> u32 {
+        let src = self.rw.src;
+        let rec = src.unions[uid as usize];
+        let out = self
+            .rw
+            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let pos_a = self.pos_a_in_p.expect("parent knows a's slot");
+        let pos_b = self.pos_b_in_p.expect("parent knows b's slot");
+        for i in 0..rec.entries_len {
+            let mark = self.rw.mark();
+            for s in 0..self.parent_slots.len() {
+                let pos = self.parent_slots[s];
+                let kid = if pos == pos_a {
+                    self.merge_unions(src.kid(uid, i, pos_a), src.kid(uid, i, pos_b))
+                } else {
+                    self.rw.copy_union(src.kid(uid, i, pos))
+                };
+                self.rw.push_kid(kid);
+            }
+            self.rw.end_entry(out, i, mark);
+        }
+        out
+    }
+
+    /// Sort-merge join of two sibling unions into one union over `a` (which
+    /// may come out empty; pruning handles the fallout).
+    fn merge_unions(&mut self, a_uid: u32, b_uid: u32) -> u32 {
+        let src = self.rw.src;
+        let a_entries = src.entry_slice(a_uid);
+        let b_entries = src.entry_slice(b_uid);
+        self.pairs.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a_entries.len() && j < b_entries.len() {
+            match a_entries[i].value.cmp(&b_entries[j].value) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    self.pairs.push((i as u32, j as u32));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let out = {
+            let pairs = std::mem::take(&mut self.pairs);
+            let uid = self.rw.begin_union(
+                self.a,
+                pairs.iter().map(|&(ai, _)| a_entries[ai as usize].value),
+            );
+            self.pairs = pairs;
+            uid
+        };
+        for p in 0..self.pairs.len() {
+            let (ai, bi) = self.pairs[p];
+            let mark = self.rw.mark();
+            for s in 0..self.merged_slots.len() {
+                let (from_b, pos) = self.merged_slots[s];
+                let kid = if from_b {
+                    src.kid(b_uid, bi, pos)
+                } else {
+                    src.kid(a_uid, ai, pos)
+                };
+                let copied = self.rw.copy_union(kid);
+                self.rw.push_kid(copied);
+            }
+            self.rw.end_entry(out, p as u32, mark);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::enumerate::materialize;
+    use crate::node::{Entry, Union};
+    use crate::ops::oracle;
     use crate::ops::product::product;
     use fdb_common::{AttrId, Value};
-    use fdb_ftree::{DepEdge, FTree};
-    use std::collections::BTreeSet;
+    use fdb_ftree::DepEdge;
 
     fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
         ids.iter().map(|&i| AttrId(i)).collect()
@@ -126,6 +277,7 @@ mod tests {
         let left = rep_over(0, 1, "Orders", &[(1, &[10]), (2, &[20, 21]), (3, &[30])]);
         let right = rep_over(2, 3, "Produce", &[(2, &[77]), (3, &[88, 99]), (4, &[11])]);
         let mut rep = product(left, right).unwrap();
+        let reference = rep.clone();
         let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
         let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
         let survivor = merge(&mut rep, a, b).unwrap();
@@ -143,6 +295,15 @@ mod tests {
         let c0 = flat.col_index(AttrId(0)).unwrap();
         let c2 = flat.col_index(AttrId(2)).unwrap();
         assert!(flat.rows().all(|r| r[c0] == r[c2]));
+        // Bit-for-bit what the thaw path would have built.
+        let mut via_oracle = reference;
+        oracle::merge(&mut via_oracle, a, b).unwrap();
+        assert!(
+            rep.store_identical(&via_oracle),
+            "arena:\n{}\noracle:\n{}",
+            rep.dump_store(),
+            via_oracle.dump_store()
+        );
     }
 
     #[test]
@@ -190,11 +351,22 @@ mod tests {
         // not overlap at all, so that whole entry must disappear.
         let u = Union::new(root, vec![entry(1, &[4, 5], &[5, 6]), entry(2, &[7], &[8])]);
         let mut rep = FRep::from_parts(tree, vec![u]).unwrap();
+        let reference = rep.clone();
         merge(&mut rep, x, y).unwrap();
         rep.validate().unwrap();
         let flat = materialize(&rep).unwrap();
         assert_eq!(flat.len(), 1);
         let row = flat.row(0);
         assert_eq!(row, &[Value::new(1), Value::new(5), Value::new(5)]);
+        // The pruning of the root=2 entry happened exactly as on the thaw
+        // path.
+        let mut via_oracle = reference;
+        oracle::merge(&mut via_oracle, x, y).unwrap();
+        assert!(
+            rep.store_identical(&via_oracle),
+            "arena:\n{}\noracle:\n{}",
+            rep.dump_store(),
+            via_oracle.dump_store()
+        );
     }
 }

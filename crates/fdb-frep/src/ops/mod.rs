@@ -13,26 +13,38 @@
 //! | selection with constant `σ_{AθC}` | [`select`] | the node may become constant-bound |
 //! | projection `π_Ā` | [`mod@project`] | projected leaves disappear |
 //!
-//! # Arena-native versus builder-form operators
+//! # Every operator is arena-native
 //!
 //! Since the arena refactor ([`crate::store`]) the value-level operators —
 //! selection with a constant, Cartesian product, and pruning — run directly
 //! on the flat arenas (a filtered rebuild, respectively an index-offset
-//! concatenation), with no pointer tree in sight.  The *structural*
-//! operators (swap, merge, absorb, push-up, projection) splice and regroup
-//! subtrees arbitrarily, which is natural on the owned [`crate::node`]
-//! builder form and hopeless in place on a flat arena; they thaw the store
-//! once into a [`MutRep`], restructure, and freeze back — two linear passes
-//! bracketing the same (quasi)linear rewriting logic as before, preserving
-//! the paper's operator cost bounds.
+//! concatenation).  As of PR 2 the *structural* operators (swap, merge,
+//! absorb, push-up, projection) are arena-native too: each one clones the
+//! f-tree, applies the schema-level transformation to the clone, and then
+//! emits the output arena in a single pass through a
+//! [`crate::store::Rewriter`] — union headers in depth-first preorder,
+//! unchanged subtrees copied record-by-record, and the regrouped region
+//! assembled directly in the *new* tree's child order.  The old
+//! thaw-once/freeze-once design (thaw the arena into the owned
+//! [`crate::node`] builder form, splice pointers, freeze back) paid two full
+//! linear copies plus a heap allocation per union and entry around every
+//! rewrite; the arena-native operators pay one flat copy and no per-node
+//! allocation while keeping the same (quasi)linear operator cost bounds as
+//! the paper.  The builder-form implementations survive verbatim in
+//! [`oracle`] as the test and benchmark oracle — the rewriters reproduce the
+//! freeze layout exactly, so equivalence tests compare stores bit for bit.
 //!
 //! All operators preserve the invariants of [`crate::FRep`]: values inside
 //! every union stay sorted and distinct, every entry carries one child union
 //! per f-tree child, the path constraint holds, and (where the paper
-//! promises it) normalisation is preserved.
+//! promises it) normalisation is preserved.  Under `debug_assertions` every
+//! structural rewrite re-validates the full arena ([`crate::FRep::validate`])
+//! before it is installed.
 
 pub mod absorb;
 pub mod merge;
+#[doc(hidden)]
+pub mod oracle;
 pub mod product;
 pub mod project;
 pub mod restructure;
@@ -48,75 +60,27 @@ pub use select::select_const;
 pub use swap::swap;
 
 use crate::frep::FRep;
-use crate::node::{self, Union};
-use fdb_ftree::{FTree, NodeId};
+use fdb_ftree::NodeId;
 
-/// A representation thawed into the owned builder form, as the structural
-/// operators rewrite it.  Constructed from an [`FRep`] with [`MutRep::thaw`]
-/// and turned back with [`MutRep::freeze`]; the intermediate states may
-/// violate the arena invariants (that is the point), the final freeze
-/// re-establishes them.
-pub(crate) struct MutRep {
-    pub(crate) tree: FTree,
-    pub(crate) roots: Vec<Union>,
+/// Position of `node` in an f-tree child list.  The structural operators use
+/// this to translate between the kid-slot orders of the input and output
+/// trees; a miss means the representation disagrees with its tree, which
+/// validation would have rejected.
+pub(crate) fn child_pos(children: &[NodeId], node: NodeId) -> u32 {
+    children
+        .iter()
+        .position(|&c| c == node)
+        .expect("validated representation: node present in the child list") as u32
 }
 
-impl MutRep {
-    /// Thaws a representation (one linear pass over the arena).
-    pub(crate) fn thaw(rep: &FRep) -> MutRep {
-        MutRep {
-            tree: rep.tree().clone(),
-            roots: rep.to_forest(),
-        }
-    }
-
-    /// Freezes the rewritten forest back into an arena-backed [`FRep`].
-    pub(crate) fn freeze(self) -> FRep {
-        FRep::from_parts_unchecked(self.tree, self.roots)
-    }
-
-    /// Removes entries whose product became empty, propagating upwards.
-    pub(crate) fn prune_empty(&mut self) {
-        node::prune_forest(&mut self.roots);
-    }
-}
-
-/// Applies `f` to every union over `target` in the given builder forest.
-/// Unions of a node are never nested inside one another, so recursion stops
-/// once the target is found.
-pub(crate) fn visit_unions_of_node_mut<F: FnMut(&mut Union)>(
-    unions: &mut [Union],
-    target: NodeId,
-    f: &mut F,
-) {
-    for u in unions.iter_mut() {
-        if u.node == target {
-            f(u);
-        } else {
-            for entry in u.entries.iter_mut() {
-                visit_unions_of_node_mut(&mut entry.children, target, f);
-            }
-        }
-    }
-}
-
-/// Applies `f` to every *product context* (a mutable list of sibling unions)
-/// that directly contains a union over a child of `parent`: the top-level
-/// root list when `parent` is `None`, otherwise the children list of every
-/// entry of every union over `parent`.
-pub(crate) fn visit_contexts_of_node_mut<F: FnMut(&mut Vec<Union>)>(
-    rep: &mut MutRep,
-    parent: Option<NodeId>,
-    f: &mut F,
-) {
-    match parent {
-        None => f(&mut rep.roots),
-        Some(p) => {
-            visit_unions_of_node_mut(&mut rep.roots, p, &mut |parent_union: &mut Union| {
-                for entry in parent_union.entries.iter_mut() {
-                    f(&mut entry.children);
-                }
-            });
+/// Debug-only full-arena invariant check, run after every arena-native
+/// structural rewrite.  Release builds skip it: the rewriters maintain the
+/// invariants by construction.
+#[inline]
+pub(crate) fn debug_validate(rep: &FRep, op: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = rep.validate() {
+            panic!("{op}: arena-native rewrite broke an invariant: {e:?}");
         }
     }
 }

@@ -26,6 +26,7 @@ pub fn select_const(rep: &mut FRep, attr: AttrId, op: ComparisonOp, value: Value
     if op == ComparisonOp::Eq {
         rep.tree_mut().bind_constant(node, value)?;
     }
+    crate::ops::debug_validate(rep, "select");
     Ok(())
 }
 

@@ -10,126 +10,266 @@
 //!
 //! where `E_a` are the subtrees under `A`, `F_b` the children of `B` that do
 //! not depend on `A` (they stay with `B`), and `G_ab` the children of `B`
-//! that do depend on `A` (they follow `A` down).  The regrouping is the
-//! sort-merge equivalent of the paper's Figure 4 priority-queue algorithm:
-//! values of `B` are gathered into an ordered map, and for each `B`-value the
-//! pairing `A`-values arrive in increasing order because the outer union is
-//! already sorted — the same `O(N log N)` bound with the same output.
+//! that do depend on `A` (they follow `A` down).
+//!
+//! The operator is **arena-native**: the output arena is emitted in one pass
+//! over the input arena through a [`Rewriter`].  Unions on the root-to-`A`
+//! path are re-emitted with their kid slots translated to the new tree's
+//! child order, every union over `A` is regrouped in place (the `(b, a)`
+//! pairs are gathered with one flat sort — the sort-merge equivalent of the
+//! paper's Figure 4 priority-queue algorithm, the same `O(N log N)` bound),
+//! and all unchanged subtrees are copied record-by-record.  No builder tree
+//! is materialised; the thaw-path implementation survives only as the
+//! [`crate::ops::oracle`].
 
 use crate::frep::FRep;
-use crate::node::{Entry, Union};
-use crate::ops::{visit_contexts_of_node_mut, MutRep};
+use crate::ops::{child_pos, debug_validate};
+use crate::store::{Rewriter, Store};
 use fdb_common::{FdbError, Result, Value};
-use fdb_ftree::{NodeId, SwapOutcome};
-use std::collections::{BTreeMap, BTreeSet};
+use fdb_ftree::{FTree, NodeId, SwapOutcome};
+use std::collections::BTreeSet;
 
 /// Swap operator `χ_{A,B}` where `b`'s parent is `A`: regroups the
 /// representation by `B` before `A` and updates the f-tree accordingly.
 pub fn swap(rep: &mut FRep, b: NodeId) -> Result<SwapOutcome> {
-    let mut m = MutRep::thaw(rep);
-    let outcome = swap_impl(&mut m, b)?;
-    *rep = m.freeze();
-    Ok(outcome)
-}
-
-/// The builder-form swap, shared with the projection operator (which swaps
-/// repeatedly and freezes only once).
-pub(crate) fn swap_impl(rep: &mut MutRep, b: NodeId) -> Result<SwapOutcome> {
-    rep.tree.check_node(b)?;
-    let Some(a) = rep.tree.parent(b) else {
+    rep.tree().check_node(b)?;
+    if rep.tree().parent(b).is_none() {
         return Err(FdbError::InvalidOperator {
             detail: format!("swap: {b} is a root"),
         });
-    };
-    let grandparent = rep.tree.parent(a);
-    // Which children of B depend on A (G_ab, they follow A down) and which do
-    // not (F_b, they stay with B) — must match what the tree-level swap does.
-    let moved_down: BTreeSet<NodeId> = rep
-        .tree
-        .children(b)
-        .iter()
-        .copied()
-        .filter(|&c| rep.tree.depends_on_subtree(a, c))
-        .collect();
-
-    visit_contexts_of_node_mut(rep, grandparent, &mut |context: &mut Vec<Union>| {
-        for union in context.iter_mut() {
-            if union.node == a {
-                let old = std::mem::replace(union, Union::empty(a));
-                *union = regroup(old, a, b, &moved_down);
-            }
-        }
-    });
-
-    let outcome = rep.tree.swap_with_parent(b)?;
-    debug_assert_eq!(
-        outcome.moved_down.iter().copied().collect::<BTreeSet<_>>(),
-        moved_down,
-        "tree-level and data-level dependency splits must agree"
-    );
+    }
+    let mut new_tree = rep.tree().clone();
+    let outcome = new_tree.swap_with_parent(b)?;
+    let store = swap_rewrite(rep.store(), rep.tree(), &new_tree, &outcome);
+    rep.replace_parts(new_tree, store);
+    debug_validate(rep, "swap");
     Ok(outcome)
 }
 
-/// Regroups one `A`-union into the corresponding `B`-union.
-fn regroup(a_union: Union, a: NodeId, b: NodeId, moved_down: &BTreeSet<NodeId>) -> Union {
-    struct PerB {
-        /// The F_b factors (children of B independent of A), captured from
-        /// the first (a, b) pair — all copies are equal by independence.
-        f_b: Option<Vec<Union>>,
-        /// The inner union over A being assembled for this B value.
-        a_entries: Vec<Entry>,
-    }
-    let mut by_b: BTreeMap<Value, PerB> = BTreeMap::new();
+/// Emits the swapped arena.
+fn swap_rewrite(src: &Store, old_tree: &FTree, new_tree: &FTree, outcome: &SwapOutcome) -> Store {
+    let mut sw = SwapRewrite::new(src, old_tree, new_tree, outcome);
+    let roots: Vec<u32> = src.roots.iter().map(|&r| sw.emit(r)).collect();
+    sw.rw.finish(roots)
+}
 
-    for a_entry in a_union.entries {
-        let a_value = a_entry.value;
-        let mut children = a_entry.children;
-        let b_pos = children
+struct SwapRewrite<'a> {
+    rw: Rewriter<'a>,
+    a: NodeId,
+    b: NodeId,
+    /// Ancestors of `A` in the old tree: the unions that must be re-emitted
+    /// (rather than copied) because the regrouping happens below them.
+    on_path: BTreeSet<NodeId>,
+    /// `A`'s old child list (kid-slot order of the input `A`-unions).
+    old_a_children: Vec<NodeId>,
+    /// For each new child of `A`: `(comes_from_b_side, old kid position)` —
+    /// children of `B` that depend on `A` follow `A` down, the rest of `A`'s
+    /// children keep their slots.
+    a_slots: Vec<(bool, u32)>,
+    /// For each new child of `B`: the old kid position of a kept child, or
+    /// `None` for the slot of the new inner `A`-union.
+    b_slots: Vec<Option<u32>>,
+    /// For each ancestor on the path: the old kid position feeding each new
+    /// kid slot (only the grandparent's order actually changes: `A`'s slot
+    /// becomes `B`'s).
+    path_slots: Vec<(NodeId, Vec<u32>)>,
+    /// Scratch for the `(b value, a entry, b union, b entry)` pair sort.
+    pairs: Vec<(Value, u32, u32, u32)>,
+    /// Scratch: the distinct `B`-values of the union being regrouped.
+    values: Vec<Value>,
+    /// Scratch: start offset of each `B`-value's pair group in `pairs`.
+    group_starts: Vec<u32>,
+}
+
+impl<'a> SwapRewrite<'a> {
+    fn new(src: &'a Store, old_tree: &FTree, new_tree: &FTree, outcome: &SwapOutcome) -> Self {
+        let (a, b) = (outcome.old_parent, outcome.new_parent);
+        let moved_down: BTreeSet<NodeId> = outcome.moved_down.iter().copied().collect();
+        let old_a_children = old_tree.children(a).to_vec();
+        let old_b_children = old_tree.children(b).to_vec();
+
+        let a_slots = new_tree
+            .children(a)
             .iter()
-            .position(|u| u.node == b)
-            .expect("validated representation: every A-entry has a B child union");
-        let b_union = children.remove(b_pos);
-        let e_a = children; // the T_A subtrees
+            .map(|&d| {
+                if moved_down.contains(&d) {
+                    (true, child_pos(&old_b_children, d))
+                } else {
+                    (false, child_pos(&old_a_children, d))
+                }
+            })
+            .collect();
+        let b_slots = new_tree
+            .children(b)
+            .iter()
+            .map(|&c| {
+                if c == a {
+                    None
+                } else {
+                    Some(child_pos(&old_b_children, c))
+                }
+            })
+            .collect();
 
-        for b_entry in b_union.entries {
-            let (g_ab, f_b): (Vec<Union>, Vec<Union>) = b_entry
-                .children
-                .into_iter()
-                .partition(|u| moved_down.contains(&u.node));
-            let slot = by_b.entry(b_entry.value).or_insert(PerB {
-                f_b: None,
-                a_entries: Vec::new(),
-            });
-            if slot.f_b.is_none() {
-                slot.f_b = Some(f_b);
-            }
-            let mut new_children = e_a.clone();
-            new_children.extend(g_ab);
-            slot.a_entries.push(Entry {
-                value: a_value,
-                children: new_children,
-            });
+        let path: Vec<NodeId> = old_tree.ancestors(a);
+        let path_slots = path
+            .iter()
+            .map(|&n| {
+                let old_children = old_tree.children(n);
+                let slots = new_tree
+                    .children(n)
+                    .iter()
+                    .map(|&c| child_pos(old_children, if c == b { a } else { c }))
+                    .collect();
+                (n, slots)
+            })
+            .collect();
+
+        SwapRewrite {
+            rw: Rewriter::new(src, old_tree),
+            a,
+            b,
+            on_path: path.into_iter().collect(),
+            old_a_children,
+            a_slots,
+            b_slots,
+            path_slots,
+            pairs: Vec::new(),
+            values: Vec::new(),
+            group_starts: Vec::new(),
         }
     }
 
-    let entries: Vec<Entry> = by_b
-        .into_iter()
-        .map(|(b_value, slot)| {
-            let mut children = slot.f_b.unwrap_or_default();
-            children.push(Union::new(a, slot.a_entries));
-            Entry {
-                value: b_value,
-                children,
+    fn emit(&mut self, uid: u32) -> u32 {
+        let src = self.rw.src;
+        let rec = src.unions[uid as usize];
+        if rec.node == self.a {
+            return self.regroup(uid);
+        }
+        if !self.on_path.contains(&rec.node) {
+            // Nothing below this union changes.
+            return self.rw.copy_union(uid);
+        }
+        // An ancestor of `A`: same entries, kid slots re-emitted in the new
+        // tree's child order.
+        let out = self
+            .rw
+            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let pi = self
+            .path_slots
+            .iter()
+            .position(|(n, _)| *n == rec.node)
+            .expect("path nodes are precomputed");
+        let slot_count = self.path_slots[pi].1.len();
+        for i in 0..rec.entries_len {
+            let mark = self.rw.mark();
+            for k in 0..slot_count {
+                let pos = self.path_slots[pi].1[k];
+                let kid = self.emit(src.kid(uid, i, pos));
+                self.rw.push_kid(kid);
             }
-        })
-        .collect();
-    Union::new(b, entries)
+            self.rw.end_entry(out, i, mark);
+        }
+        out
+    }
+
+    /// Regroups one `A`-union into the corresponding `B`-union.
+    fn regroup(&mut self, a_uid: u32) -> u32 {
+        let src = self.rw.src;
+        let a_rec = src.unions[a_uid as usize];
+        let pos_b = child_pos(&self.old_a_children, self.b);
+
+        // Gather every (b value, a entry) pair, then sort by b value with
+        // ties in a-entry order — within one b value the pairing a values
+        // then arrive in increasing order, as the paper's priority queue
+        // delivers them.
+        self.pairs.clear();
+        for i in 0..a_rec.entries_len {
+            let b_uid = src.kid(a_uid, i, pos_b);
+            for (j, e) in src.entry_slice(b_uid).iter().enumerate() {
+                self.pairs.push((e.value, i, b_uid, j as u32));
+            }
+        }
+        self.pairs.sort_unstable();
+
+        self.values.clear();
+        self.group_starts.clear();
+        for (idx, p) in self.pairs.iter().enumerate() {
+            if idx == 0 || p.0 != self.pairs[idx - 1].0 {
+                self.values.push(p.0);
+                self.group_starts.push(idx as u32);
+            }
+        }
+        self.group_starts.push(self.pairs.len() as u32);
+
+        let out_uid = {
+            let values = std::mem::take(&mut self.values);
+            let uid = self.rw.begin_union(self.b, values.iter().copied());
+            self.values = values;
+            uid
+        };
+        let group_count = self.group_starts.len() - 1;
+        for g in 0..group_count {
+            let (start, end) = (self.group_starts[g], self.group_starts[g + 1]);
+            let (_, _a0, b_uid0, j0) = self.pairs[start as usize];
+            let mark = self.rw.mark();
+            for slot in 0..self.b_slots.len() {
+                match self.b_slots[slot] {
+                    // A kept child of `B` (F_b): all copies under the
+                    // different a values are equal by independence, keep the
+                    // first pair's.
+                    Some(pos) => {
+                        let kid = self.rw.copy_union(src.kid(b_uid0, j0, pos));
+                        self.rw.push_kid(kid);
+                    }
+                    // The inner union over `A`.
+                    None => {
+                        let inner = self.emit_inner_a(a_uid, start, end);
+                        self.rw.push_kid(inner);
+                    }
+                }
+            }
+            self.rw.end_entry(out_uid, g as u32, mark);
+        }
+        out_uid
+    }
+
+    /// Emits the inner `A`-union of one `B`-value: one entry per `(a, b)`
+    /// pair, with `E_a` copied from the old `A`-entry and `G_ab` copied from
+    /// the pair's `B`-entry.
+    fn emit_inner_a(&mut self, a_uid: u32, start: u32, end: u32) -> u32 {
+        let src = self.rw.src;
+        let a_entries = src.entry_slice(a_uid);
+        let inner = self.rw.begin_union_raw(self.a, end - start);
+        for p in start..end {
+            let (_, i, _, _) = self.pairs[p as usize];
+            self.rw.push_value(a_entries[i as usize].value);
+        }
+        for k in 0..(end - start) {
+            let (_, i, b_uid, j) = self.pairs[(start + k) as usize];
+            let mark = self.rw.mark();
+            for slot in 0..self.a_slots.len() {
+                let (from_b, pos) = self.a_slots[slot];
+                let kid = if from_b {
+                    src.kid(b_uid, j, pos)
+                } else {
+                    src.kid(a_uid, i, pos)
+                };
+                let copied = self.rw.copy_union(kid);
+                self.rw.push_kid(copied);
+            }
+            self.rw.end_entry(inner, k, mark);
+        }
+        inner
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::enumerate::materialize;
+    use crate::node::{Entry, Union};
+    use crate::ops::oracle;
     use fdb_common::AttrId;
     use fdb_ftree::{DepEdge, FTree};
 
@@ -260,6 +400,22 @@ mod tests {
     }
 
     #[test]
+    fn arena_swap_is_store_identical_to_the_oracle() {
+        let rep = grocery_q1_over_t1();
+        let location = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        let mut arena = rep.clone();
+        let mut reference = rep;
+        swap(&mut arena, location).unwrap();
+        oracle::swap(&mut reference, location).unwrap();
+        assert!(
+            arena.store_identical(&reference),
+            "arena:\n{}\noracle:\n{}",
+            arena.dump_store(),
+            reference.dump_store()
+        );
+    }
+
+    #[test]
     fn dependent_children_follow_the_old_parent_down() {
         // Tree A{0} → B{1} → (C{2}, D{3}) with relations {0,1}, {0,2}, {1,3}:
         // C depends on A (G_ab), D does not (F_b).
@@ -300,6 +456,7 @@ mod tests {
             ],
         );
         let mut rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        let reference = rep.clone();
         let before = materialize(&rep).unwrap().tuple_set();
         let outcome = swap(&mut rep, b).unwrap();
         rep.validate().unwrap();
@@ -317,5 +474,9 @@ mod tests {
         assert_eq!(b10.child(d).unwrap().len(), 1);
         let a1 = b10.child(a).unwrap().find_value(Value::new(1)).unwrap();
         assert_eq!(a1.child(c).unwrap().entry(0).value(), Value::new(100));
+        // And the arena is bit-for-bit what the thaw path would have built.
+        let mut via_oracle = reference;
+        oracle::swap(&mut via_oracle, b).unwrap();
+        assert!(rep.store_identical(&via_oracle));
     }
 }

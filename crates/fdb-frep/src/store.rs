@@ -24,10 +24,15 @@
 //!   counting, pruning) are therefore flat reverse loops over `unions`, and
 //!   top-down passes are flat forward loops — no recursion, no hashing.
 //!
-//! The store is immutable in place; operators either rebuild it with the
-//! flat passes in this module ([`Store::retain_and_prune`],
-//! [`Store::append_remapped`]) or thaw to the [`crate::node`] builder form,
-//! restructure, and freeze back.
+//! The store is immutable in place; every operator rebuilds it with a flat
+//! arena-to-arena pass.  Value-level operators use the passes in this module
+//! directly ([`Store::retain_and_prune`], [`Store::append_remapped`]); the
+//! structural operators (swap, merge, absorb, push-up, projection) emit a
+//! fresh arena through a [`Rewriter`], which reproduces the exact layout
+//! [`Store::freeze`] would produce for the rewritten representation — so the
+//! arena-native operators are bit-for-bit interchangeable with the
+//! thaw/rewrite/freeze oracle in [`crate::ops::oracle`] while skipping both
+//! linear copies and every per-node allocation.
 
 use crate::node::{Entry, Union};
 use fdb_common::{FdbError, Result, Value};
@@ -257,16 +262,16 @@ impl Store {
     /// like the old recursive prune.  Unions that became unreachable are
     /// dropped from the arena; root unions may end up empty.
     ///
-    /// Runs in three flat passes (no recursion, no per-node allocation).
+    /// Runs in two passes with no per-node allocation: a flat bottom-up
+    /// liveness pass, then a depth-first re-emission of the survivors
+    /// through a [`Rewriter`] — which puts the output in the exact layout
+    /// [`Store::freeze`] would produce, so pruned stores stay bit-for-bit
+    /// comparable with the thaw-path oracle.
     pub(crate) fn retain_and_prune<F>(&self, tree: &FTree, mut keep: F) -> Store
     where
         F: FnMut(NodeId, Value) -> bool,
     {
-        let kid_counts: BTreeMap<NodeId, u32> = tree
-            .node_ids()
-            .into_iter()
-            .map(|n| (n, tree.children(n).len() as u32))
-            .collect();
+        let mut rw = Rewriter::new(self, tree);
 
         // Pass 1 (bottom-up, reverse index order): decide per entry whether
         // it survives, and per union whether it still has entries.
@@ -274,7 +279,7 @@ impl Store {
         let mut union_empty = vec![true; self.unions.len()];
         for uid in (0..self.unions.len()).rev() {
             let rec = self.unions[uid];
-            let kid_count = kid_counts[&rec.node];
+            let kid_count = rw.src_kid_count(rec.node);
             let mut any_alive = false;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
                 let entry = self.entries[e as usize];
@@ -294,66 +299,14 @@ impl Store {
             union_empty[uid] = !any_alive;
         }
 
-        // Pass 2 (top-down): reachability under the surviving entries, and
-        // the old→new union index remapping.
-        let mut reachable = vec![false; self.unions.len()];
-        for &r in &self.roots {
-            reachable[r as usize] = true;
-        }
-        let mut remap = vec![0u32; self.unions.len()];
-        let mut next = 0u32;
-        for uid in 0..self.unions.len() {
-            if !reachable[uid] {
-                continue;
-            }
-            remap[uid] = next;
-            next += 1;
-            let rec = self.unions[uid];
-            let kid_count = kid_counts[&rec.node];
-            for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                if !entry_alive[e as usize] {
-                    continue;
-                }
-                let entry = self.entries[e as usize];
-                for k in 0..kid_count {
-                    let kid = self.kids[(entry.kids_start + k) as usize];
-                    reachable[kid as usize] = true;
-                }
-            }
-        }
-
-        // Pass 3 (top-down): emit the pruned arena.
-        let mut out = Store::default();
-        out.unions.reserve(next as usize);
-        out.roots = self.roots.iter().map(|&r| remap[r as usize]).collect();
-        for (uid, &rec) in self.unions.iter().enumerate() {
-            if !reachable[uid] {
-                continue;
-            }
-            let kid_count = kid_counts[&rec.node];
-            let entries_start = out.entries.len() as u32;
-            for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                if !entry_alive[e as usize] {
-                    continue;
-                }
-                let entry = self.entries[e as usize];
-                let kids_start = out.kids.len() as u32;
-                for k in 0..kid_count {
-                    let kid = self.kids[(entry.kids_start + k) as usize];
-                    out.kids.push(remap[kid as usize]);
-                }
-                out.entries.push(EntryRec {
-                    value: entry.value,
-                    kids_start,
-                });
-            }
-            out.unions.push(UnionRec {
-                node: rec.node,
-                entries_start,
-                entries_len: out.entries.len() as u32 - entries_start,
-            });
-        }
-        out
+        // Pass 2 (top-down): re-emit the surviving structure.  Unions hanging
+        // off dead entries are never visited, which drops them.
+        let roots: Vec<u32> = self
+            .roots
+            .iter()
+            .map(|&r| emit_pruned(&mut rw, &entry_alive, r))
+            .collect();
+        rw.finish(roots)
     }
 
     /// Appends another store (over disjoint f-tree nodes) to this one,
@@ -377,6 +330,179 @@ impl Store {
             .extend(other.kids.iter().map(|&kid| kid + union_offset));
         self.roots
             .extend(other.roots.iter().map(|&r| r + union_offset));
+    }
+}
+
+/// Recursive emission phase of [`Store::retain_and_prune`]: copies union
+/// `uid` keeping only the entries marked alive.
+fn emit_pruned(rw: &mut Rewriter<'_>, entry_alive: &[bool], uid: u32) -> u32 {
+    let src = rw.src;
+    let rec = src.unions[uid as usize];
+    let start = rec.entries_start as usize;
+    let end = start + rec.entries_len as usize;
+    let survivors = (start..end).filter(|&e| entry_alive[e]).count() as u32;
+    let out = rw.begin_union_raw(rec.node, survivors);
+    for (e, &alive) in entry_alive.iter().enumerate().take(end).skip(start) {
+        if alive {
+            rw.push_value(src.entries[e].value);
+        }
+    }
+    let kid_count = rw.src_kid_count(rec.node);
+    let mut index = 0u32;
+    for e in start..end {
+        if !entry_alive[e] {
+            continue;
+        }
+        let mark = rw.mark();
+        let entry = src.entries[e];
+        for k in 0..kid_count {
+            let kid = src.kids[entry.kids_start as usize + k as usize];
+            let copied = emit_pruned(rw, entry_alive, kid);
+            rw.push_kid(copied);
+        }
+        rw.end_entry(out, index, mark);
+        index += 1;
+    }
+    out
+}
+
+/// Emits a new arena from an existing one in the exact layout
+/// [`Store::freeze`] produces: union headers in depth-first preorder, the
+/// entry records of one union pushed contiguously at the union's visit, and
+/// every entry's kid run pushed *after* the kid subtrees it points to.
+/// Reproducing the freeze layout makes an arena-native structural operator
+/// bit-for-bit identical to its thaw/rewrite/freeze oracle, which the
+/// randomized equivalence tests exploit.
+///
+/// The per-entry kid lists are collected in a single scratch vector shared
+/// across recursion levels (each entry works in its own watermarked tail
+/// region), so a steady-state rewrite performs no allocation beyond the
+/// output arenas themselves.
+pub(crate) struct Rewriter<'a> {
+    pub(crate) src: &'a Store,
+    out: Store,
+    /// Kid-id scratch shared across recursion levels (see the type docs).
+    scratch: Vec<u32>,
+    /// Child counts of the *input* f-tree, indexed by node index.
+    kid_counts: Vec<u32>,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter reading from `src`, whose nesting structure is
+    /// described by `src_tree`.
+    pub(crate) fn new(src: &'a Store, src_tree: &FTree) -> Rewriter<'a> {
+        let mut kid_counts = Vec::new();
+        for node in src_tree.node_ids() {
+            let idx = node.index();
+            if idx >= kid_counts.len() {
+                kid_counts.resize(idx + 1, 0);
+            }
+            kid_counts[idx] = src_tree.children(node).len() as u32;
+        }
+        Rewriter {
+            src,
+            out: Store::default(),
+            scratch: Vec::new(),
+            kid_counts,
+        }
+    }
+
+    /// Child count of `node` in the input f-tree.
+    pub(crate) fn src_kid_count(&self, node: NodeId) -> u32 {
+        self.kid_counts[node.index()]
+    }
+
+    /// Starts a new output union: pushes its header, announcing
+    /// `entries_len` entries whose value records follow via
+    /// [`Rewriter::push_value`] (kid runs are attached with
+    /// [`Rewriter::end_entry`]).  Returns the new union's index.
+    pub(crate) fn begin_union_raw(&mut self, node: NodeId, entries_len: u32) -> u32 {
+        let uid = self.out.unions.len() as u32;
+        self.out.unions.push(UnionRec {
+            node,
+            entries_start: self.out.entries.len() as u32,
+            entries_len,
+        });
+        uid
+    }
+
+    /// Pushes one value record of the union opened by
+    /// [`Rewriter::begin_union_raw`]; must be called before any kid subtree
+    /// of the union is emitted, so the records stay contiguous.
+    pub(crate) fn push_value(&mut self, value: Value) {
+        self.out.entries.push(EntryRec {
+            value,
+            kids_start: MISSING_KID,
+        });
+    }
+
+    /// Starts a new output union: pushes its header and one value record per
+    /// entry (kid runs are attached with [`Rewriter::end_entry`]).  Returns
+    /// the new union's index.
+    pub(crate) fn begin_union(
+        &mut self,
+        node: NodeId,
+        values: impl ExactSizeIterator<Item = Value>,
+    ) -> u32 {
+        let uid = self.begin_union_raw(node, values.len() as u32);
+        for value in values {
+            self.push_value(value);
+        }
+        uid
+    }
+
+    /// Emits an empty union over `node`.
+    pub(crate) fn empty_union(&mut self, node: NodeId) -> u32 {
+        self.begin_union(node, std::iter::empty::<Value>())
+    }
+
+    /// Marks the start of one entry's kid collection; pass the mark to
+    /// [`Rewriter::end_entry`].
+    pub(crate) fn mark(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Records one emitted kid union for the entry currently being
+    /// assembled.
+    pub(crate) fn push_kid(&mut self, kid: u32) {
+        self.scratch.push(kid);
+    }
+
+    /// Finalises entry `index` of output union `uid`: its kid run is
+    /// everything pushed since `mark`, appended to the kid arena now (after
+    /// the kid subtrees, exactly like [`Store::freeze`]).
+    pub(crate) fn end_entry(&mut self, uid: u32, index: u32, mark: usize) {
+        let kids_start = self.out.kids.len() as u32;
+        self.out.kids.extend_from_slice(&self.scratch[mark..]);
+        self.scratch.truncate(mark);
+        let entries_start = self.out.unions[uid as usize].entries_start;
+        self.out.entries[(entries_start + index) as usize].kids_start = kids_start;
+    }
+
+    /// Copies the subtree rooted at input union `uid` verbatim (the nodes
+    /// below it are unaffected by the rewrite in progress).
+    pub(crate) fn copy_union(&mut self, uid: u32) -> u32 {
+        let src = self.src;
+        let rec = src.unions[uid as usize];
+        let out_uid = self.begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let kid_count = self.src_kid_count(rec.node);
+        for i in 0..rec.entries_len {
+            let mark = self.mark();
+            for k in 0..kid_count {
+                let copied = self.copy_union(src.kid(uid, i, k));
+                self.push_kid(copied);
+            }
+            self.end_entry(out_uid, i, mark);
+        }
+        out_uid
+    }
+
+    /// Consumes the rewriter, attaching the given root list.
+    pub(crate) fn finish(self, roots: Vec<u32>) -> Store {
+        debug_assert!(self.scratch.is_empty(), "unfinished entry kid runs");
+        let mut out = self.out;
+        out.roots = roots;
+        out
     }
 }
 
@@ -596,6 +722,75 @@ mod tests {
         let thawed = store.thaw(&combined_tree);
         assert_eq!(thawed[1].node, map[&c]);
         assert_eq!(thawed[1].entries[0].value, Value::new(9));
+    }
+
+    #[test]
+    fn rewriter_copy_reproduces_the_freeze_layout() {
+        let (tree, roots) = sample();
+        let store = Store::freeze(&tree, &roots);
+        let mut rw = Rewriter::new(&store, &tree);
+        let new_roots: Vec<u32> = store.roots.iter().map(|&r| rw.copy_union(r)).collect();
+        let copy = rw.finish(new_roots);
+        // Not merely equivalent: the exact same arena records.
+        assert_eq!(copy, store);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_arena_values() {
+        let (tree, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        // Entries 2 and 3 are the first B-union's block {10, 20} (the A
+        // block occupies entries 0 and 1): swap them to get 20 before 10.
+        assert_eq!(store.entries[2].value, Value::new(10));
+        assert_eq!(store.entries[3].value, Value::new(20));
+        store.entries.swap(2, 3);
+        assert!(store.validate(&tree).is_err());
+        // A duplicated value is rejected too.
+        let (_, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        store.entries[3].value = store.entries[2].value;
+        assert!(store.validate(&tree).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_topological_order_violations() {
+        let (tree, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        // Point the A=1 entry's kid slot back at the A-union itself.
+        let a_uid = store.roots[0];
+        let kids_start =
+            store.entries[store.unions[a_uid as usize].entries_start as usize].kids_start as usize;
+        store.kids[kids_start] = a_uid;
+        assert!(store.validate(&tree).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_unions() {
+        let (tree, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        // Redirect the A=2 entry's kid slot at the A=1 entry's B-union: the
+        // B-union of A=2 becomes unreachable.
+        let a_rec = store.unions[store.roots[0] as usize];
+        let e1 = store.entries[a_rec.entries_start as usize];
+        let e2 = store.entries[a_rec.entries_start as usize + 1];
+        let shared = store.kids[e1.kids_start as usize];
+        store.kids[e2.kids_start as usize] = shared;
+        assert!(store.validate(&tree).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_child_node() {
+        let (tree, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        // Retarget a B-union header at the A node: the kid slot now points at
+        // a union over the wrong node.
+        let a_uid = store.roots[0] as usize;
+        let b_uid = {
+            let e = store.entries[store.unions[a_uid].entries_start as usize];
+            store.kids[e.kids_start as usize] as usize
+        };
+        store.unions[b_uid].node = store.unions[a_uid].node;
+        assert!(store.validate(&tree).is_err());
     }
 
     #[test]

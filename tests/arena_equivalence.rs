@@ -3,15 +3,24 @@
 //! path — same tuple multiset, same ascending-attribute column order — and
 //! the representation statistics must be invariant under the builder-form
 //! round trip (`to_forest` / `from_parts`).
+//!
+//! Since PR 2 the structural operators rewrite arena-to-arena; the
+//! randomized property tests in the second half of this file assert that on
+//! generated f-representations every arena-native operator produces a store
+//! **bit-for-bit identical** (`FRep::store_identical`, checked after
+//! `validate()`) to the thaw-path oracle in `fdb::frep::ops::oracle`,
+//! including empty-union and single-entry edge cases.
 
-use fdb::common::{Query, RelId, Value};
+use fdb::common::{AttrId, ComparisonOp, Query, RelId, Value};
 use fdb::datagen::{grocery_database, populate, random_query, random_schema, ValueDistribution};
 use fdb::engine::FdbEngine;
-use fdb::frep::{for_each_tuple, materialize, FRep, Union};
+use fdb::frep::ops::{self, oracle};
+use fdb::frep::{for_each_tuple, materialize, Entry, FRep, Union};
+use fdb::ftree::{DepEdge, FTree, NodeId};
 use fdb::relation::{Database, RdbEngine};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Canonical (attribute-sorted) tuple multiset of the flat RDB result.  Flat
 /// join results are sets, so a `BTreeMap` to counts doubles as a multiset
@@ -150,6 +159,233 @@ fn randomized_grocery_scale_workloads_agree_with_the_flat_path() {
             .evaluate_flat(&db, &query)
             .expect("FDB evaluates");
         check_rep(&db, &query, &out.result, &format!("seed {seed}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 2: arena-native structural operators vs the thaw-path oracle
+// ---------------------------------------------------------------------
+
+fn assert_identical(arena: &FRep, reference: &FRep, context: &str) {
+    arena
+        .validate()
+        .unwrap_or_else(|e| panic!("{context}: arena-native result invalid: {e:?}"));
+    reference
+        .validate()
+        .unwrap_or_else(|e| panic!("{context}: oracle result invalid: {e:?}"));
+    assert!(
+        arena.store_identical(reference),
+        "{context}: stores diverge\narena:\n{}\noracle:\n{}",
+        arena.dump_store(),
+        reference.dump_store()
+    );
+}
+
+/// Applies every applicable structural operator to clones of `rep`, both
+/// arena-native and through the thaw-path oracle, and asserts the stores
+/// come out bit-for-bit identical.
+fn check_structural_ops_against_oracle(rep: &FRep, rng: &mut StdRng, context: &str) {
+    // Canonicalise the input to the freeze layout first: an operator that
+    // turns out to be a no-op (e.g. normalise on an already-normalised tree)
+    // leaves the arena untouched, while the oracle always re-freezes — the
+    // two can only be bit-identical if the input already is.
+    let rep = &FRep::from_parts(rep.tree().clone(), rep.to_forest())
+        .unwrap_or_else(|e| panic!("{context}: canonicalisation rejected: {e:?}"));
+    let tree = rep.tree();
+    let nodes: Vec<NodeId> = tree.node_ids();
+
+    // Swap χ: every non-root node.
+    for &node in &nodes {
+        if tree.parent(node).is_none() {
+            continue;
+        }
+        let mut arena = rep.clone();
+        let mut reference = rep.clone();
+        let got = ops::swap(&mut arena, node).expect("arena swap applies");
+        let want = oracle::swap(&mut reference, node).expect("oracle swap applies");
+        assert_eq!(got, want, "{context}: swap({node}) outcome");
+        assert_identical(&arena, &reference, &format!("{context}: swap({node})"));
+    }
+
+    // Push-up ψ / normalisation η wherever the tree allows it.
+    for &node in &nodes {
+        if !tree.can_push_up(node) {
+            continue;
+        }
+        let mut arena = rep.clone();
+        let mut reference = rep.clone();
+        ops::push_up(&mut arena, node).expect("arena push-up applies");
+        oracle::push_up(&mut reference, node).expect("oracle push-up applies");
+        assert_identical(&arena, &reference, &format!("{context}: push_up({node})"));
+    }
+    {
+        let mut arena = rep.clone();
+        let mut reference = rep.clone();
+        let got = ops::normalise(&mut arena).expect("arena normalise applies");
+        let want = oracle::normalise(&mut reference).expect("oracle normalise applies");
+        assert_eq!(got, want, "{context}: normalise sequence");
+        assert_identical(&arena, &reference, &format!("{context}: normalise"));
+    }
+
+    // Merge µ: every ordered sibling pair.
+    for &a in &nodes {
+        for &b in &nodes {
+            if a == b || !tree.are_siblings(a, b) {
+                continue;
+            }
+            let mut arena = rep.clone();
+            let mut reference = rep.clone();
+            ops::merge(&mut arena, a, b).expect("arena merge applies");
+            oracle::merge(&mut reference, a, b).expect("oracle merge applies");
+            assert_identical(&arena, &reference, &format!("{context}: merge({a},{b})"));
+        }
+    }
+
+    // Absorb α: every ancestor/descendant pair.
+    for &a in &nodes {
+        for &b in &nodes {
+            if !tree.is_ancestor(a, b) {
+                continue;
+            }
+            let mut arena = rep.clone();
+            let mut reference = rep.clone();
+            let got = ops::absorb(&mut arena, a, b).expect("arena absorb applies");
+            let want = oracle::absorb(&mut reference, a, b).expect("oracle absorb applies");
+            assert_eq!(got, want, "{context}: absorb({a},{b}) push-ups");
+            assert_identical(&arena, &reference, &format!("{context}: absorb({a},{b})"));
+        }
+    }
+
+    // Projection π onto a random attribute subset (and the empty one).
+    let all: Vec<AttrId> = rep.visible_attrs();
+    let mut keeps: Vec<BTreeSet<AttrId>> = vec![BTreeSet::new()];
+    let random_keep: BTreeSet<AttrId> = all.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+    keeps.push(random_keep);
+    for keep in keeps {
+        let mut arena = rep.clone();
+        let mut reference = rep.clone();
+        ops::project(&mut arena, &keep).expect("arena projection applies");
+        oracle::project(&mut reference, &keep).expect("oracle projection applies");
+        assert_identical(&arena, &reference, &format!("{context}: project({keep:?})"));
+    }
+}
+
+#[test]
+fn randomized_structural_ops_match_the_thaw_path_oracle() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x00A2_2E90 ^ seed);
+        let relations = 1 + (seed as usize % 3);
+        let attributes = relations + 2 + (seed as usize % 3);
+        let catalog = random_schema(&mut rng, relations, attributes);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let distribution = if seed % 2 == 0 {
+            ValueDistribution::Uniform
+        } else {
+            ValueDistribution::Zipf(1.0)
+        };
+        let db = populate(&mut rng, &catalog, 25, 6, distribution);
+        let k = (seed as usize) % attributes.min(3);
+        let query = random_query(&mut rng, &catalog, &rels, k);
+        let rep = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("FDB evaluates")
+            .result;
+        check_structural_ops_against_oracle(&rep, &mut rng, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn structural_ops_match_the_oracle_on_empty_and_singleton_representations() {
+    // A{0} → B{1} → C{2} chain with exactly one entry per union: the
+    // single-entry edge case for every operator.
+    let attrs = |ids: &[u32]| -> BTreeSet<AttrId> { ids.iter().map(|&i| AttrId(i)).collect() };
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), 1),
+        DepEdge::new("RBC", attrs(&[1, 2]), 1),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let singleton = FRep::from_parts(
+        tree.clone(),
+        vec![Union::new(
+            a,
+            vec![Entry {
+                value: Value::new(7),
+                children: vec![Union::new(
+                    b,
+                    vec![Entry {
+                        value: Value::new(7),
+                        children: vec![Union::new(c, vec![Entry::leaf(Value::new(7))])],
+                    }],
+                )],
+            }],
+        )],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(0x00A2_2E91);
+    check_structural_ops_against_oracle(&singleton, &mut rng, "singleton chain");
+
+    // The same tree with empty root unions: the empty-union edge case.  An
+    // unsatisfiable selection produces the canonical empty representation.
+    let mut empty = singleton.clone();
+    fdb::frep::ops::select_const(&mut empty, AttrId(0), ComparisonOp::Eq, Value::new(99)).unwrap();
+    assert!(empty.represents_empty());
+    check_structural_ops_against_oracle(&empty, &mut rng, "empty representation");
+
+    // A forest with two roots (one empty), exercising the root-context
+    // branches of merge, push-up and projection.
+    let edges = vec![
+        DepEdge::new("R", attrs(&[0]), 1),
+        DepEdge::new("S", attrs(&[1]), 0),
+    ];
+    let mut forest_tree = FTree::new(edges);
+    let r = forest_tree.add_node(attrs(&[0]), None).unwrap();
+    let s = forest_tree.add_node(attrs(&[1]), None).unwrap();
+    let forest = FRep::from_parts(
+        forest_tree,
+        vec![
+            Union::new(r, vec![Entry::leaf(Value::new(1))]),
+            Union::new(s, vec![]),
+        ],
+    )
+    .unwrap();
+    check_structural_ops_against_oracle(&forest, &mut rng, "forest with an empty root");
+}
+
+#[test]
+fn direct_arena_construction_agrees_with_the_forest_oracle() {
+    // The arena path (watermark rollback) and the forest path must build the
+    // same logical representation on randomized workloads.  The layouts
+    // differ (direct emission places entry blocks post-order), so the
+    // comparison is on the thawed forests, sizes and counts.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x00A2_2E92 ^ seed);
+        let relations = 1 + (seed as usize % 3);
+        let attributes = relations + 1 + (seed as usize % 4);
+        let catalog = random_schema(&mut rng, relations, attributes);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, 30, 8, ValueDistribution::Uniform);
+        let k = (seed as usize) % attributes.min(3);
+        let query = random_query(&mut rng, &catalog, &rels, k);
+        let search = fdb::plan::optimal_ftree(db.catalog(), &query, |r| db.rel_len(r) as u64)
+            .expect("an f-tree exists");
+        let direct = fdb::frep::build_frep(&db, &query, &search.tree).expect("direct build");
+        let forest =
+            fdb::frep::build::build_frep_via_forest(&db, &query, &search.tree).expect("oracle");
+        direct.validate().expect("direct build valid");
+        assert_eq!(
+            direct.to_forest(),
+            forest.to_forest(),
+            "seed {seed}: construction paths diverge"
+        );
+        assert_eq!(direct.size(), forest.size(), "seed {seed}: size");
+        assert_eq!(
+            direct.tuple_count(),
+            forest.tuple_count(),
+            "seed {seed}: tuple count"
+        );
     }
 }
 
