@@ -9,7 +9,7 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures; `EXPERIMENTS.md` records a full run.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, report, Scale};
 use std::time::Instant;
 
 /// Runs the PR 1 enumeration benchmark and writes its machine-readable
@@ -69,6 +69,28 @@ fn run_bench_pr2(smoke: bool) {
     println!("(bench-pr2 finished in {:?})\n", start.elapsed());
 }
 
+/// Runs the PR 3 fused-vs-stepwise plan execution benchmark and writes
+/// `BENCH_PR3.json`.  At `--scale smoke` the inputs shrink and nothing is
+/// written.
+fn run_bench_pr3(smoke: bool) {
+    let start = Instant::now();
+    let scale = if smoke {
+        pr3::Pr3Scale::Smoke
+    } else {
+        pr3::Pr3Scale::Full
+    };
+    let report = pr3::run(scale);
+    print!("{}", pr3::render_table(&report));
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else {
+        std::fs::write("BENCH_PR3.json", pr3::render_json(&report))
+            .expect("writing BENCH_PR3.json");
+        println!("\nwrote BENCH_PR3.json");
+    }
+    println!("(bench-pr3 finished in {:?})\n", start.elapsed());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -105,6 +127,10 @@ fn main() {
     }
     if which.contains(&"bench-pr2") {
         run_bench_pr2(smoke);
+        return;
+    }
+    if which.contains(&"bench-pr3") {
+        run_bench_pr3(smoke);
         return;
     }
 

@@ -26,6 +26,7 @@ pub mod exp3;
 pub mod exp4;
 pub mod pr1;
 pub mod pr2;
+pub mod pr3;
 pub mod report;
 
 /// Scale of an experiment run.

@@ -1,0 +1,437 @@
+//! PR 3 benchmark: fused f-plan execution vs the step-wise path.
+//!
+//! Times multi-step (k ≥ 3) structural f-plans — both hand-shaped chains in
+//! the spirit of the paper's exp2/exp4 restructuring workloads and plans
+//! actually produced by the full-search optimiser for follow-up equality
+//! queries on factorised inputs — executed two ways:
+//!
+//! * **fused** — [`FPlan::execute`]: the plan's structural segments compile
+//!   into single arena passes through `fdb_frep::ops::fuse`, so a k-step
+//!   segment materialises no intermediate arenas;
+//! * **step-wise** — [`FPlan::execute_stepwise`]: the PR 2 path, one
+//!   arena-to-arena rewrite per operator.
+//!
+//! Both sides are checked bit-for-bit identical before timing.  The
+//! `experiments bench-pr3` subcommand prints the table and serialises the
+//! rows as `BENCH_PR3.json`; `--scale smoke` shrinks the inputs so CI can
+//! keep the harness from bit-rotting.
+
+use fdb_common::AttrId;
+use fdb_common::Value;
+use fdb_core::FdbEngine;
+use fdb_datagen::{
+    populate, random_followup_equalities, random_query, random_schema, ValueDistribution,
+};
+use fdb_frep::{ops, Entry, FRep, Union};
+use fdb_ftree::{DepEdge, FTree, NodeId};
+use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One fused-vs-stepwise plan measurement.
+#[derive(Clone, Debug)]
+pub struct PlanRow {
+    /// Workload name (stable across refactors).
+    pub name: String,
+    /// Singleton count of the input representation.
+    pub singletons: u64,
+    /// Number of operators in the executed plan.
+    pub plan_ops: u32,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one fused execution.
+    pub fused_seconds: f64,
+    /// Best wall time of one step-wise execution.
+    pub stepwise_seconds: f64,
+    /// `stepwise_seconds / fused_seconds`.
+    pub speedup: f64,
+}
+
+/// The full PR 3 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr3Report {
+    /// Plan rows.
+    pub plans: Vec<PlanRow>,
+    /// Geometric mean of the speedups.
+    pub fused_speedup_geomean: f64,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr3Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR3.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Entries of the outermost union of each synthetic chain.
+    outer: u64,
+    /// Entries per nested union.
+    inner: u64,
+    /// Independent chains in the wide-forest workload.
+    chains: u32,
+    /// Entries per nested union in the normalisation tower (the input size
+    /// is `outer · tower_width^(levels-1)`, so this stays small).
+    tower_width: u64,
+    /// Rows per relation of the optimiser workloads.
+    rows: usize,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Plan executions per measurement.
+    reps: u32,
+}
+
+impl Pr3Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr3Scale::Smoke => Dims {
+                outer: 30,
+                inner: 6,
+                chains: 4,
+                tower_width: 3,
+                rows: 120,
+                measurements: 2,
+                reps: 2,
+            },
+            Pr3Scale::Full => Dims {
+                outer: 300,
+                inner: 30,
+                chains: 6,
+                tower_width: 8,
+                rows: 1_500,
+                measurements: 5,
+                reps: 6,
+            },
+        }
+    }
+}
+
+fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+    ids.iter().map(|&i| AttrId(i)).collect()
+}
+
+fn leaf_union(node: NodeId, values: impl Iterator<Item = u64>) -> Union {
+    Union::new(node, values.map(|v| Entry::leaf(Value::new(v))).collect())
+}
+
+/// Wide-forest workload: the product of `chains` independent two-level
+/// chains.  The plan swaps the child above the root in three *different*
+/// chains — each step touches one chain, but the step-wise path re-copies
+/// the whole forest per step.
+fn wide_forest(d: Dims) -> (FRep, FPlan) {
+    let mut rep: Option<FRep> = None;
+    let mut swap_targets: Vec<NodeId> = Vec::new();
+    for chain in 0..d.chains {
+        let (ra, rb) = (chain * 2, chain * 2 + 1);
+        let edges = vec![DepEdge::new(format!("R{chain}"), attrs(&[ra, rb]), d.outer)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[ra]), None).unwrap();
+        let child = tree.add_node(attrs(&[rb]), Some(root)).unwrap();
+        let entries = (0..d.outer)
+            .map(|v| Entry {
+                value: Value::new(v),
+                // Overlapping child ranges keep the regrouped unions
+                // non-trivial.
+                children: vec![leaf_union(child, v..v + d.inner)],
+            })
+            .collect();
+        let side = FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap();
+        rep = Some(match rep {
+            None => side,
+            Some(acc) => ops::product(acc, side).unwrap(),
+        });
+    }
+    let rep = rep.expect("at least one chain");
+    for chain in 0..3u32 {
+        let child_attr = AttrId(chain * 2 + 1);
+        swap_targets.push(rep.tree().node_of_attr(child_attr).unwrap());
+    }
+    let plan = FPlan::new(swap_targets.into_iter().map(FPlanOp::Swap).collect());
+    (rep, plan)
+}
+
+/// Regrouping cycle: A{0} → B{1} → (C{2}, D{3}) with C dependent on A and D
+/// independent; the plan swaps B up, A back up, and B up again — three full
+/// regroupings of the same region whose intermediates fusion never
+/// materialises.
+fn swap_cycle(d: Dims) -> (FRep, FPlan) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RAC", attrs(&[0, 2]), d.outer),
+        DepEdge::new("RBD", attrs(&[1, 3]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let d_node = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (av..av + d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![
+                            // C is a function of A alone (the independence
+                            // the swap operators rely on).
+                            leaf_union(c, std::iter::once(av * 1_000)),
+                            leaf_union(d_node, std::iter::once(bv)),
+                        ],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    let plan = FPlan::new(vec![FPlanOp::Swap(b), FPlanOp::Swap(a), FPlanOp::Swap(b)]);
+    (rep, plan)
+}
+
+/// Normalisation tower: a chain of mutually independent levels (each node's
+/// relation is unary), so one `Normalise` expands into a whole sequence of
+/// push-ups — all header remaps the fused path applies in one emission.
+fn normalise_tower(d: Dims) -> (FRep, FPlan) {
+    const LEVELS: u32 = 4;
+    let edges = (0..LEVELS)
+        .map(|i| DepEdge::new(format!("U{i}"), attrs(&[i]), d.tower_width))
+        .collect();
+    let mut tree = FTree::new(edges);
+    let mut parent: Option<NodeId> = None;
+    let mut nodes = Vec::new();
+    for i in 0..LEVELS {
+        let node = tree.add_node(attrs(&[i]), parent).unwrap();
+        nodes.push(node);
+        parent = Some(node);
+    }
+    // Build bottom-up: at every level the same child union hangs under each
+    // entry (the levels are independent), which is exactly what push-up
+    // factors out.
+    let mut child: Option<Union> = None;
+    for (depth, &node) in nodes.iter().enumerate().rev() {
+        let width = if depth == 0 { d.outer } else { d.tower_width };
+        let entries = (0..width)
+            .map(|v| Entry {
+                value: Value::new(v),
+                children: child.iter().cloned().collect(),
+            })
+            .collect();
+        child = Some(Union::new(node, entries));
+    }
+    let rep = FRep::from_parts(tree, vec![child.expect("at least one level")]).unwrap();
+    (rep, FPlan::new(vec![FPlanOp::Normalise]))
+}
+
+/// An optimiser-produced plan in the exp2/exp4 mould: a factorised input
+/// built from a random join query, then the full-search optimiser's f-plan
+/// for `l` follow-up equality conditions.  Seeds are scanned until the plan
+/// has at least `min_ops` fusable structural steps.
+fn optimiser_workload(d: Dims, l: usize, min_ops: usize, salt: u64) -> (FRep, FPlan) {
+    let engine = FdbEngine::new();
+    // Bounded scan: if datagen or the optimiser drift so far that no seed
+    // qualifies, fail loudly instead of hanging the CI canary.
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(0x5033_3A44 ^ salt ^ seed);
+        let catalog = random_schema(&mut rng, 4, 10);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, d.rows, 40, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 2);
+        let Ok(base) = engine.evaluate_flat(&db, &query) else {
+            continue;
+        };
+        if base.result.size() < d.rows {
+            continue;
+        }
+        let follow = random_followup_equalities(&mut rng, &catalog, &query, l);
+        if follow.len() < l {
+            continue;
+        }
+        let Ok(optimised) = ExhaustiveOptimizer::new().optimize(base.result.tree(), &follow) else {
+            continue;
+        };
+        let fusable = optimised
+            .plan
+            .ops
+            .iter()
+            .filter(|op| op.as_fused().is_some())
+            .count();
+        if fusable < min_ops {
+            continue;
+        }
+        // The plan must execute (some optimiser plans are valid but produce
+        // empty results, which is fine for timing).
+        let mut probe = base.result.clone();
+        if optimised.plan.execute_stepwise(&mut probe).is_err() {
+            continue;
+        }
+        return (base.result, optimised.plan);
+    }
+    panic!("no seed produced an optimiser plan with ≥ {min_ops} fusable ops (L = {l})");
+}
+
+/// Times `run` on fresh clones of `input`, best of `measurements` runs of
+/// `reps` executions; returns seconds per execution.
+fn time_plan<F: FnMut(&mut FRep)>(input: &FRep, d: Dims, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let mut total = 0.0f64;
+        for _ in 0..d.reps {
+            let mut rep = input.clone();
+            let start = Instant::now();
+            run(&mut rep);
+            total += start.elapsed().as_secs_f64();
+            std::hint::black_box(&rep);
+        }
+        best = best.min(total / d.reps as f64);
+    }
+    best
+}
+
+/// Measures one plan both ways, checking bit-for-bit identity first.
+fn measure_plan(name: &str, input: &FRep, plan: &FPlan, d: Dims) -> PlanRow {
+    let mut fused = input.clone();
+    let mut stepwise = input.clone();
+    plan.execute(&mut fused).expect("fused execution succeeds");
+    plan.execute_stepwise(&mut stepwise)
+        .expect("step-wise execution succeeds");
+    assert!(
+        fused.store_identical(&stepwise),
+        "{name}: fused and step-wise outputs diverge"
+    );
+
+    let fused_seconds = time_plan(input, d, |rep| {
+        plan.execute(rep).expect("fused execution succeeds");
+    });
+    let stepwise_seconds = time_plan(input, d, |rep| {
+        plan.execute_stepwise(rep)
+            .expect("step-wise execution succeeds");
+    });
+    PlanRow {
+        name: name.to_string(),
+        singletons: input.size() as u64,
+        plan_ops: plan.len() as u32,
+        reps: d.reps,
+        fused_seconds,
+        stepwise_seconds,
+        speedup: stepwise_seconds / fused_seconds.max(1e-12),
+    }
+}
+
+/// Runs the full PR 3 benchmark at the given scale.
+pub fn run(scale: Pr3Scale) -> Pr3Report {
+    let d = scale.dims();
+    let mut rows = Vec::new();
+
+    let (rep, plan) = wide_forest(d);
+    rows.push(measure_plan("wide_forest_3_swaps", &rep, &plan, d));
+
+    let (rep, plan) = swap_cycle(d);
+    rows.push(measure_plan("swap_regroup_cycle_k3", &rep, &plan, d));
+
+    let (rep, plan) = normalise_tower(d);
+    rows.push(measure_plan("normalise_tower", &rep, &plan, d));
+
+    let (rep, plan) = optimiser_workload(d, 2, 3, 0x2);
+    rows.push(measure_plan("exp2_optimiser_plan_L2", &rep, &plan, d));
+
+    let (rep, plan) = optimiser_workload(d, 3, 4, 0x3);
+    rows.push(measure_plan("exp4_optimiser_plan_L3", &rep, &plan, d));
+
+    let geomean =
+        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len().max(1) as f64).exp();
+    Pr3Report {
+        plans: rows,
+        fused_speedup_geomean: geomean,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR2.json`).
+pub fn render_json(report: &Pr3Report) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr3-fused-execution\",\n  \"plans\": [\n");
+    for (i, row) in report.plans.iter().enumerate() {
+        let comma = if i + 1 < report.plans.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+             \"fused_seconds\": {:.6}, \"stepwise_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.reps,
+            row.fused_seconds,
+            row.stepwise_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"fused_speedup_geomean\": {:.3}",
+        report.fused_speedup_geomean
+    )
+    .expect("string write");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the human-readable table printed by the `experiments` binary.
+pub fn render_table(report: &Pr3Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<26} {:>12} {:>5} {:>14} {:>14} {:>9}",
+        "fused plan", "singletons", "ops", "fused (s)", "step-wise (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.plans {
+        writeln!(
+            out,
+            "{:<26} {:>12} {:>5} {:>14.6} {:>14.6} {:>8.2}x",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.fused_seconds,
+            row.stepwise_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "geometric-mean speedup: {:.2}x",
+        report.fused_speedup_geomean
+    )
+    .expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_runs_and_reports_consistent_rows() {
+        let report = run(Pr3Scale::Smoke);
+        assert_eq!(report.plans.len(), 5);
+        assert!(report.fused_speedup_geomean > 0.0);
+        for row in &report.plans {
+            assert!(row.fused_seconds > 0.0 && row.stepwise_seconds > 0.0);
+            assert!(row.plan_ops >= 1);
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"fused_speedup_geomean\""));
+        assert!(json.contains("wide_forest_3_swaps"));
+        let table = render_table(&report);
+        assert!(table.contains("geometric-mean speedup"));
+    }
+}

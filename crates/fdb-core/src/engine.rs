@@ -73,6 +73,9 @@ pub struct EvalStats {
     pub plan: FPlan,
     /// Number of optimiser states explored.
     pub explored_states: usize,
+    /// Number of multi-step structural segments of the plan that executed as
+    /// single fused arena passes (see `fdb_frep::ops::fuse`).
+    pub fused_segments: usize,
 }
 
 /// The result of an evaluation: the factorised representation plus
@@ -135,6 +138,9 @@ impl FdbEngine {
         let execution_time = exec_start.elapsed();
 
         let result_tree_cost = s_cost(result.tree())?;
+        // The flat path runs no structural plan (the recorded plan holds at
+        // most the final projection, a barrier), so nothing fuses.
+        let fused_segments = 0;
         Ok(EvalOutput {
             stats: EvalStats {
                 optimisation_time,
@@ -145,6 +151,7 @@ impl FdbEngine {
                 result_tuples: result.tuple_count(),
                 plan,
                 explored_states: search.explored_states,
+                fused_segments,
             },
             result,
         })
@@ -155,11 +162,13 @@ impl FdbEngine {
     /// Selections with constants are applied first (they are cheap and only
     /// shrink the representation), then the optimised restructuring/selection
     /// plan for the equality conditions, and the projection last — the
-    /// operator ordering FDB uses (Section 4).  Every plan step executes as
-    /// an arena-native rewrite of the flat representation store (including
-    /// the structural swap/merge/absorb/push-up/projection steps), so a plan
-    /// of `k` operators performs `k` single-pass arena rebuilds with no
-    /// pointer-tree round trips in between.
+    /// operator ordering FDB uses (Section 4).  The plan does not execute
+    /// operator by operator: after peephole simplification it is segmented
+    /// at selections/projections, and every multi-step structural run
+    /// between barriers executes as a **single fused arena pass**
+    /// (`fdb_frep::ops::fuse`), so a k-step restructuring chain pays one
+    /// arena copy instead of k.  [`EvalStats::fused_segments`] reports how
+    /// many segments fused.
     pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree.
         let opt_start = Instant::now();
@@ -188,9 +197,13 @@ impl FdbEngine {
             plan.push(FPlanOp::Project(proj.iter().copied().collect()));
         }
 
+        // Simplify once: the segment count is read off the same op list
+        // that actually executes, so the stat matches what really fused.
+        let simplified = plan.simplified(input.tree());
+        let fused_segments = simplified.fused_segment_count();
         let exec_start = Instant::now();
         let mut result = input.clone();
-        plan.execute(&mut result)?;
+        simplified.execute_presimplified(&mut result)?;
         let execution_time = exec_start.elapsed();
 
         let result_tree_cost = s_cost(result.tree())?;
@@ -204,6 +217,7 @@ impl FdbEngine {
                 result_tuples: result.tuple_count(),
                 plan,
                 explored_states: optimised.explored_states,
+                fused_segments,
             },
             result,
         })
@@ -269,7 +283,9 @@ impl FdbEngine {
             plan.push(FPlanOp::Project(proj.iter().copied().collect()));
         }
 
-        plan.execute(&mut rep)?;
+        let simplified = plan.simplified(rep.tree());
+        let fused_segments = simplified.fused_segment_count();
+        simplified.execute_presimplified(&mut rep)?;
         let execution_time = exec_start.elapsed();
 
         let result_tree_cost = s_cost(rep.tree())?;
@@ -283,6 +299,7 @@ impl FdbEngine {
                 result_tuples: rep.tuple_count(),
                 plan,
                 explored_states: optimised.explored_states,
+                fused_segments,
             },
             result: rep,
         })

@@ -31,9 +31,14 @@
 //! kid runs are appended contiguously.  (Entry blocks therefore land
 //! *after* the blocks of their descendants — a valid layout the arena views
 //! never distinguish, just not the one [`crate::store::Store::freeze`]
-//! picks.)  The old forest-building path survives as
+//! picks.)  Per-node grouping of the candidate rows is **sort-based**: one
+//! flat `(value, row)` sort per relevant relation, after which every value's
+//! rows form a contiguous span — replacing the former per-node `BTreeMap`
+//! grouping, which dominated construction time with node allocations and
+//! pointer-chasing.  The old forest-building path survives as
 //! [`build_frep_via_forest`] for the equivalence tests and the `bench-pr2`
-//! construction benchmark.
+//! construction benchmark (it keeps the `BTreeMap` grouping, so the
+//! `bench-pr2` build rows measure exactly this change plus direct emission).
 //!
 //! The running time is `O(|Q| · |D|^{s(T̂)})` up to logarithmic factors — the
 //! tight bound of the paper — because the work done per node is proportional
@@ -153,6 +158,29 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
     Ok(rep)
 }
 
+/// Sort-based grouping of one relation's surviving rows by class value: the
+/// `(value, row)` pairs sorted once, the distinct values, and the start
+/// offset of each value's contiguous row span.
+struct ValueGroups {
+    rel_idx: usize,
+    pairs: Vec<(Value, u32)>,
+    values: Vec<Value>,
+    starts: Vec<u32>,
+}
+
+impl ValueGroups {
+    /// The row ids grouped under `value` (ascending), empty if absent.
+    fn rows_of(&self, value: Value) -> Vec<u32> {
+        match self.values.binary_search(&value) {
+            Ok(i) => {
+                let (start, end) = (self.starts[i] as usize, self.starts[i + 1] as usize);
+                self.pairs[start..end].iter().map(|&(_, row)| row).collect()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
 struct Builder<'a> {
     tree: &'a FTree,
     relations: &'a [Relation],
@@ -180,33 +208,53 @@ impl Builder<'_> {
         // Group the surviving rows of every relevant relation by their value
         // of this node's class (rows whose class columns disagree are
         // inconsistent with the intra-class equality and are dropped).
-        let mut groups: Vec<(usize, BTreeMap<Value, Vec<u32>>)> =
-            Vec::with_capacity(relevant.len());
+        // Sort-based grouping: one flat `(value, row)` sort per relation,
+        // after which each value's rows are a contiguous span — no
+        // `BTreeMap`, no per-group allocation during grouping.  Restriction
+        // vectors are ascending (spans of ascending pairs), so the row order
+        // inside every span matches the old insertion-order grouping.
+        let mut groups: Vec<ValueGroups> = Vec::with_capacity(relevant.len());
         for (rel_idx, cols) in relevant {
             let rel = &self.relations[*rel_idx];
-            let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+            let mut pairs: Vec<(Value, u32)> = Vec::with_capacity(restriction[*rel_idx].len());
             for &row_idx in &restriction[*rel_idx] {
                 let row = rel.row(row_idx as usize);
                 let v = row[cols[0]];
                 if cols.iter().all(|&c| row[c] == v) {
-                    map.entry(v).or_default().push(row_idx);
+                    pairs.push((v, row_idx));
                 }
             }
-            groups.push((*rel_idx, map));
+            pairs.sort_unstable();
+            let mut values: Vec<Value> = Vec::new();
+            let mut starts: Vec<u32> = Vec::new();
+            for (idx, p) in pairs.iter().enumerate() {
+                if idx == 0 || p.0 != pairs[idx - 1].0 {
+                    values.push(p.0);
+                    starts.push(idx as u32);
+                }
+            }
+            starts.push(pairs.len() as u32);
+            groups.push(ValueGroups {
+                rel_idx: *rel_idx,
+                pairs,
+                values,
+                starts,
+            });
         }
 
-        // Candidate values: the intersection of the value sets, driven by the
-        // smallest group.
-        let (smallest_pos, _) = groups
+        // Candidate values: the intersection of the (sorted) value sets,
+        // driven by the smallest one.
+        let smallest_pos = groups
             .iter()
             .enumerate()
-            .min_by_key(|(_, (_, m))| m.len())
+            .min_by_key(|(_, g)| g.values.len())
+            .map(|(i, _)| i)
             .expect("node has at least one relevant relation");
         let candidates: Vec<Value> = groups[smallest_pos]
-            .1
-            .keys()
+            .values
+            .iter()
             .copied()
-            .filter(|v| groups.iter().all(|(_, m)| m.contains_key(v)))
+            .filter(|&v| groups.iter().all(|g| g.values.binary_search(&v).is_ok()))
             .collect();
 
         // Header first: the union's index must precede its subtrees'.
@@ -223,13 +271,14 @@ impl Builder<'_> {
         let kids_mark = self.scratch_kids.len();
         for value in candidates {
             // Narrow the restriction of the relevant relations to the rows
-            // matching `value`, remembering what to restore.
+            // matching `value` (a contiguous span of the sorted pairs),
+            // remembering what to restore.
             let mut saved: Vec<(usize, Vec<u32>)> = Vec::with_capacity(groups.len());
-            for (rel_idx, map) in &groups {
-                let rows = map.get(&value).cloned().unwrap_or_default();
+            for g in &groups {
+                let rows = g.rows_of(value);
                 saved.push((
-                    *rel_idx,
-                    std::mem::replace(&mut restriction[*rel_idx], rows),
+                    g.rel_idx,
+                    std::mem::replace(&mut restriction[g.rel_idx], rows),
                 ));
             }
 

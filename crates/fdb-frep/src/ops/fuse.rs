@@ -1,0 +1,1395 @@
+//! Fused f-plan execution: a run of structural operators in one arena pass.
+//!
+//! # Why
+//!
+//! Since PR 2 every structural operator (swap, merge, absorb, push-up,
+//! projection) is a single arena-to-arena pass, but a k-step f-plan still
+//! materialises k−1 intermediate arenas that exist only to be consumed by
+//! the next step.  On optimiser-produced plans — which routinely chain
+//! swap → merge → normalise — most of the remaining wall-clock is spent
+//! copying untouched regions of the arena over and over, not performing the
+//! rewrites themselves.
+//!
+//! # The segment/barrier model
+//!
+//! `fdb-plan` segments an op list at *fusion barriers*: operators whose
+//! data-level effect cannot (yet) be expressed as a pure structural
+//! transform — selections with constants and projections, which change
+//! cardinality through a value predicate respectively remove tree nodes
+//! through data-dependent swap-downs.  Everything between two barriers is a
+//! run of *fusable* steps ([`FusedOp`]: push-up, normalisation, swap, merge,
+//! absorb) and executes through [`execute_fused`] as **one** pass:
+//!
+//! 1. The f-tree transforms are simulated up front, step by step, on clones
+//!    of the tree — exactly the schema-level transforms the individual
+//!    operators would apply.  This also performs all operator validation
+//!    before any data is touched, so a failing segment leaves the
+//!    representation unmodified.
+//! 2. Each step is applied to an **overlay**: a forest of virtual unions
+//!    where a [`VId`] either points at an untouched union of the *input*
+//!    arena (a `Src` reference — O(1) to create, nothing is copied) or at a
+//!    [`Mix`] node materialising just the regrouped/spliced/merged region.
+//!    The overlay passes mirror the PR 2 rewriters decision for decision
+//!    (same pair sort for swap, same sort-merge join for merge, same
+//!    binary-search restriction for absorb, same first-entry lift for
+//!    push-up), but where a rewriter would `copy_union` an unaffected
+//!    subtree the overlay stores a reference.
+//! 3. The merge/absorb prune is folded in as a *liveness sweep over the
+//!    overlay*: one flat bottom-up pass over the input arena (computed once
+//!    per segment, cached) decides per-entry liveness of untouched regions,
+//!    and a cheap walk over the Mix nodes propagates emptiness — no
+//!    intermediate `retain_and_prune` re-emission.
+//! 4. Normalisation (and absorb's trailing normalisation) is replayed as
+//!    overlay push-ups: the push-up sequence is computable from the tree
+//!    alone, so the whole sequence collapses into pure header remaps on the
+//!    overlay — one emission applies all of them at once.
+//! 5. A single final [`Rewriter`] emission walks the overlay: `Mix` nodes
+//!    emit their own records, `Src` references emit through
+//!    [`Rewriter::copy_union`].  The output is the exact
+//!    [`crate::store::Store::freeze`] layout, so a fused segment is
+//!    **bit-for-bit identical** to the PR 2 step-wise execution of the same
+//!    steps — the randomized equivalence suite asserts store identity.
+//!
+//! Total data movement for a k-step segment: the touched regions (which the
+//! step-wise path also rebuilds) plus **one** full copy, instead of k.
+
+use crate::frep::FRep;
+use crate::ops::{child_pos, debug_validate};
+use crate::store::{kid_count_table, Rewriter, Store};
+use fdb_common::{Result, Value};
+use fdb_ftree::{FTree, NodeId, SwapOutcome};
+use std::collections::BTreeSet;
+
+/// One fusable f-plan step.  Selections and projections are fusion barriers
+/// and stay on the step-wise path (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedOp {
+    /// Push-up `ψ_B`: lift `node` above its parent.
+    PushUp(NodeId),
+    /// Normalisation `η`: push up nodes until the tree is normalised.
+    Normalise,
+    /// Swap `χ`: exchange `node` with its parent.
+    Swap(NodeId),
+    /// Merge `µ`: fuse the two sibling nodes (the first survives).
+    Merge(NodeId, NodeId),
+    /// Absorb `α`: fuse the descendant (second) node into the ancestor
+    /// (first) node, then normalise.
+    Absorb(NodeId, NodeId),
+}
+
+/// Executes a run of fusable structural steps as one arena pass.
+///
+/// Semantically identical — bit-for-bit on the output arena — to applying
+/// the corresponding [`crate::ops`] operators one at a time; on error the
+/// representation is left unmodified (the step-wise path would stop at the
+/// failing operator instead).
+pub fn execute_fused(rep: &mut FRep, ops: &[FusedOp]) -> Result<()> {
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let (tree, store) = {
+        let mut fusion = Fusion::new(rep.store(), rep.tree());
+        let mut cur = rep.tree().clone();
+        for op in ops {
+            apply_op(&mut fusion, &mut cur, *op)?;
+        }
+        let store = fusion.into_store(rep.tree());
+        (cur, store)
+    };
+    rep.replace_parts(tree, store);
+    debug_validate(rep, "fused plan segment");
+    Ok(())
+}
+
+/// Applies one fused step: advances the simulated tree and transforms the
+/// overlay accordingly.
+fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: FusedOp) -> Result<()> {
+    match op {
+        FusedOp::PushUp(b) => push_up_step(fusion, cur, b),
+        FusedOp::Normalise => normalise_steps(fusion, cur),
+        FusedOp::Swap(b) => {
+            let mut next = cur.clone();
+            let outcome = next.swap_with_parent(b)?;
+            SwapPass::new(fusion, cur, &next, &outcome).apply();
+            *cur = next;
+            Ok(())
+        }
+        FusedOp::Merge(a, b) => {
+            let parent = cur.parent(a);
+            let mut next = cur.clone();
+            next.merge_siblings(a, b)?;
+            MergePass::new(fusion, cur, &next, a, b, parent).apply(b);
+            fusion.prune();
+            *cur = next;
+            Ok(())
+        }
+        FusedOp::Absorb(a, b) => {
+            cur.check_node(a)?;
+            cur.check_node(b)?;
+            let mut next = cur.clone();
+            next.absorb_into_ancestor(a, b)?;
+            let b_parent = cur.parent(b).expect("b has an ancestor, so a parent");
+            AbsorbPass::new(fusion, cur, &next, a, b, b_parent).apply();
+            fusion.prune();
+            *cur = next;
+            // The paper's absorb finishes with a normalisation step.
+            normalise_steps(fusion, cur)
+        }
+    }
+}
+
+/// One push-up, tree and overlay together.
+fn push_up_step(fusion: &mut Fusion<'_>, cur: &mut FTree, b: NodeId) -> Result<()> {
+    let mut next = cur.clone();
+    next.push_up(b)?;
+    let a = cur.parent(b).expect("push_up validated: b has a parent");
+    PushUpPass::new(fusion, cur, &next, a, b).apply();
+    *cur = next;
+    Ok(())
+}
+
+/// Replays normalisation as overlay push-ups, in exactly the order the
+/// step-wise [`crate::ops::normalise`] applies them.
+fn normalise_steps(fusion: &mut Fusion<'_>, cur: &mut FTree) -> Result<()> {
+    loop {
+        let mut changed = false;
+        for node in cur.bottom_up() {
+            while cur.can_push_up(node) {
+                push_up_step(fusion, cur, node)?;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The overlay
+// ---------------------------------------------------------------------
+
+/// Tag bit marking a [`VId`] as a reference into the input arena.
+const SRC_BIT: u32 = 1 << 31;
+
+/// A virtual union: either an untouched union of the input arena (`Src`) or
+/// an overlay [`Mix`] node built by one of the passes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct VId(u32);
+
+impl VId {
+    fn src(uid: u32) -> VId {
+        debug_assert_eq!(uid & SRC_BIT, 0, "arena index overflows the tag bit");
+        VId(uid | SRC_BIT)
+    }
+
+    fn mix(index: usize) -> VId {
+        VId(index as u32)
+    }
+
+    fn as_src(self) -> Option<u32> {
+        (self.0 & SRC_BIT != 0).then_some(self.0 & !SRC_BIT)
+    }
+
+    fn mix_index(self) -> usize {
+        debug_assert_eq!(self.0 & SRC_BIT, 0);
+        self.0 as usize
+    }
+}
+
+/// An overlay union materialising a transformed region: its values in
+/// increasing order and, per entry, `kid_count` child references in the
+/// (then-current) f-tree child order.
+struct Mix {
+    node: NodeId,
+    kid_count: u32,
+    values: Vec<Value>,
+    kids: Vec<VId>,
+}
+
+/// Liveness of the input arena under a keep-everything prune — which entries
+/// survive and which subtrees contain any dead entry at all (so clean
+/// subtrees stay `Src` references through a prune; a clean union is empty
+/// after pruning iff it was empty before).
+struct Liveness {
+    entry_alive: Vec<bool>,
+    subtree_dirty: Vec<bool>,
+}
+
+/// The fused-segment state: the immutable input arena plus the overlay
+/// forest the passes transform.
+struct Fusion<'a> {
+    src: &'a Store,
+    /// Child counts of the *input* f-tree, indexed by node index (valid for
+    /// every `Src` reference: untouched regions keep their tree shape).
+    src_kid_counts: Vec<u32>,
+    mixes: Vec<Mix>,
+    roots: Vec<VId>,
+    /// Lazily computed, cached for the segment (the input arena is
+    /// immutable while the segment runs).
+    liveness: Option<Liveness>,
+}
+
+impl<'a> Fusion<'a> {
+    fn new(src: &'a Store, tree: &FTree) -> Fusion<'a> {
+        Fusion {
+            src,
+            src_kid_counts: kid_count_table(tree),
+            mixes: Vec::new(),
+            roots: src.roots.iter().map(|&r| VId::src(r)).collect(),
+            liveness: None,
+        }
+    }
+
+    fn push_mix(&mut self, mix: Mix) -> VId {
+        let id = VId::mix(self.mixes.len());
+        self.mixes.push(mix);
+        id
+    }
+
+    /// The f-tree node a virtual union ranges over.
+    fn node_of(&self, v: VId) -> NodeId {
+        match v.as_src() {
+            Some(uid) => self.src.unions[uid as usize].node,
+            None => self.mixes[v.mix_index()].node,
+        }
+    }
+
+    /// Number of entries.
+    fn len(&self, v: VId) -> u32 {
+        match v.as_src() {
+            Some(uid) => self.src.union_len(uid),
+            None => self.mixes[v.mix_index()].values.len() as u32,
+        }
+    }
+
+    /// The `i`-th value (entries are sorted increasing).
+    fn value(&self, v: VId, i: u32) -> Value {
+        match v.as_src() {
+            Some(uid) => self.src.entry_slice(uid)[i as usize].value,
+            None => self.mixes[v.mix_index()].values[i as usize],
+        }
+    }
+
+    /// The child reference of entry `i` at kid position `k`.
+    fn kid(&self, v: VId, i: u32, k: u32) -> VId {
+        match v.as_src() {
+            Some(uid) => VId::src(self.src.kid(uid, i, k)),
+            None => {
+                let mix = &self.mixes[v.mix_index()];
+                mix.kids[(i * mix.kid_count + k) as usize]
+            }
+        }
+    }
+
+    /// Number of kid slots per entry.
+    fn kid_count_of(&self, v: VId) -> u32 {
+        match v.as_src() {
+            Some(uid) => self.src_kid_counts[self.src.unions[uid as usize].node.index()],
+            None => self.mixes[v.mix_index()].kid_count,
+        }
+    }
+
+    /// Binary-searches the sorted entry values for `value`.
+    fn find_value(&self, v: VId, value: Value) -> Option<u32> {
+        match v.as_src() {
+            Some(uid) => self
+                .src
+                .entry_slice(uid)
+                .binary_search_by(|e| e.value.cmp(&value))
+                .ok()
+                .map(|i| i as u32),
+            None => self.mixes[v.mix_index()]
+                .values
+                .binary_search(&value)
+                .ok()
+                .map(|i| i as u32),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The folded prune (merge/absorb liveness sweep)
+    // -----------------------------------------------------------------
+
+    /// One flat bottom-up pass over the input arena: per-entry liveness
+    /// under a keep-everything prune, per-union emptiness, and a per-union
+    /// "subtree contains a dead entry" flag.
+    fn ensure_liveness(&mut self) {
+        if self.liveness.is_some() {
+            return;
+        }
+        let s = self.src;
+        let mut entry_alive = vec![true; s.entries.len()];
+        let mut union_empty = vec![false; s.unions.len()];
+        let mut subtree_dirty = vec![false; s.unions.len()];
+        for uid in (0..s.unions.len()).rev() {
+            let rec = s.unions[uid];
+            let kid_count = self.src_kid_counts[rec.node.index()];
+            let mut any_alive = false;
+            let mut dirty = false;
+            for e in rec.entries_start..rec.entries_start + rec.entries_len {
+                let entry = s.entries[e as usize];
+                let mut alive = true;
+                for k in 0..kid_count {
+                    let kid = s.kids[(entry.kids_start + k) as usize] as usize;
+                    if union_empty[kid] {
+                        alive = false;
+                    }
+                    dirty |= subtree_dirty[kid];
+                }
+                entry_alive[e as usize] = alive;
+                any_alive |= alive;
+                dirty |= !alive;
+            }
+            union_empty[uid] = !any_alive;
+            subtree_dirty[uid] = dirty;
+        }
+        self.liveness = Some(Liveness {
+            entry_alive,
+            subtree_dirty,
+        });
+    }
+
+    /// The overlay counterpart of `Store::retain_and_prune(keep = true)`:
+    /// drops entries whose product became empty, propagating upwards.  Clean
+    /// `Src` subtrees pass through untouched; only Mix nodes and dirty `Src`
+    /// regions are rebuilt.
+    fn prune(&mut self) {
+        self.ensure_liveness();
+        let roots = self.roots.clone();
+        self.roots = roots.into_iter().map(|r| self.prune_union(r).0).collect();
+    }
+
+    /// Prunes one virtual union; returns the pruned reference and whether it
+    /// came out empty.
+    fn prune_union(&mut self, v: VId) -> (VId, bool) {
+        if let Some(uid) = v.as_src() {
+            let uidx = uid as usize;
+            {
+                let live = self.liveness.as_ref().expect("liveness ensured");
+                if !live.subtree_dirty[uidx] {
+                    return (v, self.src.union_len(uid) == 0);
+                }
+            }
+            let rec = self.src.unions[uidx];
+            let kid_count = self.src_kid_counts[rec.node.index()];
+            let mut values = Vec::new();
+            let mut kids = Vec::new();
+            for i in 0..rec.entries_len {
+                let e = (rec.entries_start + i) as usize;
+                let alive = self
+                    .liveness
+                    .as_ref()
+                    .expect("liveness ensured")
+                    .entry_alive[e];
+                if !alive {
+                    continue;
+                }
+                let entry = self.src.entries[e];
+                values.push(entry.value);
+                for k in 0..kid_count {
+                    let kid_uid = self.src.kids[(entry.kids_start + k) as usize];
+                    let (kid, _) = self.prune_union(VId::src(kid_uid));
+                    kids.push(kid);
+                }
+            }
+            let empty = values.is_empty();
+            let out = self.push_mix(Mix {
+                node: rec.node,
+                kid_count,
+                values,
+                kids,
+            });
+            (out, empty)
+        } else {
+            let (node, kid_count, len) = {
+                let mix = &self.mixes[v.mix_index()];
+                (mix.node, mix.kid_count, mix.values.len() as u32)
+            };
+            let kc = kid_count as usize;
+            let mut values = Vec::with_capacity(len as usize);
+            let mut kids = Vec::with_capacity(len as usize * kc);
+            let mut pruned = Vec::with_capacity(kc);
+            for i in 0..len {
+                pruned.clear();
+                let mut alive = true;
+                for k in 0..kid_count {
+                    let kid = self.mixes[v.mix_index()].kids[(i * kid_count + k) as usize];
+                    let (pk, empty) = self.prune_union(kid);
+                    alive &= !empty;
+                    pruned.push(pk);
+                }
+                if alive {
+                    values.push(self.mixes[v.mix_index()].values[i as usize]);
+                    kids.extend_from_slice(&pruned);
+                }
+            }
+            let empty = values.is_empty();
+            let out = self.push_mix(Mix {
+                node,
+                kid_count,
+                values,
+                kids,
+            });
+            (out, empty)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Final emission
+    // -----------------------------------------------------------------
+
+    /// The single output pass: walks the overlay in root order and emits the
+    /// final arena in the exact `Store::freeze` layout through a
+    /// [`Rewriter`] — `Src` references become record-by-record copies,
+    /// `Mix` nodes emit their own headers, value blocks and kid runs.
+    fn into_store(self, src_tree: &FTree) -> Store {
+        let mut rw = Rewriter::new(self.src, src_tree);
+        let roots: Vec<u32> = self
+            .roots
+            .iter()
+            .map(|&r| emit_union(&mut rw, &self.mixes, r))
+            .collect();
+        rw.finish(roots)
+    }
+}
+
+/// Recursive emission of one virtual union (see [`Fusion::into_store`]).
+fn emit_union(rw: &mut Rewriter<'_>, mixes: &[Mix], v: VId) -> u32 {
+    if let Some(uid) = v.as_src() {
+        return rw.copy_union(uid);
+    }
+    let mix = &mixes[v.mix_index()];
+    let out = rw.begin_union_raw(mix.node, mix.values.len() as u32);
+    for &value in &mix.values {
+        rw.push_value(value);
+    }
+    let kc = mix.kid_count as usize;
+    for i in 0..mix.values.len() {
+        let mark = rw.mark();
+        for k in 0..kc {
+            let kid = emit_union(rw, mixes, mix.kids[i * kc + k]);
+            rw.push_kid(kid);
+        }
+        rw.end_entry(out, i as u32, mark);
+    }
+    out
+}
+
+/// The shared shape of the passes' entry-preserving union rebuilds: keep
+/// every entry of virtual union `$v` and re-emit its `$kid_count` kid slots
+/// through the `|$i, $k| -> VId` body (entry index and kid slot in scope),
+/// collecting the result into a new [`Mix`] over `$node`.  A macro rather
+/// than a closure-taking helper because the body must re-borrow the calling
+/// pass (`self`) mutably to recurse.
+macro_rules! rebuild_entries {
+    ($pass:expr, $v:expr, $node:expr, $kid_count:expr, |$i:ident, $k:ident| $kid_out:expr) => {{
+        let v = $v;
+        let kid_count: u32 = $kid_count;
+        let len = ($pass).fu.len(v);
+        let mut values = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            values.push(($pass).fu.value(v, i));
+        }
+        let mut kids = Vec::with_capacity((len as usize) * (kid_count as usize));
+        for $i in 0..len {
+            for $k in 0..kid_count {
+                let kid: VId = $kid_out;
+                kids.push(kid);
+            }
+        }
+        ($pass).fu.push_mix(Mix {
+            node: $node,
+            kid_count,
+            values,
+            kids,
+        })
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Push-up (and normalisation) on the overlay
+// ---------------------------------------------------------------------
+
+/// Overlay counterpart of `restructure::PushUpRewrite`: the `A`-union loses
+/// its `B` slot, each grandparent entry gains the lifted `B`-union (the copy
+/// under the first `A`-entry) as a new last kid slot.
+struct PushUpPass<'f, 'a> {
+    fu: &'f mut Fusion<'a>,
+    a: NodeId,
+    b: NodeId,
+    grandparent: Option<NodeId>,
+    /// Ancestors of `A` in the old tree (so including the grandparent).
+    on_path: BTreeSet<NodeId>,
+    pos_a_in_g: Option<u32>,
+    pos_b_in_a: u32,
+    /// Old kid positions of `A`'s remaining children, in new child order.
+    a_slots: Vec<u32>,
+}
+
+impl<'f, 'a> PushUpPass<'f, 'a> {
+    fn new(
+        fu: &'f mut Fusion<'a>,
+        old_tree: &FTree,
+        new_tree: &FTree,
+        a: NodeId,
+        b: NodeId,
+    ) -> Self {
+        let grandparent = old_tree.parent(a);
+        PushUpPass {
+            fu,
+            a,
+            b,
+            grandparent,
+            on_path: old_tree.ancestors(a).into_iter().collect(),
+            pos_a_in_g: grandparent.map(|g| child_pos(old_tree.children(g), a)),
+            pos_b_in_a: child_pos(old_tree.children(a), b),
+            a_slots: new_tree
+                .children(a)
+                .iter()
+                .map(|&c| child_pos(old_tree.children(a), c))
+                .collect(),
+        }
+    }
+
+    fn apply(mut self) {
+        let old_roots = self.fu.roots.clone();
+        let mut roots: Vec<VId> = old_roots.iter().map(|&r| self.emit(r)).collect();
+        if self.grandparent.is_none() {
+            // `B` became a root of the forest: lift its union out of the
+            // pre-op `A`-root union, appended after the existing roots.
+            let a_root = old_roots
+                .iter()
+                .copied()
+                .find(|&r| self.fu.node_of(r) == self.a)
+                .expect("validated representation: one root union per root node");
+            let lifted = self.emit_lifted(a_root);
+            roots.push(lifted);
+        }
+        self.fu.roots = roots;
+    }
+
+    fn emit(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        if node == self.a {
+            return self.emit_a(v);
+        }
+        if Some(node) == self.grandparent {
+            return self.emit_grandparent(v);
+        }
+        if !self.on_path.contains(&node) {
+            return v;
+        }
+        // A strict ancestor above the grandparent: child slots unchanged,
+        // the transform happens below.
+        let kid_count = self.fu.kid_count_of(v);
+        rebuild_entries!(self, v, node, kid_count, |i, k| {
+            let kid = self.fu.kid(v, i, k);
+            self.emit(kid)
+        })
+    }
+
+    /// The grandparent union: each entry gains the lifted `B`-union as a new
+    /// last kid slot.
+    fn emit_grandparent(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        let old_kid_count = self.fu.kid_count_of(v);
+        let pos_a = self.pos_a_in_g.expect("grandparent knows a's slot");
+        rebuild_entries!(self, v, node, old_kid_count + 1, |i, k| {
+            if k < old_kid_count {
+                let kid = self.fu.kid(v, i, k);
+                self.emit(kid)
+            } else {
+                let a_vid = self.fu.kid(v, i, pos_a);
+                self.emit_lifted(a_vid)
+            }
+        })
+    }
+
+    /// The `A`-union without its `B` slot (pure references — nothing below
+    /// the kept children changes).
+    fn emit_a(&mut self, v: VId) -> VId {
+        rebuild_entries!(self, v, self.a, self.a_slots.len() as u32, |i, k| self
+            .fu
+            .kid(v, i, self.a_slots[k as usize]))
+    }
+
+    /// The lifted `B`-union of one `A`-union: the copy under the first
+    /// `A`-entry, or an empty `B`-union if the `A`-union has no entries.
+    fn emit_lifted(&mut self, a_vid: VId) -> VId {
+        if self.fu.len(a_vid) == 0 {
+            return self.fu.push_mix(Mix {
+                node: self.b,
+                kid_count: 0,
+                values: Vec::new(),
+                kids: Vec::new(),
+            });
+        }
+        self.fu.kid(a_vid, 0, self.pos_b_in_a)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Swap on the overlay
+// ---------------------------------------------------------------------
+
+/// Overlay counterpart of `swap::SwapRewrite`: every `A`-union is regrouped
+/// by `B`-value with the same flat pair sort; kept children of `B` and the
+/// inner `A`-entries' subtrees become references.
+struct SwapPass<'f, 'a> {
+    fu: &'f mut Fusion<'a>,
+    a: NodeId,
+    b: NodeId,
+    on_path: BTreeSet<NodeId>,
+    old_a_children: Vec<NodeId>,
+    a_slots: Vec<(bool, u32)>,
+    b_slots: Vec<Option<u32>>,
+    path_slots: Vec<(NodeId, Vec<u32>)>,
+}
+
+impl<'f, 'a> SwapPass<'f, 'a> {
+    fn new(
+        fu: &'f mut Fusion<'a>,
+        old_tree: &FTree,
+        new_tree: &FTree,
+        outcome: &SwapOutcome,
+    ) -> Self {
+        let (a, b) = (outcome.old_parent, outcome.new_parent);
+        let moved_down: BTreeSet<NodeId> = outcome.moved_down.iter().copied().collect();
+        let old_a_children = old_tree.children(a).to_vec();
+        let old_b_children = old_tree.children(b).to_vec();
+
+        let a_slots = new_tree
+            .children(a)
+            .iter()
+            .map(|&d| {
+                if moved_down.contains(&d) {
+                    (true, child_pos(&old_b_children, d))
+                } else {
+                    (false, child_pos(&old_a_children, d))
+                }
+            })
+            .collect();
+        let b_slots = new_tree
+            .children(b)
+            .iter()
+            .map(|&c| {
+                if c == a {
+                    None
+                } else {
+                    Some(child_pos(&old_b_children, c))
+                }
+            })
+            .collect();
+        let path: Vec<NodeId> = old_tree.ancestors(a);
+        let path_slots = path
+            .iter()
+            .map(|&n| {
+                let old_children = old_tree.children(n);
+                let slots = new_tree
+                    .children(n)
+                    .iter()
+                    .map(|&c| child_pos(old_children, if c == b { a } else { c }))
+                    .collect();
+                (n, slots)
+            })
+            .collect();
+
+        SwapPass {
+            fu,
+            a,
+            b,
+            on_path: path.into_iter().collect(),
+            old_a_children,
+            a_slots,
+            b_slots,
+            path_slots,
+        }
+    }
+
+    fn apply(mut self) {
+        let old_roots = self.fu.roots.clone();
+        self.fu.roots = old_roots.iter().map(|&r| self.emit(r)).collect();
+    }
+
+    fn emit(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        if node == self.a {
+            return self.regroup(v);
+        }
+        if !self.on_path.contains(&node) {
+            return v;
+        }
+        // An ancestor of `A`: same entries, kid slots re-emitted in the new
+        // tree's child order.
+        let pi = self
+            .path_slots
+            .iter()
+            .position(|(n, _)| *n == node)
+            .expect("path nodes are precomputed");
+        let slots = self.path_slots[pi].1.clone();
+        rebuild_entries!(self, v, node, slots.len() as u32, |i, k| {
+            let kid = self.fu.kid(v, i, slots[k as usize]);
+            self.emit(kid)
+        })
+    }
+
+    /// Regroups one `A`-union into the corresponding `B`-union with the same
+    /// pair sort as the step-wise operator.
+    fn regroup(&mut self, a_vid: VId) -> VId {
+        let pos_b = child_pos(&self.old_a_children, self.b);
+        let a_len = self.fu.len(a_vid);
+        let mut pairs: Vec<(Value, u32, VId, u32)> = Vec::new();
+        for i in 0..a_len {
+            let b_vid = self.fu.kid(a_vid, i, pos_b);
+            for j in 0..self.fu.len(b_vid) {
+                pairs.push((self.fu.value(b_vid, j), i, b_vid, j));
+            }
+        }
+        // (b value, a entry) is unique per pair, so this reproduces the
+        // step-wise full-tuple sort order exactly.
+        pairs.sort_unstable_by_key(|p| (p.0, p.1));
+
+        let mut values = Vec::new();
+        let mut group_starts: Vec<u32> = Vec::new();
+        for (idx, p) in pairs.iter().enumerate() {
+            if idx == 0 || p.0 != pairs[idx - 1].0 {
+                values.push(p.0);
+                group_starts.push(idx as u32);
+            }
+        }
+        group_starts.push(pairs.len() as u32);
+
+        let kid_count = self.b_slots.len() as u32;
+        let mut kids = Vec::with_capacity(values.len() * self.b_slots.len());
+        for g in 0..values.len() {
+            let (start, end) = (group_starts[g], group_starts[g + 1]);
+            let (_, _a0, b_vid0, j0) = pairs[start as usize];
+            for slot in 0..self.b_slots.len() {
+                match self.b_slots[slot] {
+                    // A kept child of `B` (F_b): all copies under the
+                    // different a values are equal by independence, keep the
+                    // first pair's.
+                    Some(pos) => kids.push(self.fu.kid(b_vid0, j0, pos)),
+                    // The inner union over `A`.
+                    None => {
+                        let inner = self.emit_inner_a(a_vid, &pairs, start, end);
+                        kids.push(inner);
+                    }
+                }
+            }
+        }
+        self.fu.push_mix(Mix {
+            node: self.b,
+            kid_count,
+            values,
+            kids,
+        })
+    }
+
+    /// The inner `A`-union of one `B`-value: one entry per `(a, b)` pair,
+    /// with `E_a` referenced from the old `A`-entry and `G_ab` from the
+    /// pair's `B`-entry.
+    fn emit_inner_a(
+        &mut self,
+        a_vid: VId,
+        pairs: &[(Value, u32, VId, u32)],
+        start: u32,
+        end: u32,
+    ) -> VId {
+        let mut values = Vec::with_capacity((end - start) as usize);
+        for p in start..end {
+            values.push(self.fu.value(a_vid, pairs[p as usize].1));
+        }
+        let mut kids = Vec::with_capacity(values.len() * self.a_slots.len());
+        for p in start..end {
+            let (_, i, b_vid, j) = pairs[p as usize];
+            for slot in 0..self.a_slots.len() {
+                let (from_b, pos) = self.a_slots[slot];
+                kids.push(if from_b {
+                    self.fu.kid(b_vid, j, pos)
+                } else {
+                    self.fu.kid(a_vid, i, pos)
+                });
+            }
+        }
+        self.fu.push_mix(Mix {
+            node: self.a,
+            kid_count: self.a_slots.len() as u32,
+            values,
+            kids,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merge on the overlay
+// ---------------------------------------------------------------------
+
+/// Overlay counterpart of `merge::MergeRewrite`: in every product context
+/// the two sibling unions sort-merge join into one union over `a`; the
+/// folded prune afterwards removes entries whose product became empty.
+struct MergePass<'f, 'a> {
+    fu: &'f mut Fusion<'a>,
+    a: NodeId,
+    parent: Option<NodeId>,
+    on_path: BTreeSet<NodeId>,
+    pos_a_in_p: Option<u32>,
+    pos_b_in_p: Option<u32>,
+    parent_slots: Vec<u32>,
+    merged_slots: Vec<(bool, u32)>,
+}
+
+impl<'f, 'a> MergePass<'f, 'a> {
+    fn new(
+        fu: &'f mut Fusion<'a>,
+        old_tree: &FTree,
+        new_tree: &FTree,
+        a: NodeId,
+        b: NodeId,
+        parent: Option<NodeId>,
+    ) -> Self {
+        MergePass {
+            fu,
+            a,
+            parent,
+            on_path: old_tree.ancestors(a).into_iter().collect(),
+            pos_a_in_p: parent.map(|p| child_pos(old_tree.children(p), a)),
+            pos_b_in_p: parent.map(|p| child_pos(old_tree.children(p), b)),
+            parent_slots: parent
+                .map(|p| {
+                    new_tree
+                        .children(p)
+                        .iter()
+                        .map(|&c| child_pos(old_tree.children(p), c))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            merged_slots: new_tree
+                .children(a)
+                .iter()
+                .map(|&c| {
+                    if old_tree.children(b).contains(&c) {
+                        (true, child_pos(old_tree.children(b), c))
+                    } else {
+                        (false, child_pos(old_tree.children(a), c))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn apply(mut self, b: NodeId) {
+        let old_roots = self.fu.roots.clone();
+        let roots: Vec<VId> = match self.parent {
+            Some(_) => old_roots.iter().map(|&r| self.emit(r)).collect(),
+            None => {
+                // Both unions sit in the root product: the merged union
+                // replaces them at the end of the root list.
+                let root_of = |fu: &Fusion<'_>, node: NodeId| {
+                    old_roots
+                        .iter()
+                        .copied()
+                        .find(|&r| fu.node_of(r) == node)
+                        .expect("validated representation: one root union per root node")
+                };
+                let a_root = root_of(self.fu, self.a);
+                let b_root = root_of(self.fu, b);
+                let mut roots: Vec<VId> = old_roots
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != a_root && r != b_root)
+                    .collect();
+                roots.push(self.merge_unions(a_root, b_root));
+                roots
+            }
+        };
+        self.fu.roots = roots;
+    }
+
+    fn emit(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        if Some(node) == self.parent {
+            return self.emit_parent(v);
+        }
+        if !self.on_path.contains(&node) {
+            return v;
+        }
+        // A strict ancestor above the parent.
+        let kid_count = self.fu.kid_count_of(v);
+        rebuild_entries!(self, v, node, kid_count, |i, k| {
+            let kid = self.fu.kid(v, i, k);
+            self.emit(kid)
+        })
+    }
+
+    /// The parent union: each entry's `A` and `B` kid slots fuse into one.
+    fn emit_parent(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        let pos_a = self.pos_a_in_p.expect("parent knows a's slot");
+        let pos_b = self.pos_b_in_p.expect("parent knows b's slot");
+        rebuild_entries!(self, v, node, self.parent_slots.len() as u32, |i, k| {
+            let pos = self.parent_slots[k as usize];
+            if pos == pos_a {
+                let (av, bv) = (self.fu.kid(v, i, pos_a), self.fu.kid(v, i, pos_b));
+                self.merge_unions(av, bv)
+            } else {
+                self.fu.kid(v, i, pos)
+            }
+        })
+    }
+
+    /// Sort-merge join of two sibling unions into one union over `a`.
+    fn merge_unions(&mut self, a_vid: VId, b_vid: VId) -> VId {
+        let (a_len, b_len) = (self.fu.len(a_vid), self.fu.len(b_vid));
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let (mut i, mut j) = (0u32, 0u32);
+        while i < a_len && j < b_len {
+            match self.fu.value(a_vid, i).cmp(&self.fu.value(b_vid, j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    pairs.push((i, j));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let mut values = Vec::with_capacity(pairs.len());
+        for &(ai, _) in &pairs {
+            values.push(self.fu.value(a_vid, ai));
+        }
+        let mut kids = Vec::with_capacity(pairs.len() * self.merged_slots.len());
+        for &(ai, bi) in &pairs {
+            for s in 0..self.merged_slots.len() {
+                let (from_b, pos) = self.merged_slots[s];
+                kids.push(if from_b {
+                    self.fu.kid(b_vid, bi, pos)
+                } else {
+                    self.fu.kid(a_vid, ai, pos)
+                });
+            }
+        }
+        self.fu.push_mix(Mix {
+            node: self.a,
+            kid_count: self.merged_slots.len() as u32,
+            values,
+            kids,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Absorb on the overlay
+// ---------------------------------------------------------------------
+
+/// Overlay counterpart of `absorb::AbsorbRewrite`: the walk carries the
+/// enclosing `A`-value, each `B`-parent union keeps only the entries whose
+/// `B`-union has the context value (binary search) and splices the matched
+/// entry's kid subtrees in; the folded prune cascades the removals upwards.
+struct AbsorbPass<'f, 'a> {
+    fu: &'f mut Fusion<'a>,
+    a: NodeId,
+    b_parent: NodeId,
+    on_path: BTreeSet<NodeId>,
+    pos_b: u32,
+    spliced_slots: Vec<(bool, u32)>,
+}
+
+impl<'f, 'a> AbsorbPass<'f, 'a> {
+    fn new(
+        fu: &'f mut Fusion<'a>,
+        old_tree: &FTree,
+        new_tree: &FTree,
+        a: NodeId,
+        b: NodeId,
+        b_parent: NodeId,
+    ) -> Self {
+        let old_b_children = old_tree.children(b);
+        AbsorbPass {
+            fu,
+            a,
+            b_parent,
+            on_path: old_tree.ancestors(b).into_iter().collect(),
+            pos_b: child_pos(old_tree.children(b_parent), b),
+            spliced_slots: new_tree
+                .children(b_parent)
+                .iter()
+                .map(|&c| {
+                    if old_b_children.contains(&c) {
+                        (true, child_pos(old_b_children, c))
+                    } else {
+                        (false, child_pos(old_tree.children(b_parent), c))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn apply(mut self) {
+        let old_roots = self.fu.roots.clone();
+        self.fu.roots = old_roots.iter().map(|&r| self.emit(r, None)).collect();
+    }
+
+    fn emit(&mut self, v: VId, ctx: Option<Value>) -> VId {
+        let node = self.fu.node_of(v);
+        if node == self.b_parent {
+            return self.emit_spliced(v, ctx);
+        }
+        if node != self.a && !self.on_path.contains(&node) {
+            return v;
+        }
+        // On the root-to-B path (possibly the A-union itself, which sets the
+        // context value for its subtree).
+        let sets_ctx = node == self.a;
+        let kid_count = self.fu.kid_count_of(v);
+        rebuild_entries!(self, v, node, kid_count, |i, k| {
+            let entry_ctx = if sets_ctx {
+                Some(self.fu.value(v, i))
+            } else {
+                ctx
+            };
+            let kid = self.fu.kid(v, i, k);
+            self.emit(kid, entry_ctx)
+        })
+    }
+
+    /// The `B`-parent union: entries restricted to those whose `B`-union
+    /// holds the context value, the matched entry's kid subtrees spliced in.
+    fn emit_spliced(&mut self, v: VId, ctx: Option<Value>) -> VId {
+        let node = self.fu.node_of(v);
+        let sets_ctx = node == self.a;
+        let len = self.fu.len(v);
+        let mut matches: Vec<(u32, VId, u32)> = Vec::new();
+        for i in 0..len {
+            let value = if sets_ctx {
+                self.fu.value(v, i)
+            } else {
+                ctx.expect("the B-parent lies inside an A-entry subtree")
+            };
+            let b_vid = self.fu.kid(v, i, self.pos_b);
+            if let Some(j) = self.fu.find_value(b_vid, value) {
+                matches.push((i, b_vid, j));
+            }
+        }
+        let mut values = Vec::with_capacity(matches.len());
+        for &(i, _, _) in &matches {
+            values.push(self.fu.value(v, i));
+        }
+        let mut kids = Vec::with_capacity(matches.len() * self.spliced_slots.len());
+        for &(i, b_vid, j) in &matches {
+            for s in 0..self.spliced_slots.len() {
+                let (from_b, pos) = self.spliced_slots[s];
+                kids.push(if from_b {
+                    self.fu.kid(b_vid, j, pos)
+                } else {
+                    self.fu.kid(v, i, pos)
+                });
+            }
+        }
+        self.fu.push_mix(Mix {
+            node,
+            kid_count: self.spliced_slots.len() as u32,
+            values,
+            kids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize;
+    use crate::node::{Entry, Union};
+    use crate::ops;
+    use fdb_common::AttrId;
+    use fdb_ftree::DepEdge;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// Applies the segment step-wise through the PR 2 operators.
+    fn stepwise(rep: &mut FRep, steps: &[FusedOp]) {
+        for op in steps {
+            match *op {
+                FusedOp::PushUp(b) => ops::push_up(rep, b).unwrap(),
+                FusedOp::Normalise => {
+                    ops::normalise(rep).unwrap();
+                }
+                FusedOp::Swap(b) => {
+                    ops::swap(rep, b).unwrap();
+                }
+                FusedOp::Merge(a, b) => {
+                    ops::merge(rep, a, b).unwrap();
+                }
+                FusedOp::Absorb(a, b) => {
+                    ops::absorb(rep, a, b).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Fused and step-wise execution must agree bit for bit on the arena.
+    fn check(rep: &FRep, steps: &[FusedOp], context: &str) {
+        let mut fused = rep.clone();
+        let mut reference = rep.clone();
+        execute_fused(&mut fused, steps).unwrap_or_else(|e| panic!("{context}: fused: {e:?}"));
+        stepwise(&mut reference, steps);
+        fused
+            .validate()
+            .unwrap_or_else(|e| panic!("{context}: fused result invalid: {e:?}"));
+        assert!(
+            fused.store_identical(&reference),
+            "{context}: fused and step-wise stores diverge\nfused:\n{}\nstep-wise:\n{}",
+            fused.dump_store(),
+            reference.dump_store()
+        );
+        assert_eq!(
+            fused.tree().canonical_key(),
+            reference.tree().canonical_key(),
+            "{context}: trees diverge"
+        );
+    }
+
+    /// A{0} → B{1} → (C{2}, D{3}) with C dependent on A and D independent —
+    /// the general swap shape with both a `G_ab` and an `F_b` part.
+    fn swap_shape() -> (FRep, NodeId, NodeId) {
+        let edges = vec![
+            DepEdge::new("RAB", attrs(&[0, 1]), 3),
+            DepEdge::new("RAC", attrs(&[0, 2]), 3),
+            DepEdge::new("RBD", attrs(&[1, 3]), 3),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+        let d = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+        let b_entry = |bv: u64, cv: u64, dv: u64| Entry {
+            value: Value::new(bv),
+            children: vec![
+                Union::new(c, vec![Entry::leaf(Value::new(cv))]),
+                Union::new(d, vec![Entry::leaf(Value::new(dv))]),
+            ],
+        };
+        // C is a function of A alone (it must not vary with B, or the
+        // independence premise of the swap operators would not hold).
+        let a_union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(
+                        b,
+                        vec![b_entry(10, 100, 7), b_entry(20, 100, 8)],
+                    )],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![b_entry(10, 300, 7)])],
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        (rep, a, b)
+    }
+
+    /// Two joined chains with a merge-able pair of roots after a product.
+    fn product_shape() -> (FRep, NodeId, NodeId) {
+        let side = |root_attr: u32, child_attr: u32, name: &str, rows: &[(u64, &[u64])]| {
+            let edges = vec![DepEdge::new(
+                name,
+                attrs(&[root_attr, child_attr]),
+                rows.len() as u64,
+            )];
+            let mut tree = FTree::new(edges);
+            let root = tree.add_node(attrs(&[root_attr]), None).unwrap();
+            let child = tree.add_node(attrs(&[child_attr]), Some(root)).unwrap();
+            let entries = rows
+                .iter()
+                .map(|&(v, kids)| Entry {
+                    value: Value::new(v),
+                    children: vec![Union::new(
+                        child,
+                        kids.iter().map(|&k| Entry::leaf(Value::new(k))).collect(),
+                    )],
+                })
+                .collect();
+            FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap()
+        };
+        let left = side(0, 1, "R", &[(1, &[10]), (2, &[20, 21]), (3, &[30])]);
+        let right = side(2, 3, "S", &[(2, &[77]), (3, &[88, 99]), (4, &[11])]);
+        let rep = ops::product(left, right).unwrap();
+        let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        (rep, a, b)
+    }
+
+    #[test]
+    fn fused_single_swap_matches_stepwise() {
+        let (rep, _, b) = swap_shape();
+        check(&rep, &[FusedOp::Swap(b)], "single swap");
+    }
+
+    #[test]
+    fn fused_swap_cycle_matches_stepwise() {
+        let (rep, a, b) = swap_shape();
+        // Swap B above A, then A back above B, then B up again: three full
+        // regroupings whose intermediates the fusion never materialises.
+        check(
+            &rep,
+            &[FusedOp::Swap(b), FusedOp::Swap(a), FusedOp::Swap(b)],
+            "swap cycle",
+        );
+        // The relation is preserved.
+        let mut fused = rep.clone();
+        let before = materialize(&rep).unwrap().tuple_set();
+        execute_fused(&mut fused, &[FusedOp::Swap(b), FusedOp::Swap(a)]).unwrap();
+        assert_eq!(materialize(&fused).unwrap().tuple_set(), before);
+    }
+
+    #[test]
+    fn fused_merge_then_swap_matches_stepwise() {
+        let (rep, a, b) = product_shape();
+        let child = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        check(
+            &rep,
+            &[
+                FusedOp::Merge(a, b),
+                FusedOp::Swap(child),
+                FusedOp::Normalise,
+            ],
+            "merge, swap, normalise",
+        );
+    }
+
+    #[test]
+    fn fused_absorb_with_trailing_normalise_matches_stepwise() {
+        // Chain A{0} → B{1} → C{2}; absorbing C into A triggers the folded
+        // prune and the replayed normalisation.
+        let edges = vec![
+            DepEdge::new("RAB", attrs(&[0, 1]), 4),
+            DepEdge::new("RBC", attrs(&[1, 2]), 4),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+        let b_entry = |bv: u64, cs: &[u64]| Entry {
+            value: Value::new(bv),
+            children: vec![Union::new(
+                c,
+                cs.iter().map(|&v| Entry::leaf(Value::new(v))).collect(),
+            )],
+        };
+        let a_union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(b, vec![b_entry(10, &[1, 3]), b_entry(11, &[2])])],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![b_entry(10, &[1, 3])])],
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![a_union]).unwrap();
+        check(&rep, &[FusedOp::Absorb(a, c)], "absorb");
+        check(
+            &rep,
+            &[FusedOp::Absorb(a, c), FusedOp::Normalise],
+            "absorb then redundant normalise",
+        );
+    }
+
+    #[test]
+    fn fused_push_up_run_matches_stepwise() {
+        // C{2} → A{0} → B{1} with B independent of both: normalisation lifts
+        // B twice (to C, then out of C), all folded into one emission.
+        let edges = vec![
+            DepEdge::new("RCA", attrs(&[2, 0]), 2),
+            DepEdge::new("SB", attrs(&[1]), 1),
+        ];
+        let mut tree = FTree::new(edges);
+        let c = tree.add_node(attrs(&[2]), None).unwrap();
+        let a = tree.add_node(attrs(&[0]), Some(c)).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let make_b = || Union::new(b, vec![Entry::leaf(Value::new(9))]);
+        let make_a = |vals: &[u64]| {
+            Union::new(
+                a,
+                vals.iter()
+                    .map(|&v| Entry {
+                        value: Value::new(v),
+                        children: vec![make_b()],
+                    })
+                    .collect(),
+            )
+        };
+        let c_union = Union::new(
+            c,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![make_a(&[10, 11])],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![make_a(&[12])],
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![c_union]).unwrap();
+        check(&rep, &[FusedOp::PushUp(b)], "one push-up");
+        check(&rep, &[FusedOp::Normalise], "normalisation run");
+    }
+
+    #[test]
+    fn fused_merge_with_empty_result_matches_stepwise() {
+        let side = |root_attr: u32, child_attr: u32, name: &str, v: u64| {
+            let edges = vec![DepEdge::new(name, attrs(&[root_attr, child_attr]), 1)];
+            let mut tree = FTree::new(edges);
+            let root = tree.add_node(attrs(&[root_attr]), None).unwrap();
+            let child = tree.add_node(attrs(&[child_attr]), Some(root)).unwrap();
+            FRep::from_parts(
+                tree,
+                vec![Union::new(
+                    root,
+                    vec![Entry {
+                        value: Value::new(v),
+                        children: vec![Union::new(child, vec![Entry::leaf(Value::new(v * 10))])],
+                    }],
+                )],
+            )
+            .unwrap()
+        };
+        let rep = ops::product(side(0, 1, "R", 1), side(2, 3, "S", 2)).unwrap();
+        let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        // Disjoint value sets: the merged union is empty, everything prunes.
+        check(&rep, &[FusedOp::Merge(a, b)], "merge to empty");
+        let mut fused = rep.clone();
+        execute_fused(&mut fused, &[FusedOp::Merge(a, b)]).unwrap();
+        assert!(fused.represents_empty());
+    }
+
+    #[test]
+    fn failing_segment_leaves_the_representation_untouched() {
+        let (rep, a, _) = swap_shape();
+        let mut fused = rep.clone();
+        // Swapping a root is invalid; the error must surface before any data
+        // is modified.
+        assert!(execute_fused(&mut fused, &[FusedOp::Swap(a)]).is_err());
+        assert!(fused.store_identical(&rep));
+    }
+
+    #[test]
+    fn empty_segment_is_identity() {
+        let (rep, _, _) = swap_shape();
+        let mut fused = rep.clone();
+        execute_fused(&mut fused, &[]).unwrap();
+        assert!(fused.store_identical(&rep));
+    }
+}

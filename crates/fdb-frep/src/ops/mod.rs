@@ -34,6 +34,14 @@
 //! [`oracle`] as the test and benchmark oracle — the rewriters reproduce the
 //! freeze layout exactly, so equivalence tests compare stores bit for bit.
 //!
+//! On top of the per-operator passes, [`fuse`] compiles a *run* of
+//! structural operators into a single arena pass: the f-tree transforms are
+//! simulated up front, each step rewrites a lightweight overlay of
+//! references into the input arena, and one final emission produces the
+//! freeze-layout output — a k-step segment pays one full copy instead of k.
+//! `fdb-plan` routes every multi-step structural segment of an f-plan
+//! through it.
+//!
 //! All operators preserve the invariants of [`crate::FRep`]: values inside
 //! every union stay sorted and distinct, every entry carries one child union
 //! per f-tree child, the path constraint holds, and (where the paper
@@ -42,6 +50,7 @@
 //! before it is installed.
 
 pub mod absorb;
+pub mod fuse;
 pub mod merge;
 #[doc(hidden)]
 pub mod oracle;
@@ -52,6 +61,7 @@ pub mod select;
 pub mod swap;
 
 pub use absorb::absorb;
+pub use fuse::{execute_fused, FusedOp};
 pub use merge::merge;
 pub use product::product;
 pub use project::project;

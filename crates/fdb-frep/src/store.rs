@@ -366,6 +366,21 @@ fn emit_pruned(rw: &mut Rewriter<'_>, entry_alive: &[bool], uid: u32) -> u32 {
     out
 }
 
+/// Child counts of every node of `tree`, indexed by node index — the flat
+/// lookup table both the [`Rewriter`] and the fused-execution overlay
+/// ([`crate::ops::fuse`]) walk instead of querying the tree per union.
+pub(crate) fn kid_count_table(tree: &FTree) -> Vec<u32> {
+    let mut kid_counts = Vec::new();
+    for node in tree.node_ids() {
+        let idx = node.index();
+        if idx >= kid_counts.len() {
+            kid_counts.resize(idx + 1, 0);
+        }
+        kid_counts[idx] = tree.children(node).len() as u32;
+    }
+    kid_counts
+}
+
 /// Emits a new arena from an existing one in the exact layout
 /// [`Store::freeze`] produces: union headers in depth-first preorder, the
 /// entry records of one union pushed contiguously at the union's visit, and
@@ -390,18 +405,20 @@ pub(crate) struct Rewriter<'a> {
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter reading from `src`, whose nesting structure is
     /// described by `src_tree`.
+    ///
+    /// The output arenas are pre-reserved from the input arena's sizes: most
+    /// rewrites shrink the representation or keep it the same size, so the
+    /// input lengths are a good capacity hint (not a hard bound — a swap can
+    /// grow the arena) and steady-state emission performs no re-allocation.
     pub(crate) fn new(src: &'a Store, src_tree: &FTree) -> Rewriter<'a> {
-        let mut kid_counts = Vec::new();
-        for node in src_tree.node_ids() {
-            let idx = node.index();
-            if idx >= kid_counts.len() {
-                kid_counts.resize(idx + 1, 0);
-            }
-            kid_counts[idx] = src_tree.children(node).len() as u32;
-        }
+        let kid_counts = kid_count_table(src_tree);
+        let mut out = Store::default();
+        out.unions.reserve(src.unions.len());
+        out.entries.reserve(src.entries.len());
+        out.kids.reserve(src.kids.len());
         Rewriter {
             src,
-            out: Store::default(),
+            out,
             scratch: Vec::new(),
             kid_counts,
         }

@@ -5,8 +5,24 @@
 //! same plan can be *simulated* on an f-tree alone (used by the optimisers
 //! to cost candidate plans without touching data) or *executed* on an
 //! f-representation (which transforms both the data and its tree).
+//!
+//! # Fused execution
+//!
+//! [`FPlan::execute`] does not run the operators one at a time.  The op list
+//! is split into *segments* at fusion barriers — selections with constants
+//! and projections, whose data-level effect is value-dependent — and every
+//! multi-step run of structural operators between two barriers executes as
+//! a **single arena pass** through [`fdb_frep::ops::fuse`], materialising no
+//! intermediate arenas.  Before segmentation the plan is peephole-simplified
+//! against a simulated f-tree ([`FPlan::simplified`]): normalisations of an
+//! already-normalised tree (e.g. the `Normalise` after an `Absorb`, which
+//! normalises internally) and identity projections are data no-ops and are
+//! dropped.  The pre-fusion operator-at-a-time path survives as
+//! [`FPlan::execute_stepwise`] — the oracle the randomized equivalence suite
+//! compares fused execution against, bit for bit.
 
 use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_frep::ops::FusedOp;
 use fdb_frep::{ops, FRep};
 use fdb_ftree::{FTree, NodeId};
 use std::collections::BTreeSet;
@@ -115,6 +131,19 @@ impl FPlanOp {
             FPlanOp::Project(keep) => ops::project(rep, keep),
         }
     }
+
+    /// The fusable-step form of this operator, or `None` for a fusion
+    /// barrier (selections with constants and projections).
+    pub fn as_fused(&self) -> Option<FusedOp> {
+        match self {
+            FPlanOp::PushUp(n) => Some(FusedOp::PushUp(*n)),
+            FPlanOp::Normalise => Some(FusedOp::Normalise),
+            FPlanOp::Swap(n) => Some(FusedOp::Swap(*n)),
+            FPlanOp::Merge(a, b) => Some(FusedOp::Merge(*a, *b)),
+            FPlanOp::Absorb(a, b) => Some(FusedOp::Absorb(*a, *b)),
+            FPlanOp::SelectConst { .. } | FPlanOp::Project(_) => None,
+        }
+    }
 }
 
 /// A sequence of f-plan operators.
@@ -179,12 +208,132 @@ impl FPlan {
     }
 
     /// Executes the plan on the representation, transforming it in place.
+    ///
+    /// The plan is peephole-simplified ([`FPlan::simplified`]) and split into
+    /// segments at fusion barriers; every structural segment that would pay
+    /// more than one arena pass on the step-wise path (two or more steps, or
+    /// a single internally multi-pass normalise/absorb) runs as one fused
+    /// pass.  The output arena is bit-for-bit identical to
+    /// [`FPlan::execute_stepwise`]; the only observable difference is on
+    /// error, where a failing fused segment leaves the representation at the
+    /// segment boundary instead of at the failing operator.
     pub fn execute(&self, rep: &mut FRep) -> Result<()> {
+        self.simplified(rep.tree()).execute_presimplified(rep)
+    }
+
+    /// The segmentation half of [`FPlan::execute`], without the peephole
+    /// pass — for callers that already hold a simplified plan (the engine
+    /// simplifies once, reads [`FPlan::fused_segment_count`] off it for its
+    /// stats, then executes it through this).
+    pub fn execute_presimplified(&self, rep: &mut FRep) -> Result<()> {
+        let mut segment: Vec<FusedOp> = Vec::new();
+        for op in &self.ops {
+            match op.as_fused() {
+                Some(fused) => segment.push(fused),
+                None => {
+                    flush_segment(rep, &mut segment)?;
+                    op.execute(rep)?;
+                }
+            }
+        }
+        flush_segment(rep, &mut segment)
+    }
+
+    /// Executes the plan operator by operator — the pre-fusion PR 2 path,
+    /// kept as the oracle for the fused executor's equivalence tests and
+    /// benchmarks.
+    pub fn execute_stepwise(&self, rep: &mut FRep) -> Result<()> {
         for op in &self.ops {
             op.execute(rep)?;
         }
         Ok(())
     }
+
+    /// Peephole simplification against a simulated f-tree: drops operators
+    /// whose data-level effect is the identity — `Normalise` when the tree
+    /// is already normalised at that point of the plan (so consecutive
+    /// normalisations, and the common `Absorb; Normalise` double
+    /// normalisation, collapse) and projections that keep every attribute.
+    /// If simulation fails at some operator, that operator and everything
+    /// after it are kept verbatim so execution reports the error faithfully.
+    pub fn simplified(&self, tree: &FTree) -> FPlan {
+        let mut cur = tree.clone();
+        let mut out = Vec::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            let keep = match op {
+                FPlanOp::Normalise => {
+                    let mut probe = cur.clone();
+                    !probe.normalise().is_empty()
+                }
+                FPlanOp::Project(keep_attrs) => {
+                    cur.all_attrs().difference(keep_attrs).next().is_some()
+                }
+                _ => true,
+            };
+            if !keep {
+                continue;
+            }
+            if op.apply_to_tree(&mut cur).is_err() {
+                // Simulation failed: stop simplifying here so execution
+                // surfaces the same error at the same operator.
+                out.extend(self.ops[i..].iter().cloned());
+                return FPlan { ops: out };
+            }
+            out.push(op.clone());
+        }
+        FPlan { ops: out }
+    }
+
+    /// Number of multi-step structural segments this op list fuses into
+    /// single arena passes.  Counted on the plan as given; since
+    /// [`FPlan::execute`] simplifies first, call this on
+    /// [`FPlan::simplified`] output for the exact executed count.
+    pub fn fused_segment_count(&self) -> usize {
+        let mut count = 0;
+        let mut run: Vec<FusedOp> = Vec::new();
+        for op in &self.ops {
+            match op.as_fused() {
+                Some(fused) => run.push(fused),
+                None => {
+                    count += usize::from(segment_fuses(&run));
+                    run.clear();
+                }
+            }
+        }
+        count + usize::from(segment_fuses(&run))
+    }
+}
+
+/// The fusion criterion, shared between execution ([`flush_segment`]) and
+/// the [`FPlan::fused_segment_count`] stat: a structural run executes as one
+/// fused pass when the step-wise path would pay more than one arena pass —
+/// two or more steps, or a single internally multi-pass normalise/absorb.
+fn segment_fuses(segment: &[FusedOp]) -> bool {
+    segment.len() >= 2
+        || matches!(
+            segment.first(),
+            Some(FusedOp::Normalise | FusedOp::Absorb(_, _))
+        )
+}
+
+/// Executes and clears a pending structural segment: fused when
+/// [`segment_fuses`] says so, as the single step-wise operator otherwise.
+fn flush_segment(rep: &mut FRep, segment: &mut Vec<FusedOp>) -> Result<()> {
+    if segment.is_empty() {
+        return Ok(());
+    }
+    let result = if segment_fuses(segment) {
+        ops::execute_fused(rep, segment)
+    } else {
+        match segment[0] {
+            FusedOp::PushUp(n) => ops::push_up(rep, n),
+            FusedOp::Swap(n) => ops::swap(rep, n).map(|_| ()),
+            FusedOp::Merge(a, b) => ops::merge(rep, a, b).map(|_| ()),
+            FusedOp::Normalise | FusedOp::Absorb(_, _) => unreachable!("multi-pass handled above"),
+        }
+    };
+    segment.clear();
+    result
 }
 
 impl fmt::Display for FPlan {
@@ -293,5 +442,104 @@ mod tests {
         assert!(plan.is_empty());
         let final_tree = plan.final_tree(rep.tree()).unwrap();
         assert_eq!(final_tree.canonical_key(), rep.tree().canonical_key());
+    }
+
+    #[test]
+    fn fused_execution_matches_the_stepwise_oracle() {
+        let rep = sample_rep();
+        let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let supplier = rep.tree().node_of_attr(AttrId(3)).unwrap();
+        // A multi-step structural segment followed by a barrier and another
+        // structural step.
+        let plan = FPlan::new(vec![
+            FPlanOp::Swap(oid),
+            FPlanOp::Normalise,
+            FPlanOp::SelectConst {
+                attr: AttrId(3),
+                op: ComparisonOp::Ge,
+                value: Value::new(7),
+            },
+            FPlanOp::Swap(supplier),
+        ]);
+        let mut fused = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        fused.validate().unwrap();
+        assert!(
+            fused.store_identical(&stepwise),
+            "fused:\n{}\nstepwise:\n{}",
+            fused.dump_store(),
+            stepwise.dump_store()
+        );
+    }
+
+    #[test]
+    fn peephole_drops_redundant_normalise_and_identity_projection() {
+        let rep = sample_rep();
+        let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let item = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let supplier_node = rep.tree().node_of_attr(AttrId(3)).unwrap();
+        let plan = FPlan::new(vec![
+            // The sample tree is normalised: an immediate Normalise is a
+            // data no-op.
+            FPlanOp::Normalise,
+            FPlanOp::Swap(oid),
+            // Absorb normalises internally; the trailing Normalise is
+            // redundant.
+            FPlanOp::Absorb(oid, item),
+            FPlanOp::Normalise,
+            // Identity projection keeps every attribute.
+            FPlanOp::Project(attrs(&[0, 1, 2, 3])),
+            FPlanOp::Project(attrs(&[1, 3])),
+        ]);
+        let simplified = plan.simplified(rep.tree());
+        assert_eq!(
+            simplified.ops,
+            vec![
+                FPlanOp::Swap(oid),
+                FPlanOp::Absorb(oid, item),
+                FPlanOp::Project(attrs(&[1, 3])),
+            ]
+        );
+        // Same result either way, bit for bit.
+        let mut fused = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        assert!(fused.store_identical(&stepwise));
+        let _ = supplier_node;
+    }
+
+    #[test]
+    fn peephole_keeps_failing_suffixes_verbatim() {
+        let rep = sample_rep();
+        let item = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        // Swapping the root fails; the invalid op and its suffix survive
+        // simplification so execution reports the error.
+        let plan = FPlan::new(vec![FPlanOp::Swap(item), FPlanOp::Normalise]);
+        let simplified = plan.simplified(rep.tree());
+        assert_eq!(simplified.ops, plan.ops);
+        let mut rep = rep;
+        assert!(plan.execute(&mut rep).is_err());
+    }
+
+    #[test]
+    fn fused_segment_count_reflects_barriers() {
+        let oid = NodeId(1);
+        let plan = FPlan::new(vec![
+            FPlanOp::Swap(oid),
+            FPlanOp::Normalise, // segment 1 (2 steps)
+            FPlanOp::SelectConst {
+                attr: AttrId(3),
+                op: ComparisonOp::Eq,
+                value: Value::new(7),
+            },
+            FPlanOp::Swap(oid), // single swap: not a fused segment
+            FPlanOp::Project(attrs(&[1])),
+            FPlanOp::Normalise, // single but internally multi-pass: fused
+        ]);
+        assert_eq!(plan.fused_segment_count(), 2);
+        assert_eq!(FPlan::empty().fused_segment_count(), 0);
     }
 }

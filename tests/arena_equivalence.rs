@@ -412,3 +412,229 @@ fn selections_preserve_the_equivalence() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// PR 3: fused plan execution vs the step-wise path
+// ---------------------------------------------------------------------
+
+use fdb::plan::{FPlan, FPlanOp};
+
+/// Generates a random valid multi-op plan by simulating candidate operators
+/// on the f-tree: structural steps (swap, push-up, merge, absorb, normalise)
+/// plus occasional barriers (selections with constants, projections), so the
+/// plan exercises both fused segments and segment boundaries.
+fn random_plan(rng: &mut StdRng, tree: &fdb::ftree::FTree, steps: usize, barriers: bool) -> FPlan {
+    let mut cur = tree.clone();
+    let mut ops: Vec<FPlanOp> = Vec::new();
+    for _ in 0..steps {
+        let nodes: Vec<NodeId> = cur.node_ids();
+        let mut candidates: Vec<FPlanOp> = Vec::new();
+        for &n in &nodes {
+            if cur.parent(n).is_some() {
+                candidates.push(FPlanOp::Swap(n));
+            }
+            if cur.can_push_up(n) {
+                candidates.push(FPlanOp::PushUp(n));
+            }
+        }
+        for &x in &nodes {
+            for &y in &nodes {
+                if x != y && cur.are_siblings(x, y) {
+                    candidates.push(FPlanOp::Merge(x, y));
+                }
+                if cur.is_ancestor(x, y) {
+                    candidates.push(FPlanOp::Absorb(x, y));
+                }
+            }
+        }
+        candidates.push(FPlanOp::Normalise);
+        if barriers {
+            let attrs: Vec<AttrId> = cur.all_attrs().into_iter().collect();
+            if !attrs.is_empty() {
+                let attr = attrs[rng.gen_range(0..attrs.len())];
+                let op = [ComparisonOp::Ge, ComparisonOp::Ne, ComparisonOp::Le]
+                    [rng.gen_range(0..3usize)];
+                candidates.push(FPlanOp::SelectConst {
+                    attr,
+                    op,
+                    value: Value::new(rng.gen_range(0..8u64)),
+                });
+            }
+            let keep: BTreeSet<AttrId> = cur
+                .all_attrs()
+                .into_iter()
+                .filter(|_| rng.gen_bool(0.8))
+                .collect();
+            candidates.push(FPlanOp::Project(keep));
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let op = candidates[rng.gen_range(0..candidates.len())].clone();
+        if op.apply_to_tree(&mut cur).is_err() {
+            continue;
+        }
+        ops.push(op);
+    }
+    FPlan::new(ops)
+}
+
+/// Executes the plan both ways and asserts the arenas are bit-for-bit
+/// identical (store identity), the fused result validates, and the
+/// represented relations agree.
+fn check_fused_against_stepwise(rep: &FRep, plan: &FPlan, context: &str) {
+    let mut fused = rep.clone();
+    let mut stepwise = rep.clone();
+    let fused_result = plan.execute(&mut fused);
+    let stepwise_result = plan.execute_stepwise(&mut stepwise);
+    assert_eq!(
+        fused_result.is_ok(),
+        stepwise_result.is_ok(),
+        "{context}: paths disagree on plan validity ({fused_result:?} vs {stepwise_result:?})"
+    );
+    if fused_result.is_err() {
+        return;
+    }
+    fused
+        .validate()
+        .unwrap_or_else(|e| panic!("{context}: fused result invalid: {e:?}"));
+    assert!(
+        fused.store_identical(&stepwise),
+        "{context}: plan {plan} — fused and step-wise stores diverge\nfused:\n{}\nstep-wise:\n{}",
+        fused.dump_store(),
+        stepwise.dump_store()
+    );
+    assert_eq!(
+        fused.tree().canonical_key(),
+        stepwise.tree().canonical_key(),
+        "{context}: trees diverge"
+    );
+    assert_eq!(
+        enumerated_tuple_counts(&fused),
+        enumerated_tuple_counts(&stepwise),
+        "{context}: represented relations diverge"
+    );
+}
+
+#[test]
+fn randomized_fused_plans_match_the_stepwise_path() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x00A3_3E90 ^ seed);
+        let relations = 1 + (seed as usize % 3);
+        let attributes = relations + 2 + (seed as usize % 3);
+        let catalog = random_schema(&mut rng, relations, attributes);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let distribution = if seed % 2 == 0 {
+            ValueDistribution::Uniform
+        } else {
+            ValueDistribution::Zipf(1.0)
+        };
+        let db = populate(&mut rng, &catalog, 25, 6, distribution);
+        let k = (seed as usize) % attributes.min(3);
+        let query = random_query(&mut rng, &catalog, &rels, k);
+        let rep = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("FDB evaluates")
+            .result;
+
+        // Pure structural plans (one fused segment) of increasing length.
+        for steps in [3usize, 5] {
+            let plan = random_plan(&mut rng, rep.tree(), steps, false);
+            check_fused_against_stepwise(&rep, &plan, &format!("seed {seed}, k={steps}"));
+        }
+        // Mixed plans with barriers (multiple segments).
+        let plan = random_plan(&mut rng, rep.tree(), 6, true);
+        check_fused_against_stepwise(&rep, &plan, &format!("seed {seed}, mixed"));
+    }
+}
+
+#[test]
+fn fused_plans_match_the_stepwise_path_on_edge_case_representations() {
+    let mut rng = StdRng::seed_from_u64(0x00A3_3E91);
+    let attrs = |ids: &[u32]| -> BTreeSet<AttrId> { ids.iter().map(|&i| AttrId(i)).collect() };
+
+    // Single-entry chain: every operator's single-entry edge case.
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), 1),
+        DepEdge::new("RBC", attrs(&[1, 2]), 1),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let singleton = FRep::from_parts(
+        tree.clone(),
+        vec![Union::new(
+            a,
+            vec![Entry {
+                value: Value::new(7),
+                children: vec![Union::new(
+                    b,
+                    vec![Entry {
+                        value: Value::new(7),
+                        children: vec![Union::new(c, vec![Entry::leaf(Value::new(7))])],
+                    }],
+                )],
+            }],
+        )],
+    )
+    .unwrap();
+    for trial in 0..8 {
+        let plan = random_plan(&mut rng, singleton.tree(), 4, trial % 2 == 1);
+        check_fused_against_stepwise(&singleton, &plan, &format!("singleton trial {trial}"));
+    }
+    // Explicit single-segment plans on the chain.
+    check_fused_against_stepwise(
+        &singleton,
+        &FPlan::new(vec![FPlanOp::Swap(b), FPlanOp::Swap(c)]),
+        "singleton single segment",
+    );
+    check_fused_against_stepwise(
+        &singleton,
+        &FPlan::new(vec![FPlanOp::Absorb(a, c), FPlanOp::Normalise]),
+        "singleton absorb segment",
+    );
+
+    // Empty-result representation: an unsatisfiable selection first, then
+    // structural plans over the empty arena.
+    let mut empty = singleton.clone();
+    fdb::frep::ops::select_const(&mut empty, AttrId(0), ComparisonOp::Eq, Value::new(99)).unwrap();
+    assert!(empty.represents_empty());
+    for trial in 0..8 {
+        let plan = random_plan(&mut rng, empty.tree(), 4, trial % 2 == 1);
+        check_fused_against_stepwise(&empty, &plan, &format!("empty trial {trial}"));
+    }
+
+    // A plan that empties the result mid-segment: merge over disjoint value
+    // sets, then further restructuring of the emptied representation.
+    let side = |root_attr: u32, child_attr: u32, name: &str, v: u64| {
+        let edges = vec![DepEdge::new(name, attrs(&[root_attr, child_attr]), 1)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[root_attr]), None).unwrap();
+        let child = tree.add_node(attrs(&[child_attr]), Some(root)).unwrap();
+        FRep::from_parts(
+            tree,
+            vec![Union::new(
+                root,
+                vec![Entry {
+                    value: Value::new(v),
+                    children: vec![Union::new(child, vec![Entry::leaf(Value::new(v * 10))])],
+                }],
+            )],
+        )
+        .unwrap()
+    };
+    let product = fdb::frep::ops::product(side(0, 1, "R", 1), side(2, 3, "S", 2)).unwrap();
+    let ra = product.tree().node_of_attr(AttrId(0)).unwrap();
+    let sa = product.tree().node_of_attr(AttrId(2)).unwrap();
+    let rb = product.tree().node_of_attr(AttrId(1)).unwrap();
+    check_fused_against_stepwise(
+        &product,
+        &FPlan::new(vec![
+            FPlanOp::Merge(ra, sa),
+            FPlanOp::Swap(rb),
+            FPlanOp::Normalise,
+        ]),
+        "merge to empty then restructure",
+    );
+}
