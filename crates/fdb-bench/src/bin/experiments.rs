@@ -9,7 +9,7 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures; `EXPERIMENTS.md` records a full run.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, report, Scale};
 use std::time::Instant;
 
 /// Runs the PR 1 enumeration benchmark and writes its machine-readable
@@ -91,6 +91,29 @@ fn run_bench_pr3(smoke: bool) {
     println!("(bench-pr3 finished in {:?})\n", start.elapsed());
 }
 
+/// Runs the PR 4 factorised-aggregation benchmark (factorised vs
+/// materialise-then-aggregate, and arena pass vs overlay pass) and writes
+/// `BENCH_PR4.json`.  At `--scale smoke` the inputs shrink and nothing is
+/// written.
+fn run_bench_pr4(smoke: bool) {
+    let start = Instant::now();
+    let scale = if smoke {
+        pr4::Pr4Scale::Smoke
+    } else {
+        pr4::Pr4Scale::Full
+    };
+    let report = pr4::run(scale);
+    print!("{}", pr4::render_table(&report));
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else {
+        std::fs::write("BENCH_PR4.json", pr4::render_json(&report))
+            .expect("writing BENCH_PR4.json");
+        println!("\nwrote BENCH_PR4.json");
+    }
+    println!("(bench-pr4 finished in {:?})\n", start.elapsed());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -131,6 +154,10 @@ fn main() {
     }
     if which.contains(&"bench-pr3") {
         run_bench_pr3(smoke);
+        return;
+    }
+    if which.contains(&"bench-pr4") {
+        run_bench_pr4(smoke);
         return;
     }
 

@@ -27,6 +27,7 @@ pub mod exp4;
 pub mod pr1;
 pub mod pr2;
 pub mod pr3;
+pub mod pr4;
 pub mod report;
 
 /// Scale of an experiment run.

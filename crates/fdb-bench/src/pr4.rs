@@ -1,0 +1,570 @@
+//! PR 4 benchmark: factorised aggregation.
+//!
+//! Two comparisons, each checked for bit-for-bit result agreement before any
+//! timing:
+//!
+//! * **factorised vs materialise-then-aggregate** — `COUNT`/`SUM`/`MIN`/
+//!   grouped `AVG` evaluated as one flat pass over the arena
+//!   (`fdb_frep::aggregate`) against the classical plan: enumerate the
+//!   represented relation tuple by tuple and aggregate with plain iterators.
+//!   The workloads are product-heavy (products of independent chains), where
+//!   the flat relation is combinatorially larger than the representation —
+//!   the regime the aggregation paper targets.
+//! * **arena pass vs overlay pass** — an aggregate consumed after a
+//!   structural f-plan, evaluated two ways: execute the plan (fused) and
+//!   aggregate the emitted arena, or fold the aggregate directly over the
+//!   fused overlay (`FPlan::execute_aggregate`), which never emits the final
+//!   arena.
+//!
+//! The `experiments bench-pr4` subcommand prints both tables and serialises
+//! the rows as `BENCH_PR4.json`; `--scale smoke` shrinks the inputs so CI
+//! can keep the harness from bit-rotting.
+
+use fdb_common::AttrId;
+use fdb_common::Value;
+use fdb_frep::aggregate::{self, AggregateKind};
+use fdb_frep::{ops, Entry, FRep, Union};
+use fdb_ftree::{DepEdge, FTree};
+use fdb_plan::{FPlan, FPlanOp};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One factorised-vs-flat aggregation measurement.
+#[derive(Clone, Debug)]
+pub struct AggRow {
+    /// Workload name (stable across refactors).
+    pub name: String,
+    /// The evaluated aggregate, rendered (`COUNT(*)`, `SUM(a3)`, …).
+    pub kind: String,
+    /// Singleton count of the representation.
+    pub singletons: u64,
+    /// Tuples of the represented relation (what the flat path enumerates).
+    pub tuples: u128,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one factorised (arena-pass) evaluation.
+    pub factorised_seconds: f64,
+    /// Best wall time of one materialise-then-aggregate evaluation.
+    pub flat_seconds: f64,
+    /// `flat_seconds / factorised_seconds`.
+    pub speedup: f64,
+}
+
+/// One arena-pass-vs-overlay-pass measurement.
+#[derive(Clone, Debug)]
+pub struct OverlayRow {
+    /// Workload name.
+    pub name: String,
+    /// Singleton count of the input representation.
+    pub singletons: u64,
+    /// Operators in the executed plan.
+    pub plan_ops: u32,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of plan execution plus arena aggregation.
+    pub arena_seconds: f64,
+    /// Best wall time of the overlay aggregate (no final-arena emission).
+    pub overlay_seconds: f64,
+    /// `arena_seconds / overlay_seconds`.
+    pub speedup: f64,
+}
+
+/// The full PR 4 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr4Report {
+    /// Factorised-vs-flat rows.
+    pub aggregates: Vec<AggRow>,
+    /// Arena-vs-overlay rows.
+    pub overlay: Vec<OverlayRow>,
+    /// Geometric mean of the factorised-vs-flat speedups.
+    pub flat_speedup_geomean: f64,
+    /// Geometric mean of the arena-vs-overlay speedups.
+    pub overlay_speedup_geomean: f64,
+    /// The `EvalStats` counters table of one representative engine-level
+    /// aggregate query (computed once by [`run`], printed by
+    /// [`render_table`]).
+    pub engine_counters: String,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr4Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR4.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Root entries of each chain in the two-factor products.
+    outer2: u64,
+    /// Child entries per root entry in the two-factor products.
+    inner2: u64,
+    /// Root entries of each chain in the three-factor product.
+    outer3: u64,
+    /// Child entries per root entry in the three-factor product.
+    inner3: u64,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Evaluations per measurement.
+    reps: u32,
+}
+
+impl Pr4Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr4Scale::Smoke => Dims {
+                outer2: 12,
+                inner2: 4,
+                outer3: 6,
+                inner3: 2,
+                measurements: 2,
+                reps: 2,
+            },
+            Pr4Scale::Full => Dims {
+                outer2: 150,
+                inner2: 20,
+                outer3: 40,
+                inner3: 5,
+                measurements: 3,
+                reps: 2,
+            },
+        }
+    }
+}
+
+fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+    ids.iter().map(|&i| AttrId(i)).collect()
+}
+
+/// A two-level chain `root{ra} → child{rb}` with `outer` root entries and
+/// `inner` child entries each (overlapping child ranges).
+fn chain(ra: u32, rb: u32, name: &str, outer: u64, inner: u64) -> FRep {
+    let edges = vec![DepEdge::new(name, attrs(&[ra, rb]), outer)];
+    let mut tree = FTree::new(edges);
+    let root = tree.add_node(attrs(&[ra]), None).unwrap();
+    let child = tree.add_node(attrs(&[rb]), Some(root)).unwrap();
+    let entries = (0..outer)
+        .map(|v| Entry {
+            value: Value::new(v),
+            children: vec![Union::new(
+                child,
+                (v..v + inner).map(|x| Entry::leaf(Value::new(x))).collect(),
+            )],
+        })
+        .collect();
+    FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap()
+}
+
+/// The product of `k` independent chains — the product-heavy shape where the
+/// flat relation is combinatorially larger than the representation.
+fn product_of_chains(k: u32, outer: u64, inner: u64) -> FRep {
+    let mut rep: Option<FRep> = None;
+    for c in 0..k {
+        let side = chain(c * 2, c * 2 + 1, &format!("R{c}"), outer, inner);
+        rep = Some(match rep {
+            None => side,
+            Some(acc) => ops::product(acc, side).unwrap(),
+        });
+    }
+    rep.expect("at least one chain")
+}
+
+/// Times `run`, best of `measurements` runs of `reps` evaluations; returns
+/// seconds per evaluation.
+fn time_runs<F: FnMut()>(d: Dims, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let start = Instant::now();
+        for _ in 0..d.reps {
+            run();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / d.reps as f64);
+    }
+    best
+}
+
+/// Measures one factorised-vs-flat aggregation workload.
+fn measure_agg(
+    name: &str,
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+    d: Dims,
+) -> AggRow {
+    let factorised = aggregate::evaluate(rep, kind, group_by).expect("factorised aggregate");
+    let flat = aggregate::by_enumeration(rep, kind, group_by).expect("flat aggregate");
+    assert_eq!(
+        factorised, flat,
+        "{name}: factorised and flat aggregation disagree"
+    );
+
+    let factorised_seconds = time_runs(d, || {
+        std::hint::black_box(aggregate::evaluate(rep, kind, group_by).expect("aggregate"));
+    });
+    let flat_seconds = time_runs(d, || {
+        std::hint::black_box(aggregate::by_enumeration(rep, kind, group_by).expect("flat"));
+    });
+    AggRow {
+        name: name.to_string(),
+        kind: kind.to_string(),
+        singletons: rep.size() as u64,
+        tuples: rep.tuple_count(),
+        reps: d.reps,
+        factorised_seconds,
+        flat_seconds,
+        speedup: flat_seconds / factorised_seconds.max(1e-12),
+    }
+}
+
+/// Measures one arena-vs-overlay workload: the plan executes (fused) and the
+/// aggregate reads the emitted arena, against the overlay sink that skips
+/// the emission.
+fn measure_overlay(
+    name: &str,
+    rep: &FRep,
+    plan: &FPlan,
+    kind: AggregateKind,
+    d: Dims,
+) -> OverlayRow {
+    let arena_result = {
+        let mut executed = rep.clone();
+        plan.execute(&mut executed).expect("plan executes");
+        aggregate::evaluate(&executed, kind, None).expect("arena aggregate")
+    };
+    let (overlay_result, on_overlay) = plan
+        .execute_aggregate(rep, kind, None)
+        .expect("overlay aggregate");
+    assert!(on_overlay, "{name}: plan must end in a structural segment");
+    assert_eq!(
+        arena_result, overlay_result,
+        "{name}: arena and overlay aggregation disagree"
+    );
+
+    let arena_seconds = time_runs(d, || {
+        let mut executed = rep.clone();
+        plan.execute(&mut executed).expect("plan executes");
+        std::hint::black_box(aggregate::evaluate(&executed, kind, None).expect("aggregate"));
+    });
+    let overlay_seconds = time_runs(d, || {
+        std::hint::black_box(plan.execute_aggregate(rep, kind, None).expect("sink"));
+    });
+    OverlayRow {
+        name: name.to_string(),
+        singletons: rep.size() as u64,
+        plan_ops: plan.len() as u32,
+        reps: d.reps,
+        arena_seconds,
+        overlay_seconds,
+        speedup: arena_seconds / overlay_seconds.max(1e-12),
+    }
+}
+
+/// Swap-cycle input for the overlay rows: A{0} → B{1} → (C{2}, D{3}) with C
+/// dependent on A — the pr3 regrouping shape.
+fn swap_cycle_rep(outer: u64, inner: u64) -> (FRep, FPlan) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), outer),
+        DepEdge::new("RAC", attrs(&[0, 2]), outer),
+        DepEdge::new("RBD", attrs(&[1, 3]), inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let d_node = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+    let a_entries = (0..outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (av..av + inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![
+                            Union::new(c, vec![Entry::leaf(Value::new(av * 1_000))]),
+                            Union::new(d_node, vec![Entry::leaf(Value::new(bv))]),
+                        ],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    let plan = FPlan::new(vec![FPlanOp::Swap(b), FPlanOp::Swap(a), FPlanOp::Swap(b)]);
+    (rep, plan)
+}
+
+/// A forest of independent chains whose plan swaps three chains' children up
+/// — wide untouched regions that the overlay never copies.
+fn wide_forest_rep(chains: u32, outer: u64, inner: u64) -> (FRep, FPlan) {
+    let rep = product_of_chains(chains, outer, inner);
+    let swaps = (0..3u32.min(chains))
+        .map(|c| FPlanOp::Swap(rep.tree().node_of_attr(AttrId(c * 2 + 1)).unwrap()))
+        .collect();
+    (rep, FPlan::new(swaps))
+}
+
+/// Runs the full PR 4 benchmark at the given scale.
+pub fn run(scale: Pr4Scale) -> Pr4Report {
+    let d = scale.dims();
+
+    // Factorised vs materialise-then-aggregate on product-heavy shapes.
+    let mut aggregates = Vec::new();
+    let rep2 = product_of_chains(2, d.outer2, d.inner2);
+    aggregates.push(measure_agg(
+        "product2_count",
+        &rep2,
+        AggregateKind::Count,
+        None,
+        d,
+    ));
+    aggregates.push(measure_agg(
+        "product2_sum_child",
+        &rep2,
+        AggregateKind::Sum(AttrId(1)),
+        None,
+        d,
+    ));
+    aggregates.push(measure_agg(
+        "product2_avg_grouped_by_root",
+        &rep2,
+        AggregateKind::Avg(AttrId(3)),
+        Some(AttrId(0)),
+        d,
+    ));
+    let rep3 = product_of_chains(3, d.outer3, d.inner3);
+    aggregates.push(measure_agg(
+        "product3_min_child",
+        &rep3,
+        AggregateKind::Min(AttrId(5)),
+        None,
+        d,
+    ));
+    aggregates.push(measure_agg(
+        "product3_max_grouped_by_root",
+        &rep3,
+        AggregateKind::Max(AttrId(3)),
+        Some(AttrId(2)),
+        d,
+    ));
+
+    // Arena pass vs overlay pass after a structural plan.
+    let mut overlay = Vec::new();
+    let (rep, plan) = swap_cycle_rep(d.outer2, d.inner2);
+    overlay.push(measure_overlay(
+        "swap_cycle_then_count",
+        &rep,
+        &plan,
+        AggregateKind::Count,
+        d,
+    ));
+    overlay.push(measure_overlay(
+        "swap_cycle_then_sum",
+        &rep,
+        &plan,
+        AggregateKind::Sum(AttrId(3)),
+        d,
+    ));
+    let (rep, plan) = wide_forest_rep(4, d.outer2, d.inner2);
+    overlay.push(measure_overlay(
+        "wide_forest_swaps_then_count",
+        &rep,
+        &plan,
+        AggregateKind::Count,
+        d,
+    ));
+
+    let geomean = |rows: &[f64]| -> f64 {
+        (rows.iter().map(|s| s.ln()).sum::<f64>() / rows.len().max(1) as f64).exp()
+    };
+    let flat_speedup_geomean = geomean(&aggregates.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let overlay_speedup_geomean = geomean(&overlay.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    Pr4Report {
+        aggregates,
+        overlay,
+        flat_speedup_geomean,
+        overlay_speedup_geomean,
+        engine_counters: engine_counters_demo(),
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR3.json`).
+pub fn render_json(report: &Pr4Report) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr4-factorised-aggregation\",\n");
+    out.push_str("  \"aggregates\": [\n");
+    for (i, row) in report.aggregates.iter().enumerate() {
+        let comma = if i + 1 < report.aggregates.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"singletons\": {}, \"tuples\": {}, \
+             \"reps\": {}, \"factorised_seconds\": {:.9}, \"flat_seconds\": {:.6}, \
+             \"speedup\": {:.3}}}{}",
+            row.name,
+            row.kind,
+            row.singletons,
+            row.tuples,
+            row.reps,
+            row.factorised_seconds,
+            row.flat_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("  ],\n  \"overlay\": [\n");
+    for (i, row) in report.overlay.iter().enumerate() {
+        let comma = if i + 1 < report.overlay.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+             \"arena_seconds\": {:.9}, \"overlay_seconds\": {:.9}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.reps,
+            row.arena_seconds,
+            row.overlay_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("string write");
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"flat_speedup_geomean\": {:.3},",
+        report.flat_speedup_geomean
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "  \"overlay_speedup_geomean\": {:.3}",
+        report.overlay_speedup_geomean
+    )
+    .expect("string write");
+    out.push_str("}\n");
+    out
+}
+
+/// Runs one representative engine-level aggregate query (COUNT over a
+/// grocery follow-up join) and returns its `EvalStats` counters table — the
+/// consistent per-evaluation statistics block (fused segments and overlay
+/// aggregates included) the report prints instead of ad-hoc stat lines.
+fn engine_counters_demo() -> String {
+    use fdb_core::{FactorisedQuery, FdbEngine};
+    let g = fdb_datagen::grocery_database();
+    let engine = FdbEngine::new();
+    let base = engine
+        .evaluate_flat(&g.db, &g.q1())
+        .expect("grocery Q1 evaluates");
+    let fq = FactorisedQuery::equalities(vec![(g.attr("Orders.oid"), g.attr("Disp.dispatcher"))]);
+    let out = engine
+        .evaluate_factorised_aggregate(&base.result, &fq, &fdb_common::AggregateHead::count())
+        .expect("aggregate query evaluates");
+    out.stats.counters_table()
+}
+
+/// Renders the human-readable tables printed by the `experiments` binary.
+pub fn render_table(report: &Pr4Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<30} {:<12} {:>12} {:>14} {:>14} {:>14} {:>9}",
+        "aggregate workload",
+        "kind",
+        "singletons",
+        "tuples",
+        "factorised (s)",
+        "flat (s)",
+        "speedup"
+    )
+    .expect("string write");
+    for row in &report.aggregates {
+        writeln!(
+            out,
+            "{:<30} {:<12} {:>12} {:>14} {:>14.9} {:>14.6} {:>8.1}x",
+            row.name,
+            row.kind,
+            row.singletons,
+            row.tuples,
+            row.factorised_seconds,
+            row.flat_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "geometric-mean speedup (factorised vs materialise-then-aggregate): {:.1}x\n",
+        report.flat_speedup_geomean
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "{:<30} {:>12} {:>5} {:>14} {:>14} {:>9}",
+        "overlay workload", "singletons", "ops", "arena (s)", "overlay (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.overlay {
+        writeln!(
+            out,
+            "{:<30} {:>12} {:>5} {:>14.9} {:>14.9} {:>8.2}x",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.arena_seconds,
+            row.overlay_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "geometric-mean speedup (overlay pass vs arena pass): {:.2}x",
+        report.overlay_speedup_geomean
+    )
+    .expect("string write");
+    out.push_str("\nengine counters (COUNT over a grocery follow-up join):\n");
+    out.push_str(&report.engine_counters);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_runs_and_reports_consistent_rows() {
+        let report = run(Pr4Scale::Smoke);
+        assert_eq!(report.aggregates.len(), 5);
+        assert_eq!(report.overlay.len(), 3);
+        assert!(report.flat_speedup_geomean > 0.0);
+        assert!(report.overlay_speedup_geomean > 0.0);
+        for row in &report.aggregates {
+            assert!(row.factorised_seconds > 0.0 && row.flat_seconds > 0.0);
+            assert!(row.tuples > 0);
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"flat_speedup_geomean\""));
+        assert!(json.contains("product2_count"));
+        assert!(json.contains("swap_cycle_then_count"));
+        let table = render_table(&report);
+        assert!(table.contains("geometric-mean speedup"));
+        assert!(
+            table.contains("fused segments / overlay aggregates"),
+            "the report prints the consistent EvalStats counters table"
+        );
+    }
+}

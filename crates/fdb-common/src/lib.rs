@@ -22,5 +22,7 @@ pub mod value;
 
 pub use catalog::{AttrId, Catalog, RelId};
 pub use error::{FdbError, Result};
-pub use query::{ComparisonOp, ConstSelection, EqualityCondition, Query};
+pub use query::{
+    AggregateFunc, AggregateHead, ComparisonOp, ConstSelection, EqualityCondition, Query,
+};
 pub use value::Value;

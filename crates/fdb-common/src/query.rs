@@ -80,6 +80,63 @@ pub struct ConstSelection {
     pub value: Value,
 }
 
+/// An aggregate function of a query head.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggregateFunc {
+    /// `COUNT(*)` — number of result tuples.
+    Count,
+    /// `SUM(A)`.
+    Sum,
+    /// `MIN(A)`.
+    Min,
+    /// `MAX(A)`.
+    Max,
+    /// `AVG(A)`.
+    Avg,
+}
+
+/// An aggregate query head: instead of returning the (factorised) result
+/// relation, the query returns one aggregate value — or one per group when
+/// `group_by` is set.  The evaluation-level semantics (128-bit wrapping
+/// `COUNT`/`SUM`, `None` for empty `MIN`/`MAX`/`AVG` groups) live with the
+/// evaluator in `fdb-frep`'s `aggregate` module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AggregateHead {
+    /// The aggregate function.
+    pub func: AggregateFunc,
+    /// The aggregated attribute; `None` only for `COUNT`.
+    pub attr: Option<AttrId>,
+    /// Optional grouping attribute (must label a root of the result's
+    /// f-tree at evaluation time).
+    pub group_by: Option<AttrId>,
+}
+
+impl AggregateHead {
+    /// `COUNT(*)`, optionally grouped.
+    pub fn count() -> Self {
+        AggregateHead {
+            func: AggregateFunc::Count,
+            attr: None,
+            group_by: None,
+        }
+    }
+
+    /// An aggregate over an attribute.
+    pub fn over(func: AggregateFunc, attr: AttrId) -> Self {
+        AggregateHead {
+            func,
+            attr: Some(attr),
+            group_by: None,
+        }
+    }
+
+    /// Sets the grouping attribute and returns the head for chaining.
+    pub fn grouped_by(mut self, attr: AttrId) -> Self {
+        self.group_by = Some(attr);
+        self
+    }
+}
+
 /// A select-project-join query `π_P σ_φ (R_1 × … × R_n)`.
 #[derive(Clone, Debug)]
 pub struct Query {
@@ -91,6 +148,9 @@ pub struct Query {
     pub const_selections: Vec<ConstSelection>,
     /// Projection list.  `None` means "project onto all attributes".
     pub projection: Option<Vec<AttrId>>,
+    /// Optional aggregate head: the query returns this aggregate of the
+    /// result instead of the result relation itself.
+    pub aggregate: Option<AggregateHead>,
 }
 
 impl Query {
@@ -102,6 +162,7 @@ impl Query {
             equalities: Vec::new(),
             const_selections: Vec::new(),
             projection: None,
+            aggregate: None,
         }
     }
 
@@ -121,6 +182,12 @@ impl Query {
     /// Sets the projection list and returns the query for chaining.
     pub fn with_projection(mut self, attrs: Vec<AttrId>) -> Self {
         self.projection = Some(attrs);
+        self
+    }
+
+    /// Sets the aggregate head and returns the query for chaining.
+    pub fn with_aggregate(mut self, head: AggregateHead) -> Self {
+        self.aggregate = Some(head);
         self
     }
 
@@ -179,6 +246,22 @@ impl Query {
         if let Some(proj) = &self.projection {
             for &attr in proj {
                 check(attr)?;
+            }
+        }
+        if let Some(head) = &self.aggregate {
+            match (head.func, head.attr) {
+                // COUNT(*) needs no attribute, but one given must still
+                // belong to the query.
+                (AggregateFunc::Count, None) => {}
+                (_, Some(attr)) => check(attr)?,
+                (func, None) => {
+                    return Err(FdbError::InvalidInput {
+                        detail: format!("aggregate {func:?} requires an attribute"),
+                    })
+                }
+            }
+            if let Some(group) = head.group_by {
+                check(group)?;
             }
         }
         Ok(())
@@ -343,6 +426,39 @@ mod tests {
         ));
         let ok = Query::product(vec![RelId(0), RelId(1)]).with_equality(AttrId(1), AttrId(2));
         assert!(ok.validate(&cat).is_ok());
+    }
+
+    #[test]
+    fn aggregate_heads_validate() {
+        let cat = catalog();
+        let base = Query::product(vec![RelId(0), RelId(1)]);
+        // COUNT needs no attribute.
+        assert!(base
+            .clone()
+            .with_aggregate(AggregateHead::count())
+            .validate(&cat)
+            .is_ok());
+        // SUM over an attribute of the query, grouped by another.
+        let head = AggregateHead::over(AggregateFunc::Sum, AttrId(3)).grouped_by(AttrId(0));
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_ok());
+        // SUM without an attribute is malformed.
+        let head = AggregateHead {
+            func: AggregateFunc::Sum,
+            attr: None,
+            group_by: None,
+        };
+        assert!(matches!(
+            base.clone().with_aggregate(head).validate(&cat),
+            Err(FdbError::InvalidInput { .. })
+        ));
+        // Aggregating or grouping over a foreign attribute is rejected —
+        // including a (superfluous) attribute on a COUNT head.
+        let head = AggregateHead::over(AggregateFunc::Min, AttrId(5));
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_err());
+        let head = AggregateHead::over(AggregateFunc::Count, AttrId(5));
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_err());
+        let head = AggregateHead::count().grouped_by(AttrId(5));
+        assert!(base.with_aggregate(head).validate(&cat).is_err());
     }
 
     #[test]

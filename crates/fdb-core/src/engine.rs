@@ -1,11 +1,12 @@
 //! The FDB engine: optimisation plus evaluation, on flat or factorised input.
 
-use fdb_common::{AttrId, ConstSelection, FdbError, Query, Result};
-use fdb_frep::{build_frep, ops, FRep};
+use fdb_common::{AggregateFunc, AggregateHead, AttrId, ConstSelection, FdbError, Query, Result};
+use fdb_frep::{build_frep, ops, AggregateKind, AggregateResult, FRep};
 use fdb_ftree::s_cost;
 use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp, GreedyOptimizer};
 use fdb_relation::Database;
 use std::collections::BTreeSet;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Which f-plan optimiser the engine uses for queries over factorised input.
@@ -76,6 +77,97 @@ pub struct EvalStats {
     /// Number of multi-step structural segments of the plan that executed as
     /// single fused arena passes (see `fdb_frep::ops::fuse`).
     pub fused_segments: usize,
+    /// Number of aggregate evaluations folded directly over the fused
+    /// overlay (no final-arena emission); 0 for non-aggregate queries and
+    /// for aggregates that ran as plain arena passes.
+    pub aggregates_on_overlay: usize,
+}
+
+impl EvalStats {
+    /// The execution counters as aligned `name value` rows, with the
+    /// fused-segment and overlay-aggregate counters on one shared row.
+    /// Reports that show per-evaluation statistics (e.g. the `bench-pr4`
+    /// table) print this instead of improvising their own lines.
+    pub fn counters_table(&self) -> String {
+        let rows: [(&str, String); 7] = [
+            ("optimisation time", format!("{:?}", self.optimisation_time)),
+            ("execution time", format!("{:?}", self.execution_time)),
+            ("plan cost s(f)", format!("{:.2}", self.plan_cost)),
+            ("result singletons", self.result_size.to_string()),
+            ("result tuples", self.result_tuples.to_string()),
+            ("explored states", self.explored_states.to_string()),
+            (
+                "fused segments / overlay aggregates",
+                format!("{} / {}", self.fused_segments, self.aggregates_on_overlay),
+            ),
+        ];
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.counters_table())
+    }
+}
+
+/// The result of an aggregate evaluation: the aggregate value(s) plus
+/// statistics.  No result representation is materialised — that is the
+/// point of the aggregate path — so `stats.result_size`/`result_tuples`
+/// are 0 and `stats.aggregates_on_overlay` records whether the final
+/// structural segment was consumed on the fused overlay without emitting an
+/// arena.
+#[derive(Clone, Debug)]
+pub struct AggregateOutput {
+    /// The aggregate result (a scalar or one row per group).
+    pub result: AggregateResult,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+/// The swap chain that lifts the node labelled by `group` to a root of the
+/// tree.  Root-attribute grouping is an evaluator precondition; the
+/// cost-driven f-tree search can put the group attribute anywhere, so the
+/// engine appends these (always-valid) swaps to make grouping independent
+/// of the chosen tree shape.  Empty when the attribute is already at a root
+/// or absent from the tree (the evaluator reports the latter).
+fn lift_group_to_root(tree: &fdb_ftree::FTree, group: AttrId) -> FPlan {
+    let Some(node) = tree.node_of_attr(group) else {
+        return FPlan::empty();
+    };
+    let depth = tree.ancestors(node).len();
+    FPlan::new(vec![FPlanOp::Swap(node); depth])
+}
+
+/// Fused arena passes an aggregate evaluation actually executes: the
+/// trailing structural segment (everything after the last barrier) is
+/// consumed on the overlay without an arena pass, so only segments up to
+/// and including the last barrier count towards
+/// [`EvalStats::fused_segments`].
+fn fused_segments_before_sink(plan: &FPlan) -> usize {
+    match plan.ops.iter().rposition(|op| op.as_fused().is_none()) {
+        Some(last_barrier) => FPlan::new(plan.ops[..=last_barrier].to_vec()).fused_segment_count(),
+        None => 0,
+    }
+}
+
+/// Translates a query-level aggregate head into the evaluator's kind.
+fn aggregate_kind(head: &AggregateHead) -> Result<AggregateKind> {
+    match (head.func, head.attr) {
+        (AggregateFunc::Count, _) => Ok(AggregateKind::Count),
+        (AggregateFunc::Sum, Some(a)) => Ok(AggregateKind::Sum(a)),
+        (AggregateFunc::Min, Some(a)) => Ok(AggregateKind::Min(a)),
+        (AggregateFunc::Max, Some(a)) => Ok(AggregateKind::Max(a)),
+        (AggregateFunc::Avg, Some(a)) => Ok(AggregateKind::Avg(a)),
+        (func, None) => Err(FdbError::InvalidInput {
+            detail: format!("aggregate {func:?} requires an attribute"),
+        }),
+    }
 }
 
 /// The result of an evaluation: the factorised representation plus
@@ -152,6 +244,7 @@ impl FdbEngine {
                 plan,
                 explored_states: search.explored_states,
                 fused_segments,
+                aggregates_on_overlay: 0,
             },
             result,
         })
@@ -218,6 +311,7 @@ impl FdbEngine {
                 plan,
                 explored_states: optimised.explored_states,
                 fused_segments,
+                aggregates_on_overlay: 0,
             },
             result,
         })
@@ -300,8 +394,141 @@ impl FdbEngine {
                 plan,
                 explored_states: optimised.explored_states,
                 fused_segments,
+                aggregates_on_overlay: 0,
             },
             result: rep,
+        })
+    }
+
+    /// Evaluates an aggregate query on a flat relational database: the
+    /// factorised result is built over the optimal f-tree exactly like
+    /// [`FdbEngine::evaluate_flat`], then the aggregate head is folded over
+    /// the representation — the flat result is never enumerated.  The query
+    /// must carry an [`AggregateHead`].
+    ///
+    /// Root-attribute grouping is an evaluator precondition, not a caller
+    /// one: the f-tree search is cost-driven and may put the group attribute
+    /// anywhere, so the engine appends the swaps that lift its node to a
+    /// root ([`lift_group_to_root`]) — a structural tail the aggregate sink
+    /// consumes on the fused overlay without emitting an arena.
+    pub fn evaluate_flat_aggregate(&self, db: &Database, query: &Query) -> Result<AggregateOutput> {
+        let Some(head) = &query.aggregate else {
+            return Err(FdbError::InvalidInput {
+                detail: "evaluate_flat_aggregate: query has no aggregate head".into(),
+            });
+        };
+        let kind = aggregate_kind(head)?;
+        let opt_start = Instant::now();
+        let search = fdb_plan::optimal_ftree(db.catalog(), query, |r| db.rel_len(r) as u64)?;
+        let optimisation_time = opt_start.elapsed();
+
+        let exec_start = Instant::now();
+        let rep = build_frep(db, query, &search.tree)?;
+        let mut plan = FPlan::empty();
+        if let Some(proj) = &query.projection {
+            plan.push(FPlanOp::Project(proj.iter().copied().collect()));
+        }
+        let pre_lift_tree = plan.final_tree(rep.tree())?;
+        if let Some(group) = head.group_by {
+            plan.extend(lift_group_to_root(&pre_lift_tree, group));
+        }
+        let simplified = plan.simplified(rep.tree());
+        let fused_segments = fused_segments_before_sink(&simplified);
+        let (result, on_overlay) =
+            simplified.execute_aggregate_presimplified(&rep, kind, head.group_by)?;
+        let execution_time = exec_start.elapsed();
+
+        Ok(AggregateOutput {
+            result,
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost: s_cost(&pre_lift_tree)?,
+                plan_cost: search.cost,
+                result_size: 0,
+                result_tuples: 0,
+                plan,
+                explored_states: search.explored_states,
+                fused_segments,
+                aggregates_on_overlay: usize::from(on_overlay),
+            },
+        })
+    }
+
+    /// Evaluates an aggregate query over a factorised input.
+    ///
+    /// The restructuring plan for the equality conditions is assembled
+    /// exactly like [`FdbEngine::evaluate_factorised`], but it executes into
+    /// an **aggregate sink** ([`FPlan::execute_aggregate`]): the trailing
+    /// structural segment is applied only to the fused overlay and the
+    /// aggregate folds over the overlay itself, so the final arena — which
+    /// an aggregate consumer never needs — is not emitted at all.
+    /// [`EvalStats::aggregates_on_overlay`] reports whether that fast path
+    /// was taken (it is not when the plan ends in a selection/projection
+    /// barrier).  When the head groups by an attribute that the plan's
+    /// final tree does not put at a root, the engine appends the lifting
+    /// swaps ([`lift_group_to_root`]) so root-attribute grouping works on
+    /// any input shape.
+    pub fn evaluate_factorised_aggregate(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        head: &AggregateHead,
+    ) -> Result<AggregateOutput> {
+        let kind = aggregate_kind(head)?;
+        let opt_start = Instant::now();
+        let optimised = match self.optimizer {
+            OptimizerKind::Exhaustive => {
+                ExhaustiveOptimizer::new().optimize(input.tree(), &query.equalities)?
+            }
+            OptimizerKind::Greedy => {
+                GreedyOptimizer::new().optimize(input.tree(), &query.equalities)?
+            }
+        };
+        let optimisation_time = opt_start.elapsed();
+
+        let mut plan = FPlan::empty();
+        for sel in &query.const_selections {
+            plan.push(FPlanOp::SelectConst {
+                attr: sel.attr,
+                op: sel.op,
+                value: sel.value,
+            });
+        }
+        plan.extend(optimised.plan.clone());
+        if let Some(proj) = &query.projection {
+            plan.push(FPlanOp::Project(proj.iter().copied().collect()));
+        }
+        // The aggregate sink never builds the result representation, but its
+        // tree is known from simulation — and it tells us which swaps lift
+        // the group attribute to a root.
+        let pre_lift_tree = plan.final_tree(input.tree())?;
+        if let Some(group) = head.group_by {
+            plan.extend(lift_group_to_root(&pre_lift_tree, group));
+        }
+
+        let simplified = plan.simplified(input.tree());
+        let fused_segments = fused_segments_before_sink(&simplified);
+        let exec_start = Instant::now();
+        let (result, on_overlay) =
+            simplified.execute_aggregate_presimplified(input, kind, head.group_by)?;
+        let execution_time = exec_start.elapsed();
+
+        let result_tree_cost = s_cost(&pre_lift_tree)?;
+        Ok(AggregateOutput {
+            result,
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost,
+                plan_cost: optimised.cost.max_intermediate,
+                result_size: 0,
+                result_tuples: 0,
+                plan,
+                explored_states: optimised.explored_states,
+                fused_segments,
+                aggregates_on_overlay: usize::from(on_overlay),
+            },
         })
     }
 }
@@ -506,6 +733,111 @@ mod tests {
             materialize(&b.result).unwrap().tuple_set()
         );
         assert!(b.stats.plan_cost + 1e-6 >= a.stats.plan_cost);
+    }
+
+    #[test]
+    fn flat_aggregate_matches_enumeration() {
+        use fdb_frep::AggregateValue;
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let oid = cat.find_attr("Orders.oid").unwrap();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
+        let flat = materialize(&base.result).unwrap();
+        let col = flat.attrs().iter().position(|&a| a == oid).unwrap();
+
+        let query = q1(&db, &rels).with_aggregate(fdb_common::AggregateHead::count());
+        let out = FdbEngine::new()
+            .evaluate_flat_aggregate(&db, &query)
+            .unwrap();
+        assert_eq!(
+            out.result,
+            fdb_frep::AggregateResult::Scalar(AggregateValue::Count(flat.len() as u128))
+        );
+        assert_eq!(out.stats.aggregates_on_overlay, 0);
+
+        let query = q1(&db, &rels).with_aggregate(fdb_common::AggregateHead::over(
+            fdb_common::AggregateFunc::Sum,
+            oid,
+        ));
+        let expected: u128 = flat.rows().map(|r| r[col].raw() as u128).sum();
+        let out = FdbEngine::new()
+            .evaluate_flat_aggregate(&db, &query)
+            .unwrap();
+        assert_eq!(
+            out.result,
+            fdb_frep::AggregateResult::Scalar(AggregateValue::Sum(expected))
+        );
+
+        // A query without an aggregate head is rejected.
+        assert!(FdbEngine::new()
+            .evaluate_flat_aggregate(&db, &q1(&db, &rels))
+            .is_err());
+    }
+
+    #[test]
+    fn flat_grouped_aggregate_works_for_any_group_attribute() {
+        // Root-attribute grouping must not depend on where the cost-driven
+        // f-tree search happens to put the group attribute: the engine lifts
+        // it to a root with swaps.  Check every attribute of the query
+        // against the enumeration oracle (which groups on anything).
+        let (db, rels) = grocery();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
+        for group in base.result.visible_attrs() {
+            let query =
+                q1(&db, &rels).with_aggregate(fdb_common::AggregateHead::count().grouped_by(group));
+            let out = FdbEngine::new()
+                .evaluate_flat_aggregate(&db, &query)
+                .unwrap_or_else(|e| panic!("group by {group} failed: {e:?}"));
+            let expected = fdb_frep::aggregate::by_enumeration(
+                &base.result,
+                fdb_frep::AggregateKind::Count,
+                Some(group),
+            )
+            .unwrap();
+            assert_eq!(out.result, expected, "group by {group}");
+        }
+    }
+
+    #[test]
+    fn factorised_aggregate_runs_on_the_overlay_and_matches_the_result() {
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
+        let fq = FactorisedQuery::equalities(vec![(
+            cat.find_attr("Orders.oid").unwrap(),
+            cat.find_attr("Disp.dispatcher").unwrap(),
+        )]);
+        let engine = FdbEngine::new();
+        let full = engine.evaluate_factorised(&base.result, &fq).unwrap();
+        let head = fdb_common::AggregateHead::count();
+        let agg = engine
+            .evaluate_factorised_aggregate(&base.result, &fq, &head)
+            .unwrap();
+        assert_eq!(
+            agg.result,
+            fdb_frep::AggregateResult::Scalar(fdb_frep::AggregateValue::Count(
+                full.stats.result_tuples
+            ))
+        );
+        assert_eq!(
+            agg.stats.aggregates_on_overlay, 1,
+            "equality-only plans end structurally: the aggregate folds over the overlay"
+        );
+        assert!((agg.stats.result_tree_cost - full.stats.result_tree_cost).abs() < 1e-9);
+
+        // The counters table formats both counters on one consistent row.
+        let table = agg.stats.counters_table();
+        assert!(table.contains("fused segments / overlay aggregates"));
+        assert!(table.contains(&format!(
+            "{} / {}",
+            agg.stats.fused_segments, agg.stats.aggregates_on_overlay
+        )));
     }
 
     #[test]

@@ -22,4 +22,6 @@
 
 pub mod engine;
 
-pub use engine::{EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind};
+pub use engine::{
+    AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind,
+};

@@ -1,0 +1,818 @@
+//! One-pass aggregation over factorised representations.
+//!
+//! Aggregates over a factorised representation cost one bottom-up pass over
+//! the f-rep instead of a pass over the (possibly exponentially larger) flat
+//! relation: `COUNT`, `SUM`, `MIN` and `MAX` compose along union and product
+//! nodes (Bakibayev, Kočiský, Olteanu & Závodný, *Aggregation and Ordering
+//! in Factorised Databases*, 2013).  This module evaluates
+//!
+//! * [`AggregateKind::Count`] — number of tuples of the represented relation,
+//! * [`AggregateKind::Sum`]`(A)` — sum of attribute `A` over all tuples,
+//! * [`AggregateKind::Min`]`(A)` / [`AggregateKind::Max`]`(A)`,
+//! * [`AggregateKind::Avg`]`(A)` — exact `(sum, count)` pair,
+//!
+//! each as a **single flat reverse loop** over the arena's topological index
+//! order — the same shape as [`FRep::tuple_count`], with no recursion and no
+//! per-node allocation beyond one accumulator per union.  Group-by on a root
+//! attribute ([`aggregate_grouped`]) reuses the same pass: the root union's
+//! entries are the groups, already in ascending value order.
+//!
+//! The composition rules are those of a commutative semiring product:
+//! a union adds its entries' accumulators (the entries represent disjoint
+//! sub-relations) and an entry multiplies its value's contribution with its
+//! child unions' accumulators (the children represent independent factors).
+//! For independent factors `X × Y`:
+//!
+//! ```text
+//! count(X × Y) = count(X) · count(Y)
+//! sum_A(X × Y)  = sum_A(X) · count(Y) + sum_A(Y) · count(X)
+//! min_A(X × Y)  = min_A(X) ∪ min_A(Y)      (A labels exactly one factor)
+//! ```
+//!
+//! # Numeric semantics
+//!
+//! The chosen semantics, relied upon by the oracle-backed equivalence suite:
+//!
+//! * **`COUNT` and `SUM` are computed in 128-bit wrapping (modular)
+//!   arithmetic.**  A factorised representation can describe far more tuples
+//!   than any machine integer holds (a product of `k` unions of `n` entries
+//!   has `n^k` tuples), so both are defined modulo `2^128`: exact whenever
+//!   the true value fits in a `u128` — in particular for every `tuple_count`
+//!   that merely exceeds `u64` — and wrapping deterministically beyond.
+//!   Because addition and multiplication modulo `2^128` form a commutative
+//!   ring, the factorised evaluation, the overlay evaluation and a flat
+//!   oracle that sums tuple-by-tuple with `wrapping_add` agree **bit for
+//!   bit** even when they associate the operations differently.
+//! * **`AVG` of an empty group is `None`** ([`AggregateValue::Avg`] holds
+//!   `Option<AvgValue>`); a non-empty group carries the exact wrapping
+//!   `(sum, count)` pair so callers choose their own division
+//!   ([`AvgValue::as_f64`] is the convenience form).
+//! * **`MIN`/`MAX` of the empty relation are `None`**; over a union with a
+//!   single entry both equal that entry's value.  Entries whose product is
+//!   empty (some child union with no entries) contribute no tuples and are
+//!   skipped, exactly as enumeration skips them.
+//! * A liveness bit is tracked separately from the wrapping count, so
+//!   `MIN`/`MAX`/`AVG`-emptiness stay exact even if a (pathological) true
+//!   count is divisible by `2^128`.
+//!
+//! # Where this hooks into execution
+//!
+//! [`aggregate`] and [`aggregate_grouped`] read a frozen arena.  The fused
+//! executor offers a second entry point,
+//! [`crate::ops::execute_fused_aggregate`], that evaluates the same
+//! aggregates directly on the fused overlay — an aggregate is one more
+//! consumer of the overlay that never needs the final arena at all, so an
+//! aggregate query pays zero final-arena emission.  `fdb-plan` routes a
+//! plan's trailing structural segment through that entry point.
+
+use crate::frep::FRep;
+use crate::store::Store;
+use fdb_common::{AttrId, FdbError, Result, Value};
+use fdb_ftree::{FTree, NodeId};
+
+/// Which aggregate to evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// `COUNT(*)`: number of tuples (modulo `2^128`, see the module docs).
+    Count,
+    /// `SUM(A)`: sum of the attribute over all tuples (modulo `2^128`).
+    Sum(AttrId),
+    /// `MIN(A)`: smallest value of the attribute, `None` on empty input.
+    Min(AttrId),
+    /// `MAX(A)`: largest value of the attribute, `None` on empty input.
+    Max(AttrId),
+    /// `AVG(A)`: exact `(sum, count)` pair, `None` on empty input.
+    Avg(AttrId),
+}
+
+impl AggregateKind {
+    /// The attribute the aggregate ranges over (`None` for `COUNT`).
+    pub fn attr(self) -> Option<AttrId> {
+        match self {
+            AggregateKind::Count => None,
+            AggregateKind::Sum(a)
+            | AggregateKind::Min(a)
+            | AggregateKind::Max(a)
+            | AggregateKind::Avg(a) => Some(a),
+        }
+    }
+}
+
+impl std::fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateKind::Count => write!(f, "COUNT(*)"),
+            AggregateKind::Sum(a) => write!(f, "SUM({a})"),
+            AggregateKind::Min(a) => write!(f, "MIN({a})"),
+            AggregateKind::Max(a) => write!(f, "MAX({a})"),
+            AggregateKind::Avg(a) => write!(f, "AVG({a})"),
+        }
+    }
+}
+
+/// The exact average: wrapping sum and count of a non-empty group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AvgValue {
+    /// Sum of the attribute (modulo `2^128`).
+    pub sum: u128,
+    /// Number of tuples (modulo `2^128`).
+    pub count: u128,
+}
+
+impl AvgValue {
+    /// The average as a floating-point number (lossy for huge sums).
+    pub fn as_f64(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+}
+
+/// The value of one evaluated aggregate (see the module docs for the
+/// numeric semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateValue {
+    /// Number of tuples, modulo `2^128`.
+    Count(u128),
+    /// Sum of the attribute, modulo `2^128` (0 on empty input).
+    Sum(u128),
+    /// Smallest attribute value, `None` on empty input.
+    Min(Option<Value>),
+    /// Largest attribute value, `None` on empty input.
+    Max(Option<Value>),
+    /// Exact `(sum, count)`, `None` on empty input.
+    Avg(Option<AvgValue>),
+}
+
+/// An aggregate evaluation result: a scalar, or one row per group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggregateResult {
+    /// Ungrouped aggregate.
+    Scalar(AggregateValue),
+    /// Grouped aggregate: `(group value, aggregate)` rows in ascending group
+    /// value order; groups without tuples are omitted (as a flat `GROUP BY`
+    /// over the enumerated tuples would omit them).
+    Groups(Vec<(Value, AggregateValue)>),
+}
+
+impl AggregateResult {
+    /// The scalar value, if this is an ungrouped result.
+    pub fn as_scalar(&self) -> Option<AggregateValue> {
+        match self {
+            AggregateResult::Scalar(v) => Some(*v),
+            AggregateResult::Groups(_) => None,
+        }
+    }
+}
+
+/// The per-union accumulator: every aggregate kind is computed from the same
+/// four components, so one pass serves them all (and the overlay walk in
+/// `ops::fuse` reuses it unchanged).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Acc {
+    /// Number of tuples, modulo `2^128`.
+    pub(crate) count: u128,
+    /// Sum of the target attribute over the tuples, modulo `2^128`.
+    pub(crate) sum: u128,
+    /// Smallest target-attribute value among the tuples.
+    pub(crate) min: Option<Value>,
+    /// Largest target-attribute value among the tuples.
+    pub(crate) max: Option<Value>,
+    /// Exact emptiness, independent of the wrapping count.
+    pub(crate) empty: bool,
+}
+
+impl Acc {
+    /// The accumulator of a union with no entries (identity of [`Acc::add`]).
+    pub(crate) fn none() -> Acc {
+        Acc {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            empty: true,
+        }
+    }
+
+    /// The accumulator of the nullary relation `{⟨⟩}` (identity of
+    /// [`Acc::product`]).
+    pub(crate) fn one() -> Acc {
+        Acc {
+            count: 1,
+            sum: 0,
+            min: None,
+            max: None,
+            empty: false,
+        }
+    }
+
+    /// The accumulator of a single singleton `⟨A:v⟩`: counts one tuple, and
+    /// contributes the value iff the singleton's node carries the target
+    /// attribute.
+    pub(crate) fn singleton(value: Value, carries_attr: bool) -> Acc {
+        Acc {
+            count: 1,
+            sum: if carries_attr { value.raw() as u128 } else { 0 },
+            min: carries_attr.then_some(value),
+            max: carries_attr.then_some(value),
+            empty: false,
+        }
+    }
+
+    /// Combines the accumulators of two *independent* factors (a product).
+    /// The target attribute labels at most one of the two, so at most one
+    /// `min`/`max` side is `Some`.
+    pub(crate) fn product(self, other: Acc) -> Acc {
+        let empty = self.empty || other.empty;
+        Acc {
+            count: self.count.wrapping_mul(other.count),
+            sum: self
+                .sum
+                .wrapping_mul(other.count)
+                .wrapping_add(other.sum.wrapping_mul(self.count)),
+            // At most one side ranges over the target attribute; an empty
+            // factor annihilates the whole product.
+            min: if empty { None } else { self.min.or(other.min) },
+            max: if empty { None } else { self.max.or(other.max) },
+            empty,
+        }
+    }
+
+    /// Combines the accumulators of two *disjoint* sub-relations (entries of
+    /// one union).
+    pub(crate) fn add(self, other: Acc) -> Acc {
+        fn fold(a: Option<Value>, b: Option<Value>, min: bool) -> Option<Value> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(if min { x.min(y) } else { x.max(y) }),
+                (x, y) => x.or(y),
+            }
+        }
+        Acc {
+            count: self.count.wrapping_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            min: fold(self.min, other.min, true),
+            max: fold(self.max, other.max, false),
+            empty: self.empty && other.empty,
+        }
+    }
+
+    /// Projects the requested aggregate out of the accumulator.
+    pub(crate) fn finish(self, kind: AggregateKind) -> AggregateValue {
+        match kind {
+            AggregateKind::Count => AggregateValue::Count(if self.empty { 0 } else { self.count }),
+            AggregateKind::Sum(_) => AggregateValue::Sum(if self.empty { 0 } else { self.sum }),
+            AggregateKind::Min(_) => AggregateValue::Min(self.min),
+            AggregateKind::Max(_) => AggregateValue::Max(self.max),
+            AggregateKind::Avg(_) => AggregateValue::Avg((!self.empty).then_some(AvgValue {
+                sum: self.sum,
+                count: self.count,
+            })),
+        }
+    }
+}
+
+/// Resolved target of an aggregate on a concrete f-tree: the node whose
+/// entry values feed the aggregate (`None` for `COUNT`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AggTarget {
+    pub(crate) node: Option<NodeId>,
+}
+
+impl AggTarget {
+    /// Resolves and validates the aggregate's attribute against the tree:
+    /// the attribute must exist in the tree and be visible (not projected
+    /// away).
+    pub(crate) fn resolve(tree: &FTree, kind: AggregateKind) -> Result<AggTarget> {
+        let Some(attr) = kind.attr() else {
+            return Ok(AggTarget { node: None });
+        };
+        let Some(node) = tree.node_of_attr(attr) else {
+            return Err(FdbError::AttributeNotInQuery {
+                attr: format!("{attr}"),
+            });
+        };
+        if !tree.visible_attrs(node).contains(&attr) {
+            return Err(FdbError::InvalidOperator {
+                detail: format!("aggregate over projected-away attribute {attr}"),
+            });
+        }
+        Ok(AggTarget { node: Some(node) })
+    }
+
+    /// Whether entry values of a union over `node` feed the aggregate.
+    #[inline]
+    pub(crate) fn carried_by(self, node: NodeId) -> bool {
+        self.node == Some(node)
+    }
+}
+
+/// Resolves a group-by attribute: it must be visible and label a **root**
+/// node of the f-tree (the root union's entries are the groups).  Returns
+/// the root node.
+pub(crate) fn resolve_group_root(tree: &FTree, group_by: AttrId) -> Result<NodeId> {
+    let Some(node) = tree.node_of_attr(group_by) else {
+        return Err(FdbError::AttributeNotInQuery {
+            attr: format!("{group_by}"),
+        });
+    };
+    if !tree.visible_attrs(node).contains(&group_by) {
+        return Err(FdbError::InvalidOperator {
+            detail: format!("group-by over projected-away attribute {group_by}"),
+        });
+    }
+    if tree.parent(node).is_some() {
+        return Err(FdbError::InvalidOperator {
+            detail: format!(
+                "group-by attribute {group_by} labels non-root node {node}; \
+                 only root-attribute grouping is supported"
+            ),
+        });
+    }
+    Ok(node)
+}
+
+/// Accessor surface the shared aggregation scaffold walks — implemented by
+/// the frozen arena ([`ArenaSource`]) and by the fused overlay (in
+/// [`crate::ops::fuse`]).  `acc_of` yields the accumulator of a whole
+/// (virtual) union; how it is produced — a precomputed flat pass or a
+/// memoized recursive walk — is the implementor's business.
+pub(crate) trait AggSource {
+    /// A (virtual) union reference.
+    type Id: Copy + PartialEq;
+    /// The root unions, in root-list order.
+    fn roots(&self) -> Vec<Self::Id>;
+    /// The f-tree node a union ranges over.
+    fn node_of(&self, v: Self::Id) -> NodeId;
+    /// Number of entries.
+    fn len(&self, v: Self::Id) -> u32;
+    /// The `i`-th value (entries are sorted increasing).
+    fn value(&self, v: Self::Id, i: u32) -> Value;
+    /// Number of kid slots per entry.
+    fn kid_count(&self, v: Self::Id) -> u32;
+    /// The child reference of entry `i` at kid position `k`.
+    fn kid(&self, v: Self::Id, i: u32, k: u32) -> Self::Id;
+    /// The accumulator of the whole union.
+    fn acc_of(&mut self, v: Self::Id, target: AggTarget) -> Acc;
+}
+
+/// The shared evaluation scaffold over any [`AggSource`] — the one place
+/// that implements the aggregate semantics on top of the accumulators, so
+/// the arena pass and the overlay pass cannot drift apart:
+///
+/// * scalar: the product of the root accumulators;
+/// * grouped: one row per entry of the group root's union (ascending value
+///   order), each multiplied with the product of the *other* roots, rows
+///   whose product is empty omitted.
+pub(crate) fn evaluate_source<S: AggSource>(
+    src: &mut S,
+    tree: &FTree,
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+) -> Result<AggregateResult> {
+    let target = AggTarget::resolve(tree, kind)?;
+    let roots = src.roots();
+    let Some(group) = group_by else {
+        let total = roots
+            .iter()
+            .fold(Acc::one(), |acc, &r| acc.product(src.acc_of(r, target)));
+        return Ok(AggregateResult::Scalar(total.finish(kind)));
+    };
+    let group_node = resolve_group_root(tree, group)?;
+    let group_root = roots
+        .iter()
+        .copied()
+        .find(|&r| src.node_of(r) == group_node)
+        .expect("validated representation: one root union per root node");
+    // The independent context: the product of every other root union.
+    let context = roots
+        .iter()
+        .filter(|&&r| r != group_root)
+        .fold(Acc::one(), |acc, &r| acc.product(src.acc_of(r, target)));
+    let carries = target.carried_by(group_node);
+    let kid_count = src.kid_count(group_root);
+    let len = src.len(group_root);
+    let mut rows = Vec::with_capacity(len as usize);
+    for i in 0..len {
+        let value = src.value(group_root, i);
+        let mut acc = Acc::singleton(value, carries);
+        for k in 0..kid_count {
+            acc = acc.product(src.acc_of(src.kid(group_root, i, k), target));
+        }
+        acc = acc.product(context);
+        if acc.empty {
+            continue;
+        }
+        rows.push((value, acc.finish(kind)));
+    }
+    Ok(AggregateResult::Groups(rows))
+}
+
+/// The frozen arena as an aggregation source: accumulators come from one
+/// flat reverse loop over the union arena ([`union_accs`]), everything else
+/// is a plain arena read.
+struct ArenaSource<'a> {
+    store: &'a Store,
+    kid_counts: Vec<u32>,
+    accs: Vec<Acc>,
+}
+
+impl AggSource for ArenaSource<'_> {
+    type Id = u32;
+
+    fn roots(&self) -> Vec<u32> {
+        self.store.roots.clone()
+    }
+
+    fn node_of(&self, v: u32) -> NodeId {
+        self.store.unions[v as usize].node
+    }
+
+    fn len(&self, v: u32) -> u32 {
+        self.store.union_len(v)
+    }
+
+    fn value(&self, v: u32, i: u32) -> Value {
+        self.store.entry_slice(v)[i as usize].value
+    }
+
+    fn kid_count(&self, v: u32) -> u32 {
+        self.kid_counts[self.store.unions[v as usize].node.index()]
+    }
+
+    fn kid(&self, v: u32, i: u32, k: u32) -> u32 {
+        self.store.kid(v, i, k)
+    }
+
+    fn acc_of(&mut self, v: u32, _target: AggTarget) -> Acc {
+        self.accs[v as usize]
+    }
+}
+
+/// The single flat reverse loop: one accumulator per union, children before
+/// parents thanks to the arena's topological index order — the exact shape
+/// of [`FRep::tuple_count`].
+fn union_accs(store: &Store, kid_counts: &[u32], target: AggTarget) -> Vec<Acc> {
+    let mut accs = vec![Acc::none(); store.unions.len()];
+    for uid in (0..store.unions.len()).rev() {
+        let rec = store.unions[uid];
+        let carries = target.carried_by(rec.node);
+        let kid_count = kid_counts[rec.node.index()] as usize;
+        let mut total = Acc::none();
+        for e in rec.entries_start..rec.entries_start + rec.entries_len {
+            let entry = store.entries[e as usize];
+            let mut acc = Acc::singleton(entry.value, carries);
+            for k in 0..kid_count {
+                acc = acc.product(accs[store.kids[entry.kids_start as usize + k] as usize]);
+            }
+            total = total.add(acc);
+        }
+        accs[uid] = total;
+    }
+    accs
+}
+
+/// Evaluates an aggregate (optionally grouped by a root attribute) over the
+/// representation in one flat bottom-up pass over the arena.  See the
+/// module docs for the numeric semantics.
+pub fn evaluate(
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+) -> Result<AggregateResult> {
+    let target = AggTarget::resolve(rep.tree(), kind)?;
+    let kid_counts = crate::store::kid_count_table(rep.tree());
+    let accs = union_accs(rep.store(), &kid_counts, target);
+    let mut src = ArenaSource {
+        store: rep.store(),
+        kid_counts,
+        accs,
+    };
+    evaluate_source(&mut src, rep.tree(), kind, group_by)
+}
+
+/// Evaluates an ungrouped aggregate — [`evaluate`] with `group_by: None`.
+pub fn aggregate(rep: &FRep, kind: AggregateKind) -> Result<AggregateValue> {
+    match evaluate(rep, kind, None)? {
+        AggregateResult::Scalar(v) => Ok(v),
+        AggregateResult::Groups(_) => unreachable!("ungrouped evaluation returns a scalar"),
+    }
+}
+
+/// Evaluates an aggregate grouped by a root attribute: one output row per
+/// entry of the root union over that attribute (ascending value order),
+/// each aggregated over the entry's subtree times the *other* root unions.
+/// Groups without tuples are omitted.  [`evaluate`] with `group_by: Some`.
+pub fn aggregate_grouped(
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: AttrId,
+) -> Result<Vec<(Value, AggregateValue)>> {
+    match evaluate(rep, kind, Some(group_by))? {
+        AggregateResult::Groups(rows) => Ok(rows),
+        AggregateResult::Scalar(_) => unreachable!("grouped evaluation returns rows"),
+    }
+}
+
+/// The materialise-then-aggregate reference evaluator: enumerates the
+/// represented relation tuple by tuple with the constant-delay cursor and
+/// folds the aggregate with plain iterators — the plan a flat engine would
+/// run.  Same wrapping 128-bit arithmetic as the one-pass evaluators, so
+/// the results agree bit for bit; the equivalence tests use it as the flat
+/// oracle and the benchmarks as the timed baseline.  Unlike [`evaluate`],
+/// grouping works on *any* visible attribute (the oracle pays the flat
+/// enumeration anyway), and groups come out in ascending value order with
+/// empty groups absent, matching [`aggregate_grouped`].
+pub fn by_enumeration(
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+) -> Result<AggregateResult> {
+    let visible = rep.visible_attrs();
+    let col_of = |attr: AttrId| {
+        visible
+            .binary_search(&attr)
+            .map_err(|_| FdbError::AttributeNotInQuery {
+                attr: format!("{attr}"),
+            })
+    };
+    let col = match kind.attr() {
+        Some(attr) => Some(col_of(attr)?),
+        None => None,
+    };
+    let finish = |acc: Acc| acc.finish(kind);
+    let fold = |acc: &mut Acc, t: &[Value]| {
+        let singleton = match col {
+            Some(c) => Acc::singleton(t[c], true),
+            None => Acc::one(),
+        };
+        *acc = acc.add(singleton);
+    };
+    match group_by {
+        None => {
+            let mut acc = Acc::none();
+            crate::enumerate::for_each_tuple(rep, |t| fold(&mut acc, t));
+            Ok(AggregateResult::Scalar(finish(acc)))
+        }
+        Some(group) => {
+            let gcol = col_of(group)?;
+            let mut groups: std::collections::BTreeMap<Value, Acc> =
+                std::collections::BTreeMap::new();
+            crate::enumerate::for_each_tuple(rep, |t| {
+                fold(groups.entry(t[gcol]).or_insert_with(Acc::none), t);
+            });
+            Ok(AggregateResult::Groups(
+                groups
+                    .into_iter()
+                    .map(|(g, acc)| (g, finish(acc)))
+                    .collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Entry, Union};
+    use fdb_ftree::DepEdge;
+    use std::collections::BTreeSet;
+
+    fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    /// Example 3 of the paper: ⟨A:1⟩×(⟨B:1⟩ ∪ ⟨B:2⟩) ∪ ⟨A:2⟩×⟨B:2⟩,
+    /// tuples {(1,1), (1,2), (2,2)}.
+    fn example3() -> FRep {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 3)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::new(
+                        b,
+                        vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+                    )],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![Entry::leaf(Value::new(2))])],
+                },
+            ],
+        );
+        FRep::from_parts(tree, vec![union]).unwrap()
+    }
+
+    #[test]
+    fn example3_aggregates() {
+        let rep = example3();
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(3)
+        );
+        // A over {1, 1, 2}; B over {1, 2, 2}.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(0))).unwrap(),
+            AggregateValue::Sum(4)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(1))).unwrap(),
+            AggregateValue::Sum(5)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Min(AttrId(1))).unwrap(),
+            AggregateValue::Min(Some(Value::new(1)))
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Max(AttrId(0))).unwrap(),
+            AggregateValue::Max(Some(Value::new(2)))
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Avg(AttrId(1))).unwrap(),
+            AggregateValue::Avg(Some(AvgValue { sum: 5, count: 3 }))
+        );
+    }
+
+    #[test]
+    fn example3_grouped_by_root() {
+        let rep = example3();
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, AttrId(0)).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (Value::new(1), AggregateValue::Count(2)),
+                (Value::new(2), AggregateValue::Count(1)),
+            ]
+        );
+        let rows = aggregate_grouped(&rep, AggregateKind::Sum(AttrId(1)), AttrId(0)).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (Value::new(1), AggregateValue::Sum(3)),
+                (Value::new(2), AggregateValue::Sum(2)),
+            ]
+        );
+        // Grouping by a non-root attribute is rejected.
+        assert!(aggregate_grouped(&rep, AggregateKind::Count, AttrId(1)).is_err());
+    }
+
+    #[test]
+    fn empty_representation_aggregates() {
+        let edges = vec![DepEdge::new("R", attrs(&[0]), 0)];
+        let mut tree = FTree::new(edges);
+        tree.add_node(attrs(&[0]), None).unwrap();
+        let rep = FRep::empty(tree);
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(0)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(0))).unwrap(),
+            AggregateValue::Sum(0)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Min(AttrId(0))).unwrap(),
+            AggregateValue::Min(None)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Avg(AttrId(0))).unwrap(),
+            AggregateValue::Avg(None)
+        );
+        assert!(aggregate_grouped(&rep, AggregateKind::Count, AttrId(0))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn nullary_forest_counts_one_tuple() {
+        let rep = FRep::empty(FTree::new(vec![]));
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(1)
+        );
+        // No attribute exists to aggregate over.
+        assert!(aggregate(&rep, AggregateKind::Sum(AttrId(0))).is_err());
+    }
+
+    #[test]
+    fn unknown_and_projected_attributes_are_rejected() {
+        let rep = example3();
+        assert!(matches!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(9))),
+            Err(FdbError::AttributeNotInQuery { .. })
+        ));
+        // Projecting B away removes its exhausted leaf from the tree: the
+        // attribute no longer occurs at all.
+        let mut projected = rep.clone();
+        crate::ops::project(&mut projected, &attrs(&[0])).unwrap();
+        assert!(matches!(
+            aggregate(&projected, AggregateKind::Min(AttrId(1))),
+            Err(FdbError::AttributeNotInQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn entries_with_empty_children_contribute_nothing() {
+        // A=1 has an empty B-union (unpruned): only A=2's tuple counts.
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 2)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![Union::empty(b)],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![Union::new(b, vec![Entry::leaf(Value::new(7))])],
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![union]).unwrap();
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(1)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Min(AttrId(0))).unwrap(),
+            AggregateValue::Min(Some(Value::new(2)))
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Max(AttrId(1))).unwrap(),
+            AggregateValue::Max(Some(Value::new(7)))
+        );
+        // The dead group is omitted entirely.
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, AttrId(0)).unwrap();
+        assert_eq!(rows, vec![(Value::new(2), AggregateValue::Count(1))]);
+    }
+
+    #[test]
+    fn class_attribute_feeds_from_its_node_values() {
+        // A node labelled {A, B}: both attributes aggregate over the same
+        // entry values.
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 2)];
+        let mut tree = FTree::new(edges);
+        let ab = tree.add_node(attrs(&[0, 1]), None).unwrap();
+        let u = Union::new(
+            ab,
+            vec![Entry::leaf(Value::new(3)), Entry::leaf(Value::new(9))],
+        );
+        let rep = FRep::from_parts(tree, vec![u]).unwrap();
+        for attr in [AttrId(0), AttrId(1)] {
+            assert_eq!(
+                aggregate(&rep, AggregateKind::Sum(attr)).unwrap(),
+                AggregateValue::Sum(12)
+            );
+        }
+    }
+
+    #[test]
+    fn product_of_roots_multiplies_counts_and_scales_sums() {
+        // (⟨A:1⟩ ∪ ⟨A:2⟩) × (⟨B:5⟩ ∪ ⟨B:6⟩ ∪ ⟨B:7⟩): 6 tuples.
+        let edges = vec![
+            DepEdge::new("R", attrs(&[0]), 2),
+            DepEdge::new("S", attrs(&[1]), 3),
+        ];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), None).unwrap();
+        let ua = Union::new(
+            a,
+            vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+        );
+        let ub = Union::new(
+            b,
+            vec![
+                Entry::leaf(Value::new(5)),
+                Entry::leaf(Value::new(6)),
+                Entry::leaf(Value::new(7)),
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![ua, ub]).unwrap();
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(6)
+        );
+        // Each A value occurs 3 times: sum_A = (1+2)·3 = 9.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(0))).unwrap(),
+            AggregateValue::Sum(9)
+        );
+        // Each B value occurs twice: sum_B = (5+6+7)·2 = 36.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Sum(AttrId(1))).unwrap(),
+            AggregateValue::Sum(36)
+        );
+        // Group by B (a root attribute): every group has 2 tuples.
+        let rows = aggregate_grouped(&rep, AggregateKind::Avg(AttrId(0)), AttrId(1)).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (_, v) in rows {
+            assert_eq!(v, AggregateValue::Avg(Some(AvgValue { sum: 3, count: 2 })));
+        }
+    }
+}

@@ -24,10 +24,42 @@
 //!   projection — all arena-native, rewriting the flat store in single
 //!   passes with no pointer-tree round trip.  Each operator transforms both
 //!   the representation and its f-tree, keeping the two consistent, and
-//!   runs in (quasi)linear time in the sizes of its input and output.
+//!   runs in (quasi)linear time in the sizes of its input and output;
+//! * one-pass aggregation ([`aggregate`]): `COUNT`/`SUM`/`MIN`/`MAX`/`AVG`
+//!   (optionally grouped by a root attribute) over the factorised data,
+//!   without enumerating a single tuple.
+//!
+//! # The arena layout contract
+//!
+//! Every consumer in the crate reads the same flat layout, so it is worth
+//! stating once (see [`store`] for the full details): a representation is
+//! four arrays — union headers, entry records (contiguous per union, values
+//! strictly increasing), kid slots (one contiguous run per entry, in the
+//! f-tree's child order) and a root list.  Union indices are **topological**
+//! (every kid index exceeds its parent union's index), which is what turns
+//! whole-representation statistics into flat loops: [`FRep::tuple_count`]
+//! and the aggregation pass of [`aggregate`] are single *reverse* loops over
+//! the union array (children are finished before their parents are visited),
+//! and enumeration/emission are forward walks.  Operators never mutate an
+//! arena in place; they emit a fresh one in the exact freeze layout (the
+//! layout [`FRep::from_parts`] produces), which keeps every rewrite
+//! bit-for-bit comparable with the thaw-path oracle.
+//!
+//! # Where aggregation hooks in
+//!
+//! [`aggregate::aggregate`] and [`aggregate::aggregate_grouped`] evaluate on
+//! a frozen arena in one reverse loop.  For aggregate *queries* the fused
+//! executor ([`ops::fuse`]) goes one step further:
+//! [`ops::execute_fused_aggregate`] applies a structural segment to the
+//! fused overlay and folds the aggregate over the overlay itself — the final
+//! arena is never emitted, so an aggregate query pays zero output
+//! materialisation.  `fdb-plan` routes a plan's trailing structural segment
+//! through that entry point and `fdb-core` reports it as
+//! `aggregates_on_overlay`.
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod build;
 pub mod enumerate;
 pub mod frep;
@@ -35,6 +67,7 @@ pub mod node;
 pub mod ops;
 pub mod store;
 
+pub use aggregate::{AggregateKind, AggregateResult, AggregateValue, AvgValue};
 pub use build::build_frep;
 pub use enumerate::{count_by_enumeration, for_each_tuple, materialize, TupleCursor};
 pub use frep::FRep;

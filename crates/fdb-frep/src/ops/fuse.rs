@@ -53,10 +53,11 @@
 //! Total data movement for a k-step segment: the touched regions (which the
 //! step-wise path also rebuilds) plus **one** full copy, instead of k.
 
+use crate::aggregate::{self, Acc, AggTarget, AggregateKind, AggregateResult};
 use crate::frep::FRep;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{kid_count_table, Rewriter, Store};
-use fdb_common::{Result, Value};
+use fdb_common::{AttrId, Result, Value};
 use fdb_ftree::{FTree, NodeId, SwapOutcome};
 use std::collections::BTreeSet;
 
@@ -99,6 +100,33 @@ pub fn execute_fused(rep: &mut FRep, ops: &[FusedOp]) -> Result<()> {
     rep.replace_parts(tree, store);
     debug_validate(rep, "fused plan segment");
     Ok(())
+}
+
+/// Executes a run of fusable structural steps on the overlay and evaluates
+/// an aggregate directly over the overlay — **the final arena is never
+/// emitted**.  The input representation is left untouched (structural steps
+/// do not change the represented relation, and an aggregate consumer has no
+/// use for the restructured arena), so an aggregate query pays zero
+/// final-arena materialisation.
+///
+/// Returns exactly what [`crate::aggregate::evaluate`] would return on the
+/// arena [`execute_fused`] would have produced: the aggregate is resolved
+/// against the *final* simulated f-tree, every overlay union reachable at
+/// the end matches that tree's node set and child order (the passes rebuild
+/// every region whose shape changes), and `COUNT`/`SUM` use the same
+/// wrapping 128-bit arithmetic — so the two paths agree bit for bit.
+pub fn execute_fused_aggregate(
+    rep: &FRep,
+    ops: &[FusedOp],
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+) -> Result<AggregateResult> {
+    let mut fusion = Fusion::new(rep.store(), rep.tree());
+    let mut cur = rep.tree().clone();
+    for op in ops {
+        apply_op(&mut fusion, &mut cur, *op)?;
+    }
+    fusion.aggregate(&cur, kind, group_by)
 }
 
 /// Applies one fused step: advances the simulated tree and transforms the
@@ -451,6 +479,100 @@ impl<'a> Fusion<'a> {
             .map(|&r| emit_union(&mut rw, &self.mixes, r))
             .collect();
         rw.finish(roots)
+    }
+
+    // -----------------------------------------------------------------
+    // Aggregation over the overlay
+    // -----------------------------------------------------------------
+
+    /// Evaluates an aggregate over the overlay forest against the final
+    /// simulated tree, instead of emitting an output arena.  The aggregate
+    /// semantics live in the shared [`aggregate::evaluate_source`]
+    /// scaffold; the overlay only supplies accessors, with untouched `Src`
+    /// subtrees folded once and memoized by arena index (a shared subtree
+    /// referenced from several overlay entries — e.g. a lifted push-up copy
+    /// — is aggregated once), so the walk costs one visit per reachable
+    /// input union plus one per `Mix` entry.
+    fn aggregate(
+        &self,
+        final_tree: &FTree,
+        kind: AggregateKind,
+        group_by: Option<AttrId>,
+    ) -> Result<AggregateResult> {
+        let mut src = OverlaySource {
+            fu: self,
+            memo: vec![None; self.src.unions.len()],
+        };
+        aggregate::evaluate_source(&mut src, final_tree, kind, group_by)
+    }
+}
+
+/// The fused overlay as an aggregation source (see [`Fusion::aggregate`]):
+/// supplies the overlay's accessor surface to the shared
+/// [`aggregate::evaluate_source`] scaffold, so arena and overlay aggregation
+/// semantics cannot drift apart.
+struct OverlaySource<'f, 'a> {
+    fu: &'f Fusion<'a>,
+    /// Per-`Src`-union accumulator cache.
+    memo: Vec<Option<Acc>>,
+}
+
+impl OverlaySource<'_, '_> {
+    /// Folds one virtual union into an accumulator (recursive over the
+    /// overlay, memoized per `Src` arena index).
+    fn fold_union(&mut self, v: VId, target: AggTarget) -> Acc {
+        if let Some(uid) = v.as_src() {
+            if let Some(cached) = self.memo[uid as usize] {
+                return cached;
+            }
+        }
+        let carries = target.carried_by(self.fu.node_of(v));
+        let kid_count = self.fu.kid_count_of(v);
+        let len = self.fu.len(v);
+        let mut total = Acc::none();
+        for i in 0..len {
+            let mut acc = Acc::singleton(self.fu.value(v, i), carries);
+            for k in 0..kid_count {
+                acc = acc.product(self.fold_union(self.fu.kid(v, i, k), target));
+            }
+            total = total.add(acc);
+        }
+        if let Some(uid) = v.as_src() {
+            self.memo[uid as usize] = Some(total);
+        }
+        total
+    }
+}
+
+impl aggregate::AggSource for OverlaySource<'_, '_> {
+    type Id = VId;
+
+    fn roots(&self) -> Vec<VId> {
+        self.fu.roots.clone()
+    }
+
+    fn node_of(&self, v: VId) -> NodeId {
+        self.fu.node_of(v)
+    }
+
+    fn len(&self, v: VId) -> u32 {
+        self.fu.len(v)
+    }
+
+    fn value(&self, v: VId, i: u32) -> Value {
+        self.fu.value(v, i)
+    }
+
+    fn kid_count(&self, v: VId) -> u32 {
+        self.fu.kid_count_of(v)
+    }
+
+    fn kid(&self, v: VId, i: u32, k: u32) -> VId {
+        self.fu.kid(v, i, k)
+    }
+
+    fn acc_of(&mut self, v: VId, target: AggTarget) -> Acc {
+        self.fold_union(v, target)
     }
 }
 
@@ -1391,5 +1513,101 @@ mod tests {
         let mut fused = rep.clone();
         execute_fused(&mut fused, &[]).unwrap();
         assert!(fused.store_identical(&rep));
+    }
+
+    /// Overlay aggregation must equal emitting the arena and aggregating it,
+    /// for every kind and both grouped and ungrouped — on the plan's result.
+    fn check_aggregates(rep: &FRep, steps: &[FusedOp], context: &str) {
+        use crate::aggregate::{evaluate, AggregateKind};
+        let mut emitted = rep.clone();
+        execute_fused(&mut emitted, steps).unwrap();
+        let mut kinds = vec![AggregateKind::Count];
+        for attr in emitted.visible_attrs() {
+            kinds.extend([
+                AggregateKind::Sum(attr),
+                AggregateKind::Min(attr),
+                AggregateKind::Max(attr),
+                AggregateKind::Avg(attr),
+            ]);
+        }
+        let group_attrs: Vec<Option<AttrId>> = std::iter::once(None)
+            .chain(
+                emitted
+                    .tree()
+                    .roots()
+                    .iter()
+                    .flat_map(|&r| emitted.tree().visible_attrs(r).into_iter().map(Some)),
+            )
+            .collect();
+        for &kind in &kinds {
+            for &group in &group_attrs {
+                let on_arena = evaluate(&emitted, kind, group).unwrap();
+                let on_overlay = execute_fused_aggregate(rep, steps, kind, group).unwrap();
+                assert_eq!(
+                    on_overlay, on_arena,
+                    "{context}: {kind} group_by {group:?} diverges between overlay and arena"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_aggregates_match_the_emitted_arena() {
+        let (rep, a, b) = swap_shape();
+        check_aggregates(&rep, &[], "no steps");
+        check_aggregates(&rep, &[FusedOp::Swap(b)], "single swap");
+        check_aggregates(
+            &rep,
+            &[FusedOp::Swap(b), FusedOp::Swap(a), FusedOp::Swap(b)],
+            "swap cycle",
+        );
+        let (rep, a, b) = product_shape();
+        let child = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        check_aggregates(
+            &rep,
+            &[
+                FusedOp::Merge(a, b),
+                FusedOp::Swap(child),
+                FusedOp::Normalise,
+            ],
+            "merge, swap, normalise",
+        );
+    }
+
+    #[test]
+    fn overlay_aggregates_handle_mid_segment_emptying() {
+        // Merge over disjoint value sets empties the representation inside
+        // the segment; the aggregate must see the empty result.
+        use crate::aggregate::AggregateValue;
+        let side = |root_attr: u32, child_attr: u32, name: &str, v: u64| {
+            let edges = vec![DepEdge::new(name, attrs(&[root_attr, child_attr]), 1)];
+            let mut tree = FTree::new(edges);
+            let root = tree.add_node(attrs(&[root_attr]), None).unwrap();
+            let child = tree.add_node(attrs(&[child_attr]), Some(root)).unwrap();
+            FRep::from_parts(
+                tree,
+                vec![Union::new(
+                    root,
+                    vec![Entry {
+                        value: Value::new(v),
+                        children: vec![Union::new(child, vec![Entry::leaf(Value::new(v * 10))])],
+                    }],
+                )],
+            )
+            .unwrap()
+        };
+        let rep = ops::product(side(0, 1, "R", 1), side(2, 3, "S", 2)).unwrap();
+        let a = rep.tree().node_of_attr(AttrId(0)).unwrap();
+        let b = rep.tree().node_of_attr(AttrId(2)).unwrap();
+        let steps = [FusedOp::Merge(a, b)];
+        check_aggregates(&rep, &steps, "merge to empty");
+        let count =
+            execute_fused_aggregate(&rep, &steps, crate::aggregate::AggregateKind::Count, None)
+                .unwrap();
+        assert_eq!(
+            count.as_scalar().unwrap(),
+            AggregateValue::Count(0),
+            "emptied segment counts zero tuples"
+        );
     }
 }

@@ -61,7 +61,7 @@ pub mod select;
 pub mod swap;
 
 pub use absorb::absorb;
-pub use fuse::{execute_fused, FusedOp};
+pub use fuse::{execute_fused, execute_fused_aggregate, FusedOp};
 pub use merge::merge;
 pub use product::product;
 pub use project::project;

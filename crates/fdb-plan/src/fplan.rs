@@ -23,7 +23,7 @@
 
 use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
 use fdb_frep::ops::FusedOp;
-use fdb_frep::{ops, FRep};
+use fdb_frep::{aggregate, ops, AggregateKind, AggregateResult, FRep};
 use fdb_ftree::{FTree, NodeId};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -247,6 +247,60 @@ impl FPlan {
             op.execute(rep)?;
         }
         Ok(())
+    }
+
+    /// Executes the plan into an **aggregate sink**: the prefix up to and
+    /// including the last fusion barrier runs exactly like
+    /// [`FPlan::execute`], but the trailing structural segment is applied
+    /// only to the fused overlay and the aggregate is folded over the
+    /// overlay itself ([`ops::execute_fused_aggregate`]) — the final arena
+    /// is never frozen, because an aggregate consumer has no use for it.
+    ///
+    /// The input is borrowed and never modified; a working copy is cloned
+    /// lazily at the first barrier, so a purely structural plan — the
+    /// common shape for aggregate queries over factorised input — touches
+    /// the input arena read-only and pays **no copy at all**.  Returns the
+    /// aggregate result and whether the sink ran on the overlay (`false`
+    /// when the plan ends in a barrier or is empty, in which case the
+    /// aggregate is a flat pass over the last-barrier arena).
+    pub fn execute_aggregate(
+        &self,
+        rep: &FRep,
+        kind: AggregateKind,
+        group_by: Option<AttrId>,
+    ) -> Result<(AggregateResult, bool)> {
+        self.simplified(rep.tree())
+            .execute_aggregate_presimplified(rep, kind, group_by)
+    }
+
+    /// The sink half of [`FPlan::execute_aggregate`], without the peephole
+    /// pass — for callers that already hold a simplified plan (the engine
+    /// simplifies once, reads [`FPlan::fused_segment_count`] off it, then
+    /// executes it through this).
+    pub fn execute_aggregate_presimplified(
+        &self,
+        rep: &FRep,
+        kind: AggregateKind,
+        group_by: Option<AttrId>,
+    ) -> Result<(AggregateResult, bool)> {
+        let mut owned: Option<FRep> = None;
+        let mut segment: Vec<FusedOp> = Vec::new();
+        for op in &self.ops {
+            match op.as_fused() {
+                Some(fused) => segment.push(fused),
+                None => {
+                    let target = owned.get_or_insert_with(|| rep.clone());
+                    flush_segment(target, &mut segment)?;
+                    op.execute(target)?;
+                }
+            }
+        }
+        let current = owned.as_ref().unwrap_or(rep);
+        if segment.is_empty() {
+            return Ok((aggregate::evaluate(current, kind, group_by)?, false));
+        }
+        let result = ops::execute_fused_aggregate(current, &segment, kind, group_by)?;
+        Ok((result, true))
     }
 
     /// Peephole simplification against a simulated f-tree: drops operators
@@ -522,6 +576,72 @@ mod tests {
         assert_eq!(simplified.ops, plan.ops);
         let mut rep = rep;
         assert!(plan.execute(&mut rep).is_err());
+    }
+
+    #[test]
+    fn aggregate_sink_matches_execute_then_aggregate() {
+        let rep = sample_rep();
+        let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        // Barrier in the middle, structural segment at the end: the sink
+        // must run the tail on the overlay.
+        let plan = FPlan::new(vec![
+            FPlanOp::SelectConst {
+                attr: AttrId(3),
+                op: ComparisonOp::Ge,
+                value: Value::new(7),
+            },
+            FPlanOp::Swap(oid),
+            FPlanOp::Normalise,
+        ]);
+        let mut executed = rep.clone();
+        plan.execute(&mut executed).unwrap();
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum(AttrId(1)),
+            AggregateKind::Min(AttrId(3)),
+            AggregateKind::Avg(AttrId(0)),
+        ] {
+            let expected = aggregate::evaluate(&executed, kind, None).unwrap();
+            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, None).unwrap();
+            assert!(
+                on_overlay,
+                "trailing structural segment runs on the overlay"
+            );
+            assert_eq!(got, expected, "{kind}");
+        }
+        // Grouping by the executed tree's root attribute.
+        let root = executed.tree().roots()[0];
+        let group = *executed
+            .tree()
+            .visible_attrs(root)
+            .iter()
+            .next()
+            .expect("root has a visible attribute");
+        let expected = aggregate::evaluate(&executed, AggregateKind::Count, Some(group)).unwrap();
+        let (got, _) = plan
+            .execute_aggregate(&rep, AggregateKind::Count, Some(group))
+            .unwrap();
+        assert_eq!(got, expected);
+        // The borrowed input is untouched by the sink.
+        assert!(rep.store_identical(&sample_rep()));
+    }
+
+    #[test]
+    fn aggregate_sink_falls_back_to_the_arena_after_a_trailing_barrier() {
+        let rep = sample_rep();
+        let plan = FPlan::new(vec![FPlanOp::SelectConst {
+            attr: AttrId(0),
+            op: ComparisonOp::Eq,
+            value: Value::new(1),
+        }]);
+        let mut executed = rep.clone();
+        plan.execute(&mut executed).unwrap();
+        let expected = aggregate::evaluate(&executed, AggregateKind::Count, None).unwrap();
+        let (got, on_overlay) = plan
+            .execute_aggregate(&rep, AggregateKind::Count, None)
+            .unwrap();
+        assert!(!on_overlay, "plan ends in a barrier: plain arena pass");
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -638,3 +638,62 @@ fn fused_plans_match_the_stepwise_path_on_edge_case_representations() {
         "merge to empty then restructure",
     );
 }
+
+#[test]
+fn barrier_only_plans_match_the_stepwise_path() {
+    // Regression: plans made exclusively of fusion barriers (selections and
+    // projections, zero structural steps between them) must route every
+    // operator down the step-wise path with no fused segment — including
+    // back-to-back barriers, where `flush_segment` sees an empty run.
+    let g = grocery_database();
+    let rep = FdbEngine::new()
+        .evaluate_flat(&g.db, &g.q1())
+        .expect("FDB evaluates")
+        .result;
+    let item = g.attr("Orders.item");
+    let location = g.attr("Store.location");
+    let keep: BTreeSet<AttrId> = rep
+        .visible_attrs()
+        .into_iter()
+        .filter(|&a| a != location)
+        .collect();
+    let plan = FPlan::new(vec![
+        FPlanOp::SelectConst {
+            attr: item,
+            op: ComparisonOp::Ge,
+            value: Value::new(1),
+        },
+        FPlanOp::SelectConst {
+            attr: item,
+            op: ComparisonOp::Ne,
+            value: Value::new(3),
+        },
+        FPlanOp::Project(keep),
+        FPlanOp::SelectConst {
+            attr: item,
+            op: ComparisonOp::Le,
+            value: Value::new(2),
+        },
+    ]);
+    assert_eq!(
+        plan.simplified(rep.tree()).fused_segment_count(),
+        0,
+        "a barrier-only plan has no structural segment to fuse"
+    );
+    check_fused_against_stepwise(&rep, &plan, "barrier-only plan");
+
+    // The same plan consumed by the aggregate sink must fall back to the
+    // plain arena pass (nothing left for the overlay).
+    let mut executed = rep.clone();
+    plan.execute(&mut executed).unwrap();
+    let (got, on_overlay) = plan
+        .execute_aggregate(&rep, fdb::frep::AggregateKind::Count, None)
+        .expect("aggregate sink runs");
+    assert!(!on_overlay, "barrier-only plans aggregate on the arena");
+    assert_eq!(
+        got,
+        fdb::frep::AggregateResult::Scalar(fdb::frep::AggregateValue::Count(
+            executed.tuple_count()
+        ))
+    );
+}
