@@ -9,7 +9,7 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures; `EXPERIMENTS.md` records a full run.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, report, Scale};
 use std::time::Instant;
 
 /// Runs the PR 1 enumeration benchmark and writes its machine-readable
@@ -114,6 +114,29 @@ fn run_bench_pr4(smoke: bool) {
     println!("(bench-pr4 finished in {:?})\n", start.elapsed());
 }
 
+/// Runs the PR 5 whole-plan-fusion benchmark (fused vs PR 3 segmented
+/// execution on barrier-bearing plans, plus select-then-aggregate sinks)
+/// and writes `BENCH_PR5.json`.  At `--scale smoke` the inputs shrink and
+/// nothing is written.
+fn run_bench_pr5(smoke: bool) {
+    let start = Instant::now();
+    let scale = if smoke {
+        pr5::Pr5Scale::Smoke
+    } else {
+        pr5::Pr5Scale::Full
+    };
+    let report = pr5::run(scale);
+    print!("{}", pr5::render_table(&report));
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else {
+        std::fs::write("BENCH_PR5.json", pr5::render_json(&report))
+            .expect("writing BENCH_PR5.json");
+        println!("\nwrote BENCH_PR5.json");
+    }
+    println!("(bench-pr5 finished in {:?})\n", start.elapsed());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -158,6 +181,10 @@ fn main() {
     }
     if which.contains(&"bench-pr4") {
         run_bench_pr4(smoke);
+        return;
+    }
+    if which.contains(&"bench-pr5") {
+        run_bench_pr5(smoke);
         return;
     }
 

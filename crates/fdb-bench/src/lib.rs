@@ -28,6 +28,7 @@ pub mod pr1;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
+pub mod pr5;
 pub mod report;
 
 /// Scale of an experiment run.

@@ -261,7 +261,7 @@ fn optimiser_workload(d: Dims, l: usize, min_ops: usize, salt: u64) -> (FRep, FP
             .plan
             .ops
             .iter()
-            .filter(|op| op.as_fused().is_some())
+            .filter(|op| !op.is_barrier())
             .count();
         if fusable < min_ops {
             continue;

@@ -1,0 +1,659 @@
+//! PR 5 benchmark: whole-plan fusion vs the PR 3 segmented baseline.
+//!
+//! PR 3 fused runs of *structural* operators but kept selections and
+//! projections as segment barriers, so a plan with b interior barriers still
+//! paid at least 2b+1 arena passes.  PR 5 folds both barrier classes into
+//! the overlay executor and compiles the **whole plan** into one program
+//! with a single arena emission; aggregate sinks additionally fold trailing
+//! selections into the accumulation and emit no arena at all.  This
+//! benchmark times the difference on selection-heavy and select-then-
+//! aggregate workloads:
+//!
+//! * **fused** — [`FPlan::execute`] / [`FPlan::execute_aggregate`]: the
+//!   whole plan as one overlay program;
+//! * **segmented** — [`FPlan::execute_segmented`] (+ the arena aggregate
+//!   pass): the PR 3 path, one arena pass per barrier and per structural
+//!   segment.
+//!
+//! Every plan row carries at least one *interior* barrier (a selection or
+//! projection with structural steps on both sides), the shape the PR 3
+//! executor could not fuse across.  All sides are checked bit-for-bit (or
+//! value-equal, for aggregates) before timing.  The `experiments bench-pr5`
+//! subcommand prints the tables and serialises the rows as
+//! `BENCH_PR5.json`; `--scale smoke` shrinks the inputs so CI can keep the
+//! harness from bit-rotting.
+
+use fdb_common::{AttrId, ComparisonOp, Value};
+use fdb_core::FdbEngine;
+use fdb_datagen::{
+    populate, random_followup_equalities, random_query, random_schema, ValueDistribution,
+};
+use fdb_frep::{aggregate, ops, AggregateKind, Entry, FRep, Union};
+use fdb_ftree::{DepEdge, FTree, NodeId};
+use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One fused-vs-segmented plan measurement.
+#[derive(Clone, Debug)]
+pub struct PlanRow {
+    /// Workload name (stable across refactors).
+    pub name: String,
+    /// Singleton count of the input representation.
+    pub singletons: u64,
+    /// Number of operators in the executed plan.
+    pub plan_ops: u32,
+    /// Number of former barriers (selections/projections) in the plan.
+    pub barriers: u32,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one whole-plan fused execution.
+    pub fused_seconds: f64,
+    /// Best wall time of one PR 3 segmented execution.
+    pub segmented_seconds: f64,
+    /// `segmented_seconds / fused_seconds`.
+    pub speedup: f64,
+}
+
+/// One select-then-aggregate measurement: the overlay sink (no arena at
+/// all) vs segmented execution followed by the arena aggregate pass.
+#[derive(Clone, Debug)]
+pub struct AggRow {
+    /// Workload name.
+    pub name: String,
+    /// Singleton count of the input representation.
+    pub singletons: u64,
+    /// Number of operators in the plan ahead of the aggregate.
+    pub plan_ops: u32,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of the fused aggregate sink.
+    pub fused_seconds: f64,
+    /// Best wall time of segmented execute-then-aggregate.
+    pub segmented_seconds: f64,
+    /// `segmented_seconds / fused_seconds`.
+    pub speedup: f64,
+}
+
+/// The full PR 5 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr5Report {
+    /// Whole-plan execution rows (each plan has ≥ 1 interior barrier).
+    pub plans: Vec<PlanRow>,
+    /// Select-then-aggregate rows.
+    pub aggregates: Vec<AggRow>,
+    /// Geometric mean of the plan speedups.
+    pub plan_speedup_geomean: f64,
+    /// Geometric mean of the aggregate speedups.
+    pub aggregate_speedup_geomean: f64,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr5Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR5.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Entries of the outermost union of each synthetic chain.
+    outer: u64,
+    /// Entries per nested union.
+    inner: u64,
+    /// Independent chains in the wide-forest workloads.
+    chains: u32,
+    /// Rows per relation of the optimiser workload.
+    rows: usize,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Plan executions per measurement.
+    reps: u32,
+}
+
+impl Pr5Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr5Scale::Smoke => Dims {
+                outer: 30,
+                inner: 6,
+                chains: 4,
+                rows: 120,
+                measurements: 2,
+                reps: 2,
+            },
+            Pr5Scale::Full => Dims {
+                outer: 300,
+                inner: 30,
+                chains: 6,
+                rows: 1_500,
+                measurements: 5,
+                reps: 6,
+            },
+        }
+    }
+}
+
+fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+    ids.iter().map(|&i| AttrId(i)).collect()
+}
+
+fn leaf_union(node: NodeId, values: impl Iterator<Item = u64>) -> Union {
+    Union::new(node, values.map(|v| Entry::leaf(Value::new(v))).collect())
+}
+
+fn select(attr: AttrId, op: ComparisonOp, value: u64) -> FPlanOp {
+    FPlanOp::SelectConst {
+        attr,
+        op,
+        value: Value::new(value),
+    }
+}
+
+/// The product of `chains` independent two-level chains (the PR 3 wide
+/// forest): root attribute `2i`, child attribute `2i+1` for chain `i`.
+fn wide_forest(d: Dims) -> FRep {
+    let mut rep: Option<FRep> = None;
+    for chain in 0..d.chains {
+        let (ra, rb) = (chain * 2, chain * 2 + 1);
+        let edges = vec![DepEdge::new(format!("R{chain}"), attrs(&[ra, rb]), d.outer)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[ra]), None).unwrap();
+        let child = tree.add_node(attrs(&[rb]), Some(root)).unwrap();
+        let entries = (0..d.outer)
+            .map(|v| Entry {
+                value: Value::new(v),
+                children: vec![leaf_union(child, v..v + d.inner)],
+            })
+            .collect();
+        let side = FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap();
+        rep = Some(match rep {
+            None => side,
+            Some(acc) => ops::product(acc, side).unwrap(),
+        });
+    }
+    rep.expect("at least one chain")
+}
+
+/// A{0} → B{1} → (C{2}, D{3}) with C dependent on A and D independent — the
+/// PR 3 regrouping shape.
+fn swap_shape(d: Dims) -> (FRep, NodeId, NodeId) {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RAC", attrs(&[0, 2]), d.outer),
+        DepEdge::new("RBD", attrs(&[1, 3]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let d_node = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (av..av + d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![
+                            leaf_union(c, std::iter::once(av * 1_000)),
+                            leaf_union(d_node, std::iter::once(bv)),
+                        ],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    let rep = FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap();
+    (rep, a, b)
+}
+
+/// Swap, interior selection on the (then-root) B attribute, swap back,
+/// normalise: the selection sits between two regroupings the PR 3 executor
+/// had to split around.
+fn swap_select_swap(d: Dims) -> (FRep, FPlan) {
+    let (rep, a, b) = swap_shape(d);
+    let plan = FPlan::new(vec![
+        FPlanOp::Swap(b),
+        select(AttrId(1), ComparisonOp::Ge, d.outer / 3),
+        FPlanOp::Swap(a),
+        FPlanOp::Normalise,
+    ]);
+    (rep, plan)
+}
+
+/// Alternating swaps and root-attribute selections across the wide forest:
+/// five operators, two interior barriers, each pass of the segmented path
+/// re-copying the whole forest.
+fn selection_ladder(d: Dims) -> (FRep, FPlan) {
+    let rep = wide_forest(d);
+    let child_node = |rep: &FRep, chain: u32| {
+        rep.tree()
+            .node_of_attr(AttrId(chain * 2 + 1))
+            .expect("chain child exists")
+    };
+    let plan = FPlan::new(vec![
+        FPlanOp::Swap(child_node(&rep, 0)),
+        select(AttrId(2), ComparisonOp::Ge, d.outer / 4),
+        FPlanOp::Swap(child_node(&rep, 1)),
+        select(AttrId(4), ComparisonOp::Ne, d.outer / 2),
+        FPlanOp::Swap(child_node(&rep, 2)),
+    ]);
+    (rep, plan)
+}
+
+/// A projection between two swaps: the leaf removal used to be its own
+/// barrier pass, now it is header remaps inside the single program.
+fn project_mid_plan(d: Dims) -> (FRep, FPlan) {
+    let rep = wide_forest(d);
+    let all: BTreeSet<AttrId> = rep.tree().all_attrs();
+    let dropped = AttrId(d.chains * 2 - 1); // the last chain's leaf attribute
+    let keep: BTreeSet<AttrId> = all.into_iter().filter(|&x| x != dropped).collect();
+    let child0 = rep.tree().node_of_attr(AttrId(1)).unwrap();
+    let child1 = rep.tree().node_of_attr(AttrId(3)).unwrap();
+    let plan = FPlan::new(vec![
+        FPlanOp::Swap(child0),
+        FPlanOp::Project(keep),
+        FPlanOp::Swap(child1),
+        FPlanOp::Normalise,
+    ]);
+    (rep, plan)
+}
+
+/// A plan of nothing but barriers: three selections and a projection, each
+/// of which was a separate arena pass on the segmented path.
+fn barrier_ladder(d: Dims) -> (FRep, FPlan) {
+    let (rep, _, _) = swap_shape(d);
+    let keep = attrs(&[0, 1, 3]);
+    let plan = FPlan::new(vec![
+        select(AttrId(0), ComparisonOp::Ge, d.outer / 4),
+        select(AttrId(3), ComparisonOp::Ne, d.outer / 2),
+        FPlanOp::Project(keep),
+        select(AttrId(1), ComparisonOp::Le, d.outer + d.inner),
+    ]);
+    (rep, plan)
+}
+
+/// An optimiser-produced structural plan with a constant selection spliced
+/// into the middle — the shape `evaluate_factorised` produces for a query
+/// with both equality conditions and constant selections.  Seeds are
+/// scanned until the plan has enough structural steps.
+fn optimiser_plan_with_selection(d: Dims, min_ops: usize) -> (FRep, FPlan) {
+    let engine = FdbEngine::new();
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(0x5055_3A44 ^ seed);
+        let catalog = random_schema(&mut rng, 4, 10);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, d.rows, 40, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 2);
+        let Ok(base) = engine.evaluate_flat(&db, &query) else {
+            continue;
+        };
+        // Arena passes only dominate once the representation is reasonably
+        // large; small reps are fixed-cost noise either way.
+        if base.result.size() < d.rows * 4 {
+            continue;
+        }
+        let follow = random_followup_equalities(&mut rng, &catalog, &query, 2);
+        if follow.len() < 2 {
+            continue;
+        }
+        let Ok(optimised) = ExhaustiveOptimizer::new().optimize(base.result.tree(), &follow) else {
+            continue;
+        };
+        if optimised.plan.len() < min_ops {
+            continue;
+        }
+        // Splice a selective-but-not-emptying selection into the middle.
+        let attr = *base
+            .result
+            .visible_attrs()
+            .first()
+            .expect("non-empty representation has attributes");
+        let mut ops_list = optimised.plan.ops.clone();
+        ops_list.insert(ops_list.len() / 2, select(attr, ComparisonOp::Ge, 2));
+        let plan = FPlan::new(ops_list);
+        let mut probe = base.result.clone();
+        if plan.execute_stepwise(&mut probe).is_err() {
+            continue;
+        }
+        return (base.result, plan);
+    }
+    panic!("no seed produced an optimiser plan with ≥ {min_ops} ops");
+}
+
+/// Times `run` on fresh clones of `input`, best of `measurements` runs of
+/// `reps` executions; returns seconds per execution.
+fn time_plan<F: FnMut(&mut FRep)>(input: &FRep, d: Dims, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let mut total = 0.0f64;
+        for _ in 0..d.reps {
+            let mut rep = input.clone();
+            let start = Instant::now();
+            run(&mut rep);
+            total += start.elapsed().as_secs_f64();
+            std::hint::black_box(&rep);
+        }
+        best = best.min(total / d.reps as f64);
+    }
+    best
+}
+
+/// Measures one plan both ways, checking bit-for-bit identity (against the
+/// step-wise oracle too) first.
+fn measure_plan(name: &str, input: &FRep, plan: &FPlan, d: Dims) -> PlanRow {
+    let mut fused = input.clone();
+    let mut segmented = input.clone();
+    let mut stepwise = input.clone();
+    plan.execute(&mut fused).expect("fused execution succeeds");
+    plan.execute_segmented(&mut segmented)
+        .expect("segmented execution succeeds");
+    plan.execute_stepwise(&mut stepwise)
+        .expect("step-wise execution succeeds");
+    assert!(
+        fused.store_identical(&segmented) && fused.store_identical(&stepwise),
+        "{name}: execution paths diverge"
+    );
+
+    let fused_seconds = time_plan(input, d, |rep| {
+        plan.execute(rep).expect("fused execution succeeds");
+    });
+    let segmented_seconds = time_plan(input, d, |rep| {
+        plan.execute_segmented(rep)
+            .expect("segmented execution succeeds");
+    });
+    PlanRow {
+        name: name.to_string(),
+        singletons: input.size() as u64,
+        plan_ops: plan.len() as u32,
+        barriers: plan.barrier_count() as u32,
+        reps: d.reps,
+        fused_seconds,
+        segmented_seconds,
+        speedup: segmented_seconds / fused_seconds.max(1e-12),
+    }
+}
+
+/// Measures one select-then-aggregate workload: the fused sink vs segmented
+/// execution plus the arena aggregate pass.
+fn measure_aggregate(
+    name: &str,
+    input: &FRep,
+    plan: &FPlan,
+    kind: AggregateKind,
+    d: Dims,
+) -> AggRow {
+    // Correctness first: the sink must equal execute-then-aggregate.
+    let (on_sink, _) = plan
+        .execute_aggregate(input, kind, None)
+        .expect("aggregate sink runs");
+    let mut executed = input.clone();
+    plan.execute_segmented(&mut executed)
+        .expect("segmented execution succeeds");
+    let on_arena = aggregate::evaluate(&executed, kind, None).expect("arena aggregate runs");
+    assert_eq!(on_sink, on_arena, "{name}: aggregate paths diverge");
+
+    let mut best_fused = f64::INFINITY;
+    let mut best_segmented = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let mut fused_total = 0.0f64;
+        let mut segmented_total = 0.0f64;
+        for _ in 0..d.reps {
+            let start = Instant::now();
+            let out = plan
+                .execute_aggregate(input, kind, None)
+                .expect("aggregate sink runs");
+            fused_total += start.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+
+            let mut rep = input.clone();
+            let start = Instant::now();
+            plan.execute_segmented(&mut rep)
+                .expect("segmented execution succeeds");
+            let out = aggregate::evaluate(&rep, kind, None).expect("arena aggregate runs");
+            segmented_total += start.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+        }
+        best_fused = best_fused.min(fused_total / d.reps as f64);
+        best_segmented = best_segmented.min(segmented_total / d.reps as f64);
+    }
+    AggRow {
+        name: name.to_string(),
+        singletons: input.size() as u64,
+        plan_ops: plan.len() as u32,
+        reps: d.reps,
+        fused_seconds: best_fused,
+        segmented_seconds: best_segmented,
+        speedup: best_segmented / best_fused.max(1e-12),
+    }
+}
+
+fn geomean(speedups: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = speedups.fold((0.0f64, 0usize), |(s, n), x| (s + x.ln(), n + 1));
+    (sum / n.max(1) as f64).exp()
+}
+
+/// Runs the full PR 5 benchmark at the given scale.
+pub fn run(scale: Pr5Scale) -> Pr5Report {
+    let d = scale.dims();
+    let mut plans = Vec::new();
+
+    let (rep, plan) = swap_select_swap(d);
+    plans.push(measure_plan("swap_select_swap", &rep, &plan, d));
+
+    let (rep, plan) = selection_ladder(d);
+    plans.push(measure_plan("selection_ladder_forest", &rep, &plan, d));
+
+    let (rep, plan) = project_mid_plan(d);
+    plans.push(measure_plan("project_mid_plan", &rep, &plan, d));
+
+    let (rep, plan) = barrier_ladder(d);
+    plans.push(measure_plan("barrier_only_ladder", &rep, &plan, d));
+
+    let (rep, plan) = optimiser_plan_with_selection(d, 3);
+    plans.push(measure_plan("optimiser_plan_with_select", &rep, &plan, d));
+
+    let mut aggregates = Vec::new();
+    let (rep, _, _) = swap_shape(d);
+    let select_leaf = FPlan::new(vec![select(AttrId(3), ComparisonOp::Ge, d.inner / 2)]);
+    aggregates.push(measure_aggregate(
+        "select_then_count",
+        &rep,
+        &select_leaf,
+        AggregateKind::Count,
+        d,
+    ));
+    let select_twice = FPlan::new(vec![
+        select(AttrId(0), ComparisonOp::Ge, d.outer / 4),
+        select(AttrId(3), ComparisonOp::Ne, d.inner / 2),
+    ]);
+    aggregates.push(measure_aggregate(
+        "select_select_sum",
+        &rep,
+        &select_twice,
+        AggregateKind::Sum(AttrId(1)),
+        d,
+    ));
+    let (rep2, _, b) = swap_shape(d);
+    let restructure_select = FPlan::new(vec![
+        FPlanOp::Swap(b),
+        select(AttrId(1), ComparisonOp::Ge, d.outer / 3),
+    ]);
+    aggregates.push(measure_aggregate(
+        "swap_select_count",
+        &rep2,
+        &restructure_select,
+        AggregateKind::Count,
+        d,
+    ));
+
+    let plan_speedup_geomean = geomean(plans.iter().map(|r| r.speedup));
+    let aggregate_speedup_geomean = geomean(aggregates.iter().map(|r| r.speedup));
+    Pr5Report {
+        plans,
+        aggregates,
+        plan_speedup_geomean,
+        aggregate_speedup_geomean,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR3.json`).
+pub fn render_json(report: &Pr5Report) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pr5-whole-plan-fusion\",\n  \"plans\": [\n");
+    for (i, row) in report.plans.iter().enumerate() {
+        let comma = if i + 1 < report.plans.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"barriers\": {}, \
+             \"reps\": {}, \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \
+             \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.barriers,
+            row.reps,
+            row.fused_seconds,
+            row.segmented_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("  ],\n  \"aggregates\": [\n");
+    for (i, row) in report.aggregates.iter().enumerate() {
+        let comma = if i + 1 < report.aggregates.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+             \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.reps,
+            row.fused_seconds,
+            row.segmented_seconds,
+            row.speedup,
+            comma
+        )
+        .expect("string write");
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"plan_speedup_geomean\": {:.3},",
+        report.plan_speedup_geomean
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "  \"aggregate_speedup_geomean\": {:.3}",
+        report.aggregate_speedup_geomean
+    )
+    .expect("string write");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the human-readable tables printed by the `experiments` binary.
+pub fn render_table(report: &Pr5Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<28} {:>12} {:>5} {:>9} {:>14} {:>14} {:>9}",
+        "whole-plan fusion",
+        "singletons",
+        "ops",
+        "barriers",
+        "fused (s)",
+        "segmented (s)",
+        "speedup"
+    )
+    .expect("string write");
+    for row in &report.plans {
+        writeln!(
+            out,
+            "{:<28} {:>12} {:>5} {:>9} {:>14.6} {:>14.6} {:>8.2}x",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.barriers,
+            row.fused_seconds,
+            row.segmented_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "plan geometric-mean speedup: {:.2}x\n",
+        report.plan_speedup_geomean
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "{:<28} {:>12} {:>5} {:>14} {:>14} {:>9}",
+        "select-then-aggregate", "singletons", "ops", "sink (s)", "segmented (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.aggregates {
+        writeln!(
+            out,
+            "{:<28} {:>12} {:>5} {:>14.6} {:>14.6} {:>8.2}x",
+            row.name,
+            row.singletons,
+            row.plan_ops,
+            row.fused_seconds,
+            row.segmented_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "aggregate geometric-mean speedup: {:.2}x",
+        report.aggregate_speedup_geomean
+    )
+    .expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_runs_and_reports_consistent_rows() {
+        let report = run(Pr5Scale::Smoke);
+        assert_eq!(report.plans.len(), 5);
+        assert_eq!(report.aggregates.len(), 3);
+        assert!(report.plan_speedup_geomean > 0.0);
+        assert!(report.aggregate_speedup_geomean > 0.0);
+        for row in &report.plans {
+            assert!(row.fused_seconds > 0.0 && row.segmented_seconds > 0.0);
+            assert!(
+                row.barriers >= 1,
+                "{}: every plan row carries a barrier",
+                row.name
+            );
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"plan_speedup_geomean\""));
+        assert!(json.contains("selection_ladder_forest"));
+        assert!(json.contains("select_then_count"));
+        let table = render_table(&report);
+        assert!(table.contains("plan geometric-mean speedup"));
+        assert!(table.contains("aggregate geometric-mean speedup"));
+    }
+}

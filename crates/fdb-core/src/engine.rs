@@ -74,22 +74,33 @@ pub struct EvalStats {
     pub plan: FPlan,
     /// Number of optimiser states explored.
     pub explored_states: usize,
-    /// Number of multi-step structural segments of the plan that executed as
-    /// single fused arena passes (see `fdb_frep::ops::fuse`).
+    /// Number of fused overlay programs the plan executed as (0 or 1 since
+    /// whole-plan fusion — the entire plan compiles into one program when it
+    /// would pay more than one arena pass step-wise; see
+    /// `fdb_frep::ops::fuse`).
     pub fused_segments: usize,
     /// Number of aggregate evaluations folded directly over the fused
-    /// overlay (no final-arena emission); 0 for non-aggregate queries and
-    /// for aggregates that ran as plain arena passes.
+    /// overlay (no arena emission at all); 0 for non-aggregate queries and
+    /// for empty-plan aggregates, which run as plain arena passes.
     pub aggregates_on_overlay: usize,
+    /// Former fusion barriers (constant selections, projections) executed
+    /// *inside* a fused overlay program instead of as standalone arena
+    /// passes — the PR 5 whole-plan fusion win.
+    pub barriers_fused: usize,
+    /// Intermediate arenas fused execution skipped relative to the
+    /// step-wise path (a lower bound: one per plan operator beyond the
+    /// single emission; for aggregate sinks every operator's arena,
+    /// including the final one, is skipped).
+    pub arenas_skipped: usize,
 }
 
 impl EvalStats {
     /// The execution counters as aligned `name value` rows, with the
-    /// fused-segment and overlay-aggregate counters on one shared row.
-    /// Reports that show per-evaluation statistics (e.g. the `bench-pr4`
-    /// table) print this instead of improvising their own lines.
+    /// fused-segment/overlay-aggregate and barrier/arena counters on shared
+    /// rows.  Reports that show per-evaluation statistics (e.g. the
+    /// `bench-pr4` table) print this instead of improvising their own lines.
     pub fn counters_table(&self) -> String {
-        let rows: [(&str, String); 7] = [
+        let rows: [(&str, String); 8] = [
             ("optimisation time", format!("{:?}", self.optimisation_time)),
             ("execution time", format!("{:?}", self.execution_time)),
             ("plan cost s(f)", format!("{:.2}", self.plan_cost)),
@@ -99,6 +110,10 @@ impl EvalStats {
             (
                 "fused segments / overlay aggregates",
                 format!("{} / {}", self.fused_segments, self.aggregates_on_overlay),
+            ),
+            (
+                "barriers fused / arenas skipped",
+                format!("{} / {}", self.barriers_fused, self.arenas_skipped),
             ),
         ];
         let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
@@ -144,16 +159,31 @@ fn lift_group_to_root(tree: &fdb_ftree::FTree, group: AttrId) -> FPlan {
     FPlan::new(vec![FPlanOp::Swap(node); depth])
 }
 
-/// Fused arena passes an aggregate evaluation actually executes: the
-/// trailing structural segment (everything after the last barrier) is
-/// consumed on the overlay without an arena pass, so only segments up to
-/// and including the last barrier count towards
-/// [`EvalStats::fused_segments`].
-fn fused_segments_before_sink(plan: &FPlan) -> usize {
-    match plan.ops.iter().rposition(|op| op.as_fused().is_none()) {
-        Some(last_barrier) => FPlan::new(plan.ops[..=last_barrier].to_vec()).fused_segment_count(),
-        None => 0,
+/// Fusion counters `(fused_segments, barriers_fused, arenas_skipped)` of a
+/// simplified plan about to execute through `FPlan::execute_presimplified`:
+/// when the plan fuses, the whole op list runs as one overlay program, its
+/// barriers included, and every intermediate arena but the single emission
+/// is skipped.
+fn fusion_counters(plan: &FPlan) -> (usize, usize, usize) {
+    let fused = plan.fuses();
+    (
+        usize::from(fused),
+        if fused { plan.barrier_count() } else { 0 },
+        plan.arenas_skipped(),
+    )
+}
+
+/// Fusion counters of a simplified plan consumed by the aggregate sink.
+/// When the sink ran on the overlay (`on_overlay`), the whole plan —
+/// however short — executed as one fused overlay program and **every**
+/// operator's output arena was skipped: the sink folds the aggregate over
+/// the overlay and never emits, so even a single-operator plan counts one
+/// fused program and one skipped arena.
+fn aggregate_fusion_counters(plan: &FPlan, on_overlay: bool) -> (usize, usize, usize) {
+    if !on_overlay {
+        return (0, 0, 0);
     }
+    (1, plan.barrier_count(), plan.len())
 }
 
 /// Translates a query-level aggregate head into the evaluator's kind.
@@ -224,15 +254,17 @@ impl FdbEngine {
         let mut plan = FPlan::empty();
         if let Some(proj) = &query.projection {
             let keep: BTreeSet<AttrId> = proj.iter().copied().collect();
-            ops::project(&mut result, &keep)?;
             plan.push(FPlanOp::Project(keep));
         }
+        // The flat path's plan holds at most the final projection — which,
+        // being internally multi-pass (leaf removals, swap-downs), still
+        // compiles into one overlay program.
+        let simplified = plan.simplified(result.tree());
+        let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
+        simplified.execute_presimplified(&mut result)?;
         let execution_time = exec_start.elapsed();
 
         let result_tree_cost = s_cost(result.tree())?;
-        // The flat path runs no structural plan (the recorded plan holds at
-        // most the final projection, a barrier), so nothing fuses.
-        let fused_segments = 0;
         Ok(EvalOutput {
             stats: EvalStats {
                 optimisation_time,
@@ -245,6 +277,8 @@ impl FdbEngine {
                 explored_states: search.explored_states,
                 fused_segments,
                 aggregates_on_overlay: 0,
+                barriers_fused,
+                arenas_skipped,
             },
             result,
         })
@@ -256,12 +290,13 @@ impl FdbEngine {
     /// shrink the representation), then the optimised restructuring/selection
     /// plan for the equality conditions, and the projection last — the
     /// operator ordering FDB uses (Section 4).  The plan does not execute
-    /// operator by operator: after peephole simplification it is segmented
-    /// at selections/projections, and every multi-step structural run
-    /// between barriers executes as a **single fused arena pass**
-    /// (`fdb_frep::ops::fuse`), so a k-step restructuring chain pays one
-    /// arena copy instead of k.  [`EvalStats::fused_segments`] reports how
-    /// many segments fused.
+    /// operator by operator, and since PR 5 it is not segmented at
+    /// selections or projections either: after peephole simplification the
+    /// **whole plan** compiles into one overlay program
+    /// (`fdb_frep::ops::fuse`) that emits a single arena, so a k-operator
+    /// plan — barriers included — pays one arena copy instead of k.
+    /// [`EvalStats::barriers_fused`] and [`EvalStats::arenas_skipped`]
+    /// report the win.
     pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree.
         let opt_start = Instant::now();
@@ -290,10 +325,10 @@ impl FdbEngine {
             plan.push(FPlanOp::Project(proj.iter().copied().collect()));
         }
 
-        // Simplify once: the segment count is read off the same op list
-        // that actually executes, so the stat matches what really fused.
+        // Simplify once: the fusion counters are read off the same op list
+        // that actually executes, so the stats match what really fused.
         let simplified = plan.simplified(input.tree());
-        let fused_segments = simplified.fused_segment_count();
+        let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
         let exec_start = Instant::now();
         let mut result = input.clone();
         simplified.execute_presimplified(&mut result)?;
@@ -312,6 +347,8 @@ impl FdbEngine {
                 explored_states: optimised.explored_states,
                 fused_segments,
                 aggregates_on_overlay: 0,
+                barriers_fused,
+                arenas_skipped,
             },
             result,
         })
@@ -378,7 +415,7 @@ impl FdbEngine {
         }
 
         let simplified = plan.simplified(rep.tree());
-        let fused_segments = simplified.fused_segment_count();
+        let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
         simplified.execute_presimplified(&mut rep)?;
         let execution_time = exec_start.elapsed();
 
@@ -395,6 +432,8 @@ impl FdbEngine {
                 explored_states: optimised.explored_states,
                 fused_segments,
                 aggregates_on_overlay: 0,
+                barriers_fused,
+                arenas_skipped,
             },
             result: rep,
         })
@@ -433,10 +472,11 @@ impl FdbEngine {
             plan.extend(lift_group_to_root(&pre_lift_tree, group));
         }
         let simplified = plan.simplified(rep.tree());
-        let fused_segments = fused_segments_before_sink(&simplified);
         let (result, on_overlay) =
             simplified.execute_aggregate_presimplified(&rep, kind, head.group_by)?;
         let execution_time = exec_start.elapsed();
+        let (fused_segments, barriers_fused, arenas_skipped) =
+            aggregate_fusion_counters(&simplified, on_overlay);
 
         Ok(AggregateOutput {
             result,
@@ -451,6 +491,8 @@ impl FdbEngine {
                 explored_states: search.explored_states,
                 fused_segments,
                 aggregates_on_overlay: usize::from(on_overlay),
+                barriers_fused,
+                arenas_skipped,
             },
         })
     }
@@ -459,16 +501,19 @@ impl FdbEngine {
     ///
     /// The restructuring plan for the equality conditions is assembled
     /// exactly like [`FdbEngine::evaluate_factorised`], but it executes into
-    /// an **aggregate sink** ([`FPlan::execute_aggregate`]): the trailing
-    /// structural segment is applied only to the fused overlay and the
-    /// aggregate folds over the overlay itself, so the final arena — which
-    /// an aggregate consumer never needs — is not emitted at all.
+    /// an **aggregate sink** ([`FPlan::execute_aggregate`]): the whole plan
+    /// — selections and projections included — is applied only to the fused
+    /// overlay and the aggregate folds over the overlay itself, with the
+    /// plan's trailing selections folded into the accumulation as entry
+    /// filters.  **No arena is emitted or cloned at any point**; a
+    /// selection-then-aggregate query reads the input arena in place.
     /// [`EvalStats::aggregates_on_overlay`] reports whether that fast path
-    /// was taken (it is not when the plan ends in a selection/projection
-    /// barrier).  When the head groups by an attribute that the plan's
-    /// final tree does not put at a root, the engine appends the lifting
-    /// swaps ([`lift_group_to_root`]) so root-attribute grouping works on
-    /// any input shape.
+    /// was taken (only the empty plan falls back to a plain arena pass) and
+    /// [`EvalStats::arenas_skipped`] counts the passes avoided.  When the
+    /// head groups by an attribute that the plan's final tree does not put
+    /// at a root, the engine appends the lifting swaps
+    /// ([`lift_group_to_root`]) so root-attribute grouping works on any
+    /// input shape.
     pub fn evaluate_factorised_aggregate(
         &self,
         input: &FRep,
@@ -508,11 +553,12 @@ impl FdbEngine {
         }
 
         let simplified = plan.simplified(input.tree());
-        let fused_segments = fused_segments_before_sink(&simplified);
         let exec_start = Instant::now();
         let (result, on_overlay) =
             simplified.execute_aggregate_presimplified(input, kind, head.group_by)?;
         let execution_time = exec_start.elapsed();
+        let (fused_segments, barriers_fused, arenas_skipped) =
+            aggregate_fusion_counters(&simplified, on_overlay);
 
         let result_tree_cost = s_cost(&pre_lift_tree)?;
         Ok(AggregateOutput {
@@ -528,6 +574,8 @@ impl FdbEngine {
                 explored_states: optimised.explored_states,
                 fused_segments,
                 aggregates_on_overlay: usize::from(on_overlay),
+                barriers_fused,
+                arenas_skipped,
             },
         })
     }
@@ -838,6 +886,114 @@ mod tests {
             "{} / {}",
             agg.stats.fused_segments, agg.stats.aggregates_on_overlay
         )));
+        // The whole plan ran on the overlay: every operator's arena was
+        // skipped, none was emitted.
+        assert!(
+            agg.stats.arenas_skipped > 0,
+            "aggregate sink skips every arena pass"
+        );
+        assert_eq!(agg.stats.arenas_skipped, agg.stats.plan.len());
+    }
+
+    #[test]
+    fn selection_then_aggregate_folds_the_filter_and_skips_every_arena() {
+        // The 2013 aggregation paper's central shape: σ then AGG, no
+        // equality conditions.  The selection must fold into the aggregate
+        // accumulation — no clone, no selection arena, no final arena.
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let item = cat.find_attr("Orders.item").unwrap();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
+        let fq = FactorisedQuery::default().with_const_selection(ConstSelection {
+            attr: item,
+            op: ComparisonOp::Ge,
+            value: Value::new(2),
+        });
+        let head = fdb_common::AggregateHead::count();
+        let agg = FdbEngine::new()
+            .evaluate_factorised_aggregate(&base.result, &fq, &head)
+            .unwrap();
+        // Reference: execute the selection, then count.
+        let full = FdbEngine::new()
+            .evaluate_factorised(&base.result, &fq)
+            .unwrap();
+        assert_eq!(
+            agg.result,
+            fdb_frep::AggregateResult::Scalar(fdb_frep::AggregateValue::Count(
+                full.stats.result_tuples
+            ))
+        );
+        assert_eq!(agg.stats.aggregates_on_overlay, 1);
+        assert_eq!(
+            agg.stats.fused_segments, 1,
+            "a single-selection aggregate plan still runs as one overlay program"
+        );
+        assert_eq!(agg.stats.barriers_fused, 1, "the selection folded in");
+        assert!(
+            agg.stats.arenas_skipped > 0,
+            "zero intermediate arenas were emitted"
+        );
+    }
+
+    #[test]
+    fn factorised_query_with_barriers_fuses_the_whole_plan() {
+        let (db, rels) = grocery();
+        let cat = db.catalog();
+        let base = FdbEngine::new()
+            .evaluate_flat(&db, &q1(&db, &rels))
+            .unwrap();
+        let item = cat.find_attr("Orders.item").unwrap();
+        let oid = cat.find_attr("Orders.oid").unwrap();
+        let dispatcher = cat.find_attr("Disp.dispatcher").unwrap();
+        let fq = FactorisedQuery::equalities(vec![(oid, dispatcher)])
+            .with_const_selection(ConstSelection {
+                attr: item,
+                op: ComparisonOp::Ge,
+                value: Value::new(1),
+            })
+            .with_projection(vec![oid, item]);
+        let out = FdbEngine::new()
+            .evaluate_factorised(&base.result, &fq)
+            .unwrap();
+        out.result.validate().unwrap();
+        assert_eq!(out.stats.fused_segments, 1, "one whole-plan program");
+        assert!(
+            out.stats.barriers_fused >= 2,
+            "the selection and the projection executed inside the program"
+        );
+        assert!(out.stats.arenas_skipped >= out.stats.plan.len().saturating_sub(2));
+    }
+
+    #[test]
+    fn counters_table_pins_the_row_set() {
+        let stats = EvalStats {
+            fused_segments: 2,
+            aggregates_on_overlay: 1,
+            barriers_fused: 3,
+            arenas_skipped: 4,
+            ..Default::default()
+        };
+        let table = stats.counters_table();
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 8, "one row per pinned counter:\n{table}");
+        for (row, needle) in rows.iter().zip([
+            "optimisation time",
+            "execution time",
+            "plan cost s(f)",
+            "result singletons",
+            "result tuples",
+            "explored states",
+            "fused segments / overlay aggregates",
+            "barriers fused / arenas skipped",
+        ]) {
+            assert!(row.starts_with(needle), "row {row:?} vs {needle:?}");
+        }
+        assert!(table.contains("2 / 1"), "fused/overlay values:\n{table}");
+        assert!(table.contains("3 / 4"), "barrier/arena values:\n{table}");
+        // Display renders the same table.
+        assert_eq!(format!("{stats}"), table);
     }
 
     #[test]

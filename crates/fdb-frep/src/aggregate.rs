@@ -67,7 +67,7 @@
 
 use crate::frep::FRep;
 use crate::store::Store;
-use fdb_common::{AttrId, FdbError, Result, Value};
+use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 
 /// Which aggregate to evaluate.
@@ -329,11 +329,42 @@ pub(crate) fn resolve_group_root(tree: &FTree, group_by: AttrId) -> Result<NodeI
     Ok(node)
 }
 
+/// A conjunction of constant-selection predicates folded into an aggregate
+/// fold instead of executed as selection passes: an entry of a union over
+/// `node` participates iff every predicate on `node` accepts its value.
+/// Filtering is exact with respect to select-then-prune semantics — a
+/// filtered-out entry, like an entry whose product is empty, contributes
+/// the additive identity to its union's accumulator, so `COUNT`/`SUM` skip
+/// it and `MIN`/`MAX`/`AVG` emptiness stays exact.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AggFilter {
+    preds: Vec<(NodeId, ComparisonOp, Value)>,
+}
+
+impl AggFilter {
+    /// Adds the predicate `node θ value`.
+    pub(crate) fn push(&mut self, node: NodeId, op: ComparisonOp, value: Value) {
+        self.preds.push((node, op, value));
+    }
+
+    /// Whether an entry with the given value of a union over `node` passes
+    /// every predicate.
+    #[inline]
+    pub(crate) fn passes(&self, node: NodeId, value: Value) -> bool {
+        self.preds
+            .iter()
+            .all(|&(n, op, c)| n != node || op.eval(value, c))
+    }
+}
+
 /// Accessor surface the shared aggregation scaffold walks — implemented by
 /// the frozen arena ([`ArenaSource`]) and by the fused overlay (in
 /// [`crate::ops::fuse`]).  `acc_of` yields the accumulator of a whole
 /// (virtual) union; how it is produced — a precomputed flat pass or a
-/// memoized recursive walk — is the implementor's business.
+/// memoized recursive walk — is the implementor's business.  A source with
+/// a non-trivial [`AggFilter`] must skip filtered-out entries in `acc_of`
+/// itself; the scaffold applies the filter only to the group root's entries,
+/// which it folds directly.
 pub(crate) trait AggSource {
     /// A (virtual) union reference.
     type Id: Copy + PartialEq;
@@ -366,6 +397,7 @@ pub(crate) fn evaluate_source<S: AggSource>(
     tree: &FTree,
     kind: AggregateKind,
     group_by: Option<AttrId>,
+    filter: &AggFilter,
 ) -> Result<AggregateResult> {
     let target = AggTarget::resolve(tree, kind)?;
     let roots = src.roots();
@@ -392,6 +424,12 @@ pub(crate) fn evaluate_source<S: AggSource>(
     let mut rows = Vec::with_capacity(len as usize);
     for i in 0..len {
         let value = src.value(group_root, i);
+        // The scaffold folds the group root's entries itself, so the folded
+        // trailing selections apply here too: a filtered-out group is
+        // omitted exactly like a group whose product is empty.
+        if !filter.passes(group_node, value) {
+            continue;
+        }
         let mut acc = Acc::singleton(value, carries);
         for k in 0..kid_count {
             acc = acc.product(src.acc_of(src.kid(group_root, i, k), target));
@@ -485,7 +523,7 @@ pub fn evaluate(
         kid_counts,
         accs,
     };
-    evaluate_source(&mut src, rep.tree(), kind, group_by)
+    evaluate_source(&mut src, rep.tree(), kind, group_by, &AggFilter::default())
 }
 
 /// Evaluates an ungrouped aggregate — [`evaluate`] with `group_by: None`.

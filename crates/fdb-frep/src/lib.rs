@@ -45,17 +45,29 @@
 //! layout [`FRep::from_parts`] produces), which keeps every rewrite
 //! bit-for-bit comparable with the thaw-path oracle.
 //!
+//! # The single-pass execution contract
+//!
+//! The fused executor ([`ops::fuse`]) compiles an entire f-plan — push-ups,
+//! normalisations, swaps, merges, absorbs, **and** constant selections and
+//! projections — into one overlay program over the input arena, emitting
+//! exactly one output arena in freeze layout, bit-for-bit identical to
+//! running the operators one at a time.  There are no fusion barriers: a
+//! selection is an entry filter folded into the liveness sweep (emptied
+//! subtrees retract exactly as the merge/absorb prune retracts them), and a
+//! projection replays its leaf removals and data-dependent swap-downs on
+//! the overlay.  `fdb-plan` routes every multi-pass plan through this path.
+//!
 //! # Where aggregation hooks in
 //!
 //! [`aggregate::aggregate`] and [`aggregate::aggregate_grouped`] evaluate on
 //! a frozen arena in one reverse loop.  For aggregate *queries* the fused
-//! executor ([`ops::fuse`]) goes one step further:
-//! [`ops::execute_fused_aggregate`] applies a structural segment to the
-//! fused overlay and folds the aggregate over the overlay itself — the final
-//! arena is never emitted, so an aggregate query pays zero output
-//! materialisation.  `fdb-plan` routes a plan's trailing structural segment
-//! through that entry point and `fdb-core` reports it as
-//! `aggregates_on_overlay`.
+//! executor goes one step further: [`ops::execute_fused_aggregate`] applies
+//! the whole plan to the fused overlay and folds the aggregate over the
+//! overlay itself, with the plan's trailing selections folded into the
+//! accumulation as entry filters — **no arena is emitted at any point**, so
+//! a (selection-then-)aggregate query pays zero materialisation.  `fdb-plan`
+//! routes every non-empty aggregate plan through that entry point and
+//! `fdb-core` reports it as `aggregates_on_overlay` / `arenas_skipped`.
 
 #![warn(missing_docs)]
 

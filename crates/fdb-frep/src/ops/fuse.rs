@@ -10,15 +10,28 @@
 //! copying untouched regions of the arena over and over, not performing the
 //! rewrites themselves.
 //!
-//! # The segment/barrier model
+//! # The whole-plan model (no barriers)
 //!
-//! `fdb-plan` segments an op list at *fusion barriers*: operators whose
-//! data-level effect cannot (yet) be expressed as a pure structural
-//! transform — selections with constants and projections, which change
-//! cardinality through a value predicate respectively remove tree nodes
-//! through data-dependent swap-downs.  Everything between two barriers is a
-//! run of *fusable* steps ([`FusedOp`]: push-up, normalisation, swap, merge,
-//! absorb) and executes through [`execute_fused`] as **one** pass:
+//! Through PR 4, `fdb-plan` segmented an op list at *fusion barriers* —
+//! selections with constants and projections, whose data-level effect is
+//! value-dependent — and only the structural runs between barriers fused.
+//! Since PR 5 both barrier classes are overlay transforms too:
+//!
+//! * a **constant selection** is a per-union entry filter composed with the
+//!   cached liveness machinery ([`Fusion::filter`]): one fresh bottom-up
+//!   sweep with the comparison folded into the per-entry predicate decides
+//!   liveness, emptied subtrees retract exactly as the merge/absorb prune
+//!   retracts them, and untouched (clean) subtrees stay `Src` references;
+//! * a **projection** replays the projection operator's loop on the overlay
+//!   ([`project_steps`]): fully-projected leaves drop via [`RemoveLeafPass`]
+//!   (the parent unions lose one kid slot — pure header remaps), and
+//!   fully-projected inner nodes swap downwards through the same
+//!   [`SwapPass`] that serves explicit swap steps, until they become
+//!   removable leaves.
+//!
+//! An entire f-plan — selections and projections included — therefore
+//! compiles into **one** [`FusedOp`] program and executes through
+//! [`execute_fused`] as one pass:
 //!
 //! 1. The f-tree transforms are simulated up front, step by step, on clones
 //!    of the tree — exactly the schema-level transforms the individual
@@ -36,9 +49,10 @@
 //!    subtree the overlay stores a reference.
 //! 3. The merge/absorb prune is folded in as a *liveness sweep over the
 //!    overlay*: one flat bottom-up pass over the input arena (computed once
-//!    per segment, cached) decides per-entry liveness of untouched regions,
+//!    per program, cached) decides per-entry liveness of untouched regions,
 //!    and a cheap walk over the Mix nodes propagates emptiness — no
-//!    intermediate `retain_and_prune` re-emission.
+//!    intermediate `retain_and_prune` re-emission.  Selections run the same
+//!    sweep with their comparison folded into the predicate.
 //! 4. Normalisation (and absorb's trailing normalisation) is replayed as
 //!    overlay push-ups: the push-up sequence is computable from the tree
 //!    alone, so the whole sequence collapses into pure header remaps on the
@@ -46,24 +60,30 @@
 //! 5. A single final [`Rewriter`] emission walks the overlay: `Mix` nodes
 //!    emit their own records, `Src` references emit through
 //!    [`Rewriter::copy_union`].  The output is the exact
-//!    [`crate::store::Store::freeze`] layout, so a fused segment is
+//!    [`crate::store::Store::freeze`] layout, so a fused program is
 //!    **bit-for-bit identical** to the PR 2 step-wise execution of the same
 //!    steps — the randomized equivalence suite asserts store identity.
 //!
-//! Total data movement for a k-step segment: the touched regions (which the
+//! Total data movement for a k-step program: the touched regions (which the
 //! step-wise path also rebuilds) plus **one** full copy, instead of k.
+//! Aggregate consumers skip even that one copy:
+//! [`execute_fused_aggregate`] folds the aggregate (and the program's
+//! trailing selections, as entry filters) directly over the overlay.
 
-use crate::aggregate::{self, Acc, AggTarget, AggregateKind, AggregateResult};
+use crate::aggregate::{self, Acc, AggFilter, AggTarget, AggregateKind, AggregateResult};
 use crate::frep::FRep;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{kid_count_table, Rewriter, Store};
-use fdb_common::{AttrId, Result, Value};
+use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId, SwapOutcome};
 use std::collections::BTreeSet;
 
-/// One fusable f-plan step.  Selections and projections are fusion barriers
-/// and stay on the step-wise path (see the module docs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One fusable f-plan step.  Since PR 5 this covers **every** f-plan
+/// operator — constant selections become per-union entry filters composed
+/// with the liveness sweep, and projections replay as leaf removals plus the
+/// data-dependent swap-downs — so a whole plan compiles into one overlay
+/// program (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FusedOp {
     /// Push-up `ψ_B`: lift `node` above its parent.
     PushUp(NodeId),
@@ -76,9 +96,25 @@ pub enum FusedOp {
     /// Absorb `α`: fuse the descendant (second) node into the ancestor
     /// (first) node, then normalise.
     Absorb(NodeId, NodeId),
+    /// Selection with a constant `σ_{A θ c}`: keeps the entries of the
+    /// attribute's unions whose value satisfies the comparison, pruning
+    /// entries whose product became empty — on the overlay, a per-union
+    /// entry filter folded into the liveness sweep.
+    SelectConst {
+        /// Attribute compared against the constant.
+        attr: AttrId,
+        /// Comparison operator.
+        op: ComparisonOp,
+        /// The constant.
+        value: Value,
+    },
+    /// Projection `π` onto the given attributes: overlay leaf removals plus
+    /// swap-downs of fully-projected inner nodes through [`SwapPass`].
+    Project(BTreeSet<AttrId>),
 }
 
-/// Executes a run of fusable structural steps as one arena pass.
+/// Executes a program of fused steps — structural operators, constant
+/// selections and projections alike — as one arena pass.
 ///
 /// Semantically identical — bit-for-bit on the output arena — to applying
 /// the corresponding [`crate::ops`] operators one at a time; on error the
@@ -92,7 +128,7 @@ pub fn execute_fused(rep: &mut FRep, ops: &[FusedOp]) -> Result<()> {
         let mut fusion = Fusion::new(rep.store(), rep.tree());
         let mut cur = rep.tree().clone();
         for op in ops {
-            apply_op(&mut fusion, &mut cur, *op)?;
+            apply_op(&mut fusion, &mut cur, op)?;
         }
         let store = fusion.into_store(rep.tree());
         (cur, store)
@@ -102,12 +138,20 @@ pub fn execute_fused(rep: &mut FRep, ops: &[FusedOp]) -> Result<()> {
     Ok(())
 }
 
-/// Executes a run of fusable structural steps on the overlay and evaluates
-/// an aggregate directly over the overlay — **the final arena is never
-/// emitted**.  The input representation is left untouched (structural steps
-/// do not change the represented relation, and an aggregate consumer has no
-/// use for the restructured arena), so an aggregate query pays zero
-/// final-arena materialisation.
+/// Executes a run of fusable steps on the overlay and evaluates an aggregate
+/// directly over the overlay — **no arena is ever emitted**, neither an
+/// intermediate one nor the final one.  The input representation is left
+/// untouched (an aggregate consumer has no use for the transformed arena),
+/// so an aggregate query pays zero materialisation.
+///
+/// The *trailing* selections of the program — the maximal suffix of
+/// [`FusedOp::SelectConst`] steps — are not applied as overlay passes at
+/// all: their predicates fold into the [`Acc`] accumulation as a per-node
+/// entry filter ([`AggFilter`]), so a selection-then-aggregate plan is one
+/// filtered fold over the (possibly untouched) overlay.  Filtering instead
+/// of pruning is exact: an entry that fails its predicate, like an entry
+/// whose product is empty, contributes the additive identity to its union's
+/// accumulator.
 ///
 /// Returns exactly what [`crate::aggregate::evaluate`] would return on the
 /// arena [`execute_fused`] would have produced: the aggregate is resolved
@@ -123,26 +167,52 @@ pub fn execute_fused_aggregate(
 ) -> Result<AggregateResult> {
     let mut fusion = Fusion::new(rep.store(), rep.tree());
     let mut cur = rep.tree().clone();
-    for op in ops {
-        apply_op(&mut fusion, &mut cur, *op)?;
+    // Split off the maximal suffix of constant selections: everything before
+    // it transforms the overlay, the suffix becomes the fold's filter.
+    let split = ops
+        .iter()
+        .rposition(|op| !matches!(op, FusedOp::SelectConst { .. }))
+        .map_or(0, |i| i + 1);
+    for op in &ops[..split] {
+        apply_op(&mut fusion, &mut cur, op)?;
     }
-    fusion.aggregate(&cur, kind, group_by)
+    let mut filter = AggFilter::default();
+    for op in &ops[split..] {
+        let FusedOp::SelectConst {
+            attr,
+            op: cmp,
+            value,
+        } = op
+        else {
+            unreachable!("the suffix holds only constant selections");
+        };
+        let node = select_node(&cur, *attr)?;
+        filter.push(node, *cmp, *value);
+        if *cmp == ComparisonOp::Eq {
+            cur.bind_constant(node, *value)?;
+        }
+    }
+    fusion.aggregate(&cur, kind, group_by, &filter)
+}
+
+/// Resolves a selection attribute against the current simulated tree,
+/// mirroring the step-wise operator's error.
+fn select_node(cur: &FTree, attr: AttrId) -> Result<NodeId> {
+    cur.node_of_attr(attr)
+        .ok_or_else(|| FdbError::AttributeNotInQuery {
+            attr: format!("{attr}"),
+        })
 }
 
 /// Applies one fused step: advances the simulated tree and transforms the
 /// overlay accordingly.
-fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: FusedOp) -> Result<()> {
+fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: &FusedOp) -> Result<()> {
     match op {
-        FusedOp::PushUp(b) => push_up_step(fusion, cur, b),
+        FusedOp::PushUp(b) => push_up_step(fusion, cur, *b),
         FusedOp::Normalise => normalise_steps(fusion, cur),
-        FusedOp::Swap(b) => {
-            let mut next = cur.clone();
-            let outcome = next.swap_with_parent(b)?;
-            SwapPass::new(fusion, cur, &next, &outcome).apply();
-            *cur = next;
-            Ok(())
-        }
+        FusedOp::Swap(b) => swap_step(fusion, cur, *b),
         FusedOp::Merge(a, b) => {
+            let (a, b) = (*a, *b);
             let parent = cur.parent(a);
             let mut next = cur.clone();
             next.merge_siblings(a, b)?;
@@ -152,6 +222,7 @@ fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: FusedOp) -> Result<()>
             Ok(())
         }
         FusedOp::Absorb(a, b) => {
+            let (a, b) = (*a, *b);
             cur.check_node(a)?;
             cur.check_node(b)?;
             let mut next = cur.clone();
@@ -163,7 +234,68 @@ fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: FusedOp) -> Result<()>
             // The paper's absorb finishes with a normalisation step.
             normalise_steps(fusion, cur)
         }
+        FusedOp::SelectConst { attr, op, value } => {
+            let node = select_node(cur, *attr)?;
+            fusion.filter(node, *op, *value);
+            if *op == ComparisonOp::Eq {
+                cur.bind_constant(node, *value)?;
+            }
+            Ok(())
+        }
+        FusedOp::Project(keep) => project_steps(fusion, cur, keep),
     }
+}
+
+/// One swap, tree and overlay together.
+fn swap_step(fusion: &mut Fusion<'_>, cur: &mut FTree, b: NodeId) -> Result<()> {
+    let mut next = cur.clone();
+    let outcome = next.swap_with_parent(b)?;
+    SwapPass::new(fusion, cur, &next, &outcome).apply();
+    *cur = next;
+    Ok(())
+}
+
+/// Replays the projection operator on the overlay, decision for decision the
+/// loop of [`crate::ops::project`]: mark the dropped attributes on the
+/// simulated tree, remove every fully-projected leaf (a [`RemoveLeafPass`]
+/// per leaf — pure header remaps, nothing is copied), and swap each
+/// fully-projected inner node downwards (the data-dependent swap-downs drive
+/// the same [`SwapPass`] as an explicit swap step) until it becomes a
+/// removable leaf.
+fn project_steps(fusion: &mut Fusion<'_>, cur: &mut FTree, keep: &BTreeSet<AttrId>) -> Result<()> {
+    let all = cur.all_attrs();
+    let marked: BTreeSet<AttrId> = all.difference(keep).copied().collect();
+    if marked.is_empty() {
+        return Ok(());
+    }
+    cur.mark_attrs_projected(&marked);
+    loop {
+        let removable = cur.removable_projected_leaves();
+        if !removable.is_empty() {
+            for leaf in removable {
+                let parent = cur.parent(leaf);
+                let mut next = cur.clone();
+                next.remove_projected_leaf(leaf)?;
+                RemoveLeafPass::new(fusion, cur, leaf, parent).apply();
+                *cur = next;
+            }
+            continue;
+        }
+        // Otherwise pick a fully-projected inner node and swap it one level
+        // down (each swap strictly shrinks its subtree, so this terminates).
+        let marked_inner = cur
+            .node_ids()
+            .into_iter()
+            .find(|&n| cur.visible_attrs(n).is_empty() && !cur.is_leaf(n));
+        match marked_inner {
+            Some(node) => {
+                let child = cur.children(node)[0];
+                swap_step(fusion, cur, child)?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
 }
 
 /// One push-up, tree and overlay together.
@@ -235,10 +367,13 @@ struct Mix {
     kids: Vec<VId>,
 }
 
-/// Liveness of the input arena under a keep-everything prune — which entries
-/// survive and which subtrees contain any dead entry at all (so clean
-/// subtrees stay `Src` references through a prune; a clean union is empty
-/// after pruning iff it was empty before).
+/// Liveness of the input arena under a retain-and-prune with some entry
+/// predicate — which entries survive and which subtrees contain any dead
+/// entry at all (so clean subtrees stay `Src` references through a prune or
+/// a selection; a clean union is empty after pruning iff it was empty
+/// before).  The cached instance is computed for the keep-everything
+/// predicate (the merge/absorb prune); selections compute their own with
+/// the comparison folded in.
 struct Liveness {
     entry_alive: Vec<bool>,
     subtree_dirty: Vec<bool>,
@@ -336,16 +471,14 @@ impl<'a> Fusion<'a> {
     }
 
     // -----------------------------------------------------------------
-    // The folded prune (merge/absorb liveness sweep)
+    // The folded prune (merge/absorb liveness sweep) and the folded
+    // selection (the same sweep with the comparison as entry predicate)
     // -----------------------------------------------------------------
 
     /// One flat bottom-up pass over the input arena: per-entry liveness
-    /// under a keep-everything prune, per-union emptiness, and a per-union
-    /// "subtree contains a dead entry" flag.
-    fn ensure_liveness(&mut self) {
-        if self.liveness.is_some() {
-            return;
-        }
+    /// under a retain-and-prune with predicate `keep`, per-union emptiness,
+    /// and a per-union "subtree contains a dead entry" flag.
+    fn compute_liveness<F: Fn(NodeId, Value) -> bool>(&self, keep: &F) -> Liveness {
         let s = self.src;
         let mut entry_alive = vec![true; s.entries.len()];
         let mut union_empty = vec![false; s.unions.len()];
@@ -357,7 +490,7 @@ impl<'a> Fusion<'a> {
             let mut dirty = false;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
                 let entry = s.entries[e as usize];
-                let mut alive = true;
+                let mut alive = keep(rec.node, entry.value);
                 for k in 0..kid_count {
                     let kid = s.kids[(entry.kids_start + k) as usize] as usize;
                     if union_empty[kid] {
@@ -372,10 +505,20 @@ impl<'a> Fusion<'a> {
             union_empty[uid] = !any_alive;
             subtree_dirty[uid] = dirty;
         }
-        self.liveness = Some(Liveness {
+        Liveness {
             entry_alive,
             subtree_dirty,
-        });
+        }
+    }
+
+    /// Computes and caches the keep-everything liveness.  The cache stays
+    /// valid for the whole program: the input arena is immutable, and every
+    /// `Src` reference still reachable after a folded selection lies in a
+    /// selection-clean subtree, which is keep-everything-clean a fortiori.
+    fn ensure_liveness(&mut self) {
+        if self.liveness.is_none() {
+            self.liveness = Some(self.compute_liveness(&|_, _| true));
+        }
     }
 
     /// The overlay counterpart of `Store::retain_and_prune(keep = true)`:
@@ -384,40 +527,60 @@ impl<'a> Fusion<'a> {
     /// regions are rebuilt.
     fn prune(&mut self) {
         self.ensure_liveness();
-        let roots = self.roots.clone();
-        self.roots = roots.into_iter().map(|r| self.prune_union(r).0).collect();
+        let live = self.liveness.take().expect("liveness just ensured");
+        self.apply_prune(&live, &|_, _| true);
+        self.liveness = Some(live);
     }
 
-    /// Prunes one virtual union; returns the pruned reference and whether it
-    /// came out empty.
-    fn prune_union(&mut self, v: VId) -> (VId, bool) {
+    /// The overlay counterpart of the constant-selection operator
+    /// (`Store::retain_and_prune` with the comparison as predicate): keeps
+    /// the entries of `node`'s unions whose value satisfies `cmp value`, and
+    /// prunes entries whose product became empty exactly as the merge/absorb
+    /// prune does.  One fresh liveness sweep (the predicate changes per
+    /// selection) plus a walk that rebuilds only dirty regions — subtrees
+    /// the selection does not touch stay `Src` references.
+    fn filter(&mut self, node: NodeId, cmp: ComparisonOp, value: Value) {
+        let keep = move |n: NodeId, v: Value| n != node || cmp.eval(v, value);
+        let live = self.compute_liveness(&keep);
+        self.apply_prune(&live, &keep);
+    }
+
+    /// Rewrites every root through [`Fusion::prune_union`].
+    fn apply_prune<F: Fn(NodeId, Value) -> bool>(&mut self, live: &Liveness, keep: &F) {
+        let roots = self.roots.clone();
+        self.roots = roots
+            .into_iter()
+            .map(|r| self.prune_union(r, live, keep).0)
+            .collect();
+    }
+
+    /// Prunes one virtual union under the given liveness/predicate; returns
+    /// the pruned reference and whether it came out empty.
+    fn prune_union<F: Fn(NodeId, Value) -> bool>(
+        &mut self,
+        v: VId,
+        live: &Liveness,
+        keep: &F,
+    ) -> (VId, bool) {
         if let Some(uid) = v.as_src() {
             let uidx = uid as usize;
-            {
-                let live = self.liveness.as_ref().expect("liveness ensured");
-                if !live.subtree_dirty[uidx] {
-                    return (v, self.src.union_len(uid) == 0);
-                }
+            if !live.subtree_dirty[uidx] {
+                return (v, self.src.union_len(uid) == 0);
             }
             let rec = self.src.unions[uidx];
             let kid_count = self.src_kid_counts[rec.node.index()];
-            let mut values = Vec::new();
-            let mut kids = Vec::new();
+            let mut values = Vec::with_capacity(rec.entries_len as usize);
+            let mut kids = Vec::with_capacity((rec.entries_len * kid_count) as usize);
             for i in 0..rec.entries_len {
                 let e = (rec.entries_start + i) as usize;
-                let alive = self
-                    .liveness
-                    .as_ref()
-                    .expect("liveness ensured")
-                    .entry_alive[e];
-                if !alive {
+                if !live.entry_alive[e] {
                     continue;
                 }
                 let entry = self.src.entries[e];
                 values.push(entry.value);
                 for k in 0..kid_count {
                     let kid_uid = self.src.kids[(entry.kids_start + k) as usize];
-                    let (kid, _) = self.prune_union(VId::src(kid_uid));
+                    let (kid, _) = self.prune_union(VId::src(kid_uid), live, keep);
                     kids.push(kid);
                 }
             }
@@ -439,16 +602,22 @@ impl<'a> Fusion<'a> {
             let mut kids = Vec::with_capacity(len as usize * kc);
             let mut pruned = Vec::with_capacity(kc);
             for i in 0..len {
+                let value = self.mixes[v.mix_index()].values[i as usize];
+                // An entry failing the predicate dies outright; its subtrees
+                // are unreachable and need no rebuild.
+                if !keep(node, value) {
+                    continue;
+                }
                 pruned.clear();
                 let mut alive = true;
                 for k in 0..kid_count {
                     let kid = self.mixes[v.mix_index()].kids[(i * kid_count + k) as usize];
-                    let (pk, empty) = self.prune_union(kid);
+                    let (pk, empty) = self.prune_union(kid, live, keep);
                     alive &= !empty;
                     pruned.push(pk);
                 }
                 if alive {
-                    values.push(self.mixes[v.mix_index()].values[i as usize]);
+                    values.push(value);
                     kids.extend_from_slice(&pruned);
                 }
             }
@@ -492,18 +661,22 @@ impl<'a> Fusion<'a> {
     /// subtrees folded once and memoized by arena index (a shared subtree
     /// referenced from several overlay entries — e.g. a lifted push-up copy
     /// — is aggregated once), so the walk costs one visit per reachable
-    /// input union plus one per `Mix` entry.
+    /// input union plus one per `Mix` entry.  Entries failing `filter` —
+    /// the folded trailing selections — contribute nothing, exactly as if a
+    /// selection pass had removed and pruned them.
     fn aggregate(
         &self,
         final_tree: &FTree,
         kind: AggregateKind,
         group_by: Option<AttrId>,
+        filter: &AggFilter,
     ) -> Result<AggregateResult> {
         let mut src = OverlaySource {
             fu: self,
             memo: vec![None; self.src.unions.len()],
+            filter,
         };
-        aggregate::evaluate_source(&mut src, final_tree, kind, group_by)
+        aggregate::evaluate_source(&mut src, final_tree, kind, group_by, filter)
     }
 }
 
@@ -515,23 +688,32 @@ struct OverlaySource<'f, 'a> {
     fu: &'f Fusion<'a>,
     /// Per-`Src`-union accumulator cache.
     memo: Vec<Option<Acc>>,
+    /// Folded trailing selections (see [`execute_fused_aggregate`]).
+    filter: &'f AggFilter,
 }
 
 impl OverlaySource<'_, '_> {
     /// Folds one virtual union into an accumulator (recursive over the
-    /// overlay, memoized per `Src` arena index).
+    /// overlay, memoized per `Src` arena index).  Entries failing the
+    /// filter are skipped: their contribution is the additive identity, the
+    /// same as an entry a selection pass would have removed.
     fn fold_union(&mut self, v: VId, target: AggTarget) -> Acc {
         if let Some(uid) = v.as_src() {
             if let Some(cached) = self.memo[uid as usize] {
                 return cached;
             }
         }
-        let carries = target.carried_by(self.fu.node_of(v));
+        let node = self.fu.node_of(v);
+        let carries = target.carried_by(node);
         let kid_count = self.fu.kid_count_of(v);
         let len = self.fu.len(v);
         let mut total = Acc::none();
         for i in 0..len {
-            let mut acc = Acc::singleton(self.fu.value(v, i), carries);
+            let value = self.fu.value(v, i);
+            if !self.filter.passes(node, value) {
+                continue;
+            }
+            let mut acc = Acc::singleton(value, carries);
             for k in 0..kid_count {
                 acc = acc.product(self.fold_union(self.fu.kid(v, i, k), target));
             }
@@ -1218,6 +1400,77 @@ impl<'f, 'a> AbsorbPass<'f, 'a> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Projection leaf removal on the overlay
+// ---------------------------------------------------------------------
+
+/// Overlay counterpart of the leaf-removal rewrite in
+/// [`crate::ops::project`]: every union over the removed leaf's parent loses
+/// the leaf's kid slot (the kept children are pure references — nothing
+/// below them changes), the leaf's unions become unreachable, and a root
+/// leaf simply drops out of the root list.
+struct RemoveLeafPass<'f, 'a> {
+    fu: &'f mut Fusion<'a>,
+    leaf: NodeId,
+    parent: Option<NodeId>,
+    /// Ancestors of the leaf in the old tree (so including the parent).
+    on_path: BTreeSet<NodeId>,
+    /// The parent's kid positions that survive (everything but the leaf's).
+    kept_slots: Vec<u32>,
+}
+
+impl<'f, 'a> RemoveLeafPass<'f, 'a> {
+    fn new(fu: &'f mut Fusion<'a>, old_tree: &FTree, leaf: NodeId, parent: Option<NodeId>) -> Self {
+        RemoveLeafPass {
+            fu,
+            leaf,
+            parent,
+            on_path: old_tree.ancestors(leaf).into_iter().collect(),
+            kept_slots: parent
+                .map(|p| {
+                    let pos_leaf = child_pos(old_tree.children(p), leaf);
+                    (0..old_tree.children(p).len() as u32)
+                        .filter(|&k| k != pos_leaf)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    fn apply(mut self) {
+        let old_roots = self.fu.roots.clone();
+        self.fu.roots = match self.parent {
+            Some(_) => old_roots.iter().map(|&r| self.emit(r)).collect(),
+            // A root leaf: its union simply drops out of the root product.
+            None => old_roots
+                .iter()
+                .copied()
+                .filter(|&r| self.fu.node_of(r) != self.leaf)
+                .collect(),
+        };
+    }
+
+    fn emit(&mut self, v: VId) -> VId {
+        let node = self.fu.node_of(v);
+        if Some(node) == self.parent {
+            // Drop the leaf's kid slot; everything below the others is
+            // unchanged.
+            return rebuild_entries!(self, v, node, self.kept_slots.len() as u32, |i, k| self
+                .fu
+                .kid(v, i, self.kept_slots[k as usize]));
+        }
+        if !self.on_path.contains(&node) {
+            return v;
+        }
+        // A strict ancestor above the parent.
+        let kid_count = self.fu.kid_count_of(v);
+        rebuild_entries!(self, v, node, kid_count, |i, k| {
+            let kid = self.fu.kid(v, i, k);
+            self.emit(kid)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1231,23 +1484,27 @@ mod tests {
         ids.iter().map(|&i| AttrId(i)).collect()
     }
 
-    /// Applies the segment step-wise through the PR 2 operators.
+    /// Applies the program step-wise through the PR 2 operators.
     fn stepwise(rep: &mut FRep, steps: &[FusedOp]) {
         for op in steps {
-            match *op {
-                FusedOp::PushUp(b) => ops::push_up(rep, b).unwrap(),
+            match op {
+                FusedOp::PushUp(b) => ops::push_up(rep, *b).unwrap(),
                 FusedOp::Normalise => {
                     ops::normalise(rep).unwrap();
                 }
                 FusedOp::Swap(b) => {
-                    ops::swap(rep, b).unwrap();
+                    ops::swap(rep, *b).unwrap();
                 }
                 FusedOp::Merge(a, b) => {
-                    ops::merge(rep, a, b).unwrap();
+                    ops::merge(rep, *a, *b).unwrap();
                 }
                 FusedOp::Absorb(a, b) => {
-                    ops::absorb(rep, a, b).unwrap();
+                    ops::absorb(rep, *a, *b).unwrap();
                 }
+                FusedOp::SelectConst { attr, op, value } => {
+                    ops::select_const(rep, *attr, *op, *value).unwrap();
+                }
+                FusedOp::Project(keep) => ops::project(rep, keep).unwrap(),
             }
         }
     }
@@ -1609,5 +1866,108 @@ mod tests {
             AggregateValue::Count(0),
             "emptied segment counts zero tuples"
         );
+    }
+
+    fn select(attr: u32, op: ComparisonOp, value: u64) -> FusedOp {
+        FusedOp::SelectConst {
+            attr: AttrId(attr),
+            op,
+            value: Value::new(value),
+        }
+    }
+
+    #[test]
+    fn fused_selection_matches_stepwise() {
+        let (rep, _, b) = swap_shape();
+        // Root selection, inner selection, one that empties a mid-tree union
+        // (D keeps nothing, pruning cascades to the root), one binding a
+        // constant, and selections composed with structural steps.
+        for steps in [
+            vec![select(0, ComparisonOp::Ge, 2)],
+            vec![select(3, ComparisonOp::Le, 7)],
+            vec![select(3, ComparisonOp::Gt, 99)],
+            vec![select(0, ComparisonOp::Eq, 1)],
+            vec![FusedOp::Swap(b), select(1, ComparisonOp::Ne, 10)],
+            vec![
+                select(2, ComparisonOp::Ge, 100),
+                FusedOp::Swap(b),
+                select(0, ComparisonOp::Le, 1),
+                FusedOp::Normalise,
+            ],
+        ] {
+            check(&rep, &steps, &format!("selection program {steps:?}"));
+        }
+    }
+
+    #[test]
+    fn fused_projection_matches_stepwise() {
+        let (rep, _, b) = swap_shape();
+        // Leaf projection, inner-node projection (forcing the swap-down
+        // path), projection to nothing, and barrier-mixed programs.
+        for steps in [
+            vec![FusedOp::Project(attrs(&[0, 1, 2]))],
+            vec![FusedOp::Project(attrs(&[0, 2, 3]))],
+            vec![FusedOp::Project(attrs(&[2]))],
+            vec![FusedOp::Project(attrs(&[]))],
+            vec![
+                select(3, ComparisonOp::Le, 7),
+                FusedOp::Project(attrs(&[0, 1, 3])),
+            ],
+            vec![
+                FusedOp::Project(attrs(&[0, 1, 3])),
+                FusedOp::Swap(b),
+                FusedOp::Normalise,
+            ],
+        ] {
+            check(&rep, &steps, &format!("projection program {steps:?}"));
+        }
+    }
+
+    #[test]
+    fn fused_selection_on_missing_attribute_fails_cleanly() {
+        let (rep, _, _) = swap_shape();
+        let mut fused = rep.clone();
+        assert!(execute_fused(&mut fused, &[select(9, ComparisonOp::Eq, 1)]).is_err());
+        assert!(fused.store_identical(&rep));
+    }
+
+    #[test]
+    fn trailing_selections_fold_into_the_aggregate_filter() {
+        use crate::aggregate::evaluate;
+        let (rep, a, b) = swap_shape();
+        // Programs ending in selections: the fold must agree with emitting
+        // the selected arena and aggregating it.
+        let programs: Vec<Vec<FusedOp>> = vec![
+            vec![select(0, ComparisonOp::Ge, 2)],
+            vec![
+                select(3, ComparisonOp::Le, 7),
+                select(0, ComparisonOp::Ne, 2),
+            ],
+            vec![select(2, ComparisonOp::Gt, 99)],
+            vec![FusedOp::Swap(b), select(1, ComparisonOp::Ne, 10)],
+            vec![
+                FusedOp::Swap(b),
+                FusedOp::Swap(a),
+                select(0, ComparisonOp::Eq, 1),
+                select(3, ComparisonOp::Ge, 8),
+            ],
+        ];
+        for steps in &programs {
+            let mut emitted = rep.clone();
+            execute_fused(&mut emitted, steps).unwrap();
+            check_aggregates(&rep, steps, &format!("trailing selections {steps:?}"));
+            // And explicitly against the emitted arena for COUNT.
+            let on_arena = evaluate(&emitted, AggregateKind::Count, None).unwrap();
+            let folded = execute_fused_aggregate(&rep, steps, AggregateKind::Count, None).unwrap();
+            assert_eq!(folded, on_arena, "{steps:?}");
+        }
+    }
+
+    #[test]
+    fn projection_then_aggregate_runs_on_the_overlay() {
+        let (rep, _, _) = swap_shape();
+        // Projection dedups: COUNT after π must be the distinct count.
+        let steps = vec![FusedOp::Project(attrs(&[0, 3]))];
+        check_aggregates(&rep, &steps, "projection then aggregate");
     }
 }

@@ -34,13 +34,15 @@
 //! [`oracle`] as the test and benchmark oracle — the rewriters reproduce the
 //! freeze layout exactly, so equivalence tests compare stores bit for bit.
 //!
-//! On top of the per-operator passes, [`fuse`] compiles a *run* of
-//! structural operators into a single arena pass: the f-tree transforms are
-//! simulated up front, each step rewrites a lightweight overlay of
-//! references into the input arena, and one final emission produces the
-//! freeze-layout output — a k-step segment pays one full copy instead of k.
-//! `fdb-plan` routes every multi-step structural segment of an f-plan
-//! through it.
+//! On top of the per-operator passes, [`fuse`] compiles a *whole f-plan* —
+//! structural operators, constant selections and projections alike — into a
+//! single arena pass: the f-tree transforms are simulated up front, each
+//! step rewrites a lightweight overlay of references into the input arena
+//! (a selection is the liveness sweep with its comparison folded in, a
+//! projection replays leaf removals and swap-downs), and one final emission
+//! produces the freeze-layout output — a k-step plan pays one full copy
+//! instead of k.  `fdb-plan` routes every multi-step plan through it, with
+//! no segmentation barriers left.
 //!
 //! All operators preserve the invariants of [`crate::FRep`]: values inside
 //! every union stay sorted and distinct, every entry carries one child union

@@ -6,20 +6,32 @@
 //! to cost candidate plans without touching data) or *executed* on an
 //! f-representation (which transforms both the data and its tree).
 //!
-//! # Fused execution
+//! # Whole-plan fused execution
 //!
-//! [`FPlan::execute`] does not run the operators one at a time.  The op list
-//! is split into *segments* at fusion barriers — selections with constants
-//! and projections, whose data-level effect is value-dependent — and every
-//! multi-step run of structural operators between two barriers executes as
-//! a **single arena pass** through [`fdb_frep::ops::fuse`], materialising no
-//! intermediate arenas.  Before segmentation the plan is peephole-simplified
+//! [`FPlan::execute`] does not run the operators one at a time — and since
+//! PR 5 it no longer segments the op list either.  Selections with
+//! constants and projections, formerly *fusion barriers* that forced an
+//! arena materialisation on each side, are now overlay transforms like
+//! every structural step (`fdb_frep::ops::fuse`: a selection is a per-union
+//! entry filter composed with the liveness sweep, a projection replays as
+//! leaf removals plus swap-downs), so the **whole plan compiles into one
+//! overlay program** and pays a single arena emission no matter how many
+//! operators it chains.  Before compilation the plan is peephole-simplified
 //! against a simulated f-tree ([`FPlan::simplified`]): normalisations of an
 //! already-normalised tree (e.g. the `Normalise` after an `Absorb`, which
-//! normalises internally) and identity projections are data no-ops and are
-//! dropped.  The pre-fusion operator-at-a-time path survives as
-//! [`FPlan::execute_stepwise`] — the oracle the randomized equivalence suite
-//! compares fused execution against, bit for bit.
+//! normalises internally), identity projections, and selections made
+//! trivially total by an earlier equality selection are data no-ops and are
+//! dropped, and adjacent projections merge when the first only marks
+//! attributes.  Aggregate plans go further still:
+//! [`FPlan::execute_aggregate`] folds the aggregate — and the plan's
+//! trailing selections — directly over the overlay, emitting **no arena at
+//! all**.
+//!
+//! Two reference paths survive for oracles and benchmarks: the PR 2
+//! operator-at-a-time path as [`FPlan::execute_stepwise`] (the bit-for-bit
+//! oracle of the randomized equivalence suite) and the PR 3
+//! segment-at-barriers path as [`FPlan::execute_segmented`] (the baseline
+//! `bench-pr5` measures whole-plan fusion against).
 
 use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
 use fdb_frep::ops::FusedOp;
@@ -132,17 +144,32 @@ impl FPlanOp {
         }
     }
 
-    /// The fusable-step form of this operator, or `None` for a fusion
-    /// barrier (selections with constants and projections).
-    pub fn as_fused(&self) -> Option<FusedOp> {
+    /// The fused-step form of this operator.  Total since PR 5: selections
+    /// and projections compile into overlay transforms like every structural
+    /// step.
+    pub fn to_fused(&self) -> FusedOp {
         match self {
-            FPlanOp::PushUp(n) => Some(FusedOp::PushUp(*n)),
-            FPlanOp::Normalise => Some(FusedOp::Normalise),
-            FPlanOp::Swap(n) => Some(FusedOp::Swap(*n)),
-            FPlanOp::Merge(a, b) => Some(FusedOp::Merge(*a, *b)),
-            FPlanOp::Absorb(a, b) => Some(FusedOp::Absorb(*a, *b)),
-            FPlanOp::SelectConst { .. } | FPlanOp::Project(_) => None,
+            FPlanOp::PushUp(n) => FusedOp::PushUp(*n),
+            FPlanOp::Normalise => FusedOp::Normalise,
+            FPlanOp::Swap(n) => FusedOp::Swap(*n),
+            FPlanOp::Merge(a, b) => FusedOp::Merge(*a, *b),
+            FPlanOp::Absorb(a, b) => FusedOp::Absorb(*a, *b),
+            FPlanOp::SelectConst { attr, op, value } => FusedOp::SelectConst {
+                attr: *attr,
+                op: *op,
+                value: *value,
+            },
+            FPlanOp::Project(keep) => FusedOp::Project(keep.clone()),
         }
+    }
+
+    /// Whether this operator was a *fusion barrier* before whole-plan fusion
+    /// (selections with constants and projections).  The PR 3 segmented
+    /// baseline [`FPlan::execute_segmented`] still splits at these, and the
+    /// engine counts how many of them execute inside a fused program
+    /// (`barriers_fused`).
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, FPlanOp::SelectConst { .. } | FPlanOp::Project(_))
     }
 }
 
@@ -209,34 +236,33 @@ impl FPlan {
 
     /// Executes the plan on the representation, transforming it in place.
     ///
-    /// The plan is peephole-simplified ([`FPlan::simplified`]) and split into
-    /// segments at fusion barriers; every structural segment that would pay
-    /// more than one arena pass on the step-wise path (two or more steps, or
-    /// a single internally multi-pass normalise/absorb) runs as one fused
-    /// pass.  The output arena is bit-for-bit identical to
+    /// The plan is peephole-simplified ([`FPlan::simplified`]) and, whenever
+    /// the step-wise path would pay more than one arena pass
+    /// ([`FPlan::fuses`]), compiled **whole** — selections and projections
+    /// included — into a single overlay program that emits exactly one
+    /// arena.  The output is bit-for-bit identical to
     /// [`FPlan::execute_stepwise`]; the only observable difference is on
-    /// error, where a failing fused segment leaves the representation at the
-    /// segment boundary instead of at the failing operator.
+    /// error, where a failing program leaves the representation unmodified
+    /// instead of stopped at the failing operator.
     pub fn execute(&self, rep: &mut FRep) -> Result<()> {
         self.simplified(rep.tree()).execute_presimplified(rep)
     }
 
-    /// The segmentation half of [`FPlan::execute`], without the peephole
+    /// The compilation half of [`FPlan::execute`], without the peephole
     /// pass — for callers that already hold a simplified plan (the engine
-    /// simplifies once, reads [`FPlan::fused_segment_count`] off it for its
-    /// stats, then executes it through this).
+    /// simplifies once, reads the fusion counters off it for its stats,
+    /// then executes it through this).
     pub fn execute_presimplified(&self, rep: &mut FRep) -> Result<()> {
-        let mut segment: Vec<FusedOp> = Vec::new();
-        for op in &self.ops {
-            match op.as_fused() {
-                Some(fused) => segment.push(fused),
-                None => {
-                    flush_segment(rep, &mut segment)?;
-                    op.execute(rep)?;
-                }
+        if !self.fuses() {
+            // Zero or one single-pass operator: the overlay machinery would
+            // only add overhead.
+            for op in &self.ops {
+                op.execute(rep)?;
             }
+            return Ok(());
         }
-        flush_segment(rep, &mut segment)
+        let program: Vec<FusedOp> = self.ops.iter().map(FPlanOp::to_fused).collect();
+        ops::execute_fused(rep, &program)
     }
 
     /// Executes the plan operator by operator — the pre-fusion PR 2 path,
@@ -249,20 +275,38 @@ impl FPlan {
         Ok(())
     }
 
-    /// Executes the plan into an **aggregate sink**: the prefix up to and
-    /// including the last fusion barrier runs exactly like
-    /// [`FPlan::execute`], but the trailing structural segment is applied
-    /// only to the fused overlay and the aggregate is folded over the
-    /// overlay itself ([`ops::execute_fused_aggregate`]) — the final arena
-    /// is never frozen, because an aggregate consumer has no use for it.
+    /// Executes the plan the PR 3 way: the op list is split into segments at
+    /// the former fusion barriers (selections and projections), each
+    /// barrier runs as its own arena pass, and each multi-step structural
+    /// segment runs as one fused pass.  Kept as the measured baseline of
+    /// `bench-pr5` (whole-plan fusion vs segmented execution) and as an
+    /// additional oracle in the equivalence suite; output arenas are
+    /// bit-for-bit identical to both other paths.
+    pub fn execute_segmented(&self, rep: &mut FRep) -> Result<()> {
+        let mut segment: Vec<FusedOp> = Vec::new();
+        for op in &self.ops {
+            if op.is_barrier() {
+                flush_segment(rep, &mut segment)?;
+                op.execute(rep)?;
+            } else {
+                segment.push(op.to_fused());
+            }
+        }
+        flush_segment(rep, &mut segment)
+    }
+
+    /// Executes the plan into an **aggregate sink**: the whole plan —
+    /// barriers included — is applied only to the fused overlay and the
+    /// aggregate is folded over the overlay itself
+    /// ([`ops::execute_fused_aggregate`]), with the plan's trailing
+    /// selections folded into the accumulation as entry filters.  **No
+    /// arena is emitted at any point**: the input is borrowed, never cloned
+    /// and never modified, and an aggregate consumer has no use for the
+    /// transformed arena.
     ///
-    /// The input is borrowed and never modified; a working copy is cloned
-    /// lazily at the first barrier, so a purely structural plan — the
-    /// common shape for aggregate queries over factorised input — touches
-    /// the input arena read-only and pays **no copy at all**.  Returns the
-    /// aggregate result and whether the sink ran on the overlay (`false`
-    /// when the plan ends in a barrier or is empty, in which case the
-    /// aggregate is a flat pass over the last-barrier arena).
+    /// Returns the aggregate result and whether the sink ran on the overlay
+    /// (`false` only for the empty plan, where the aggregate is a plain
+    /// flat pass over the input arena).
     pub fn execute_aggregate(
         &self,
         rep: &FRep,
@@ -275,46 +319,65 @@ impl FPlan {
 
     /// The sink half of [`FPlan::execute_aggregate`], without the peephole
     /// pass — for callers that already hold a simplified plan (the engine
-    /// simplifies once, reads [`FPlan::fused_segment_count`] off it, then
-    /// executes it through this).
+    /// simplifies once, reads the fusion counters off it, then executes it
+    /// through this).
     pub fn execute_aggregate_presimplified(
         &self,
         rep: &FRep,
         kind: AggregateKind,
         group_by: Option<AttrId>,
     ) -> Result<(AggregateResult, bool)> {
-        let mut owned: Option<FRep> = None;
-        let mut segment: Vec<FusedOp> = Vec::new();
-        for op in &self.ops {
-            match op.as_fused() {
-                Some(fused) => segment.push(fused),
-                None => {
-                    let target = owned.get_or_insert_with(|| rep.clone());
-                    flush_segment(target, &mut segment)?;
-                    op.execute(target)?;
-                }
-            }
+        if self.ops.is_empty() {
+            return Ok((aggregate::evaluate(rep, kind, group_by)?, false));
         }
-        let current = owned.as_ref().unwrap_or(rep);
-        if segment.is_empty() {
-            return Ok((aggregate::evaluate(current, kind, group_by)?, false));
-        }
-        let result = ops::execute_fused_aggregate(current, &segment, kind, group_by)?;
+        let program: Vec<FusedOp> = self.ops.iter().map(FPlanOp::to_fused).collect();
+        let result = ops::execute_fused_aggregate(rep, &program, kind, group_by)?;
         Ok((result, true))
     }
 
-    /// Peephole simplification against a simulated f-tree: drops operators
-    /// whose data-level effect is the identity — `Normalise` when the tree
-    /// is already normalised at that point of the plan (so consecutive
-    /// normalisations, and the common `Absorb; Normalise` double
-    /// normalisation, collapse) and projections that keep every attribute.
+    /// Peephole simplification against a simulated f-tree: drops or merges
+    /// operators whose data-level effect is the identity —
+    ///
+    /// * `Normalise` when the tree is already normalised at that point of
+    ///   the plan (so consecutive normalisations, and the common
+    ///   `Absorb; Normalise` double normalisation, collapse);
+    /// * projections that keep every attribute;
+    /// * selections made trivially *total* by an earlier equality selection
+    ///   (the node is bound to a constant the predicate accepts, so every
+    ///   remaining entry passes); a selection an earlier binding makes
+    ///   trivially *empty* is kept — emptying the representation is a data
+    ///   effect;
+    /// * adjacent projections, merged into one projection onto the
+    ///   intersection when the first projection only *marks* attributes
+    ///   (removes no node: every node keeps a visible attribute) — marking
+    ///   is cumulative, so the merged projection replays the identical
+    ///   data-level decisions.
+    ///
     /// If simulation fails at some operator, that operator and everything
     /// after it are kept verbatim so execution reports the error faithfully.
     pub fn simplified(&self, tree: &FTree) -> FPlan {
         let mut cur = tree.clone();
-        let mut out = Vec::with_capacity(self.ops.len());
+        let mut out: Vec<FPlanOp> = Vec::with_capacity(self.ops.len());
+        // Tree state *before* the most recently pushed op, when that op is a
+        // projection that only marked attributes — the merge window.
+        let mut mark_only_projection: Option<FTree> = None;
         for (i, op) in self.ops.iter().enumerate() {
-            let keep = match op {
+            let mut op = op.clone();
+            if let FPlanOp::Project(keep_attrs) = &op {
+                if let (Some(before), Some(FPlanOp::Project(prev_keep))) =
+                    (&mark_only_projection, out.last())
+                {
+                    // Merge π_{K1}; π_{K2} into π_{K1 ∩ K2}: the first
+                    // projection touched no data, and the marking it
+                    // performed is a subset of the merged projection's.
+                    let merged: BTreeSet<AttrId> =
+                        prev_keep.intersection(keep_attrs).copied().collect();
+                    cur = before.clone();
+                    out.pop();
+                    op = FPlanOp::Project(merged);
+                }
+            }
+            let keep = match &op {
                 FPlanOp::Normalise => {
                     let mut probe = cur.clone();
                     !probe.normalise().is_empty()
@@ -322,46 +385,91 @@ impl FPlan {
                 FPlanOp::Project(keep_attrs) => {
                     cur.all_attrs().difference(keep_attrs).next().is_some()
                 }
+                FPlanOp::SelectConst {
+                    attr,
+                    op: cmp,
+                    value,
+                } => !cur
+                    .node_of_attr(*attr)
+                    .and_then(|node| cur.constant(node))
+                    .is_some_and(|bound| cmp.eval(bound, *value)),
                 _ => true,
             };
             if !keep {
                 continue;
             }
+            let before = cur.clone();
             if op.apply_to_tree(&mut cur).is_err() {
                 // Simulation failed: stop simplifying here so execution
                 // surfaces the same error at the same operator.
-                out.extend(self.ops[i..].iter().cloned());
+                out.push(op);
+                out.extend(self.ops[i + 1..].iter().cloned());
                 return FPlan { ops: out };
             }
-            out.push(op.clone());
+            mark_only_projection = match &op {
+                FPlanOp::Project(keep_attrs) if projection_only_marks(&before, keep_attrs) => {
+                    Some(before)
+                }
+                _ => None,
+            };
+            out.push(op);
         }
         FPlan { ops: out }
     }
 
-    /// Number of multi-step structural segments this op list fuses into
-    /// single arena passes.  Counted on the plan as given; since
-    /// [`FPlan::execute`] simplifies first, call this on
-    /// [`FPlan::simplified`] output for the exact executed count.
-    pub fn fused_segment_count(&self) -> usize {
-        let mut count = 0;
-        let mut run: Vec<FusedOp> = Vec::new();
-        for op in &self.ops {
-            match op.as_fused() {
-                Some(fused) => run.push(fused),
-                None => {
-                    count += usize::from(segment_fuses(&run));
-                    run.clear();
-                }
-            }
+    /// Whole-plan fusion criterion: the plan compiles into one overlay
+    /// program when the step-wise path would pay more than one arena pass —
+    /// two or more operators, or a single internally multi-pass operator
+    /// (normalise, absorb, projection).  A lone single-pass operator (swap,
+    /// push-up, merge, selection) runs directly; the overlay would only add
+    /// overhead.
+    pub fn fuses(&self) -> bool {
+        self.ops.len() >= 2
+            || matches!(
+                self.ops.first(),
+                Some(FPlanOp::Normalise | FPlanOp::Absorb(_, _) | FPlanOp::Project(_))
+            )
+    }
+
+    /// Number of former fusion barriers (selections with constants,
+    /// projections) in the plan.  When the plan fuses, these execute inside
+    /// the overlay program instead of as standalone arena passes — the
+    /// engine reports the count as `barriers_fused`.
+    pub fn barrier_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_barrier()).count()
+    }
+
+    /// Lower bound on the intermediate arenas whole-plan fused execution
+    /// skips relative to the step-wise path: one per operator beyond the
+    /// single emission (internally multi-pass operators skip more).  Zero
+    /// when the plan does not fuse.
+    pub fn arenas_skipped(&self) -> usize {
+        if self.fuses() {
+            self.ops.len() - 1
+        } else {
+            0
         }
-        count + usize::from(segment_fuses(&run))
     }
 }
 
-/// The fusion criterion, shared between execution ([`flush_segment`]) and
-/// the [`FPlan::fused_segment_count`] stat: a structural run executes as one
-/// fused pass when the step-wise path would pay more than one arena pass —
-/// two or more steps, or a single internally multi-pass normalise/absorb.
+/// Returns `true` when projecting onto `keep` only marks attributes on the
+/// tree without removing any node: after marking, every node still has at
+/// least one visible attribute, so the data-level projection loop performs
+/// zero leaf removals and zero swap-downs.
+fn projection_only_marks(tree: &FTree, keep: &BTreeSet<AttrId>) -> bool {
+    let mut probe = tree.clone();
+    let marked: BTreeSet<AttrId> = probe.all_attrs().difference(keep).copied().collect();
+    probe.mark_attrs_projected(&marked);
+    probe
+        .node_ids()
+        .into_iter()
+        .all(|n| !probe.visible_attrs(n).is_empty())
+}
+
+/// The PR 3 segment-fusion criterion, used by [`FPlan::execute_segmented`]:
+/// a structural run executes as one fused pass when the step-wise path would
+/// pay more than one arena pass — two or more steps, or a single internally
+/// multi-pass normalise/absorb.
 fn segment_fuses(segment: &[FusedOp]) -> bool {
     segment.len() >= 2
         || matches!(
@@ -370,8 +478,9 @@ fn segment_fuses(segment: &[FusedOp]) -> bool {
         )
 }
 
-/// Executes and clears a pending structural segment: fused when
-/// [`segment_fuses`] says so, as the single step-wise operator otherwise.
+/// Executes and clears a pending structural segment of the segmented
+/// baseline: fused when [`segment_fuses`] says so, as the single step-wise
+/// operator otherwise.
 fn flush_segment(rep: &mut FRep, segment: &mut Vec<FusedOp>) -> Result<()> {
     if segment.is_empty() {
         return Ok(());
@@ -379,11 +488,16 @@ fn flush_segment(rep: &mut FRep, segment: &mut Vec<FusedOp>) -> Result<()> {
     let result = if segment_fuses(segment) {
         ops::execute_fused(rep, segment)
     } else {
-        match segment[0] {
-            FusedOp::PushUp(n) => ops::push_up(rep, n),
-            FusedOp::Swap(n) => ops::swap(rep, n).map(|_| ()),
-            FusedOp::Merge(a, b) => ops::merge(rep, a, b).map(|_| ()),
-            FusedOp::Normalise | FusedOp::Absorb(_, _) => unreachable!("multi-pass handled above"),
+        match &segment[0] {
+            FusedOp::PushUp(n) => ops::push_up(rep, *n),
+            FusedOp::Swap(n) => ops::swap(rep, *n).map(|_| ()),
+            FusedOp::Merge(a, b) => ops::merge(rep, *a, *b).map(|_| ()),
+            FusedOp::Normalise
+            | FusedOp::Absorb(_, _)
+            | FusedOp::SelectConst { .. }
+            | FusedOp::Project(_) => {
+                unreachable!("multi-pass ops handled above; barriers never enter a segment")
+            }
         }
     };
     segment.clear();
@@ -627,7 +741,9 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_sink_falls_back_to_the_arena_after_a_trailing_barrier() {
+    fn aggregate_sink_consumes_trailing_barriers_on_the_overlay() {
+        // A selection-then-aggregate plan: the selection folds into the
+        // aggregate accumulation as an entry filter — no arena, no clone.
         let rep = sample_rep();
         let plan = FPlan::new(vec![FPlanOp::SelectConst {
             attr: AttrId(0),
@@ -636,30 +752,156 @@ mod tests {
         }]);
         let mut executed = rep.clone();
         plan.execute(&mut executed).unwrap();
-        let expected = aggregate::evaluate(&executed, AggregateKind::Count, None).unwrap();
-        let (got, on_overlay) = plan
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum(AttrId(1)),
+            AggregateKind::Min(AttrId(3)),
+        ] {
+            let expected = aggregate::evaluate(&executed, kind, None).unwrap();
+            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, None).unwrap();
+            assert!(on_overlay, "trailing selections fold into the sink");
+            assert_eq!(got, expected, "{kind}");
+        }
+        // Only the empty plan falls back to the plain arena pass.
+        let (_, on_overlay) = FPlan::empty()
             .execute_aggregate(&rep, AggregateKind::Count, None)
             .unwrap();
-        assert!(!on_overlay, "plan ends in a barrier: plain arena pass");
-        assert_eq!(got, expected);
+        assert!(!on_overlay, "the empty plan aggregates on the arena");
+        // The borrowed input is untouched.
+        assert!(rep.store_identical(&sample_rep()));
     }
 
     #[test]
-    fn fused_segment_count_reflects_barriers() {
+    fn segmented_baseline_matches_the_other_paths() {
+        let rep = sample_rep();
+        let oid = rep.tree().node_of_attr(AttrId(1)).unwrap();
+        let plan = FPlan::new(vec![
+            FPlanOp::Swap(oid),
+            FPlanOp::Normalise,
+            FPlanOp::SelectConst {
+                attr: AttrId(3),
+                op: ComparisonOp::Ge,
+                value: Value::new(7),
+            },
+            FPlanOp::Project(attrs(&[1, 3])),
+        ]);
+        let mut fused = rep.clone();
+        let mut segmented = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_segmented(&mut segmented).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        assert!(fused.store_identical(&segmented));
+        assert!(segmented.store_identical(&stepwise));
+    }
+
+    #[test]
+    fn fusion_counters_reflect_the_whole_plan() {
         let oid = NodeId(1);
         let plan = FPlan::new(vec![
             FPlanOp::Swap(oid),
-            FPlanOp::Normalise, // segment 1 (2 steps)
+            FPlanOp::Normalise,
             FPlanOp::SelectConst {
                 attr: AttrId(3),
                 op: ComparisonOp::Eq,
                 value: Value::new(7),
             },
-            FPlanOp::Swap(oid), // single swap: not a fused segment
+            FPlanOp::Swap(oid),
             FPlanOp::Project(attrs(&[1])),
-            FPlanOp::Normalise, // single but internally multi-pass: fused
+            FPlanOp::Normalise,
         ]);
-        assert_eq!(plan.fused_segment_count(), 2);
-        assert_eq!(FPlan::empty().fused_segment_count(), 0);
+        assert!(plan.fuses());
+        assert_eq!(plan.barrier_count(), 2);
+        assert_eq!(plan.arenas_skipped(), 5, "six ops, one emission");
+        // Single single-pass operators do not fuse…
+        assert!(!FPlan::new(vec![FPlanOp::Swap(oid)]).fuses());
+        assert_eq!(FPlan::new(vec![FPlanOp::Swap(oid)]).arenas_skipped(), 0);
+        assert!(!FPlan::new(vec![FPlanOp::SelectConst {
+            attr: AttrId(3),
+            op: ComparisonOp::Eq,
+            value: Value::new(7),
+        }])
+        .fuses());
+        // …but single internally multi-pass operators do.
+        assert!(FPlan::new(vec![FPlanOp::Normalise]).fuses());
+        assert!(FPlan::new(vec![FPlanOp::Project(attrs(&[1]))]).fuses());
+        assert!(!FPlan::empty().fuses());
+        assert_eq!(FPlan::empty().arenas_skipped(), 0);
+    }
+
+    #[test]
+    fn peephole_merges_adjacent_mark_only_projections() {
+        // sample_rep: item{0,2} → (oid{1}, supplier{3}); keeping {0,2,1}
+        // only marks supplier's attribute?  No — supplier{3} would lose its
+        // only attribute.  Keep {0,1,3} instead: item keeps 0, drops 2 —
+        // every node still has a visible attribute, so the projection is
+        // mark-only and merges with the next one.
+        let rep = sample_rep();
+        let plan = FPlan::new(vec![
+            FPlanOp::Project(attrs(&[0, 1, 3])),
+            FPlanOp::Project(attrs(&[0, 1])),
+        ]);
+        let simplified = plan.simplified(rep.tree());
+        assert_eq!(
+            simplified.ops,
+            vec![FPlanOp::Project(attrs(&[0, 1]))],
+            "adjacent projections merge into the intersection"
+        );
+        // Bit-for-bit: merged execution equals the sequential step-wise run.
+        let mut fused = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        assert!(fused.store_identical(&stepwise));
+    }
+
+    #[test]
+    fn peephole_keeps_node_removing_projection_chains() {
+        // Keeping {1,3} removes the item node's attributes entirely on both
+        // nodes?  item{0,2} loses everything → the first projection removes
+        // nodes, so the pair must NOT merge.
+        let rep = sample_rep();
+        let plan = FPlan::new(vec![
+            FPlanOp::Project(attrs(&[1, 3])),
+            FPlanOp::Project(attrs(&[1])),
+        ]);
+        let simplified = plan.simplified(rep.tree());
+        assert_eq!(simplified.ops.len(), 2, "node-removing projections stay");
+        let mut fused = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        assert!(fused.store_identical(&stepwise));
+    }
+
+    #[test]
+    fn peephole_drops_selections_made_total_by_an_earlier_binding() {
+        let rep = sample_rep();
+        let select = |op: ComparisonOp, value: u64| FPlanOp::SelectConst {
+            attr: AttrId(0),
+            op,
+            value: Value::new(value),
+        };
+        let plan = FPlan::new(vec![
+            select(ComparisonOp::Eq, 1),
+            // The node is now bound to 1: repeats and implied ranges are
+            // total and drop…
+            select(ComparisonOp::Eq, 1),
+            select(ComparisonOp::Ge, 1),
+            select(ComparisonOp::Ne, 5),
+            // …but a contradicted predicate empties the data and stays.
+            select(ComparisonOp::Eq, 2),
+        ]);
+        let simplified = plan.simplified(rep.tree());
+        assert_eq!(
+            simplified.ops,
+            vec![select(ComparisonOp::Eq, 1), select(ComparisonOp::Eq, 2)]
+        );
+        let mut fused = rep.clone();
+        let mut stepwise = rep;
+        plan.execute(&mut fused).unwrap();
+        plan.execute_stepwise(&mut stepwise).unwrap();
+        assert!(fused.store_identical(&stepwise));
+        assert!(fused.represents_empty());
     }
 }

@@ -414,7 +414,10 @@ fn selections_preserve_the_equivalence() {
 }
 
 // ---------------------------------------------------------------------
-// PR 3: fused plan execution vs the step-wise path
+// PR 3/PR 5: fused plan execution vs the step-wise path — since PR 5 the
+// whole plan (selections and projections included) compiles into one
+// overlay program, so every randomized plan below exercises whole-plan
+// fusion, the PR 3 segmented baseline and the PR 2 step-wise oracle.
 // ---------------------------------------------------------------------
 
 use fdb::plan::{FPlan, FPlanOp};
@@ -479,18 +482,26 @@ fn random_plan(rng: &mut StdRng, tree: &fdb::ftree::FTree, steps: usize, barrier
     FPlan::new(ops)
 }
 
-/// Executes the plan both ways and asserts the arenas are bit-for-bit
-/// identical (store identity), the fused result validates, and the
-/// represented relations agree.
+/// Executes the plan all three ways — whole-plan fused, PR 3 segmented, and
+/// PR 2 step-wise — and asserts the arenas are bit-for-bit identical (store
+/// identity), the fused result validates, and the represented relations
+/// agree.
 fn check_fused_against_stepwise(rep: &FRep, plan: &FPlan, context: &str) {
     let mut fused = rep.clone();
+    let mut segmented = rep.clone();
     let mut stepwise = rep.clone();
     let fused_result = plan.execute(&mut fused);
+    let segmented_result = plan.execute_segmented(&mut segmented);
     let stepwise_result = plan.execute_stepwise(&mut stepwise);
     assert_eq!(
         fused_result.is_ok(),
         stepwise_result.is_ok(),
         "{context}: paths disagree on plan validity ({fused_result:?} vs {stepwise_result:?})"
+    );
+    assert_eq!(
+        segmented_result.is_ok(),
+        stepwise_result.is_ok(),
+        "{context}: segmented baseline disagrees on plan validity"
     );
     if fused_result.is_err() {
         return;
@@ -503,6 +514,10 @@ fn check_fused_against_stepwise(rep: &FRep, plan: &FPlan, context: &str) {
         "{context}: plan {plan} — fused and step-wise stores diverge\nfused:\n{}\nstep-wise:\n{}",
         fused.dump_store(),
         stepwise.dump_store()
+    );
+    assert!(
+        segmented.store_identical(&stepwise),
+        "{context}: plan {plan} — segmented baseline diverges from step-wise"
     );
     assert_eq!(
         fused.tree().canonical_key(),
@@ -640,11 +655,11 @@ fn fused_plans_match_the_stepwise_path_on_edge_case_representations() {
 }
 
 #[test]
-fn barrier_only_plans_match_the_stepwise_path() {
-    // Regression: plans made exclusively of fusion barriers (selections and
-    // projections, zero structural steps between them) must route every
-    // operator down the step-wise path with no fused segment — including
-    // back-to-back barriers, where `flush_segment` sees an empty run.
+fn barrier_only_plans_fuse_into_one_program() {
+    // Plans made exclusively of former fusion barriers (selections and
+    // projections, zero structural steps between them) now compile into a
+    // single overlay program like any other plan — including back-to-back
+    // barriers — and still match the step-wise path bit for bit.
     let g = grocery_database();
     let rep = FdbEngine::new()
         .evaluate_flat(&g.db, &g.q1())
@@ -675,25 +690,119 @@ fn barrier_only_plans_match_the_stepwise_path() {
             value: Value::new(2),
         },
     ]);
+    let simplified = plan.simplified(rep.tree());
+    assert!(simplified.fuses(), "barrier-only plans fuse whole");
     assert_eq!(
-        plan.simplified(rep.tree()).fused_segment_count(),
-        0,
-        "a barrier-only plan has no structural segment to fuse"
+        simplified.barrier_count(),
+        simplified.len(),
+        "every operator of a barrier-only plan is a former barrier"
     );
     check_fused_against_stepwise(&rep, &plan, "barrier-only plan");
 
-    // The same plan consumed by the aggregate sink must fall back to the
-    // plain arena pass (nothing left for the overlay).
+    // The same plan consumed by the aggregate sink runs entirely on the
+    // overlay: passes for the leading barriers, a folded filter for the
+    // trailing selection, and no arena anywhere.
     let mut executed = rep.clone();
     plan.execute(&mut executed).unwrap();
     let (got, on_overlay) = plan
         .execute_aggregate(&rep, fdb::frep::AggregateKind::Count, None)
         .expect("aggregate sink runs");
-    assert!(!on_overlay, "barrier-only plans aggregate on the arena");
+    assert!(on_overlay, "barrier-only plans aggregate on the overlay");
     assert_eq!(
         got,
         fdb::frep::AggregateResult::Scalar(fdb::frep::AggregateValue::Count(
             executed.tuple_count()
         ))
+    );
+}
+
+#[test]
+fn selection_emptying_a_mid_tree_union_matches_the_stepwise_path() {
+    // A selection on an inner attribute that nothing satisfies: the emptied
+    // unions must cascade through the folded liveness sweep exactly like
+    // the step-wise retain-and-prune, both alone and mid-program.
+    let g = grocery_database();
+    let rep = FdbEngine::new()
+        .evaluate_flat(&g.db, &g.q1())
+        .expect("FDB evaluates")
+        .result;
+    let location = g.attr("Store.location");
+    let oid = g.attr("Orders.oid");
+    let oid_node = rep.tree().node_of_attr(oid).expect("oid labels a node");
+    let unsatisfiable = FPlanOp::SelectConst {
+        attr: location,
+        op: ComparisonOp::Gt,
+        value: Value::new(1_000_000),
+    };
+    check_fused_against_stepwise(
+        &rep,
+        &FPlan::new(vec![unsatisfiable.clone()]),
+        "unsatisfiable selection alone",
+    );
+    check_fused_against_stepwise(
+        &rep,
+        &FPlan::new(vec![
+            FPlanOp::Swap(oid_node),
+            unsatisfiable.clone(),
+            FPlanOp::Normalise,
+        ]),
+        "unsatisfiable selection mid-program",
+    );
+    let mut emptied = rep.clone();
+    FPlan::new(vec![unsatisfiable])
+        .execute(&mut emptied)
+        .unwrap();
+    assert!(emptied.represents_empty());
+}
+
+#[test]
+fn selection_then_projection_and_projection_then_structural_match() {
+    let g = grocery_database();
+    let rep = FdbEngine::new()
+        .evaluate_flat(&g.db, &g.q1())
+        .expect("FDB evaluates")
+        .result;
+    let item = g.attr("Orders.item");
+    let oid = g.attr("Orders.oid");
+    let dispatcher = g.attr("Disp.dispatcher");
+    let keep: BTreeSet<AttrId> = [oid, dispatcher].into_iter().collect();
+
+    // Selection then projection, fused into one program.
+    check_fused_against_stepwise(
+        &rep,
+        &FPlan::new(vec![
+            FPlanOp::SelectConst {
+                attr: item,
+                op: ComparisonOp::Ge,
+                value: Value::new(2),
+            },
+            FPlanOp::Project(keep.clone()),
+        ]),
+        "selection then projection",
+    );
+
+    // Projection then a structural run: the projected tree's shape feeds
+    // the subsequent swaps inside the same program.
+    let keep_most: BTreeSet<AttrId> = rep
+        .visible_attrs()
+        .into_iter()
+        .filter(|&a| a != dispatcher)
+        .collect();
+    let mut projected = rep.clone();
+    fdb::frep::ops::project(&mut projected, &keep_most).unwrap();
+    let swap_node = projected
+        .tree()
+        .node_ids()
+        .into_iter()
+        .find(|&n| projected.tree().parent(n).is_some())
+        .expect("a non-root node survives the projection");
+    check_fused_against_stepwise(
+        &rep,
+        &FPlan::new(vec![
+            FPlanOp::Project(keep_most),
+            FPlanOp::Swap(swap_node),
+            FPlanOp::Normalise,
+        ]),
+        "projection then structural run",
     );
 }
