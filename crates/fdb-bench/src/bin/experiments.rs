@@ -7,10 +7,27 @@
 //! ```
 //!
 //! Every experiment prints a plain-text table whose rows correspond to the
-//! series of the paper's figures; `EXPERIMENTS.md` records a full run.
+//! series of the paper's figures.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, report, Scale};
 use std::time::Instant;
+
+/// Shared driver of the PR 2+ benchmarks: run at the requested scale, print
+/// the table, write the JSON report (`--scale smoke` skips the file).
+fn run_bench<R>(
+    label: &str,
+    path: &str,
+    smoke: bool,
+    run: impl FnOnce(bool) -> R,
+    table: impl FnOnce(&R) -> String,
+    json: impl FnOnce(&R) -> String,
+) {
+    let start = Instant::now();
+    let report = run(smoke);
+    print!("{}", table(&report));
+    report::write_bench_file(path, &json(&report), smoke);
+    println!("({label} finished in {:?})\n", start.elapsed());
+}
 
 /// Runs the PR 1 enumeration benchmark and writes its machine-readable
 /// output.  With `--baseline`, writes `BENCH_BASELINE.json` (raw rows) for a
@@ -45,96 +62,6 @@ fn run_bench_pr1(baseline_mode: bool, smoke: bool) {
         }
     }
     println!("(bench-pr1 finished in {:?})\n", start.elapsed());
-}
-
-/// Runs the PR 2 structural-operator and construction benchmark (arena
-/// native vs thaw path) and writes `BENCH_PR2.json`.  At `--scale smoke`
-/// the inputs shrink and nothing is written.
-fn run_bench_pr2(smoke: bool) {
-    let start = Instant::now();
-    let scale = if smoke {
-        pr2::Pr2Scale::Smoke
-    } else {
-        pr2::Pr2Scale::Full
-    };
-    let report = pr2::run(scale);
-    print!("{}", pr2::render_table(&report));
-    if smoke {
-        println!("\n(smoke scale: no file written)");
-    } else {
-        std::fs::write("BENCH_PR2.json", pr2::render_json(&report))
-            .expect("writing BENCH_PR2.json");
-        println!("\nwrote BENCH_PR2.json");
-    }
-    println!("(bench-pr2 finished in {:?})\n", start.elapsed());
-}
-
-/// Runs the PR 3 fused-vs-stepwise plan execution benchmark and writes
-/// `BENCH_PR3.json`.  At `--scale smoke` the inputs shrink and nothing is
-/// written.
-fn run_bench_pr3(smoke: bool) {
-    let start = Instant::now();
-    let scale = if smoke {
-        pr3::Pr3Scale::Smoke
-    } else {
-        pr3::Pr3Scale::Full
-    };
-    let report = pr3::run(scale);
-    print!("{}", pr3::render_table(&report));
-    if smoke {
-        println!("\n(smoke scale: no file written)");
-    } else {
-        std::fs::write("BENCH_PR3.json", pr3::render_json(&report))
-            .expect("writing BENCH_PR3.json");
-        println!("\nwrote BENCH_PR3.json");
-    }
-    println!("(bench-pr3 finished in {:?})\n", start.elapsed());
-}
-
-/// Runs the PR 4 factorised-aggregation benchmark (factorised vs
-/// materialise-then-aggregate, and arena pass vs overlay pass) and writes
-/// `BENCH_PR4.json`.  At `--scale smoke` the inputs shrink and nothing is
-/// written.
-fn run_bench_pr4(smoke: bool) {
-    let start = Instant::now();
-    let scale = if smoke {
-        pr4::Pr4Scale::Smoke
-    } else {
-        pr4::Pr4Scale::Full
-    };
-    let report = pr4::run(scale);
-    print!("{}", pr4::render_table(&report));
-    if smoke {
-        println!("\n(smoke scale: no file written)");
-    } else {
-        std::fs::write("BENCH_PR4.json", pr4::render_json(&report))
-            .expect("writing BENCH_PR4.json");
-        println!("\nwrote BENCH_PR4.json");
-    }
-    println!("(bench-pr4 finished in {:?})\n", start.elapsed());
-}
-
-/// Runs the PR 5 whole-plan-fusion benchmark (fused vs PR 3 segmented
-/// execution on barrier-bearing plans, plus select-then-aggregate sinks)
-/// and writes `BENCH_PR5.json`.  At `--scale smoke` the inputs shrink and
-/// nothing is written.
-fn run_bench_pr5(smoke: bool) {
-    let start = Instant::now();
-    let scale = if smoke {
-        pr5::Pr5Scale::Smoke
-    } else {
-        pr5::Pr5Scale::Full
-    };
-    let report = pr5::run(scale);
-    print!("{}", pr5::render_table(&report));
-    if smoke {
-        println!("\n(smoke scale: no file written)");
-    } else {
-        std::fs::write("BENCH_PR5.json", pr5::render_json(&report))
-            .expect("writing BENCH_PR5.json");
-        println!("\nwrote BENCH_PR5.json");
-    }
-    println!("(bench-pr5 finished in {:?})\n", start.elapsed());
 }
 
 fn main() {
@@ -172,19 +99,97 @@ fn main() {
         return;
     }
     if which.contains(&"bench-pr2") {
-        run_bench_pr2(smoke);
+        // Arena-native structural operators vs the thaw path, plus direct
+        // construction vs the forest path.
+        run_bench(
+            "bench-pr2",
+            "BENCH_PR2.json",
+            smoke,
+            |smoke| {
+                pr2::run(if smoke {
+                    pr2::Pr2Scale::Smoke
+                } else {
+                    pr2::Pr2Scale::Full
+                })
+            },
+            pr2::render_table,
+            pr2::render_json,
+        );
         return;
     }
     if which.contains(&"bench-pr3") {
-        run_bench_pr3(smoke);
+        // Fused single-pass f-plan execution vs step-wise operator runs.
+        run_bench(
+            "bench-pr3",
+            "BENCH_PR3.json",
+            smoke,
+            |smoke| {
+                pr3::run(if smoke {
+                    pr3::Pr3Scale::Smoke
+                } else {
+                    pr3::Pr3Scale::Full
+                })
+            },
+            pr3::render_table,
+            pr3::render_json,
+        );
         return;
     }
     if which.contains(&"bench-pr4") {
-        run_bench_pr4(smoke);
+        // Factorised aggregation vs materialise-then-aggregate, and the
+        // arena pass vs the fused overlay pass.
+        run_bench(
+            "bench-pr4",
+            "BENCH_PR4.json",
+            smoke,
+            |smoke| {
+                pr4::run(if smoke {
+                    pr4::Pr4Scale::Smoke
+                } else {
+                    pr4::Pr4Scale::Full
+                })
+            },
+            pr4::render_table,
+            pr4::render_json,
+        );
         return;
     }
     if which.contains(&"bench-pr5") {
-        run_bench_pr5(smoke);
+        // Whole-plan fusion vs PR 3 segmented execution on barrier-bearing
+        // plans, plus select-then-aggregate sinks.
+        run_bench(
+            "bench-pr5",
+            "BENCH_PR5.json",
+            smoke,
+            |smoke| {
+                pr5::run(if smoke {
+                    pr5::Pr5Scale::Smoke
+                } else {
+                    pr5::Pr5Scale::Full
+                })
+            },
+            pr5::render_table,
+            pr5::render_json,
+        );
+        return;
+    }
+    if which.contains(&"bench-pr6") {
+        // Concurrent serving: stall-model and pure-CPU queries/second under
+        // a Zipf-skewed query mix, plus parallel enumeration.
+        run_bench(
+            "bench-pr6",
+            "BENCH_PR6.json",
+            smoke,
+            |smoke| {
+                pr6::run(if smoke {
+                    pr6::Pr6Scale::Smoke
+                } else {
+                    pr6::Pr6Scale::Full
+                })
+            },
+            pr6::render_table,
+            pr6::render_json,
+        );
         return;
     }
 

@@ -20,6 +20,7 @@
 //! (`BENCH_PR1.json`), one row object per line, so before/after comparisons
 //! can be scripted.
 
+use crate::report::BenchJson;
 use fdb_core::{FactorisedQuery, FdbEngine};
 use fdb_datagen::{
     combinatorial_database, grocery_database, populate, random_followup_equalities, random_query,
@@ -251,26 +252,22 @@ pub fn run() -> Vec<Pr1Row> {
 
 /// Serialises rows as JSON: one row object per line inside a `rows` array.
 pub fn render_json(rows: &[Pr1Row]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"pr1-frep-enumeration\",\n  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"tuples\": {}, \"reps\": {}, \
-             \"enum_seconds\": {:.6}, \"tuples_per_sec\": {:.1}, \"materialize_seconds\": {:.6}}}{}",
-            row.name,
-            row.singletons,
-            row.tuples,
-            row.reps,
-            row.enum_seconds,
-            row.tuples_per_sec,
-            row.materialize_seconds,
-            comma
-        )
-        .expect("writing to a String cannot fail");
-    }
-    out.push_str("  ]\n}\n");
-    out
+    BenchJson::new("pr1-frep-enumeration")
+        .array("rows", rows, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"tuples\": {}, \"reps\": {}, \
+                 \"enum_seconds\": {:.6}, \"tuples_per_sec\": {:.1}, \
+                 \"materialize_seconds\": {:.6}}}",
+                row.name,
+                row.singletons,
+                row.tuples,
+                row.reps,
+                row.enum_seconds,
+                row.tuples_per_sec,
+                row.materialize_seconds,
+            )
+        })
+        .finish()
 }
 
 /// Parses rows back from the JSON rendered by [`render_json`] (line-oriented;

@@ -19,6 +19,7 @@
 //! the rows as `BENCH_PR2.json`; `--scale smoke` shrinks the inputs and
 //! repetition counts so CI can keep the harness from bit-rotting.
 
+use crate::report::BenchJson;
 use fdb_common::{AttrId, Catalog, Query, Value};
 use fdb_datagen::{populate, random_query, random_schema, ValueDistribution};
 use fdb_frep::build::build_frep_via_forest;
@@ -483,49 +484,36 @@ pub fn run(scale: Pr2Scale) -> Pr2Report {
 
 /// Serialises the report as JSON (line-oriented, like `BENCH_PR1.json`).
 pub fn render_json(report: &Pr2Report) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"pr2-structural-ops\",\n  \"ops\": [\n");
-    for (i, row) in report.ops.iter().enumerate() {
-        let comma = if i + 1 < report.ops.len() { "," } else { "" };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
-             \"arena_seconds\": {:.6}, \"thaw_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.reps,
-            row.arena_seconds,
-            row.thaw_seconds,
-            row.speedup,
-            comma
+    BenchJson::new("pr2-structural-ops")
+        .array("ops", &report.ops, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
+                 \"arena_seconds\": {:.6}, \"thaw_seconds\": {:.6}, \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.reps,
+                row.arena_seconds,
+                row.thaw_seconds,
+                row.speedup,
+            )
+        })
+        .field(
+            "ops_speedup_geomean",
+            format!("{:.3}", report.ops_speedup_geomean),
         )
-        .expect("writing to a String cannot fail");
-    }
-    out.push_str("  ],\n");
-    writeln!(
-        out,
-        "  \"ops_speedup_geomean\": {:.3},",
-        report.ops_speedup_geomean
-    )
-    .expect("string write");
-    out.push_str("  \"build\": [\n");
-    for (i, row) in report.build.iter().enumerate() {
-        let comma = if i + 1 < report.build.len() { "," } else { "" };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
-             \"direct_seconds\": {:.6}, \"forest_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.reps,
-            row.direct_seconds,
-            row.forest_seconds,
-            row.speedup,
-            comma
-        )
-        .expect("string write");
-    }
-    out.push_str("  ]\n}\n");
-    out
+        .array("build", &report.build, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
+                 \"direct_seconds\": {:.6}, \"forest_seconds\": {:.6}, \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.reps,
+                row.direct_seconds,
+                row.forest_seconds,
+                row.speedup,
+            )
+        })
+        .finish()
 }
 
 /// Renders the human-readable table printed by the `experiments` binary.

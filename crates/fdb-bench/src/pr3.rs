@@ -16,6 +16,7 @@
 //! rows as `BENCH_PR3.json`; `--scale smoke` shrinks the inputs so CI can
 //! keep the harness from bit-rotting.
 
+use crate::report::BenchJson;
 use fdb_common::AttrId;
 use fdb_common::Value;
 use fdb_core::FdbEngine;
@@ -355,33 +356,25 @@ pub fn run(scale: Pr3Scale) -> Pr3Report {
 
 /// Serialises the report as JSON (line-oriented, like `BENCH_PR2.json`).
 pub fn render_json(report: &Pr3Report) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"pr3-fused-execution\",\n  \"plans\": [\n");
-    for (i, row) in report.plans.iter().enumerate() {
-        let comma = if i + 1 < report.plans.len() { "," } else { "" };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
-             \"fused_seconds\": {:.6}, \"stepwise_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.plan_ops,
-            row.reps,
-            row.fused_seconds,
-            row.stepwise_seconds,
-            row.speedup,
-            comma
+    BenchJson::new("pr3-fused-execution")
+        .array("plans", &report.plans, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+                 \"fused_seconds\": {:.6}, \"stepwise_seconds\": {:.6}, \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.plan_ops,
+                row.reps,
+                row.fused_seconds,
+                row.stepwise_seconds,
+                row.speedup,
+            )
+        })
+        .field(
+            "fused_speedup_geomean",
+            format!("{:.3}", report.fused_speedup_geomean),
         )
-        .expect("writing to a String cannot fail");
-    }
-    out.push_str("  ],\n");
-    writeln!(
-        out,
-        "  \"fused_speedup_geomean\": {:.3}",
-        report.fused_speedup_geomean
-    )
-    .expect("string write");
-    out.push_str("}\n");
-    out
+        .finish()
 }
 
 /// Renders the human-readable table printed by the `experiments` binary.

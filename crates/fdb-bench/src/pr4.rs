@@ -20,6 +20,7 @@
 //! the rows as `BENCH_PR4.json`; `--scale smoke` shrinks the inputs so CI
 //! can keep the harness from bit-rotting.
 
+use crate::report::BenchJson;
 use fdb_common::AttrId;
 use fdb_common::Value;
 use fdb_frep::aggregate::{self, AggregateKind};
@@ -394,68 +395,44 @@ pub fn run(scale: Pr4Scale) -> Pr4Report {
 
 /// Serialises the report as JSON (line-oriented, like `BENCH_PR3.json`).
 pub fn render_json(report: &Pr4Report) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"pr4-factorised-aggregation\",\n");
-    out.push_str("  \"aggregates\": [\n");
-    for (i, row) in report.aggregates.iter().enumerate() {
-        let comma = if i + 1 < report.aggregates.len() {
-            ","
-        } else {
-            ""
-        };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"singletons\": {}, \"tuples\": {}, \
-             \"reps\": {}, \"factorised_seconds\": {:.9}, \"flat_seconds\": {:.6}, \
-             \"speedup\": {:.3}}}{}",
-            row.name,
-            row.kind,
-            row.singletons,
-            row.tuples,
-            row.reps,
-            row.factorised_seconds,
-            row.flat_seconds,
-            row.speedup,
-            comma
+    BenchJson::new("pr4-factorised-aggregation")
+        .array("aggregates", &report.aggregates, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"kind\": \"{}\", \"singletons\": {}, \"tuples\": {}, \
+                 \"reps\": {}, \"factorised_seconds\": {:.9}, \"flat_seconds\": {:.6}, \
+                 \"speedup\": {:.3}}}",
+                row.name,
+                row.kind,
+                row.singletons,
+                row.tuples,
+                row.reps,
+                row.factorised_seconds,
+                row.flat_seconds,
+                row.speedup,
+            )
+        })
+        .array("overlay", &report.overlay, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+                 \"arena_seconds\": {:.9}, \"overlay_seconds\": {:.9}, \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.plan_ops,
+                row.reps,
+                row.arena_seconds,
+                row.overlay_seconds,
+                row.speedup,
+            )
+        })
+        .field(
+            "flat_speedup_geomean",
+            format!("{:.3}", report.flat_speedup_geomean),
         )
-        .expect("writing to a String cannot fail");
-    }
-    out.push_str("  ],\n  \"overlay\": [\n");
-    for (i, row) in report.overlay.iter().enumerate() {
-        let comma = if i + 1 < report.overlay.len() {
-            ","
-        } else {
-            ""
-        };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
-             \"arena_seconds\": {:.9}, \"overlay_seconds\": {:.9}, \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.plan_ops,
-            row.reps,
-            row.arena_seconds,
-            row.overlay_seconds,
-            row.speedup,
-            comma
+        .field(
+            "overlay_speedup_geomean",
+            format!("{:.3}", report.overlay_speedup_geomean),
         )
-        .expect("string write");
-    }
-    out.push_str("  ],\n");
-    writeln!(
-        out,
-        "  \"flat_speedup_geomean\": {:.3},",
-        report.flat_speedup_geomean
-    )
-    .expect("string write");
-    writeln!(
-        out,
-        "  \"overlay_speedup_geomean\": {:.3}",
-        report.overlay_speedup_geomean
-    )
-    .expect("string write");
-    out.push_str("}\n");
-    out
+        .finish()
 }
 
 /// Runs one representative engine-level aggregate query (COUNT over a

@@ -23,6 +23,7 @@
 //! `BENCH_PR5.json`; `--scale smoke` shrinks the inputs so CI can keep the
 //! harness from bit-rotting.
 
+use crate::report::BenchJson;
 use fdb_common::{AttrId, ComparisonOp, Value};
 use fdb_core::FdbEngine;
 use fdb_datagen::{
@@ -507,63 +508,44 @@ pub fn run(scale: Pr5Scale) -> Pr5Report {
 
 /// Serialises the report as JSON (line-oriented, like `BENCH_PR3.json`).
 pub fn render_json(report: &Pr5Report) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"pr5-whole-plan-fusion\",\n  \"plans\": [\n");
-    for (i, row) in report.plans.iter().enumerate() {
-        let comma = if i + 1 < report.plans.len() { "," } else { "" };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"barriers\": {}, \
-             \"reps\": {}, \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \
-             \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.plan_ops,
-            row.barriers,
-            row.reps,
-            row.fused_seconds,
-            row.segmented_seconds,
-            row.speedup,
-            comma
+    BenchJson::new("pr5-whole-plan-fusion")
+        .array("plans", &report.plans, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"barriers\": {}, \
+                 \"reps\": {}, \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \
+                 \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.plan_ops,
+                row.barriers,
+                row.reps,
+                row.fused_seconds,
+                row.segmented_seconds,
+                row.speedup,
+            )
+        })
+        .array("aggregates", &report.aggregates, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
+                 \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \"speedup\": {:.3}}}",
+                row.name,
+                row.singletons,
+                row.plan_ops,
+                row.reps,
+                row.fused_seconds,
+                row.segmented_seconds,
+                row.speedup,
+            )
+        })
+        .field(
+            "plan_speedup_geomean",
+            format!("{:.3}", report.plan_speedup_geomean),
         )
-        .expect("writing to a String cannot fail");
-    }
-    out.push_str("  ],\n  \"aggregates\": [\n");
-    for (i, row) in report.aggregates.iter().enumerate() {
-        let comma = if i + 1 < report.aggregates.len() {
-            ","
-        } else {
-            ""
-        };
-        writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"singletons\": {}, \"plan_ops\": {}, \"reps\": {}, \
-             \"fused_seconds\": {:.6}, \"segmented_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
-            row.name,
-            row.singletons,
-            row.plan_ops,
-            row.reps,
-            row.fused_seconds,
-            row.segmented_seconds,
-            row.speedup,
-            comma
+        .field(
+            "aggregate_speedup_geomean",
+            format!("{:.3}", report.aggregate_speedup_geomean),
         )
-        .expect("string write");
-    }
-    out.push_str("  ],\n");
-    writeln!(
-        out,
-        "  \"plan_speedup_geomean\": {:.3},",
-        report.plan_speedup_geomean
-    )
-    .expect("string write");
-    writeln!(
-        out,
-        "  \"aggregate_speedup_geomean\": {:.3}",
-        report.aggregate_speedup_geomean
-    )
-    .expect("string write");
-    out.push_str("}\n");
-    out
+        .finish()
 }
 
 /// Renders the human-readable tables printed by the `experiments` binary.

@@ -1,0 +1,680 @@
+//! PR 6 serving benchmark: queries/second under a Zipf-skewed query mix.
+//!
+//! The serving layer (`fdb_core::serving`) executes independent requests
+//! concurrently over `Arc`-shared frozen arenas, with a plan cache keyed on
+//! query shape.  This benchmark measures three things:
+//!
+//! * **serving** — queries/second at 1, 2 and 4 worker threads for a
+//!   Zipf-skewed mix of query templates (few hot shapes, a long tail),
+//!   where every request carries a fixed *client stall* (simulated network
+//!   and protocol latency) ahead of its evaluation.  The stall is where a
+//!   single-CPU host still wins from concurrency: while one request sleeps
+//!   in its stall, the worker pool runs another one's evaluation.  The
+//!   stall length is reported in every row so the numbers cannot be
+//!   mistaken for pure-CPU speedups;
+//! * **cpu** — the same batch through [`FdbServer::serve_batch`] with *no*
+//!   stall: pure-CPU queries/second.  On a single-CPU host these rows stay
+//!   flat (≈ 1×) across thread counts — reported honestly rather than
+//!   hidden;
+//! * **enumeration** — [`fdb_frep::par_materialize`] against the
+//!   sequential [`fdb_frep::materialize`] on large representations, after
+//!   asserting the parallel result is identical (the sequential-merge
+//!   contract).
+//!
+//! Every workload is checked for correctness (served outcomes against the
+//! plain uncached engine) before any timing starts.  The `experiments`
+//! binary serialises the report as `BENCH_PR6.json`.
+
+use crate::report::BenchJson;
+use fdb_common::{AggregateFunc, AggregateHead, AttrId, ComparisonOp, ConstSelection, Value};
+use fdb_core::{
+    FactorisedQuery, FdbEngine, FdbServer, PlanCache, RepId, ServeRequest, SharedDatabase,
+    ThreadPool,
+};
+use fdb_frep::{materialize, par_materialize, Entry, FRep, Union};
+use fdb_ftree::{DepEdge, FTree, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// One serving measurement (with the per-request client stall).
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Requests per timed pass.
+    pub requests: u64,
+    /// Simulated client stall per request, in microseconds.
+    pub stall_micros: u64,
+    /// Best wall time of one pass over the batch.
+    pub seconds: f64,
+    /// Queries per second of the best pass.
+    pub qps: f64,
+    /// `qps / qps(1 thread)`.
+    pub speedup_vs_one_thread: f64,
+    /// Plan-cache hits across the whole run at this thread count.
+    pub cache_hits: u64,
+    /// Plan-cache misses across the whole run at this thread count.
+    pub cache_misses: u64,
+}
+
+/// One pure-CPU serving measurement (no stall, through `serve_batch`).
+#[derive(Clone, Debug)]
+pub struct CpuRow {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Requests per timed pass.
+    pub requests: u64,
+    /// Best wall time of one pass over the batch.
+    pub seconds: f64,
+    /// Queries per second of the best pass.
+    pub qps: f64,
+}
+
+/// One parallel-enumeration measurement.
+#[derive(Clone, Debug)]
+pub struct EnumRow {
+    /// Workload name.
+    pub name: String,
+    /// Tuples enumerated.
+    pub tuples: u64,
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Best wall time of the sequential `materialize`.
+    pub sequential_seconds: f64,
+    /// Best wall time of `par_materialize` on the pool.
+    pub parallel_seconds: f64,
+    /// `sequential_seconds / parallel_seconds`.
+    pub speedup: f64,
+}
+
+/// The full PR 6 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr6Report {
+    /// Stall-model serving rows, one per thread count.
+    pub serving: Vec<ServeRow>,
+    /// Pure-CPU serving rows, one per thread count.
+    pub cpu: Vec<CpuRow>,
+    /// Parallel-enumeration rows.
+    pub enumeration: Vec<EnumRow>,
+    /// Serving qps at 4 threads over qps at 1 thread.
+    pub qps_speedup_at_4_threads: f64,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr6Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR6.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Entries of the outermost union of each serving chain.
+    outer: u64,
+    /// Entries per nested union of the serving representations.
+    inner: u64,
+    /// Independent chains in the wide-forest serving representation.
+    chains: u32,
+    /// Requests per timed pass.
+    requests: usize,
+    /// Simulated client stall per request.
+    stall: Duration,
+    /// Timed passes per thread count (best one reported).
+    measurements: usize,
+    /// Outer entries of the deep-chain enumeration workload.
+    enum_outer: u64,
+    /// Inner entries of the deep-chain enumeration workload.
+    enum_inner: u64,
+}
+
+impl Pr6Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr6Scale::Smoke => Dims {
+                outer: 30,
+                inner: 6,
+                chains: 3,
+                requests: 24,
+                stall: Duration::from_micros(200),
+                measurements: 1,
+                enum_outer: 120,
+                enum_inner: 40,
+            },
+            Pr6Scale::Full => Dims {
+                outer: 120,
+                inner: 12,
+                chains: 3,
+                requests: 400,
+                stall: Duration::from_micros(1_500),
+                measurements: 3,
+                enum_outer: 3_000,
+                enum_inner: 300,
+            },
+        }
+    }
+}
+
+/// Thread counts measured by both serving sections.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Zipf exponent of the template mix (1.1: a clearly skewed head).
+const ZIPF_EXPONENT: f64 = 1.1;
+
+fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
+    ids.iter().map(|&i| AttrId(i)).collect()
+}
+
+fn leaf_union(node: NodeId, values: impl Iterator<Item = u64>) -> Union {
+    Union::new(node, values.map(|v| Entry::leaf(Value::new(v))).collect())
+}
+
+fn select(attr: u32, op: ComparisonOp, value: u64) -> ConstSelection {
+    ConstSelection {
+        attr: AttrId(attr),
+        op,
+        value: Value::new(value),
+    }
+}
+
+/// The product of `chains` independent two-level chains: root attribute
+/// `2i`, child attribute `2i+1` for chain `i` (the PR 3/5 wide forest).
+fn wide_forest(chains: u32, outer: u64, inner: u64) -> FRep {
+    let mut rep: Option<FRep> = None;
+    for chain in 0..chains {
+        let (ra, rb) = (chain * 2, chain * 2 + 1);
+        let edges = vec![DepEdge::new(format!("R{chain}"), attrs(&[ra, rb]), outer)];
+        let mut tree = FTree::new(edges);
+        let root = tree.add_node(attrs(&[ra]), None).unwrap();
+        let child = tree.add_node(attrs(&[rb]), Some(root)).unwrap();
+        let entries = (0..outer)
+            .map(|v| Entry {
+                value: Value::new(v),
+                children: vec![leaf_union(child, v..v + inner)],
+            })
+            .collect();
+        let side = FRep::from_parts(tree, vec![Union::new(root, entries)]).unwrap();
+        rep = Some(match rep {
+            None => side,
+            Some(acc) => fdb_frep::ops::product(acc, side).unwrap(),
+        });
+    }
+    rep.expect("at least one chain")
+}
+
+/// A{0} → B{1} → (C{2}, D{3}): the nested regrouping shape of PR 3/5.
+fn nested_shape(d: Dims) -> FRep {
+    let edges = vec![
+        DepEdge::new("RAB", attrs(&[0, 1]), d.outer),
+        DepEdge::new("RAC", attrs(&[0, 2]), d.outer),
+        DepEdge::new("RBD", attrs(&[1, 3]), d.inner),
+    ];
+    let mut tree = FTree::new(edges);
+    let a = tree.add_node(attrs(&[0]), None).unwrap();
+    let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+    let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+    let d_node = tree.add_node(attrs(&[3]), Some(b)).unwrap();
+    let a_entries = (0..d.outer)
+        .map(|av| Entry {
+            value: Value::new(av),
+            children: vec![Union::new(
+                b,
+                (av..av + d.inner)
+                    .map(|bv| Entry {
+                        value: Value::new(bv),
+                        children: vec![
+                            leaf_union(c, std::iter::once(av % 7)),
+                            leaf_union(d_node, std::iter::once(bv % 11)),
+                        ],
+                    })
+                    .collect(),
+            )],
+        })
+        .collect();
+    FRep::from_parts(tree, vec![Union::new(a, a_entries)]).unwrap()
+}
+
+/// Number of query templates in the mix.
+const TEMPLATES: usize = 10;
+
+/// Instantiates query template `template` with constant `c` against the two
+/// registered representations.  Templates 0–5 hit the forest, 6–9 the
+/// nested shape; the constants vary per request while the *shape* (and so
+/// the plan-cache key) stays fixed per template.
+fn template_request(template: usize, c: u64, forest: RepId, nested: RepId) -> ServeRequest {
+    let q = FactorisedQuery::default;
+    let (rep, query, aggregate) = match template {
+        0 => (
+            forest,
+            q().with_const_selection(select(0, ComparisonOp::Ge, c)),
+            None,
+        ),
+        1 => (
+            forest,
+            q().with_const_selection(select(1, ComparisonOp::Eq, c)),
+            None,
+        ),
+        2 => (
+            forest,
+            q().with_const_selection(select(0, ComparisonOp::Ge, c))
+                .with_projection(vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]),
+            None,
+        ),
+        3 => (
+            forest,
+            q().with_const_selection(select(4, ComparisonOp::Ne, c)),
+            Some(AggregateHead::count()),
+        ),
+        4 => (
+            forest,
+            FactorisedQuery::equalities(vec![(AttrId(0), AttrId(2))]),
+            None,
+        ),
+        5 => (
+            forest,
+            q().with_const_selection(select(2, ComparisonOp::Ge, c))
+                .with_const_selection(select(0, ComparisonOp::Le, c)),
+            None,
+        ),
+        6 => (
+            nested,
+            q().with_const_selection(select(1, ComparisonOp::Ge, c)),
+            None,
+        ),
+        7 => (
+            nested,
+            q().with_const_selection(select(3, ComparisonOp::Le, c % 11))
+                .with_projection(vec![AttrId(0), AttrId(1), AttrId(3)]),
+            None,
+        ),
+        8 => (
+            nested,
+            q().with_const_selection(select(1, ComparisonOp::Ge, c)),
+            Some(AggregateHead::count()),
+        ),
+        9 => (
+            nested,
+            q().with_const_selection(select(0, ComparisonOp::Ge, c)),
+            Some(AggregateHead::over(AggregateFunc::Sum, AttrId(3))),
+        ),
+        _ => unreachable!("template index out of range"),
+    };
+    ServeRequest {
+        rep,
+        query,
+        aggregate,
+    }
+}
+
+/// Draws the Zipf-skewed request batch: template ranks from `Zipf(10, 1.1)`
+/// (template 0 is the hottest shape), constants uniform per request.
+fn zipf_batch(d: Dims, forest: RepId, nested: RepId, rng: &mut StdRng) -> Vec<ServeRequest> {
+    let zipf = Zipf::new(TEMPLATES as u64, ZIPF_EXPONENT).expect("valid Zipf parameters");
+    (0..d.requests)
+        .map(|_| {
+            let template = zipf.sample(rng) as usize - 1;
+            let c = rng.gen_range(0..d.outer);
+            template_request(template, c, forest, nested)
+        })
+        .collect()
+}
+
+/// Checks every served outcome against the plain uncached engine before any
+/// timing: representations must be store-identical, aggregates value-equal.
+fn check_batch(engine: &FdbEngine, db: &SharedDatabase, requests: &[ServeRequest]) {
+    let cache = PlanCache::new();
+    for request in requests {
+        let rep = db.get(request.rep).expect("registered representation");
+        match &request.aggregate {
+            Some(head) => {
+                let cached = engine
+                    .evaluate_factorised_aggregate_cached(rep, &request.query, head, &cache)
+                    .expect("aggregate request serves");
+                let plain = engine
+                    .evaluate_factorised_aggregate(rep, &request.query, head)
+                    .expect("aggregate request evaluates");
+                assert_eq!(cached.result, plain.result, "cached aggregate diverged");
+            }
+            None => {
+                let cached = engine
+                    .evaluate_factorised_cached(rep, &request.query, &cache)
+                    .expect("request serves");
+                let plain = engine
+                    .evaluate_factorised(rep, &request.query)
+                    .expect("request evaluates");
+                assert!(
+                    cached.result.store_identical(&plain.result),
+                    "cached result diverged from the uncached pipeline"
+                );
+            }
+        }
+    }
+}
+
+/// One pass of the stall-model serving loop: every request sleeps `stall`
+/// (the simulated client latency) on a pool worker, then runs the cached
+/// fused pipeline against the shared arenas.  Returns the wall time.
+fn serve_pass_with_stall(
+    engine: FdbEngine,
+    db: &Arc<SharedDatabase>,
+    cache: &Arc<PlanCache>,
+    pool: &ThreadPool,
+    requests: &[ServeRequest],
+    stall: Duration,
+) -> Duration {
+    let (tx, rx) = mpsc::channel::<bool>();
+    let start = Instant::now();
+    for request in requests.iter().cloned() {
+        let db = Arc::clone(db);
+        let cache = Arc::clone(cache);
+        let tx = tx.clone();
+        pool.spawn(move || {
+            std::thread::sleep(stall);
+            let rep = db.get(request.rep).expect("registered representation");
+            let ok = match &request.aggregate {
+                Some(head) => engine
+                    .evaluate_factorised_aggregate_cached(rep, &request.query, head, &cache)
+                    .is_ok(),
+                None => engine
+                    .evaluate_factorised_cached(rep, &request.query, &cache)
+                    .is_ok(),
+            };
+            let _ = tx.send(ok);
+        });
+    }
+    drop(tx);
+    let mut served = 0usize;
+    for ok in rx {
+        assert!(ok, "a serving request failed mid-benchmark");
+        served += 1;
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(served, requests.len(), "a serving worker dropped a request");
+    elapsed
+}
+
+/// Runs the benchmark at the given scale.
+pub fn run(scale: Pr6Scale) -> Pr6Report {
+    let d = scale.dims();
+    let engine = FdbEngine::new();
+    let mut shared = SharedDatabase::new();
+    let forest = shared.insert("forest", wide_forest(d.chains, d.outer, d.inner));
+    let nested = shared.insert("nested", nested_shape(d));
+    let db = Arc::new(shared);
+
+    let mut rng = StdRng::seed_from_u64(0x0005_eed6 * 31);
+    let requests = zipf_batch(d, forest, nested, &mut rng);
+    check_batch(&engine, &db, &requests);
+
+    // Stall-model serving: fresh pool and plan cache per thread count so the
+    // hit/miss counters and the warm-cache passes are comparable across rows.
+    let mut serving = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let cache = Arc::new(PlanCache::new());
+        // Warm-up pass (fills the plan cache), then timed passes.
+        serve_pass_with_stall(engine, &db, &cache, &pool, &requests, d.stall);
+        let mut best = Duration::MAX;
+        for _ in 0..d.measurements {
+            let t = serve_pass_with_stall(engine, &db, &cache, &pool, &requests, d.stall);
+            best = best.min(t);
+        }
+        let seconds = best.as_secs_f64();
+        serving.push(ServeRow {
+            threads,
+            requests: requests.len() as u64,
+            stall_micros: d.stall.as_micros() as u64,
+            seconds,
+            qps: requests.len() as f64 / seconds,
+            speedup_vs_one_thread: 0.0, // filled in below
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        });
+    }
+    let one_thread_qps = serving[0].qps;
+    for row in &mut serving {
+        row.speedup_vs_one_thread = row.qps / one_thread_qps;
+    }
+    let qps_speedup_at_4_threads = serving
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.speedup_vs_one_thread)
+        .unwrap_or(1.0);
+
+    // Pure-CPU serving through the public server API: no stall, so on a
+    // single-CPU host these rows measure scheduling overhead, not speedup.
+    let mut cpu = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let server = FdbServer::new(engine, Arc::clone(&db), threads);
+        let mut best = Duration::MAX;
+        for _ in 0..d.measurements {
+            let start = Instant::now();
+            let outcomes = server.serve_batch(requests.clone());
+            let t = start.elapsed();
+            assert!(outcomes.iter().all(|o| o.is_ok()));
+            best = best.min(t);
+        }
+        let seconds = best.as_secs_f64();
+        cpu.push(CpuRow {
+            threads,
+            requests: requests.len() as u64,
+            seconds,
+            qps: requests.len() as f64 / seconds,
+        });
+    }
+
+    // Parallel enumeration: deep chain (width 2) and forest product
+    // (width 4), each pinned against the sequential result first.
+    let mut enumeration = Vec::new();
+    let enum_reps = vec![
+        (
+            "deep_chain".to_string(),
+            Arc::new(wide_forest(1, d.enum_outer, d.enum_inner)),
+        ),
+        (
+            "forest_product".to_string(),
+            Arc::new(wide_forest(2, d.enum_outer / 25, d.enum_inner / 20)),
+        ),
+    ];
+    for (name, rep) in &enum_reps {
+        let sequential = materialize(rep).expect("sequential materialize");
+        let tuples = sequential.len() as u64;
+        let mut best_seq = Duration::MAX;
+        for _ in 0..d.measurements {
+            let start = Instant::now();
+            let out = materialize(rep).expect("sequential materialize");
+            best_seq = best_seq.min(start.elapsed());
+            assert_eq!(out.len(), sequential.len());
+        }
+        for &threads in &THREAD_COUNTS[1..] {
+            let pool = ThreadPool::new(threads);
+            let par = par_materialize(rep, &pool).expect("parallel materialize");
+            assert!(
+                par == sequential,
+                "parallel enumeration diverged from the sequential order"
+            );
+            let mut best_par = Duration::MAX;
+            for _ in 0..d.measurements {
+                let start = Instant::now();
+                let out = par_materialize(rep, &pool).expect("parallel materialize");
+                best_par = best_par.min(start.elapsed());
+                assert_eq!(out.len(), sequential.len());
+            }
+            enumeration.push(EnumRow {
+                name: name.clone(),
+                tuples,
+                threads,
+                sequential_seconds: best_seq.as_secs_f64(),
+                parallel_seconds: best_par.as_secs_f64(),
+                speedup: best_seq.as_secs_f64() / best_par.as_secs_f64(),
+            });
+        }
+    }
+
+    Pr6Report {
+        serving,
+        cpu,
+        enumeration,
+        qps_speedup_at_4_threads,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR5.json`).
+pub fn render_json(report: &Pr6Report) -> String {
+    BenchJson::new("pr6-concurrent-serving")
+        .array("serving", &report.serving, |row| {
+            format!(
+                "{{\"threads\": {}, \"requests\": {}, \"stall_micros\": {}, \
+                 \"seconds\": {:.6}, \"qps\": {:.1}, \"speedup_vs_one_thread\": {:.3}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}",
+                row.threads,
+                row.requests,
+                row.stall_micros,
+                row.seconds,
+                row.qps,
+                row.speedup_vs_one_thread,
+                row.cache_hits,
+                row.cache_misses,
+            )
+        })
+        .array("cpu", &report.cpu, |row| {
+            format!(
+                "{{\"threads\": {}, \"requests\": {}, \"seconds\": {:.6}, \"qps\": {:.1}}}",
+                row.threads, row.requests, row.seconds, row.qps,
+            )
+        })
+        .array("enumeration", &report.enumeration, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"tuples\": {}, \"threads\": {}, \
+                 \"sequential_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \
+                 \"speedup\": {:.3}}}",
+                row.name,
+                row.tuples,
+                row.threads,
+                row.sequential_seconds,
+                row.parallel_seconds,
+                row.speedup,
+            )
+        })
+        .field(
+            "qps_speedup_at_4_threads",
+            format!("{:.3}", report.qps_speedup_at_4_threads),
+        )
+        .finish()
+}
+
+/// Renders the human-readable tables printed by the `experiments` binary.
+pub fn render_table(report: &Pr6Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<24} {:>9} {:>12} {:>12} {:>10} {:>9} {:>13}",
+        "serving (with stall)", "threads", "stall (µs)", "qps", "speedup", "hits", "misses"
+    )
+    .expect("string write");
+    for row in &report.serving {
+        writeln!(
+            out,
+            "{:<24} {:>9} {:>12} {:>12.1} {:>9.2}x {:>9} {:>13}",
+            "zipf mix",
+            row.threads,
+            row.stall_micros,
+            row.qps,
+            row.speedup_vs_one_thread,
+            row.cache_hits,
+            row.cache_misses
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "qps speedup at 4 threads: {:.2}x\n",
+        report.qps_speedup_at_4_threads
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "{:<24} {:>9} {:>12}",
+        "serving (pure CPU)", "threads", "qps"
+    )
+    .expect("string write");
+    for row in &report.cpu {
+        writeln!(
+            out,
+            "{:<24} {:>9} {:>12.1}",
+            "zipf mix", row.threads, row.qps
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "\n{:<24} {:>12} {:>9} {:>16} {:>14} {:>9}",
+        "enumeration", "tuples", "threads", "sequential (s)", "parallel (s)", "speedup"
+    )
+    .expect("string write");
+    for row in &report.enumeration {
+        writeln!(
+            out,
+            "{:<24} {:>12} {:>9} {:>16.6} {:>14.6} {:>8.2}x",
+            row.name,
+            row.tuples,
+            row.threads,
+            row.sequential_seconds,
+            row.parallel_seconds,
+            row.speedup
+        )
+        .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_every_section_and_serialises() {
+        let report = run(Pr6Scale::Smoke);
+        assert_eq!(report.serving.len(), THREAD_COUNTS.len());
+        assert_eq!(report.cpu.len(), THREAD_COUNTS.len());
+        assert_eq!(report.enumeration.len(), 2 * (THREAD_COUNTS.len() - 1));
+        for row in &report.serving {
+            assert!(row.qps > 0.0);
+            assert!(
+                row.cache_hits > row.cache_misses,
+                "the Zipf mix should mostly hit the {TEMPLATES}-shape cache"
+            );
+        }
+        for row in &report.enumeration {
+            assert!(row.tuples > 0);
+            assert!(row.parallel_seconds > 0.0);
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"benchmark\": \"pr6-concurrent-serving\""));
+        assert!(json.contains("\"stall_micros\""));
+        assert!(json.contains("\"qps_speedup_at_4_threads\""));
+        let table = render_table(&report);
+        assert!(table.contains("serving (with stall)"));
+        assert!(table.contains("enumeration"));
+    }
+
+    #[test]
+    fn every_template_is_a_valid_request() {
+        let d = Pr6Scale::Smoke.dims();
+        let engine = FdbEngine::new();
+        let mut shared = SharedDatabase::new();
+        let forest = shared.insert("forest", wide_forest(d.chains, d.outer, d.inner));
+        let nested = shared.insert("nested", nested_shape(d));
+        let requests: Vec<ServeRequest> = (0..TEMPLATES)
+            .map(|t| template_request(t, d.outer / 2, forest, nested))
+            .collect();
+        check_batch(&engine, &shared, &requests);
+    }
+}

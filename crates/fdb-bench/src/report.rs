@@ -11,6 +11,60 @@ use crate::{POSTGRES_FACTOR, SQLITE_FACTOR};
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// Line-oriented JSON builder shared by the per-PR bench reports
+/// (`BENCH_PR1.json`..`BENCH_PR6.json` all have the same shape: a
+/// `benchmark` name, arrays of one-line row objects, trailing scalar
+/// summaries).  Each `render_json` keeps only its row formatting; the
+/// brace/comma/indent plumbing lives here once.
+pub struct BenchJson {
+    out: String,
+}
+
+impl BenchJson {
+    /// Starts a report: `{"benchmark": <name>, ...`.
+    pub fn new(benchmark: &str) -> Self {
+        BenchJson {
+            out: format!("{{\n  \"benchmark\": \"{benchmark}\""),
+        }
+    }
+
+    /// Appends an array field; `render_row` produces one row object
+    /// (braces included, no indentation, no trailing comma).
+    pub fn array<T>(mut self, key: &str, rows: &[T], render_row: impl Fn(&T) -> String) -> Self {
+        let _ = write!(self.out, ",\n  \"{key}\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(self.out, "    {}{}", render_row(row), comma);
+        }
+        self.out.push_str("  ]");
+        self
+    }
+
+    /// Appends a scalar field; `value` is inserted verbatim (pre-format
+    /// numbers with the precision the report wants).
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        let _ = write!(self.out, ",\n  \"{key}\": {value}");
+        self
+    }
+
+    /// Closes the report.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n}\n");
+        self.out
+    }
+}
+
+/// Writes a benchmark's JSON report (or reports the smoke-scale skip) — the
+/// shared tail of every `bench-prN` subcommand.
+pub fn write_bench_file(path: &str, json: &str, smoke: bool) {
+    if smoke {
+        println!("\n(smoke scale: no file written)");
+    } else {
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}
+
 fn fmt_duration(d: Duration) -> String {
     if d.as_secs_f64() >= 1.0 {
         format!("{:.2} s", d.as_secs_f64())

@@ -1,5 +1,6 @@
 //! The FDB engine: optimisation plus evaluation, on flat or factorised input.
 
+use crate::serving::PlanCache;
 use fdb_common::{AggregateFunc, AggregateHead, AttrId, ConstSelection, FdbError, Query, Result};
 use fdb_frep::{build_frep, ops, AggregateKind, AggregateResult, FRep};
 use fdb_ftree::s_cost;
@@ -92,6 +93,16 @@ pub struct EvalStats {
     /// single emission; for aggregate sinks every operator's arena,
     /// including the final one, is skipped).
     pub arenas_skipped: usize,
+    /// Queries this statistics record covers: 1 for a single evaluation;
+    /// serving-layer reports that aggregate a batch sum the records and
+    /// report the total here.
+    pub queries_served: u64,
+    /// Plan-cache hits (the optimiser was skipped; see
+    /// `serving::PlanCache`).  0 for uncached evaluation paths.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (the optimiser ran and its plan was published).
+    /// 0 for uncached evaluation paths.
+    pub plan_cache_misses: u64,
 }
 
 impl EvalStats {
@@ -100,7 +111,7 @@ impl EvalStats {
     /// rows.  Reports that show per-evaluation statistics (e.g. the
     /// `bench-pr4` table) print this instead of improvising their own lines.
     pub fn counters_table(&self) -> String {
-        let rows: [(&str, String); 8] = [
+        let rows: [(&str, String); 9] = [
             ("optimisation time", format!("{:?}", self.optimisation_time)),
             ("execution time", format!("{:?}", self.execution_time)),
             ("plan cost s(f)", format!("{:.2}", self.plan_cost)),
@@ -115,6 +126,13 @@ impl EvalStats {
                 "barriers fused / arenas skipped",
                 format!("{} / {}", self.barriers_fused, self.arenas_skipped),
             ),
+            (
+                "queries served / cache hits / misses",
+                format!(
+                    "{} / {} / {}",
+                    self.queries_served, self.plan_cache_hits, self.plan_cache_misses
+                ),
+            ),
         ];
         let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
@@ -122,6 +140,25 @@ impl EvalStats {
             out.push_str(&format!("{name:<width$}  {value}\n"));
         }
         out
+    }
+
+    /// Accumulates another record into this one: times and counters add
+    /// (including `queries_served` and the cache counters), so a serving
+    /// report can total a whole batch.  The per-result fields (`plan`,
+    /// costs) keep this record's values — a batch has no single plan.
+    pub fn accumulate(&mut self, other: &EvalStats) {
+        self.optimisation_time += other.optimisation_time;
+        self.execution_time += other.execution_time;
+        self.result_size += other.result_size;
+        self.result_tuples += other.result_tuples;
+        self.explored_states += other.explored_states;
+        self.fused_segments += other.fused_segments;
+        self.aggregates_on_overlay += other.aggregates_on_overlay;
+        self.barriers_fused += other.barriers_fused;
+        self.arenas_skipped += other.arenas_skipped;
+        self.queries_served += other.queries_served;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 }
 
@@ -226,6 +263,16 @@ pub struct FdbEngine {
     pub optimizer: OptimizerKind,
 }
 
+/// How a factorised evaluation obtained its plan: either fresh from the
+/// optimiser, or through a [`PlanCache`] (with the hit/miss recorded for
+/// the stats).
+struct ResolvedPlan {
+    plan: std::sync::Arc<fdb_plan::OptimizedPlan>,
+    optimisation_time: Duration,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
 impl FdbEngine {
     /// Creates an engine with the exhaustive optimiser.
     pub fn new() -> Self {
@@ -237,6 +284,58 @@ impl FdbEngine {
         FdbEngine {
             optimizer: OptimizerKind::Greedy,
         }
+    }
+
+    /// Runs the configured optimiser on the equality conditions.
+    fn optimise_equalities(
+        &self,
+        tree: &fdb_ftree::FTree,
+        equalities: &[(AttrId, AttrId)],
+    ) -> Result<fdb_plan::OptimizedPlan> {
+        match self.optimizer {
+            OptimizerKind::Exhaustive => ExhaustiveOptimizer::new().optimize(tree, equalities),
+            OptimizerKind::Greedy => GreedyOptimizer::new().optimize(tree, equalities),
+        }
+    }
+
+    /// Obtains the optimised plan for a factorised query, through the plan
+    /// cache when one is supplied.  On a hit the optimiser is skipped
+    /// entirely; on a miss the freshly optimised plan is published under
+    /// the query-shape key (constants abstracted — see
+    /// [`crate::serving::PlanCache`]).
+    fn resolve_factorised_plan(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        cache: Option<&PlanCache>,
+    ) -> Result<ResolvedPlan> {
+        use std::sync::Arc;
+        let opt_start = Instant::now();
+        let (plan, cache_hits, cache_misses) = match cache {
+            None => (
+                Arc::new(self.optimise_equalities(input.tree(), &query.equalities)?),
+                0,
+                0,
+            ),
+            Some(cache) => {
+                let key = crate::serving::plan_key(self, input.tree(), query);
+                match cache.lookup(&key) {
+                    Some(plan) => (plan, 1, 0),
+                    None => {
+                        let plan =
+                            Arc::new(self.optimise_equalities(input.tree(), &query.equalities)?);
+                        cache.insert(key, Arc::clone(&plan));
+                        (plan, 0, 1)
+                    }
+                }
+            }
+        };
+        Ok(ResolvedPlan {
+            plan,
+            optimisation_time: opt_start.elapsed(),
+            cache_hits,
+            cache_misses,
+        })
     }
 
     /// Evaluates a select-project-join query on a flat relational database.
@@ -279,6 +378,9 @@ impl FdbEngine {
                 aggregates_on_overlay: 0,
                 barriers_fused,
                 arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
             },
             result,
         })
@@ -298,17 +400,35 @@ impl FdbEngine {
     /// [`EvalStats::barriers_fused`] and [`EvalStats::arenas_skipped`]
     /// report the win.
     pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
-        // Optimise the equality conditions on the input f-tree.
-        let opt_start = Instant::now();
-        let optimised = match self.optimizer {
-            OptimizerKind::Exhaustive => {
-                ExhaustiveOptimizer::new().optimize(input.tree(), &query.equalities)?
-            }
-            OptimizerKind::Greedy => {
-                GreedyOptimizer::new().optimize(input.tree(), &query.equalities)?
-            }
-        };
-        let optimisation_time = opt_start.elapsed();
+        self.evaluate_factorised_inner(input, query, None)
+    }
+
+    /// [`FdbEngine::evaluate_factorised`] through a [`PlanCache`]: when the
+    /// query shape (f-tree + operator skeleton, constants abstracted) has
+    /// been optimised before, the cached plan is reused and the optimiser
+    /// is skipped — the serving layer's fast path for repeated traffic.
+    /// [`EvalStats::plan_cache_hits`]/[`EvalStats::plan_cache_misses`]
+    /// record which way this evaluation went.
+    pub fn evaluate_factorised_cached(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        cache: &PlanCache,
+    ) -> Result<EvalOutput> {
+        self.evaluate_factorised_inner(input, query, Some(cache))
+    }
+
+    fn evaluate_factorised_inner(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        cache: Option<&PlanCache>,
+    ) -> Result<EvalOutput> {
+        // Optimise the equality conditions on the input f-tree (or reuse a
+        // cached plan for the same query shape).
+        let resolved = self.resolve_factorised_plan(input, query, cache)?;
+        let optimisation_time = resolved.optimisation_time;
+        let optimised = &resolved.plan;
 
         // Assemble the full plan: constant selections, restructuring and
         // equality selections, projection.
@@ -349,6 +469,9 @@ impl FdbEngine {
                 aggregates_on_overlay: 0,
                 barriers_fused,
                 arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: resolved.cache_hits,
+                plan_cache_misses: resolved.cache_misses,
             },
             result,
         })
@@ -434,6 +557,9 @@ impl FdbEngine {
                 aggregates_on_overlay: 0,
                 barriers_fused,
                 arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
             },
             result: rep,
         })
@@ -493,6 +619,9 @@ impl FdbEngine {
                 aggregates_on_overlay: usize::from(on_overlay),
                 barriers_fused,
                 arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
             },
         })
     }
@@ -520,17 +649,34 @@ impl FdbEngine {
         query: &FactorisedQuery,
         head: &AggregateHead,
     ) -> Result<AggregateOutput> {
+        self.evaluate_factorised_aggregate_inner(input, query, head, None)
+    }
+
+    /// [`FdbEngine::evaluate_factorised_aggregate`] through a [`PlanCache`]
+    /// (see [`FdbEngine::evaluate_factorised_cached`]); aggregate and
+    /// non-aggregate requests of the same shape share cache entries, since
+    /// the cached restructuring plan is identical — only the sink differs.
+    pub fn evaluate_factorised_aggregate_cached(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        head: &AggregateHead,
+        cache: &PlanCache,
+    ) -> Result<AggregateOutput> {
+        self.evaluate_factorised_aggregate_inner(input, query, head, Some(cache))
+    }
+
+    fn evaluate_factorised_aggregate_inner(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        head: &AggregateHead,
+        cache: Option<&PlanCache>,
+    ) -> Result<AggregateOutput> {
         let kind = aggregate_kind(head)?;
-        let opt_start = Instant::now();
-        let optimised = match self.optimizer {
-            OptimizerKind::Exhaustive => {
-                ExhaustiveOptimizer::new().optimize(input.tree(), &query.equalities)?
-            }
-            OptimizerKind::Greedy => {
-                GreedyOptimizer::new().optimize(input.tree(), &query.equalities)?
-            }
-        };
-        let optimisation_time = opt_start.elapsed();
+        let resolved = self.resolve_factorised_plan(input, query, cache)?;
+        let optimisation_time = resolved.optimisation_time;
+        let optimised = &resolved.plan;
 
         let mut plan = FPlan::empty();
         for sel in &query.const_selections {
@@ -576,6 +722,9 @@ impl FdbEngine {
                 aggregates_on_overlay: usize::from(on_overlay),
                 barriers_fused,
                 arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: resolved.cache_hits,
+                plan_cache_misses: resolved.cache_misses,
             },
         })
     }
@@ -973,11 +1122,14 @@ mod tests {
             aggregates_on_overlay: 1,
             barriers_fused: 3,
             arenas_skipped: 4,
+            queries_served: 7,
+            plan_cache_hits: 5,
+            plan_cache_misses: 6,
             ..Default::default()
         };
         let table = stats.counters_table();
         let rows: Vec<&str> = table.lines().collect();
-        assert_eq!(rows.len(), 8, "one row per pinned counter:\n{table}");
+        assert_eq!(rows.len(), 9, "one row per pinned counter:\n{table}");
         for (row, needle) in rows.iter().zip([
             "optimisation time",
             "execution time",
@@ -987,11 +1139,13 @@ mod tests {
             "explored states",
             "fused segments / overlay aggregates",
             "barriers fused / arenas skipped",
+            "queries served / cache hits / misses",
         ]) {
             assert!(row.starts_with(needle), "row {row:?} vs {needle:?}");
         }
         assert!(table.contains("2 / 1"), "fused/overlay values:\n{table}");
         assert!(table.contains("3 / 4"), "barrier/arena values:\n{table}");
+        assert!(table.contains("7 / 5 / 6"), "serving values:\n{table}");
         // Display renders the same table.
         assert_eq!(format!("{stats}"), table);
     }

@@ -16,12 +16,22 @@
 //! * [`FdbEngine::evaluate_flat_via_operators`] is the alternative
 //!   evaluation path that treats each flat relation as a trivially
 //!   factorised input and runs a pure f-plan over the product — useful for
-//!   cross-checking the two pipelines against each other.
+//!   cross-checking the two pipelines against each other;
+//! * the serving layer ([`serving`]): an `Arc`-shared [`SharedDatabase`] of
+//!   frozen representations, the multi-threaded [`FdbServer`] executing
+//!   request batches on a work-stealing pool, and the shape-keyed
+//!   [`PlanCache`] that lets repeated traffic skip optimisation
+//!   ([`FdbEngine::evaluate_factorised_cached`]).
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod serving;
 
 pub use engine::{
     AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind,
+};
+pub use serving::{
+    default_threads, FdbServer, PlanCache, RepId, ServeOutcome, ServeRequest, ServerStats,
+    SharedDatabase, ThreadPool,
 };

@@ -1,0 +1,539 @@
+//! Concurrent query serving on shared arenas.
+//!
+//! A frozen f-representation is immutable (the sharing contract in the
+//! `fdb-frep` crate docs), so serving many queries over one database needs
+//! no locking on the data path at all:
+//!
+//! * [`SharedDatabase`] holds the frozen representations behind `Arc`s and
+//!   hands out stable [`RepId`]s — workers read the same arenas in place;
+//! * [`FdbServer`] executes batches of [`ServeRequest`]s on a vendored
+//!   work-stealing [`ThreadPool`], each request running the existing fused
+//!   single-pass pipeline untouched;
+//! * [`PlanCache`] memoises the optimiser's output per **query shape** —
+//!   the input f-tree plus the operator skeleton with selection constants
+//!   abstracted away — so repeated traffic (the common case under a skewed
+//!   query mix) skips optimisation entirely.  Hits and misses surface in
+//!   [`EvalStats::counters_table`](crate::EvalStats::counters_table).
+//!
+//! Results are deterministic: execution is a pure function of the frozen
+//! input and the query, so a batch served on 8 workers is store-identical
+//! to the same batch evaluated sequentially (the randomized suite in
+//! `tests/concurrent_equivalence.rs` pins this).
+
+use crate::engine::{AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine};
+use fdb_common::{AggregateHead, FdbError, Result};
+use fdb_frep::FRep;
+use fdb_ftree::FTree;
+use fdb_plan::OptimizedPlan;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+pub use workpool::{default_threads, ThreadPool};
+
+/// Handle to a frozen representation registered in a [`SharedDatabase`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RepId(usize);
+
+/// An `Arc`-shared database of frozen f-representations.
+///
+/// Registration (`insert`) is the freeze point: the representation is moved
+/// behind an `Arc` and never mutated again, so any number of serving
+/// threads may read it concurrently without synchronisation.  "Updating" a
+/// relation means inserting a new representation and publishing its new
+/// [`RepId`]; the old arena stays valid for in-flight queries.
+#[derive(Clone, Debug, Default)]
+pub struct SharedDatabase {
+    names: Vec<String>,
+    reps: Vec<Arc<FRep>>,
+}
+
+impl SharedDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        SharedDatabase::default()
+    }
+
+    /// Registers a frozen representation under a name and returns its id.
+    pub fn insert(&mut self, name: impl Into<String>, rep: FRep) -> RepId {
+        let id = RepId(self.reps.len());
+        self.names.push(name.into());
+        self.reps.push(Arc::new(rep));
+        id
+    }
+
+    /// The representation registered under `id`.
+    pub fn get(&self, id: RepId) -> Option<&Arc<FRep>> {
+        self.reps.get(id.0)
+    }
+
+    /// Finds a representation by registration name (first match).
+    pub fn find(&self, name: &str) -> Option<RepId> {
+        self.names.iter().position(|n| n == name).map(RepId)
+    }
+
+    /// Number of registered representations.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Whether no representation is registered.
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+}
+
+/// The cache key: a fingerprint of the query **shape**.  It pins everything
+/// the optimiser's answer depends on — optimiser kind, the input f-tree's
+/// exact structure (node ids, parent links, classes, visible attributes,
+/// bound constants and edge cardinalities; the cached plan's operators
+/// reference node ids, so structural identity is required for validity) and
+/// the equality conditions — plus the operator skeleton around the cached
+/// plan: constant selections as `(attribute, operator)` pairs with the
+/// **constants abstracted away** (they never reach the optimiser; they are
+/// re-applied verbatim per request), and the projection list.
+pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery) -> String {
+    let mut key = String::new();
+    let _ = write!(key, "opt:{:?}|", engine.optimizer);
+    for edge in tree.edges() {
+        let _ = write!(key, "e{}:", edge.cardinality);
+        for attr in &edge.attrs {
+            let _ = write!(key, "{},", attr.0);
+        }
+        key.push(';');
+    }
+    key.push('|');
+    for node in tree.node_ids() {
+        let _ = write!(key, "n{}", node.index());
+        if let Some(parent) = tree.parent(node) {
+            let _ = write!(key, "p{}", parent.index());
+        }
+        key.push('c');
+        for attr in tree.class(node) {
+            let _ = write!(key, "{},", attr.0);
+        }
+        key.push('v');
+        for attr in tree.projected_attrs(node) {
+            let _ = write!(key, "{},", attr.0);
+        }
+        if let Some(constant) = tree.constant(node) {
+            let _ = write!(key, "k{}", constant.0);
+        }
+        key.push(';');
+    }
+    key.push('|');
+    for (a, b) in &query.equalities {
+        let _ = write!(key, "q{}={};", a.0, b.0);
+    }
+    key.push('|');
+    for sel in &query.const_selections {
+        // Constants abstracted: the skeleton is (attribute, operator).
+        let _ = write!(key, "s{}{:?};", sel.attr.0, sel.op);
+    }
+    key.push('|');
+    if let Some(projection) = &query.projection {
+        for attr in projection {
+            let _ = write!(key, "r{},", attr.0);
+        }
+    }
+    key
+}
+
+/// A concurrent cache of optimised f-plans, keyed on query shape.
+///
+/// The map is guarded by a plain mutex — entries are tiny `Arc`s and the
+/// critical section is one hash-map probe, negligible next to the
+/// optimisation it saves — while the hit/miss counters are lock-free.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<String, Arc<OptimizedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// Whether the cache holds no plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Total lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::SeqCst)
+    }
+
+    /// Looks up a plan, bumping the hit/miss counters.
+    pub(crate) fn lookup(&self, key: &str) -> Option<Arc<OptimizedPlan>> {
+        let found = self
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::SeqCst),
+            None => self.misses.fetch_add(1, Ordering::SeqCst),
+        };
+        found
+    }
+
+    /// Publishes a plan for a key (last writer wins; racing optimisers of
+    /// the same shape produce equal-cost plans, so either result is fine).
+    pub(crate) fn insert(&self, key: String, plan: Arc<OptimizedPlan>) {
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, plan);
+    }
+}
+
+/// One query to serve: which representation to read, the query, and an
+/// optional aggregate head (aggregate requests fold on the fused overlay
+/// and return no representation).
+#[derive(Clone, Debug)]
+pub struct ServeRequest {
+    /// Representation to query.
+    pub rep: RepId,
+    /// The query.
+    pub query: FactorisedQuery,
+    /// Evaluate as an aggregate instead of returning a representation.
+    pub aggregate: Option<AggregateHead>,
+}
+
+/// The result of one served request.
+#[derive(Clone, Debug)]
+pub enum ServeOutcome {
+    /// A factorised result representation (non-aggregate request).
+    Rep(EvalOutput),
+    /// An aggregate value (aggregate request).
+    Aggregate(AggregateOutput),
+}
+
+impl ServeOutcome {
+    /// The evaluation statistics of either outcome kind.
+    pub fn stats(&self) -> &EvalStats {
+        match self {
+            ServeOutcome::Rep(out) => &out.stats,
+            ServeOutcome::Aggregate(out) => &out.stats,
+        }
+    }
+}
+
+/// A snapshot of a server's counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerStats {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Requests completed (successfully or with an error).
+    pub queries_served: u64,
+    /// Plan-cache hits across all served requests.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses across all served requests.
+    pub plan_cache_misses: u64,
+    /// Distinct query shapes currently cached.
+    pub plan_cache_len: usize,
+}
+
+/// A multi-threaded query server over a [`SharedDatabase`].
+///
+/// Every request runs the existing fused single-pass pipeline untouched —
+/// concurrency comes purely from running independent requests on the
+/// work-stealing pool, reading the shared frozen arenas in place.
+pub struct FdbServer {
+    engine: FdbEngine,
+    db: Arc<SharedDatabase>,
+    cache: Arc<PlanCache>,
+    pool: ThreadPool,
+    served: AtomicU64,
+}
+
+impl FdbServer {
+    /// Creates a server with `threads` workers.
+    pub fn new(engine: FdbEngine, db: Arc<SharedDatabase>, threads: usize) -> Self {
+        FdbServer {
+            engine,
+            db,
+            cache: Arc::new(PlanCache::new()),
+            pool: ThreadPool::new(threads),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a server sized by [`default_threads`] (the `FDB_THREADS`
+    /// environment variable, else the machine's available parallelism).
+    pub fn with_default_threads(engine: FdbEngine, db: Arc<SharedDatabase>) -> Self {
+        FdbServer::new(engine, db, default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The server's plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The worker pool (shared with callers that want to run their own
+    /// tasks next to query serving, e.g. parallel enumeration of results).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Requests completed so far.
+    pub fn queries_served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            threads: self.threads(),
+            queries_served: self.queries_served(),
+            plan_cache_hits: self.cache.hits(),
+            plan_cache_misses: self.cache.misses(),
+            plan_cache_len: self.cache.len(),
+        }
+    }
+
+    /// Serves one request on the calling thread (still consulting the plan
+    /// cache — the sequential baseline of the serving benchmark).
+    pub fn serve_one(&self, request: &ServeRequest) -> Result<ServeOutcome> {
+        let outcome = serve_request(self.engine, &self.db, &self.cache, request);
+        self.served.fetch_add(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// Serves a batch of requests concurrently on the pool, returning the
+    /// outcomes **in request order**.  The calling thread blocks until the
+    /// whole batch is done.
+    pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> Vec<Result<ServeOutcome>> {
+        let n = requests.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<ServeOutcome>)>();
+        for (index, request) in requests.into_iter().enumerate() {
+            let engine = self.engine;
+            let db = Arc::clone(&self.db);
+            let cache = Arc::clone(&self.cache);
+            let tx = tx.clone();
+            self.pool.spawn(move || {
+                let outcome = serve_request(engine, &db, &cache, &request);
+                // A closed receiver only means the caller went away.
+                let _ = tx.send((index, outcome));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Result<ServeOutcome>>> = (0..n).map(|_| None).collect();
+        for (index, outcome) in rx {
+            slots[index] = Some(outcome);
+            self.served.fetch_add(1, Ordering::SeqCst);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(FdbError::InvalidInput {
+                        detail: "serving worker panicked before delivering a result".into(),
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+/// The per-request pipeline shared by [`FdbServer::serve_one`] and the pool
+/// workers: resolve the representation, then run the (plan-cached) fused
+/// pipeline.
+fn serve_request(
+    engine: FdbEngine,
+    db: &SharedDatabase,
+    cache: &PlanCache,
+    request: &ServeRequest,
+) -> Result<ServeOutcome> {
+    let rep = db.get(request.rep).ok_or_else(|| FdbError::InvalidInput {
+        detail: format!("unknown representation id {:?}", request.rep),
+    })?;
+    match &request.aggregate {
+        Some(head) => engine
+            .evaluate_factorised_aggregate_cached(rep, &request.query, head, cache)
+            .map(ServeOutcome::Aggregate),
+        None => engine
+            .evaluate_factorised_cached(rep, &request.query, cache)
+            .map(ServeOutcome::Rep),
+    }
+}
+
+/// Compile-time pin of the serving layer's own shareability: the server is
+/// driven from multiple threads and its state crosses into pool workers.
+#[allow(dead_code)]
+fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    #[allow(dead_code)]
+    fn serving_types_are_shareable() {
+        _assert_send_sync::<SharedDatabase>();
+        _assert_send_sync::<PlanCache>();
+        _assert_send_sync::<FdbServer>();
+        _assert_send_sync::<ServeRequest>();
+        _assert_send_sync::<ServeOutcome>();
+    }
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_common::{AggregateHead, AttrId, Catalog, ComparisonOp, ConstSelection, Query, Value};
+    use fdb_relation::Database;
+
+    /// A small joined base representation plus two of its attributes.
+    fn base_rep() -> (FRep, AttrId, AttrId) {
+        let mut catalog = Catalog::new();
+        let (r, _) = catalog.add_relation("R", &["a", "b"]);
+        let (s, _) = catalog.add_relation("S", &["b2", "c"]);
+        let mut db = Database::new(catalog);
+        db.insert_raw_rows(r, &[vec![1, 1], vec![1, 2], vec![2, 2], vec![3, 1]])
+            .unwrap();
+        db.insert_raw_rows(s, &[vec![1, 5], vec![2, 6], vec![2, 7]])
+            .unwrap();
+        let cat = db.catalog();
+        let a = cat.find_attr("R.a").unwrap();
+        let b = cat.find_attr("R.b").unwrap();
+        let b2 = cat.find_attr("S.b2").unwrap();
+        let query = Query::product(vec![r, s]).with_equality(b, b2);
+        let out = FdbEngine::new().evaluate_flat(&db, &query).unwrap();
+        (out.result, a, b)
+    }
+
+    fn select_a(a: AttrId, value: u64) -> FactorisedQuery {
+        FactorisedQuery::default().with_const_selection(ConstSelection {
+            attr: a,
+            op: ComparisonOp::Eq,
+            value: Value::new(value),
+        })
+    }
+
+    #[test]
+    fn cache_hits_skip_the_optimiser_and_preserve_results() {
+        let (rep, a, b) = base_rep();
+        let engine = FdbEngine::new();
+        let cache = PlanCache::new();
+        let query1 = select_a(a, 1).with_projection(vec![a, b]);
+        let query2 = select_a(a, 2).with_projection(vec![a, b]);
+
+        let miss = engine
+            .evaluate_factorised_cached(&rep, &query1, &cache)
+            .unwrap();
+        assert_eq!(
+            (miss.stats.plan_cache_hits, miss.stats.plan_cache_misses),
+            (0, 1)
+        );
+        // Same shape, different constant: a hit on one cached plan.
+        let hit = engine
+            .evaluate_factorised_cached(&rep, &query2, &cache)
+            .unwrap();
+        assert_eq!(
+            (hit.stats.plan_cache_hits, hit.stats.plan_cache_misses),
+            (1, 0)
+        );
+        assert_eq!(cache.len(), 1, "constants are abstracted from the key");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Cached results are store-identical to the uncached pipeline.
+        for query in [&query1, &query2] {
+            let cached = engine
+                .evaluate_factorised_cached(&rep, query, &cache)
+                .unwrap();
+            let plain = engine.evaluate_factorised(&rep, query).unwrap();
+            assert!(cached.result.store_identical(&plain.result));
+            assert_eq!(
+                (plain.stats.plan_cache_hits, plain.stats.plan_cache_misses),
+                (0, 0)
+            );
+        }
+
+        // A different shape (different operator) misses.
+        let other = FactorisedQuery::default().with_const_selection(ConstSelection {
+            attr: a,
+            op: ComparisonOp::Ge,
+            value: Value::new(1),
+        });
+        let out = engine
+            .evaluate_factorised_cached(&rep, &other, &cache)
+            .unwrap();
+        assert_eq!(out.stats.plan_cache_misses, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn serve_batch_preserves_request_order_and_matches_serial_evaluation() {
+        let (rep, a, _) = base_rep();
+        let engine = FdbEngine::new();
+        let mut shared = SharedDatabase::new();
+        let id = shared.insert("base", rep.clone());
+        assert_eq!(shared.find("base"), Some(id));
+        let server = FdbServer::new(engine, Arc::new(shared), 3);
+
+        let requests: Vec<ServeRequest> = (0..12)
+            .map(|i| ServeRequest {
+                rep: id,
+                query: select_a(a, 1 + i % 3),
+                aggregate: (i % 4 == 0).then(AggregateHead::count),
+            })
+            .collect();
+        let outcomes = server.serve_batch(requests.clone());
+        assert_eq!(outcomes.len(), requests.len());
+        for (request, outcome) in requests.iter().zip(&outcomes) {
+            match (outcome.as_ref().unwrap(), &request.aggregate) {
+                (ServeOutcome::Aggregate(out), Some(head)) => {
+                    let expected = engine
+                        .evaluate_factorised_aggregate(&rep, &request.query, head)
+                        .unwrap();
+                    assert_eq!(out.result, expected.result);
+                }
+                (ServeOutcome::Rep(out), None) => {
+                    let expected = engine.evaluate_factorised(&rep, &request.query).unwrap();
+                    assert!(out.result.store_identical(&expected.result));
+                }
+                (outcome, _) => panic!("outcome kind mismatch: {outcome:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries_served, 12);
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.plan_cache_hits + stats.plan_cache_misses, 12);
+        assert!(stats.plan_cache_hits > 0, "repeated shapes hit the cache");
+        assert!(stats.plan_cache_len >= 1);
+    }
+
+    #[test]
+    fn unknown_representation_ids_are_reported_not_panicked() {
+        let (rep, a, _) = base_rep();
+        let mut shared = SharedDatabase::new();
+        shared.insert("base", rep);
+        let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 2);
+        let request = ServeRequest {
+            rep: RepId(42),
+            query: select_a(a, 1),
+            aggregate: None,
+        };
+        assert!(server.serve_one(&request).is_err());
+        let batch = server.serve_batch(vec![request]);
+        assert!(batch[0].is_err());
+        assert_eq!(server.queries_served(), 2);
+    }
+}

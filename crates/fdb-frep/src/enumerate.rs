@@ -18,10 +18,23 @@
 //! [`for_each_tuple`] drives the cursor in callback form; [`materialize`]
 //! collects the tuples into a flat [`Relation`] (mainly for tests, examples
 //! and the RDB comparisons).
+//!
+//! # Parallel enumeration
+//!
+//! Because slot 0 is the **first root union** — the outermost wheel of the
+//! odometer — restricting it to an entry sub-range yields a contiguous,
+//! in-order chunk of the output: concatenating the chunks of a partition of
+//! that range in partition order reproduces the sequential enumeration
+//! bit for bit.  [`par_materialize`] exploits this: it splits the first
+//! root's entries across a [`workpool::ThreadPool`], hands every worker a
+//! clone of the one precomputed [`CursorConfig`] (the slot tables are the
+//! only setup that walks the f-tree), and merges the chunks sequentially.
 
 use crate::frep::FRep;
-use fdb_common::{Result, Value};
+use fdb_common::{FdbError, Result, Value};
 use fdb_relation::Relation;
+use std::sync::{mpsc, Arc};
+use workpool::ThreadPool;
 
 /// Parent marker for slots whose union is a root union.
 const NO_PARENT: u32 = u32::MAX;
@@ -41,47 +54,25 @@ struct Slot {
     vals_len: u32,
 }
 
-/// An iterative, allocation-free (after setup) cursor over the tuples of an
-/// f-representation.  Tuples are produced in the lexicographic order induced
-/// by the f-tree (each union is value-sorted); the buffer lists the values
-/// of the representation's *visible* attributes in ascending attribute-id
-/// order.
-pub struct TupleCursor<'a> {
-    rep: &'a FRep,
+/// The frozen per-representation enumeration layout: one [`Slot`] per
+/// f-tree node (parents before descendants) plus the buffer positions each
+/// slot's value feeds.  Computing it is the only part of cursor setup that
+/// walks the f-tree, so parallel enumeration builds it **once** and hands
+/// every worker a clone — the tables are plain `Copy` data, so a clone is a
+/// memcpy and the hot loop stays indirection-free.
+#[derive(Clone, Debug)]
+pub struct CursorConfig {
     slots: Vec<Slot>,
     /// Flattened buffer positions; slot `s` writes its entry value to
     /// `buffer[val_positions[p]]` for `p` in `vals_start..vals_start+vals_len`.
     val_positions: Vec<u32>,
-    /// Current union (arena index) per slot.
-    cur_union: Vec<u32>,
-    /// Current entry index per slot.
-    cur_entry: Vec<u32>,
-    buffer: Vec<Value>,
-    state: CursorState,
+    /// Width of the tuple buffer (number of visible attributes).
+    width: usize,
 }
 
-/// One step of the odometer loop (see [`TupleCursor::bump_and_fill`]).
-#[derive(Clone, Copy, Debug)]
-enum Step {
-    /// Bump the deepest slot strictly below the given end position.
-    Bump(usize),
-    /// Fill slots from the given position onwards with first entries.
-    Fill(usize),
-}
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum CursorState {
-    /// `advance` has not been called yet.
-    Fresh,
-    /// The slot arrays hold a complete configuration (= one tuple).
-    AtTuple,
-    /// All tuples have been produced.
-    Exhausted,
-}
-
-impl<'a> TupleCursor<'a> {
-    /// Prepares a cursor (the `O(|E|)`-free, `O(nodes + |S|)` setup).
-    pub fn new(rep: &'a FRep) -> Self {
+impl CursorConfig {
+    /// Computes the slot layout of `rep` (the `O(nodes + |S|)` setup).
+    pub fn new(rep: &FRep) -> Self {
         let attrs = rep.visible_attrs();
         let tree = rep.tree();
 
@@ -116,15 +107,98 @@ impl<'a> TupleCursor<'a> {
             }
         }
 
-        let slot_count = slots.len();
-        TupleCursor {
-            rep,
+        CursorConfig {
             slots,
             val_positions,
+            width: attrs.len(),
+        }
+    }
+
+    /// Number of entries of the first root union (the partitionable range
+    /// of [`TupleCursor::with_root_range`]); 0 for nullary representations.
+    pub fn root_entries(&self, rep: &FRep) -> u32 {
+        if self.slots.is_empty() {
+            0
+        } else {
+            rep.store().union_len(rep.store().roots[0])
+        }
+    }
+}
+
+/// An iterative, allocation-free (after setup) cursor over the tuples of an
+/// f-representation.  Tuples are produced in the lexicographic order induced
+/// by the f-tree (each union is value-sorted); the buffer lists the values
+/// of the representation's *visible* attributes in ascending attribute-id
+/// order.
+pub struct TupleCursor<'a> {
+    rep: &'a FRep,
+    slots: Vec<Slot>,
+    /// See [`CursorConfig::val_positions`].
+    val_positions: Vec<u32>,
+    /// Current union (arena index) per slot.
+    cur_union: Vec<u32>,
+    /// Current entry index per slot.
+    cur_entry: Vec<u32>,
+    buffer: Vec<Value>,
+    state: CursorState,
+    /// Entry range `[root_lo, root_hi)` of the first root union this cursor
+    /// enumerates (slot 0, the outermost odometer wheel); the full union for
+    /// a plain cursor.
+    root_lo: u32,
+    root_hi: u32,
+}
+
+/// One step of the odometer loop (see [`TupleCursor::bump_and_fill`]).
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Bump the deepest slot strictly below the given end position.
+    Bump(usize),
+    /// Fill slots from the given position onwards with first entries.
+    Fill(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CursorState {
+    /// `advance` has not been called yet.
+    Fresh,
+    /// The slot arrays hold a complete configuration (= one tuple).
+    AtTuple,
+    /// All tuples have been produced.
+    Exhausted,
+}
+
+impl<'a> TupleCursor<'a> {
+    /// Prepares a cursor (the `O(|E|)`-free, `O(nodes + |S|)` setup).
+    pub fn new(rep: &'a FRep) -> Self {
+        let config = CursorConfig::new(rep);
+        let full = config.root_entries(rep);
+        TupleCursor::with_root_range(rep, &config, 0, full)
+    }
+
+    /// Prepares a cursor from a precomputed slot layout, restricted to the
+    /// entry range `[lo, hi)` of the **first root union** (slot 0).  The
+    /// range is clamped to the union; `config` must have been computed for
+    /// `rep` (or a representation with the identical store and f-tree).
+    ///
+    /// Restricting the outermost odometer wheel partitions the enumeration:
+    /// the cursor produces exactly the tuples whose first-root entry falls
+    /// in the range, in the sequential order.  The range is ignored by
+    /// nullary representations (no slots, at most one empty tuple).
+    pub fn with_root_range(rep: &'a FRep, config: &CursorConfig, lo: u32, hi: u32) -> Self {
+        let full = config.root_entries(rep);
+        let root_hi = hi.min(full);
+        let root_lo = lo.min(root_hi);
+        let slot_count = config.slots.len();
+        TupleCursor {
+            rep,
+            slots: config.slots.clone(),
+            val_positions: config.val_positions.clone(),
             cur_union: vec![0; slot_count],
             cur_entry: vec![0; slot_count],
-            buffer: vec![Value::default(); attrs.len()],
+            buffer: vec![Value::default(); config.width],
             state: CursorState::Fresh,
+            root_lo,
+            root_hi,
         }
     }
 
@@ -196,7 +270,13 @@ impl<'a> TupleCursor<'a> {
                             return false;
                         }
                         s -= 1;
-                        if self.cur_entry[s] + 1 < self.rep.store().union_len(self.cur_union[s]) {
+                        let entry_end = if s == 0 {
+                            // Slot 0 stops at the cursor's root range.
+                            self.root_hi
+                        } else {
+                            self.rep.store().union_len(self.cur_union[s])
+                        };
+                        if self.cur_entry[s] + 1 < entry_end {
                             self.cur_entry[s] += 1;
                             self.write_values(s);
                             step = Step::Fill(s + 1);
@@ -207,13 +287,19 @@ impl<'a> TupleCursor<'a> {
                 Step::Fill(mut fill) => {
                     while fill < slot_count {
                         let union = self.union_of_slot(fill);
-                        if self.rep.store().union_len(union) == 0 {
+                        let (first, entry_end) = if fill == 0 {
+                            // Slot 0 starts at the cursor's root range.
+                            (self.root_lo, self.root_hi)
+                        } else {
+                            (0, self.rep.store().union_len(union))
+                        };
+                        if first >= entry_end {
                             // Nothing to choose here: only changing an
                             // earlier slot can help.
                             break;
                         }
                         self.cur_union[fill] = union;
-                        self.cur_entry[fill] = 0;
+                        self.cur_entry[fill] = first;
                         self.write_values(fill);
                         fill += 1;
                     }
@@ -259,6 +345,73 @@ pub fn materialize(rep: &FRep) -> Result<Relation> {
         Some(e) => Err(e),
         None => Ok(out),
     }
+}
+
+/// How many partitions to cut the first root's entry range into per worker;
+/// a few per worker smooths out skew between subtree sizes.
+const PARTS_PER_WORKER: u32 = 4;
+
+/// Splits `[0, n)` into at most `parts` non-empty contiguous ranges.
+fn partition_bounds(n: u32, parts: u32) -> Vec<(u32, u32)> {
+    let parts = parts.clamp(1, n.max(1));
+    let chunk = n.div_ceil(parts);
+    (0..parts)
+        .map(|i| ((i * chunk).min(n), ((i + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Materialises the represented relation on a thread pool by partitioning
+/// the first root union's entry range across workers (see the module docs).
+/// Each worker enumerates its range with a clone of one shared
+/// [`CursorConfig`] and the chunks are merged **sequentially in partition
+/// order**, so the output — row order included — is bit-for-bit identical
+/// to [`materialize`].
+///
+/// Representations whose first root has fewer than two entries (and nullary
+/// ones) fall back to the sequential path, as does a single-worker pool.
+pub fn par_materialize(rep: &Arc<FRep>, pool: &ThreadPool) -> Result<Relation> {
+    let config = CursorConfig::new(rep);
+    let bounds = partition_bounds(
+        config.root_entries(rep),
+        pool.threads() as u32 * PARTS_PER_WORKER,
+    );
+    if pool.threads() <= 1 || bounds.len() <= 1 || config.slots.is_empty() || config.width == 0 {
+        return materialize(rep);
+    }
+
+    let config = Arc::new(config);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<Value>)>();
+    for (part, &(lo, hi)) in bounds.iter().enumerate() {
+        let rep = Arc::clone(rep);
+        let config = Arc::clone(&config);
+        let tx = tx.clone();
+        pool.spawn(move || {
+            let mut cursor = TupleCursor::with_root_range(&rep, &config, lo, hi);
+            let mut rows = Vec::new();
+            while cursor.advance() {
+                rows.extend_from_slice(cursor.tuple());
+            }
+            // A closed receiver only means the caller bailed out early.
+            let _ = tx.send((part, rows));
+        });
+    }
+    drop(tx);
+
+    let mut chunks: Vec<Option<Vec<Value>>> = vec![None; bounds.len()];
+    for (part, rows) in rx {
+        chunks[part] = Some(rows);
+    }
+    let mut out = Relation::new(rep.visible_attrs());
+    for (part, chunk) in chunks.into_iter().enumerate() {
+        let rows = chunk.ok_or_else(|| FdbError::InvalidInput {
+            detail: format!("parallel enumeration lost partition {part} (worker panicked)"),
+        })?;
+        for row in rows.chunks_exact(config.width) {
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
 }
 
 /// Counts tuples by enumeration (used by tests to cross-check
@@ -424,6 +577,81 @@ mod tests {
         let rel = materialize(&rep).unwrap();
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.row(0), &[Value::new(2), Value::new(7)]);
+    }
+
+    /// Collects all tuples of `rep` into one flat vector.
+    fn all_rows(rep: &FRep) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for_each_tuple(rep, |t| rows.push(t.to_vec()));
+        rows
+    }
+
+    #[test]
+    fn every_root_range_split_reproduces_the_sequential_order() {
+        for rep in [example3(), product_forest()] {
+            let expected = all_rows(&rep);
+            let config = CursorConfig::new(&rep);
+            let n = config.root_entries(&rep);
+            for split in 0..=n {
+                let mut rows = Vec::new();
+                for (lo, hi) in [(0, split), (split, n)] {
+                    let mut cursor = TupleCursor::with_root_range(&rep, &config, lo, hi);
+                    while cursor.advance() {
+                        rows.push(cursor.tuple().to_vec());
+                    }
+                }
+                assert_eq!(rows, expected, "split at {split}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bounds_cover_the_range_without_overlap() {
+        for n in 0..40u32 {
+            for parts in 1..10u32 {
+                let bounds = partition_bounds(n, parts);
+                let mut next = 0;
+                for (lo, hi) in bounds {
+                    assert_eq!(lo, next, "contiguous from {next}");
+                    assert!(lo < hi, "non-empty");
+                    next = hi;
+                }
+                assert_eq!(next, n, "covers [0, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn par_materialize_is_bit_for_bit_identical_to_materialize() {
+        let pool = workpool::ThreadPool::new(4);
+        for rep in [example3(), product_forest()] {
+            let rep = std::sync::Arc::new(rep);
+            let seq = materialize(&rep).unwrap();
+            let par = par_materialize(&rep, &pool).unwrap();
+            assert_eq!(par.attrs(), seq.attrs());
+            let seq_rows: Vec<_> = seq.rows().collect();
+            let par_rows: Vec<_> = par.rows().collect();
+            assert_eq!(par_rows, seq_rows, "row order is preserved");
+        }
+    }
+
+    #[test]
+    fn par_materialize_handles_empty_and_nullary_representations() {
+        let pool = workpool::ThreadPool::new(4);
+        let edges = vec![DepEdge::new("R", attrs(&[0]), 0)];
+        let mut tree = FTree::new(edges);
+        tree.add_node(attrs(&[0]), None).unwrap();
+        let empty = std::sync::Arc::new(FRep::empty(tree));
+        assert!(par_materialize(&empty, &pool).unwrap().is_empty());
+
+        // A nullary representation (one empty tuple) takes the sequential
+        // fallback; the result matches `materialize` exactly (a zero-arity
+        // `Relation` stores no data, so both report emptiness).
+        let nullary = std::sync::Arc::new(FRep::empty(FTree::new(vec![])));
+        let seq = materialize(&nullary).unwrap();
+        let par = par_materialize(&nullary, &pool).unwrap();
+        assert_eq!(par.len(), seq.len());
+        assert_eq!(par.arity(), seq.arity());
     }
 
     #[test]

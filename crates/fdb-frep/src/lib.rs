@@ -57,6 +57,27 @@
 //! projection replays its leaf removals and data-dependent swap-downs on
 //! the overlay.  `fdb-plan` routes every multi-pass plan through this path.
 //!
+//! # The sharing contract
+//!
+//! A frozen representation is **immutable**: once [`FRep::from_parts`] (or
+//! an operator emission) has produced the arena, nothing in this crate — or
+//! anywhere else in the workspace — mutates it.  Operators take their input
+//! by shared reference and emit a *fresh* arena; enumeration, aggregation
+//! and statistics are read-only walks.  The arenas are plain owned arrays
+//! (`Vec`s of `Copy` records, no interior mutability, no `Rc`), so the
+//! arena `Store` and [`FRep`] are `Send + Sync` **by construction**, and
+//! this crate pins
+//! that with compile-time assertions: a future `Rc`/`Cell` regression fails
+//! the build, not an integration test.
+//!
+//! What that licenses: a frozen `FRep` behind an `Arc` may be read by any
+//! number of threads concurrently with **no locking whatsoever** — shared
+//! scans, concurrent queries over one database (`fdb-core`'s serving
+//! layer), and partitioned parallel enumeration
+//! ([`enumerate::par_materialize`]) all read the same arena in place.
+//! Mutation never happens in place, so there is nothing to synchronise;
+//! "updating" a shared database means publishing a new `Arc`.
+//!
 //! # Where aggregation hooks in
 //!
 //! [`aggregate::aggregate`] and [`aggregate::aggregate_grouped`] evaluate on
@@ -81,7 +102,26 @@ pub mod store;
 
 pub use aggregate::{AggregateKind, AggregateResult, AggregateValue, AvgValue};
 pub use build::build_frep;
-pub use enumerate::{count_by_enumeration, for_each_tuple, materialize, TupleCursor};
+pub use enumerate::{
+    count_by_enumeration, for_each_tuple, materialize, par_materialize, CursorConfig, TupleCursor,
+};
 pub use frep::FRep;
 pub use node::{Entry, Union};
 pub use store::{EntryRef, UnionRef};
+
+/// Compile-time pin of the sharing contract (see the crate docs): the
+/// frozen representation types must stay `Send + Sync` so arenas can be
+/// `Arc`-shared across serving threads.  Adding an `Rc`, `Cell` or raw
+/// pointer to any of them turns this into a build error.
+#[allow(dead_code)]
+fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    #[allow(dead_code)]
+    fn frozen_types_are_shareable() {
+        _assert_send_sync::<store::Store>();
+        _assert_send_sync::<FRep>();
+        _assert_send_sync::<CursorConfig>();
+        _assert_send_sync::<TupleCursor<'static>>();
+        _assert_send_sync::<AggregateResult>();
+    }
+};

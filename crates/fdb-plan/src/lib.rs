@@ -31,3 +31,20 @@ pub use fplan::{FPlan, FPlanOp};
 pub use optimizer::exhaustive::{ExhaustiveConfig, ExhaustiveOptimizer};
 pub use optimizer::ftree_search::{optimal_ftree, FTreeSearchResult};
 pub use optimizer::greedy::GreedyOptimizer;
+pub use optimizer::OptimizedPlan;
+
+/// Compile-time pin of the frozen plan types' shareability: a plan produced
+/// by the optimisers is immutable data that the serving layer caches behind
+/// an `Arc` and hands to concurrent workers, so [`FPlan`] and friends must
+/// stay `Send + Sync` (no `Rc`, no interior mutability).
+#[allow(dead_code)]
+fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    #[allow(dead_code)]
+    fn frozen_plan_types_are_shareable() {
+        _assert_send_sync::<FPlan>();
+        _assert_send_sync::<FPlanOp>();
+        _assert_send_sync::<FPlanCost>();
+        _assert_send_sync::<OptimizedPlan>();
+    }
+};

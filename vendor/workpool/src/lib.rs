@@ -1,0 +1,269 @@
+//! Offline stand-in for a work-stealing thread-pool crate (the build
+//! container has no network access, so the workspace vendors the small API
+//! surface it needs, like the `rand`/`criterion` shims).
+//!
+//! The pool is the classic work-stealing shape in miniature: one FIFO deque
+//! per worker plus a round-robin submission counter.  [`ThreadPool::spawn`]
+//! distributes tasks over the worker deques; an idle worker pops the front
+//! of its own deque first, then steals from the **back** of its siblings'
+//! deques, so a worker stuck on a long task cannot strand the tasks queued
+//! behind it.  Workers park on a condvar when every deque is empty and are
+//! woken by the next submission; dropping the pool drains all queued tasks
+//! before joining the workers.
+//!
+//! The pool deliberately has no `join` primitive: callers that need to wait
+//! for a batch collect completions over an `std::sync::mpsc` channel (which
+//! also carries the results), keeping this shim small.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A queued unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker; `spawn` pushes round-robin, owners pop the
+    /// front, idle siblings steal the back.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Number of tasks currently sitting in some deque (incremented before
+    /// the push, decremented at pop) — the park/retry predicate.
+    queued: AtomicUsize,
+    /// Round-robin submission counter.
+    next: AtomicUsize,
+    /// Tasks whose closure panicked (the panic is caught so one bad query
+    /// cannot take a serving worker down).
+    panicked: AtomicUsize,
+    /// Set by `Drop`; workers exit once no task is left to grab.
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Creates a pool sized by [`default_threads`] (the `FDB_THREADS`
+    /// environment variable, else the machine's available parallelism).
+    pub fn with_default_threads() -> Self {
+        ThreadPool::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Queues a task for execution on some worker.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
+        let shared = &self.shared;
+        let slot = shared.next.fetch_add(1, Ordering::Relaxed) % shared.queues.len();
+        shared.queued.fetch_add(1, Ordering::SeqCst);
+        shared.queues[slot]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(Box::new(task));
+        // Taking the idle lock orders this wake-up against a worker that
+        // just saw `queued == 0`: it is either still before its own lock
+        // acquisition (and will re-read the counter) or already waiting
+        // (and receives the notification).
+        let _guard = shared.idle_lock.lock().expect("pool idle lock");
+        shared.idle_cv.notify_one();
+    }
+
+    /// Number of tasks whose closure panicked (caught, worker kept alive).
+    pub fn panicked_tasks(&self) -> usize {
+        self.shared.panicked.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.idle_lock.lock().expect("pool idle lock");
+            self.shared.idle_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Default worker count: the `FDB_THREADS` environment variable when set to
+/// a positive integer, else the machine's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("FDB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        match find_task(shared, me) {
+            Some(task) => {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = shared.idle_lock.lock().expect("pool idle lock");
+                if shared.queued.load(Ordering::SeqCst) == 0
+                    && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    // The timeout is a belt-and-braces backstop; the lock
+                    // handshake with `spawn` already prevents lost wake-ups.
+                    let _ = shared
+                        .idle_cv
+                        .wait_timeout(guard, Duration::from_millis(50))
+                        .expect("pool idle wait");
+                }
+            }
+        }
+    }
+}
+
+/// Own deque front first, then steal from the back of the siblings'.
+fn find_task(shared: &Shared, me: usize) -> Option<Task> {
+    let n = shared.queues.len();
+    for offset in 0..n {
+        let slot = (me + offset) % n;
+        let mut queue = shared.queues[slot].lock().expect("pool queue lock");
+        let task = if offset == 0 {
+            queue.pop_front()
+        } else {
+            queue.pop_back()
+        };
+        if let Some(task) = task {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_spawned_task() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("result channel"));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_blocked_workers_deque() {
+        // Round-robin puts every other task into the blocked worker's own
+        // deque; all of them must still complete while it is stuck.
+        let pool = ThreadPool::new(2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.spawn(move || {
+            block_rx.recv().expect("release signal");
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("result channel"));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>(), "stolen while blocked");
+        block_tx.send(()).expect("unblock worker");
+    }
+
+    #[test]
+    fn drop_drains_queued_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn a_panicking_task_is_counted_and_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        pool.spawn(|| panic!("one bad query"));
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(7usize).expect("result channel"));
+        assert_eq!(rx.recv().expect("later task still runs"), 7);
+        assert_eq!(pool.panicked_tasks(), 1);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_requested_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(1usize).expect("result channel"));
+        assert_eq!(rx.recv().expect("task ran"), 1);
+    }
+}
