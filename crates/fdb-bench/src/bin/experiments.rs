@@ -9,7 +9,7 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, report, Scale};
 use std::time::Instant;
 
 /// Shared driver of the PR 2+ benchmarks: run at the requested scale, print
@@ -170,6 +170,25 @@ fn main() {
             },
             pr5::render_table,
             pr5::render_json,
+        );
+        return;
+    }
+    if which.contains(&"bench-pr7") {
+        // Governance overhead: armed-but-never-tripping limits vs the
+        // ungoverned APIs across every governed code path.
+        run_bench(
+            "bench-pr7",
+            "BENCH_PR7.json",
+            smoke,
+            |smoke| {
+                pr7::run(if smoke {
+                    pr7::Pr7Scale::Smoke
+                } else {
+                    pr7::Pr7Scale::Full
+                })
+            },
+            pr7::render_table,
+            pr7::render_json,
         );
         return;
     }

@@ -306,11 +306,7 @@ fn template_request(template: usize, c: u64, forest: RepId, nested: RepId) -> Se
         ),
         _ => unreachable!("template index out of range"),
     };
-    ServeRequest {
-        rep,
-        query,
-        aggregate,
-    }
+    ServeRequest::new(rep, query, aggregate)
 }
 
 /// Draws the Zipf-skewed request batch: template ranks from `Zipf(10, 1.1)`

@@ -1,0 +1,323 @@
+//! PR 7 benchmark: governance overhead of the `ExecCtx` plumbing.
+//!
+//! PR 7 threads a cooperative governance context (deadline + budget +
+//! cancellation, see `fdb_common::limits`) through every data-dependent
+//! loop of the stack: the semi-join construction, the fused overlay
+//! executor, the aggregate fold, the enumeration cursor and the serving
+//! path.  The contract is that *armed but never-tripping* limits cost
+//! almost nothing — budget accounting is a `Cell` subtract and the clock
+//! and cancellation flag are consulted once per
+//! [`fdb_common::limits::CHECK_INTERVAL`] work units.
+//!
+//! Each row times the same workload twice:
+//!
+//! * **baseline** — the ungoverned public API (internally an
+//!   `ExecCtx::unlimited()`, a single-branch short-circuit);
+//! * **governed** — the `_ctx` variant under a deadline of an hour and a
+//!   budget of 2^60 units, so every check runs but none ever trips.
+//!
+//! The committed acceptance bound is a geometric-mean overhead of at most
+//! 3% (`overhead_geomean <= 1.03` in `BENCH_PR7.json`).  The `experiments
+//! bench-pr7` subcommand prints the table and serialises the rows;
+//! `--scale smoke` shrinks the inputs so CI can run it as a canary.
+
+use crate::report::BenchJson;
+use fdb_common::{ComparisonOp, ExecCtx, QueryLimits, Value};
+use fdb_core::{FactorisedQuery, FdbEngine, FdbServer, PlanCache, ServeRequest, SharedDatabase};
+use fdb_datagen::{populate, random_query, random_schema, ValueDistribution};
+use fdb_frep::FRep;
+use fdb_frep::{
+    aggregate, build_frep, build_frep_ctx, materialize, materialize_ctx, AggregateKind,
+};
+use fdb_relation::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One baseline-vs-governed measurement.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Governed code path (stable across refactors).
+    pub name: String,
+    /// Singleton count of the representation the workload runs over.
+    pub singletons: u64,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one ungoverned execution.
+    pub baseline_seconds: f64,
+    /// Best wall time of one execution under armed, never-tripping limits.
+    pub governed_seconds: f64,
+    /// `governed_seconds / baseline_seconds` (1.00 = free).
+    pub overhead: f64,
+}
+
+/// The full PR 7 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr7Report {
+    /// One row per governed code path.
+    pub rows: Vec<OverheadRow>,
+    /// Geometric mean of the per-row overheads (the ≤ 1.03 acceptance
+    /// bound).
+    pub overhead_geomean: f64,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr7Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR7.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Rows per relation of the generated database.
+    rows: usize,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Executions per measurement.
+    reps: u32,
+}
+
+impl Pr7Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr7Scale::Smoke => Dims {
+                rows: 80,
+                measurements: 3,
+                reps: 3,
+            },
+            Pr7Scale::Full => Dims {
+                rows: 2_000,
+                measurements: 9,
+                reps: 20,
+            },
+        }
+    }
+}
+
+/// Armed, never-tripping limits: every governance check runs, none fires.
+fn armed_limits() -> QueryLimits {
+    QueryLimits::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_budget(1u64 << 60)
+}
+
+/// Best-of-N wall time of one execution of `work`.
+fn best_seconds(d: Dims, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let start = Instant::now();
+        for _ in 0..d.reps {
+            work();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / d.reps as f64);
+    }
+    best
+}
+
+/// A seeded database + join query whose factorised result is large enough
+/// that per-record charging (not fixed cost) dominates the measurement.
+fn workload(d: Dims) -> (Database, fdb_common::Query, FRep) {
+    let engine = FdbEngine::new();
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(0x00B7_60B7 ^ seed);
+        let catalog = random_schema(&mut rng, 3, 7);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, d.rows, 12, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 1);
+        let Ok(base) = engine.evaluate_flat(&db, &query) else {
+            continue;
+        };
+        if base.result.size() < d.rows * 2 {
+            continue;
+        }
+        return (db, query, base.result);
+    }
+    panic!("no pr7 workload found in 10k seeds");
+}
+
+/// A fused two-selection query keeping most of the data alive (so the
+/// overlay executor sweeps, prunes and emits a full-size arena).
+fn fused_query(rep: &FRep) -> FactorisedQuery {
+    let attr = rep.visible_attrs()[0];
+    FactorisedQuery::default()
+        .with_const_selection(fdb_common::ConstSelection {
+            attr,
+            op: ComparisonOp::Ge,
+            value: Value::new(2),
+        })
+        .with_const_selection(fdb_common::ConstSelection {
+            attr,
+            op: ComparisonOp::Le,
+            value: Value::new(11),
+        })
+}
+
+fn row(name: &str, singletons: u64, d: Dims, baseline: f64, governed: f64) -> OverheadRow {
+    OverheadRow {
+        name: name.to_string(),
+        singletons,
+        reps: d.reps,
+        baseline_seconds: baseline,
+        governed_seconds: governed,
+        overhead: governed / baseline,
+    }
+}
+
+fn geomean(overheads: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = overheads.fold((0.0f64, 0usize), |(s, n), x| (s + x.ln(), n + 1));
+    (sum / n.max(1) as f64).exp()
+}
+
+/// Runs the full PR 7 benchmark at the given scale.
+pub fn run(scale: Pr7Scale) -> Pr7Report {
+    let d = scale.dims();
+    let engine = FdbEngine::new();
+    let (db, query, rep) = workload(d);
+    let singletons = rep.size() as u64;
+    let limits = armed_limits();
+    let mut rows = Vec::new();
+
+    // Semi-join construction: the top-down build charges per candidate.
+    let search = fdb_plan::optimal_ftree(db.catalog(), &query, |r| db.rel_len(r) as u64)
+        .expect("workload optimises");
+    {
+        let want = build_frep(&db, &query, &search.tree).expect("baseline build");
+        let got = build_frep_ctx(&db, &query, &search.tree, &ExecCtx::new(&limits))
+            .expect("governed build");
+        assert!(got.store_identical(&want), "governed build diverged");
+    }
+    let baseline = best_seconds(d, || {
+        build_frep(&db, &query, &search.tree).expect("baseline build");
+    });
+    let governed = best_seconds(d, || {
+        build_frep_ctx(&db, &query, &search.tree, &ExecCtx::new(&limits)).expect("governed build");
+    });
+    rows.push(row("semi_join_build", singletons, d, baseline, governed));
+
+    // Fused overlay execution: sweeps, prunes and a full arena emission.
+    let fq = fused_query(&rep);
+    let cache = PlanCache::new();
+    {
+        let want = engine
+            .evaluate_factorised_cached(&rep, &fq, &cache)
+            .expect("baseline plan");
+        let got = engine
+            .evaluate_factorised_ctx(&rep, &fq, Some(&cache), &ExecCtx::new(&limits))
+            .expect("governed plan");
+        assert!(
+            got.result.store_identical(&want.result),
+            "governed plan diverged"
+        );
+    }
+    let baseline = best_seconds(d, || {
+        engine
+            .evaluate_factorised_cached(&rep, &fq, &cache)
+            .expect("baseline plan");
+    });
+    let governed = best_seconds(d, || {
+        engine
+            .evaluate_factorised_ctx(&rep, &fq, Some(&cache), &ExecCtx::new(&limits))
+            .expect("governed plan");
+    });
+    rows.push(row("fused_plan", singletons, d, baseline, governed));
+
+    // Aggregate fold: one flat bottom-up pass charging per union record.
+    let baseline = best_seconds(d, || {
+        aggregate::evaluate(&rep, AggregateKind::Count, None).expect("baseline fold");
+    });
+    let governed = best_seconds(d, || {
+        aggregate::evaluate_ctx(&rep, AggregateKind::Count, None, &ExecCtx::new(&limits))
+            .expect("governed fold");
+    });
+    rows.push(row("aggregate_fold", singletons, d, baseline, governed));
+
+    // Enumeration cursor: one charge per emitted tuple.
+    let baseline = best_seconds(d, || {
+        materialize(&rep).expect("baseline enumeration");
+    });
+    let governed = best_seconds(d, || {
+        materialize_ctx(&rep, &ExecCtx::new(&limits)).expect("governed enumeration");
+    });
+    rows.push(row("enumerate_cursor", singletons, d, baseline, governed));
+
+    // End-to-end serving: admission, plan cache and evaluation per request.
+    let mut shared = SharedDatabase::new();
+    let id = shared.insert("bench", rep);
+    let server = FdbServer::new(engine, Arc::new(shared), 1);
+    let ungoverned = ServeRequest::new(id, fq.clone(), None);
+    let governed_request = ungoverned.clone().with_limits(limits.clone());
+    server.serve_one(&ungoverned).expect("cache warm-up");
+    let baseline = best_seconds(d, || {
+        server.serve_one(&ungoverned).expect("baseline serve");
+    });
+    let governed = best_seconds(d, || {
+        server.serve_one(&governed_request).expect("governed serve");
+    });
+    rows.push(row("serve_one", singletons, d, baseline, governed));
+
+    let overhead_geomean = geomean(rows.iter().map(|r| r.overhead));
+    Pr7Report {
+        rows,
+        overhead_geomean,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR5.json`).
+pub fn render_json(report: &Pr7Report) -> String {
+    BenchJson::new("pr7-governance-overhead")
+        .array("rows", &report.rows, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"singletons\": {}, \"reps\": {}, \
+                 \"baseline_seconds\": {:.6}, \"governed_seconds\": {:.6}, \
+                 \"overhead\": {:.4}}}",
+                row.name,
+                row.singletons,
+                row.reps,
+                row.baseline_seconds,
+                row.governed_seconds,
+                row.overhead,
+            )
+        })
+        .field(
+            "overhead_geomean",
+            format!("{:.4}", report.overhead_geomean),
+        )
+        .finish()
+}
+
+/// Renders the human-readable table printed by the `experiments` binary.
+pub fn render_table(report: &Pr7Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<20} {:>12} {:>6} {:>14} {:>14} {:>9}",
+        "governance overhead", "singletons", "reps", "baseline (s)", "governed (s)", "overhead"
+    )
+    .expect("string write");
+    for row in &report.rows {
+        writeln!(
+            out,
+            "{:<20} {:>12} {:>6} {:>14.6} {:>14.6} {:>8.2}%",
+            row.name,
+            row.singletons,
+            row.reps,
+            row.baseline_seconds,
+            row.governed_seconds,
+            (row.overhead - 1.0) * 100.0
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "geometric-mean overhead: {:.2}% (bound: +3%)",
+        (report.overhead_geomean - 1.0) * 100.0
+    )
+    .expect("string write");
+    out
+}

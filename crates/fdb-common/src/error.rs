@@ -72,6 +72,40 @@ pub enum FdbError {
         /// Explanation of which limit was hit.
         detail: String,
     },
+    /// Evaluation ran past its wall-clock deadline (see
+    /// [`crate::limits::QueryLimits::deadline`]) or was cancelled through
+    /// its cancellation flag.  The partially built state is rolled back or
+    /// discarded; the input representation is never left half-modified.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds (0 when the
+        /// evaluation was cancelled through the flag rather than timed out).
+        limit_ms: u64,
+    },
+    /// Evaluation exceeded its work/memory budget (see
+    /// [`crate::limits::QueryLimits::budget`]): the number of arena records
+    /// processed or emitted overran the caller's bound, which caps both the
+    /// time and the allocation a runaway query can consume.
+    BudgetExceeded {
+        /// The budget that was exhausted, in work units (≈ arena records).
+        limit: u64,
+    },
+    /// The server refused the request at admission: the bounded in-flight
+    /// window was full (load shedding instead of unbounded queueing) or the
+    /// server was draining for shutdown.  The request was not executed at
+    /// all; retrying later is safe.
+    Overloaded {
+        /// Requests in flight when the request was shed.
+        in_flight: usize,
+        /// The server's admission capacity.
+        capacity: usize,
+    },
+    /// A serving worker panicked while executing the request.  The panic was
+    /// caught at the request boundary: the worker thread survives, the rest
+    /// of the batch completes, and only this request reports the failure.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FdbError {
@@ -105,6 +139,28 @@ impl fmt::Display for FdbError {
             FdbError::NoPlanFound { detail } => write!(f, "no f-plan found: {detail}"),
             FdbError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
             FdbError::LimitExceeded { detail } => write!(f, "resource limit exceeded: {detail}"),
+            FdbError::DeadlineExceeded { limit_ms } => {
+                if *limit_ms == 0 {
+                    write!(f, "evaluation cancelled")
+                } else {
+                    write!(f, "deadline exceeded: evaluation ran past {limit_ms} ms")
+                }
+            }
+            FdbError::BudgetExceeded { limit } => {
+                write!(f, "budget exceeded: evaluation overran {limit} work units")
+            }
+            FdbError::Overloaded {
+                in_flight,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "server overloaded: {in_flight} requests in flight at capacity {capacity}"
+                )
+            }
+            FdbError::WorkerPanicked { detail } => {
+                write!(f, "serving worker panicked: {detail}")
+            }
         }
     }
 }

@@ -11,17 +11,24 @@
 //! treats a database as a set of named relations over named attributes, and a
 //! query as `π_P σ_φ (R_1 × … × R_n)` where `φ` is a conjunction of equality
 //! conditions between attributes or between an attribute and a constant.
-//! Everything in this crate exists to describe exactly that.
+//! Everything in this crate exists to describe exactly that — plus the
+//! [`limits`] module, the cooperative resource-governance vocabulary
+//! ([`QueryLimits`]/[`ExecCtx`]) the serving layer threads through the
+//! evaluation hot loops.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod error;
+pub mod limits;
 pub mod query;
 pub mod value;
 
 pub use catalog::{AttrId, Catalog, RelId};
 pub use error::{FdbError, Result};
+pub use limits::{ExecCtx, QueryLimits};
+#[cfg(feature = "fault-injection")]
+pub use limits::{FaultAction, FaultPlan};
 pub use query::{
     AggregateFunc, AggregateHead, ComparisonOp, ConstSelection, EqualityCondition, Query,
 };

@@ -1,7 +1,9 @@
 //! The FDB engine: optimisation plus evaluation, on flat or factorised input.
 
 use crate::serving::PlanCache;
-use fdb_common::{AggregateFunc, AggregateHead, AttrId, ConstSelection, FdbError, Query, Result};
+use fdb_common::{
+    AggregateFunc, AggregateHead, AttrId, ConstSelection, ExecCtx, FdbError, Query, Result,
+};
 use fdb_frep::{build_frep, ops, AggregateKind, AggregateResult, FRep};
 use fdb_ftree::s_cost;
 use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp, GreedyOptimizer};
@@ -103,6 +105,10 @@ pub struct EvalStats {
     /// Plan-cache misses (the optimiser ran and its plan was published).
     /// 0 for uncached evaluation paths.
     pub plan_cache_misses: u64,
+    /// Plan-cache entries evicted to make room for this evaluation's
+    /// published plan (the cache is bounded; see `serving::PlanCache`).
+    /// 0 for uncached evaluation paths and for hits.
+    pub plan_cache_evictions: u64,
 }
 
 impl EvalStats {
@@ -127,10 +133,13 @@ impl EvalStats {
                 format!("{} / {}", self.barriers_fused, self.arenas_skipped),
             ),
             (
-                "queries served / cache hits / misses",
+                "queries served / cache hits / misses / evictions",
                 format!(
-                    "{} / {} / {}",
-                    self.queries_served, self.plan_cache_hits, self.plan_cache_misses
+                    "{} / {} / {} / {}",
+                    self.queries_served,
+                    self.plan_cache_hits,
+                    self.plan_cache_misses,
+                    self.plan_cache_evictions
                 ),
             ),
         ];
@@ -159,6 +168,7 @@ impl EvalStats {
         self.queries_served += other.queries_served;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_cache_evictions += other.plan_cache_evictions;
     }
 }
 
@@ -271,6 +281,7 @@ struct ResolvedPlan {
     optimisation_time: Duration,
     cache_hits: u64,
     cache_misses: u64,
+    cache_evictions: u64,
 }
 
 impl FdbEngine {
@@ -311,21 +322,22 @@ impl FdbEngine {
     ) -> Result<ResolvedPlan> {
         use std::sync::Arc;
         let opt_start = Instant::now();
-        let (plan, cache_hits, cache_misses) = match cache {
+        let (plan, cache_hits, cache_misses, cache_evictions) = match cache {
             None => (
                 Arc::new(self.optimise_equalities(input.tree(), &query.equalities)?),
+                0,
                 0,
                 0,
             ),
             Some(cache) => {
                 let key = crate::serving::plan_key(self, input.tree(), query);
                 match cache.lookup(&key) {
-                    Some(plan) => (plan, 1, 0),
+                    Some(plan) => (plan, 1, 0, 0),
                     None => {
                         let plan =
                             Arc::new(self.optimise_equalities(input.tree(), &query.equalities)?);
-                        cache.insert(key, Arc::clone(&plan));
-                        (plan, 0, 1)
+                        let evicted = cache.insert(key, Arc::clone(&plan));
+                        (plan, 0, 1, evicted)
                     }
                 }
             }
@@ -335,6 +347,7 @@ impl FdbEngine {
             optimisation_time: opt_start.elapsed(),
             cache_hits,
             cache_misses,
+            cache_evictions,
         })
     }
 
@@ -381,6 +394,7 @@ impl FdbEngine {
                 queries_served: 1,
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
+                plan_cache_evictions: 0,
             },
             result,
         })
@@ -400,7 +414,7 @@ impl FdbEngine {
     /// [`EvalStats::barriers_fused`] and [`EvalStats::arenas_skipped`]
     /// report the win.
     pub fn evaluate_factorised(&self, input: &FRep, query: &FactorisedQuery) -> Result<EvalOutput> {
-        self.evaluate_factorised_inner(input, query, None)
+        self.evaluate_factorised_inner(input, query, None, &ExecCtx::unlimited())
     }
 
     /// [`FdbEngine::evaluate_factorised`] through a [`PlanCache`]: when the
@@ -415,7 +429,22 @@ impl FdbEngine {
         query: &FactorisedQuery,
         cache: &PlanCache,
     ) -> Result<EvalOutput> {
-        self.evaluate_factorised_inner(input, query, Some(cache))
+        self.evaluate_factorised_inner(input, query, Some(cache), &ExecCtx::unlimited())
+    }
+
+    /// [`FdbEngine::evaluate_factorised`] under a governance context (an
+    /// optional [`PlanCache`] rides along): the plan's overlay sweeps,
+    /// emission and selection rebuilds charge the context per record, so a
+    /// deadline, budget or cancellation flag aborts the evaluation with a
+    /// structured error and the input representation untouched.
+    pub fn evaluate_factorised_ctx(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
+    ) -> Result<EvalOutput> {
+        self.evaluate_factorised_inner(input, query, cache, ctx)
     }
 
     fn evaluate_factorised_inner(
@@ -423,6 +452,7 @@ impl FdbEngine {
         input: &FRep,
         query: &FactorisedQuery,
         cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
     ) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree (or reuse a
         // cached plan for the same query shape).
@@ -451,7 +481,7 @@ impl FdbEngine {
         let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
         let exec_start = Instant::now();
         let mut result = input.clone();
-        simplified.execute_presimplified(&mut result)?;
+        simplified.execute_presimplified_ctx(&mut result, ctx)?;
         let execution_time = exec_start.elapsed();
 
         let result_tree_cost = s_cost(result.tree())?;
@@ -472,6 +502,7 @@ impl FdbEngine {
                 queries_served: 1,
                 plan_cache_hits: resolved.cache_hits,
                 plan_cache_misses: resolved.cache_misses,
+                plan_cache_evictions: resolved.cache_evictions,
             },
             result,
         })
@@ -560,6 +591,7 @@ impl FdbEngine {
                 queries_served: 1,
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
+                plan_cache_evictions: 0,
             },
             result: rep,
         })
@@ -622,6 +654,7 @@ impl FdbEngine {
                 queries_served: 1,
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
+                plan_cache_evictions: 0,
             },
         })
     }
@@ -649,7 +682,7 @@ impl FdbEngine {
         query: &FactorisedQuery,
         head: &AggregateHead,
     ) -> Result<AggregateOutput> {
-        self.evaluate_factorised_aggregate_inner(input, query, head, None)
+        self.evaluate_factorised_aggregate_inner(input, query, head, None, &ExecCtx::unlimited())
     }
 
     /// [`FdbEngine::evaluate_factorised_aggregate`] through a [`PlanCache`]
@@ -663,7 +696,27 @@ impl FdbEngine {
         head: &AggregateHead,
         cache: &PlanCache,
     ) -> Result<AggregateOutput> {
-        self.evaluate_factorised_aggregate_inner(input, query, head, Some(cache))
+        self.evaluate_factorised_aggregate_inner(
+            input,
+            query,
+            head,
+            Some(cache),
+            &ExecCtx::unlimited(),
+        )
+    }
+
+    /// [`FdbEngine::evaluate_factorised_aggregate`] under a governance
+    /// context (see [`FdbEngine::evaluate_factorised_ctx`]); the overlay
+    /// fold charges per record and the input is never mutated.
+    pub fn evaluate_factorised_aggregate_ctx(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        head: &AggregateHead,
+        cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
+    ) -> Result<AggregateOutput> {
+        self.evaluate_factorised_aggregate_inner(input, query, head, cache, ctx)
     }
 
     fn evaluate_factorised_aggregate_inner(
@@ -672,6 +725,7 @@ impl FdbEngine {
         query: &FactorisedQuery,
         head: &AggregateHead,
         cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
     ) -> Result<AggregateOutput> {
         let kind = aggregate_kind(head)?;
         let resolved = self.resolve_factorised_plan(input, query, cache)?;
@@ -701,7 +755,7 @@ impl FdbEngine {
         let simplified = plan.simplified(input.tree());
         let exec_start = Instant::now();
         let (result, on_overlay) =
-            simplified.execute_aggregate_presimplified(input, kind, head.group_by)?;
+            simplified.execute_aggregate_presimplified_ctx(input, kind, head.group_by, ctx)?;
         let execution_time = exec_start.elapsed();
         let (fused_segments, barriers_fused, arenas_skipped) =
             aggregate_fusion_counters(&simplified, on_overlay);
@@ -725,6 +779,7 @@ impl FdbEngine {
                 queries_served: 1,
                 plan_cache_hits: resolved.cache_hits,
                 plan_cache_misses: resolved.cache_misses,
+                plan_cache_evictions: resolved.cache_evictions,
             },
         })
     }
@@ -1125,6 +1180,7 @@ mod tests {
             queries_served: 7,
             plan_cache_hits: 5,
             plan_cache_misses: 6,
+            plan_cache_evictions: 8,
             ..Default::default()
         };
         let table = stats.counters_table();
@@ -1139,13 +1195,13 @@ mod tests {
             "explored states",
             "fused segments / overlay aggregates",
             "barriers fused / arenas skipped",
-            "queries served / cache hits / misses",
+            "queries served / cache hits / misses / evictions",
         ]) {
             assert!(row.starts_with(needle), "row {row:?} vs {needle:?}");
         }
         assert!(table.contains("2 / 1"), "fused/overlay values:\n{table}");
         assert!(table.contains("3 / 4"), "barrier/arena values:\n{table}");
-        assert!(table.contains("7 / 5 / 6"), "serving values:\n{table}");
+        assert!(table.contains("7 / 5 / 6 / 8"), "serving values:\n{table}");
         // Display renders the same table.
         assert_eq!(format!("{stats}"), table);
     }

@@ -21,14 +21,15 @@
 //! `tests/concurrent_equivalence.rs` pins this).
 
 use crate::engine::{AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine};
-use fdb_common::{AggregateHead, FdbError, Result};
+use fdb_common::{failpoint, AggregateHead, ExecCtx, FdbError, QueryLimits, Result};
 use fdb_frep::FRep;
 use fdb_ftree::FTree;
 use fdb_plan::OptimizedPlan;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 pub use workpool::{default_threads, ThreadPool};
 
 /// Handle to a frozen representation registered in a [`SharedDatabase`].
@@ -139,27 +140,80 @@ pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery
     key
 }
 
-/// A concurrent cache of optimised f-plans, keyed on query shape.
+/// Default bound on the number of cached plans — generous for any realistic
+/// shape mix while keeping an adversarial stream of one-off shapes from
+/// growing the cache without limit.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// The map plus its insertion order, updated together under one lock.
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    plans: HashMap<String, Arc<OptimizedPlan>>,
+    /// Keys in insertion order — the FIFO eviction queue.
+    order: VecDeque<String>,
+}
+
+/// A concurrent, **bounded** cache of optimised f-plans, keyed on query
+/// shape.
 ///
 /// The map is guarded by a plain mutex — entries are tiny `Arc`s and the
 /// critical section is one hash-map probe, negligible next to the
-/// optimisation it saves — while the hit/miss counters are lock-free.
-#[derive(Debug, Default)]
+/// optimisation it saves — while the hit/miss/eviction counters are
+/// lock-free.  When the cache is full, publishing a new shape evicts the
+/// oldest entry (FIFO; an evicted plan still in use stays alive through its
+/// `Arc`).  The lock is poison-proof: a panic inside the critical section
+/// (which only performs map and counter updates, so every intermediate
+/// state is valid) does not take the cache down with it — later requests
+/// recover the guard and keep serving.
+#[derive(Debug)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<String, Arc<OptimizedPlan>>>,
+    inner: Mutex<PlanCacheInner>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_PLAN_CACHE_CAPACITY`].
     pub fn new() -> Self {
-        PlanCache::default()
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded at `capacity` plans (clamped to at
+    /// least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The lock, recovered if a previous holder panicked mid-update (the
+    /// critical sections only swap whole values, so the state is valid).
+    fn locked(&self) -> MutexGuard<'_, PlanCacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.locked().plans.len()
     }
 
     /// Whether the cache holds no plan.
@@ -177,14 +231,14 @@ impl PlanCache {
         self.misses.load(Ordering::SeqCst)
     }
 
+    /// Total entries evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::SeqCst)
+    }
+
     /// Looks up a plan, bumping the hit/miss counters.
     pub(crate) fn lookup(&self, key: &str) -> Option<Arc<OptimizedPlan>> {
-        let found = self
-            .plans
-            .lock()
-            .expect("plan cache lock")
-            .get(key)
-            .cloned();
+        let found = self.locked().plans.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::SeqCst),
             None => self.misses.fetch_add(1, Ordering::SeqCst),
@@ -193,12 +247,27 @@ impl PlanCache {
     }
 
     /// Publishes a plan for a key (last writer wins; racing optimisers of
-    /// the same shape produce equal-cost plans, so either result is fine).
-    pub(crate) fn insert(&self, key: String, plan: Arc<OptimizedPlan>) {
-        self.plans
-            .lock()
-            .expect("plan cache lock")
-            .insert(key, plan);
+    /// the same shape produce equal-cost plans, so either result is fine),
+    /// evicting the oldest entries if the cache is full.  Returns how many
+    /// entries were evicted.
+    pub(crate) fn insert(&self, key: String, plan: Arc<OptimizedPlan>) -> u64 {
+        let mut evicted = 0;
+        let mut inner = self.locked();
+        if inner.plans.insert(key.clone(), plan).is_none() {
+            inner.order.push_back(key);
+            while inner.plans.len() > self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.plans.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::SeqCst);
+        }
+        evicted
     }
 }
 
@@ -213,6 +282,27 @@ pub struct ServeRequest {
     pub query: FactorisedQuery,
     /// Evaluate as an aggregate instead of returning a representation.
     pub aggregate: Option<AggregateHead>,
+    /// Per-request resource allowance (deadline, budget, cancellation).
+    /// [`QueryLimits::unlimited`] — the `Default` — governs nothing.
+    pub limits: QueryLimits,
+}
+
+impl ServeRequest {
+    /// An ungoverned request (no deadline, budget or cancellation flag).
+    pub fn new(rep: RepId, query: FactorisedQuery, aggregate: Option<AggregateHead>) -> Self {
+        ServeRequest {
+            rep,
+            query,
+            aggregate,
+            limits: QueryLimits::unlimited(),
+        }
+    }
+
+    /// The same request under the given limits.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
 }
 
 /// The result of one served request.
@@ -247,31 +337,86 @@ pub struct ServerStats {
     pub plan_cache_misses: u64,
     /// Distinct query shapes currently cached.
     pub plan_cache_len: usize,
+    /// Plan-cache entries evicted to stay within the capacity bound.
+    pub plan_cache_evictions: u64,
+    /// Requests shed at admission (`FdbError::Overloaded`): the in-flight
+    /// bound was hit, or the server was draining.
+    pub requests_shed: u64,
+    /// Requests that panicked mid-evaluation and were reported as
+    /// `FdbError::WorkerPanicked` (the worker survived each one).
+    pub worker_panics: u64,
 }
+
+/// How many requests may be in flight per worker thread before admission
+/// control sheds new arrivals — enough headroom that a bursty but sane
+/// batch never sheds, while a runaway producer is bounded.
+pub const DEFAULT_IN_FLIGHT_PER_THREAD: usize = 128;
 
 /// A multi-threaded query server over a [`SharedDatabase`].
 ///
 /// Every request runs the existing fused single-pass pipeline untouched —
 /// concurrency comes purely from running independent requests on the
 /// work-stealing pool, reading the shared frozen arenas in place.
+///
+/// # Robustness
+///
+/// The server is built to survive bad requests and bounded to survive bad
+/// clients:
+///
+/// * every request runs under its own [`QueryLimits`]
+///   ([`ServeRequest::limits`]) — deadline, work budget, cancellation flag —
+///   enforced cooperatively inside the evaluation hot loops;
+/// * a panic during evaluation is caught **per request**
+///   ([`FdbError::WorkerPanicked`]): the worker survives, the rest of the
+///   batch completes, and the shared state stays usable (no lock is held
+///   across evaluation);
+/// * admission control bounds the number of in-flight requests
+///   ([`FdbServer::with_max_in_flight`]); arrivals beyond the bound are shed
+///   immediately with [`FdbError::Overloaded`] instead of queueing without
+///   limit;
+/// * [`FdbServer::shutdown`] drains gracefully: in-flight requests finish,
+///   new arrivals are shed.
 pub struct FdbServer {
     engine: FdbEngine,
     db: Arc<SharedDatabase>,
     cache: Arc<PlanCache>,
     pool: ThreadPool,
     served: AtomicU64,
+    /// Requests admitted and not yet completed.
+    in_flight: Arc<AtomicUsize>,
+    /// Admission bound on `in_flight`.
+    max_in_flight: usize,
+    /// Set by [`FdbServer::shutdown`]: admit nothing more.
+    draining: AtomicBool,
+    shed: AtomicU64,
+    panics: Arc<AtomicU64>,
 }
 
 impl FdbServer {
-    /// Creates a server with `threads` workers.
+    /// Creates a server with `threads` workers and the default admission
+    /// bound ([`DEFAULT_IN_FLIGHT_PER_THREAD`] per worker).
     pub fn new(engine: FdbEngine, db: Arc<SharedDatabase>, threads: usize) -> Self {
+        let pool = ThreadPool::new(threads);
+        let max_in_flight = pool.threads() * DEFAULT_IN_FLIGHT_PER_THREAD;
         FdbServer {
             engine,
             db,
             cache: Arc::new(PlanCache::new()),
-            pool: ThreadPool::new(threads),
+            pool,
             served: AtomicU64::new(0),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            max_in_flight,
+            draining: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            panics: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Replaces the admission bound (clamped to at least one in-flight
+    /// request).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
     }
 
     /// Creates a server sized by [`default_threads`] (the `FDB_THREADS`
@@ -290,6 +435,11 @@ impl FdbServer {
         &self.cache
     }
 
+    /// The shared database of registered representations.
+    pub fn db(&self) -> &SharedDatabase {
+        &self.db
+    }
+
     /// The worker pool (shared with callers that want to run their own
     /// tasks next to query serving, e.g. parallel enumeration of results).
     pub fn pool(&self) -> &ThreadPool {
@@ -301,6 +451,16 @@ impl FdbServer {
         self.served.load(Ordering::SeqCst)
     }
 
+    /// Requests admitted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`FdbServer::shutdown`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
     /// A snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -309,37 +469,92 @@ impl FdbServer {
             plan_cache_hits: self.cache.hits(),
             plan_cache_misses: self.cache.misses(),
             plan_cache_len: self.cache.len(),
+            plan_cache_evictions: self.cache.evictions(),
+            requests_shed: self.shed.load(Ordering::SeqCst),
+            worker_panics: self.panics.load(Ordering::SeqCst),
         }
     }
 
+    /// Tries to reserve an in-flight slot; on refusal (draining, or the
+    /// bound is hit) records the shed and reports [`FdbError::Overloaded`].
+    fn admit(&self) -> Result<()> {
+        if !self.is_draining() {
+            let mut current = self.in_flight.load(Ordering::SeqCst);
+            while current < self.max_in_flight {
+                match self.in_flight.compare_exchange(
+                    current,
+                    current + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return Ok(()),
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        Err(FdbError::Overloaded {
+            in_flight: self.in_flight(),
+            capacity: self.max_in_flight,
+        })
+    }
+
+    /// Stops admitting requests and blocks until every in-flight request
+    /// has finished.  Subsequent serve calls shed with
+    /// [`FdbError::Overloaded`]; the pool and caches stay alive for
+    /// inspection.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.pool.wait_idle();
+    }
+
     /// Serves one request on the calling thread (still consulting the plan
-    /// cache — the sequential baseline of the serving benchmark).
+    /// cache and admission control — the sequential baseline of the
+    /// serving benchmark).
     pub fn serve_one(&self, request: &ServeRequest) -> Result<ServeOutcome> {
-        let outcome = serve_request(self.engine, &self.db, &self.cache, request);
+        self.admit()?;
+        let outcome = serve_request_guarded(self.engine, &self.db, &self.cache, request);
+        if matches!(outcome, Err(FdbError::WorkerPanicked { .. })) {
+            self.panics.fetch_add(1, Ordering::SeqCst);
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.served.fetch_add(1, Ordering::SeqCst);
         outcome
     }
 
     /// Serves a batch of requests concurrently on the pool, returning the
     /// outcomes **in request order**.  The calling thread blocks until the
-    /// whole batch is done.
+    /// whole batch is done.  Requests refused at admission come back as
+    /// [`FdbError::Overloaded`]; a request that panics mid-evaluation comes
+    /// back as [`FdbError::WorkerPanicked`] while the rest of the batch
+    /// completes normally.
     pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> Vec<Result<ServeOutcome>> {
         let n = requests.len();
+        let mut slots: Vec<Option<Result<ServeOutcome>>> = (0..n).map(|_| None).collect();
         let (tx, rx) = mpsc::channel::<(usize, Result<ServeOutcome>)>();
         for (index, request) in requests.into_iter().enumerate() {
+            if let Err(refused) = self.admit() {
+                slots[index] = Some(Err(refused));
+                continue;
+            }
             let engine = self.engine;
             let db = Arc::clone(&self.db);
             let cache = Arc::clone(&self.cache);
+            let in_flight = Arc::clone(&self.in_flight);
+            let panics = Arc::clone(&self.panics);
             let tx = tx.clone();
             self.pool.spawn(move || {
-                let outcome = serve_request(engine, &db, &cache, &request);
+                let outcome = serve_request_guarded(engine, &db, &cache, &request);
+                if matches!(outcome, Err(FdbError::WorkerPanicked { .. })) {
+                    panics.fetch_add(1, Ordering::SeqCst);
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
                 // A closed receiver only means the caller went away.
                 let _ = tx.send((index, outcome));
             });
         }
         drop(tx);
 
-        let mut slots: Vec<Option<Result<ServeOutcome>>> = (0..n).map(|_| None).collect();
         for (index, outcome) in rx {
             slots[index] = Some(outcome);
             self.served.fetch_add(1, Ordering::SeqCst);
@@ -347,9 +562,11 @@ impl FdbServer {
         slots
             .into_iter()
             .map(|slot| {
+                // Unreachable with the per-request guard in place (every
+                // spawned task delivers), kept as the last line of defence.
                 slot.unwrap_or_else(|| {
-                    Err(FdbError::InvalidInput {
-                        detail: "serving worker panicked before delivering a result".into(),
+                    Err(FdbError::WorkerPanicked {
+                        detail: "worker delivered no result for this request".into(),
                     })
                 })
             })
@@ -357,24 +574,53 @@ impl FdbServer {
     }
 }
 
+/// [`serve_request`] behind a per-request panic boundary: a panicking
+/// evaluation is reported as [`FdbError::WorkerPanicked`] instead of
+/// unwinding into the worker loop, so one poisoned request cannot take
+/// down its worker or its batch.  Safe to unwind across: evaluation
+/// mutates nothing shared (results are built fresh; the plan cache is
+/// poison-proof and only swaps whole values).
+fn serve_request_guarded(
+    engine: FdbEngine,
+    db: &SharedDatabase,
+    cache: &PlanCache,
+    request: &ServeRequest,
+) -> Result<ServeOutcome> {
+    catch_unwind(AssertUnwindSafe(|| {
+        serve_request(engine, db, cache, request)
+    }))
+    .unwrap_or_else(|payload| {
+        let detail = if let Some(msg) = payload.downcast_ref::<&str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(FdbError::WorkerPanicked { detail })
+    })
+}
+
 /// The per-request pipeline shared by [`FdbServer::serve_one`] and the pool
 /// workers: resolve the representation, then run the (plan-cached) fused
-/// pipeline.
+/// pipeline under the request's [`QueryLimits`].
 fn serve_request(
     engine: FdbEngine,
     db: &SharedDatabase,
     cache: &PlanCache,
     request: &ServeRequest,
 ) -> Result<ServeOutcome> {
+    let ctx = ExecCtx::new(&request.limits);
+    failpoint!(ctx, "serve.request");
     let rep = db.get(request.rep).ok_or_else(|| FdbError::InvalidInput {
         detail: format!("unknown representation id {:?}", request.rep),
     })?;
     match &request.aggregate {
         Some(head) => engine
-            .evaluate_factorised_aggregate_cached(rep, &request.query, head, cache)
+            .evaluate_factorised_aggregate_ctx(rep, &request.query, head, Some(cache), &ctx)
             .map(ServeOutcome::Aggregate),
         None => engine
-            .evaluate_factorised_cached(rep, &request.query, cache)
+            .evaluate_factorised_ctx(rep, &request.query, Some(cache), &ctx)
             .map(ServeOutcome::Rep),
     }
 }
@@ -489,10 +735,12 @@ mod tests {
         let server = FdbServer::new(engine, Arc::new(shared), 3);
 
         let requests: Vec<ServeRequest> = (0..12)
-            .map(|i| ServeRequest {
-                rep: id,
-                query: select_a(a, 1 + i % 3),
-                aggregate: (i % 4 == 0).then(AggregateHead::count),
+            .map(|i| {
+                ServeRequest::new(
+                    id,
+                    select_a(a, 1 + i % 3),
+                    (i % 4 == 0).then(AggregateHead::count),
+                )
             })
             .collect();
         let outcomes = server.serve_batch(requests.clone());
@@ -526,11 +774,7 @@ mod tests {
         let mut shared = SharedDatabase::new();
         shared.insert("base", rep);
         let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 2);
-        let request = ServeRequest {
-            rep: RepId(42),
-            query: select_a(a, 1),
-            aggregate: None,
-        };
+        let request = ServeRequest::new(RepId(42), select_a(a, 1), None);
         assert!(server.serve_one(&request).is_err());
         let batch = server.serve_batch(vec![request]);
         assert!(batch[0].is_err());

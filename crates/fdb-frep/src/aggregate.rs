@@ -67,7 +67,8 @@
 
 use crate::frep::FRep;
 use crate::store::Store;
-use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_common::limits::CHECK_INTERVAL;
+use fdb_common::{failpoint, AttrId, ComparisonOp, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 
 /// Which aggregate to evaluate.
@@ -380,8 +381,10 @@ pub(crate) trait AggSource {
     fn kid_count(&self, v: Self::Id) -> u32;
     /// The child reference of entry `i` at kid position `k`.
     fn kid(&self, v: Self::Id, i: u32, k: u32) -> Self::Id;
-    /// The accumulator of the whole union.
-    fn acc_of(&mut self, v: Self::Id, target: AggTarget) -> Acc;
+    /// The accumulator of the whole union.  Fallible so a source that folds
+    /// lazily (the overlay walk) can observe the governance context and
+    /// abort mid-fold; the precomputed arena source never errs.
+    fn acc_of(&mut self, v: Self::Id, target: AggTarget) -> Result<Acc>;
 }
 
 /// The shared evaluation scaffold over any [`AggSource`] — the one place
@@ -398,13 +401,15 @@ pub(crate) fn evaluate_source<S: AggSource>(
     kind: AggregateKind,
     group_by: Option<AttrId>,
     filter: &AggFilter,
+    ctx: &ExecCtx,
 ) -> Result<AggregateResult> {
     let target = AggTarget::resolve(tree, kind)?;
     let roots = src.roots();
     let Some(group) = group_by else {
-        let total = roots
-            .iter()
-            .fold(Acc::one(), |acc, &r| acc.product(src.acc_of(r, target)));
+        let mut total = Acc::one();
+        for &r in &roots {
+            total = total.product(src.acc_of(r, target)?);
+        }
         return Ok(AggregateResult::Scalar(total.finish(kind)));
     };
     let group_node = resolve_group_root(tree, group)?;
@@ -414,13 +419,16 @@ pub(crate) fn evaluate_source<S: AggSource>(
         .find(|&r| src.node_of(r) == group_node)
         .expect("validated representation: one root union per root node");
     // The independent context: the product of every other root union.
-    let context = roots
-        .iter()
-        .filter(|&&r| r != group_root)
-        .fold(Acc::one(), |acc, &r| acc.product(src.acc_of(r, target)));
+    let mut context = Acc::one();
+    for &r in &roots {
+        if r != group_root {
+            context = context.product(src.acc_of(r, target)?);
+        }
+    }
     let carries = target.carried_by(group_node);
     let kid_count = src.kid_count(group_root);
     let len = src.len(group_root);
+    ctx.charge(1 + len as u64)?;
     let mut rows = Vec::with_capacity(len as usize);
     for i in 0..len {
         let value = src.value(group_root, i);
@@ -432,7 +440,7 @@ pub(crate) fn evaluate_source<S: AggSource>(
         }
         let mut acc = Acc::singleton(value, carries);
         for k in 0..kid_count {
-            acc = acc.product(src.acc_of(src.kid(group_root, i, k), target));
+            acc = acc.product(src.acc_of(src.kid(group_root, i, k), target)?);
         }
         acc = acc.product(context);
         if acc.empty {
@@ -479,18 +487,33 @@ impl AggSource for ArenaSource<'_> {
         self.store.kid(v, i, k)
     }
 
-    fn acc_of(&mut self, v: u32, _target: AggTarget) -> Acc {
-        self.accs[v as usize]
+    fn acc_of(&mut self, v: u32, _target: AggTarget) -> Result<Acc> {
+        Ok(self.accs[v as usize])
     }
 }
 
 /// The single flat reverse loop: one accumulator per union, children before
 /// parents thanks to the arena's topological index order — the exact shape
 /// of [`FRep::tuple_count`].
-fn union_accs(store: &Store, kid_counts: &[u32], target: AggTarget) -> Vec<Acc> {
+fn union_accs(
+    store: &Store,
+    kid_counts: &[u32],
+    target: AggTarget,
+    ctx: &ExecCtx,
+) -> Result<Vec<Acc>> {
     let mut accs = vec![Acc::none(); store.unions.len()];
+    // Batch the per-union charges up to the context's own check interval:
+    // the fold body is a handful of adds per record, so charging record by
+    // record would dominate it, while one flush per interval keeps the
+    // same cooperative granularity at negligible cost.
+    let mut pending = 0u64;
     for uid in (0..store.unions.len()).rev() {
         let rec = store.unions[uid];
+        pending += 1 + rec.entries_len as u64;
+        if pending >= CHECK_INTERVAL {
+            ctx.charge(pending)?;
+            pending = 0;
+        }
         let carries = target.carried_by(rec.node);
         let kid_count = kid_counts[rec.node.index()] as usize;
         let mut total = Acc::none();
@@ -504,7 +527,8 @@ fn union_accs(store: &Store, kid_counts: &[u32], target: AggTarget) -> Vec<Acc> 
         }
         accs[uid] = total;
     }
-    accs
+    ctx.charge(pending)?;
+    Ok(accs)
 }
 
 /// Evaluates an aggregate (optionally grouped by a root attribute) over the
@@ -515,15 +539,36 @@ pub fn evaluate(
     kind: AggregateKind,
     group_by: Option<AttrId>,
 ) -> Result<AggregateResult> {
+    evaluate_ctx(rep, kind, group_by, &ExecCtx::unlimited())
+}
+
+/// [`evaluate`] under a governance context: the flat bottom-up pass charges
+/// one unit per union record, so a deadline, budget or cancellation flag
+/// interrupts the fold between unions with no partial state (the aggregate
+/// never mutates the representation).
+pub fn evaluate_ctx(
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+    ctx: &ExecCtx,
+) -> Result<AggregateResult> {
+    failpoint!(ctx, "aggregate.fold");
     let target = AggTarget::resolve(rep.tree(), kind)?;
     let kid_counts = crate::store::kid_count_table(rep.tree());
-    let accs = union_accs(rep.store(), &kid_counts, target);
+    let accs = union_accs(rep.store(), &kid_counts, target, ctx)?;
     let mut src = ArenaSource {
         store: rep.store(),
         kid_counts,
         accs,
     };
-    evaluate_source(&mut src, rep.tree(), kind, group_by, &AggFilter::default())
+    evaluate_source(
+        &mut src,
+        rep.tree(),
+        kind,
+        group_by,
+        &AggFilter::default(),
+        ctx,
+    )
 }
 
 /// Evaluates an ungrouped aggregate — [`evaluate`] with `group_by: None`.

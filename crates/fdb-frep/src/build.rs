@@ -47,7 +47,7 @@
 
 use crate::frep::{Entry, FRep, Union};
 use crate::store::{EntryRec, Store, UnionRec};
-use fdb_common::{AttrId, FdbError, Query, Result, Value};
+use fdb_common::{failpoint, AttrId, ExecCtx, FdbError, Query, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use fdb_relation::{Database, Relation};
 use std::collections::{BTreeMap, BTreeSet};
@@ -131,11 +131,22 @@ fn full_restriction(relations: &[Relation]) -> Vec<Vec<u32>> {
 /// the end of the f-plan).  Constant selections of the query are pushed onto
 /// the base relations before the factorisation is built.
 pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
+    build_frep_ctx(db, query, tree, &ExecCtx::unlimited())
+}
+
+/// [`build_frep`] under a governance context: the semi-join charges the
+/// context per candidate value it decides, so a deadline, budget or
+/// cancellation aborts the construction cooperatively.  On abort the
+/// half-built arena is simply dropped — the watermark rollback already
+/// guarantees no candidate is ever half-recorded.
+pub fn build_frep_ctx(db: &Database, query: &Query, tree: &FTree, ctx: &ExecCtx) -> Result<FRep> {
     let (relations, node_cols) = prepare(db, query, tree)?;
+    failpoint!(ctx, "build.semi_join");
     let mut builder = Builder {
         tree,
         relations: &relations,
         node_cols: &node_cols,
+        ctx,
         store: Store::default(),
         scratch_values: Vec::new(),
         scratch_kids: Vec::new(),
@@ -145,7 +156,7 @@ pub fn build_frep(db: &Database, query: &Query, tree: &FTree) -> Result<FRep> {
         .roots()
         .iter()
         .map(|&root| builder.build_union(root, &mut restriction))
-        .collect();
+        .collect::<Result<_>>()?;
     let mut store = builder.store;
     store.roots = roots;
     let mut rep = FRep::from_store(tree.clone(), store);
@@ -185,6 +196,8 @@ struct Builder<'a> {
     tree: &'a FTree,
     relations: &'a [Relation],
     node_cols: &'a NodeCols,
+    /// Governance context: charged once per candidate value decided.
+    ctx: &'a ExecCtx,
     /// The output arena, appended to during the top-down semi-join and
     /// truncated back to the per-candidate watermarks on retraction.
     store: Store,
@@ -202,7 +215,7 @@ impl Builder<'_> {
     /// union index.  The restriction is temporarily narrowed for the
     /// relations relevant to this node while recursing and restored before
     /// returning.
-    fn build_union(&mut self, node: NodeId, restriction: &mut Vec<Vec<u32>>) -> u32 {
+    fn build_union(&mut self, node: NodeId, restriction: &mut Vec<Vec<u32>>) -> Result<u32> {
         let relevant = &self.node_cols[&node];
 
         // Group the surviving rows of every relevant relation by their value
@@ -270,6 +283,11 @@ impl Builder<'_> {
         let values_mark = self.scratch_values.len();
         let kids_mark = self.scratch_kids.len();
         for value in candidates {
+            // One candidate = one unit of semi-join work; an abort here
+            // leaves only whole, reachable candidates in the arena (the
+            // rollback below retracts partial ones), and the caller drops
+            // the arena anyway.
+            self.ctx.charge(1)?;
             // Narrow the restriction of the relevant relations to the rows
             // matching `value` (a contiguous span of the sorted pairs),
             // remembering what to restore.
@@ -290,7 +308,7 @@ impl Builder<'_> {
             let entry_kids_mark = self.scratch_kids.len();
             let mut alive = true;
             for &child in children {
-                let kid = self.build_union(child, restriction);
+                let kid = self.build_union(child, restriction)?;
                 if self.store.unions[kid as usize].entries_len == 0 {
                     alive = false;
                     break;
@@ -333,7 +351,7 @@ impl Builder<'_> {
         rec.entries_len = survivors;
         self.scratch_values.truncate(values_mark);
         self.scratch_kids.truncate(kids_mark);
-        uid
+        Ok(uid)
     }
 }
 

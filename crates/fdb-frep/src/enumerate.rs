@@ -31,7 +31,7 @@
 //! only setup that walks the f-tree), and merges the chunks sequentially.
 
 use crate::frep::FRep;
-use fdb_common::{FdbError, Result, Value};
+use fdb_common::{failpoint, ExecCtx, FdbError, Result, Value};
 use fdb_relation::Relation;
 use std::sync::{mpsc, Arc};
 use workpool::ThreadPool;
@@ -345,6 +345,21 @@ pub fn materialize(rep: &FRep) -> Result<Relation> {
         Some(e) => Err(e),
         None => Ok(out),
     }
+}
+
+/// [`materialize`] under a governance context: charges one unit per
+/// enumerated tuple, so a deadline, budget or cancellation flag interrupts
+/// the constant-delay scan between tuples.  Enumeration never mutates the
+/// representation, so an abort just drops the partially built output.
+pub fn materialize_ctx(rep: &FRep, ctx: &ExecCtx) -> Result<Relation> {
+    failpoint!(ctx, "enumerate.cursor");
+    let mut out = Relation::new(rep.visible_attrs());
+    let mut cursor = TupleCursor::new(rep);
+    while cursor.advance() {
+        ctx.charge(1)?;
+        out.push_row(cursor.tuple())?;
+    }
+    Ok(out)
 }
 
 /// How many partitions to cut the first root's entry range into per worker;

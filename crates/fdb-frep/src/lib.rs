@@ -89,6 +89,37 @@
 //! a (selection-then-)aggregate query pays zero materialisation.  `fdb-plan`
 //! routes every non-empty aggregate plan through that entry point and
 //! `fdb-core` reports it as `aggregates_on_overlay` / `arenas_skipped`.
+//!
+//! # The cancellation and budget contract
+//!
+//! Every data-dependent loop in this crate has a `_ctx` variant
+//! ([`build_frep_ctx`], `Store::retain_and_prune_ctx`,
+//! [`ops::execute_fused_ctx`], [`aggregate::evaluate_ctx`],
+//! [`enumerate::materialize_ctx`], …) threaded with an
+//! [`fdb_common::ExecCtx`]: the loop **charges** the context roughly one
+//! unit per arena record it processes or emits, and the context turns
+//! those charges into deadline, budget and cancellation checks (budget
+//! exactly per charge, clock and flag once per
+//! `fdb_common::limits::CHECK_INTERVAL` units).  Two guarantees follow:
+//!
+//! * **No partial state.** An interrupting `Err` propagates without
+//!   installing anything: the semi-join builder retracts to its
+//!   watermark, rewriters and the fused executor build *fresh* arenas
+//!   that are only swapped in on success, and aggregation/enumeration
+//!   never mutate their input.  A representation that was readable before
+//!   an aborted operation is bit-for-bit unchanged after it.
+//! * **Cheap when armed, free when not.** The ungoverned public APIs
+//!   delegate to their `_ctx` twin with [`fdb_common::ExecCtx::unlimited`],
+//!   a single-branch short-circuit; armed-but-never-tripping limits cost
+//!   a few percent at worst (`bench-pr7` pins a ≤ 3% geometric mean).
+//!
+//! Checks are **cooperative**: a loop that never charges cannot be
+//! interrupted, so any new loop whose trip count depends on data size
+//! must charge at least once per record batch.  With the
+//! `fault-injection` cargo feature the same contexts also drive the
+//! deterministic `failpoint!` sites (`build.semi_join`, `store.rewrite`,
+//! `fuse.execute`, `aggregate.fold`, `enumerate.cursor`) used by the
+//! chaos suite in the workspace root.
 
 #![warn(missing_docs)]
 
@@ -101,9 +132,10 @@ pub mod ops;
 pub mod store;
 
 pub use aggregate::{AggregateKind, AggregateResult, AggregateValue, AvgValue};
-pub use build::build_frep;
+pub use build::{build_frep, build_frep_ctx};
 pub use enumerate::{
-    count_by_enumeration, for_each_tuple, materialize, par_materialize, CursorConfig, TupleCursor,
+    count_by_enumeration, for_each_tuple, materialize, materialize_ctx, par_materialize,
+    CursorConfig, TupleCursor,
 };
 pub use frep::FRep;
 pub use node::{Entry, Union};

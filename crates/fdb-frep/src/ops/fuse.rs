@@ -74,7 +74,7 @@ use crate::aggregate::{self, Acc, AggFilter, AggTarget, AggregateKind, Aggregate
 use crate::frep::FRep;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{kid_count_table, Rewriter, Store};
-use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_common::{failpoint, AttrId, ComparisonOp, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId, SwapOutcome};
 use std::collections::BTreeSet;
 
@@ -121,16 +121,28 @@ pub enum FusedOp {
 /// representation is left unmodified (the step-wise path would stop at the
 /// failing operator instead).
 pub fn execute_fused(rep: &mut FRep, ops: &[FusedOp]) -> Result<()> {
+    execute_fused_ctx(rep, ops, &ExecCtx::unlimited())
+}
+
+/// [`execute_fused`] under a governance context: the liveness sweeps, the
+/// overlay prunes and the final emission all charge the context per record,
+/// so a deadline, budget or cancellation aborts the program cooperatively.
+/// On abort the representation is left **unmodified** — the overlay only
+/// references the immutable input arena, and the output store is swapped in
+/// only after the whole emission succeeded.
+pub fn execute_fused_ctx(rep: &mut FRep, ops: &[FusedOp], ctx: &ExecCtx) -> Result<()> {
     if ops.is_empty() {
         return Ok(());
     }
+    failpoint!(ctx, "fuse.execute");
     let (tree, store) = {
-        let mut fusion = Fusion::new(rep.store(), rep.tree());
+        let mut fusion = Fusion::new(rep.store(), rep.tree(), ctx);
         let mut cur = rep.tree().clone();
         for op in ops {
+            ctx.check_now()?;
             apply_op(&mut fusion, &mut cur, op)?;
         }
-        let store = fusion.into_store(rep.tree());
+        let store = fusion.into_store(rep.tree())?;
         (cur, store)
     };
     rep.replace_parts(tree, store);
@@ -165,7 +177,21 @@ pub fn execute_fused_aggregate(
     kind: AggregateKind,
     group_by: Option<AttrId>,
 ) -> Result<AggregateResult> {
-    let mut fusion = Fusion::new(rep.store(), rep.tree());
+    execute_fused_aggregate_ctx(rep, ops, kind, group_by, &ExecCtx::unlimited())
+}
+
+/// [`execute_fused_aggregate`] under a governance context: the overlay
+/// transforms and the aggregate fold charge per record.  The input is
+/// borrowed and never modified, so an abort leaves nothing to clean up.
+pub fn execute_fused_aggregate_ctx(
+    rep: &FRep,
+    ops: &[FusedOp],
+    kind: AggregateKind,
+    group_by: Option<AttrId>,
+    ctx: &ExecCtx,
+) -> Result<AggregateResult> {
+    failpoint!(ctx, "fuse.execute");
+    let mut fusion = Fusion::new(rep.store(), rep.tree(), ctx);
     let mut cur = rep.tree().clone();
     // Split off the maximal suffix of constant selections: everything before
     // it transforms the overlay, the suffix becomes the fold's filter.
@@ -217,7 +243,7 @@ fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: &FusedOp) -> Result<()
             let mut next = cur.clone();
             next.merge_siblings(a, b)?;
             MergePass::new(fusion, cur, &next, a, b, parent).apply(b);
-            fusion.prune();
+            fusion.prune()?;
             *cur = next;
             Ok(())
         }
@@ -229,14 +255,14 @@ fn apply_op(fusion: &mut Fusion<'_>, cur: &mut FTree, op: &FusedOp) -> Result<()
             next.absorb_into_ancestor(a, b)?;
             let b_parent = cur.parent(b).expect("b has an ancestor, so a parent");
             AbsorbPass::new(fusion, cur, &next, a, b, b_parent).apply();
-            fusion.prune();
+            fusion.prune()?;
             *cur = next;
             // The paper's absorb finishes with a normalisation step.
             normalise_steps(fusion, cur)
         }
         FusedOp::SelectConst { attr, op, value } => {
             let node = select_node(cur, *attr)?;
-            fusion.filter(node, *op, *value);
+            fusion.filter(node, *op, *value)?;
             if *op == ComparisonOp::Eq {
                 cur.bind_constant(node, *value)?;
             }
@@ -391,16 +417,20 @@ struct Fusion<'a> {
     /// Lazily computed, cached for the segment (the input arena is
     /// immutable while the segment runs).
     liveness: Option<Liveness>,
+    /// Governance context: the sweeps, prunes and the final emission charge
+    /// it per record touched.
+    ctx: &'a ExecCtx,
 }
 
 impl<'a> Fusion<'a> {
-    fn new(src: &'a Store, tree: &FTree) -> Fusion<'a> {
+    fn new(src: &'a Store, tree: &FTree, ctx: &'a ExecCtx) -> Fusion<'a> {
         Fusion {
             src,
             src_kid_counts: kid_count_table(tree),
             mixes: Vec::new(),
             roots: src.roots.iter().map(|&r| VId::src(r)).collect(),
             liveness: None,
+            ctx,
         }
     }
 
@@ -478,13 +508,14 @@ impl<'a> Fusion<'a> {
     /// One flat bottom-up pass over the input arena: per-entry liveness
     /// under a retain-and-prune with predicate `keep`, per-union emptiness,
     /// and a per-union "subtree contains a dead entry" flag.
-    fn compute_liveness<F: Fn(NodeId, Value) -> bool>(&self, keep: &F) -> Liveness {
+    fn compute_liveness<F: Fn(NodeId, Value) -> bool>(&self, keep: &F) -> Result<Liveness> {
         let s = self.src;
         let mut entry_alive = vec![true; s.entries.len()];
         let mut union_empty = vec![false; s.unions.len()];
         let mut subtree_dirty = vec![false; s.unions.len()];
         for uid in (0..s.unions.len()).rev() {
             let rec = s.unions[uid];
+            self.ctx.charge(1 + rec.entries_len as u64)?;
             let kid_count = self.src_kid_counts[rec.node.index()];
             let mut any_alive = false;
             let mut dirty = false;
@@ -505,31 +536,33 @@ impl<'a> Fusion<'a> {
             union_empty[uid] = !any_alive;
             subtree_dirty[uid] = dirty;
         }
-        Liveness {
+        Ok(Liveness {
             entry_alive,
             subtree_dirty,
-        }
+        })
     }
 
     /// Computes and caches the keep-everything liveness.  The cache stays
     /// valid for the whole program: the input arena is immutable, and every
     /// `Src` reference still reachable after a folded selection lies in a
     /// selection-clean subtree, which is keep-everything-clean a fortiori.
-    fn ensure_liveness(&mut self) {
+    fn ensure_liveness(&mut self) -> Result<()> {
         if self.liveness.is_none() {
-            self.liveness = Some(self.compute_liveness(&|_, _| true));
+            self.liveness = Some(self.compute_liveness(&|_, _| true)?);
         }
+        Ok(())
     }
 
     /// The overlay counterpart of `Store::retain_and_prune(keep = true)`:
     /// drops entries whose product became empty, propagating upwards.  Clean
     /// `Src` subtrees pass through untouched; only Mix nodes and dirty `Src`
     /// regions are rebuilt.
-    fn prune(&mut self) {
-        self.ensure_liveness();
+    fn prune(&mut self) -> Result<()> {
+        self.ensure_liveness()?;
         let live = self.liveness.take().expect("liveness just ensured");
-        self.apply_prune(&live, &|_, _| true);
+        let result = self.apply_prune(&live, &|_, _| true);
         self.liveness = Some(live);
+        result
     }
 
     /// The overlay counterpart of the constant-selection operator
@@ -539,19 +572,24 @@ impl<'a> Fusion<'a> {
     /// prune does.  One fresh liveness sweep (the predicate changes per
     /// selection) plus a walk that rebuilds only dirty regions — subtrees
     /// the selection does not touch stay `Src` references.
-    fn filter(&mut self, node: NodeId, cmp: ComparisonOp, value: Value) {
+    fn filter(&mut self, node: NodeId, cmp: ComparisonOp, value: Value) -> Result<()> {
         let keep = move |n: NodeId, v: Value| n != node || cmp.eval(v, value);
-        let live = self.compute_liveness(&keep);
-        self.apply_prune(&live, &keep);
+        let live = self.compute_liveness(&keep)?;
+        self.apply_prune(&live, &keep)
     }
 
     /// Rewrites every root through [`Fusion::prune_union`].
-    fn apply_prune<F: Fn(NodeId, Value) -> bool>(&mut self, live: &Liveness, keep: &F) {
+    fn apply_prune<F: Fn(NodeId, Value) -> bool>(
+        &mut self,
+        live: &Liveness,
+        keep: &F,
+    ) -> Result<()> {
         let roots = self.roots.clone();
         self.roots = roots
             .into_iter()
-            .map(|r| self.prune_union(r, live, keep).0)
-            .collect();
+            .map(|r| Ok(self.prune_union(r, live, keep)?.0))
+            .collect::<Result<_>>()?;
+        Ok(())
     }
 
     /// Prunes one virtual union under the given liveness/predicate; returns
@@ -561,13 +599,14 @@ impl<'a> Fusion<'a> {
         v: VId,
         live: &Liveness,
         keep: &F,
-    ) -> (VId, bool) {
+    ) -> Result<(VId, bool)> {
         if let Some(uid) = v.as_src() {
             let uidx = uid as usize;
             if !live.subtree_dirty[uidx] {
-                return (v, self.src.union_len(uid) == 0);
+                return Ok((v, self.src.union_len(uid) == 0));
             }
             let rec = self.src.unions[uidx];
+            self.ctx.charge(1 + rec.entries_len as u64)?;
             let kid_count = self.src_kid_counts[rec.node.index()];
             let mut values = Vec::with_capacity(rec.entries_len as usize);
             let mut kids = Vec::with_capacity((rec.entries_len * kid_count) as usize);
@@ -580,7 +619,7 @@ impl<'a> Fusion<'a> {
                 values.push(entry.value);
                 for k in 0..kid_count {
                     let kid_uid = self.src.kids[(entry.kids_start + k) as usize];
-                    let (kid, _) = self.prune_union(VId::src(kid_uid), live, keep);
+                    let (kid, _) = self.prune_union(VId::src(kid_uid), live, keep)?;
                     kids.push(kid);
                 }
             }
@@ -591,12 +630,13 @@ impl<'a> Fusion<'a> {
                 values,
                 kids,
             });
-            (out, empty)
+            Ok((out, empty))
         } else {
             let (node, kid_count, len) = {
                 let mix = &self.mixes[v.mix_index()];
                 (mix.node, mix.kid_count, mix.values.len() as u32)
             };
+            self.ctx.charge(1 + len as u64)?;
             let kc = kid_count as usize;
             let mut values = Vec::with_capacity(len as usize);
             let mut kids = Vec::with_capacity(len as usize * kc);
@@ -612,7 +652,7 @@ impl<'a> Fusion<'a> {
                 let mut alive = true;
                 for k in 0..kid_count {
                     let kid = self.mixes[v.mix_index()].kids[(i * kid_count + k) as usize];
-                    let (pk, empty) = self.prune_union(kid, live, keep);
+                    let (pk, empty) = self.prune_union(kid, live, keep)?;
                     alive &= !empty;
                     pruned.push(pk);
                 }
@@ -628,7 +668,7 @@ impl<'a> Fusion<'a> {
                 values,
                 kids,
             });
-            (out, empty)
+            Ok((out, empty))
         }
     }
 
@@ -640,14 +680,14 @@ impl<'a> Fusion<'a> {
     /// final arena in the exact `Store::freeze` layout through a
     /// [`Rewriter`] — `Src` references become record-by-record copies,
     /// `Mix` nodes emit their own headers, value blocks and kid runs.
-    fn into_store(self, src_tree: &FTree) -> Store {
+    fn into_store(self, src_tree: &FTree) -> Result<Store> {
         let mut rw = Rewriter::new(self.src, src_tree);
         let roots: Vec<u32> = self
             .roots
             .iter()
-            .map(|&r| emit_union(&mut rw, &self.mixes, r))
-            .collect();
-        rw.finish(roots)
+            .map(|&r| emit_union(&mut rw, &self.mixes, r, self.ctx))
+            .collect::<Result<_>>()?;
+        Ok(rw.finish(roots))
     }
 
     // -----------------------------------------------------------------
@@ -676,7 +716,7 @@ impl<'a> Fusion<'a> {
             memo: vec![None; self.src.unions.len()],
             filter,
         };
-        aggregate::evaluate_source(&mut src, final_tree, kind, group_by, filter)
+        aggregate::evaluate_source(&mut src, final_tree, kind, group_by, filter, self.ctx)
     }
 }
 
@@ -697,16 +737,17 @@ impl OverlaySource<'_, '_> {
     /// overlay, memoized per `Src` arena index).  Entries failing the
     /// filter are skipped: their contribution is the additive identity, the
     /// same as an entry a selection pass would have removed.
-    fn fold_union(&mut self, v: VId, target: AggTarget) -> Acc {
+    fn fold_union(&mut self, v: VId, target: AggTarget) -> Result<Acc> {
         if let Some(uid) = v.as_src() {
             if let Some(cached) = self.memo[uid as usize] {
-                return cached;
+                return Ok(cached);
             }
         }
         let node = self.fu.node_of(v);
         let carries = target.carried_by(node);
         let kid_count = self.fu.kid_count_of(v);
         let len = self.fu.len(v);
+        self.fu.ctx.charge(1 + len as u64)?;
         let mut total = Acc::none();
         for i in 0..len {
             let value = self.fu.value(v, i);
@@ -715,14 +756,14 @@ impl OverlaySource<'_, '_> {
             }
             let mut acc = Acc::singleton(value, carries);
             for k in 0..kid_count {
-                acc = acc.product(self.fold_union(self.fu.kid(v, i, k), target));
+                acc = acc.product(self.fold_union(self.fu.kid(v, i, k), target)?);
             }
             total = total.add(acc);
         }
         if let Some(uid) = v.as_src() {
             self.memo[uid as usize] = Some(total);
         }
-        total
+        Ok(total)
     }
 }
 
@@ -753,17 +794,24 @@ impl aggregate::AggSource for OverlaySource<'_, '_> {
         self.fu.kid(v, i, k)
     }
 
-    fn acc_of(&mut self, v: VId, target: AggTarget) -> Acc {
+    fn acc_of(&mut self, v: VId, target: AggTarget) -> Result<Acc> {
         self.fold_union(v, target)
     }
 }
 
 /// Recursive emission of one virtual union (see [`Fusion::into_store`]).
-fn emit_union(rw: &mut Rewriter<'_>, mixes: &[Mix], v: VId) -> u32 {
+/// Charges the governance context for every record written: `Mix` unions
+/// charge their own header and value block, opaque `Src` subtree copies
+/// charge the [`Rewriter::emitted_units`] delta they produce.
+fn emit_union(rw: &mut Rewriter<'_>, mixes: &[Mix], v: VId, ctx: &ExecCtx) -> Result<u32> {
     if let Some(uid) = v.as_src() {
-        return rw.copy_union(uid);
+        let before = rw.emitted_units();
+        let out = rw.copy_union(uid);
+        ctx.charge(rw.emitted_units() - before)?;
+        return Ok(out);
     }
     let mix = &mixes[v.mix_index()];
+    ctx.charge(1 + mix.values.len() as u64)?;
     let out = rw.begin_union_raw(mix.node, mix.values.len() as u32);
     for &value in &mix.values {
         rw.push_value(value);
@@ -772,12 +820,12 @@ fn emit_union(rw: &mut Rewriter<'_>, mixes: &[Mix], v: VId) -> u32 {
     for i in 0..mix.values.len() {
         let mark = rw.mark();
         for k in 0..kc {
-            let kid = emit_union(rw, mixes, mix.kids[i * kc + k]);
+            let kid = emit_union(rw, mixes, mix.kids[i * kc + k], ctx)?;
             rw.push_kid(kid);
         }
         rw.end_entry(out, i as u32, mark);
     }
-    out
+    Ok(out)
 }
 
 /// The shared shape of the passes' entry-preserving union rebuilds: keep

@@ -63,12 +63,14 @@ pub mod select;
 pub mod swap;
 
 pub use absorb::absorb;
-pub use fuse::{execute_fused, execute_fused_aggregate, FusedOp};
+pub use fuse::{
+    execute_fused, execute_fused_aggregate, execute_fused_aggregate_ctx, execute_fused_ctx, FusedOp,
+};
 pub use merge::merge;
 pub use product::product;
 pub use project::project;
 pub use restructure::{normalise, push_up};
-pub use select::select_const;
+pub use select::{select_const, select_const_ctx};
 pub use swap::swap;
 
 use crate::frep::FRep;

@@ -10,18 +10,31 @@
 //! equals `c`, so the node no longer contributes to the size bound `s(T)`.
 
 use crate::frep::FRep;
-use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_common::{AttrId, ComparisonOp, ExecCtx, FdbError, Result, Value};
 
 /// Selection with constant `σ_{attr θ value}` on the representation.
 pub fn select_const(rep: &mut FRep, attr: AttrId, op: ComparisonOp, value: Value) -> Result<()> {
+    select_const_ctx(rep, attr, op, value, &ExecCtx::unlimited())
+}
+
+/// [`select_const`] under a governance context: the filtered rebuild
+/// charges per record, and on abort the representation is left exactly as
+/// it was (the rebuilt store is only installed on success).
+pub fn select_const_ctx(
+    rep: &mut FRep,
+    attr: AttrId,
+    op: ComparisonOp,
+    value: Value,
+    ctx: &ExecCtx,
+) -> Result<()> {
     let Some(node) = rep.tree().node_of_attr(attr) else {
         return Err(FdbError::AttributeNotInQuery {
             attr: format!("{attr}"),
         });
     };
-    let filtered = rep
-        .store()
-        .retain_and_prune(rep.tree(), |n, v| n != node || op.eval(v, value));
+    let filtered =
+        rep.store()
+            .retain_and_prune_ctx(rep.tree(), |n, v| n != node || op.eval(v, value), ctx)?;
     rep.set_store(filtered);
     if op == ComparisonOp::Eq {
         rep.tree_mut().bind_constant(node, value)?;

@@ -35,7 +35,7 @@
 //! linear copies and every per-node allocation.
 
 use crate::node::{Entry, Union};
-use fdb_common::{FdbError, Result, Value};
+use fdb_common::{failpoint, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use std::collections::BTreeMap;
 
@@ -267,10 +267,30 @@ impl Store {
     /// through a [`Rewriter`] — which puts the output in the exact layout
     /// [`Store::freeze`] would produce, so pruned stores stay bit-for-bit
     /// comparable with the thaw-path oracle.
-    pub(crate) fn retain_and_prune<F>(&self, tree: &FTree, mut keep: F) -> Store
+    pub(crate) fn retain_and_prune<F>(&self, tree: &FTree, keep: F) -> Store
     where
         F: FnMut(NodeId, Value) -> bool,
     {
+        self.retain_and_prune_ctx(tree, keep, &ExecCtx::unlimited())
+            .expect("an unlimited context never interrupts the rebuild")
+    }
+
+    /// [`Store::retain_and_prune`] under a governance context: both passes
+    /// charge the context per union record they touch, so a deadline,
+    /// budget or cancellation aborts the rebuild cooperatively.  The input
+    /// arena is read-only throughout and the output is returned by value,
+    /// so an abort leaves no partial state anywhere — the half-emitted
+    /// output store is simply dropped.
+    pub(crate) fn retain_and_prune_ctx<F>(
+        &self,
+        tree: &FTree,
+        mut keep: F,
+        ctx: &ExecCtx,
+    ) -> Result<Store>
+    where
+        F: FnMut(NodeId, Value) -> bool,
+    {
+        failpoint!(ctx, "store.rewrite");
         let mut rw = Rewriter::new(self, tree);
 
         // Pass 1 (bottom-up, reverse index order): decide per entry whether
@@ -279,6 +299,7 @@ impl Store {
         let mut union_empty = vec![true; self.unions.len()];
         for uid in (0..self.unions.len()).rev() {
             let rec = self.unions[uid];
+            ctx.charge(1 + rec.entries_len as u64)?;
             let kid_count = rw.src_kid_count(rec.node);
             let mut any_alive = false;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
@@ -304,9 +325,9 @@ impl Store {
         let roots: Vec<u32> = self
             .roots
             .iter()
-            .map(|&r| emit_pruned(&mut rw, &entry_alive, r))
-            .collect();
-        rw.finish(roots)
+            .map(|&r| emit_pruned(&mut rw, &entry_alive, r, ctx))
+            .collect::<Result<_>>()?;
+        Ok(rw.finish(roots))
     }
 
     /// Appends another store (over disjoint f-tree nodes) to this one,
@@ -335,12 +356,18 @@ impl Store {
 
 /// Recursive emission phase of [`Store::retain_and_prune`]: copies union
 /// `uid` keeping only the entries marked alive.
-fn emit_pruned(rw: &mut Rewriter<'_>, entry_alive: &[bool], uid: u32) -> u32 {
+fn emit_pruned(
+    rw: &mut Rewriter<'_>,
+    entry_alive: &[bool],
+    uid: u32,
+    ctx: &ExecCtx,
+) -> Result<u32> {
     let src = rw.src;
     let rec = src.unions[uid as usize];
     let start = rec.entries_start as usize;
     let end = start + rec.entries_len as usize;
     let survivors = (start..end).filter(|&e| entry_alive[e]).count() as u32;
+    ctx.charge(1 + survivors as u64)?;
     let out = rw.begin_union_raw(rec.node, survivors);
     for (e, &alive) in entry_alive.iter().enumerate().take(end).skip(start) {
         if alive {
@@ -357,13 +384,13 @@ fn emit_pruned(rw: &mut Rewriter<'_>, entry_alive: &[bool], uid: u32) -> u32 {
         let entry = src.entries[e];
         for k in 0..kid_count {
             let kid = src.kids[entry.kids_start as usize + k as usize];
-            let copied = emit_pruned(rw, entry_alive, kid);
+            let copied = emit_pruned(rw, entry_alive, kid, ctx)?;
             rw.push_kid(copied);
         }
         rw.end_entry(out, index, mark);
         index += 1;
     }
-    out
+    Ok(out)
 }
 
 /// Child counts of every node of `tree`, indexed by node index — the flat
@@ -427,6 +454,14 @@ impl<'a> Rewriter<'a> {
     /// Child count of `node` in the input f-tree.
     pub(crate) fn src_kid_count(&self, node: NodeId) -> u32 {
         self.kid_counts[node.index()]
+    }
+
+    /// Units of output emitted so far (union headers plus entry records) —
+    /// governed emission loops charge their [`ExecCtx`] with the delta
+    /// across each opaque emission call (e.g. a whole
+    /// [`Rewriter::copy_union`] subtree copy).
+    pub(crate) fn emitted_units(&self) -> u64 {
+        self.out.unions.len() as u64 + self.out.entries.len() as u64
     }
 
     /// Starts a new output union: pushes its header, announcing

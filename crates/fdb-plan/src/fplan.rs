@@ -33,7 +33,7 @@
 //! segment-at-barriers path as [`FPlan::execute_segmented`] (the baseline
 //! `bench-pr5` measures whole-plan fusion against).
 
-use fdb_common::{AttrId, ComparisonOp, FdbError, Result, Value};
+use fdb_common::{AttrId, ComparisonOp, ExecCtx, FdbError, Result, Value};
 use fdb_frep::ops::FusedOp;
 use fdb_frep::{aggregate, ops, AggregateKind, AggregateResult, FRep};
 use fdb_ftree::{FTree, NodeId};
@@ -253,16 +253,34 @@ impl FPlan {
     /// simplifies once, reads the fusion counters off it for its stats,
     /// then executes it through this).
     pub fn execute_presimplified(&self, rep: &mut FRep) -> Result<()> {
+        self.execute_presimplified_ctx(rep, &ExecCtx::unlimited())
+    }
+
+    /// [`FPlan::execute_presimplified`] under a governance context: the
+    /// fused program threads the context through every overlay sweep and
+    /// the final emission; the rare non-fused path (zero or one single-pass
+    /// operator) checks the context between operators and governs the
+    /// selection rebuild.  An aborted plan leaves the representation
+    /// exactly as it was — the fused executor only installs its output
+    /// arena on success, and a single governed selection rebuilds into a
+    /// fresh store before swapping it in.
+    pub fn execute_presimplified_ctx(&self, rep: &mut FRep, ctx: &ExecCtx) -> Result<()> {
         if !self.fuses() {
             // Zero or one single-pass operator: the overlay machinery would
             // only add overhead.
             for op in &self.ops {
-                op.execute(rep)?;
+                ctx.check_now()?;
+                match op {
+                    FPlanOp::SelectConst { attr, op, value } => {
+                        ops::select_const_ctx(rep, *attr, *op, *value, ctx)?;
+                    }
+                    _ => op.execute(rep)?,
+                }
             }
             return Ok(());
         }
         let program: Vec<FusedOp> = self.ops.iter().map(FPlanOp::to_fused).collect();
-        ops::execute_fused(rep, &program)
+        ops::execute_fused_ctx(rep, &program, ctx)
     }
 
     /// Executes the plan operator by operator — the pre-fusion PR 2 path,
@@ -327,11 +345,25 @@ impl FPlan {
         kind: AggregateKind,
         group_by: Option<AttrId>,
     ) -> Result<(AggregateResult, bool)> {
+        self.execute_aggregate_presimplified_ctx(rep, kind, group_by, &ExecCtx::unlimited())
+    }
+
+    /// [`FPlan::execute_aggregate_presimplified`] under a governance
+    /// context: both the empty-plan flat fold and the overlay fold charge
+    /// per record, and the input is never mutated, so an abort has no
+    /// partial state to clean up.
+    pub fn execute_aggregate_presimplified_ctx(
+        &self,
+        rep: &FRep,
+        kind: AggregateKind,
+        group_by: Option<AttrId>,
+        ctx: &ExecCtx,
+    ) -> Result<(AggregateResult, bool)> {
         if self.ops.is_empty() {
-            return Ok((aggregate::evaluate(rep, kind, group_by)?, false));
+            return Ok((aggregate::evaluate_ctx(rep, kind, group_by, ctx)?, false));
         }
         let program: Vec<FusedOp> = self.ops.iter().map(FPlanOp::to_fused).collect();
-        let result = ops::execute_fused_aggregate(rep, &program, kind, group_by)?;
+        let result = ops::execute_fused_aggregate_ctx(rep, &program, kind, group_by, ctx)?;
         Ok((result, true))
     }
 

@@ -86,11 +86,7 @@ fn random_request(rng: &mut StdRng, rep_id: fdb::engine::RepId, rep: &FRep) -> S
     } else {
         None
     };
-    ServeRequest {
-        rep: rep_id,
-        query,
-        aggregate,
-    }
+    ServeRequest::new(rep_id, query, aggregate)
 }
 
 /// Serves the batch at several worker counts and asserts every outcome —
@@ -187,23 +183,27 @@ fn unsatisfiable_selections_empty_identically_under_concurrency() {
     let db = Arc::new(shared);
     let requests: Vec<ServeRequest> = attrs
         .iter()
-        .map(|&attr| ServeRequest {
-            rep: id,
-            query: FactorisedQuery::default().with_const_selection(ConstSelection {
-                attr,
-                op: ComparisonOp::Gt,
-                value: Value::new(1_000_000),
-            }),
-            aggregate: None,
+        .map(|&attr| {
+            ServeRequest::new(
+                id,
+                FactorisedQuery::default().with_const_selection(ConstSelection {
+                    attr,
+                    op: ComparisonOp::Gt,
+                    value: Value::new(1_000_000),
+                }),
+                None,
+            )
         })
-        .chain(attrs.iter().map(|&attr| ServeRequest {
-            rep: id,
-            query: FactorisedQuery::default().with_const_selection(ConstSelection {
-                attr,
-                op: ComparisonOp::Gt,
-                value: Value::new(1_000_000),
-            }),
-            aggregate: Some(AggregateHead::count()),
+        .chain(attrs.iter().map(|&attr| {
+            ServeRequest::new(
+                id,
+                FactorisedQuery::default().with_const_selection(ConstSelection {
+                    attr,
+                    op: ComparisonOp::Gt,
+                    value: Value::new(1_000_000),
+                }),
+                Some(AggregateHead::count()),
+            )
         }))
         .collect();
     check_served_batch_matches_serial(&engine, &db, &requests, "unsatisfiable");

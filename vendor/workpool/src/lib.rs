@@ -35,6 +35,11 @@ struct Shared {
     /// Number of tasks currently sitting in some deque (incremented before
     /// the push, decremented at pop) — the park/retry predicate.
     queued: AtomicUsize,
+    /// Number of tasks currently executing on some worker.  Incremented at
+    /// pop *before* `queued` is decremented, so `queued + running` never
+    /// transiently reads 0 while work is outstanding — the `wait_idle`
+    /// predicate.
+    running: AtomicUsize,
     /// Round-robin submission counter.
     next: AtomicUsize,
     /// Tasks whose closure panicked (the panic is caught so one bad query
@@ -60,6 +65,7 @@ impl ThreadPool {
         let shared = Arc::new(Shared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -110,6 +116,31 @@ impl ThreadPool {
     pub fn panicked_tasks(&self) -> usize {
         self.shared.panicked.load(Ordering::SeqCst)
     }
+
+    /// Number of tasks not yet finished: queued in some deque plus
+    /// currently executing.  A snapshot — by the time the caller reads it,
+    /// workers may have drained more.
+    pub fn pending(&self) -> usize {
+        self.shared.queued.load(Ordering::SeqCst) + self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every task spawned so far has finished (queues empty
+    /// and no worker mid-task) — the graceful-drain primitive.  Tasks
+    /// spawned concurrently with the wait extend it; the caller is expected
+    /// to have stopped submitting first.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock().expect("pool idle lock");
+        while self.pending() > 0 {
+            // Workers notify after finishing a task; the timeout is the
+            // same lost-wakeup backstop the worker park loop uses.
+            let (g, _) = self
+                .shared
+                .idle_cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .expect("pool idle wait");
+            guard = g;
+        }
+    }
 }
 
 impl Drop for ThreadPool {
@@ -147,6 +178,10 @@ fn worker_loop(shared: &Shared, me: usize) {
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     shared.panicked.fetch_add(1, Ordering::SeqCst);
                 }
+                shared.running.fetch_sub(1, Ordering::SeqCst);
+                // Wake `wait_idle` callers (and parked siblings, harmlessly).
+                let _guard = shared.idle_lock.lock().expect("pool idle lock");
+                shared.idle_cv.notify_all();
             }
             None => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -180,6 +215,9 @@ fn find_task(shared: &Shared, me: usize) -> Option<Task> {
             queue.pop_back()
         };
         if let Some(task) = task {
+            // `running` up before `queued` down: `pending()` never dips to 0
+            // while this task is in flight.
+            shared.running.fetch_add(1, Ordering::SeqCst);
             shared.queued.fetch_sub(1, Ordering::SeqCst);
             return Some(task);
         }
@@ -251,6 +289,22 @@ mod tests {
         pool.spawn(move || tx.send(7usize).expect("result channel"));
         assert_eq!(rx.recv().expect("later task still runs"), 7);
         assert_eq!(pool.panicked_tasks(), 1);
+    }
+
+    #[test]
+    fn wait_idle_observes_every_spawned_task() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+        assert_eq!(pool.pending(), 0);
     }
 
     #[test]
