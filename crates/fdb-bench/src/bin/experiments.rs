@@ -9,7 +9,7 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, report, Scale};
+use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, report, Scale};
 use std::time::Instant;
 
 /// Shared driver of the PR 2+ benchmarks: run at the requested scale, print
@@ -189,6 +189,26 @@ fn main() {
             },
             pr7::render_table,
             pr7::render_json,
+        );
+        return;
+    }
+    if which.contains(&"bench-pr8") {
+        // Durability and hot swap: snapshot save/load throughput, the
+        // structural-verification overhead of the loader, swap latency
+        // under concurrent serving, and targeted cache invalidation.
+        run_bench(
+            "bench-pr8",
+            "BENCH_PR8.json",
+            smoke,
+            |smoke| {
+                pr8::run(if smoke {
+                    pr8::Pr8Scale::Smoke
+                } else {
+                    pr8::Pr8Scale::Full
+                })
+            },
+            pr8::render_table,
+            pr8::render_json,
         );
         return;
     }

@@ -31,6 +31,7 @@ pub mod pr4;
 pub mod pr5;
 pub mod pr6;
 pub mod pr7;
+pub mod pr8;
 pub mod report;
 
 /// Scale of an experiment run.

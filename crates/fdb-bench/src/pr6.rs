@@ -331,19 +331,19 @@ fn check_batch(engine: &FdbEngine, db: &SharedDatabase, requests: &[ServeRequest
         match &request.aggregate {
             Some(head) => {
                 let cached = engine
-                    .evaluate_factorised_aggregate_cached(rep, &request.query, head, &cache)
+                    .evaluate_factorised_aggregate_cached(&rep, &request.query, head, &cache)
                     .expect("aggregate request serves");
                 let plain = engine
-                    .evaluate_factorised_aggregate(rep, &request.query, head)
+                    .evaluate_factorised_aggregate(&rep, &request.query, head)
                     .expect("aggregate request evaluates");
                 assert_eq!(cached.result, plain.result, "cached aggregate diverged");
             }
             None => {
                 let cached = engine
-                    .evaluate_factorised_cached(rep, &request.query, &cache)
+                    .evaluate_factorised_cached(&rep, &request.query, &cache)
                     .expect("request serves");
                 let plain = engine
-                    .evaluate_factorised(rep, &request.query)
+                    .evaluate_factorised(&rep, &request.query)
                     .expect("request evaluates");
                 assert!(
                     cached.result.store_identical(&plain.result),
@@ -376,10 +376,10 @@ fn serve_pass_with_stall(
             let rep = db.get(request.rep).expect("registered representation");
             let ok = match &request.aggregate {
                 Some(head) => engine
-                    .evaluate_factorised_aggregate_cached(rep, &request.query, head, &cache)
+                    .evaluate_factorised_aggregate_cached(&rep, &request.query, head, &cache)
                     .is_ok(),
                 None => engine
-                    .evaluate_factorised_cached(rep, &request.query, &cache)
+                    .evaluate_factorised_cached(&rep, &request.query, &cache)
                     .is_ok(),
             };
             let _ = tx.send(ok);

@@ -1,0 +1,429 @@
+//! PR 8 benchmark: snapshot durability and hot-swap costs.
+//!
+//! PR 8 adds self-verifying snapshots (`fdb_core::snapshot`) and atomic
+//! hot swap of live representations with epoch-correct plan-cache
+//! invalidation (`FdbServer::replace`).  This benchmark prices the four
+//! operations the design paid for:
+//!
+//! * **snapshot save / load** — full file-path throughput in MB/s:
+//!   encode + atomic write, and read + checksum + structural
+//!   re-validation + arena rebuild;
+//! * **verification overhead** — the in-memory decode with the mandatory
+//!   structural validator versus the raw unverified decode.  The
+//!   committed acceptance bound is `verify_overhead <= 1.15` in
+//!   `BENCH_PR8.json`: integrity checking must stay within 15% of the
+//!   blind deserialiser;
+//! * **hot-swap latency** — the wall time of `FdbServer::replace` while
+//!   1/2/4/8 worker threads keep serving a request stream against the
+//!   slot being swapped;
+//! * **invalidation cost** — `replace` against a plan cache warmed with
+//!   many distinct query shapes keyed on the outgoing tree, i.e. the
+//!   price of the targeted fingerprint scan.
+//!
+//! The `experiments bench-pr8` subcommand prints the table and
+//! serialises the rows; `--scale smoke` shrinks the inputs so CI can run
+//! it as a canary.
+
+use crate::report::BenchJson;
+use fdb_common::{ComparisonOp, ConstSelection, Value};
+use fdb_core::{
+    load_rep, save_rep, FactorisedQuery, FdbEngine, FdbServer, ServeRequest, SharedDatabase,
+};
+use fdb_datagen::{populate, random_query, random_schema, ValueDistribution};
+use fdb_frep::snapshot::{decode_frep, decode_frep_unverified, encode_frep};
+use fdb_frep::FRep;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One file-path throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Operation name (stable across refactors).
+    pub name: String,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// Timed repetitions per measurement.
+    pub reps: u32,
+    /// Best wall time of one operation.
+    pub seconds: f64,
+    /// Throughput derived from `bytes / seconds`.
+    pub mb_per_s: f64,
+}
+
+/// Hot-swap latency at one worker-thread count.
+#[derive(Clone, Debug)]
+pub struct SwapRow {
+    /// Worker threads serving the concurrent request stream.
+    pub threads: usize,
+    /// Best wall time of one `FdbServer::replace` under that load.
+    pub swap_seconds: f64,
+}
+
+/// The full PR 8 benchmark result.
+#[derive(Clone, Debug)]
+pub struct Pr8Report {
+    /// Singleton count of the representation being snapshotted.
+    pub singletons: u64,
+    /// File-path save/load throughput rows.
+    pub throughput: Vec<ThroughputRow>,
+    /// Best in-memory decode time with the structural validator.
+    pub verified_seconds: f64,
+    /// Best in-memory decode time without it.
+    pub unverified_seconds: f64,
+    /// `verified_seconds / unverified_seconds` (the ≤ 1.15 acceptance
+    /// bound).
+    pub verify_overhead: f64,
+    /// Hot-swap latency under load, one row per thread count.
+    pub swap_rows: Vec<SwapRow>,
+    /// Distinct plans warmed into the cache before each timed
+    /// invalidation.
+    pub invalidation_plans: usize,
+    /// Best wall time of one `replace` against that warm cache (swap +
+    /// targeted fingerprint scan).
+    pub invalidation_seconds: f64,
+}
+
+/// Benchmark scale: `smoke` keeps CI runs to a couple of seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pr8Scale {
+    /// Tiny inputs, few repetitions — a bit-rot canary, not a measurement.
+    Smoke,
+    /// The committed `BENCH_PR8.json` numbers.
+    Full,
+}
+
+/// Workload size knobs.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Rows per relation of the generated database.
+    rows: usize,
+    /// Timed measurements (best one reported).
+    measurements: usize,
+    /// Executions per measurement.
+    reps: u32,
+    /// Distinct query shapes warmed before the invalidation timing.
+    shapes: usize,
+    /// Requests per concurrent serving batch during the swap timing.
+    batch: usize,
+}
+
+impl Pr8Scale {
+    fn dims(self) -> Dims {
+        match self {
+            Pr8Scale::Smoke => Dims {
+                rows: 80,
+                measurements: 3,
+                reps: 3,
+                shapes: 6,
+                batch: 8,
+            },
+            Pr8Scale::Full => Dims {
+                rows: 2_000,
+                measurements: 9,
+                reps: 20,
+                shapes: 24,
+                batch: 64,
+            },
+        }
+    }
+}
+
+/// Best-of-N wall time of one execution of `work`.
+fn best_seconds(d: Dims, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..d.measurements {
+        let start = Instant::now();
+        for _ in 0..d.reps {
+            work();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / d.reps as f64);
+    }
+    best
+}
+
+/// A seeded representation large enough that per-record codec work (not
+/// fixed per-file cost) dominates the measurement.
+fn workload(d: Dims) -> FRep {
+    let engine = FdbEngine::new();
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(0x00B8_60B8 ^ seed);
+        let catalog = random_schema(&mut rng, 3, 7);
+        let rels: Vec<_> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, d.rows, 12, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, 1);
+        let Ok(base) = engine.evaluate_flat(&db, &query) else {
+            continue;
+        };
+        if base.result.size() < d.rows * 2 || base.result.visible_attrs().len() < 2 {
+            continue;
+        }
+        return base.result;
+    }
+    panic!("no pr8 workload found in 10k seeds");
+}
+
+/// A scratch file path under the system temp directory.
+fn scratch_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fdb-bench-pr8-{}-{tag}.fdbs", std::process::id()))
+}
+
+/// A selection request that keeps most of the data alive (so serving does
+/// real evaluation work while the swap is timed).
+fn serving_request(id: fdb_core::RepId, rep: &FRep) -> ServeRequest {
+    let attr = rep.visible_attrs()[0];
+    let query = FactorisedQuery::default().with_const_selection(ConstSelection {
+        attr,
+        op: ComparisonOp::Ge,
+        value: Value::new(2),
+    });
+    ServeRequest::new(id, query, None)
+}
+
+/// Distinct query shapes, each occupying its own plan-cache entry keyed
+/// on the current tree.  Shape `i` is a chain of `i + 1` never-dropping
+/// selections, so the skeletons differ in length no matter how many
+/// attributes the representation exposes.
+fn shape_queries(rep: &FRep, shapes: usize) -> Vec<FactorisedQuery> {
+    let attrs = rep.visible_attrs();
+    (0..shapes)
+        .map(|i| {
+            let mut query = FactorisedQuery::default();
+            for j in 0..=i {
+                query = query.with_const_selection(ConstSelection {
+                    attr: attrs[j % attrs.len()],
+                    op: ComparisonOp::Ge,
+                    value: Value::new(0),
+                });
+            }
+            query
+        })
+        .collect()
+}
+
+/// An alternate representation over a *different* f-tree (a projection),
+/// so swapping between the two always invalidates the outgoing tree's
+/// plans.
+fn alternate_rep(engine: &FdbEngine, rep: &FRep) -> FRep {
+    let attrs = rep.visible_attrs();
+    let keep: Vec<_> = attrs[..attrs.len() - 1].to_vec();
+    engine
+        .evaluate_factorised(rep, &FactorisedQuery::default().with_projection(keep))
+        .expect("projection workload")
+        .result
+}
+
+/// Runs the full PR 8 benchmark at the given scale.
+pub fn run(scale: Pr8Scale) -> Pr8Report {
+    let d = scale.dims();
+    let engine = FdbEngine::new();
+    let rep = workload(d);
+    let singletons = rep.size() as u64;
+    let bytes = encode_frep(&rep);
+    let snapshot_bytes = bytes.len() as u64;
+    let mb = snapshot_bytes as f64 / (1024.0 * 1024.0);
+
+    // File-path throughput: encode + atomic write, read + verify + rebuild.
+    let path = scratch_file("throughput");
+    let save = best_seconds(d, || save_rep(&rep, &path).expect("bench save"));
+    {
+        let loaded = load_rep(&path).expect("bench load");
+        assert!(loaded.store_identical(&rep), "round trip diverged");
+    }
+    let load = best_seconds(d, || {
+        load_rep(&path).expect("bench load");
+    });
+    let _ = std::fs::remove_file(&path);
+    let throughput = vec![
+        ThroughputRow {
+            name: "snapshot_save".into(),
+            bytes: snapshot_bytes,
+            reps: d.reps,
+            seconds: save,
+            mb_per_s: mb / save,
+        },
+        ThroughputRow {
+            name: "snapshot_load".into(),
+            bytes: snapshot_bytes,
+            reps: d.reps,
+            seconds: load,
+            mb_per_s: mb / load,
+        },
+    ];
+
+    // Verification overhead: the in-memory decode with and without the
+    // mandatory structural validator.
+    {
+        let verified = decode_frep(&bytes).expect("verified decode");
+        let unverified = decode_frep_unverified(&bytes).expect("unverified decode");
+        assert!(
+            verified.store_identical(&unverified),
+            "decoders diverged on the same bytes"
+        );
+    }
+    let verified_seconds = best_seconds(d, || {
+        decode_frep(&bytes).expect("verified decode");
+    });
+    let unverified_seconds = best_seconds(d, || {
+        decode_frep_unverified(&bytes).expect("unverified decode");
+    });
+    let verify_overhead = verified_seconds / unverified_seconds;
+
+    // Hot-swap latency while worker threads keep serving the slot.
+    let rep_b = alternate_rep(&engine, &rep);
+    let mut swap_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut shared = SharedDatabase::new();
+        let id = shared.insert("bench", rep.clone());
+        let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), threads);
+        let request = serving_request(id, &rep);
+        server.serve_one(&request).expect("cache warm-up");
+        let stop = AtomicBool::new(false);
+        let mut best = f64::INFINITY;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for outcome in server.serve_batch(vec![request.clone(); d.batch]) {
+                        outcome.expect("background serve");
+                    }
+                }
+            });
+            let mut next = rep_b.clone();
+            for _ in 0..d.measurements {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                let start = Instant::now();
+                let old = server.replace(id, next).expect("bench swap");
+                best = best.min(start.elapsed().as_secs_f64());
+                next = (*old).clone();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        swap_rows.push(SwapRow {
+            threads,
+            swap_seconds: best,
+        });
+    }
+
+    // Invalidation cost: replace against a cache warmed with many distinct
+    // shapes keyed on the outgoing tree.
+    let mut shared = SharedDatabase::new();
+    let id = shared.insert("bench", rep.clone());
+    let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 1);
+    let mut invalidation_seconds = f64::INFINITY;
+    let mut next = rep_b.clone();
+    for round in 0..d.measurements {
+        let current = server.db().get(id).expect("slot exists");
+        for query in shape_queries(&current, d.shapes) {
+            server
+                .serve_one(&ServeRequest::new(id, query, None))
+                .expect("shape warm-up");
+        }
+        assert!(
+            server.cache().len() >= d.shapes,
+            "warm-up cached fewer plans than shapes"
+        );
+        let before = server.cache().invalidations();
+        let start = Instant::now();
+        let old = server.replace(id, next).expect("bench invalidation");
+        invalidation_seconds = invalidation_seconds.min(start.elapsed().as_secs_f64());
+        assert!(
+            server.cache().invalidations() >= before + d.shapes as u64,
+            "round {round}: replace did not drop the warmed plans"
+        );
+        next = (*old).clone();
+    }
+
+    Pr8Report {
+        singletons,
+        throughput,
+        verified_seconds,
+        unverified_seconds,
+        verify_overhead,
+        swap_rows,
+        invalidation_plans: d.shapes,
+        invalidation_seconds,
+    }
+}
+
+/// Serialises the report as JSON (line-oriented, like `BENCH_PR7.json`).
+pub fn render_json(report: &Pr8Report) -> String {
+    BenchJson::new("pr8-snapshot-hot-swap")
+        .field("singletons", report.singletons)
+        .array("throughput", &report.throughput, |row| {
+            format!(
+                "{{\"name\": \"{}\", \"bytes\": {}, \"reps\": {}, \
+                 \"seconds\": {:.6}, \"mb_per_s\": {:.2}}}",
+                row.name, row.bytes, row.reps, row.seconds, row.mb_per_s,
+            )
+        })
+        .field(
+            "verified_seconds",
+            format!("{:.6}", report.verified_seconds),
+        )
+        .field(
+            "unverified_seconds",
+            format!("{:.6}", report.unverified_seconds),
+        )
+        .field("verify_overhead", format!("{:.4}", report.verify_overhead))
+        .array("hot_swap", &report.swap_rows, |row| {
+            format!(
+                "{{\"threads\": {}, \"swap_seconds\": {:.6}}}",
+                row.threads, row.swap_seconds,
+            )
+        })
+        .field("invalidation_plans", report.invalidation_plans)
+        .field(
+            "invalidation_seconds",
+            format!("{:.6}", report.invalidation_seconds),
+        )
+        .finish()
+}
+
+/// Renders the human-readable table printed by the `experiments` binary.
+pub fn render_table(report: &Pr8Report) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:>12} {:>6} {:>14} {:>12}",
+        "snapshot path", "bytes", "reps", "best (s)", "MB/s"
+    )
+    .expect("string write");
+    for row in &report.throughput {
+        writeln!(
+            out,
+            "{:<16} {:>12} {:>6} {:>14.6} {:>12.2}",
+            row.name, row.bytes, row.reps, row.seconds, row.mb_per_s
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "\ndecode verified {:.6} s vs unverified {:.6} s: overhead {:.2}% (bound: +15%)",
+        report.verified_seconds,
+        report.unverified_seconds,
+        (report.verify_overhead - 1.0) * 100.0
+    )
+    .expect("string write");
+    writeln!(out, "\n{:<10} {:>18}", "hot swap", "latency under load").expect("string write");
+    for row in &report.swap_rows {
+        writeln!(
+            out,
+            "{:<10} {:>16.1} µs",
+            format!("{} thr", row.threads),
+            row.swap_seconds * 1e6
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "\ninvalidation of {} cached plans: {:.1} µs",
+        report.invalidation_plans,
+        report.invalidation_seconds * 1e6
+    )
+    .expect("string write");
+    out
+}

@@ -106,6 +106,31 @@ pub enum FdbError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// A snapshot file failed verification on load: a section checksum did
+    /// not match, a length prefix ran past the end of the file (torn write),
+    /// or the decoded arena failed the structural validator.  Nothing was
+    /// loaded; the caller's database is unchanged.
+    SnapshotCorrupt {
+        /// Which section/check failed and how.
+        detail: String,
+    },
+    /// A snapshot file was written by an incompatible format version.  (A
+    /// file that is not a snapshot at all — wrong magic number — reports
+    /// [`FdbError::SnapshotCorrupt`] instead.)
+    SnapshotVersionMismatch {
+        /// The version number found in the file header.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+    /// The operating system refused a snapshot read or write (missing file,
+    /// permissions, disk full, …).  Distinct from [`FdbError::SnapshotCorrupt`]:
+    /// the bytes were never obtained or never durably written, rather than
+    /// obtained and found invalid.
+    SnapshotIo {
+        /// The failed operation, the path involved and the OS error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FdbError {
@@ -160,6 +185,18 @@ impl fmt::Display for FdbError {
             }
             FdbError::WorkerPanicked { detail } => {
                 write!(f, "serving worker panicked: {detail}")
+            }
+            FdbError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
+            }
+            FdbError::SnapshotVersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "snapshot version mismatch: found version {found}, this build reads {expected}"
+                )
+            }
+            FdbError::SnapshotIo { detail } => {
+                write!(f, "snapshot io error: {detail}")
             }
         }
     }

@@ -18,15 +18,21 @@
 //!   factorised input and runs a pure f-plan over the product — useful for
 //!   cross-checking the two pipelines against each other;
 //! * the serving layer ([`serving`]): an `Arc`-shared [`SharedDatabase`] of
-//!   frozen representations, the multi-threaded [`FdbServer`] executing
-//!   request batches on a work-stealing pool, and the shape-keyed
+//!   frozen representations — with versioned slots that support atomic hot
+//!   swap ([`FdbServer::replace`]) — the multi-threaded [`FdbServer`]
+//!   executing request batches on a work-stealing pool, and the shape-keyed
 //!   [`PlanCache`] that lets repeated traffic skip optimisation
-//!   ([`FdbEngine::evaluate_factorised_cached`]).
+//!   ([`FdbEngine::evaluate_factorised_cached`]) and drops exactly the
+//!   swapped tree's plans on replacement;
+//! * durability ([`snapshot`]): self-verifying snapshots of single
+//!   representations and whole databases — atomic writes, checksummed
+//!   sections, and mandatory structural re-validation on load.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod serving;
+pub mod snapshot;
 
 pub use engine::{
     AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind,
@@ -35,3 +41,4 @@ pub use serving::{
     default_threads, FdbServer, PlanCache, RepId, ServeOutcome, ServeRequest, ServerStats,
     SharedDatabase, ThreadPool,
 };
+pub use snapshot::{load_database, load_rep, save_database, save_rep};

@@ -19,6 +19,20 @@
 //! input and the query, so a batch served on 8 workers is store-identical
 //! to the same batch evaluated sequentially (the randomized suite in
 //! `tests/concurrent_equivalence.rs` pins this).
+//!
+//! # Hot swap
+//!
+//! Database slots are **versioned**: [`SharedDatabase::replace`] publishes
+//! a new representation under an existing [`RepId`] atomically, bumping the
+//! slot's epoch, while in-flight queries finish on whichever `Arc` they
+//! pinned.  [`FdbServer::replace`] pairs the swap with targeted plan-cache
+//! invalidation — exactly the entries keyed on the replaced
+//! representation's f-tree are dropped (cache keys embed the full tree
+//! structure, so plans for other trees are untouched and stale hits are
+//! structurally impossible) — and surfaces the drop count as
+//! `plan_cache_invalidations` in [`ServerStats::counters_table`].  The
+//! chaos suite (`tests/snapshot_recovery.rs`) swaps under concurrent load
+//! at 1–8 workers and panics mid-swap through the `db.swap` failpoint.
 
 use crate::engine::{AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine};
 use fdb_common::{failpoint, AggregateHead, ExecCtx, FdbError, QueryLimits, Result};
@@ -26,10 +40,11 @@ use fdb_frep::FRep;
 use fdb_ftree::FTree;
 use fdb_plan::OptimizedPlan;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock};
 pub use workpool::{default_threads, ThreadPool};
 
 /// Handle to a frozen representation registered in a [`SharedDatabase`].
@@ -40,13 +55,69 @@ pub struct RepId(usize);
 ///
 /// Registration (`insert`) is the freeze point: the representation is moved
 /// behind an `Arc` and never mutated again, so any number of serving
-/// threads may read it concurrently without synchronisation.  "Updating" a
-/// relation means inserting a new representation and publishing its new
-/// [`RepId`]; the old arena stays valid for in-flight queries.
-#[derive(Clone, Debug, Default)]
+/// threads may read it concurrently without synchronisation.  Every slot is
+/// **versioned**: [`SharedDatabase::replace`] publishes a new representation
+/// under the same [`RepId`] atomically, bumping the slot's epoch.  In-flight
+/// queries keep reading whichever `Arc` they pinned — the old arena stays
+/// valid until its last reader drops it — while every request that resolves
+/// the id after the swap reads the new epoch.  Name lookup goes through a
+/// hash-map index kept consistent across `insert` and `replace`.
+#[derive(Debug, Default)]
 pub struct SharedDatabase {
     names: Vec<String>,
-    reps: Vec<Arc<FRep>>,
+    slots: Vec<RepSlot>,
+    by_name: HashMap<String, RepId>,
+}
+
+/// One registered slot: the current representation and its epoch, swapped
+/// together under a short write lock.  Readers clone the `Arc` and get out;
+/// the lock is never held across evaluation.
+#[derive(Debug)]
+struct RepSlot {
+    current: RwLock<VersionedRep>,
+}
+
+#[derive(Clone, Debug)]
+struct VersionedRep {
+    rep: Arc<FRep>,
+    epoch: u64,
+}
+
+impl RepSlot {
+    fn new(rep: FRep) -> Self {
+        RepSlot {
+            current: RwLock::new(VersionedRep {
+                rep: Arc::new(rep),
+                epoch: 0,
+            }),
+        }
+    }
+
+    /// The slot's current state, with a poisoned lock recovered (the
+    /// critical sections only swap whole values, so every intermediate
+    /// state is valid).
+    fn read(&self) -> VersionedRep {
+        self.current
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+}
+
+impl Clone for SharedDatabase {
+    fn clone(&self) -> Self {
+        SharedDatabase {
+            names: self.names.clone(),
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| RepSlot {
+                    current: RwLock::new(slot.read()),
+                })
+                .collect(),
+            by_name: self.by_name.clone(),
+        }
+    }
 }
 
 impl SharedDatabase {
@@ -56,31 +127,88 @@ impl SharedDatabase {
     }
 
     /// Registers a frozen representation under a name and returns its id.
+    /// The first registration of each name owns the name index entry
+    /// ([`SharedDatabase::find`]).
     pub fn insert(&mut self, name: impl Into<String>, rep: FRep) -> RepId {
-        let id = RepId(self.reps.len());
-        self.names.push(name.into());
-        self.reps.push(Arc::new(rep));
+        let id = RepId(self.slots.len());
+        let name = name.into();
+        self.by_name.entry(name.clone()).or_insert(id);
+        self.names.push(name);
+        self.slots.push(RepSlot::new(rep));
         id
     }
 
-    /// The representation registered under `id`.
-    pub fn get(&self, id: RepId) -> Option<&Arc<FRep>> {
-        self.reps.get(id.0)
+    /// The current representation registered under `id`.  The returned
+    /// `Arc` is pinned: a concurrent [`SharedDatabase::replace`] publishes
+    /// a new epoch without affecting it.
+    pub fn get(&self, id: RepId) -> Option<Arc<FRep>> {
+        self.slots.get(id.0).map(|slot| slot.read().rep)
     }
 
-    /// Finds a representation by registration name (first match).
+    /// The current representation and its epoch, read atomically.
+    pub fn get_versioned(&self, id: RepId) -> Option<(Arc<FRep>, u64)> {
+        self.slots.get(id.0).map(|slot| {
+            let current = slot.read();
+            (current.rep, current.epoch)
+        })
+    }
+
+    /// The slot's current epoch: 0 at registration, bumped by every
+    /// [`SharedDatabase::replace`].
+    pub fn epoch(&self, id: RepId) -> Option<u64> {
+        self.slots.get(id.0).map(|slot| slot.read().epoch)
+    }
+
+    /// Atomically publishes a new representation under an existing id,
+    /// bumping the slot's epoch, and returns the replaced `Arc` (still
+    /// valid for every in-flight reader that pinned it).  This does not
+    /// touch any plan cache — [`FdbServer::replace`] is the serving-layer
+    /// entry point that also invalidates the plans keyed on the replaced
+    /// representation's f-tree.
+    pub fn replace(&self, id: RepId, rep: FRep) -> Result<Arc<FRep>> {
+        let slot = self.slots.get(id.0).ok_or_else(|| FdbError::InvalidInput {
+            detail: format!("unknown representation id {id:?}"),
+        })?;
+        let mut guard = slot
+            .current
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let epoch = guard.epoch + 1;
+        let old = std::mem::replace(
+            &mut *guard,
+            VersionedRep {
+                rep: Arc::new(rep),
+                epoch,
+            },
+        );
+        Ok(old.rep)
+    }
+
+    /// The registration name of a slot.
+    pub fn name(&self, id: RepId) -> Option<&str> {
+        self.names.get(id.0).map(String::as_str)
+    }
+
+    /// Finds a representation by registration name — a hash-map lookup;
+    /// when a name was registered more than once, the first registration
+    /// wins (the pre-index linear-scan semantics).
     pub fn find(&self, name: &str) -> Option<RepId> {
-        self.names.iter().position(|n| n == name).map(RepId)
+        self.by_name.get(name).copied()
+    }
+
+    /// The id of every registered slot, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = RepId> + '_ {
+        (0..self.slots.len()).map(RepId)
     }
 
     /// Number of registered representations.
     pub fn len(&self) -> usize {
-        self.reps.len()
+        self.slots.len()
     }
 
     /// Whether no representation is registered.
     pub fn is_empty(&self) -> bool {
-        self.reps.is_empty()
+        self.slots.is_empty()
     }
 }
 
@@ -96,6 +224,33 @@ impl SharedDatabase {
 pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery) -> String {
     let mut key = String::new();
     let _ = write!(key, "opt:{:?}|", engine.optimizer);
+    key.push_str(&tree_fingerprint(tree));
+    key.push('|');
+    for (a, b) in &query.equalities {
+        let _ = write!(key, "q{}={};", a.0, b.0);
+    }
+    key.push('|');
+    for sel in &query.const_selections {
+        // Constants abstracted: the skeleton is (attribute, operator).
+        let _ = write!(key, "s{}{:?};", sel.attr.0, sel.op);
+    }
+    key.push('|');
+    if let Some(projection) = &query.projection {
+        for attr in projection {
+            let _ = write!(key, "r{},", attr.0);
+        }
+    }
+    key
+}
+
+/// The input-f-tree portion of a [`plan_key`]: the tree's exact structure —
+/// node ids, parent links, classes, projected attributes, bound constants —
+/// plus the dependency edges with their cardinalities.  Every cache key
+/// embeds this fingerprint verbatim right after the optimiser tag, which is
+/// what makes targeted invalidation possible: the plans keyed on a replaced
+/// representation's tree are exactly the keys carrying its fingerprint.
+pub(crate) fn tree_fingerprint(tree: &FTree) -> String {
+    let mut key = String::new();
     for edge in tree.edges() {
         let _ = write!(key, "e{}:", edge.cardinality);
         for attr in &edge.attrs {
@@ -122,22 +277,20 @@ pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery
         }
         key.push(';');
     }
-    key.push('|');
-    for (a, b) in &query.equalities {
-        let _ = write!(key, "q{}={};", a.0, b.0);
-    }
-    key.push('|');
-    for sel in &query.const_selections {
-        // Constants abstracted: the skeleton is (attribute, operator).
-        let _ = write!(key, "s{}{:?};", sel.attr.0, sel.op);
-    }
-    key.push('|');
-    if let Some(projection) = &query.projection {
-        for attr in projection {
-            let _ = write!(key, "r{},", attr.0);
-        }
-    }
     key
+}
+
+/// Whether a cache key was built over the given input-tree fingerprint:
+/// the fingerprint sits between the first `|` (after the optimiser tag)
+/// and the `|` that opens the query skeleton, so the trailing delimiter
+/// keeps a tree whose fingerprint happens to be a prefix of another's from
+/// matching.
+fn key_matches_tree(key: &str, fingerprint: &str) -> bool {
+    key.split_once('|').is_some_and(|(_, rest)| {
+        rest.len() > fingerprint.len()
+            && rest.starts_with(fingerprint)
+            && rest.as_bytes()[fingerprint.len()] == b'|'
+    })
 }
 
 /// Default bound on the number of cached plans — generous for any realistic
@@ -172,6 +325,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -195,6 +349,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -236,6 +391,11 @@ impl PlanCache {
         self.evictions.load(Ordering::SeqCst)
     }
 
+    /// Total entries dropped by targeted invalidation (hot swaps) so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::SeqCst)
+    }
+
     /// Looks up a plan, bumping the hit/miss counters.
     pub(crate) fn lookup(&self, key: &str) -> Option<Arc<OptimizedPlan>> {
         let found = self.locked().plans.get(key).cloned();
@@ -268,6 +428,37 @@ impl PlanCache {
             self.evictions.fetch_add(evicted, Ordering::SeqCst);
         }
         evicted
+    }
+
+    /// Drops every plan keyed on the given input-tree fingerprint (see
+    /// [`tree_fingerprint`]) — the entries that were built over a
+    /// representation that has just been replaced.  Keys pin the exact tree
+    /// structure, so plans for *other* trees — including the replacement,
+    /// if it has a different structure — are untouched.  Returns how many
+    /// entries were dropped, and adds them to the invalidation counter.
+    ///
+    /// Note that staleness is already structurally impossible: a cached
+    /// plan can only ever be looked up by a query over the exact tree it
+    /// was optimised for, for which it remains correct.  Invalidation is
+    /// hygiene (the replaced tree's shapes would otherwise linger until
+    /// FIFO eviction) and observability (the counter surfaces swaps in
+    /// [`ServerStats`]).
+    pub(crate) fn invalidate_tree(&self, fingerprint: &str) -> u64 {
+        let mut inner = self.locked();
+        let before = inner.plans.len();
+        inner
+            .plans
+            .retain(|key, _| !key_matches_tree(key, fingerprint));
+        let dropped = (before - inner.plans.len()) as u64;
+        if dropped > 0 {
+            let inner = &mut *inner;
+            inner.order.retain(|key| inner.plans.contains_key(key));
+        }
+        drop(inner);
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::SeqCst);
+        }
+        dropped
     }
 }
 
@@ -339,12 +530,55 @@ pub struct ServerStats {
     pub plan_cache_len: usize,
     /// Plan-cache entries evicted to stay within the capacity bound.
     pub plan_cache_evictions: u64,
+    /// Plan-cache entries dropped because their representation was hot-
+    /// swapped ([`FdbServer::replace`]).
+    pub plan_cache_invalidations: u64,
     /// Requests shed at admission (`FdbError::Overloaded`): the in-flight
     /// bound was hit, or the server was draining.
     pub requests_shed: u64,
     /// Requests that panicked mid-evaluation and were reported as
     /// `FdbError::WorkerPanicked` (the worker survived each one).
     pub worker_panics: u64,
+}
+
+impl ServerStats {
+    /// The server counters as aligned `name value` rows, in the same shape
+    /// as `EvalStats::counters_table` — serving reports print this instead
+    /// of improvising their own lines.
+    pub fn counters_table(&self) -> String {
+        let rows: [(&str, String); 6] = [
+            ("worker threads", self.threads.to_string()),
+            ("queries served", self.queries_served.to_string()),
+            (
+                "plan cache hits / misses / len",
+                format!(
+                    "{} / {} / {}",
+                    self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_len
+                ),
+            ),
+            (
+                "plan cache evictions / invalidations",
+                format!(
+                    "{} / {}",
+                    self.plan_cache_evictions, self.plan_cache_invalidations
+                ),
+            ),
+            ("requests shed", self.requests_shed.to_string()),
+            ("worker panics", self.worker_panics.to_string()),
+        ];
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.counters_table())
+    }
 }
 
 /// How many requests may be in flight per worker thread before admission
@@ -470,6 +704,7 @@ impl FdbServer {
             plan_cache_misses: self.cache.misses(),
             plan_cache_len: self.cache.len(),
             plan_cache_evictions: self.cache.evictions(),
+            plan_cache_invalidations: self.cache.invalidations(),
             requests_shed: self.shed.load(Ordering::SeqCst),
             worker_panics: self.panics.load(Ordering::SeqCst),
         }
@@ -497,6 +732,36 @@ impl FdbServer {
             in_flight: self.in_flight(),
             capacity: self.max_in_flight,
         })
+    }
+
+    /// Hot-swaps a representation **while serving**: atomically publishes
+    /// `rep` as the slot's new epoch, then drops every cached plan keyed on
+    /// the *old* representation's f-tree.  In-flight requests that already
+    /// resolved the slot finish on the old arena (it stays alive through
+    /// their pinned `Arc`s); requests admitted after the swap read the new
+    /// one.  Returns the replaced representation.
+    ///
+    /// Swap first, invalidate second: a request racing the swap either
+    /// pinned the old epoch (its old-tree plans are still correct — cache
+    /// keys embed the full tree structure, so a plan can only be looked up
+    /// by queries over the exact tree it was built for) or pins the new one
+    /// (and never matches an old-tree key).  Stale plans are therefore
+    /// structurally impossible; the invalidation is hygiene plus the
+    /// `plan_cache_invalidations` counter in [`FdbServer::stats`].
+    pub fn replace(&self, id: RepId, rep: FRep) -> Result<Arc<FRep>> {
+        self.replace_ctx(id, rep, &ExecCtx::unlimited())
+    }
+
+    /// [`FdbServer::replace`] under an execution context: the governed
+    /// variant checks deadline/cancellation before publishing, and hosts
+    /// the `db.swap` failpoint the chaos suite uses to panic a swap
+    /// mid-flight.
+    pub fn replace_ctx(&self, id: RepId, rep: FRep, ctx: &ExecCtx) -> Result<Arc<FRep>> {
+        failpoint!(ctx, "db.swap");
+        ctx.check_now()?;
+        let old = self.db.replace(id, rep)?;
+        self.cache.invalidate_tree(&tree_fingerprint(old.tree()));
+        Ok(old)
     }
 
     /// Stops admitting requests and blocks until every in-flight request
@@ -617,10 +882,10 @@ fn serve_request(
     })?;
     match &request.aggregate {
         Some(head) => engine
-            .evaluate_factorised_aggregate_ctx(rep, &request.query, head, Some(cache), &ctx)
+            .evaluate_factorised_aggregate_ctx(&rep, &request.query, head, Some(cache), &ctx)
             .map(ServeOutcome::Aggregate),
         None => engine
-            .evaluate_factorised_ctx(rep, &request.query, Some(cache), &ctx)
+            .evaluate_factorised_ctx(&rep, &request.query, Some(cache), &ctx)
             .map(ServeOutcome::Rep),
     }
 }
@@ -779,5 +1044,131 @@ mod tests {
         let batch = server.serve_batch(vec![request]);
         assert!(batch[0].is_err());
         assert_eq!(server.queries_served(), 2);
+    }
+
+    #[test]
+    fn name_index_resolves_in_insertion_order_and_first_registration_wins() {
+        let (rep, _, _) = base_rep();
+        let mut shared = SharedDatabase::new();
+        let first = shared.insert("base", rep.clone());
+        let other = shared.insert("other", rep.clone());
+        let dup = shared.insert("base", rep);
+        assert_ne!(first, dup);
+        assert_eq!(shared.find("base"), Some(first), "first registration wins");
+        assert_eq!(shared.find("other"), Some(other));
+        assert_eq!(shared.find("missing"), None);
+        assert_eq!(shared.name(first), Some("base"));
+        assert_eq!(shared.name(dup), Some("base"));
+        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn replace_publishes_a_new_epoch_while_pinned_readers_keep_the_old_arena() {
+        let (rep, a, _) = base_rep();
+        let engine = FdbEngine::new();
+        let new_rep = engine.evaluate_factorised(&rep, &select_a(a, 1)).unwrap();
+
+        let mut shared = SharedDatabase::new();
+        let id = shared.insert("base", rep.clone());
+        let (pinned, epoch) = shared.get_versioned(id).unwrap();
+        assert_eq!(epoch, 0);
+
+        let old = shared.replace(id, new_rep.result.clone()).unwrap();
+        assert!(old.store_identical(&rep), "replace returns the old arena");
+        assert!(
+            pinned.store_identical(&rep),
+            "a reader that pinned the old epoch is unaffected by the swap"
+        );
+        let (current, epoch) = shared.get_versioned(id).unwrap();
+        assert_eq!(epoch, 1, "each swap bumps the slot's epoch");
+        assert!(current.store_identical(&new_rep.result));
+        assert_eq!(shared.find("base"), Some(id), "the name survives the swap");
+
+        // Replacing an unknown id is a structured error, not a panic.
+        assert!(shared.replace(RepId(99), rep).is_err());
+    }
+
+    #[test]
+    fn server_replace_invalidates_exactly_the_swapped_trees_plans() {
+        let (rep, a, b) = base_rep();
+        let engine = FdbEngine::new();
+        // A second representation with a *different* tree: project down to
+        // one attribute.  Its cached plans must survive the swap of `base`.
+        let other_rep = engine
+            .evaluate_factorised(&rep, &FactorisedQuery::default().with_projection(vec![a]))
+            .unwrap()
+            .result;
+        let new_rep = engine
+            .evaluate_factorised(&rep, &select_a(a, 1))
+            .unwrap()
+            .result;
+
+        let mut shared = SharedDatabase::new();
+        let id = shared.insert("base", rep.clone());
+        let other = shared.insert("other", other_rep.clone());
+        let server = FdbServer::new(engine, Arc::new(shared), 2);
+
+        let query = select_a(a, 1).with_projection(vec![a, b]);
+        server
+            .serve_one(&ServeRequest::new(id, query.clone(), None))
+            .unwrap();
+        server
+            .serve_one(&ServeRequest::new(
+                other,
+                FactorisedQuery::default(),
+                Some(AggregateHead::count()),
+            ))
+            .unwrap();
+        assert_eq!(server.cache().len(), 2);
+
+        server.replace(id, new_rep.clone()).unwrap();
+        assert_eq!(
+            server.cache().len(),
+            1,
+            "only the swapped tree's plan is dropped"
+        );
+        assert_eq!(server.cache().invalidations(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.plan_cache_invalidations, 1);
+
+        // Serving the same shape again optimises fresh against the new
+        // epoch and matches sequential evaluation on the new arena.
+        let outcome = server
+            .serve_one(&ServeRequest::new(id, query.clone(), None))
+            .unwrap();
+        let ServeOutcome::Rep(got) = outcome else {
+            panic!("expected a representation outcome");
+        };
+        let want = server.engine.evaluate_factorised(&new_rep, &query).unwrap();
+        assert!(
+            got.result.store_identical(&want.result),
+            "post-swap requests evaluate on the new epoch"
+        );
+    }
+
+    #[test]
+    fn server_stats_counters_table_pins_the_row_set() {
+        let stats = ServerStats {
+            threads: 3,
+            queries_served: 12,
+            plan_cache_hits: 7,
+            plan_cache_misses: 5,
+            plan_cache_len: 4,
+            plan_cache_evictions: 2,
+            plan_cache_invalidations: 9,
+            requests_shed: 1,
+            worker_panics: 6,
+        };
+        let table = stats.counters_table();
+        assert_eq!(table.lines().count(), 6, "one row per counter group");
+        assert!(table.contains("worker threads"));
+        assert!(table.contains("queries served"));
+        assert!(table.contains("plan cache hits / misses / len"));
+        assert!(table.contains("7 / 5 / 4"));
+        assert!(table.contains("plan cache evictions / invalidations"));
+        assert!(table.contains("2 / 9"));
+        assert!(table.contains("requests shed"));
+        assert!(table.contains("worker panics"));
+        assert_eq!(format!("{stats}"), table, "Display prints the table");
     }
 }

@@ -118,8 +118,17 @@
 //! must charge at least once per record batch.  With the
 //! `fault-injection` cargo feature the same contexts also drive the
 //! deterministic `failpoint!` sites (`build.semi_join`, `store.rewrite`,
-//! `fuse.execute`, `aggregate.fold`, `enumerate.cursor`) used by the
-//! chaos suite in the workspace root.
+//! `fuse.execute`, `aggregate.fold`, `enumerate.cursor`, `snapshot.write`,
+//! `snapshot.read`) used by the chaos suite in the workspace root.
+//!
+//! # Durability
+//!
+//! The [`snapshot`] module serialises a frozen representation — its f-tree
+//! and all four arena arrays — into a length-prefixed, per-section
+//! checksummed byte format, and loading re-verifies everything: checksums
+//! first, then the full structural validator as a mandatory release-mode
+//! check.  Corrupt or version-skewed input yields structured errors, never
+//! a panic and never a silently-wrong arena.
 
 #![warn(missing_docs)]
 
@@ -129,6 +138,7 @@ pub mod enumerate;
 pub mod frep;
 pub mod node;
 pub mod ops;
+pub mod snapshot;
 pub mod store;
 
 pub use aggregate::{AggregateKind, AggregateResult, AggregateValue, AvgValue};
@@ -139,6 +149,7 @@ pub use enumerate::{
 };
 pub use frep::FRep;
 pub use node::{Entry, Union};
+pub use snapshot::{decode_frep, decode_frep_ctx, encode_frep, encode_frep_ctx, SNAPSHOT_VERSION};
 pub use store::{EntryRef, UnionRef};
 
 /// Compile-time pin of the sharing contract (see the crate docs): the

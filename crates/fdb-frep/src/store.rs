@@ -194,56 +194,59 @@ impl Store {
             let rec = self.unions[uid];
             tree.check_node(rec.node)?;
             let child_order = tree.children(rec.node);
-            let end = rec.entries_start as usize + rec.entries_len as usize;
+            let start = rec.entries_start as usize;
+            let end = start + rec.entries_len as usize;
             if end > self.entries.len() {
                 return Err(malformed(format!("union {uid} entry range out of bounds")));
             }
-            let mut prev: Option<Value> = None;
-            for e in rec.entries_start as usize..end {
-                let entry = self.entries[e];
-                if let Some(p) = prev {
-                    if entry.value <= p {
-                        return Err(malformed(format!(
-                            "union over {} has out-of-order or duplicate value {}",
-                            rec.node, entry.value
-                        )));
-                    }
+            let entries = &self.entries[start..end];
+            // Sortedness first, as a tight windowed scan: leaf unions hold
+            // the bulk of the arena and need nothing else checked.
+            if let Some(pair) = entries.windows(2).find(|w| w[1].value <= w[0].value) {
+                return Err(malformed(format!(
+                    "union over {} has out-of-order or duplicate value {}",
+                    rec.node, pair[1].value
+                )));
+            }
+            if child_order.is_empty() {
+                continue;
+            }
+            // Topological index order means every parent of `uid` has
+            // already been processed, so its reachability is final here.
+            let uid_reachable = reachable[uid];
+            for entry in entries {
+                let kids_end = entry.kids_start as usize + child_order.len();
+                if entry.kids_start == MISSING_KID || kids_end > self.kids.len() {
+                    return Err(malformed(format!(
+                        "entry {} of union over {} is missing child unions",
+                        entry.value, rec.node
+                    )));
                 }
-                prev = Some(entry.value);
-                if !child_order.is_empty() {
-                    let kids_end = entry.kids_start as usize + child_order.len();
-                    if entry.kids_start == MISSING_KID || kids_end > self.kids.len() {
+                let kids = &self.kids[entry.kids_start as usize..kids_end];
+                for (&kid, &child_node) in kids.iter().zip(child_order) {
+                    if kid == MISSING_KID {
                         return Err(malformed(format!(
-                            "entry {} of union over {} is missing child unions",
+                            "entry {} of union over {} is missing the child union over {child_node}",
                             entry.value, rec.node
                         )));
                     }
-                    for (k, &child_node) in child_order.iter().enumerate() {
-                        let kid = self.kids[entry.kids_start as usize + k];
-                        if kid == MISSING_KID {
-                            return Err(malformed(format!(
-                                "entry {} of union over {} is missing the child union over {child_node}",
-                                entry.value, rec.node
-                            )));
-                        }
-                        let kid_rec = self
-                            .unions
-                            .get(kid as usize)
-                            .ok_or_else(|| malformed(format!("kid index {kid} out of bounds")))?;
-                        if kid_rec.node != child_node {
-                            return Err(malformed(format!(
-                                "entry {} of union over {} has a child over {} where {child_node} was expected",
-                                entry.value, rec.node, kid_rec.node
-                            )));
-                        }
-                        if kid as usize <= uid {
-                            return Err(malformed(format!(
-                                "kid {kid} of union {uid} violates the topological order"
-                            )));
-                        }
-                        if reachable[uid] {
-                            reachable[kid as usize] = true;
-                        }
+                    let kid_rec = self
+                        .unions
+                        .get(kid as usize)
+                        .ok_or_else(|| malformed(format!("kid index {kid} out of bounds")))?;
+                    if kid_rec.node != child_node {
+                        return Err(malformed(format!(
+                            "entry {} of union over {} has a child over {} where {child_node} was expected",
+                            entry.value, rec.node, kid_rec.node
+                        )));
+                    }
+                    if kid as usize <= uid {
+                        return Err(malformed(format!(
+                            "kid {kid} of union {uid} violates the topological order"
+                        )));
+                    }
+                    if uid_reachable {
+                        reachable[kid as usize] = true;
                     }
                 }
             }

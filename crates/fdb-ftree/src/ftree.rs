@@ -600,6 +600,80 @@ impl FTree {
         }
         map
     }
+
+    // ------------------------------------------------------------------
+    // Loss-free snapshot codec support
+    // ------------------------------------------------------------------
+
+    /// Flat, loss-free description of every node slot — including the `None`
+    /// holes left by removed nodes, which must survive a snapshot round trip
+    /// because node ids index into the slot vector.  Used by the snapshot
+    /// codec in `fdb-frep`; not part of the stable API.
+    #[doc(hidden)]
+    pub fn snapshot_nodes(&self) -> Vec<Option<NodeSnapshot>> {
+        self.nodes
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|n| NodeSnapshot {
+                    class: n.class.clone(),
+                    parent: n.parent,
+                    children: n.children.clone(),
+                    projected: n.projected.clone(),
+                    constant: n.constant,
+                })
+            })
+            .collect()
+    }
+
+    /// Rebuilds a forest from the exact slot layout captured by
+    /// [`FTree::snapshot_nodes`], re-validating the structural invariants
+    /// (parent/child symmetry, roots list, class disjointness) before
+    /// returning.  Malformed input yields a structured error, never a panic.
+    /// Used by the snapshot codec in `fdb-frep`; not part of the stable API.
+    #[doc(hidden)]
+    pub fn from_snapshot(
+        edges: Vec<DepEdge>,
+        nodes: Vec<Option<NodeSnapshot>>,
+        roots: Vec<NodeId>,
+    ) -> Result<FTree> {
+        let tree = FTree {
+            nodes: nodes
+                .into_iter()
+                .map(|slot| {
+                    slot.map(|s| Node {
+                        class: s.class,
+                        parent: s.parent,
+                        children: s.children,
+                        projected: s.projected,
+                        constant: s.constant,
+                    })
+                })
+                .collect(),
+            roots,
+            edges,
+        };
+        tree.check_structure()?;
+        Ok(tree)
+    }
+}
+
+/// One node slot of an f-tree in loss-free snapshot form (see
+/// [`FTree::snapshot_nodes`]).  All fields mirror the private node record
+/// exactly; child order is significant because the data-level representation
+/// aligns per-entry child unions with it.
+#[doc(hidden)]
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSnapshot {
+    /// Attribute class labelling the node.
+    pub class: BTreeSet<AttrId>,
+    /// Parent node (`None` for roots).
+    pub parent: Option<NodeId>,
+    /// Children, in their significant order.
+    pub children: Vec<NodeId>,
+    /// Attributes projected away but retained for transitive dependencies.
+    pub projected: BTreeSet<AttrId>,
+    /// Constant bound by an equality selection, if any.
+    pub constant: Option<Value>,
 }
 
 #[cfg(test)]

@@ -806,3 +806,165 @@ fn selection_then_projection_and_projection_then_structural_match() {
         "projection then structural run",
     );
 }
+
+// ---------------------------------------------------------------------
+// Snapshot-path corruption: the release-mode validator on load
+// ---------------------------------------------------------------------
+
+/// Re-frames a snapshot byte stream with one section's payload transformed,
+/// recomputing the section checksum — so the corruption reaches the
+/// **structural validator** on load instead of being caught by the checksum
+/// layer.
+fn reframe_section(bytes: &[u8], target: u32, mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    use fdb::frep::snapshot::{read_sections, write_header, write_section, KIND_FREP};
+    let sections = read_sections(bytes, KIND_FREP).expect("valid snapshot re-frames");
+    let mut out = Vec::new();
+    write_header(&mut out, KIND_FREP, sections.len() as u32);
+    let mut mutate = Some(mutate);
+    for (tag, payload) in sections {
+        let mut payload = payload.to_vec();
+        if tag == target {
+            (mutate.take().expect("one section per tag"))(&mut payload);
+        }
+        write_section(&mut out, tag, &payload);
+    }
+    assert!(mutate.is_none(), "target section {target:#010x} exists");
+    out
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+#[test]
+fn corrupt_arenas_cannot_enter_through_the_snapshot_path() {
+    use fdb::common::FdbError;
+    use fdb::frep::{decode_frep, encode_frep};
+
+    const TAG_UNIO: u32 = u32::from_le_bytes(*b"UNIO");
+    const TAG_ENTR: u32 = u32::from_le_bytes(*b"ENTR");
+    const TAG_KIDS: u32 = u32::from_le_bytes(*b"KIDS");
+    const TAG_SRTS: u32 = u32::from_le_bytes(*b"SRTS");
+    const MISSING_KID: u32 = u32::MAX;
+
+    let g = grocery_database();
+    let rep = FdbEngine::new()
+        .evaluate_flat(&g.db, &g.q1())
+        .expect("FDB evaluates")
+        .result;
+    let bytes = encode_frep(&rep);
+
+    // Identity re-framing is the control: the helper itself preserves the
+    // format bit-for-bit, so every rejection below is the mutation's doing.
+    let reframed = reframe_section(&bytes, TAG_ENTR, |_| {});
+    assert_eq!(reframed, bytes, "identity re-framing is byte-identical");
+    assert!(decode_frep(&reframed).unwrap().store_identical(&rep));
+
+    // Locate a union with at least two entries (payload: count | per union
+    // node u32, entries_start u32, entries_len u32).
+    let unio_payload = {
+        use fdb::frep::snapshot::{read_sections, KIND_FREP};
+        let sections = read_sections(&bytes, KIND_FREP).unwrap();
+        sections
+            .iter()
+            .find(|(tag, _)| *tag == TAG_UNIO)
+            .map(|(_, p)| p.to_vec())
+            .expect("UNIO section present")
+    };
+    let union_count = le_u32(&unio_payload, 0) as usize;
+    let wide = (0..union_count)
+        .map(|i| {
+            let base = 4 + i * 12;
+            (
+                le_u32(&unio_payload, base + 4),
+                le_u32(&unio_payload, base + 8),
+            )
+        })
+        .find(|&(_, len)| len >= 2)
+        .expect("some union has two entries");
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "out-of-order entry values",
+            // Swap the value fields (u64 at +0 of each 12-byte entry record)
+            // of two adjacent entries of one union: strictly-increasing
+            // order is violated with checksums intact.
+            reframe_section(&bytes, TAG_ENTR, |payload| {
+                let (start, _) = wide;
+                let a = 4 + start as usize * 12;
+                let b = a + 12;
+                for i in 0..8 {
+                    payload.swap(a + i, b + i);
+                }
+            }),
+        ),
+        (
+            "topological order violation in a kid run",
+            // Point a kid slot at union 0: a kid's union index must exceed
+            // its parent's, so index 0 can never be a valid kid.
+            reframe_section(&bytes, TAG_KIDS, |payload| {
+                let pos = (4..payload.len())
+                    .step_by(4)
+                    .find(|&p| le_u32(payload, p) != MISSING_KID)
+                    .expect("a present kid slot exists");
+                payload[pos..pos + 4].copy_from_slice(&0u32.to_le_bytes());
+            }),
+        ),
+        (
+            "unreachable unions after dropping a root",
+            reframe_section(&bytes, TAG_SRTS, |payload| {
+                let count = le_u32(payload, 0);
+                assert!(count >= 1, "the representation has a root");
+                payload[0..4].copy_from_slice(&(count - 1).to_le_bytes());
+                payload.truncate(payload.len() - 4);
+            }),
+        ),
+        (
+            "union labelled by a node the tree does not have",
+            reframe_section(&bytes, TAG_UNIO, |payload| {
+                payload[4..8].copy_from_slice(&9_999u32.to_le_bytes());
+            }),
+        ),
+    ];
+
+    for (context, corrupted) in cases {
+        match decode_frep(&corrupted) {
+            Err(FdbError::SnapshotCorrupt { .. }) => {}
+            other => {
+                panic!("{context}: the snapshot validator must reject the arena, got {other:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_representations_round_trip_through_snapshots() {
+    use fdb::frep::{decode_frep, encode_frep};
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x005A_AB5E ^ seed);
+        let relations = 1 + (seed as usize % 3);
+        let attributes = relations + 2 + (seed as usize % 3);
+        let catalog = random_schema(&mut rng, relations, attributes);
+        let rels: Vec<RelId> = catalog.rels().collect();
+        let db = populate(&mut rng, &catalog, 25, 6, ValueDistribution::Uniform);
+        let query = random_query(&mut rng, &catalog, &rels, (seed as usize) % 3);
+        let rep = FdbEngine::new()
+            .evaluate_flat(&db, &query)
+            .expect("FDB evaluates")
+            .result;
+        let bytes = encode_frep(&rep);
+        let loaded = decode_frep(&bytes).expect("round trip verifies");
+        loaded
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: loaded rep invalid: {e:?}"));
+        assert!(
+            loaded.store_identical(&rep),
+            "seed {seed}: snapshot round trip must be store-identical"
+        );
+        assert_eq!(
+            encode_frep(&loaded),
+            bytes,
+            "seed {seed}: re-encoding is byte-identical"
+        );
+    }
+}

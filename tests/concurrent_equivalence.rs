@@ -105,7 +105,7 @@ fn check_served_batch_matches_serial(
             let rep = db.get(request.rep).expect("registered representation");
             match &request.aggregate {
                 Some(head) => {
-                    let serial = engine.evaluate_factorised_aggregate(rep, &request.query, head);
+                    let serial = engine.evaluate_factorised_aggregate(&rep, &request.query, head);
                     match (outcome, serial) {
                         (Ok(ServeOutcome::Aggregate(got)), Ok(want)) => assert_eq!(
                             got.result, want.result,
@@ -119,7 +119,7 @@ fn check_served_batch_matches_serial(
                     }
                 }
                 None => {
-                    let serial = engine.evaluate_factorised(rep, &request.query);
+                    let serial = engine.evaluate_factorised(&rep, &request.query);
                     match (outcome, serial) {
                         (Ok(ServeOutcome::Rep(got)), Ok(want)) => {
                             got.result

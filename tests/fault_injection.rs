@@ -90,7 +90,7 @@ fn assert_slot_matches_serial(
     match &request.aggregate {
         Some(head) => {
             let want = FdbEngine::new()
-                .evaluate_factorised_aggregate(rep, &request.query, head)
+                .evaluate_factorised_aggregate(&rep, &request.query, head)
                 .expect("serial aggregate");
             match outcome {
                 Ok(ServeOutcome::Aggregate(got)) => {
@@ -101,7 +101,7 @@ fn assert_slot_matches_serial(
         }
         None => {
             let want = FdbEngine::new()
-                .evaluate_factorised(rep, &request.query)
+                .evaluate_factorised(&rep, &request.query)
                 .expect("serial evaluation");
             match outcome {
                 Ok(ServeOutcome::Rep(got)) => {

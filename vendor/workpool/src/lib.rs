@@ -158,11 +158,23 @@ impl Drop for ThreadPool {
 
 /// Default worker count: the `FDB_THREADS` environment variable when set to
 /// a positive integer, else the machine's available parallelism, else 1.
+///
+/// An `FDB_THREADS` value that is set but unusable (not a number, or zero)
+/// falls back to the machine default — and logs one structured warning to
+/// stderr the first time, instead of silently ignoring the operator's
+/// intent.
 pub fn default_threads() -> usize {
     if let Ok(raw) = std::env::var("FDB_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: workpool: FDB_THREADS={raw:?} is not a positive integer; \
+                         falling back to the machine's available parallelism"
+                    );
+                });
             }
         }
     }
@@ -310,6 +322,28 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn unparseable_fdb_threads_falls_back_instead_of_failing() {
+        // Exercised in a child process so the env var cannot race the other
+        // tests in this binary.
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(exe)
+            .args([
+                "--exact",
+                "tests::default_threads_is_at_least_one",
+                "--nocapture",
+            ])
+            .env("FDB_THREADS", "not-a-number")
+            .output()
+            .expect("child test run");
+        assert!(out.status.success(), "fallback still yields a valid count");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("FDB_THREADS") && stderr.contains("not a positive integer"),
+            "the misconfiguration is warned about once, not swallowed: {stderr}"
+        );
     }
 
     #[test]
