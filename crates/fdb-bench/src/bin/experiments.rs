@@ -9,7 +9,9 @@
 //! Every experiment prints a plain-text table whose rows correspond to the
 //! series of the paper's figures.
 
-use fdb_bench::{exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, report, Scale};
+use fdb_bench::{
+    exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9, report, Scale,
+};
 use std::time::Instant;
 
 /// Shared driver of the PR 2+ benchmarks: run at the requested scale, print
@@ -209,6 +211,26 @@ fn main() {
             },
             pr8::render_table,
             pr8::render_json,
+        );
+        return;
+    }
+    if which.contains(&"bench-pr9") {
+        // Analytics heads: ordered enumeration via costed restructuring vs
+        // materialise-then-sort (including the honest refused-lift row),
+        // and grouped aggregation vs plain-iterator grouping.
+        run_bench(
+            "bench-pr9",
+            "BENCH_PR9.json",
+            smoke,
+            |smoke| {
+                pr9::run(if smoke {
+                    pr9::Pr9Scale::Smoke
+                } else {
+                    pr9::Pr9Scale::Full
+                })
+            },
+            pr9::render_table,
+            pr9::render_json,
         );
         return;
     }

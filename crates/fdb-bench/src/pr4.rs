@@ -193,7 +193,7 @@ fn measure_agg(
     name: &str,
     rep: &FRep,
     kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
     d: Dims,
 ) -> AggRow {
     let factorised = aggregate::evaluate(rep, kind, group_by).expect("factorised aggregate");
@@ -234,10 +234,10 @@ fn measure_overlay(
     let arena_result = {
         let mut executed = rep.clone();
         plan.execute(&mut executed).expect("plan executes");
-        aggregate::evaluate(&executed, kind, None).expect("arena aggregate")
+        aggregate::evaluate(&executed, kind, &[]).expect("arena aggregate")
     };
     let (overlay_result, on_overlay) = plan
-        .execute_aggregate(rep, kind, None)
+        .execute_aggregate(rep, kind, &[])
         .expect("overlay aggregate");
     assert!(on_overlay, "{name}: plan must end in a structural segment");
     assert_eq!(
@@ -248,10 +248,10 @@ fn measure_overlay(
     let arena_seconds = time_runs(d, || {
         let mut executed = rep.clone();
         plan.execute(&mut executed).expect("plan executes");
-        std::hint::black_box(aggregate::evaluate(&executed, kind, None).expect("aggregate"));
+        std::hint::black_box(aggregate::evaluate(&executed, kind, &[]).expect("aggregate"));
     });
     let overlay_seconds = time_runs(d, || {
-        std::hint::black_box(plan.execute_aggregate(rep, kind, None).expect("sink"));
+        std::hint::black_box(plan.execute_aggregate(rep, kind, &[]).expect("sink"));
     });
     OverlayRow {
         name: name.to_string(),
@@ -320,21 +320,21 @@ pub fn run(scale: Pr4Scale) -> Pr4Report {
         "product2_count",
         &rep2,
         AggregateKind::Count,
-        None,
+        &[],
         d,
     ));
     aggregates.push(measure_agg(
         "product2_sum_child",
         &rep2,
         AggregateKind::Sum(AttrId(1)),
-        None,
+        &[],
         d,
     ));
     aggregates.push(measure_agg(
         "product2_avg_grouped_by_root",
         &rep2,
         AggregateKind::Avg(AttrId(3)),
-        Some(AttrId(0)),
+        &[AttrId(0)],
         d,
     ));
     let rep3 = product_of_chains(3, d.outer3, d.inner3);
@@ -342,14 +342,14 @@ pub fn run(scale: Pr4Scale) -> Pr4Report {
         "product3_min_child",
         &rep3,
         AggregateKind::Min(AttrId(5)),
-        None,
+        &[],
         d,
     ));
     aggregates.push(measure_agg(
         "product3_max_grouped_by_root",
         &rep3,
         AggregateKind::Max(AttrId(3)),
-        Some(AttrId(2)),
+        &[AttrId(2)],
         d,
     ));
 

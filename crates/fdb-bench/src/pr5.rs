@@ -394,12 +394,12 @@ fn measure_aggregate(
 ) -> AggRow {
     // Correctness first: the sink must equal execute-then-aggregate.
     let (on_sink, _) = plan
-        .execute_aggregate(input, kind, None)
+        .execute_aggregate(input, kind, &[])
         .expect("aggregate sink runs");
     let mut executed = input.clone();
     plan.execute_segmented(&mut executed)
         .expect("segmented execution succeeds");
-    let on_arena = aggregate::evaluate(&executed, kind, None).expect("arena aggregate runs");
+    let on_arena = aggregate::evaluate(&executed, kind, &[]).expect("arena aggregate runs");
     assert_eq!(on_sink, on_arena, "{name}: aggregate paths diverge");
 
     let mut best_fused = f64::INFINITY;
@@ -410,7 +410,7 @@ fn measure_aggregate(
         for _ in 0..d.reps {
             let start = Instant::now();
             let out = plan
-                .execute_aggregate(input, kind, None)
+                .execute_aggregate(input, kind, &[])
                 .expect("aggregate sink runs");
             fused_total += start.elapsed().as_secs_f64();
             std::hint::black_box(&out);
@@ -419,7 +419,7 @@ fn measure_aggregate(
             let start = Instant::now();
             plan.execute_segmented(&mut rep)
                 .expect("segmented execution succeeds");
-            let out = aggregate::evaluate(&rep, kind, None).expect("arena aggregate runs");
+            let out = aggregate::evaluate(&rep, kind, &[]).expect("arena aggregate runs");
             segmented_total += start.elapsed().as_secs_f64();
             std::hint::black_box(&out);
         }

@@ -401,8 +401,12 @@ pub fn run(scale: Pr6Scale) -> Pr6Report {
     let d = scale.dims();
     let engine = FdbEngine::new();
     let mut shared = SharedDatabase::new();
-    let forest = shared.insert("forest", wide_forest(d.chains, d.outer, d.inner));
-    let nested = shared.insert("nested", nested_shape(d));
+    let forest = shared
+        .insert("forest", wide_forest(d.chains, d.outer, d.inner))
+        .expect("fresh database, unique name");
+    let nested = shared
+        .insert("nested", nested_shape(d))
+        .expect("fresh database, unique name");
     let db = Arc::new(shared);
 
     let mut rng = StdRng::seed_from_u64(0x0005_eed6 * 31);
@@ -666,8 +670,12 @@ mod tests {
         let d = Pr6Scale::Smoke.dims();
         let engine = FdbEngine::new();
         let mut shared = SharedDatabase::new();
-        let forest = shared.insert("forest", wide_forest(d.chains, d.outer, d.inner));
-        let nested = shared.insert("nested", nested_shape(d));
+        let forest = shared
+            .insert("forest", wide_forest(d.chains, d.outer, d.inner))
+            .expect("fresh database, unique name");
+        let nested = shared
+            .insert("nested", nested_shape(d))
+            .expect("fresh database, unique name");
         let requests: Vec<ServeRequest> = (0..TEMPLATES)
             .map(|t| template_request(t, d.outer / 2, forest, nested))
             .collect();

@@ -229,10 +229,10 @@ pub fn run(scale: Pr7Scale) -> Pr7Report {
 
     // Aggregate fold: one flat bottom-up pass charging per union record.
     let baseline = best_seconds(d, || {
-        aggregate::evaluate(&rep, AggregateKind::Count, None).expect("baseline fold");
+        aggregate::evaluate(&rep, AggregateKind::Count, &[]).expect("baseline fold");
     });
     let governed = best_seconds(d, || {
-        aggregate::evaluate_ctx(&rep, AggregateKind::Count, None, &ExecCtx::new(&limits))
+        aggregate::evaluate_ctx(&rep, AggregateKind::Count, &[], &ExecCtx::new(&limits))
             .expect("governed fold");
     });
     rows.push(row("aggregate_fold", singletons, d, baseline, governed));
@@ -248,7 +248,9 @@ pub fn run(scale: Pr7Scale) -> Pr7Report {
 
     // End-to-end serving: admission, plan cache and evaluation per request.
     let mut shared = SharedDatabase::new();
-    let id = shared.insert("bench", rep);
+    let id = shared
+        .insert("bench", rep)
+        .expect("fresh database, unique name");
     let server = FdbServer::new(engine, Arc::new(shared), 1);
     let ungoverned = ServeRequest::new(id, fq.clone(), None);
     let governed_request = ungoverned.clone().with_limits(limits.clone());

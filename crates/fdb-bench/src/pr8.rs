@@ -278,7 +278,9 @@ pub fn run(scale: Pr8Scale) -> Pr8Report {
     let mut swap_rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let mut shared = SharedDatabase::new();
-        let id = shared.insert("bench", rep.clone());
+        let id = shared
+            .insert("bench", rep.clone())
+            .expect("fresh database, unique name");
         let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), threads);
         let request = serving_request(id, &rep);
         server.serve_one(&request).expect("cache warm-up");
@@ -311,7 +313,9 @@ pub fn run(scale: Pr8Scale) -> Pr8Report {
     // Invalidation cost: replace against a cache warmed with many distinct
     // shapes keyed on the outgoing tree.
     let mut shared = SharedDatabase::new();
-    let id = shared.insert("bench", rep.clone());
+    let id = shared
+        .insert("bench", rep.clone())
+        .expect("fresh database, unique name");
     let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 1);
     let mut invalidation_seconds = f64::INFINITY;
     let mut next = rep_b.clone();

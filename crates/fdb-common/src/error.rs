@@ -131,6 +131,23 @@ pub enum FdbError {
         /// The failed operation, the path involved and the OS error.
         detail: String,
     },
+    /// An `AVG` aggregate's 128-bit `SUM` or `COUNT` wrapped around.
+    /// `COUNT`/`SUM` results keep their documented mod-2^128 semantics, but
+    /// a mean computed from wrapped operands would be silently wrong, so the
+    /// `AVG` path reports the overflow instead of returning a
+    /// plausible-looking value.
+    AggregateOverflow {
+        /// Which operand wrapped and in which aggregate.
+        detail: String,
+    },
+    /// A representation was registered under a name that is already taken.
+    /// Names are stable handles for clients, so a second registration is
+    /// refused instead of silently shadowing (or being shadowed by) the
+    /// first; replace the existing slot via its id instead.
+    DuplicateName {
+        /// The contested representation name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FdbError {
@@ -197,6 +214,12 @@ impl fmt::Display for FdbError {
             }
             FdbError::SnapshotIo { detail } => {
                 write!(f, "snapshot io error: {detail}")
+            }
+            FdbError::AggregateOverflow { detail } => {
+                write!(f, "aggregate overflow: {detail}")
+            }
+            FdbError::DuplicateName { name } => {
+                write!(f, "representation name {name:?} is already registered")
             }
         }
     }

@@ -97,18 +97,27 @@ pub enum AggregateFunc {
 
 /// An aggregate query head: instead of returning the (factorised) result
 /// relation, the query returns one aggregate value — or one per group when
-/// `group_by` is set.  The evaluation-level semantics (128-bit wrapping
-/// `COUNT`/`SUM`, `None` for empty `MIN`/`MAX`/`AVG` groups) live with the
-/// evaluator in `fdb-frep`'s `aggregate` module.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// `group_by` is non-empty.  The evaluation-level semantics (128-bit
+/// wrapping `COUNT`/`SUM`, `None` for empty `MIN`/`MAX`/`AVG` groups,
+/// value-set `DISTINCT` aggregates) live with the evaluator in `fdb-frep`'s
+/// `aggregate` module.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AggregateHead {
     /// The aggregate function.
     pub func: AggregateFunc,
     /// The aggregated attribute; `None` only for `COUNT`.
     pub attr: Option<AttrId>,
-    /// Optional grouping attribute (must label a root of the result's
-    /// f-tree at evaluation time).
-    pub group_by: Option<AttrId>,
+    /// `COUNT(DISTINCT A)` / `SUM(DISTINCT A)` / `AVG(DISTINCT A)`: the
+    /// aggregate ranges over the *distinct* values of `attr` in the result
+    /// instead of one contribution per tuple.  Requires `attr`; meaningless
+    /// (and rejected) for `MIN`/`MAX`, which are insensitive to multiplicity.
+    pub distinct: bool,
+    /// Grouping attributes, outermost first.  Empty means a scalar
+    /// aggregate.  At evaluation time the group attributes must label a
+    /// root-to-node path of the result's f-tree — the engine restructures
+    /// the tree to make that so (or falls back to hash grouping when the
+    /// restructuring is too costly).
+    pub group_by: Vec<AttrId>,
 }
 
 impl AggregateHead {
@@ -117,7 +126,8 @@ impl AggregateHead {
         AggregateHead {
             func: AggregateFunc::Count,
             attr: None,
-            group_by: None,
+            distinct: false,
+            group_by: Vec::new(),
         }
     }
 
@@ -126,13 +136,21 @@ impl AggregateHead {
         AggregateHead {
             func,
             attr: Some(attr),
-            group_by: None,
+            distinct: false,
+            group_by: Vec::new(),
         }
     }
 
-    /// Sets the grouping attribute and returns the head for chaining.
+    /// Appends a grouping attribute and returns the head for chaining; call
+    /// repeatedly (outermost group first) for multi-attribute grouping.
     pub fn grouped_by(mut self, attr: AttrId) -> Self {
-        self.group_by = Some(attr);
+        self.group_by.push(attr);
+        self
+    }
+
+    /// Marks the head as a `DISTINCT` aggregate and returns it for chaining.
+    pub fn with_distinct(mut self) -> Self {
+        self.distinct = true;
         self
     }
 }
@@ -151,6 +169,14 @@ pub struct Query {
     /// Optional aggregate head: the query returns this aggregate of the
     /// result instead of the result relation itself.
     pub aggregate: Option<AggregateHead>,
+    /// `ORDER BY` head: the result tuples are returned sorted by these
+    /// attributes (outermost sort key first), ties broken by the remaining
+    /// output attributes in ascending id order — a total, deterministic
+    /// order.  Empty means unordered.  The engine restructures the f-tree so
+    /// the ordering attributes sit on the root path (ordered enumeration is
+    /// then free) when that is no costlier than the input tree, else it
+    /// materialises and sorts.
+    pub order_by: Vec<AttrId>,
 }
 
 impl Query {
@@ -163,6 +189,7 @@ impl Query {
             const_selections: Vec::new(),
             projection: None,
             aggregate: None,
+            order_by: Vec::new(),
         }
     }
 
@@ -188,6 +215,13 @@ impl Query {
     /// Sets the aggregate head and returns the query for chaining.
     pub fn with_aggregate(mut self, head: AggregateHead) -> Self {
         self.aggregate = Some(head);
+        self
+    }
+
+    /// Sets the `ORDER BY` attributes (outermost sort key first) and returns
+    /// the query for chaining.
+    pub fn with_order_by(mut self, attrs: Vec<AttrId>) -> Self {
+        self.order_by = attrs;
         self
     }
 
@@ -260,9 +294,47 @@ impl Query {
                     })
                 }
             }
-            if let Some(group) = head.group_by {
-                check(group)?;
+            if head.distinct {
+                if head.attr.is_none() {
+                    return Err(FdbError::InvalidInput {
+                        detail: "DISTINCT aggregate requires an attribute".to_string(),
+                    });
+                }
+                if matches!(head.func, AggregateFunc::Min | AggregateFunc::Max) {
+                    return Err(FdbError::InvalidInput {
+                        detail: format!(
+                            "DISTINCT is meaningless for {:?}: the result is \
+                             insensitive to multiplicity",
+                            head.func
+                        ),
+                    });
+                }
             }
+            let mut seen_groups = BTreeSet::new();
+            for &group in &head.group_by {
+                check(group)?;
+                if !seen_groups.insert(group) {
+                    return Err(FdbError::InvalidInput {
+                        detail: format!("duplicate group-by attribute {group}"),
+                    });
+                }
+            }
+        }
+        let mut seen_order = BTreeSet::new();
+        for &attr in &self.order_by {
+            check(attr)?;
+            if !seen_order.insert(attr) {
+                return Err(FdbError::InvalidInput {
+                    detail: format!("duplicate ORDER BY attribute {attr}"),
+                });
+            }
+        }
+        if !self.order_by.is_empty() && self.aggregate.is_some() {
+            return Err(FdbError::InvalidInput {
+                detail: "ORDER BY on an aggregate head is not supported \
+                         (grouped results come out in group-key order already)"
+                    .to_string(),
+            });
         }
         Ok(())
     }
@@ -445,7 +517,8 @@ mod tests {
         let head = AggregateHead {
             func: AggregateFunc::Sum,
             attr: None,
-            group_by: None,
+            distinct: false,
+            group_by: Vec::new(),
         };
         assert!(matches!(
             base.clone().with_aggregate(head).validate(&cat),
@@ -459,6 +532,58 @@ mod tests {
         assert!(base.clone().with_aggregate(head).validate(&cat).is_err());
         let head = AggregateHead::count().grouped_by(AttrId(5));
         assert!(base.with_aggregate(head).validate(&cat).is_err());
+    }
+
+    #[test]
+    fn distinct_and_multi_group_heads_validate() {
+        let cat = catalog();
+        let base = Query::product(vec![RelId(0), RelId(1)]);
+        // COUNT(DISTINCT B), grouped by (A, C) — outermost group first.
+        let head = AggregateHead::over(AggregateFunc::Count, AttrId(1))
+            .with_distinct()
+            .grouped_by(AttrId(0))
+            .grouped_by(AttrId(3));
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_ok());
+        // DISTINCT without an attribute is malformed.
+        let head = AggregateHead::count().with_distinct();
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_err());
+        // DISTINCT MIN/MAX are rejected (multiplicity-insensitive).
+        let head = AggregateHead::over(AggregateFunc::Min, AttrId(0)).with_distinct();
+        assert!(base.clone().with_aggregate(head).validate(&cat).is_err());
+        // Duplicate group attributes are rejected.
+        let head = AggregateHead::count()
+            .grouped_by(AttrId(0))
+            .grouped_by(AttrId(0));
+        assert!(base.with_aggregate(head).validate(&cat).is_err());
+    }
+
+    #[test]
+    fn order_by_heads_validate() {
+        let cat = catalog();
+        let base = Query::product(vec![RelId(0), RelId(1)]);
+        assert!(base
+            .clone()
+            .with_order_by(vec![AttrId(3), AttrId(0)])
+            .validate(&cat)
+            .is_ok());
+        // Foreign attribute.
+        assert!(base
+            .clone()
+            .with_order_by(vec![AttrId(5)])
+            .validate(&cat)
+            .is_err());
+        // Duplicate ordering attribute.
+        assert!(base
+            .clone()
+            .with_order_by(vec![AttrId(0), AttrId(0)])
+            .validate(&cat)
+            .is_err());
+        // ORDER BY composed with an aggregate head is rejected.
+        assert!(base
+            .with_aggregate(AggregateHead::count())
+            .with_order_by(vec![AttrId(0)])
+            .validate(&cat)
+            .is_err());
     }
 
     #[test]

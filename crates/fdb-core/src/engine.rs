@@ -4,10 +4,12 @@ use crate::serving::PlanCache;
 use fdb_common::{
     AggregateFunc, AggregateHead, AttrId, ConstSelection, ExecCtx, FdbError, Query, Result,
 };
-use fdb_frep::{build_frep, ops, AggregateKind, AggregateResult, FRep};
+use fdb_frep::{build_frep, ops, AggregateKind, AggregateResult, FRep, OrderStrategy};
 use fdb_ftree::s_cost;
-use fdb_plan::{ExhaustiveOptimizer, FPlan, FPlanOp, GreedyOptimizer};
-use fdb_relation::Database;
+use fdb_plan::{
+    plan_chain_restructure, ChainStrategy, ExhaustiveOptimizer, FPlan, FPlanOp, GreedyOptimizer,
+};
+use fdb_relation::{Database, Relation};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -109,6 +111,15 @@ pub struct EvalStats {
     /// published plan (the cache is bounded; see `serving::PlanCache`).
     /// 0 for uncached evaluation paths and for hits.
     pub plan_cache_evictions: u64,
+    /// Ordering/grouping heads satisfied on a root path of the f-tree —
+    /// either already there or brought there by a costed swap chain
+    /// (`fdb_plan::plan_chain_restructure`).  0 for queries without such a
+    /// head.
+    pub chain_heads: u64,
+    /// Ordering/grouping heads that fell back to flat sorting (ordering) or
+    /// hash grouping over enumerated tuples (grouping) because no root-path
+    /// restructuring exists at acceptable cost.
+    pub flat_head_fallbacks: u64,
 }
 
 impl EvalStats {
@@ -117,7 +128,7 @@ impl EvalStats {
     /// rows.  Reports that show per-evaluation statistics (e.g. the
     /// `bench-pr4` table) print this instead of improvising their own lines.
     pub fn counters_table(&self) -> String {
-        let rows: [(&str, String); 9] = [
+        let rows: [(&str, String); 10] = [
             ("optimisation time", format!("{:?}", self.optimisation_time)),
             ("execution time", format!("{:?}", self.execution_time)),
             ("plan cost s(f)", format!("{:.2}", self.plan_cost)),
@@ -141,6 +152,10 @@ impl EvalStats {
                     self.plan_cache_misses,
                     self.plan_cache_evictions
                 ),
+            ),
+            (
+                "chain heads / flat fallbacks",
+                format!("{} / {}", self.chain_heads, self.flat_head_fallbacks),
             ),
         ];
         let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
@@ -169,6 +184,8 @@ impl EvalStats {
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.plan_cache_evictions += other.plan_cache_evictions;
+        self.chain_heads += other.chain_heads;
+        self.flat_head_fallbacks += other.flat_head_fallbacks;
     }
 }
 
@@ -192,18 +209,58 @@ pub struct AggregateOutput {
     pub stats: EvalStats,
 }
 
-/// The swap chain that lifts the node labelled by `group` to a root of the
-/// tree.  Root-attribute grouping is an evaluator precondition; the
-/// cost-driven f-tree search can put the group attribute anywhere, so the
-/// engine appends these (always-valid) swaps to make grouping independent
-/// of the chosen tree shape.  Empty when the attribute is already at a root
-/// or absent from the tree (the evaluator reports the latter).
-fn lift_group_to_root(tree: &fdb_ftree::FTree, group: AttrId) -> FPlan {
-    let Some(node) = tree.node_of_attr(group) else {
-        return FPlan::empty();
-    };
-    let depth = tree.ancestors(node).len();
-    FPlan::new(vec![FPlanOp::Swap(node); depth])
+/// The result of an ordered evaluation (`ORDER BY`): the flat result rows
+/// in the canonical order — sorted by the ordering attributes in request
+/// order, ties broken by the remaining output columns in ascending
+/// attribute-id order — plus which strategy produced them and statistics.
+/// Both strategies return bit-for-bit identical rows
+/// ([`fdb_frep::OrderStrategy`] is observability, not semantics); the
+/// strategy is also mirrored in [`EvalStats::chain_heads`] /
+/// [`EvalStats::flat_head_fallbacks`].
+#[derive(Clone, Debug)]
+pub struct OrderedOutput {
+    /// The result rows, in the canonical total order (columns in ascending
+    /// attribute-id order, like every materialised relation).
+    pub rows: Relation,
+    /// Whether the rows came off the priority cursor of a root-path chain
+    /// or from a full flat sort.
+    pub strategy: OrderStrategy,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+/// How an ordering or grouping head will be satisfied: the (possibly empty)
+/// swap chain to append to the plan, and whether the head runs on a root
+/// path or falls back to the flat strategy (sort / hash-group).
+struct HeadDecision {
+    /// Swaps bringing the head attributes onto a root path; empty when they
+    /// are already there — or when the head falls back to flat.
+    plan: FPlan,
+    /// The head's attributes form a root path after `plan` runs.
+    on_chain: bool,
+}
+
+/// Plans a root path for a grouping or ordering head via
+/// [`plan_chain_restructure`]: path grouping and ordered enumeration both
+/// need the head attributes on a root-to-node chain, the restructuring is
+/// the same costed swap lifting for both, and both fall back to a flat
+/// strategy when no chain exists at acceptable cost (`s(f) ≤ s(T_in)`).
+fn plan_head_chain(tree: &fdb_ftree::FTree, attrs: &[AttrId]) -> Result<HeadDecision> {
+    let decision = plan_chain_restructure(tree, attrs)?;
+    Ok(match decision.strategy {
+        ChainStrategy::AlreadyChain => HeadDecision {
+            plan: FPlan::empty(),
+            on_chain: true,
+        },
+        ChainStrategy::Restructure => HeadDecision {
+            plan: decision.plan,
+            on_chain: true,
+        },
+        ChainStrategy::FlatSort => HeadDecision {
+            plan: FPlan::empty(),
+            on_chain: false,
+        },
+    })
 }
 
 /// Fusion counters `(fused_segments, barriers_fused, arenas_skipped)` of a
@@ -233,8 +290,39 @@ fn aggregate_fusion_counters(plan: &FPlan, on_overlay: bool) -> (usize, usize, u
     (1, plan.barrier_count(), plan.len())
 }
 
+/// `(chain_heads, flat_head_fallbacks)` counter values for a grouped
+/// aggregate evaluation: a grouped head counts under exactly one of the
+/// two, a scalar head under neither.
+fn head_strategy_counters(head: &AggregateHead, on_chain: bool) -> (u64, u64) {
+    if head.group_by.is_empty() {
+        (0, 0)
+    } else if on_chain {
+        (1, 0)
+    } else {
+        (0, 1)
+    }
+}
+
 /// Translates a query-level aggregate head into the evaluator's kind.
 fn aggregate_kind(head: &AggregateHead) -> Result<AggregateKind> {
+    if head.distinct {
+        let Some(a) = head.attr else {
+            return Err(FdbError::InvalidInput {
+                detail: "DISTINCT aggregate requires an attribute".into(),
+            });
+        };
+        return match head.func {
+            AggregateFunc::Count => Ok(AggregateKind::CountDistinct(a)),
+            AggregateFunc::Sum => Ok(AggregateKind::SumDistinct(a)),
+            AggregateFunc::Avg => Ok(AggregateKind::AvgDistinct(a)),
+            AggregateFunc::Min | AggregateFunc::Max => Err(FdbError::InvalidInput {
+                detail: format!(
+                    "{:?}(DISTINCT) is meaningless: MIN/MAX are insensitive to multiplicity",
+                    head.func
+                ),
+            }),
+        };
+    }
     match (head.func, head.attr) {
         (AggregateFunc::Count, _) => Ok(AggregateKind::Count),
         (AggregateFunc::Sum, Some(a)) => Ok(AggregateKind::Sum(a)),
@@ -313,12 +401,16 @@ impl FdbEngine {
     /// cache when one is supplied.  On a hit the optimiser is skipped
     /// entirely; on a miss the freshly optimised plan is published under
     /// the query-shape key (constants abstracted — see
-    /// [`crate::serving::PlanCache`]).
+    /// [`crate::serving::PlanCache`]).  The key covers the request's head —
+    /// `aggregate` and `order_by` — so requests with the same structural
+    /// body but different heads never share an entry.
     fn resolve_factorised_plan(
         &self,
         input: &FRep,
         query: &FactorisedQuery,
         cache: Option<&PlanCache>,
+        aggregate: Option<&AggregateHead>,
+        order_by: &[AttrId],
     ) -> Result<ResolvedPlan> {
         use std::sync::Arc;
         let opt_start = Instant::now();
@@ -330,7 +422,7 @@ impl FdbEngine {
                 0,
             ),
             Some(cache) => {
-                let key = crate::serving::plan_key(self, input.tree(), query);
+                let key = crate::serving::plan_key(self, input.tree(), query, aggregate, order_by);
                 match cache.lookup(&key) {
                     Some(plan) => (plan, 1, 0, 0),
                     None => {
@@ -395,6 +487,8 @@ impl FdbEngine {
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
                 plan_cache_evictions: 0,
+                chain_heads: 0,
+                flat_head_fallbacks: 0,
             },
             result,
         })
@@ -456,7 +550,7 @@ impl FdbEngine {
     ) -> Result<EvalOutput> {
         // Optimise the equality conditions on the input f-tree (or reuse a
         // cached plan for the same query shape).
-        let resolved = self.resolve_factorised_plan(input, query, cache)?;
+        let resolved = self.resolve_factorised_plan(input, query, cache, None, &[])?;
         let optimisation_time = resolved.optimisation_time;
         let optimised = &resolved.plan;
 
@@ -503,6 +597,8 @@ impl FdbEngine {
                 plan_cache_hits: resolved.cache_hits,
                 plan_cache_misses: resolved.cache_misses,
                 plan_cache_evictions: resolved.cache_evictions,
+                chain_heads: 0,
+                flat_head_fallbacks: 0,
             },
             result,
         })
@@ -592,6 +688,8 @@ impl FdbEngine {
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
                 plan_cache_evictions: 0,
+                chain_heads: 0,
+                flat_head_fallbacks: 0,
             },
             result: rep,
         })
@@ -626,15 +724,32 @@ impl FdbEngine {
             plan.push(FPlanOp::Project(proj.iter().copied().collect()));
         }
         let pre_lift_tree = plan.final_tree(rep.tree())?;
-        if let Some(group) = head.group_by {
-            plan.extend(lift_group_to_root(&pre_lift_tree, group));
+        let head_decision = if head.group_by.is_empty() {
+            None
+        } else {
+            Some(plan_head_chain(&pre_lift_tree, &head.group_by)?)
+        };
+        let on_chain = head_decision.as_ref().is_none_or(|d| d.on_chain);
+        if let Some(d) = head_decision {
+            plan.extend(d.plan);
         }
         let simplified = plan.simplified(rep.tree());
-        let (result, on_overlay) =
-            simplified.execute_aggregate_presimplified(&rep, kind, head.group_by)?;
+        let (result, on_overlay) = if on_chain {
+            simplified.execute_aggregate_presimplified(&rep, kind, &head.group_by)?
+        } else {
+            // No root path for the grouping head at acceptable cost: run the
+            // structural plan and hash-group over the enumerated tuples.
+            let mut grouped = rep.clone();
+            simplified.execute_presimplified(&mut grouped)?;
+            (
+                fdb_frep::aggregate::by_enumeration(&grouped, kind, &head.group_by)?,
+                false,
+            )
+        };
         let execution_time = exec_start.elapsed();
         let (fused_segments, barriers_fused, arenas_skipped) =
             aggregate_fusion_counters(&simplified, on_overlay);
+        let (chain_heads, flat_head_fallbacks) = head_strategy_counters(head, on_chain);
 
         Ok(AggregateOutput {
             result,
@@ -655,6 +770,8 @@ impl FdbEngine {
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
                 plan_cache_evictions: 0,
+                chain_heads,
+                flat_head_fallbacks,
             },
         })
     }
@@ -686,9 +803,11 @@ impl FdbEngine {
     }
 
     /// [`FdbEngine::evaluate_factorised_aggregate`] through a [`PlanCache`]
-    /// (see [`FdbEngine::evaluate_factorised_cached`]); aggregate and
-    /// non-aggregate requests of the same shape share cache entries, since
-    /// the cached restructuring plan is identical — only the sink differs.
+    /// (see [`FdbEngine::evaluate_factorised_cached`]).  The cache key
+    /// includes the full aggregate head (function, attribute, `DISTINCT`,
+    /// grouping attributes): the head steers the chain-restructuring swaps
+    /// appended after the cached body plan, so same-body requests with
+    /// different heads get distinct entries.
     pub fn evaluate_factorised_aggregate_cached(
         &self,
         input: &FRep,
@@ -728,7 +847,7 @@ impl FdbEngine {
         ctx: &ExecCtx,
     ) -> Result<AggregateOutput> {
         let kind = aggregate_kind(head)?;
-        let resolved = self.resolve_factorised_plan(input, query, cache)?;
+        let resolved = self.resolve_factorised_plan(input, query, cache, Some(head), &[])?;
         let optimisation_time = resolved.optimisation_time;
         let optimised = &resolved.plan;
 
@@ -745,20 +864,39 @@ impl FdbEngine {
             plan.push(FPlanOp::Project(proj.iter().copied().collect()));
         }
         // The aggregate sink never builds the result representation, but its
-        // tree is known from simulation — and it tells us which swaps lift
-        // the group attribute to a root.
+        // tree is known from simulation — and it tells us which swaps bring
+        // the grouping attributes onto a root path (or that no acceptable
+        // swap chain exists and the head must hash-group flat).
         let pre_lift_tree = plan.final_tree(input.tree())?;
-        if let Some(group) = head.group_by {
-            plan.extend(lift_group_to_root(&pre_lift_tree, group));
+        let head_decision = if head.group_by.is_empty() {
+            None
+        } else {
+            Some(plan_head_chain(&pre_lift_tree, &head.group_by)?)
+        };
+        let on_chain = head_decision.as_ref().is_none_or(|d| d.on_chain);
+        if let Some(d) = head_decision {
+            plan.extend(d.plan);
         }
 
         let simplified = plan.simplified(input.tree());
         let exec_start = Instant::now();
-        let (result, on_overlay) =
-            simplified.execute_aggregate_presimplified_ctx(input, kind, head.group_by, ctx)?;
+        let (result, on_overlay) = if on_chain {
+            simplified.execute_aggregate_presimplified_ctx(input, kind, &head.group_by, ctx)?
+        } else {
+            // No root path for the grouping head at acceptable cost: run the
+            // structural plan (fused, governed) and hash-group over the
+            // enumerated tuples instead.
+            let mut grouped = input.clone();
+            simplified.execute_presimplified_ctx(&mut grouped, ctx)?;
+            (
+                fdb_frep::aggregate::by_enumeration(&grouped, kind, &head.group_by)?,
+                false,
+            )
+        };
         let execution_time = exec_start.elapsed();
         let (fused_segments, barriers_fused, arenas_skipped) =
             aggregate_fusion_counters(&simplified, on_overlay);
+        let (chain_heads, flat_head_fallbacks) = head_strategy_counters(head, on_chain);
 
         let result_tree_cost = s_cost(&pre_lift_tree)?;
         Ok(AggregateOutput {
@@ -780,7 +918,190 @@ impl FdbEngine {
                 plan_cache_hits: resolved.cache_hits,
                 plan_cache_misses: resolved.cache_misses,
                 plan_cache_evictions: resolved.cache_evictions,
+                chain_heads,
+                flat_head_fallbacks,
             },
+        })
+    }
+
+    /// Evaluates an `ORDER BY` query on a flat relational database: the
+    /// factorised result is built over the optimal f-tree exactly like
+    /// [`FdbEngine::evaluate_flat`], then enumerated in the canonical order
+    /// (see [`OrderedOutput`]).  When the ordering attributes sit on — or
+    /// can be swapped onto, at no asymptotic cost — a root path of the
+    /// result's f-tree, the ordered rows come straight off the priority
+    /// cursor with per-run tie-break sorts; otherwise the result is
+    /// materialised and sorted flat.  The query must carry a non-empty
+    /// `order_by` and no aggregate head ([`Query::validate`] rejects the
+    /// combination).
+    pub fn evaluate_flat_ordered(&self, db: &Database, query: &Query) -> Result<OrderedOutput> {
+        if query.order_by.is_empty() {
+            return Err(FdbError::InvalidInput {
+                detail: "evaluate_flat_ordered: query has no ORDER BY head".into(),
+            });
+        }
+        let opt_start = Instant::now();
+        let search = fdb_plan::optimal_ftree(db.catalog(), query, |r| db.rel_len(r) as u64)?;
+        let optimisation_time = opt_start.elapsed();
+
+        let exec_start = Instant::now();
+        let mut result = build_frep(db, query, &search.tree)?;
+        let mut plan = FPlan::empty();
+        if let Some(proj) = &query.projection {
+            let keep: BTreeSet<AttrId> = proj.iter().copied().collect();
+            plan.push(FPlanOp::Project(keep));
+        }
+        let pre_order_tree = plan.final_tree(result.tree())?;
+        let decision = plan_head_chain(&pre_order_tree, &query.order_by)?;
+        plan.extend(decision.plan);
+        let simplified = plan.simplified(result.tree());
+        let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
+        simplified.execute_presimplified(&mut result)?;
+        let (rows, strategy) = fdb_frep::materialize_ordered(&result, &query.order_by)?;
+        let execution_time = exec_start.elapsed();
+
+        Ok(OrderedOutput {
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost: s_cost(result.tree())?,
+                plan_cost: search.cost,
+                result_size: result.size(),
+                result_tuples: result.tuple_count(),
+                plan,
+                explored_states: search.explored_states,
+                fused_segments,
+                aggregates_on_overlay: 0,
+                barriers_fused,
+                arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
+                plan_cache_evictions: 0,
+                chain_heads: u64::from(strategy == OrderStrategy::Chain),
+                flat_head_fallbacks: u64::from(strategy == OrderStrategy::FlatSort),
+            },
+            rows,
+            strategy,
+        })
+    }
+
+    /// Evaluates a query over a factorised input and returns the result
+    /// rows in the canonical `ORDER BY` order (see [`OrderedOutput`]).  The
+    /// restructuring plan for the equality conditions is assembled exactly
+    /// like [`FdbEngine::evaluate_factorised`]; the ordering chain swaps
+    /// (when the costed planner chooses them) are appended to the same plan
+    /// and execute inside the same fused overlay program, so bringing the
+    /// ordering attributes to the root path costs no extra arena pass.
+    pub fn evaluate_factorised_ordered(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        order_by: &[AttrId],
+    ) -> Result<OrderedOutput> {
+        self.evaluate_factorised_ordered_inner(input, query, order_by, None, &ExecCtx::unlimited())
+    }
+
+    /// [`FdbEngine::evaluate_factorised_ordered`] through a [`PlanCache`]
+    /// (see [`FdbEngine::evaluate_factorised_cached`]).  The cache key
+    /// includes the ordering head: the same structural query ordered
+    /// differently needs different chain swaps, so the shapes must not
+    /// share an entry.
+    pub fn evaluate_factorised_ordered_cached(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        order_by: &[AttrId],
+        cache: &PlanCache,
+    ) -> Result<OrderedOutput> {
+        self.evaluate_factorised_ordered_inner(
+            input,
+            query,
+            order_by,
+            Some(cache),
+            &ExecCtx::unlimited(),
+        )
+    }
+
+    /// [`FdbEngine::evaluate_factorised_ordered`] under a governance
+    /// context (see [`FdbEngine::evaluate_factorised_ctx`]): the plan
+    /// execution, the ordered enumeration and the sort all charge the
+    /// context per record.
+    pub fn evaluate_factorised_ordered_ctx(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        order_by: &[AttrId],
+        cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
+    ) -> Result<OrderedOutput> {
+        self.evaluate_factorised_ordered_inner(input, query, order_by, cache, ctx)
+    }
+
+    fn evaluate_factorised_ordered_inner(
+        &self,
+        input: &FRep,
+        query: &FactorisedQuery,
+        order_by: &[AttrId],
+        cache: Option<&PlanCache>,
+        ctx: &ExecCtx,
+    ) -> Result<OrderedOutput> {
+        if order_by.is_empty() {
+            return Err(FdbError::InvalidInput {
+                detail: "evaluate_factorised_ordered: empty ORDER BY head".into(),
+            });
+        }
+        let resolved = self.resolve_factorised_plan(input, query, cache, None, order_by)?;
+        let optimisation_time = resolved.optimisation_time;
+        let optimised = &resolved.plan;
+
+        let mut plan = FPlan::empty();
+        for sel in &query.const_selections {
+            plan.push(FPlanOp::SelectConst {
+                attr: sel.attr,
+                op: sel.op,
+                value: sel.value,
+            });
+        }
+        plan.extend(optimised.plan.clone());
+        if let Some(proj) = &query.projection {
+            plan.push(FPlanOp::Project(proj.iter().copied().collect()));
+        }
+        let pre_order_tree = plan.final_tree(input.tree())?;
+        let decision = plan_head_chain(&pre_order_tree, order_by)?;
+        plan.extend(decision.plan);
+
+        let simplified = plan.simplified(input.tree());
+        let (fused_segments, barriers_fused, arenas_skipped) = fusion_counters(&simplified);
+        let exec_start = Instant::now();
+        let mut result = input.clone();
+        simplified.execute_presimplified_ctx(&mut result, ctx)?;
+        let (rows, strategy) = fdb_frep::materialize_ordered_ctx(&result, order_by, ctx)?;
+        let execution_time = exec_start.elapsed();
+
+        Ok(OrderedOutput {
+            stats: EvalStats {
+                optimisation_time,
+                execution_time,
+                result_tree_cost: s_cost(result.tree())?,
+                plan_cost: optimised.cost.max_intermediate,
+                result_size: result.size(),
+                result_tuples: result.tuple_count(),
+                plan,
+                explored_states: optimised.explored_states,
+                fused_segments,
+                aggregates_on_overlay: 0,
+                barriers_fused,
+                arenas_skipped,
+                queries_served: 1,
+                plan_cache_hits: resolved.cache_hits,
+                plan_cache_misses: resolved.cache_misses,
+                plan_cache_evictions: resolved.cache_evictions,
+                chain_heads: u64::from(strategy == OrderStrategy::Chain),
+                flat_head_fallbacks: u64::from(strategy == OrderStrategy::FlatSort),
+            },
+            rows,
+            strategy,
         })
     }
 }
@@ -1047,7 +1368,7 @@ mod tests {
             let expected = fdb_frep::aggregate::by_enumeration(
                 &base.result,
                 fdb_frep::AggregateKind::Count,
-                Some(group),
+                &[group],
             )
             .unwrap();
             assert_eq!(out.result, expected, "group by {group}");
@@ -1181,11 +1502,13 @@ mod tests {
             plan_cache_hits: 5,
             plan_cache_misses: 6,
             plan_cache_evictions: 8,
+            chain_heads: 9,
+            flat_head_fallbacks: 10,
             ..Default::default()
         };
         let table = stats.counters_table();
         let rows: Vec<&str> = table.lines().collect();
-        assert_eq!(rows.len(), 9, "one row per pinned counter:\n{table}");
+        assert_eq!(rows.len(), 10, "one row per pinned counter:\n{table}");
         for (row, needle) in rows.iter().zip([
             "optimisation time",
             "execution time",
@@ -1196,12 +1519,14 @@ mod tests {
             "fused segments / overlay aggregates",
             "barriers fused / arenas skipped",
             "queries served / cache hits / misses / evictions",
+            "chain heads / flat fallbacks",
         ]) {
             assert!(row.starts_with(needle), "row {row:?} vs {needle:?}");
         }
         assert!(table.contains("2 / 1"), "fused/overlay values:\n{table}");
         assert!(table.contains("3 / 4"), "barrier/arena values:\n{table}");
         assert!(table.contains("7 / 5 / 6 / 8"), "serving values:\n{table}");
+        assert!(table.contains("9 / 10"), "head strategy values:\n{table}");
         // Display renders the same table.
         assert_eq!(format!("{stats}"), table);
     }

@@ -36,6 +36,7 @@ pub mod snapshot;
 
 pub use engine::{
     AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OptimizerKind,
+    OrderedOutput,
 };
 pub use serving::{
     default_threads, FdbServer, PlanCache, RepId, ServeOutcome, ServeRequest, ServerStats,

@@ -34,8 +34,10 @@
 //! chaos suite (`tests/snapshot_recovery.rs`) swaps under concurrent load
 //! at 1–8 workers and panics mid-swap through the `db.swap` failpoint.
 
-use crate::engine::{AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine};
-use fdb_common::{failpoint, AggregateHead, ExecCtx, FdbError, QueryLimits, Result};
+use crate::engine::{
+    AggregateOutput, EvalOutput, EvalStats, FactorisedQuery, FdbEngine, OrderedOutput,
+};
+use fdb_common::{failpoint, AggregateHead, AttrId, ExecCtx, FdbError, QueryLimits, Result};
 use fdb_frep::FRep;
 use fdb_ftree::FTree;
 use fdb_plan::OptimizedPlan;
@@ -127,15 +129,30 @@ impl SharedDatabase {
     }
 
     /// Registers a frozen representation under a name and returns its id.
-    /// The first registration of each name owns the name index entry
-    /// ([`SharedDatabase::find`]).
-    pub fn insert(&mut self, name: impl Into<String>, rep: FRep) -> RepId {
+    ///
+    /// Names are stable handles for clients ([`SharedDatabase::find`]), so
+    /// registering a name twice is refused with
+    /// [`FdbError::DuplicateName`] instead of silently minting a second id
+    /// the name lookup can never reach.  (The old behaviour registered the
+    /// shadowed slot anyway: a client that inserted, resolved by name and
+    /// then queried would silently read the *first* registration's data.)
+    /// To change the data under an existing name, resolve the id and
+    /// [`SharedDatabase::replace`] it — replacement keeps the name → id
+    /// binding and bumps the slot's epoch.
+    pub fn insert(&mut self, name: impl Into<String>, rep: FRep) -> Result<RepId> {
         let id = RepId(self.slots.len());
         let name = name.into();
-        self.by_name.entry(name.clone()).or_insert(id);
+        match self.by_name.entry(name.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err(FdbError::DuplicateName { name });
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+        }
         self.names.push(name);
         self.slots.push(RepSlot::new(rep));
-        id
+        Ok(id)
     }
 
     /// The current representation registered under `id`.  The returned
@@ -189,9 +206,11 @@ impl SharedDatabase {
         self.names.get(id.0).map(String::as_str)
     }
 
-    /// Finds a representation by registration name — a hash-map lookup;
-    /// when a name was registered more than once, the first registration
-    /// wins (the pre-index linear-scan semantics).
+    /// Finds a representation by registration name — a hash-map lookup.
+    /// Each name maps to exactly one slot ([`SharedDatabase::insert`]
+    /// refuses duplicates), and [`SharedDatabase::replace`] keeps the
+    /// binding while swapping the data, so the resolved id stays valid
+    /// across hot swaps.
     pub fn find(&self, name: &str) -> Option<RepId> {
         self.by_name.get(name).copied()
     }
@@ -221,7 +240,23 @@ impl SharedDatabase {
 /// plan: constant selections as `(attribute, operator)` pairs with the
 /// **constants abstracted away** (they never reach the optimiser; they are
 /// re-applied verbatim per request), and the projection list.
-pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery) -> String {
+///
+/// The key also covers the request's **head**: the aggregate head (function,
+/// attribute, `DISTINCT`, grouping attributes) and the `ORDER BY` list.
+/// The head steers how the engine finishes the plan — grouping and ordering
+/// append chain-restructuring swaps, and the strategy choice is part of the
+/// shape — so two requests with the same structural body but different
+/// heads must not share an entry.  (Omitting the head was a correctness
+/// hazard: a cached entry would make a `COUNT` and a
+/// `COUNT(DISTINCT…) GROUP BY…` of the same body indistinguishable to any
+/// future planner that specialises on the head.)
+pub(crate) fn plan_key(
+    engine: &FdbEngine,
+    tree: &FTree,
+    query: &FactorisedQuery,
+    aggregate: Option<&AggregateHead>,
+    order_by: &[AttrId],
+) -> String {
     let mut key = String::new();
     let _ = write!(key, "opt:{:?}|", engine.optimizer);
     key.push_str(&tree_fingerprint(tree));
@@ -239,6 +274,24 @@ pub(crate) fn plan_key(engine: &FdbEngine, tree: &FTree, query: &FactorisedQuery
         for attr in projection {
             let _ = write!(key, "r{},", attr.0);
         }
+    }
+    key.push('|');
+    if let Some(head) = aggregate {
+        let _ = write!(key, "a{:?}", head.func);
+        if let Some(attr) = head.attr {
+            let _ = write!(key, ":{}", attr.0);
+        }
+        if head.distinct {
+            key.push('d');
+        }
+        key.push('g');
+        for attr in &head.group_by {
+            let _ = write!(key, "{},", attr.0);
+        }
+    }
+    key.push('|');
+    for attr in order_by {
+        let _ = write!(key, "o{},", attr.0);
     }
     key
 }
@@ -463,8 +516,10 @@ impl PlanCache {
 }
 
 /// One query to serve: which representation to read, the query, and an
-/// optional aggregate head (aggregate requests fold on the fused overlay
-/// and return no representation).
+/// optional head — an aggregate head (folds on the fused overlay, returns
+/// no representation) or an `ORDER BY` list (returns the flat rows in the
+/// canonical order).  The two heads are mutually exclusive, mirroring
+/// `Query::validate`.
 #[derive(Clone, Debug)]
 pub struct ServeRequest {
     /// Representation to query.
@@ -473,6 +528,10 @@ pub struct ServeRequest {
     pub query: FactorisedQuery,
     /// Evaluate as an aggregate instead of returning a representation.
     pub aggregate: Option<AggregateHead>,
+    /// Return the result rows ordered by these attributes (see
+    /// `FdbEngine::evaluate_factorised_ordered`).  Empty means unordered;
+    /// must be empty when `aggregate` is set.
+    pub order_by: Vec<AttrId>,
     /// Per-request resource allowance (deadline, budget, cancellation).
     /// [`QueryLimits::unlimited`] — the `Default` — governs nothing.
     pub limits: QueryLimits,
@@ -485,8 +544,15 @@ impl ServeRequest {
             rep,
             query,
             aggregate,
+            order_by: Vec::new(),
             limits: QueryLimits::unlimited(),
         }
+    }
+
+    /// The same request with an `ORDER BY` head.
+    pub fn with_order_by(mut self, order_by: Vec<AttrId>) -> Self {
+        self.order_by = order_by;
+        self
     }
 
     /// The same request under the given limits.
@@ -503,14 +569,17 @@ pub enum ServeOutcome {
     Rep(EvalOutput),
     /// An aggregate value (aggregate request).
     Aggregate(AggregateOutput),
+    /// Flat rows in the canonical order (`ORDER BY` request).
+    Ordered(OrderedOutput),
 }
 
 impl ServeOutcome {
-    /// The evaluation statistics of either outcome kind.
+    /// The evaluation statistics of any outcome kind.
     pub fn stats(&self) -> &EvalStats {
         match self {
             ServeOutcome::Rep(out) => &out.stats,
             ServeOutcome::Aggregate(out) => &out.stats,
+            ServeOutcome::Ordered(out) => &out.stats,
         }
     }
 }
@@ -881,9 +950,23 @@ fn serve_request(
         detail: format!("unknown representation id {:?}", request.rep),
     })?;
     match &request.aggregate {
+        Some(head) if !request.order_by.is_empty() => Err(FdbError::InvalidInput {
+            detail: format!(
+                "a request cannot carry both an aggregate head ({head:?}) and ORDER BY"
+            ),
+        }),
         Some(head) => engine
             .evaluate_factorised_aggregate_ctx(&rep, &request.query, head, Some(cache), &ctx)
             .map(ServeOutcome::Aggregate),
+        None if !request.order_by.is_empty() => engine
+            .evaluate_factorised_ordered_ctx(
+                &rep,
+                &request.query,
+                &request.order_by,
+                Some(cache),
+                &ctx,
+            )
+            .map(ServeOutcome::Ordered),
         None => engine
             .evaluate_factorised_ctx(&rep, &request.query, Some(cache), &ctx)
             .map(ServeOutcome::Rep),
@@ -991,11 +1074,64 @@ mod tests {
     }
 
     #[test]
+    fn plan_keys_distinguish_heads_over_the_same_query_body() {
+        // Regression: the cache key once covered only the query body, so a
+        // plain evaluation, a grouped aggregate and an ordered evaluation of
+        // the *same* body all resolved to one entry — and the later heads
+        // replayed a plan missing their restructure/ordering tail.  Each
+        // head must mint its own entry.
+        let (rep, a, b) = base_rep();
+        let engine = FdbEngine::new();
+        let cache = PlanCache::new();
+        let body = select_a(a, 1);
+
+        engine
+            .evaluate_factorised_cached(&rep, &body, &cache)
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        engine
+            .evaluate_factorised_aggregate_cached(&rep, &body, &AggregateHead::count(), &cache)
+            .unwrap();
+        assert_eq!(cache.len(), 2, "an aggregate head is part of the key");
+        engine
+            .evaluate_factorised_aggregate_cached(
+                &rep,
+                &body,
+                &AggregateHead::count().grouped_by(b),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(
+            cache.len(),
+            3,
+            "the grouping attributes are part of the key"
+        );
+        engine
+            .evaluate_factorised_ordered_cached(&rep, &body, &[b], &cache)
+            .unwrap();
+        assert_eq!(
+            cache.len(),
+            4,
+            "the ordering attributes are part of the key"
+        );
+
+        // Re-serving each head shape hits its own entry instead of missing.
+        let out = engine
+            .evaluate_factorised_ordered_cached(&rep, &body, &[b], &cache)
+            .unwrap();
+        assert_eq!(
+            (out.stats.plan_cache_hits, out.stats.plan_cache_misses),
+            (1, 0)
+        );
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
     fn serve_batch_preserves_request_order_and_matches_serial_evaluation() {
         let (rep, a, _) = base_rep();
         let engine = FdbEngine::new();
         let mut shared = SharedDatabase::new();
-        let id = shared.insert("base", rep.clone());
+        let id = shared.insert("base", rep.clone()).unwrap();
         assert_eq!(shared.find("base"), Some(id));
         let server = FdbServer::new(engine, Arc::new(shared), 3);
 
@@ -1037,7 +1173,7 @@ mod tests {
     fn unknown_representation_ids_are_reported_not_panicked() {
         let (rep, a, _) = base_rep();
         let mut shared = SharedDatabase::new();
-        shared.insert("base", rep);
+        shared.insert("base", rep).unwrap();
         let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 2);
         let request = ServeRequest::new(RepId(42), select_a(a, 1), None);
         assert!(server.serve_one(&request).is_err());
@@ -1047,19 +1183,49 @@ mod tests {
     }
 
     #[test]
-    fn name_index_resolves_in_insertion_order_and_first_registration_wins() {
+    fn duplicate_names_are_structured_errors_not_shadowed_slots() {
         let (rep, _, _) = base_rep();
         let mut shared = SharedDatabase::new();
-        let first = shared.insert("base", rep.clone());
-        let other = shared.insert("other", rep.clone());
-        let dup = shared.insert("base", rep);
-        assert_ne!(first, dup);
-        assert_eq!(shared.find("base"), Some(first), "first registration wins");
+        let first = shared.insert("base", rep.clone()).unwrap();
+        let other = shared.insert("other", rep.clone()).unwrap();
+        match shared.insert("base", rep) {
+            Err(FdbError::DuplicateName { name }) => assert_eq!(name, "base"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+        // The failed insert left no half-registered slot behind.
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.find("base"), Some(first));
         assert_eq!(shared.find("other"), Some(other));
         assert_eq!(shared.find("missing"), None);
         assert_eq!(shared.name(first), Some("base"));
-        assert_eq!(shared.name(dup), Some("base"));
-        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn insert_after_replace_still_resolves_both_names() {
+        // `replace` swaps the arena under an existing name; a later insert
+        // under a *new* name must not disturb the replaced slot's binding,
+        // and re-inserting the replaced name must still be rejected.
+        let (rep, a, _) = base_rep();
+        let engine = FdbEngine::new();
+        let new_rep = engine
+            .evaluate_factorised(&rep, &select_a(a, 1))
+            .unwrap()
+            .result;
+
+        let mut shared = SharedDatabase::new();
+        let id = shared.insert("base", rep.clone()).unwrap();
+        shared.replace(id, new_rep.clone()).unwrap();
+        let late = shared.insert("late", rep.clone()).unwrap();
+
+        assert_eq!(shared.find("base"), Some(id), "name survives the swap");
+        assert_eq!(shared.find("late"), Some(late));
+        assert_eq!(shared.epoch(id), Some(1));
+        assert_eq!(shared.epoch(late), Some(0));
+        assert!(shared.get(id).unwrap().store_identical(&new_rep));
+        assert!(matches!(
+            shared.insert("base", rep),
+            Err(FdbError::DuplicateName { .. })
+        ));
     }
 
     #[test]
@@ -1069,7 +1235,7 @@ mod tests {
         let new_rep = engine.evaluate_factorised(&rep, &select_a(a, 1)).unwrap();
 
         let mut shared = SharedDatabase::new();
-        let id = shared.insert("base", rep.clone());
+        let id = shared.insert("base", rep.clone()).unwrap();
         let (pinned, epoch) = shared.get_versioned(id).unwrap();
         assert_eq!(epoch, 0);
 
@@ -1104,8 +1270,8 @@ mod tests {
             .result;
 
         let mut shared = SharedDatabase::new();
-        let id = shared.insert("base", rep.clone());
-        let other = shared.insert("other", other_rep.clone());
+        let id = shared.insert("base", rep.clone()).unwrap();
+        let other = shared.insert("other", other_rep.clone()).unwrap();
         let server = FdbServer::new(engine, Arc::new(shared), 2);
 
         let query = select_a(a, 1).with_projection(vec![a, b]);

@@ -220,7 +220,10 @@ pub fn load_database_ctx(dir: &Path, ctx: &ExecCtx) -> Result<SharedDatabase> {
             });
         }
         let rep = load_rep_ctx(&dir.join(&file), ctx)?;
-        db.insert(name, rep);
+        db.insert(name, rep)
+            .map_err(|e| FdbError::SnapshotCorrupt {
+                detail: format!("manifest registers the same name twice: {e}"),
+            })?;
     }
     Ok(db)
 }
@@ -297,16 +300,16 @@ mod tests {
         let dir = scratch_dir("db");
         let rep = sample_rep();
         let mut db = SharedDatabase::new();
-        let first = db.insert("base", rep.clone());
-        let second = db.insert("other", rep.clone());
-        let dup = db.insert("base", rep.clone());
+        let first = db.insert("base", rep.clone()).unwrap();
+        let second = db.insert("other", rep.clone()).unwrap();
+        let third = db.insert("third", rep.clone()).unwrap();
 
         save_database(&db, &dir).unwrap();
         let loaded = load_database(&dir).unwrap();
         assert_eq!(loaded.len(), 3);
-        assert_eq!(loaded.find("base"), Some(first), "first registration wins");
+        assert_eq!(loaded.find("base"), Some(first));
         assert_eq!(loaded.find("other"), Some(second));
-        assert_eq!(loaded.name(dup), Some("base"));
+        assert_eq!(loaded.name(third), Some("third"));
         for id in loaded.ids() {
             assert!(loaded.get(id).unwrap().store_identical(&rep));
             assert_eq!(loaded.epoch(id), Some(0), "a fresh load starts at epoch 0");
@@ -318,7 +321,7 @@ mod tests {
     fn corrupted_manifests_are_rejected() {
         let dir = scratch_dir("manifest");
         let mut db = SharedDatabase::new();
-        db.insert("base", sample_rep());
+        db.insert("base", sample_rep()).unwrap();
         save_database(&db, &dir).unwrap();
 
         let manifest = dir.join(MANIFEST_FILE);

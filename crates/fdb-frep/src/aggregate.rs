@@ -10,12 +10,18 @@
 //! * [`AggregateKind::Sum`]`(A)` — sum of attribute `A` over all tuples,
 //! * [`AggregateKind::Min`]`(A)` / [`AggregateKind::Max`]`(A)`,
 //! * [`AggregateKind::Avg`]`(A)` — exact `(sum, count)` pair,
+//! * [`AggregateKind::CountDistinct`]`(A)` / [`AggregateKind::SumDistinct`]`(A)`
+//!   / [`AggregateKind::AvgDistinct`]`(A)` — over the *set* of `A` values,
 //!
-//! each as a **single flat reverse loop** over the arena's topological index
+//! each as a **single bottom-up pass** over the arena's topological index
 //! order — the same shape as [`FRep::tuple_count`], with no recursion and no
-//! per-node allocation beyond one accumulator per union.  Group-by on a root
-//! attribute ([`aggregate_grouped`]) reuses the same pass: the root union's
-//! entries are the groups, already in ascending value order.
+//! per-node allocation beyond one accumulator per union.  Group-by
+//! ([`aggregate_grouped`]) accepts any chain of attributes whose nodes form
+//! a prefix of a root-to-leaf path of the f-tree: the pass descends the
+//! chain, so groups are the value combinations along the path, emitted in
+//! lexicographic (nested ascending) key order.  Grouping on attributes that
+//! do *not* form such a chain is rejected here; the engine restructures the
+//! tree first (or falls back to the flat oracle) — see `fdb-core`.
 //!
 //! The composition rules are those of a commutative semiring product:
 //! a union adds its entries' accumulators (the entries represent disjoint
@@ -27,7 +33,16 @@
 //! count(X × Y) = count(X) · count(Y)
 //! sum_A(X × Y)  = sum_A(X) · count(Y) + sum_A(Y) · count(X)
 //! min_A(X × Y)  = min_A(X) ∪ min_A(Y)      (A labels exactly one factor)
+//! dist_A(X × Y) = dist_A(X) ∪ dist_A(Y)    (ditto; ∅ if either side is empty)
 //! ```
+//!
+//! `DISTINCT` aggregates replace the count-weighted semiring with a sorted
+//! value-set accumulator ([`DistinctAcc`]): unions take the sorted-merge
+//! union of their entries' sets, products take the union of their factors'
+//! sets (the target attribute labels exactly one factor) with empty-factor
+//! annihilation.  Multiplicities never enter, so no wrapping arithmetic is
+//! involved and `SUM(DISTINCT A)` is exact: at most `2^64` distinct 64-bit
+//! values sum to less than `2^128`.
 //!
 //! # Numeric semantics
 //!
@@ -43,6 +58,13 @@
 //!   ring, the factorised evaluation, the overlay evaluation and a flat
 //!   oracle that sums tuple-by-tuple with `wrapping_add` agree **bit for
 //!   bit** even when they associate the operations differently.
+//! * **`AVG` refuses to divide wrapped operands.**  A sticky overflow bit
+//!   rides along the accumulator; `COUNT`/`SUM` keep their documented
+//!   mod-`2^128` results, but an `AVG` whose sum or count wrapped would be
+//!   silently wrong, so [`Acc::finish`] reports
+//!   [`FdbError::AggregateOverflow`] instead of a plausible-looking mean.
+//!   Dead branches (empty products) contribute zero and never taint the
+//!   flag.
 //! * **`AVG` of an empty group is `None`** ([`AggregateValue::Avg`] holds
 //!   `Option<AvgValue>`); a non-empty group carries the exact wrapping
 //!   `(sum, count)` pair so callers choose their own division
@@ -84,6 +106,13 @@ pub enum AggregateKind {
     Max(AttrId),
     /// `AVG(A)`: exact `(sum, count)` pair, `None` on empty input.
     Avg(AttrId),
+    /// `COUNT(DISTINCT A)`: number of distinct values of the attribute.
+    CountDistinct(AttrId),
+    /// `SUM(DISTINCT A)`: exact sum of the distinct values of the attribute.
+    SumDistinct(AttrId),
+    /// `AVG(DISTINCT A)`: exact `(sum, count)` over the distinct values,
+    /// `None` on empty input.
+    AvgDistinct(AttrId),
 }
 
 impl AggregateKind {
@@ -94,8 +123,22 @@ impl AggregateKind {
             AggregateKind::Sum(a)
             | AggregateKind::Min(a)
             | AggregateKind::Max(a)
-            | AggregateKind::Avg(a) => Some(a),
+            | AggregateKind::Avg(a)
+            | AggregateKind::CountDistinct(a)
+            | AggregateKind::SumDistinct(a)
+            | AggregateKind::AvgDistinct(a) => Some(a),
         }
+    }
+
+    /// Whether this aggregate ranges over the distinct value *set* (and is
+    /// therefore evaluated with [`DistinctAcc`] instead of [`Acc`]).
+    pub fn is_distinct(self) -> bool {
+        matches!(
+            self,
+            AggregateKind::CountDistinct(_)
+                | AggregateKind::SumDistinct(_)
+                | AggregateKind::AvgDistinct(_)
+        )
     }
 }
 
@@ -107,6 +150,9 @@ impl std::fmt::Display for AggregateKind {
             AggregateKind::Min(a) => write!(f, "MIN({a})"),
             AggregateKind::Max(a) => write!(f, "MAX({a})"),
             AggregateKind::Avg(a) => write!(f, "AVG({a})"),
+            AggregateKind::CountDistinct(a) => write!(f, "COUNT(DISTINCT {a})"),
+            AggregateKind::SumDistinct(a) => write!(f, "SUM(DISTINCT {a})"),
+            AggregateKind::AvgDistinct(a) => write!(f, "AVG(DISTINCT {a})"),
         }
     }
 }
@@ -128,7 +174,8 @@ impl AvgValue {
 }
 
 /// The value of one evaluated aggregate (see the module docs for the
-/// numeric semantics).
+/// numeric semantics).  `DISTINCT` kinds reuse the plain variants:
+/// `COUNT(DISTINCT A)` reports [`AggregateValue::Count`], and so on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggregateValue {
     /// Number of tuples, modulo `2^128`.
@@ -148,10 +195,12 @@ pub enum AggregateValue {
 pub enum AggregateResult {
     /// Ungrouped aggregate.
     Scalar(AggregateValue),
-    /// Grouped aggregate: `(group value, aggregate)` rows in ascending group
-    /// value order; groups without tuples are omitted (as a flat `GROUP BY`
-    /// over the enumerated tuples would omit them).
-    Groups(Vec<(Value, AggregateValue)>),
+    /// Grouped aggregate: `(group key, aggregate)` rows, one key value per
+    /// group-by attribute in the requested attribute order, sorted
+    /// lexicographically ascending by key; groups without tuples are
+    /// omitted (as a flat `GROUP BY` over the enumerated tuples would omit
+    /// them).
+    Groups(Vec<(Vec<Value>, AggregateValue)>),
 }
 
 impl AggregateResult {
@@ -164,9 +213,37 @@ impl AggregateResult {
     }
 }
 
-/// The per-union accumulator: every aggregate kind is computed from the same
-/// four components, so one pass serves them all (and the overlay walk in
-/// `ops::fuse` reuses it unchanged).
+/// The algebra an aggregation pass folds with.  Two implementations: the
+/// count-weighted semiring [`Acc`] (COUNT/SUM/MIN/MAX/AVG) and the sorted
+/// value-set algebra [`DistinctAcc`] (the `DISTINCT` kinds).  Every walk in
+/// this module and in the fused overlay is generic over this trait, so the
+/// two algebras cannot drift structurally.
+pub(crate) trait Accumulator: Clone {
+    /// The accumulator of a union with no entries (identity of `add`).
+    fn none() -> Self;
+    /// The accumulator of the nullary relation `{⟨⟩}` (identity of
+    /// `product`).
+    fn one() -> Self;
+    /// The accumulator of a single singleton `⟨A:v⟩`; `carries_attr` says
+    /// whether the singleton's node carries the target attribute.
+    fn singleton(value: Value, carries_attr: bool) -> Self;
+    /// Combines the accumulators of two *independent* factors (a product).
+    fn product(self, other: Self) -> Self;
+    /// Combines the accumulators of two *disjoint* sub-relations (entries
+    /// of one union).
+    fn add(self, other: Self) -> Self;
+    /// Whether the accumulated sub-relation has no tuples (exact, not the
+    /// wrapping count).
+    fn is_empty(&self) -> bool;
+    /// Projects the requested aggregate out of the accumulator.  Fallible:
+    /// the `AVG` path refuses wrapped operands (see the module docs).
+    fn finish(self, kind: AggregateKind) -> Result<AggregateValue>;
+}
+
+/// The per-union accumulator of the count-weighted semiring: every
+/// non-`DISTINCT` aggregate kind is computed from the same components, so
+/// one pass serves them all (and the overlay walk in `ops::fuse` reuses it
+/// unchanged).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Acc {
     /// Number of tuples, modulo `2^128`.
@@ -179,93 +256,231 @@ pub(crate) struct Acc {
     pub(crate) max: Option<Value>,
     /// Exact emptiness, independent of the wrapping count.
     pub(crate) empty: bool,
+    /// Sticky wrap indicator: some `count`/`sum` operation on a *live*
+    /// branch overflowed 128 bits.  Invariant: `empty ⟹ !overflow` (a dead
+    /// branch contributes exact zeros, so its history is irrelevant).
+    pub(crate) overflow: bool,
 }
 
-impl Acc {
-    /// The accumulator of a union with no entries (identity of [`Acc::add`]).
-    pub(crate) fn none() -> Acc {
+impl Accumulator for Acc {
+    fn none() -> Acc {
         Acc {
             count: 0,
             sum: 0,
             min: None,
             max: None,
             empty: true,
+            overflow: false,
         }
     }
 
-    /// The accumulator of the nullary relation `{⟨⟩}` (identity of
-    /// [`Acc::product`]).
-    pub(crate) fn one() -> Acc {
+    fn one() -> Acc {
         Acc {
             count: 1,
             sum: 0,
             min: None,
             max: None,
             empty: false,
+            overflow: false,
         }
     }
 
-    /// The accumulator of a single singleton `⟨A:v⟩`: counts one tuple, and
-    /// contributes the value iff the singleton's node carries the target
-    /// attribute.
-    pub(crate) fn singleton(value: Value, carries_attr: bool) -> Acc {
+    fn singleton(value: Value, carries_attr: bool) -> Acc {
         Acc {
             count: 1,
             sum: if carries_attr { value.raw() as u128 } else { 0 },
             min: carries_attr.then_some(value),
             max: carries_attr.then_some(value),
             empty: false,
+            overflow: false,
         }
     }
 
-    /// Combines the accumulators of two *independent* factors (a product).
-    /// The target attribute labels at most one of the two, so at most one
-    /// `min`/`max` side is `Some`.
-    pub(crate) fn product(self, other: Acc) -> Acc {
+    /// The target attribute labels at most one of the two factors, so at
+    /// most one `min`/`max` side is `Some`.
+    fn product(self, other: Acc) -> Acc {
         let empty = self.empty || other.empty;
+        let (count, oc) = self.count.overflowing_mul(other.count);
+        let (lhs, ol) = self.sum.overflowing_mul(other.count);
+        let (rhs, or_) = other.sum.overflowing_mul(self.count);
+        let (sum, os) = lhs.overflowing_add(rhs);
         Acc {
-            count: self.count.wrapping_mul(other.count),
-            sum: self
-                .sum
-                .wrapping_mul(other.count)
-                .wrapping_add(other.sum.wrapping_mul(self.count)),
+            count,
+            sum,
             // At most one side ranges over the target attribute; an empty
             // factor annihilates the whole product.
             min: if empty { None } else { self.min.or(other.min) },
             max: if empty { None } else { self.max.or(other.max) },
             empty,
+            // An empty factor has count = sum = 0, so none of the four
+            // operations above can wrap on a dead product: clearing the
+            // flag keeps the `empty ⟹ !overflow` invariant without losing
+            // a live wrap.
+            overflow: !empty && (self.overflow || other.overflow || oc || ol || or_ || os),
         }
     }
 
-    /// Combines the accumulators of two *disjoint* sub-relations (entries of
-    /// one union).
-    pub(crate) fn add(self, other: Acc) -> Acc {
+    fn add(self, other: Acc) -> Acc {
         fn fold(a: Option<Value>, b: Option<Value>, min: bool) -> Option<Value> {
             match (a, b) {
                 (Some(x), Some(y)) => Some(if min { x.min(y) } else { x.max(y) }),
                 (x, y) => x.or(y),
             }
         }
+        let (count, oc) = self.count.overflowing_add(other.count);
+        let (sum, os) = self.sum.overflowing_add(other.sum);
         Acc {
-            count: self.count.wrapping_add(other.count),
-            sum: self.sum.wrapping_add(other.sum),
+            count,
+            sum,
             min: fold(self.min, other.min, true),
             max: fold(self.max, other.max, false),
+            empty: self.empty && other.empty,
+            overflow: self.overflow || other.overflow || oc || os,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    fn finish(self, kind: AggregateKind) -> Result<AggregateValue> {
+        match kind {
+            AggregateKind::Count => Ok(AggregateValue::Count(if self.empty {
+                0
+            } else {
+                self.count
+            })),
+            AggregateKind::Sum(_) => Ok(AggregateValue::Sum(if self.empty { 0 } else { self.sum })),
+            AggregateKind::Min(_) => Ok(AggregateValue::Min(self.min)),
+            AggregateKind::Max(_) => Ok(AggregateValue::Max(self.max)),
+            AggregateKind::Avg(_) => {
+                if self.overflow && !self.empty {
+                    return Err(FdbError::AggregateOverflow {
+                        detail: format!("{kind}: 128-bit sum or count wrapped"),
+                    });
+                }
+                Ok(AggregateValue::Avg((!self.empty).then_some(AvgValue {
+                    sum: self.sum,
+                    count: self.count,
+                })))
+            }
+            AggregateKind::CountDistinct(_)
+            | AggregateKind::SumDistinct(_)
+            | AggregateKind::AvgDistinct(_) => {
+                unreachable!("DISTINCT kinds are dispatched to DistinctAcc")
+            }
+        }
+    }
+}
+
+/// The sorted value-set accumulator behind the `DISTINCT` aggregate kinds:
+/// tracks the set of target-attribute values among the represented tuples
+/// (and the exact emptiness of the sub-relation), ignoring multiplicities
+/// entirely.  Unions and products both merge the sorted sets; an empty
+/// factor annihilates a product's set exactly as it zeroes a count.
+#[derive(Clone, Debug)]
+pub(crate) struct DistinctAcc {
+    /// Distinct target-attribute values, sorted ascending, no duplicates.
+    /// Invariant: `empty ⟹ values.is_empty()`.
+    values: Vec<Value>,
+    /// Exact emptiness of the accumulated sub-relation.
+    empty: bool,
+}
+
+/// Sorted-merge union of two sorted deduplicated value runs.
+fn merge_distinct(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl Accumulator for DistinctAcc {
+    fn none() -> DistinctAcc {
+        DistinctAcc {
+            values: Vec::new(),
+            empty: true,
+        }
+    }
+
+    fn one() -> DistinctAcc {
+        DistinctAcc {
+            values: Vec::new(),
+            empty: false,
+        }
+    }
+
+    fn singleton(value: Value, carries_attr: bool) -> DistinctAcc {
+        DistinctAcc {
+            values: if carries_attr {
+                vec![value]
+            } else {
+                Vec::new()
+            },
+            empty: false,
+        }
+    }
+
+    fn product(self, other: DistinctAcc) -> DistinctAcc {
+        let empty = self.empty || other.empty;
+        DistinctAcc {
+            // The target attribute labels exactly one factor, but the
+            // general sorted merge is correct (and cheap) either way; an
+            // empty factor annihilates: no tuples, hence no values.
+            values: if empty {
+                Vec::new()
+            } else {
+                merge_distinct(&self.values, &other.values)
+            },
+            empty,
+        }
+    }
+
+    fn add(self, other: DistinctAcc) -> DistinctAcc {
+        DistinctAcc {
+            values: merge_distinct(&self.values, &other.values),
             empty: self.empty && other.empty,
         }
     }
 
-    /// Projects the requested aggregate out of the accumulator.
-    pub(crate) fn finish(self, kind: AggregateKind) -> AggregateValue {
+    fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    fn finish(self, kind: AggregateKind) -> Result<AggregateValue> {
+        // At most 2^64 distinct 64-bit values, each below 2^64: the exact
+        // sum stays below 2^128, so no wrapping is possible here.
+        let sum = || self.values.iter().fold(0u128, |s, v| s + v.raw() as u128);
         match kind {
-            AggregateKind::Count => AggregateValue::Count(if self.empty { 0 } else { self.count }),
-            AggregateKind::Sum(_) => AggregateValue::Sum(if self.empty { 0 } else { self.sum }),
-            AggregateKind::Min(_) => AggregateValue::Min(self.min),
-            AggregateKind::Max(_) => AggregateValue::Max(self.max),
-            AggregateKind::Avg(_) => AggregateValue::Avg((!self.empty).then_some(AvgValue {
-                sum: self.sum,
-                count: self.count,
-            })),
+            AggregateKind::CountDistinct(_) => Ok(AggregateValue::Count(self.values.len() as u128)),
+            AggregateKind::SumDistinct(_) => Ok(AggregateValue::Sum(sum())),
+            AggregateKind::AvgDistinct(_) => {
+                Ok(AggregateValue::Avg((!self.values.is_empty()).then(|| {
+                    AvgValue {
+                        sum: sum(),
+                        count: self.values.len() as u128,
+                    }
+                })))
+            }
+            _ => unreachable!("non-DISTINCT kinds are dispatched to Acc"),
         }
     }
 }
@@ -305,29 +520,67 @@ impl AggTarget {
     }
 }
 
-/// Resolves a group-by attribute: it must be visible and label a **root**
-/// node of the f-tree (the root union's entries are the groups).  Returns
-/// the root node.
-pub(crate) fn resolve_group_root(tree: &FTree, group_by: AttrId) -> Result<NodeId> {
-    let Some(node) = tree.node_of_attr(group_by) else {
-        return Err(FdbError::AttributeNotInQuery {
-            attr: format!("{group_by}"),
-        });
-    };
-    if !tree.visible_attrs(node).contains(&group_by) {
-        return Err(FdbError::InvalidOperator {
-            detail: format!("group-by over projected-away attribute {group_by}"),
-        });
+/// A group-by attribute chain resolved against a concrete f-tree: the nodes
+/// of the attributes form a prefix of a root-to-leaf path.
+#[derive(Clone, Debug)]
+pub(crate) struct GroupPath {
+    /// The distinct nodes along the chain, outermost (a root) first; each
+    /// subsequent node is a child of its predecessor.
+    pub(crate) path: Vec<NodeId>,
+    /// For each requested group-by attribute (in request order), the index
+    /// into `path` of the node that carries it — attributes of one class
+    /// share a slot.
+    pub(crate) key_slots: Vec<usize>,
+}
+
+/// Resolves a group-by attribute chain: every attribute must be visible,
+/// the first attribute's node must be a **root** of the f-tree, and each
+/// subsequent attribute's node must be the same node as (class sibling) or
+/// a child of the previous one.  Chains that do not satisfy this are
+/// rejected with [`FdbError::InvalidOperator`]; the engine reacts by
+/// restructuring the f-tree so they do (or falling back to enumeration).
+pub(crate) fn resolve_group_path(tree: &FTree, group_by: &[AttrId]) -> Result<GroupPath> {
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut key_slots = Vec::with_capacity(group_by.len());
+    for &attr in group_by {
+        let Some(node) = tree.node_of_attr(attr) else {
+            return Err(FdbError::AttributeNotInQuery {
+                attr: format!("{attr}"),
+            });
+        };
+        if !tree.visible_attrs(node).contains(&attr) {
+            return Err(FdbError::InvalidOperator {
+                detail: format!("group-by over projected-away attribute {attr}"),
+            });
+        }
+        match path.last() {
+            None => {
+                if tree.parent(node).is_some() {
+                    return Err(FdbError::InvalidOperator {
+                        detail: format!(
+                            "group-by attribute {attr} labels non-root node {node}; \
+                             the group-by chain must start at a root"
+                        ),
+                    });
+                }
+                path.push(node);
+            }
+            Some(&prev) if prev == node => {}
+            Some(&prev) => {
+                if tree.parent(node) != Some(prev) {
+                    return Err(FdbError::InvalidOperator {
+                        detail: format!(
+                            "group-by attribute {attr} (node {node}) does not extend the \
+                             root path chain ending at node {prev}"
+                        ),
+                    });
+                }
+                path.push(node);
+            }
+        }
+        key_slots.push(path.len() - 1);
     }
-    if tree.parent(node).is_some() {
-        return Err(FdbError::InvalidOperator {
-            detail: format!(
-                "group-by attribute {group_by} labels non-root node {node}; \
-                 only root-attribute grouping is supported"
-            ),
-        });
-    }
-    Ok(node)
+    Ok(GroupPath { path, key_slots })
 }
 
 /// A conjunction of constant-selection predicates folded into an aggregate
@@ -364,9 +617,9 @@ impl AggFilter {
 /// (virtual) union; how it is produced — a precomputed flat pass or a
 /// memoized recursive walk — is the implementor's business.  A source with
 /// a non-trivial [`AggFilter`] must skip filtered-out entries in `acc_of`
-/// itself; the scaffold applies the filter only to the group root's entries,
-/// which it folds directly.
-pub(crate) trait AggSource {
+/// itself; the scaffold applies the filter only to the group-path unions,
+/// whose entries it folds directly.
+pub(crate) trait AggSource<A: Accumulator> {
     /// A (virtual) union reference.
     type Id: Copy + PartialEq;
     /// The root unions, in root-list order.
@@ -384,7 +637,98 @@ pub(crate) trait AggSource {
     /// The accumulator of the whole union.  Fallible so a source that folds
     /// lazily (the overlay walk) can observe the governance context and
     /// abort mid-fold; the precomputed arena source never errs.
-    fn acc_of(&mut self, v: Self::Id, target: AggTarget) -> Result<Acc>;
+    fn acc_of(&mut self, v: Self::Id, target: AggTarget) -> Result<A>;
+}
+
+/// The recursive group-path descent behind grouped evaluation: walks the
+/// union over `path[depth]`, extending the group key with each live entry's
+/// value.  `prefix` carries the product of everything independent of the
+/// remaining path suffix: the ancestor singletons, their off-path children,
+/// and the other root unions.  Because each union's entries are sorted
+/// ascending and the recursion nests in path order, rows come out in
+/// lexicographic ascending key order — the same order a `BTreeMap` keyed by
+/// the key vector produces.
+#[allow(clippy::too_many_arguments)]
+fn grouped_descend<A: Accumulator, S: AggSource<A>>(
+    src: &mut S,
+    gp: &GroupPath,
+    depth: usize,
+    u: S::Id,
+    prefix: &A,
+    target: AggTarget,
+    kind: AggregateKind,
+    filter: &AggFilter,
+    key: &mut Vec<Value>,
+    rows: &mut Vec<(Vec<Value>, AggregateValue)>,
+    ctx: &ExecCtx,
+) -> Result<()> {
+    let node = gp.path[depth];
+    let len = src.len(u);
+    ctx.charge(1 + len as u64)?;
+    if len == 0 {
+        return Ok(());
+    }
+    let kid_count = src.kid_count(u);
+    // Which kid slot continues the chain (fixed per union: every entry's
+    // kid at a slot ranges over the same child node).
+    let next_slot = if depth + 1 < gp.path.len() {
+        let want = gp.path[depth + 1];
+        let slot = (0..kid_count).find(|&k| src.node_of(src.kid(u, 0, k)) == want);
+        match slot {
+            Some(k) => Some(k),
+            None => {
+                return Err(FdbError::MalformedRepresentation {
+                    detail: format!("no child union over node {want} under node {node}"),
+                })
+            }
+        }
+    } else {
+        None
+    };
+    for i in 0..len {
+        let value = src.value(u, i);
+        // The scaffold folds the group-path entries itself, so the folded
+        // trailing selections apply here too: a filtered-out group is
+        // omitted exactly like a group whose product is empty.
+        if !filter.passes(node, value) {
+            continue;
+        }
+        let mut acc = prefix
+            .clone()
+            .product(A::singleton(value, target.carried_by(node)));
+        for k in 0..kid_count {
+            if Some(k) == next_slot {
+                continue;
+            }
+            acc = acc.product(src.acc_of(src.kid(u, i, k), target)?);
+        }
+        if acc.is_empty() {
+            // A dead off-path factor annihilates every tuple below this
+            // entry: no group under it can surface.
+            continue;
+        }
+        key[depth] = value;
+        match next_slot {
+            None => rows.push((
+                gp.key_slots.iter().map(|&s| key[s]).collect(),
+                acc.finish(kind)?,
+            )),
+            Some(k) => grouped_descend(
+                src,
+                gp,
+                depth + 1,
+                src.kid(u, i, k),
+                &acc,
+                target,
+                kind,
+                filter,
+                key,
+                rows,
+                ctx,
+            )?,
+        }
+    }
+    Ok(())
 }
 
 /// The shared evaluation scaffold over any [`AggSource`] — the one place
@@ -392,75 +736,57 @@ pub(crate) trait AggSource {
 /// the arena pass and the overlay pass cannot drift apart:
 ///
 /// * scalar: the product of the root accumulators;
-/// * grouped: one row per entry of the group root's union (ascending value
-///   order), each multiplied with the product of the *other* roots, rows
-///   whose product is empty omitted.
-pub(crate) fn evaluate_source<S: AggSource>(
+/// * grouped: one row per live combination of group-path values (see
+///   [`grouped_descend`]), each multiplied with the product of the *other*
+///   roots and the off-path factors, rows whose product is empty omitted.
+pub(crate) fn evaluate_source<A: Accumulator, S: AggSource<A>>(
     src: &mut S,
     tree: &FTree,
     kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
     filter: &AggFilter,
     ctx: &ExecCtx,
 ) -> Result<AggregateResult> {
     let target = AggTarget::resolve(tree, kind)?;
     let roots = src.roots();
-    let Some(group) = group_by else {
-        let mut total = Acc::one();
+    if group_by.is_empty() {
+        let mut total = A::one();
         for &r in &roots {
             total = total.product(src.acc_of(r, target)?);
         }
-        return Ok(AggregateResult::Scalar(total.finish(kind)));
-    };
-    let group_node = resolve_group_root(tree, group)?;
+        return Ok(AggregateResult::Scalar(total.finish(kind)?));
+    }
+    let gp = resolve_group_path(tree, group_by)?;
     let group_root = roots
         .iter()
         .copied()
-        .find(|&r| src.node_of(r) == group_node)
+        .find(|&r| src.node_of(r) == gp.path[0])
         .expect("validated representation: one root union per root node");
     // The independent context: the product of every other root union.
-    let mut context = Acc::one();
+    let mut context = A::one();
     for &r in &roots {
         if r != group_root {
             context = context.product(src.acc_of(r, target)?);
         }
     }
-    let carries = target.carried_by(group_node);
-    let kid_count = src.kid_count(group_root);
-    let len = src.len(group_root);
-    ctx.charge(1 + len as u64)?;
-    let mut rows = Vec::with_capacity(len as usize);
-    for i in 0..len {
-        let value = src.value(group_root, i);
-        // The scaffold folds the group root's entries itself, so the folded
-        // trailing selections apply here too: a filtered-out group is
-        // omitted exactly like a group whose product is empty.
-        if !filter.passes(group_node, value) {
-            continue;
-        }
-        let mut acc = Acc::singleton(value, carries);
-        for k in 0..kid_count {
-            acc = acc.product(src.acc_of(src.kid(group_root, i, k), target)?);
-        }
-        acc = acc.product(context);
-        if acc.empty {
-            continue;
-        }
-        rows.push((value, acc.finish(kind)));
-    }
+    let mut key = vec![Value::new(0); gp.path.len()];
+    let mut rows = Vec::new();
+    grouped_descend(
+        src, &gp, 0, group_root, &context, target, kind, filter, &mut key, &mut rows, ctx,
+    )?;
     Ok(AggregateResult::Groups(rows))
 }
 
 /// The frozen arena as an aggregation source: accumulators come from one
 /// flat reverse loop over the union arena ([`union_accs`]), everything else
 /// is a plain arena read.
-struct ArenaSource<'a> {
+struct ArenaSource<'a, A> {
     store: &'a Store,
     kid_counts: Vec<u32>,
-    accs: Vec<Acc>,
+    accs: Vec<A>,
 }
 
-impl AggSource for ArenaSource<'_> {
+impl<A: Accumulator> AggSource<A> for ArenaSource<'_, A> {
     type Id = u32;
 
     fn roots(&self) -> Vec<u32> {
@@ -487,21 +813,21 @@ impl AggSource for ArenaSource<'_> {
         self.store.kid(v, i, k)
     }
 
-    fn acc_of(&mut self, v: u32, _target: AggTarget) -> Result<Acc> {
-        Ok(self.accs[v as usize])
+    fn acc_of(&mut self, v: u32, _target: AggTarget) -> Result<A> {
+        Ok(self.accs[v as usize].clone())
     }
 }
 
 /// The single flat reverse loop: one accumulator per union, children before
 /// parents thanks to the arena's topological index order — the exact shape
 /// of [`FRep::tuple_count`].
-fn union_accs(
+fn union_accs<A: Accumulator>(
     store: &Store,
     kid_counts: &[u32],
     target: AggTarget,
     ctx: &ExecCtx,
-) -> Result<Vec<Acc>> {
-    let mut accs = vec![Acc::none(); store.unions.len()];
+) -> Result<Vec<A>> {
+    let mut accs = vec![A::none(); store.unions.len()];
     // Batch the per-union charges up to the context's own check interval:
     // the fold body is a handful of adds per record, so charging record by
     // record would dominate it, while one flush per interval keeps the
@@ -516,12 +842,12 @@ fn union_accs(
         }
         let carries = target.carried_by(rec.node);
         let kid_count = kid_counts[rec.node.index()] as usize;
-        let mut total = Acc::none();
+        let mut total = A::none();
         for e in rec.entries_start..rec.entries_start + rec.entries_len {
             let entry = store.entries[e as usize];
-            let mut acc = Acc::singleton(entry.value, carries);
+            let mut acc = A::singleton(entry.value, carries);
             for k in 0..kid_count {
-                acc = acc.product(accs[store.kids[entry.kids_start as usize + k] as usize]);
+                acc = acc.product(accs[store.kids[entry.kids_start as usize + k] as usize].clone());
             }
             total = total.add(acc);
         }
@@ -531,31 +857,16 @@ fn union_accs(
     Ok(accs)
 }
 
-/// Evaluates an aggregate (optionally grouped by a root attribute) over the
-/// representation in one flat bottom-up pass over the arena.  See the
-/// module docs for the numeric semantics.
-pub fn evaluate(
+/// [`evaluate_ctx`] monomorphised over one accumulator algebra.
+fn evaluate_typed<A: Accumulator>(
     rep: &FRep,
     kind: AggregateKind,
-    group_by: Option<AttrId>,
-) -> Result<AggregateResult> {
-    evaluate_ctx(rep, kind, group_by, &ExecCtx::unlimited())
-}
-
-/// [`evaluate`] under a governance context: the flat bottom-up pass charges
-/// one unit per union record, so a deadline, budget or cancellation flag
-/// interrupts the fold between unions with no partial state (the aggregate
-/// never mutates the representation).
-pub fn evaluate_ctx(
-    rep: &FRep,
-    kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
     ctx: &ExecCtx,
 ) -> Result<AggregateResult> {
-    failpoint!(ctx, "aggregate.fold");
     let target = AggTarget::resolve(rep.tree(), kind)?;
     let kid_counts = crate::store::kid_count_table(rep.tree());
-    let accs = union_accs(rep.store(), &kid_counts, target, ctx)?;
+    let accs = union_accs::<A>(rep.store(), &kid_counts, target, ctx)?;
     let mut src = ArenaSource {
         store: rep.store(),
         kid_counts,
@@ -571,24 +882,49 @@ pub fn evaluate_ctx(
     )
 }
 
-/// Evaluates an ungrouped aggregate — [`evaluate`] with `group_by: None`.
+/// Evaluates an aggregate (optionally grouped by a root-path attribute
+/// chain) over the representation in one flat bottom-up pass over the
+/// arena.  See the module docs for the numeric semantics.
+pub fn evaluate(rep: &FRep, kind: AggregateKind, group_by: &[AttrId]) -> Result<AggregateResult> {
+    evaluate_ctx(rep, kind, group_by, &ExecCtx::unlimited())
+}
+
+/// [`evaluate`] under a governance context: the flat bottom-up pass charges
+/// one unit per union record, so a deadline, budget or cancellation flag
+/// interrupts the fold between unions with no partial state (the aggregate
+/// never mutates the representation).
+pub fn evaluate_ctx(
+    rep: &FRep,
+    kind: AggregateKind,
+    group_by: &[AttrId],
+    ctx: &ExecCtx,
+) -> Result<AggregateResult> {
+    failpoint!(ctx, "aggregate.fold");
+    if kind.is_distinct() {
+        evaluate_typed::<DistinctAcc>(rep, kind, group_by, ctx)
+    } else {
+        evaluate_typed::<Acc>(rep, kind, group_by, ctx)
+    }
+}
+
+/// Evaluates an ungrouped aggregate — [`evaluate`] with no group-by.
 pub fn aggregate(rep: &FRep, kind: AggregateKind) -> Result<AggregateValue> {
-    match evaluate(rep, kind, None)? {
+    match evaluate(rep, kind, &[])? {
         AggregateResult::Scalar(v) => Ok(v),
         AggregateResult::Groups(_) => unreachable!("ungrouped evaluation returns a scalar"),
     }
 }
 
-/// Evaluates an aggregate grouped by a root attribute: one output row per
-/// entry of the root union over that attribute (ascending value order),
-/// each aggregated over the entry's subtree times the *other* root unions.
-/// Groups without tuples are omitted.  [`evaluate`] with `group_by: Some`.
+/// Evaluates an aggregate grouped by a root-path attribute chain: one
+/// output row per live combination of the chain's values (lexicographic
+/// ascending key order), each aggregated over the matching tuples.  Groups
+/// without tuples are omitted.  [`evaluate`] with a non-empty group-by.
 pub fn aggregate_grouped(
     rep: &FRep,
     kind: AggregateKind,
-    group_by: AttrId,
-) -> Result<Vec<(Value, AggregateValue)>> {
-    match evaluate(rep, kind, Some(group_by))? {
+    group_by: &[AttrId],
+) -> Result<Vec<(Vec<Value>, AggregateValue)>> {
+    match evaluate(rep, kind, group_by)? {
         AggregateResult::Groups(rows) => Ok(rows),
         AggregateResult::Scalar(_) => unreachable!("grouped evaluation returns rows"),
     }
@@ -596,18 +932,21 @@ pub fn aggregate_grouped(
 
 /// The materialise-then-aggregate reference evaluator: enumerates the
 /// represented relation tuple by tuple with the constant-delay cursor and
-/// folds the aggregate with plain iterators — the plan a flat engine would
-/// run.  Same wrapping 128-bit arithmetic as the one-pass evaluators, so
-/// the results agree bit for bit; the equivalence tests use it as the flat
-/// oracle and the benchmarks as the timed baseline.  Unlike [`evaluate`],
-/// grouping works on *any* visible attribute (the oracle pays the flat
-/// enumeration anyway), and groups come out in ascending value order with
-/// empty groups absent, matching [`aggregate_grouped`].
+/// folds the aggregate with plain collections — the plan a flat engine
+/// would run.  Same wrapping 128-bit arithmetic as the one-pass evaluators
+/// (and a `BTreeSet` per group for the `DISTINCT` kinds), so the results
+/// agree bit for bit; the equivalence tests use it as the flat oracle and
+/// the benchmarks as the timed baseline.  Unlike [`evaluate`], grouping
+/// works on *any* visible attribute set in any order (the oracle pays the
+/// flat enumeration anyway), and groups come out sorted ascending by key
+/// vector with empty groups absent, matching [`aggregate_grouped`] whenever
+/// the requested chain is evaluable there.
 pub fn by_enumeration(
     rep: &FRep,
     kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
 ) -> Result<AggregateResult> {
+    use std::collections::{BTreeMap, BTreeSet};
     let visible = rep.visible_attrs();
     let col_of = |attr: AttrId| {
         visible
@@ -620,7 +959,40 @@ pub fn by_enumeration(
         Some(attr) => Some(col_of(attr)?),
         None => None,
     };
-    let finish = |acc: Acc| acc.finish(kind);
+    let gcols = group_by
+        .iter()
+        .map(|&g| col_of(g))
+        .collect::<Result<Vec<_>>>()?;
+    if kind.is_distinct() {
+        // The hash-set oracle: one value set per group plus an exact
+        // liveness bit (an empty relation has no groups anyway, but the
+        // scalar case needs to distinguish "no tuples" for AVG).
+        let dcol = col.expect("DISTINCT kinds always carry an attribute");
+        let mut groups: BTreeMap<Vec<Value>, BTreeSet<Value>> = BTreeMap::new();
+        crate::enumerate::for_each_tuple(rep, |t| {
+            groups
+                .entry(gcols.iter().map(|&c| t[c]).collect())
+                .or_default()
+                .insert(t[dcol]);
+        });
+        let finish = |set: BTreeSet<Value>| {
+            DistinctAcc {
+                values: set.into_iter().collect(),
+                empty: false,
+            }
+            .finish(kind)
+        };
+        if group_by.is_empty() {
+            let set = groups.into_values().next().unwrap_or_default();
+            return Ok(AggregateResult::Scalar(finish(set)?));
+        }
+        return Ok(AggregateResult::Groups(
+            groups
+                .into_iter()
+                .map(|(k, set)| Ok((k, finish(set)?)))
+                .collect::<Result<Vec<_>>>()?,
+        ));
+    }
     let fold = |acc: &mut Acc, t: &[Value]| {
         let singleton = match col {
             Some(c) => Acc::singleton(t[c], true),
@@ -628,27 +1000,26 @@ pub fn by_enumeration(
         };
         *acc = acc.add(singleton);
     };
-    match group_by {
-        None => {
-            let mut acc = Acc::none();
-            crate::enumerate::for_each_tuple(rep, |t| fold(&mut acc, t));
-            Ok(AggregateResult::Scalar(finish(acc)))
-        }
-        Some(group) => {
-            let gcol = col_of(group)?;
-            let mut groups: std::collections::BTreeMap<Value, Acc> =
-                std::collections::BTreeMap::new();
-            crate::enumerate::for_each_tuple(rep, |t| {
-                fold(groups.entry(t[gcol]).or_insert_with(Acc::none), t);
-            });
-            Ok(AggregateResult::Groups(
-                groups
-                    .into_iter()
-                    .map(|(g, acc)| (g, finish(acc)))
-                    .collect(),
-            ))
-        }
+    if group_by.is_empty() {
+        let mut acc = Acc::none();
+        crate::enumerate::for_each_tuple(rep, |t| fold(&mut acc, t));
+        return Ok(AggregateResult::Scalar(acc.finish(kind)?));
     }
+    let mut groups: BTreeMap<Vec<Value>, Acc> = BTreeMap::new();
+    crate::enumerate::for_each_tuple(rep, |t| {
+        fold(
+            groups
+                .entry(gcols.iter().map(|&c| t[c]).collect())
+                .or_insert_with(Acc::none),
+            t,
+        );
+    });
+    Ok(AggregateResult::Groups(
+        groups
+            .into_iter()
+            .map(|(g, acc)| Ok((g, acc.finish(kind)?)))
+            .collect::<Result<Vec<_>>>()?,
+    ))
 }
 
 #[cfg(test)]
@@ -660,6 +1031,10 @@ mod tests {
 
     fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
         ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    fn key(vs: &[u64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::new(v)).collect()
     }
 
     /// Example 3 of the paper: ⟨A:1⟩×(⟨B:1⟩ ∪ ⟨B:2⟩) ∪ ⟨A:2⟩×⟨B:2⟩,
@@ -719,26 +1094,97 @@ mod tests {
     }
 
     #[test]
+    fn example3_distinct_aggregates() {
+        let rep = example3();
+        // Distinct A values {1, 2}; distinct B values {1, 2}.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::CountDistinct(AttrId(1))).unwrap(),
+            AggregateValue::Count(2)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::SumDistinct(AttrId(1))).unwrap(),
+            AggregateValue::Sum(3)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::AvgDistinct(AttrId(0))).unwrap(),
+            AggregateValue::Avg(Some(AvgValue { sum: 3, count: 2 }))
+        );
+        // The flat hash-set oracle agrees bit for bit.
+        for kind in [
+            AggregateKind::CountDistinct(AttrId(0)),
+            AggregateKind::SumDistinct(AttrId(1)),
+            AggregateKind::AvgDistinct(AttrId(1)),
+        ] {
+            assert_eq!(
+                evaluate(&rep, kind, &[]).unwrap(),
+                by_enumeration(&rep, kind, &[]).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn example3_grouped_by_root() {
         let rep = example3();
-        let rows = aggregate_grouped(&rep, AggregateKind::Count, AttrId(0)).unwrap();
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0)]).unwrap();
         assert_eq!(
             rows,
             vec![
-                (Value::new(1), AggregateValue::Count(2)),
-                (Value::new(2), AggregateValue::Count(1)),
+                (key(&[1]), AggregateValue::Count(2)),
+                (key(&[2]), AggregateValue::Count(1)),
             ]
         );
-        let rows = aggregate_grouped(&rep, AggregateKind::Sum(AttrId(1)), AttrId(0)).unwrap();
+        let rows = aggregate_grouped(&rep, AggregateKind::Sum(AttrId(1)), &[AttrId(0)]).unwrap();
         assert_eq!(
             rows,
             vec![
-                (Value::new(1), AggregateValue::Sum(3)),
-                (Value::new(2), AggregateValue::Sum(2)),
+                (key(&[1]), AggregateValue::Sum(3)),
+                (key(&[2]), AggregateValue::Sum(2)),
             ]
         );
-        // Grouping by a non-root attribute is rejected.
-        assert!(aggregate_grouped(&rep, AggregateKind::Count, AttrId(1)).is_err());
+        // Grouping by a non-root attribute alone is rejected: the chain
+        // must start at a root (the engine restructures first).
+        assert!(aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(1)]).is_err());
+        // So is a chain in child-before-parent order.
+        assert!(aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(1), AttrId(0)]).is_err());
+    }
+
+    #[test]
+    fn example3_grouped_by_path() {
+        let rep = example3();
+        // Grouping by the full root-to-leaf path enumerates the tuples.
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (key(&[1, 1]), AggregateValue::Count(1)),
+                (key(&[1, 2]), AggregateValue::Count(1)),
+                (key(&[2, 2]), AggregateValue::Count(1)),
+            ]
+        );
+        // Distinct grouped by the root: A=1 sees B∈{1,2}, A=2 sees {2}.
+        let rows =
+            aggregate_grouped(&rep, AggregateKind::CountDistinct(AttrId(1)), &[AttrId(0)]).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (key(&[1]), AggregateValue::Count(2)),
+                (key(&[2]), AggregateValue::Count(1)),
+            ]
+        );
+        // Path grouping agrees with the flat oracle for every kind.
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum(AttrId(1)),
+            AggregateKind::Avg(AttrId(0)),
+            AggregateKind::CountDistinct(AttrId(1)),
+            AggregateKind::SumDistinct(AttrId(0)),
+        ] {
+            assert_eq!(
+                evaluate(&rep, kind, &[AttrId(0), AttrId(1)]).unwrap(),
+                by_enumeration(&rep, kind, &[AttrId(0), AttrId(1)]).unwrap(),
+                "kind {kind}"
+            );
+        }
     }
 
     #[test]
@@ -763,7 +1209,15 @@ mod tests {
             aggregate(&rep, AggregateKind::Avg(AttrId(0))).unwrap(),
             AggregateValue::Avg(None)
         );
-        assert!(aggregate_grouped(&rep, AggregateKind::Count, AttrId(0))
+        assert_eq!(
+            aggregate(&rep, AggregateKind::CountDistinct(AttrId(0))).unwrap(),
+            AggregateValue::Count(0)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::AvgDistinct(AttrId(0))).unwrap(),
+            AggregateValue::Avg(None)
+        );
+        assert!(aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0)])
             .unwrap()
             .is_empty());
     }
@@ -784,6 +1238,10 @@ mod tests {
         let rep = example3();
         assert!(matches!(
             aggregate(&rep, AggregateKind::Sum(AttrId(9))),
+            Err(FdbError::AttributeNotInQuery { .. })
+        ));
+        assert!(matches!(
+            aggregate(&rep, AggregateKind::CountDistinct(AttrId(9))),
             Err(FdbError::AttributeNotInQuery { .. })
         ));
         // Projecting B away removes its exhausted leaf from the tree: the
@@ -829,9 +1287,16 @@ mod tests {
             aggregate(&rep, AggregateKind::Max(AttrId(1))).unwrap(),
             AggregateValue::Max(Some(Value::new(7)))
         );
-        // The dead group is omitted entirely.
-        let rows = aggregate_grouped(&rep, AggregateKind::Count, AttrId(0)).unwrap();
-        assert_eq!(rows, vec![(Value::new(2), AggregateValue::Count(1))]);
+        // The dead branch contributes no distinct values either.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::CountDistinct(AttrId(0))).unwrap(),
+            AggregateValue::Count(1)
+        );
+        // The dead group is omitted entirely — from both group shapes.
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0)]).unwrap();
+        assert_eq!(rows, vec![(key(&[2]), AggregateValue::Count(1))]);
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(rows, vec![(key(&[2, 7]), AggregateValue::Count(1))]);
     }
 
     #[test]
@@ -852,6 +1317,16 @@ mod tests {
                 AggregateValue::Sum(12)
             );
         }
+        // Both class attributes share one key slot: the key repeats the
+        // node value, once per requested attribute.
+        let rows = aggregate_grouped(&rep, AggregateKind::Count, &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (key(&[3, 3]), AggregateValue::Count(1)),
+                (key(&[9, 9]), AggregateValue::Count(1)),
+            ]
+        );
     }
 
     #[test]
@@ -891,11 +1366,133 @@ mod tests {
             aggregate(&rep, AggregateKind::Sum(AttrId(1))).unwrap(),
             AggregateValue::Sum(36)
         );
+        // Multiplicities never enter the DISTINCT kinds: B∈{5,6,7} even
+        // though every value occurs twice.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::CountDistinct(AttrId(1))).unwrap(),
+            AggregateValue::Count(3)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::SumDistinct(AttrId(1))).unwrap(),
+            AggregateValue::Sum(18)
+        );
         // Group by B (a root attribute): every group has 2 tuples.
-        let rows = aggregate_grouped(&rep, AggregateKind::Avg(AttrId(0)), AttrId(1)).unwrap();
+        let rows = aggregate_grouped(&rep, AggregateKind::Avg(AttrId(0)), &[AttrId(1)]).unwrap();
         assert_eq!(rows.len(), 3);
         for (_, v) in rows {
             assert_eq!(v, AggregateValue::Avg(Some(AvgValue { sum: 3, count: 2 })));
         }
+    }
+
+    #[test]
+    fn avg_overflow_is_reported_count_keeps_wrapping() {
+        // 128 independent roots of 2 entries each: the true count is
+        // 2^128, which wraps to exactly 0.  COUNT keeps its documented
+        // modular result; AVG refuses to divide wrapped operands.
+        let mut edges = Vec::new();
+        for i in 0..128u32 {
+            edges.push(DepEdge::new(format!("R{i}"), attrs(&[i]), 2));
+        }
+        let mut tree = FTree::new(edges);
+        let mut unions = Vec::new();
+        for i in 0..128u32 {
+            let n = tree.add_node(attrs(&[i]), None).unwrap();
+            unions.push(Union::new(
+                n,
+                vec![Entry::leaf(Value::new(1)), Entry::leaf(Value::new(2))],
+            ));
+        }
+        let rep = FRep::from_parts(tree, unions).unwrap();
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(0)
+        );
+        assert!(matches!(
+            aggregate(&rep, AggregateKind::Avg(AttrId(0))),
+            Err(FdbError::AggregateOverflow { .. })
+        ));
+        // The DISTINCT average never multiplies counts: still exact.
+        assert_eq!(
+            aggregate(&rep, AggregateKind::AvgDistinct(AttrId(0))).unwrap(),
+            AggregateValue::Avg(Some(AvgValue { sum: 3, count: 2 }))
+        );
+    }
+
+    #[test]
+    fn dead_branch_overflow_never_taints_avg() {
+        // Root A with two entries and 129 child nodes.  Under A=1 the first
+        // 128 children have two entries each — their product counts 2^128
+        // tuples, which wraps the 128-bit count to 0 with the overflow bit
+        // set — and the 129th child is an empty union that annihilates the
+        // whole branch.  Under A=2 every child is a single entry: one live
+        // tuple.  AVG must succeed even though the dead branch wrapped its
+        // count before being annihilated.
+        let mut edges = vec![DepEdge::new("R", attrs(&[0]), 2)];
+        for i in 1..=129u32 {
+            edges.push(DepEdge::new(format!("S{i}"), attrs(&[0, i]), 2));
+        }
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let mut kids = Vec::new();
+        for i in 1..=129u32 {
+            kids.push(tree.add_node(attrs(&[i]), Some(a)).unwrap());
+        }
+        let dead_children: Vec<Union> = kids
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                if i + 1 == kids.len() {
+                    Union::empty(k)
+                } else {
+                    Union::new(
+                        k,
+                        vec![
+                            Entry {
+                                value: Value::new(1),
+                                children: vec![],
+                            },
+                            Entry {
+                                value: Value::new(2),
+                                children: vec![],
+                            },
+                        ],
+                    )
+                }
+            })
+            .collect();
+        let live_children: Vec<Union> = kids
+            .iter()
+            .map(|&k| {
+                Union::new(
+                    k,
+                    vec![Entry {
+                        value: Value::new(5),
+                        children: vec![],
+                    }],
+                )
+            })
+            .collect();
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: dead_children,
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: live_children,
+                },
+            ],
+        );
+        let rep = FRep::from_parts(tree, vec![union]).unwrap();
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Count).unwrap(),
+            AggregateValue::Count(1)
+        );
+        assert_eq!(
+            aggregate(&rep, AggregateKind::Avg(AttrId(0))).unwrap(),
+            AggregateValue::Avg(Some(AvgValue { sum: 2, count: 1 }))
+        );
     }
 }

@@ -31,7 +31,8 @@
 //! only setup that walks the f-tree), and merges the chunks sequentially.
 
 use crate::frep::FRep;
-use fdb_common::{failpoint, ExecCtx, FdbError, Result, Value};
+use fdb_common::{failpoint, AttrId, ExecCtx, FdbError, Result, Value};
+use fdb_ftree::{FTree, NodeId};
 use fdb_relation::Relation;
 use std::sync::{mpsc, Arc};
 use workpool::ThreadPool;
@@ -114,13 +115,113 @@ impl CursorConfig {
         }
     }
 
-    /// Number of entries of the first root union (the partitionable range
+    /// Computes a slot layout whose **outermost odometer wheels are the
+    /// given root-path chain**: `chain[0]` (which must label a root) becomes
+    /// slot 0, `chain[1]` (a child of `chain[0]`) slot 1, and so on; the
+    /// remaining nodes follow in plain DFS order.  Slot order is exactly the
+    /// odometer's significance order, so a cursor over this layout emits
+    /// tuples sorted by the chain nodes' values first — ordered enumeration
+    /// is free once the ordering attributes sit on the root path (the 2013
+    /// follow-up paper's observation).  Any parents-before-children slot
+    /// order is valid for the odometer, so correctness does not depend on
+    /// the chain: only the emission order changes.
+    ///
+    /// An empty chain degenerates to [`CursorConfig::new`].
+    pub fn with_priority(rep: &FRep, chain: &[NodeId]) -> Result<CursorConfig> {
+        let Some(&chain_root) = chain.first() else {
+            return Ok(CursorConfig::new(rep));
+        };
+        let attrs = rep.visible_attrs();
+        let tree = rep.tree();
+        let position_of = |attr| attrs.binary_search(&attr).expect("visible attribute") as u32;
+        let Some(root_pos) = rep.roots().position(|r| r.node() == chain_root) else {
+            return Err(FdbError::InvalidOperator {
+                detail: format!("ordering chain starts at non-root node {chain_root}"),
+            });
+        };
+
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut val_positions: Vec<u32> = Vec::new();
+        // 1. The chain itself: slots 0..chain.len(), outermost first.
+        for (i, &node) in chain.iter().enumerate() {
+            let (parent, kid_index) = if i == 0 {
+                (NO_PARENT, root_pos as u32)
+            } else {
+                let prev = chain[i - 1];
+                let Some(k) = tree.children(prev).iter().position(|&c| c == node) else {
+                    return Err(FdbError::InvalidOperator {
+                        detail: format!(
+                            "ordering chain is not a root path: node {node} is not a child \
+                             of node {prev}"
+                        ),
+                    });
+                };
+                ((i - 1) as u32, k as u32)
+            };
+            let vals_start = val_positions.len() as u32;
+            for attr in tree.visible_attrs(node) {
+                val_positions.push(position_of(attr));
+            }
+            slots.push(Slot {
+                parent,
+                kid_index,
+                vals_start,
+                vals_len: val_positions.len() as u32 - vals_start,
+            });
+        }
+
+        // 2. The remainder in plain DFS: the other roots and every hanging
+        //    (non-chain) child of a chain node.  Their relative order only
+        //    affects tie order among equal chain prefixes, which the ordered
+        //    materialisers re-sort canonically anyway.
+        let mut stack: Vec<(fdb_ftree::NodeId, u32, u32)> = Vec::new();
+        for (root_index, root) in rep.roots().enumerate() {
+            if root_index != root_pos {
+                stack.push((root.node(), NO_PARENT, root_index as u32));
+            }
+        }
+        for (i, &node) in chain.iter().enumerate() {
+            let skip = chain.get(i + 1).copied();
+            for (k, &child) in tree.children(node).iter().enumerate() {
+                if Some(child) != skip {
+                    stack.push((child, i as u32, k as u32));
+                }
+            }
+        }
+        while let Some((node, parent, kid_index)) = stack.pop() {
+            let slot_index = slots.len() as u32;
+            let vals_start = val_positions.len() as u32;
+            for attr in tree.visible_attrs(node) {
+                val_positions.push(position_of(attr));
+            }
+            slots.push(Slot {
+                parent,
+                kid_index,
+                vals_start,
+                vals_len: val_positions.len() as u32 - vals_start,
+            });
+            for (k, &child) in tree.children(node).iter().enumerate().rev() {
+                stack.push((child, slot_index, k as u32));
+            }
+        }
+
+        Ok(CursorConfig {
+            slots,
+            val_positions,
+            width: attrs.len(),
+        })
+    }
+
+    /// Number of entries of **slot 0's** root union (the partitionable range
     /// of [`TupleCursor::with_root_range`]); 0 for nullary representations.
+    /// Slot 0 is the first root for a plain layout and the chain root for a
+    /// priority layout.
     pub fn root_entries(&self, rep: &FRep) -> u32 {
         if self.slots.is_empty() {
             0
         } else {
-            rep.store().union_len(rep.store().roots[0])
+            rep.store()
+                .union_len(rep.store().roots[self.slots[0].kid_index as usize])
         }
     }
 }
@@ -429,6 +530,240 @@ pub fn par_materialize(rep: &Arc<FRep>, pool: &ThreadPool) -> Result<Relation> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------
+// Ordered enumeration (ORDER BY)
+// ---------------------------------------------------------------------
+//
+// The ordered-output contract, shared by every path below and by the
+// engine's oracles: rows sorted ascending by the ordering attributes in
+// request order, ties broken by the full row (all visible attributes in
+// ascending id order).  The tie-break makes the order total, so ordered
+// results are bit-for-bit deterministic regardless of which strategy
+// produced them.
+
+/// How an ordered materialisation obtained its order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderStrategy {
+    /// The ordering attributes' nodes form a root-path chain of the f-tree:
+    /// a [`CursorConfig::with_priority`] cursor emitted the rows already
+    /// grouped and sorted by the ordering prefix, and only runs of equal
+    /// prefix were sorted locally for the canonical tie-break.
+    Chain,
+    /// No chain: enumerate in plain f-tree order, then sort the flat
+    /// output.
+    FlatSort,
+}
+
+/// Resolves an `ORDER BY` attribute list against the f-tree: returns the
+/// ordering nodes as a root-path chain (outermost first, class attributes
+/// deduplicated) when the attributes' nodes form one — the precondition of
+/// free ordered enumeration — and `None` otherwise (unknown or invisible
+/// attribute, chain not starting at a root, or a gap in the path).  The
+/// caller decides whether to restructure the tree or fall back to a flat
+/// sort.
+pub fn order_chain(tree: &FTree, order_by: &[AttrId]) -> Option<Vec<NodeId>> {
+    if order_by.is_empty() {
+        return None;
+    }
+    let mut chain: Vec<NodeId> = Vec::new();
+    for &attr in order_by {
+        let node = tree.node_of_attr(attr)?;
+        if !tree.visible_attrs(node).contains(&attr) {
+            return None;
+        }
+        match chain.last() {
+            None => {
+                if tree.parent(node).is_some() {
+                    return None;
+                }
+                chain.push(node);
+            }
+            Some(&prev) if prev == node => {}
+            Some(&prev) => {
+                if tree.parent(node) != Some(prev) {
+                    return None;
+                }
+                chain.push(node);
+            }
+        }
+    }
+    Some(chain)
+}
+
+/// Buffer column of every ordering attribute (ascending-id buffer layout).
+fn order_cols(attrs: &[AttrId], order_by: &[AttrId]) -> Result<Vec<usize>> {
+    order_by
+        .iter()
+        .map(|&a| {
+            attrs
+                .binary_search(&a)
+                .map_err(|_| FdbError::AttributeNotInQuery {
+                    attr: format!("{a}"),
+                })
+        })
+        .collect()
+}
+
+/// The canonical ordered-output comparator (see the section comment).
+fn canonical_cmp(a: &[Value], b: &[Value], order_cols: &[usize]) -> std::cmp::Ordering {
+    for &c in order_cols {
+        match a[c].cmp(&b[c]) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.cmp(b)
+}
+
+/// Sorts each maximal run of rows with equal ordering-column values by the
+/// full row — the canonical tie-break on top of an already prefix-sorted
+/// stream.  Runs are tiny compared to the output whenever the ordering
+/// prefix discriminates, which is what makes the chain strategy cheaper
+/// than a full sort.
+fn sort_runs(rows: &mut [Vec<Value>], order_cols: &[usize]) {
+    let mut start = 0;
+    for i in 1..=rows.len() {
+        if i == rows.len() || order_cols.iter().any(|&c| rows[i][c] != rows[start][c]) {
+            rows[start..i].sort_unstable();
+            start = i;
+        }
+    }
+}
+
+fn rows_into_relation(attrs: Vec<AttrId>, rows: &[Vec<Value>]) -> Result<Relation> {
+    let mut out = Relation::new(attrs);
+    for row in rows {
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+/// Materialises the represented relation **in the canonical ordered-output
+/// order** for the given `ORDER BY` attributes.  Picks the chain strategy
+/// (free ordered enumeration via [`CursorConfig::with_priority`] plus
+/// run-local tie sorting) when [`order_chain`] finds a root-path chain, and
+/// the materialise-then-sort fallback otherwise; both produce bit-for-bit
+/// identical rows, so the returned [`OrderStrategy`] is observability, not
+/// semantics.
+pub fn materialize_ordered(rep: &FRep, order_by: &[AttrId]) -> Result<(Relation, OrderStrategy)> {
+    materialize_ordered_ctx(rep, order_by, &ExecCtx::unlimited())
+}
+
+/// [`materialize_ordered`] under a governance context: charges one unit per
+/// enumerated tuple, like [`materialize_ctx`].
+pub fn materialize_ordered_ctx(
+    rep: &FRep,
+    order_by: &[AttrId],
+    ctx: &ExecCtx,
+) -> Result<(Relation, OrderStrategy)> {
+    failpoint!(ctx, "enumerate.cursor");
+    let attrs = rep.visible_attrs();
+    let cols = order_cols(&attrs, order_by)?;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let strategy = match order_chain(rep.tree(), order_by) {
+        Some(chain) => {
+            let config = CursorConfig::with_priority(rep, &chain)?;
+            let full = config.root_entries(rep);
+            let mut cursor = TupleCursor::with_root_range(rep, &config, 0, full);
+            while cursor.advance() {
+                ctx.charge(1)?;
+                rows.push(cursor.tuple().to_vec());
+            }
+            sort_runs(&mut rows, &cols);
+            OrderStrategy::Chain
+        }
+        None => {
+            let mut cursor = TupleCursor::new(rep);
+            while cursor.advance() {
+                ctx.charge(1)?;
+                rows.push(cursor.tuple().to_vec());
+            }
+            rows.sort_unstable_by(|a, b| canonical_cmp(a, b, &cols));
+            OrderStrategy::FlatSort
+        }
+    };
+    Ok((rows_into_relation(attrs, &rows)?, strategy))
+}
+
+/// The materialise-then-sort reference: enumerates in plain f-tree order
+/// and sorts the flat output with the canonical comparator.  The ordered
+/// paths are pinned bit-for-bit against this oracle, and the benchmarks
+/// time it as the flat-engine baseline.
+pub fn materialize_then_sort(rep: &FRep, order_by: &[AttrId]) -> Result<Relation> {
+    let attrs = rep.visible_attrs();
+    let cols = order_cols(&attrs, order_by)?;
+    let rel = materialize(rep)?;
+    let mut rows: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+    rows.sort_unstable_by(|a, b| canonical_cmp(a, b, &cols));
+    rows_into_relation(attrs, &rows)
+}
+
+/// [`materialize_ordered`] on a thread pool.  The chain strategy partitions
+/// slot 0 — the chain root — exactly like [`par_materialize`]; because the
+/// entries of one union carry **distinct** values, a run of equal ordering
+/// prefix never spans a slot-0 entry (hence never a partition), so
+/// per-worker run sorting plus an in-order merge reproduces the sequential
+/// canonical order bit for bit.  The fallback runs [`par_materialize`] and
+/// sorts the merged output.
+pub fn par_materialize_ordered(
+    rep: &Arc<FRep>,
+    order_by: &[AttrId],
+    pool: &ThreadPool,
+) -> Result<(Relation, OrderStrategy)> {
+    let attrs = rep.visible_attrs();
+    let cols = order_cols(&attrs, order_by)?;
+    let Some(chain) = order_chain(rep.tree(), order_by) else {
+        let rel = par_materialize(rep, pool)?;
+        let mut rows: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+        rows.sort_unstable_by(|a, b| canonical_cmp(a, b, &cols));
+        return Ok((rows_into_relation(attrs, &rows)?, OrderStrategy::FlatSort));
+    };
+    let config = CursorConfig::with_priority(rep, &chain)?;
+    let bounds = partition_bounds(
+        config.root_entries(rep),
+        pool.threads() as u32 * PARTS_PER_WORKER,
+    );
+    if pool.threads() <= 1 || bounds.len() <= 1 || config.slots.is_empty() || config.width == 0 {
+        return materialize_ordered(rep, order_by);
+    }
+
+    let config = Arc::new(config);
+    let cols = Arc::new(cols);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<Vec<Value>>)>();
+    for (part, &(lo, hi)) in bounds.iter().enumerate() {
+        let rep = Arc::clone(rep);
+        let config = Arc::clone(&config);
+        let cols = Arc::clone(&cols);
+        let tx = tx.clone();
+        pool.spawn(move || {
+            let mut cursor = TupleCursor::with_root_range(&rep, &config, lo, hi);
+            let mut rows = Vec::new();
+            while cursor.advance() {
+                rows.push(cursor.tuple().to_vec());
+            }
+            sort_runs(&mut rows, &cols);
+            // A closed receiver only means the caller bailed out early.
+            let _ = tx.send((part, rows));
+        });
+    }
+    drop(tx);
+
+    let mut chunks: Vec<Option<Vec<Vec<Value>>>> = vec![None; bounds.len()];
+    for (part, rows) in rx {
+        chunks[part] = Some(rows);
+    }
+    let mut out = Relation::new(attrs);
+    for (part, chunk) in chunks.into_iter().enumerate() {
+        let rows = chunk.ok_or_else(|| FdbError::InvalidInput {
+            detail: format!("parallel enumeration lost partition {part} (worker panicked)"),
+        })?;
+        for row in &rows {
+            out.push_row(row)?;
+        }
+    }
+    Ok((out, OrderStrategy::Chain))
+}
+
 /// Counts tuples by enumeration (used by tests to cross-check
 /// [`FRep::tuple_count`]).
 pub fn count_by_enumeration(rep: &FRep) -> u128 {
@@ -667,6 +1002,126 @@ mod tests {
         let par = par_materialize(&nullary, &pool).unwrap();
         assert_eq!(par.len(), seq.len());
         assert_eq!(par.arity(), seq.arity());
+    }
+
+    /// A → B tree with a *repeating* child value so ordering by B has
+    /// multi-tuple runs: tuples {(1,4), (1,9), (2,4), (3,4), (3,9)}.
+    fn runs_shape() -> FRep {
+        let edges = vec![DepEdge::new("R", attrs(&[0, 1]), 5)];
+        let mut tree = FTree::new(edges);
+        let a = tree.add_node(attrs(&[0]), None).unwrap();
+        let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+        let kid = |vals: &[u64]| {
+            Union::new(
+                b,
+                vals.iter().map(|&v| Entry::leaf(Value::new(v))).collect(),
+            )
+        };
+        let union = Union::new(
+            a,
+            vec![
+                Entry {
+                    value: Value::new(1),
+                    children: vec![kid(&[4, 9])],
+                },
+                Entry {
+                    value: Value::new(2),
+                    children: vec![kid(&[4])],
+                },
+                Entry {
+                    value: Value::new(3),
+                    children: vec![kid(&[4, 9])],
+                },
+            ],
+        );
+        FRep::from_parts(tree, vec![union]).unwrap()
+    }
+
+    #[test]
+    fn order_chain_accepts_root_paths_only() {
+        let rep = runs_shape();
+        let tree = rep.tree();
+        let a = tree.node_of_attr(AttrId(0)).unwrap();
+        let b = tree.node_of_attr(AttrId(1)).unwrap();
+        assert_eq!(order_chain(tree, &[AttrId(0)]), Some(vec![a]));
+        assert_eq!(order_chain(tree, &[AttrId(0), AttrId(1)]), Some(vec![a, b]));
+        // Not starting at the root, gaps, unknown attributes: no chain.
+        assert_eq!(order_chain(tree, &[AttrId(1)]), None);
+        assert_eq!(order_chain(tree, &[AttrId(1), AttrId(0)]), None);
+        assert_eq!(order_chain(tree, &[AttrId(9)]), None);
+        assert_eq!(order_chain(tree, &[]), None);
+    }
+
+    #[test]
+    fn ordered_materialize_matches_the_sort_oracle_on_both_strategies() {
+        for rep in [example3(), product_forest(), runs_shape()] {
+            let attrs = rep.visible_attrs();
+            // Every single- and two-attribute ordering, chain or not.
+            let mut orders: Vec<Vec<AttrId>> = attrs.iter().map(|&a| vec![a]).collect();
+            for &a in &attrs {
+                for &b in &attrs {
+                    if a != b {
+                        orders.push(vec![a, b]);
+                    }
+                }
+            }
+            for order in &orders {
+                let oracle = materialize_then_sort(&rep, order).unwrap();
+                let (got, strategy) = materialize_ordered(&rep, order).unwrap();
+                let oracle_rows: Vec<_> = oracle.rows().collect();
+                let got_rows: Vec<_> = got.rows().collect();
+                assert_eq!(
+                    got_rows, oracle_rows,
+                    "order {order:?} via {strategy:?} diverges from the sort oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_strategy_is_used_when_the_chain_exists() {
+        let rep = runs_shape();
+        let (_, s) = materialize_ordered(&rep, &[AttrId(0)]).unwrap();
+        assert_eq!(s, OrderStrategy::Chain);
+        let (_, s) = materialize_ordered(&rep, &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(s, OrderStrategy::Chain);
+        // B alone is not a root path: flat sort.
+        let (_, s) = materialize_ordered(&rep, &[AttrId(1)]).unwrap();
+        assert_eq!(s, OrderStrategy::FlatSort);
+    }
+
+    #[test]
+    fn priority_cursor_orders_by_a_non_first_root() {
+        // Ordering by the *second* root's attribute: slot 0 must become
+        // that root (root_entries and the odometer follow kid_index).
+        let rep = product_forest();
+        let (rel, s) = materialize_ordered(&rep, &[AttrId(1)]).unwrap();
+        assert_eq!(s, OrderStrategy::Chain);
+        let oracle = materialize_then_sort(&rep, &[AttrId(1)]).unwrap();
+        let got: Vec<_> = rel.rows().collect();
+        let want: Vec<_> = oracle.rows().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_materialize_ordered_matches_sequential_at_every_pool_size() {
+        for threads in [1, 2, 4, 8] {
+            let pool = workpool::ThreadPool::new(threads);
+            for rep in [example3(), product_forest(), runs_shape()] {
+                let rep = std::sync::Arc::new(rep);
+                for order in [vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(0), AttrId(1)]] {
+                    let (seq, seq_s) = materialize_ordered(&rep, &order).unwrap();
+                    let (par, par_s) = par_materialize_ordered(&rep, &order, &pool).unwrap();
+                    assert_eq!(par_s, seq_s, "{threads} threads, order {order:?}");
+                    let seq_rows: Vec<_> = seq.rows().collect();
+                    let par_rows: Vec<_> = par.rows().collect();
+                    assert_eq!(
+                        par_rows, seq_rows,
+                        "{threads} threads, order {order:?}: parallel order diverges"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

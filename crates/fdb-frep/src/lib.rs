@@ -144,8 +144,9 @@ pub mod store;
 pub use aggregate::{AggregateKind, AggregateResult, AggregateValue, AvgValue};
 pub use build::{build_frep, build_frep_ctx};
 pub use enumerate::{
-    count_by_enumeration, for_each_tuple, materialize, materialize_ctx, par_materialize,
-    CursorConfig, TupleCursor,
+    count_by_enumeration, for_each_tuple, materialize, materialize_ctx, materialize_ordered,
+    materialize_ordered_ctx, materialize_then_sort, order_chain, par_materialize,
+    par_materialize_ordered, CursorConfig, OrderStrategy, TupleCursor,
 };
 pub use frep::FRep;
 pub use node::{Entry, Union};

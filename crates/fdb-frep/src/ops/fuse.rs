@@ -70,7 +70,9 @@
 //! [`execute_fused_aggregate`] folds the aggregate (and the program's
 //! trailing selections, as entry filters) directly over the overlay.
 
-use crate::aggregate::{self, Acc, AggFilter, AggTarget, AggregateKind, AggregateResult};
+use crate::aggregate::{
+    self, Acc, Accumulator, AggFilter, AggTarget, AggregateKind, AggregateResult, DistinctAcc,
+};
 use crate::frep::FRep;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{kid_count_table, Rewriter, Store};
@@ -175,7 +177,7 @@ pub fn execute_fused_aggregate(
     rep: &FRep,
     ops: &[FusedOp],
     kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
 ) -> Result<AggregateResult> {
     execute_fused_aggregate_ctx(rep, ops, kind, group_by, &ExecCtx::unlimited())
 }
@@ -187,7 +189,7 @@ pub fn execute_fused_aggregate_ctx(
     rep: &FRep,
     ops: &[FusedOp],
     kind: AggregateKind,
-    group_by: Option<AttrId>,
+    group_by: &[AttrId],
     ctx: &ExecCtx,
 ) -> Result<AggregateResult> {
     failpoint!(ctx, "fuse.execute");
@@ -708,10 +710,25 @@ impl<'a> Fusion<'a> {
         &self,
         final_tree: &FTree,
         kind: AggregateKind,
-        group_by: Option<AttrId>,
+        group_by: &[AttrId],
         filter: &AggFilter,
     ) -> Result<AggregateResult> {
-        let mut src = OverlaySource {
+        if kind.is_distinct() {
+            self.aggregate_typed::<DistinctAcc>(final_tree, kind, group_by, filter)
+        } else {
+            self.aggregate_typed::<Acc>(final_tree, kind, group_by, filter)
+        }
+    }
+
+    /// [`Fusion::aggregate`] monomorphised over one accumulator algebra.
+    fn aggregate_typed<A: Accumulator>(
+        &self,
+        final_tree: &FTree,
+        kind: AggregateKind,
+        group_by: &[AttrId],
+        filter: &AggFilter,
+    ) -> Result<AggregateResult> {
+        let mut src = OverlaySource::<A> {
             fu: self,
             memo: vec![None; self.src.unions.len()],
             filter,
@@ -724,23 +741,23 @@ impl<'a> Fusion<'a> {
 /// supplies the overlay's accessor surface to the shared
 /// [`aggregate::evaluate_source`] scaffold, so arena and overlay aggregation
 /// semantics cannot drift apart.
-struct OverlaySource<'f, 'a> {
+struct OverlaySource<'f, 'a, A> {
     fu: &'f Fusion<'a>,
     /// Per-`Src`-union accumulator cache.
-    memo: Vec<Option<Acc>>,
+    memo: Vec<Option<A>>,
     /// Folded trailing selections (see [`execute_fused_aggregate`]).
     filter: &'f AggFilter,
 }
 
-impl OverlaySource<'_, '_> {
+impl<A: Accumulator> OverlaySource<'_, '_, A> {
     /// Folds one virtual union into an accumulator (recursive over the
     /// overlay, memoized per `Src` arena index).  Entries failing the
     /// filter are skipped: their contribution is the additive identity, the
     /// same as an entry a selection pass would have removed.
-    fn fold_union(&mut self, v: VId, target: AggTarget) -> Result<Acc> {
+    fn fold_union(&mut self, v: VId, target: AggTarget) -> Result<A> {
         if let Some(uid) = v.as_src() {
-            if let Some(cached) = self.memo[uid as usize] {
-                return Ok(cached);
+            if let Some(cached) = &self.memo[uid as usize] {
+                return Ok(cached.clone());
             }
         }
         let node = self.fu.node_of(v);
@@ -748,26 +765,26 @@ impl OverlaySource<'_, '_> {
         let kid_count = self.fu.kid_count_of(v);
         let len = self.fu.len(v);
         self.fu.ctx.charge(1 + len as u64)?;
-        let mut total = Acc::none();
+        let mut total = A::none();
         for i in 0..len {
             let value = self.fu.value(v, i);
             if !self.filter.passes(node, value) {
                 continue;
             }
-            let mut acc = Acc::singleton(value, carries);
+            let mut acc = A::singleton(value, carries);
             for k in 0..kid_count {
                 acc = acc.product(self.fold_union(self.fu.kid(v, i, k), target)?);
             }
             total = total.add(acc);
         }
         if let Some(uid) = v.as_src() {
-            self.memo[uid as usize] = Some(total);
+            self.memo[uid as usize] = Some(total.clone());
         }
         Ok(total)
     }
 }
 
-impl aggregate::AggSource for OverlaySource<'_, '_> {
+impl<A: Accumulator> aggregate::AggSource<A> for OverlaySource<'_, '_, A> {
     type Id = VId;
 
     fn roots(&self) -> Vec<VId> {
@@ -794,7 +811,7 @@ impl aggregate::AggSource for OverlaySource<'_, '_> {
         self.fu.kid(v, i, k)
     }
 
-    fn acc_of(&mut self, v: VId, target: AggTarget) -> Result<Acc> {
+    fn acc_of(&mut self, v: VId, target: AggTarget) -> Result<A> {
         self.fold_union(v, target)
     }
 }
@@ -1833,19 +1850,21 @@ mod tests {
                 AggregateKind::Min(attr),
                 AggregateKind::Max(attr),
                 AggregateKind::Avg(attr),
+                AggregateKind::CountDistinct(attr),
+                AggregateKind::SumDistinct(attr),
+                AggregateKind::AvgDistinct(attr),
             ]);
         }
-        let group_attrs: Vec<Option<AttrId>> = std::iter::once(None)
-            .chain(
-                emitted
-                    .tree()
-                    .roots()
-                    .iter()
-                    .flat_map(|&r| emitted.tree().visible_attrs(r).into_iter().map(Some)),
-            )
-            .collect();
+        let group_sets: Vec<Vec<AttrId>> =
+            std::iter::once(Vec::new())
+                .chain(
+                    emitted.tree().roots().iter().flat_map(|&r| {
+                        emitted.tree().visible_attrs(r).into_iter().map(|a| vec![a])
+                    }),
+                )
+                .collect();
         for &kind in &kinds {
-            for &group in &group_attrs {
+            for group in &group_sets {
                 let on_arena = evaluate(&emitted, kind, group).unwrap();
                 let on_overlay = execute_fused_aggregate(rep, steps, kind, group).unwrap();
                 assert_eq!(
@@ -1907,7 +1926,7 @@ mod tests {
         let steps = [FusedOp::Merge(a, b)];
         check_aggregates(&rep, &steps, "merge to empty");
         let count =
-            execute_fused_aggregate(&rep, &steps, crate::aggregate::AggregateKind::Count, None)
+            execute_fused_aggregate(&rep, &steps, crate::aggregate::AggregateKind::Count, &[])
                 .unwrap();
         assert_eq!(
             count.as_scalar().unwrap(),
@@ -2005,8 +2024,8 @@ mod tests {
             execute_fused(&mut emitted, steps).unwrap();
             check_aggregates(&rep, steps, &format!("trailing selections {steps:?}"));
             // And explicitly against the emitted arena for COUNT.
-            let on_arena = evaluate(&emitted, AggregateKind::Count, None).unwrap();
-            let folded = execute_fused_aggregate(&rep, steps, AggregateKind::Count, None).unwrap();
+            let on_arena = evaluate(&emitted, AggregateKind::Count, &[]).unwrap();
+            let folded = execute_fused_aggregate(&rep, steps, AggregateKind::Count, &[]).unwrap();
             assert_eq!(folded, on_arena, "{steps:?}");
         }
     }

@@ -329,7 +329,7 @@ impl FPlan {
         &self,
         rep: &FRep,
         kind: AggregateKind,
-        group_by: Option<AttrId>,
+        group_by: &[AttrId],
     ) -> Result<(AggregateResult, bool)> {
         self.simplified(rep.tree())
             .execute_aggregate_presimplified(rep, kind, group_by)
@@ -343,7 +343,7 @@ impl FPlan {
         &self,
         rep: &FRep,
         kind: AggregateKind,
-        group_by: Option<AttrId>,
+        group_by: &[AttrId],
     ) -> Result<(AggregateResult, bool)> {
         self.execute_aggregate_presimplified_ctx(rep, kind, group_by, &ExecCtx::unlimited())
     }
@@ -356,7 +356,7 @@ impl FPlan {
         &self,
         rep: &FRep,
         kind: AggregateKind,
-        group_by: Option<AttrId>,
+        group_by: &[AttrId],
         ctx: &ExecCtx,
     ) -> Result<(AggregateResult, bool)> {
         if self.ops.is_empty() {
@@ -747,8 +747,8 @@ mod tests {
             AggregateKind::Min(AttrId(3)),
             AggregateKind::Avg(AttrId(0)),
         ] {
-            let expected = aggregate::evaluate(&executed, kind, None).unwrap();
-            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, None).unwrap();
+            let expected = aggregate::evaluate(&executed, kind, &[]).unwrap();
+            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, &[]).unwrap();
             assert!(
                 on_overlay,
                 "trailing structural segment runs on the overlay"
@@ -763,9 +763,9 @@ mod tests {
             .iter()
             .next()
             .expect("root has a visible attribute");
-        let expected = aggregate::evaluate(&executed, AggregateKind::Count, Some(group)).unwrap();
+        let expected = aggregate::evaluate(&executed, AggregateKind::Count, &[group]).unwrap();
         let (got, _) = plan
-            .execute_aggregate(&rep, AggregateKind::Count, Some(group))
+            .execute_aggregate(&rep, AggregateKind::Count, &[group])
             .unwrap();
         assert_eq!(got, expected);
         // The borrowed input is untouched by the sink.
@@ -789,14 +789,14 @@ mod tests {
             AggregateKind::Sum(AttrId(1)),
             AggregateKind::Min(AttrId(3)),
         ] {
-            let expected = aggregate::evaluate(&executed, kind, None).unwrap();
-            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, None).unwrap();
+            let expected = aggregate::evaluate(&executed, kind, &[]).unwrap();
+            let (got, on_overlay) = plan.execute_aggregate(&rep, kind, &[]).unwrap();
             assert!(on_overlay, "trailing selections fold into the sink");
             assert_eq!(got, expected, "{kind}");
         }
         // Only the empty plan falls back to the plain arena pass.
         let (_, on_overlay) = FPlan::empty()
-            .execute_aggregate(&rep, AggregateKind::Count, None)
+            .execute_aggregate(&rep, AggregateKind::Count, &[])
             .unwrap();
         assert!(!on_overlay, "the empty plan aggregates on the arena");
         // The borrowed input is untouched.

@@ -25,6 +25,7 @@
 pub mod cost;
 pub mod fplan;
 pub mod optimizer;
+pub mod ordering;
 
 pub use cost::{estimate_frep_size, CostModel, FPlanCost};
 pub use fplan::{FPlan, FPlanOp};
@@ -32,6 +33,7 @@ pub use optimizer::exhaustive::{ExhaustiveConfig, ExhaustiveOptimizer};
 pub use optimizer::ftree_search::{optimal_ftree, FTreeSearchResult};
 pub use optimizer::greedy::GreedyOptimizer;
 pub use optimizer::OptimizedPlan;
+pub use ordering::{plan_chain_restructure, ChainDecision, ChainStrategy};
 
 /// Compile-time pin of the frozen plan types' shareability: a plan produced
 /// by the optimisers is immutable data that the serving layer caches behind

@@ -705,7 +705,7 @@ fn barrier_only_plans_fuse_into_one_program() {
     let mut executed = rep.clone();
     plan.execute(&mut executed).unwrap();
     let (got, on_overlay) = plan
-        .execute_aggregate(&rep, fdb::frep::AggregateKind::Count, None)
+        .execute_aggregate(&rep, fdb::frep::AggregateKind::Count, &[])
         .expect("aggregate sink runs");
     assert!(on_overlay, "barrier-only plans aggregate on the overlay");
     assert_eq!(

@@ -156,7 +156,9 @@ fn randomized_concurrent_batches_are_store_identical_to_sequential() {
         let mut reps = Vec::new();
         for r in 0..2u64 {
             let rep = random_rep(&mut rng, seed * 2 + r);
-            let id = shared.insert(format!("rep{r}"), rep.clone());
+            let id = shared
+                .insert(format!("rep{r}"), rep.clone())
+                .expect("unique name");
             reps.push((id, rep));
         }
         let db = Arc::new(shared);
@@ -179,7 +181,7 @@ fn unsatisfiable_selections_empty_identically_under_concurrency() {
     let rep = random_rep(&mut rng, 1);
     let attrs = rep.visible_attrs();
     let mut shared = SharedDatabase::new();
-    let id = shared.insert("base", rep);
+    let id = shared.insert("base", rep).expect("unique name");
     let db = Arc::new(shared);
     let requests: Vec<ServeRequest> = attrs
         .iter()
@@ -211,7 +213,7 @@ fn unsatisfiable_selections_empty_identically_under_concurrency() {
     for outcome in server.serve_batch(requests) {
         match outcome.expect("unsatisfiable selections still evaluate") {
             ServeOutcome::Rep(out) => assert!(out.result.represents_empty()),
-            ServeOutcome::Aggregate(_) => {}
+            ServeOutcome::Aggregate(_) | ServeOutcome::Ordered(_) => {}
         }
     }
 }
@@ -225,7 +227,9 @@ fn fdb_threads_environment_variable_sizes_the_default_pool() {
     let engine = FdbEngine::new();
     let mut shared = SharedDatabase::new();
     let mut rng = StdRng::seed_from_u64(0x00A6_6E92);
-    shared.insert("base", random_rep(&mut rng, 2));
+    shared
+        .insert("base", random_rep(&mut rng, 2))
+        .expect("unique name");
     let server = FdbServer::with_default_threads(engine, Arc::new(shared));
     assert_eq!(server.threads(), 3);
     std::env::remove_var("FDB_THREADS");

@@ -59,7 +59,7 @@ fn setup(threads: usize) -> (FdbServer, fdb::engine::RepId, FactorisedQuery) {
     let rep = seeded_rep(7);
     let attr = rep.visible_attrs()[0];
     let mut shared = SharedDatabase::new();
-    let id = shared.insert("base", rep);
+    let id = shared.insert("base", rep).expect("unique name");
     let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), threads);
     let query = FactorisedQuery::default()
         .with_const_selection(ConstSelection {

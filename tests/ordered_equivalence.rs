@@ -1,0 +1,394 @@
+//! Ordered-evaluation and analytics-head equivalence.
+//!
+//! The 2013 follow-up paper's heads must be **bit-for-bit** equal to flat
+//! oracles that share nothing with the factorised evaluators:
+//!
+//! 1. `ORDER BY` — `evaluate_factorised_ordered` (restructure-to-root when
+//!    the costed planner accepts it, flat sort otherwise) against
+//!    materialise-then-sort over the engine's own unordered result, on
+//!    randomized databases and queries, and served through `FdbServer`
+//!    pools of 1/2/4/8 workers;
+//! 2. `DISTINCT` aggregates — the factorised value-set fold against a
+//!    hash-set built from the enumerated tuples;
+//! 3. multi-attribute (path) `GROUP BY` — the grouped factorised fold,
+//!    including groupings the optimiser must lift to the root with swaps or
+//!    hand to the hash-group fallback, against plain-iterator grouping over
+//!    the enumerated tuples.
+//!
+//! Both ordering strategies produce the same canonical total order, so the
+//! suite also asserts the *strategy split is real*: across the random sweep
+//! both `Chain` and `FlatSort` decisions must occur.
+
+use fdb::common::{AggregateFunc, AggregateHead, ComparisonOp, ConstSelection, RelId};
+use fdb::datagen::{populate, random_query, random_schema, ValueDistribution};
+use fdb::engine::{
+    FactorisedQuery, FdbEngine, FdbServer, ServeOutcome, ServeRequest, SharedDatabase,
+};
+use fdb::frep::aggregate::{self, AggregateKind, AggregateResult, AggregateValue, AvgValue};
+use fdb::frep::{materialize, materialize_then_sort, FRep, OrderStrategy};
+use fdb::{AttrId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A random factorised result to evaluate heads against (same construction
+/// as `concurrent_equivalence.rs`).
+fn random_rep(rng: &mut StdRng, seed: u64) -> FRep {
+    let relations = 1 + (seed as usize % 3);
+    let attributes = relations + 2 + (seed as usize % 3);
+    let catalog = random_schema(rng, relations, attributes);
+    let rels: Vec<RelId> = catalog.rels().collect();
+    let distribution = if seed.is_multiple_of(2) {
+        ValueDistribution::Uniform
+    } else {
+        ValueDistribution::Zipf(1.0)
+    };
+    let db = populate(rng, &catalog, 25, 6, distribution);
+    let k = (seed as usize) % attributes.min(3);
+    let query = random_query(rng, &catalog, &rels, k);
+    FdbEngine::new()
+        .evaluate_flat(&db, &query)
+        .expect("FDB evaluates")
+        .result
+}
+
+/// A random query body over the representation's visible attributes:
+/// selections (occasionally unsatisfiable) and sometimes an equality.  No
+/// projection — the heads under test pick their own attributes.
+fn random_body(rng: &mut StdRng, rep: &FRep) -> FactorisedQuery {
+    let attrs = rep.visible_attrs();
+    let mut query = FactorisedQuery::default();
+    if attrs.is_empty() {
+        return query;
+    }
+    let pick = |rng: &mut StdRng| attrs[rng.gen_range(0..attrs.len())];
+    for _ in 0..rng.gen_range(0..2usize) {
+        let op = [ComparisonOp::Ge, ComparisonOp::Le, ComparisonOp::Ne][rng.gen_range(0..3usize)];
+        let value = if rng.gen_bool(0.1) {
+            99
+        } else {
+            rng.gen_range(1..=6u64)
+        };
+        query = query.with_const_selection(ConstSelection {
+            attr: pick(rng),
+            op,
+            value: Value::new(value),
+        });
+    }
+    if attrs.len() >= 2 && rng.gen_bool(0.3) {
+        let (a, b) = (pick(rng), pick(rng));
+        if a != b {
+            query.equalities.push((a, b));
+        }
+    }
+    query
+}
+
+/// A random non-empty ordering head: a permuted prefix of the visible
+/// attributes.
+fn random_order_by(rng: &mut StdRng, rep: &FRep) -> Vec<AttrId> {
+    let mut attrs = rep.visible_attrs();
+    for i in (1..attrs.len()).rev() {
+        attrs.swap(i, rng.gen_range(0..=i));
+    }
+    let len = rng.gen_range(1..=attrs.len().min(3));
+    attrs.truncate(len);
+    attrs
+}
+
+// ---------------------------------------------------------------------
+// 1. ORDER BY vs materialise-then-sort, serial and served
+// ---------------------------------------------------------------------
+
+#[test]
+fn randomized_ordered_evaluation_matches_the_sort_oracle() {
+    let mut strategies = BTreeSet::new();
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x0DE2_2013 ^ seed);
+        let rep = random_rep(&mut rng, seed);
+        if rep.visible_attrs().is_empty() {
+            continue;
+        }
+        let engine = FdbEngine::new();
+        let body = random_body(&mut rng, &rep);
+        let order_by = random_order_by(&mut rng, &rep);
+
+        let ordered = engine
+            .evaluate_factorised_ordered(&rep, &body, &order_by)
+            .unwrap_or_else(|e| panic!("seed {seed}: ordered evaluation failed: {e:?}"));
+        strategies.insert(format!("{:?}", ordered.strategy));
+
+        // The oracle sorts the *unordered* engine result, so it exercises
+        // none of the chain planner, the swaps or the priority cursor.
+        let unordered = engine.evaluate_factorised(&rep, &body).unwrap();
+        let oracle = materialize_then_sort(&unordered.result, &order_by).unwrap();
+        assert_eq!(
+            ordered.rows, oracle,
+            "seed {seed}: ORDER BY {order_by:?} diverged ({:?})",
+            ordered.strategy
+        );
+
+        // Exactly one strategy counter fired, matching the decision.
+        let (chain, flat) = (ordered.stats.chain_heads, ordered.stats.flat_head_fallbacks);
+        match ordered.strategy {
+            OrderStrategy::Chain => assert_eq!((chain, flat), (1, 0)),
+            OrderStrategy::FlatSort => assert_eq!((chain, flat), (0, 1)),
+        }
+    }
+    assert!(
+        strategies.len() == 2,
+        "the sweep must exercise both Chain and FlatSort, saw {strategies:?}"
+    );
+}
+
+#[test]
+fn ordered_serving_is_identical_across_pool_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x0DE2_2014);
+    let engine = FdbEngine::new();
+    let mut shared = SharedDatabase::new();
+    let mut reps = Vec::new();
+    for r in 0..3u64 {
+        let rep = random_rep(&mut rng, 7 + r);
+        let id = shared
+            .insert(format!("rep{r}"), rep.clone())
+            .expect("unique name");
+        reps.push((id, rep));
+    }
+    let db = Arc::new(shared);
+
+    let requests: Vec<ServeRequest> = (0..24)
+        .map(|i| {
+            let (id, rep) = &reps[i % reps.len()];
+            let body = random_body(&mut rng, rep);
+            let order_by = random_order_by(&mut rng, rep);
+            ServeRequest::new(*id, body, None).with_order_by(order_by)
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let server = FdbServer::new(engine, Arc::clone(&db), workers);
+        let outcomes = server.serve_batch(requests.clone());
+        assert_eq!(outcomes.len(), requests.len());
+        for (i, (request, outcome)) in requests.iter().zip(&outcomes).enumerate() {
+            let rep = db.get(request.rep).expect("registered representation");
+            let serial = engine
+                .evaluate_factorised_ordered(&rep, &request.query, &request.order_by)
+                .unwrap();
+            match outcome.as_ref().unwrap() {
+                ServeOutcome::Ordered(got) => {
+                    assert_eq!(
+                        got.rows, serial.rows,
+                        "request {i} rows diverged at {workers} workers"
+                    );
+                    assert_eq!(
+                        got.strategy, serial.strategy,
+                        "request {i} strategy diverged at {workers} workers"
+                    );
+                }
+                other => panic!("request {i}: expected Ordered, got {other:?}"),
+            }
+        }
+        assert_eq!(server.queries_served(), requests.len() as u64);
+    }
+}
+
+#[test]
+fn a_request_cannot_order_an_aggregate() {
+    let mut rng = StdRng::seed_from_u64(0x0DE2_2015);
+    let rep = random_rep(&mut rng, 2);
+    let attr = rep.visible_attrs()[0];
+    let mut shared = SharedDatabase::new();
+    let id = shared.insert("base", rep).expect("unique name");
+    let server = FdbServer::new(FdbEngine::new(), Arc::new(shared), 2);
+    let request = ServeRequest::new(id, FactorisedQuery::default(), Some(AggregateHead::count()))
+        .with_order_by(vec![attr]);
+    assert!(
+        server.serve_one(&request).is_err(),
+        "aggregate + ORDER BY must be a structured error"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. DISTINCT aggregates vs a hash-set oracle
+// ---------------------------------------------------------------------
+
+/// Builds the set of distinct values of `attr` in the enumerated tuples —
+/// plain iterators and a set, nothing factorised.
+fn distinct_values(rep: &FRep, attr: AttrId) -> BTreeSet<u64> {
+    let rel = materialize(rep).expect("oracle enumerates");
+    let col = rel
+        .attrs()
+        .iter()
+        .position(|&a| a == attr)
+        .expect("attribute is visible");
+    rel.rows().map(|row| row[col].raw()).collect()
+}
+
+#[test]
+fn distinct_aggregates_match_the_hash_set_oracle() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x0D15_71C7 ^ seed);
+        let rep = random_rep(&mut rng, seed);
+        for attr in rep.visible_attrs() {
+            let values = distinct_values(&rep, attr);
+            let count = values.len() as u128;
+            let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
+
+            let got = aggregate::evaluate(&rep, AggregateKind::CountDistinct(attr), &[]).unwrap();
+            assert_eq!(
+                got,
+                AggregateResult::Scalar(AggregateValue::Count(count)),
+                "seed {seed}: COUNT(DISTINCT {attr})"
+            );
+            let got = aggregate::evaluate(&rep, AggregateKind::SumDistinct(attr), &[]).unwrap();
+            assert_eq!(
+                got,
+                AggregateResult::Scalar(AggregateValue::Sum(sum)),
+                "seed {seed}: SUM(DISTINCT {attr})"
+            );
+            let got = aggregate::evaluate(&rep, AggregateKind::AvgDistinct(attr), &[]).unwrap();
+            let want = (count > 0).then_some(AvgValue { sum, count });
+            assert_eq!(
+                got,
+                AggregateResult::Scalar(AggregateValue::Avg(want)),
+                "seed {seed}: AVG(DISTINCT {attr})"
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_heads_run_end_to_end_through_the_engine() {
+    let mut rng = StdRng::seed_from_u64(0x0D15_71C8);
+    let engine = FdbEngine::new();
+    for seed in 0..6u64 {
+        let rep = random_rep(&mut rng, seed);
+        if rep.visible_attrs().is_empty() {
+            continue;
+        }
+        let attr = rep.visible_attrs()[0];
+        let body = FactorisedQuery::default();
+        let head = AggregateHead::over(AggregateFunc::Count, attr).with_distinct();
+        let out = engine
+            .evaluate_factorised_aggregate(&rep, &body, &head)
+            .unwrap();
+        let values = distinct_values(&rep, attr);
+        assert_eq!(
+            out.result,
+            AggregateResult::Scalar(AggregateValue::Count(values.len() as u128)),
+            "seed {seed}: engine COUNT(DISTINCT) head"
+        );
+    }
+    // DISTINCT MIN/MAX is rejected (multiplicity-insensitive), as is
+    // DISTINCT without an attribute.
+    let rep = random_rep(&mut rng, 2);
+    let attr = rep.visible_attrs()[0];
+    for func in [AggregateFunc::Min, AggregateFunc::Max] {
+        let head = AggregateHead::over(func, attr).with_distinct();
+        assert!(
+            engine
+                .evaluate_factorised_aggregate(&rep, &FactorisedQuery::default(), &head)
+                .is_err(),
+            "{func:?} DISTINCT must be rejected"
+        );
+    }
+    assert!(engine
+        .evaluate_factorised_aggregate(
+            &rep,
+            &FactorisedQuery::default(),
+            &AggregateHead::count().with_distinct(),
+        )
+        .is_err());
+}
+
+// ---------------------------------------------------------------------
+// 3. Path / non-root GROUP BY vs plain-iterator grouping
+// ---------------------------------------------------------------------
+
+/// Plain-iterator `GROUP BY ... COUNT(*)` over the enumerated tuples.
+fn hash_group_count(rep: &FRep, group_by: &[AttrId]) -> Vec<(Vec<Value>, AggregateValue)> {
+    let rel = materialize(rep).expect("oracle enumerates");
+    let cols: Vec<usize> = group_by
+        .iter()
+        .map(|g| rel.attrs().iter().position(|a| a == g).expect("visible"))
+        .collect();
+    let mut groups: BTreeMap<Vec<Value>, u128> = BTreeMap::new();
+    for row in rel.rows() {
+        let key: Vec<Value> = cols.iter().map(|&c| row[c]).collect();
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    groups
+        .into_iter()
+        .map(|(k, n)| (k, AggregateValue::Count(n)))
+        .collect()
+}
+
+#[test]
+fn multi_attribute_group_by_matches_plain_iterator_grouping() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x62B7_2013 ^ seed);
+        let rep = random_rep(&mut rng, seed);
+        let attrs = rep.visible_attrs();
+        if attrs.len() < 2 {
+            continue;
+        }
+        let engine = FdbEngine::new();
+        // Group on a random pair — wherever the optimiser's tree puts those
+        // nodes, the engine must lift them (or fall back to hash grouping)
+        // and still match the oracle.
+        let g1 = attrs[rng.gen_range(0..attrs.len())];
+        let g2 = attrs[rng.gen_range(0..attrs.len())];
+        let group_by: Vec<AttrId> = if g1 == g2 { vec![g1] } else { vec![g1, g2] };
+
+        let mut head = AggregateHead::count();
+        for &g in &group_by {
+            head = head.grouped_by(g);
+        }
+        let body = random_body(&mut rng, &rep);
+        let out = engine
+            .evaluate_factorised_aggregate(&rep, &body, &head)
+            .unwrap_or_else(|e| panic!("seed {seed}: grouped head failed: {e:?}"));
+
+        let evaluated = engine.evaluate_factorised(&rep, &body).unwrap();
+        let oracle = hash_group_count(&evaluated.result, &group_by);
+        assert_eq!(
+            out.result,
+            AggregateResult::Groups(oracle),
+            "seed {seed}: GROUP BY {group_by:?}"
+        );
+    }
+}
+
+#[test]
+fn non_root_grouping_exercises_both_chain_and_fallback_paths() {
+    // Over the sweep, grouped heads must take both the lifted-chain path and
+    // the hash-group fallback — otherwise the costed planner is degenerate.
+    let mut saw = BTreeSet::new();
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0x62B7_2014 ^ seed);
+        let rep = random_rep(&mut rng, seed);
+        let attrs = rep.visible_attrs();
+        if attrs.is_empty() {
+            continue;
+        }
+        let g = attrs[rng.gen_range(0..attrs.len())];
+        let out = FdbEngine::new()
+            .evaluate_factorised_aggregate(
+                &rep,
+                &FactorisedQuery::default(),
+                &AggregateHead::count().grouped_by(g),
+            )
+            .unwrap();
+        if out.stats.chain_heads > 0 {
+            saw.insert("chain");
+        }
+        if out.stats.flat_head_fallbacks > 0 {
+            saw.insert("fallback");
+        }
+    }
+    assert!(
+        saw.contains("chain"),
+        "no grouped head ever ran on a chain: {saw:?}"
+    );
+}

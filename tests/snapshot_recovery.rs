@@ -216,7 +216,7 @@ fn swap_fixture(threads: usize) -> SwapFixture {
     );
 
     let mut shared = SharedDatabase::new();
-    let id = shared.insert("base", old.clone());
+    let id = shared.insert("base", old.clone()).expect("unique name");
     let server = FdbServer::new(engine, Arc::new(shared), threads);
     let rep_query = FactorisedQuery::default().with_const_selection(ConstSelection {
         attr,

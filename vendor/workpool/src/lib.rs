@@ -159,16 +159,26 @@ impl Drop for ThreadPool {
 /// Default worker count: the `FDB_THREADS` environment variable when set to
 /// a positive integer, else the machine's available parallelism, else 1.
 ///
-/// An `FDB_THREADS` value that is set but unusable (not a number, or zero)
-/// falls back to the machine default — and logs one structured warning to
-/// stderr the first time, instead of silently ignoring the operator's
-/// intent.
+/// `FDB_THREADS=0` clamps to 1 — the operator asked for the smallest
+/// possible pool, so handing back the machine's full parallelism would
+/// invert their intent.  A value that does not parse at all falls back to
+/// the machine default.  Both cases log one structured warning to stderr
+/// the first time, instead of silently ignoring the operator's intent.
 pub fn default_threads() -> usize {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
     if let Ok(raw) = std::env::var("FDB_THREADS") {
         match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
-            _ => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            Ok(_) => {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: workpool: FDB_THREADS=\"0\" requests an empty pool; \
+                         clamping to 1 worker"
+                    );
+                });
+                return 1;
+            }
+            Err(_) => {
                 WARN_ONCE.call_once(|| {
                     eprintln!(
                         "warning: workpool: FDB_THREADS={raw:?} is not a positive integer; \
@@ -343,6 +353,38 @@ mod tests {
         assert!(
             stderr.contains("FDB_THREADS") && stderr.contains("not a positive integer"),
             "the misconfiguration is warned about once, not swallowed: {stderr}"
+        );
+    }
+
+    /// Child-process body for `fdb_threads_zero_clamps_to_one_worker`: only
+    /// asserts when the parent set `FDB_THREADS=0` (a bare run is a no-op
+    /// pass, so the suite stays order- and environment-independent).
+    #[test]
+    fn default_threads_honours_a_zero_from_the_environment() {
+        if std::env::var("FDB_THREADS").as_deref() == Ok("0") {
+            assert_eq!(default_threads(), 1, "FDB_THREADS=0 clamps to one worker");
+        }
+    }
+
+    #[test]
+    fn fdb_threads_zero_clamps_to_one_worker() {
+        // Exercised in a child process so the env var cannot race the other
+        // tests in this binary.
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(exe)
+            .args([
+                "--exact",
+                "tests::default_threads_honours_a_zero_from_the_environment",
+                "--nocapture",
+            ])
+            .env("FDB_THREADS", "0")
+            .output()
+            .expect("child test run");
+        assert!(out.status.success(), "zero clamps instead of failing");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("FDB_THREADS") && stderr.contains("clamping to 1"),
+            "the clamp is warned about once, not silent: {stderr}"
         );
     }
 
