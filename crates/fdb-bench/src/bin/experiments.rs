@@ -10,7 +10,7 @@
 //! series of the paper's figures.
 
 use fdb_bench::{
-    exp1, exp2, exp3, exp4, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9, report, Scale,
+    exp1, exp2, exp3, exp4, pr1, pr10, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9, report, Scale,
 };
 use std::time::Instant;
 
@@ -231,6 +231,26 @@ fn main() {
             },
             pr9::render_table,
             pr9::render_json,
+        );
+        return;
+    }
+    if which.contains(&"bench-pr10") {
+        // SoA entry layout + vectorised scan kernels: the interleaved PR 9
+        // record baseline vs the scalar kernels over the split value array
+        // vs the dispatched (AVX2 with `--features simd`) kernels.
+        run_bench(
+            "bench-pr10",
+            "BENCH_PR10.json",
+            smoke,
+            |smoke| {
+                pr10::run(if smoke {
+                    pr10::Pr10Scale::Smoke
+                } else {
+                    pr10::Pr10Scale::Full
+                })
+            },
+            pr10::render_table,
+            pr10::render_json,
         );
         return;
     }

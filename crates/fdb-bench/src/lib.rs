@@ -25,6 +25,7 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4;
 pub mod pr1;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;

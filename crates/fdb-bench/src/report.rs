@@ -21,11 +21,17 @@ pub struct BenchJson {
 }
 
 impl BenchJson {
-    /// Starts a report: `{"benchmark": <name>, ...`.
+    /// Starts a report: `{"benchmark": <name>, "host": {...}, ...`.
+    ///
+    /// Every report opens with a `host` object (CPU model, core count,
+    /// `FDB_THREADS`, compiled feature flags) so that committed
+    /// `BENCH_*.json` files are comparable across machines: a regression
+    /// that is really a hardware or configuration difference is visible in
+    /// the report itself instead of needing provenance archaeology.
     pub fn new(benchmark: &str) -> Self {
-        BenchJson {
-            out: format!("{{\n  \"benchmark\": \"{benchmark}\""),
-        }
+        let mut out = format!("{{\n  \"benchmark\": \"{benchmark}\"");
+        let _ = write!(out, ",\n  \"host\": {}", host_json());
+        BenchJson { out }
     }
 
     /// Appends an array field; `render_row` produces one row object
@@ -52,6 +58,44 @@ impl BenchJson {
         self.out.push_str("\n}\n");
         self.out
     }
+}
+
+/// CPU model name from `/proc/cpuinfo`, or `"unknown"` anywhere the file is
+/// missing or shaped differently.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The `host` metadata object embedded in every report (see
+/// [`BenchJson::new`]): CPU model, logical core count, the `FDB_THREADS`
+/// override if set, and the cargo features that change measured code paths.
+fn host_json() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let fdb_threads = match std::env::var("FDB_THREADS") {
+        Ok(v) => format!("\"{}\"", v.escape_default()),
+        Err(_) => "null".into(),
+    };
+    let mut features: Vec<&str> = Vec::new();
+    if cfg!(feature = "simd") {
+        features.push("\"simd\"");
+    }
+    format!(
+        "{{\"cpu\": \"{}\", \"cores\": {}, \"fdb_threads\": {}, \"features\": [{}]}}",
+        cpu_model().escape_default(),
+        cores,
+        fdb_threads,
+        features.join(", ")
+    )
 }
 
 /// Writes a benchmark's JSON report (or reports the smoke-scale skip) — the
@@ -240,6 +284,18 @@ pub fn render_exp4(rows: &[Exp4Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reports_open_with_host_metadata() {
+        let json = BenchJson::new("bench-test")
+            .field("elapsed_ms", 12)
+            .finish();
+        assert!(json.starts_with("{\n  \"benchmark\": \"bench-test\""));
+        assert!(json.contains("\"host\": {\"cpu\": \""));
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"fdb_threads\": "));
+        assert!(json.contains("\"features\": ["));
+    }
 
     #[test]
     fn duration_formatting_picks_sensible_units() {

@@ -14,7 +14,12 @@ use std::fmt;
 /// Values are totally ordered; f-representations keep the values of every
 /// union in increasing order, and all operators rely on that order (e.g. the
 /// swap operator's priority queue and the merge operator's sort-merge join).
+///
+/// The layout is `repr(transparent)` over `u64`: flat value arrays
+/// (`&[Value]`) are byte-compatible with `&[u64]`, which the vectorised scan
+/// kernels in `fdb-frep` rely on to load values directly into SIMD lanes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Value(pub u64);
 
 impl Value {

@@ -802,7 +802,7 @@ impl<A: Accumulator> AggSource<A> for ArenaSource<'_, A> {
     }
 
     fn value(&self, v: u32, i: u32) -> Value {
-        self.store.entry_slice(v)[i as usize].value
+        self.store.value_slice(v)[i as usize]
     }
 
     fn kid_count(&self, v: u32) -> u32 {
@@ -844,10 +844,10 @@ fn union_accs<A: Accumulator>(
         let kid_count = kid_counts[rec.node.index()] as usize;
         let mut total = A::none();
         for e in rec.entries_start..rec.entries_start + rec.entries_len {
-            let entry = store.entries[e as usize];
-            let mut acc = A::singleton(entry.value, carries);
+            let mut acc = A::singleton(store.value_at(e), carries);
+            let kids_start = store.kids_start_at(e) as usize;
             for k in 0..kid_count {
-                acc = acc.product(accs[store.kids[entry.kids_start as usize + k] as usize].clone());
+                acc = acc.product(accs[store.kids[kids_start + k] as usize].clone());
             }
             total = total.add(acc);
         }

@@ -46,7 +46,7 @@
 //! bounded by the path cover).
 
 use crate::frep::{Entry, FRep, Union};
-use crate::store::{EntryRec, Store, UnionRec};
+use crate::store::{Store, UnionRec};
 use fdb_common::{failpoint, AttrId, ExecCtx, FdbError, Query, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use fdb_relation::{Database, Relation};
@@ -182,12 +182,12 @@ struct ValueGroups {
 impl ValueGroups {
     /// The row ids grouped under `value` (ascending), empty if absent.
     fn rows_of(&self, value: Value) -> Vec<u32> {
-        match self.values.binary_search(&value) {
-            Ok(i) => {
+        match crate::kernel::find_value(&self.values, value) {
+            Some(i) => {
                 let (start, end) = (self.starts[i] as usize, self.starts[i + 1] as usize);
                 self.pairs[start..end].iter().map(|&(_, row)| row).collect()
             }
-            Err(_) => Vec::new(),
+            None => Vec::new(),
         }
     }
 }
@@ -267,7 +267,11 @@ impl Builder<'_> {
             .values
             .iter()
             .copied()
-            .filter(|&v| groups.iter().all(|g| g.values.binary_search(&v).is_ok()))
+            .filter(|&v| {
+                groups
+                    .iter()
+                    .all(|g| crate::kernel::find_value(&g.values, v).is_some())
+            })
             .collect();
 
         // Header first: the union's index must precede its subtrees'.
@@ -303,7 +307,7 @@ impl Builder<'_> {
             // Watermarks for the rollback: everything the candidate's
             // subtrees emit sits past these lengths.
             let unions_mark = self.store.unions.len();
-            let entries_mark = self.store.entries.len();
+            let entries_mark = self.store.entry_count();
             let arena_kids_mark = self.store.kids.len();
             let entry_kids_mark = self.scratch_kids.len();
             let mut alive = true;
@@ -321,7 +325,7 @@ impl Builder<'_> {
                 // Retract the candidate: truncate the arena back to the
                 // watermarks, deleting the half-built subtrees.
                 self.store.unions.truncate(unions_mark);
-                self.store.entries.truncate(entries_mark);
+                self.store.truncate_entries(entries_mark);
                 self.store.kids.truncate(arena_kids_mark);
                 self.scratch_kids.truncate(entry_kids_mark);
             }
@@ -333,7 +337,7 @@ impl Builder<'_> {
 
         // All candidates decided: append the entry block and kid runs
         // contiguously and finish the header.
-        let entries_start = self.store.entries.len() as u32;
+        let entries_start = self.store.entry_count() as u32;
         let survivors = (self.scratch_values.len() - values_mark) as u32;
         for i in 0..survivors as usize {
             let kids_start = self.store.kids.len() as u32;
@@ -341,10 +345,8 @@ impl Builder<'_> {
             self.store
                 .kids
                 .extend_from_slice(&self.scratch_kids[run_start..run_start + children.len()]);
-            self.store.entries.push(EntryRec {
-                value: self.scratch_values[values_mark + i],
-                kids_start,
-            });
+            self.store
+                .push_entry(self.scratch_values[values_mark + i], kids_start);
         }
         let rec = &mut self.store.unions[uid as usize];
         rec.entries_start = entries_start;

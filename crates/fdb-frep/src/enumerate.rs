@@ -31,6 +31,7 @@
 //! only setup that walks the f-tree), and merges the chunks sequentially.
 
 use crate::frep::FRep;
+use crate::kernel;
 use fdb_common::{failpoint, AttrId, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use fdb_relation::Relation;
@@ -321,8 +322,7 @@ impl<'a> TupleCursor<'a> {
     #[inline]
     fn write_values(&mut self, s: usize) {
         let slot = self.slots[s];
-        let value =
-            self.rep.store().entry_slice(self.cur_union[s])[self.cur_entry[s] as usize].value;
+        let value = self.rep.store().value_slice(self.cur_union[s])[self.cur_entry[s] as usize];
         for p in slot.vals_start..slot.vals_start + slot.vals_len {
             self.buffer[self.val_positions[p as usize] as usize] = value;
         }
@@ -621,12 +621,27 @@ fn canonical_cmp(a: &[Value], b: &[Value], order_cols: &[usize]) -> std::cmp::Or
 /// prefix discriminates, which is what makes the chain strategy cheaper
 /// than a full sort.
 fn sort_runs(rows: &mut [Vec<Value>], order_cols: &[usize]) {
+    let Some((&c0, rest)) = order_cols.split_first() else {
+        rows.sort_unstable();
+        return;
+    };
+    // The stream arrives sorted on the ordering prefix, so the primary
+    // column is non-decreasing and every equal value forms one contiguous
+    // run — exactly [`kernel::run_end`]'s precondition.  Copy that column
+    // into one dense buffer and let the vectorised boundary scan find the
+    // coarse runs; the remaining ordering columns sub-split them.
+    let col0: Vec<Value> = rows.iter().map(|r| r[c0]).collect();
     let mut start = 0;
-    for i in 1..=rows.len() {
-        if i == rows.len() || order_cols.iter().any(|&c| rows[i][c] != rows[start][c]) {
-            rows[start..i].sort_unstable();
-            start = i;
+    while start < rows.len() {
+        let coarse_end = kernel::run_end(&col0, start);
+        let mut s = start;
+        for i in s + 1..=coarse_end {
+            if i == coarse_end || rest.iter().any(|&c| rows[i][c] != rows[s][c]) {
+                rows[s..i].sort_unstable();
+                s = i;
+            }
         }
+        start = coarse_end;
     }
 }
 

@@ -226,10 +226,10 @@ impl FRep {
             let kid_count = self.tree.children(rec.node).len();
             let mut total = 0u128;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                let entry = store.entries[e as usize];
+                let kids_start = store.kids_start_at(e) as usize;
                 let mut product = 1u128;
                 for k in 0..kid_count {
-                    product *= counts[store.kids[entry.kids_start as usize + k] as usize];
+                    product *= counts[store.kids[kids_start + k] as usize];
                 }
                 total += product;
             }

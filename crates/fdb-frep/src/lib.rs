@@ -33,17 +33,26 @@
 //!
 //! Every consumer in the crate reads the same flat layout, so it is worth
 //! stating once (see [`store`] for the full details): a representation is
-//! four arrays — union headers, entry records (contiguous per union, values
-//! strictly increasing), kid slots (one contiguous run per entry, in the
-//! f-tree's child order) and a root list.  Union indices are **topological**
-//! (every kid index exceeds its parent union's index), which is what turns
-//! whole-representation statistics into flat loops: [`FRep::tuple_count`]
-//! and the aggregation pass of [`aggregate`] are single *reverse* loops over
-//! the union array (children are finished before their parents are visited),
-//! and enumeration/emission are forward walks.  Operators never mutate an
-//! arena in place; they emit a fresh one in the exact freeze layout (the
-//! layout [`FRep::from_parts`] produces), which keeps every rewrite
-//! bit-for-bit comparable with the thaw-path oracle.
+//! five arrays in **structure-of-arrays** form — union headers, entry
+//! *values* (contiguous per union, strictly increasing), entry *kid-run
+//! offsets* (parallel to the values, one per entry), kid slots (one
+//! contiguous run per entry, in the f-tree's child order) and a root list.
+//! Values and kid offsets are split into parallel arrays rather than
+//! interleaved records so that the value-only scans — predicate masks,
+//! probes, sortedness checks, run boundaries — read a dense `&[Value]`
+//! slice the vectorised kernels in [`kernel`] can stream through (the
+//! MonetDB/X100 argument: the hot loops touch half the bytes and take SIMD
+//! lanes).  The two entry arrays are sealed behind [`store`]'s accessor
+//! layer; nothing outside that module can push to one without the other.
+//! Union indices are **topological** (every kid index exceeds its parent
+//! union's index), which is what turns whole-representation statistics into
+//! flat loops: [`FRep::tuple_count`] and the aggregation pass of
+//! [`aggregate`] are single *reverse* loops over the union array (children
+//! are finished before their parents are visited), and enumeration/emission
+//! are forward walks.  Operators never mutate an arena in place; they emit
+//! a fresh one in the exact freeze layout (the layout [`FRep::from_parts`]
+//! produces), which keeps every rewrite bit-for-bit comparable with the
+//! thaw-path oracle.
 //!
 //! # The single-pass execution contract
 //!
@@ -136,6 +145,7 @@ pub mod aggregate;
 pub mod build;
 pub mod enumerate;
 pub mod frep;
+pub mod kernel;
 pub mod node;
 pub mod ops;
 pub mod snapshot;

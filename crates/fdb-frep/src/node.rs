@@ -82,20 +82,17 @@ impl Union {
         self.entries.len()
     }
 
-    /// Binary-searches for the entry with the given value.
+    /// Binary-searches for the entry with the given value (the same probe
+    /// contract as the arena's `UnionRef::find_value`, via
+    /// [`crate::kernel::find_by_key`]).
     pub fn find_value(&self, value: Value) -> Option<&Entry> {
-        self.entries
-            .binary_search_by(|e| e.value.cmp(&value))
-            .ok()
-            .map(|i| &self.entries[i])
+        crate::kernel::find_by_key(&self.entries, |e| e.value, value).map(|i| &self.entries[i])
     }
 
     /// Binary-searches for the entry with the given value and removes it
     /// (the remaining entries keep their order).
     pub fn take_value(&mut self, value: Value) -> Option<Entry> {
-        self.entries
-            .binary_search_by(|e| e.value.cmp(&value))
-            .ok()
+        crate::kernel::find_by_key(&self.entries, |e| e.value, value)
             .map(|i| self.entries.remove(i))
     }
 }

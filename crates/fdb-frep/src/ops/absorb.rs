@@ -18,6 +18,7 @@
 //! tree; the old implementation survives as [`crate::ops::oracle`].
 
 use crate::frep::FRep;
+use crate::kernel;
 use crate::ops::restructure::normalise;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{Rewriter, Store};
@@ -118,11 +119,11 @@ impl AbsorbRewrite<'_> {
         let sets_ctx = rec.node == self.a;
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.rw.src_kid_count(rec.node);
         for i in 0..rec.entries_len {
             let entry_ctx = if sets_ctx {
-                Some(src.entry_slice(uid)[i as usize].value)
+                Some(src.value_slice(uid)[i as usize])
             } else {
                 ctx
             };
@@ -144,26 +145,22 @@ impl AbsorbRewrite<'_> {
         let src = self.rw.src;
         let rec = src.unions[uid as usize];
         let sets_ctx = rec.node == self.a;
-        let entries = src.entry_slice(uid);
+        let values = src.value_slice(uid);
         self.matches.clear();
         for i in 0..rec.entries_len {
             let value = if sets_ctx {
-                entries[i as usize].value
+                values[i as usize]
             } else {
                 ctx.expect("the B-parent lies inside an A-entry subtree")
             };
             let b_uid = src.kid(uid, i, self.pos_b);
-            if let Ok(j) = src
-                .entry_slice(b_uid)
-                .binary_search_by(|e| e.value.cmp(&value))
-            {
+            if let Some(j) = kernel::find_value(src.value_slice(b_uid), value) {
                 self.matches.push((i, b_uid, j as u32));
             }
         }
         let out = self.rw.begin_union_raw(rec.node, self.matches.len() as u32);
         for m in 0..self.matches.len() {
-            self.rw
-                .push_value(entries[self.matches[m].0 as usize].value);
+            self.rw.push_value(values[self.matches[m].0 as usize]);
         }
         for m in 0..self.matches.len() {
             let (i, b_uid, j) = self.matches[m];

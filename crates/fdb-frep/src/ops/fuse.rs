@@ -74,6 +74,7 @@ use crate::aggregate::{
     self, Acc, Accumulator, AggFilter, AggTarget, AggregateKind, AggregateResult, DistinctAcc,
 };
 use crate::frep::FRep;
+use crate::kernel;
 use crate::ops::{child_pos, debug_validate};
 use crate::store::{kid_count_table, Rewriter, Store};
 use fdb_common::{failpoint, AttrId, ComparisonOp, ExecCtx, FdbError, Result, Value};
@@ -461,7 +462,7 @@ impl<'a> Fusion<'a> {
     /// The `i`-th value (entries are sorted increasing).
     fn value(&self, v: VId, i: u32) -> Value {
         match v.as_src() {
-            Some(uid) => self.src.entry_slice(uid)[i as usize].value,
+            Some(uid) => self.src.value_slice(uid)[i as usize],
             None => self.mixes[v.mix_index()].values[i as usize],
         }
     }
@@ -485,21 +486,14 @@ impl<'a> Fusion<'a> {
         }
     }
 
-    /// Binary-searches the sorted entry values for `value`.
+    /// Probes the sorted entry values for `value` — both arms go through
+    /// the shared [`kernel::find_value`] probe over a dense value slice.
     fn find_value(&self, v: VId, value: Value) -> Option<u32> {
-        match v.as_src() {
-            Some(uid) => self
-                .src
-                .entry_slice(uid)
-                .binary_search_by(|e| e.value.cmp(&value))
-                .ok()
-                .map(|i| i as u32),
-            None => self.mixes[v.mix_index()]
-                .values
-                .binary_search(&value)
-                .ok()
-                .map(|i| i as u32),
-        }
+        let values = match v.as_src() {
+            Some(uid) => self.src.value_slice(uid),
+            None => &self.mixes[v.mix_index()].values,
+        };
+        kernel::find_value(values, value).map(|i| i as u32)
     }
 
     // -----------------------------------------------------------------
@@ -512,7 +506,7 @@ impl<'a> Fusion<'a> {
     /// and a per-union "subtree contains a dead entry" flag.
     fn compute_liveness<F: Fn(NodeId, Value) -> bool>(&self, keep: &F) -> Result<Liveness> {
         let s = self.src;
-        let mut entry_alive = vec![true; s.entries.len()];
+        let mut entry_alive = vec![true; s.entry_count()];
         let mut union_empty = vec![false; s.unions.len()];
         let mut subtree_dirty = vec![false; s.unions.len()];
         for uid in (0..s.unions.len()).rev() {
@@ -522,16 +516,71 @@ impl<'a> Fusion<'a> {
             let mut any_alive = false;
             let mut dirty = false;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                let entry = s.entries[e as usize];
-                let mut alive = keep(rec.node, entry.value);
+                let mut alive = keep(rec.node, s.value_at(e));
+                let kids_start = s.kids_start_at(e);
                 for k in 0..kid_count {
-                    let kid = s.kids[(entry.kids_start + k) as usize] as usize;
+                    let kid = s.kids[(kids_start + k) as usize] as usize;
                     if union_empty[kid] {
                         alive = false;
                     }
                     dirty |= subtree_dirty[kid];
                 }
                 entry_alive[e as usize] = alive;
+                any_alive |= alive;
+                dirty |= !alive;
+            }
+            union_empty[uid] = !any_alive;
+            subtree_dirty[uid] = dirty;
+        }
+        Ok(Liveness {
+            entry_alive,
+            subtree_dirty,
+        })
+    }
+
+    /// The comparison-specialised liveness sweep backing [`Fusion::filter`]:
+    /// the same pass as [`Fusion::compute_liveness`], but the per-entry
+    /// predicate on the selected node's unions is evaluated **per block**
+    /// through the batched [`kernel::fill_keep_mask`] over the union's dense
+    /// value slice, instead of a closure call per entry.  Bit-for-bit
+    /// identical to the generic sweep with the equivalent closure.
+    fn compute_liveness_cmp(
+        &self,
+        node: NodeId,
+        cmp: ComparisonOp,
+        value: Value,
+    ) -> Result<Liveness> {
+        let s = self.src;
+        let mut entry_alive = vec![true; s.entry_count()];
+        let mut union_empty = vec![false; s.unions.len()];
+        let mut subtree_dirty = vec![false; s.unions.len()];
+        for uid in (0..s.unions.len()).rev() {
+            let rec = s.unions[uid];
+            self.ctx.charge(1 + rec.entries_len as u64)?;
+            let start = rec.entries_start as usize;
+            let end = start + rec.entries_len as usize;
+            if rec.node == node {
+                kernel::fill_keep_mask(
+                    s.value_slice(uid as u32),
+                    cmp,
+                    value,
+                    &mut entry_alive[start..end],
+                );
+            }
+            let kid_count = self.src_kid_counts[rec.node.index()];
+            let mut any_alive = false;
+            let mut dirty = false;
+            for (e, alive_slot) in entry_alive.iter_mut().enumerate().take(end).skip(start) {
+                let mut alive = *alive_slot;
+                let kids_start = s.kids_start_at(e as u32);
+                for k in 0..kid_count {
+                    let kid = s.kids[kids_start as usize + k as usize] as usize;
+                    if union_empty[kid] {
+                        alive = false;
+                    }
+                    dirty |= subtree_dirty[kid];
+                }
+                *alive_slot = alive;
                 any_alive |= alive;
                 dirty |= !alive;
             }
@@ -576,7 +625,7 @@ impl<'a> Fusion<'a> {
     /// the selection does not touch stay `Src` references.
     fn filter(&mut self, node: NodeId, cmp: ComparisonOp, value: Value) -> Result<()> {
         let keep = move |n: NodeId, v: Value| n != node || cmp.eval(v, value);
-        let live = self.compute_liveness(&keep)?;
+        let live = self.compute_liveness_cmp(node, cmp, value)?;
         self.apply_prune(&live, &keep)
     }
 
@@ -617,10 +666,10 @@ impl<'a> Fusion<'a> {
                 if !live.entry_alive[e] {
                     continue;
                 }
-                let entry = self.src.entries[e];
-                values.push(entry.value);
+                values.push(self.src.value_at(e as u32));
+                let kids_start = self.src.kids_start_at(e as u32);
                 for k in 0..kid_count {
-                    let kid_uid = self.src.kids[(entry.kids_start + k) as usize];
+                    let kid_uid = self.src.kids[(kids_start + k) as usize];
                     let (kid, _) = self.prune_union(VId::src(kid_uid), live, keep)?;
                     kids.push(kid);
                 }

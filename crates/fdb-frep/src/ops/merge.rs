@@ -145,7 +145,7 @@ impl MergeRewrite<'_> {
         // transform happens below.
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.rw.src_kid_count(rec.node);
         for i in 0..rec.entries_len {
             let mark = self.rw.mark();
@@ -164,7 +164,7 @@ impl MergeRewrite<'_> {
         let rec = src.unions[uid as usize];
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let pos_a = self.pos_a_in_p.expect("parent knows a's slot");
         let pos_b = self.pos_b_in_p.expect("parent knows b's slot");
         for i in 0..rec.entries_len {
@@ -187,12 +187,12 @@ impl MergeRewrite<'_> {
     /// may come out empty; pruning handles the fallout).
     fn merge_unions(&mut self, a_uid: u32, b_uid: u32) -> u32 {
         let src = self.rw.src;
-        let a_entries = src.entry_slice(a_uid);
-        let b_entries = src.entry_slice(b_uid);
+        let a_values = src.value_slice(a_uid);
+        let b_values = src.value_slice(b_uid);
         self.pairs.clear();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < a_entries.len() && j < b_entries.len() {
-            match a_entries[i].value.cmp(&b_entries[j].value) {
+        while i < a_values.len() && j < b_values.len() {
+            match a_values[i].cmp(&b_values[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
@@ -204,10 +204,9 @@ impl MergeRewrite<'_> {
         }
         let out = {
             let pairs = std::mem::take(&mut self.pairs);
-            let uid = self.rw.begin_union(
-                self.a,
-                pairs.iter().map(|&(ai, _)| a_entries[ai as usize].value),
-            );
+            let uid = self
+                .rw
+                .begin_union(self.a, pairs.iter().map(|&(ai, _)| a_values[ai as usize]));
             self.pairs = pairs;
             uid
         };

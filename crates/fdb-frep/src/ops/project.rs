@@ -137,7 +137,7 @@ impl RemoveLeaf<'_> {
             // unchanged.
             let out = self
                 .rw
-                .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+                .begin_union(rec.node, src.value_slice(uid).iter().copied());
             for i in 0..rec.entries_len {
                 let mark = self.rw.mark();
                 for s in 0..self.kept_slots.len() {
@@ -155,7 +155,7 @@ impl RemoveLeaf<'_> {
         // A strict ancestor above the parent.
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.rw.src_kid_count(rec.node);
         for i in 0..rec.entries_len {
             let mark = self.rw.mark();

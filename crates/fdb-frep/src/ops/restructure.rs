@@ -123,7 +123,7 @@ impl PushUpRewrite<'_> {
         // but the transform happens somewhere below.
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.rw.src_kid_count(rec.node);
         for i in 0..rec.entries_len {
             let mark = self.rw.mark();
@@ -143,7 +143,7 @@ impl PushUpRewrite<'_> {
         let rec = src.unions[uid as usize];
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.rw.src_kid_count(rec.node);
         let pos_a = self.pos_a_in_g.expect("grandparent knows a's slot");
         for i in 0..rec.entries_len {
@@ -165,7 +165,7 @@ impl PushUpRewrite<'_> {
         let rec = src.unions[uid as usize];
         let out = self
             .rw
-            .begin_union(self.a, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(self.a, src.value_slice(uid).iter().copied());
         for i in 0..rec.entries_len {
             let mark = self.rw.mark();
             for s in 0..self.a_slots.len() {

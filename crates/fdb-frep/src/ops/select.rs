@@ -32,9 +32,12 @@ pub fn select_const_ctx(
             attr: format!("{attr}"),
         });
     };
-    let filtered =
-        rep.store()
-            .retain_and_prune_ctx(rep.tree(), |n, v| n != node || op.eval(v, value), ctx)?;
+    // The comparison-specialised rebuild: the predicate runs as one batched
+    // keep-mask sweep per union block (see `Store::retain_and_prune_cmp_ctx`)
+    // instead of a closure call per entry.
+    let filtered = rep
+        .store()
+        .retain_and_prune_cmp_ctx(rep.tree(), node, op, value, ctx)?;
     rep.set_store(filtered);
     if op == ComparisonOp::Eq {
         rep.tree_mut().bind_constant(node, value)?;

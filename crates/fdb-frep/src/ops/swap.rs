@@ -154,7 +154,7 @@ impl<'a> SwapRewrite<'a> {
         // tree's child order.
         let out = self
             .rw
-            .begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+            .begin_union(rec.node, src.value_slice(uid).iter().copied());
         let pi = self
             .path_slots
             .iter()
@@ -186,8 +186,8 @@ impl<'a> SwapRewrite<'a> {
         self.pairs.clear();
         for i in 0..a_rec.entries_len {
             let b_uid = src.kid(a_uid, i, pos_b);
-            for (j, e) in src.entry_slice(b_uid).iter().enumerate() {
-                self.pairs.push((e.value, i, b_uid, j as u32));
+            for (j, &value) in src.value_slice(b_uid).iter().enumerate() {
+                self.pairs.push((value, i, b_uid, j as u32));
             }
         }
         self.pairs.sort_unstable();
@@ -239,11 +239,11 @@ impl<'a> SwapRewrite<'a> {
     /// the pair's `B`-entry.
     fn emit_inner_a(&mut self, a_uid: u32, start: u32, end: u32) -> u32 {
         let src = self.rw.src;
-        let a_entries = src.entry_slice(a_uid);
+        let a_values = src.value_slice(a_uid);
         let inner = self.rw.begin_union_raw(self.a, end - start);
         for p in start..end {
             let (_, i, _, _) = self.pairs[p as usize];
-            self.rw.push_value(a_entries[i as usize].value);
+            self.rw.push_value(a_values[i as usize]);
         }
         for k in 0..(end - start) {
             let (_, i, b_uid, j) = self.pairs[(start + k) as usize];

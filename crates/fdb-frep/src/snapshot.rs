@@ -40,7 +40,7 @@
 //! price the verification overhead.
 
 use crate::frep::FRep;
-use crate::store::{EntryRec, Store, UnionRec};
+use crate::store::{Store, UnionRec};
 use fdb_common::{failpoint, AttrId, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{DepEdge, FTree, NodeId, NodeSnapshot};
 use std::collections::BTreeSet;
@@ -470,28 +470,34 @@ fn decode_unions(payload: &[u8]) -> Result<Vec<UnionRec>> {
     Ok(unions)
 }
 
-fn encode_entries(entries: &[EntryRec]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + entries.len() * 12);
-    put_u32(&mut out, entries.len() as u32);
-    for rec in entries {
-        put_u64(&mut out, rec.value.raw());
-        put_u32(&mut out, rec.kids_start);
+/// Encodes the entry records in the interleaved on-disk layout (one u64
+/// value + u32 kid offset per record).  The in-memory arena keeps values and
+/// kid offsets in parallel SoA arrays; zipping them here keeps the byte
+/// format identical to what the old interleaved arena wrote, so snapshots
+/// stay readable across the layout change in either direction.
+fn encode_entries(store: &Store) -> Vec<u8> {
+    let count = store.entry_count();
+    let mut out = Vec::with_capacity(4 + count * 12);
+    put_u32(&mut out, count as u32);
+    for (value, kids_start) in store.entry_pairs() {
+        put_u64(&mut out, value.raw());
+        put_u32(&mut out, kids_start);
     }
     out
 }
 
-fn decode_entries(payload: &[u8]) -> Result<Vec<EntryRec>> {
+/// Decodes the interleaved ENTR section back into the SoA arrays.
+fn decode_entries(payload: &[u8]) -> Result<(Vec<Value>, Vec<u32>)> {
     let mut cur = Cursor::new(payload, "ENTR");
     let count = cur.take_count(12)?;
-    let mut entries = Vec::with_capacity(count);
+    let mut values = Vec::with_capacity(count);
+    let mut kids_starts = Vec::with_capacity(count);
     for _ in 0..count {
-        entries.push(EntryRec {
-            value: Value::new(cur.take_u64()?),
-            kids_start: cur.take_u32()?,
-        });
+        values.push(Value::new(cur.take_u64()?));
+        kids_starts.push(cur.take_u32()?);
     }
     cur.finish()?;
-    Ok(entries)
+    Ok((values, kids_starts))
 }
 
 // ---------------------------------------------------------------------
@@ -509,7 +515,7 @@ pub fn encode_frep_ctx(rep: &FRep, ctx: &ExecCtx) -> Result<Vec<u8>> {
     failpoint!(ctx, "snapshot.write");
     let tree = rep.tree();
     let store = rep.store();
-    ctx.charge((store.unions.len() + store.entries.len() + store.kids.len()) as u64)?;
+    ctx.charge((store.unions.len() + store.entry_count() + store.kids.len()) as u64)?;
     let mut out = Vec::new();
     write_header(&mut out, KIND_FREP, FREP_TAGS.len() as u32);
     write_section(&mut out, TAG_EDGE, &encode_edges(tree.edges()));
@@ -520,7 +526,7 @@ pub fn encode_frep_ctx(rep: &FRep, ctx: &ExecCtx) -> Result<Vec<u8>> {
         &encode_u32_list(tree.roots().iter().map(|r| r.0)),
     );
     write_section(&mut out, TAG_UNIO, &encode_unions(&store.unions));
-    write_section(&mut out, TAG_ENTR, &encode_entries(&store.entries));
+    write_section(&mut out, TAG_ENTR, &encode_entries(store));
     write_section(
         &mut out,
         TAG_KIDS,
@@ -554,13 +560,15 @@ fn decode_frep_inner(bytes: &[u8], ctx: &ExecCtx, verify: bool) -> Result<FRep> 
         .into_iter()
         .map(NodeId)
         .collect();
-    let store = Store {
-        unions: decode_unions(sections[3].1)?,
-        entries: decode_entries(sections[4].1)?,
-        kids: decode_u32_list(sections[5].1, "KIDS")?,
-        roots: decode_u32_list(sections[6].1, "SRTS")?,
-    };
-    ctx.charge((store.unions.len() + store.entries.len() + store.kids.len()) as u64)?;
+    let (values, kids_starts) = decode_entries(sections[4].1)?;
+    let store = Store::from_arena_parts(
+        decode_unions(sections[3].1)?,
+        values,
+        kids_starts,
+        decode_u32_list(sections[5].1, "KIDS")?,
+        decode_u32_list(sections[6].1, "SRTS")?,
+    );
+    ctx.charge((store.unions.len() + store.entry_count() + store.kids.len()) as u64)?;
     let tree = FTree::from_snapshot(edges, nodes, tree_roots)
         .map_err(|e| corrupt(format!("f-tree validation failed on load: {e}")))?;
     let rep = FRep::from_store(tree, store);

@@ -1,20 +1,33 @@
 //! The arena store backing [`crate::FRep`].
 //!
-//! # Layout
+//! # Layout (structure of arrays)
 //!
 //! Instead of a pointer tree of heap-allocated `Vec`s, a representation is
-//! flattened into three contiguous arenas plus a root list:
+//! flattened into contiguous arenas plus a root list.  Entry records are
+//! stored in **SoA form** — the values and the kid-run offsets live in two
+//! parallel arrays instead of one array of interleaved records:
 //!
 //! ```text
-//! unions:  [ UnionRec { node, entries_start, entries_len } … ]
-//! entries: [ EntryRec { value, kids_start } … ]
-//! kids:    [ union index … ]
-//! roots:   [ union index … ]                  (one per f-tree root)
+//! unions:      [ UnionRec { node, entries_start, entries_len } … ]
+//! values:      [ Value … ]        (entry i's value)
+//! kids_starts: [ u32 … ]          (entry i's kid-run offset into `kids`)
+//! kids:        [ union index … ]
+//! roots:       [ union index … ]  (one per f-tree root)
 //! ```
 //!
-//! * The entries of one union are **contiguous** in `entries` and sorted
-//!   strictly increasing by value, so `find_value` is a cache-friendly
-//!   binary search over a flat slice.
+//! * The entries of one union are **contiguous** (`entries_start ..
+//!   entries_start + entries_len` indexes both entry arrays) and sorted
+//!   strictly increasing by value, so [`Store::value_slice`] hands any
+//!   consumer a dense `&[Value]` and `find_value` is a cache-friendly
+//!   search over it.
+//! * Splitting values from kid offsets is what feeds the vectorised scan
+//!   kernels ([`crate::kernel`]): predicate masks, probes, sortedness
+//!   checks and run boundaries stream over the value array alone — half
+//!   the bytes of the old interleaved `(value, kids_start)` records, in
+//!   SIMD-lane-ready form.  The two arrays always have the same length;
+//!   they are **sealed** (private to this module) and mutated only through
+//!   paired operations ([`Store::push_entry`], [`Store::truncate_entries`],
+//!   the [`Rewriter`]), so they cannot drift apart.
 //! * The child unions of one entry occupy a contiguous run of `kids` whose
 //!   length is `tree.children(node).len()` and whose order is **exactly the
 //!   f-tree's child order**, so looking up "the child union over node `N`"
@@ -34,8 +47,9 @@
 //! thaw/rewrite/freeze oracle in [`crate::ops::oracle`] while skipping both
 //! linear copies and every per-node allocation.
 
+use crate::kernel;
 use crate::node::{Entry, Union};
-use fdb_common::{failpoint, ExecCtx, FdbError, Result, Value};
+use fdb_common::{failpoint, ComparisonOp, ExecCtx, FdbError, Result, Value};
 use fdb_ftree::{FTree, NodeId};
 use std::collections::BTreeMap;
 
@@ -44,7 +58,7 @@ use std::collections::BTreeMap;
 const MISSING_KID: u32 = u32::MAX;
 
 /// Header of one union: which node it ranges over and where its entries
-/// live in the entry arena.
+/// live in the entry arrays.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub(crate) struct UnionRec {
     pub(crate) node: NodeId,
@@ -52,24 +66,101 @@ pub(crate) struct UnionRec {
     pub(crate) entries_len: u32,
 }
 
-/// One entry: its value and where its kid list starts in the kid arena (the
-/// list's length is the f-tree child count of the union's node).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub(crate) struct EntryRec {
-    pub(crate) value: Value,
-    pub(crate) kids_start: u32,
-}
-
 /// The flattened representation data (see the module docs for the layout).
+///
+/// The two entry arrays (`values`, `kids_starts`) are private — the sealed
+/// accessor layer below is the only way in or out, which guarantees they
+/// stay parallel.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct Store {
     pub(crate) unions: Vec<UnionRec>,
-    pub(crate) entries: Vec<EntryRec>,
+    /// Entry values, contiguous per union, strictly increasing within one.
+    values: Vec<Value>,
+    /// Entry kid-run offsets into `kids`, parallel to `values`.
+    kids_starts: Vec<u32>,
     pub(crate) kids: Vec<u32>,
     pub(crate) roots: Vec<u32>,
 }
 
 impl Store {
+    // -----------------------------------------------------------------
+    // The sealed entry accessors
+    // -----------------------------------------------------------------
+
+    /// Total number of entry records in the arena.
+    #[inline]
+    pub(crate) fn entry_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values of the given union, as a dense contiguous slice — the
+    /// input shape of every [`crate::kernel`] scan.
+    #[inline]
+    pub(crate) fn value_slice(&self, uid: u32) -> &[Value] {
+        let rec = self.unions[uid as usize];
+        &self.values[rec.entries_start as usize..(rec.entries_start + rec.entries_len) as usize]
+    }
+
+    /// The value of the entry at flat index `e`.
+    #[inline]
+    pub(crate) fn value_at(&self, e: u32) -> Value {
+        self.values[e as usize]
+    }
+
+    /// The kid-run offset of the entry at flat index `e`.
+    #[inline]
+    pub(crate) fn kids_start_at(&self, e: u32) -> u32 {
+        self.kids_starts[e as usize]
+    }
+
+    /// Appends one entry record (both arrays in lockstep).
+    #[inline]
+    pub(crate) fn push_entry(&mut self, value: Value, kids_start: u32) {
+        self.values.push(value);
+        self.kids_starts.push(kids_start);
+    }
+
+    /// Truncates both entry arrays to `len` records — the watermark
+    /// rollback primitive of [`crate::build`].
+    #[inline]
+    pub(crate) fn truncate_entries(&mut self, len: usize) {
+        self.values.truncate(len);
+        self.kids_starts.truncate(len);
+    }
+
+    /// Iterates the entry records as `(value, kids_start)` pairs — the
+    /// snapshot codec's view (the on-disk format stays interleaved).
+    pub(crate) fn entry_pairs(&self) -> impl ExactSizeIterator<Item = (Value, u32)> + '_ {
+        self.values
+            .iter()
+            .zip(&self.kids_starts)
+            .map(|(&v, &k)| (v, k))
+    }
+
+    /// Reassembles a store from decoded arenas (the snapshot codec's
+    /// constructor).  `values` and `kids_starts` must be the same length;
+    /// the caller is expected to follow with [`Store::validate`].
+    pub(crate) fn from_arena_parts(
+        unions: Vec<UnionRec>,
+        values: Vec<Value>,
+        kids_starts: Vec<u32>,
+        kids: Vec<u32>,
+        roots: Vec<u32>,
+    ) -> Store {
+        debug_assert_eq!(values.len(), kids_starts.len());
+        Store {
+            unions,
+            values,
+            kids_starts,
+            kids,
+            roots,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Freeze / thaw
+    // -----------------------------------------------------------------
+
     /// Freezes a builder forest into a fresh arena.  Tolerates malformed
     /// forests (missing child unions become [`MISSING_KID`], surplus child
     /// unions are dropped) — [`Store::validate`] or
@@ -83,17 +174,14 @@ impl Store {
 
     fn freeze_union(&mut self, tree: &FTree, union: &Union) -> u32 {
         let uid = self.unions.len() as u32;
-        let entries_start = self.entries.len() as u32;
+        let entries_start = self.values.len() as u32;
         self.unions.push(UnionRec {
             node: union.node,
             entries_start,
             entries_len: union.entries.len() as u32,
         });
         for entry in &union.entries {
-            self.entries.push(EntryRec {
-                value: entry.value,
-                kids_start: MISSING_KID,
-            });
+            self.push_entry(entry.value, MISSING_KID);
         }
         let child_order: Vec<NodeId> = tree.children(union.node).to_vec();
         let mut kid_ids: Vec<u32> = Vec::with_capacity(child_order.len());
@@ -107,7 +195,7 @@ impl Store {
             }
             let kids_start = self.kids.len() as u32;
             self.kids.extend_from_slice(&kid_ids);
-            self.entries[(entries_start + i as u32) as usize].kids_start = kids_start;
+            self.kids_starts[(entries_start + i as u32) as usize] = kids_start;
         }
         uid
     }
@@ -125,12 +213,12 @@ impl Store {
         let kid_count = tree.children(rec.node).len();
         let entries = (rec.entries_start..rec.entries_start + rec.entries_len)
             .map(|e| {
-                let entry = self.entries[e as usize];
+                let kids_start = self.kids_starts[e as usize] as usize;
                 let children = (0..kid_count)
-                    .map(|k| self.thaw_union(tree, self.kids[entry.kids_start as usize + k]))
+                    .map(|k| self.thaw_union(tree, self.kids[kids_start + k]))
                     .collect();
                 Entry {
-                    value: entry.value,
+                    value: self.values[e as usize],
                     children,
                 }
             })
@@ -147,28 +235,29 @@ impl Store {
         self.unions[uid as usize].entries_len
     }
 
-    /// The entry records of the given union, as a contiguous slice.
-    #[inline]
-    pub(crate) fn entry_slice(&self, uid: u32) -> &[EntryRec] {
-        let rec = self.unions[uid as usize];
-        &self.entries[rec.entries_start as usize..(rec.entries_start + rec.entries_len) as usize]
-    }
-
     /// The kid union index of entry `entry_index` of union `uid` at kid
     /// position `kid_index` (the f-tree child order position).
     #[inline]
     pub(crate) fn kid(&self, uid: u32, entry_index: u32, kid_index: u32) -> u32 {
         let rec = self.unions[uid as usize];
-        let entry = self.entries[(rec.entries_start + entry_index) as usize];
-        self.kids[(entry.kids_start + kid_index) as usize]
+        let kids_start = self.kids_starts[(rec.entries_start + entry_index) as usize];
+        self.kids[(kids_start + kid_index) as usize]
     }
 
     /// Checks every arena invariant against the tree; used by
-    /// [`crate::FRep::validate`].
+    /// [`crate::FRep::validate`].  The per-union sortedness check runs
+    /// through the vectorised [`kernel::first_unsorted`] scan.
     pub(crate) fn validate(&self, tree: &FTree) -> Result<()> {
         use std::collections::BTreeSet;
         let malformed = |detail: String| FdbError::MalformedRepresentation { detail };
 
+        if self.values.len() != self.kids_starts.len() {
+            return Err(malformed(format!(
+                "entry arrays out of lockstep: {} values vs {} kid offsets",
+                self.values.len(),
+                self.kids_starts.len()
+            )));
+        }
         let tree_roots: BTreeSet<NodeId> = tree.roots().iter().copied().collect();
         let rep_roots: BTreeSet<NodeId> = self
             .roots
@@ -196,16 +285,17 @@ impl Store {
             let child_order = tree.children(rec.node);
             let start = rec.entries_start as usize;
             let end = start + rec.entries_len as usize;
-            if end > self.entries.len() {
+            if end > self.values.len() {
                 return Err(malformed(format!("union {uid} entry range out of bounds")));
             }
-            let entries = &self.entries[start..end];
-            // Sortedness first, as a tight windowed scan: leaf unions hold
-            // the bulk of the arena and need nothing else checked.
-            if let Some(pair) = entries.windows(2).find(|w| w[1].value <= w[0].value) {
+            let values = &self.values[start..end];
+            // Sortedness first, as one dense vectorised scan: leaf unions
+            // hold the bulk of the arena and need nothing else checked.
+            if let Some(i) = kernel::first_unsorted(values) {
                 return Err(malformed(format!(
                     "union over {} has out-of-order or duplicate value {}",
-                    rec.node, pair[1].value
+                    rec.node,
+                    values[i + 1]
                 )));
             }
             if child_order.is_empty() {
@@ -214,20 +304,22 @@ impl Store {
             // Topological index order means every parent of `uid` has
             // already been processed, so its reachability is final here.
             let uid_reachable = reachable[uid];
-            for entry in entries {
-                let kids_end = entry.kids_start as usize + child_order.len();
-                if entry.kids_start == MISSING_KID || kids_end > self.kids.len() {
+            for e in start..end {
+                let value = self.values[e];
+                let kids_start = self.kids_starts[e];
+                let kids_end = kids_start as usize + child_order.len();
+                if kids_start == MISSING_KID || kids_end > self.kids.len() {
                     return Err(malformed(format!(
                         "entry {} of union over {} is missing child unions",
-                        entry.value, rec.node
+                        value, rec.node
                     )));
                 }
-                let kids = &self.kids[entry.kids_start as usize..kids_end];
+                let kids = &self.kids[kids_start as usize..kids_end];
                 for (&kid, &child_node) in kids.iter().zip(child_order) {
                     if kid == MISSING_KID {
                         return Err(malformed(format!(
                             "entry {} of union over {} is missing the child union over {child_node}",
-                            entry.value, rec.node
+                            value, rec.node
                         )));
                     }
                     let kid_rec = self
@@ -237,7 +329,7 @@ impl Store {
                     if kid_rec.node != child_node {
                         return Err(malformed(format!(
                             "entry {} of union over {} has a child over {} where {child_node} was expected",
-                            entry.value, rec.node, kid_rec.node
+                            value, rec.node, kid_rec.node
                         )));
                     }
                     if kid as usize <= uid {
@@ -294,11 +386,11 @@ impl Store {
         F: FnMut(NodeId, Value) -> bool,
     {
         failpoint!(ctx, "store.rewrite");
-        let mut rw = Rewriter::new(self, tree);
+        let rw = Rewriter::new(self, tree);
 
         // Pass 1 (bottom-up, reverse index order): decide per entry whether
         // it survives, and per union whether it still has entries.
-        let mut entry_alive = vec![false; self.entries.len()];
+        let mut entry_alive = vec![false; self.values.len()];
         let mut union_empty = vec![true; self.unions.len()];
         for uid in (0..self.unions.len()).rev() {
             let rec = self.unions[uid];
@@ -306,11 +398,11 @@ impl Store {
             let kid_count = rw.src_kid_count(rec.node);
             let mut any_alive = false;
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                let entry = self.entries[e as usize];
-                let mut alive = keep(rec.node, entry.value);
+                let mut alive = keep(rec.node, self.values[e as usize]);
                 if alive {
+                    let kids_start = self.kids_starts[e as usize];
                     for k in 0..kid_count {
-                        let kid = self.kids[(entry.kids_start + k) as usize];
+                        let kid = self.kids[(kids_start + k) as usize];
                         if union_empty[kid as usize] {
                             alive = false;
                             break;
@@ -323,12 +415,82 @@ impl Store {
             union_empty[uid] = !any_alive;
         }
 
-        // Pass 2 (top-down): re-emit the surviving structure.  Unions hanging
-        // off dead entries are never visited, which drops them.
+        self.emit_survivors(rw, &entry_alive, ctx)
+    }
+
+    /// The comparison-specialised [`Store::retain_and_prune_ctx`]: the
+    /// constant-selection predicate `value θ c` on one node's unions.  Same
+    /// two passes and the same emission, but pass 1 evaluates the predicate
+    /// **per union block** through the batched
+    /// [`kernel::fill_keep_mask`] — the whole block's keep mask comes from
+    /// one vectorised sweep over the dense value slice instead of a
+    /// closure call per entry.  Bit-for-bit identical to the generic path
+    /// with the equivalent closure (the randomized identity tests pin it).
+    pub(crate) fn retain_and_prune_cmp_ctx(
+        &self,
+        tree: &FTree,
+        node: NodeId,
+        op: ComparisonOp,
+        value: Value,
+        ctx: &ExecCtx,
+    ) -> Result<Store> {
+        failpoint!(ctx, "store.rewrite");
+        let rw = Rewriter::new(self, tree);
+
+        let mut entry_alive = vec![false; self.values.len()];
+        let mut union_empty = vec![true; self.unions.len()];
+        for uid in (0..self.unions.len()).rev() {
+            let rec = self.unions[uid];
+            ctx.charge(1 + rec.entries_len as u64)?;
+            let start = rec.entries_start as usize;
+            let end = start + rec.entries_len as usize;
+            // Predicate first, batched over the union's dense value block.
+            if rec.node == node {
+                kernel::fill_keep_mask(
+                    &self.values[start..end],
+                    op,
+                    value,
+                    &mut entry_alive[start..end],
+                );
+            } else {
+                entry_alive[start..end].fill(true);
+            }
+            // Then the kid-emptiness fold over the surviving mask.
+            let kid_count = rw.src_kid_count(rec.node);
+            let mut any_alive = false;
+            for (e, alive_slot) in entry_alive.iter_mut().enumerate().take(end).skip(start) {
+                let mut alive = *alive_slot;
+                if alive && kid_count > 0 {
+                    let kids_start = self.kids_starts[e];
+                    for k in 0..kid_count {
+                        if union_empty[self.kids[(kids_start + k) as usize] as usize] {
+                            alive = false;
+                            break;
+                        }
+                    }
+                    *alive_slot = alive;
+                }
+                any_alive |= alive;
+            }
+            union_empty[uid] = !any_alive;
+        }
+
+        self.emit_survivors(rw, &entry_alive, ctx)
+    }
+
+    /// Pass 2 shared by both retain-and-prune variants (top-down): re-emit
+    /// the surviving structure.  Unions hanging off dead entries are never
+    /// visited, which drops them.
+    fn emit_survivors(
+        &self,
+        mut rw: Rewriter<'_>,
+        entry_alive: &[bool],
+        ctx: &ExecCtx,
+    ) -> Result<Store> {
         let roots: Vec<u32> = self
             .roots
             .iter()
-            .map(|&r| emit_pruned(&mut rw, &entry_alive, r, ctx))
+            .map(|&r| emit_pruned(&mut rw, entry_alive, r, ctx))
             .collect::<Result<_>>()?;
         Ok(rw.finish(roots))
     }
@@ -338,18 +500,16 @@ impl Store {
     /// the Cartesian product operator.  Runs in time linear in `other`.
     pub(crate) fn append_remapped(&mut self, other: &Store, node_map: &BTreeMap<NodeId, NodeId>) {
         let union_offset = self.unions.len() as u32;
-        let entry_offset = self.entries.len() as u32;
+        let entry_offset = self.values.len() as u32;
         let kid_offset = self.kids.len() as u32;
         self.unions.extend(other.unions.iter().map(|rec| UnionRec {
             node: node_map[&rec.node],
             entries_start: rec.entries_start + entry_offset,
             entries_len: rec.entries_len,
         }));
-        self.entries
-            .extend(other.entries.iter().map(|entry| EntryRec {
-                value: entry.value,
-                kids_start: entry.kids_start + kid_offset,
-            }));
+        self.values.extend_from_slice(&other.values);
+        self.kids_starts
+            .extend(other.kids_starts.iter().map(|&ks| ks + kid_offset));
         self.kids
             .extend(other.kids.iter().map(|&kid| kid + union_offset));
         self.roots
@@ -374,7 +534,7 @@ fn emit_pruned(
     let out = rw.begin_union_raw(rec.node, survivors);
     for (e, &alive) in entry_alive.iter().enumerate().take(end).skip(start) {
         if alive {
-            rw.push_value(src.entries[e].value);
+            rw.push_value(src.values[e]);
         }
     }
     let kid_count = rw.src_kid_count(rec.node);
@@ -384,9 +544,9 @@ fn emit_pruned(
             continue;
         }
         let mark = rw.mark();
-        let entry = src.entries[e];
+        let kids_start = src.kids_starts[e];
         for k in 0..kid_count {
-            let kid = src.kids[entry.kids_start as usize + k as usize];
+            let kid = src.kids[kids_start as usize + k as usize];
             let copied = emit_pruned(rw, entry_alive, kid, ctx)?;
             rw.push_kid(copied);
         }
@@ -444,7 +604,8 @@ impl<'a> Rewriter<'a> {
         let kid_counts = kid_count_table(src_tree);
         let mut out = Store::default();
         out.unions.reserve(src.unions.len());
-        out.entries.reserve(src.entries.len());
+        out.values.reserve(src.values.len());
+        out.kids_starts.reserve(src.kids_starts.len());
         out.kids.reserve(src.kids.len());
         Rewriter {
             src,
@@ -464,7 +625,7 @@ impl<'a> Rewriter<'a> {
     /// across each opaque emission call (e.g. a whole
     /// [`Rewriter::copy_union`] subtree copy).
     pub(crate) fn emitted_units(&self) -> u64 {
-        self.out.unions.len() as u64 + self.out.entries.len() as u64
+        self.out.unions.len() as u64 + self.out.values.len() as u64
     }
 
     /// Starts a new output union: pushes its header, announcing
@@ -475,7 +636,7 @@ impl<'a> Rewriter<'a> {
         let uid = self.out.unions.len() as u32;
         self.out.unions.push(UnionRec {
             node,
-            entries_start: self.out.entries.len() as u32,
+            entries_start: self.out.values.len() as u32,
             entries_len,
         });
         uid
@@ -485,10 +646,7 @@ impl<'a> Rewriter<'a> {
     /// [`Rewriter::begin_union_raw`]; must be called before any kid subtree
     /// of the union is emitted, so the records stay contiguous.
     pub(crate) fn push_value(&mut self, value: Value) {
-        self.out.entries.push(EntryRec {
-            value,
-            kids_start: MISSING_KID,
-        });
+        self.out.push_entry(value, MISSING_KID);
     }
 
     /// Starts a new output union: pushes its header and one value record per
@@ -531,7 +689,7 @@ impl<'a> Rewriter<'a> {
         self.out.kids.extend_from_slice(&self.scratch[mark..]);
         self.scratch.truncate(mark);
         let entries_start = self.out.unions[uid as usize].entries_start;
-        self.out.entries[(entries_start + index) as usize].kids_start = kids_start;
+        self.out.kids_starts[(entries_start + index) as usize] = kids_start;
     }
 
     /// Copies the subtree rooted at input union `uid` verbatim (the nodes
@@ -539,7 +697,7 @@ impl<'a> Rewriter<'a> {
     pub(crate) fn copy_union(&mut self, uid: u32) -> u32 {
         let src = self.src;
         let rec = src.unions[uid as usize];
-        let out_uid = self.begin_union(rec.node, src.entry_slice(uid).iter().map(|e| e.value));
+        let out_uid = self.begin_union(rec.node, src.value_slice(uid).iter().copied());
         let kid_count = self.src_kid_count(rec.node);
         for i in 0..rec.entries_len {
             let mark = self.mark();
@@ -607,23 +765,20 @@ impl<'a> UnionRef<'a> {
         })
     }
 
-    /// Binary-searches the contiguous entry slice for the given value.
+    /// Probes the sorted value slice for the given value (through the
+    /// shared [`kernel::find_value`] probe).
     pub fn find_value(&self, value: Value) -> Option<EntryRef<'a>> {
-        let slice = self.store.entry_slice(self.id);
-        slice
-            .binary_search_by(|e| e.value.cmp(&value))
-            .ok()
-            .map(|i| EntryRef {
-                tree: self.tree,
-                store: self.store,
-                union: self.id,
-                index: i as u32,
-            })
+        kernel::find_value(self.store.value_slice(self.id), value).map(|i| EntryRef {
+            tree: self.tree,
+            store: self.store,
+            union: self.id,
+            index: i as u32,
+        })
     }
 
     /// The values of this union, in increasing order.
     pub fn values(&self) -> impl ExactSizeIterator<Item = Value> + 'a {
-        self.store.entry_slice(self.id).iter().map(|e| e.value)
+        self.store.value_slice(self.id).iter().copied()
     }
 }
 
@@ -639,7 +794,7 @@ pub struct EntryRef<'a> {
 impl<'a> EntryRef<'a> {
     /// The entry's value.
     pub fn value(&self) -> Value {
-        self.store.entry_slice(self.union)[self.index as usize].value
+        self.store.value_slice(self.union)[self.index as usize]
     }
 
     /// The node of the union this entry belongs to.
@@ -686,6 +841,8 @@ mod tests {
     use super::*;
     use fdb_common::AttrId;
     use fdb_ftree::DepEdge;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use std::collections::BTreeSet;
 
     fn attrs(ids: &[u32]) -> BTreeSet<AttrId> {
@@ -717,8 +874,10 @@ mod tests {
         assert_eq!(store.thaw(&tree), roots);
         // One union per node instance: the A union and one B union per entry.
         assert_eq!(store.unions.len(), 3);
-        assert_eq!(store.entries.len(), 5);
+        assert_eq!(store.entry_count(), 5);
         assert_eq!(store.kids.len(), 2);
+        // The sealed entry arrays stay parallel.
+        assert_eq!(store.values.len(), store.kids_starts.len());
     }
 
     #[test]
@@ -727,9 +886,9 @@ mod tests {
         let store = Store::freeze(&tree, &roots);
         for (uid, rec) in store.unions.iter().enumerate() {
             for e in rec.entries_start..rec.entries_start + rec.entries_len {
-                let entry = store.entries[e as usize];
+                let kids_start = store.kids_starts[e as usize];
                 for k in 0..tree.children(rec.node).len() {
-                    assert!(store.kids[entry.kids_start as usize + k] > uid as u32);
+                    assert!(store.kids[kids_start as usize + k] > uid as u32);
                 }
             }
         }
@@ -758,6 +917,106 @@ mod tests {
         let emptied = store.retain_and_prune(&tree, |n, v| n != b || v > Value::new(25));
         emptied.validate(&tree).unwrap();
         assert_eq!(emptied.thaw(&tree)[0].len(), 0);
+    }
+
+    #[test]
+    fn cmp_prune_is_bit_identical_to_the_generic_closure_path() {
+        let (tree, roots) = sample();
+        let store = Store::freeze(&tree, &roots);
+        let ctx = ExecCtx::unlimited();
+        let ops = [
+            ComparisonOp::Eq,
+            ComparisonOp::Ne,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+        ];
+        for node in [
+            tree.node_of_attr(AttrId(0)).unwrap(),
+            tree.node_of_attr(AttrId(1)).unwrap(),
+        ] {
+            for op in ops {
+                for c in [0u64, 1, 2, 10, 15, 20, 25, 99] {
+                    let c = Value::new(c);
+                    let generic = store
+                        .retain_and_prune_ctx(&tree, |n, v| n != node || op.eval(v, c), &ctx)
+                        .unwrap();
+                    let batched = store
+                        .retain_and_prune_cmp_ctx(&tree, node, op, c, &ctx)
+                        .unwrap();
+                    // Not merely equivalent: the exact same arena records.
+                    assert_eq!(batched, generic, "node {node} op {op:?} c {c}");
+                }
+            }
+        }
+    }
+
+    /// Randomized store-identity sweep of the batched selection path: a
+    /// three-level forest with random fan-outs (odd lengths exercise the
+    /// kernels' unaligned tails) must prune bit-for-bit like the closure.
+    #[test]
+    fn cmp_prune_matches_on_random_forests() {
+        let mut rng = StdRng::seed_from_u64(0x50A);
+        let ctx = ExecCtx::unlimited();
+        for round in 0..40 {
+            let edges = vec![DepEdge::new("R", attrs(&[0, 1, 2]), 3)];
+            let mut tree = FTree::new(edges);
+            let a = tree.add_node(attrs(&[0]), None).unwrap();
+            let b = tree.add_node(attrs(&[1]), Some(a)).unwrap();
+            let c = tree.add_node(attrs(&[2]), Some(b)).unwrap();
+            let mut next = 0u64;
+            let mut distinct = |rng: &mut StdRng| {
+                next += rng.gen_range(1..4u64);
+                Value::new(next)
+            };
+            let leaf_union = |rng: &mut StdRng, next: &mut dyn FnMut(&mut StdRng) -> Value| {
+                let len = rng.gen_range(1..7usize);
+                Union::new(c, (0..len).map(|_| Entry::leaf(next(rng))).collect())
+            };
+            let b_union = |rng: &mut StdRng, next: &mut dyn FnMut(&mut StdRng) -> Value| {
+                let len = rng.gen_range(1..5usize);
+                Union::new(
+                    b,
+                    (0..len)
+                        .map(|_| Entry {
+                            value: next(rng),
+                            children: vec![leaf_union(rng, next)],
+                        })
+                        .collect(),
+                )
+            };
+            let root_len = rng.gen_range(1..5usize);
+            let root = Union::new(
+                a,
+                (0..root_len)
+                    .map(|_| Entry {
+                        value: distinct(&mut rng),
+                        children: vec![b_union(&mut rng, &mut distinct)],
+                    })
+                    .collect(),
+            );
+            let store = Store::freeze(&tree, &[root]);
+            store.validate(&tree).unwrap();
+            let node = [a, b, c][round % 3];
+            let op = [
+                ComparisonOp::Eq,
+                ComparisonOp::Ne,
+                ComparisonOp::Lt,
+                ComparisonOp::Le,
+                ComparisonOp::Gt,
+                ComparisonOp::Ge,
+            ][round % 6];
+            let cut = Value::new(rng.gen_range(0..next + 2));
+            let generic = store
+                .retain_and_prune_ctx(&tree, |n, v| n != node || op.eval(v, cut), &ctx)
+                .unwrap();
+            let batched = store
+                .retain_and_prune_cmp_ctx(&tree, node, op, cut, &ctx)
+                .unwrap();
+            assert_eq!(batched, generic, "round {round}");
+            batched.validate(&tree).unwrap();
+        }
     }
 
     #[test]
@@ -796,14 +1055,15 @@ mod tests {
         let mut store = Store::freeze(&tree, &roots);
         // Entries 2 and 3 are the first B-union's block {10, 20} (the A
         // block occupies entries 0 and 1): swap them to get 20 before 10.
-        assert_eq!(store.entries[2].value, Value::new(10));
-        assert_eq!(store.entries[3].value, Value::new(20));
-        store.entries.swap(2, 3);
+        assert_eq!(store.values[2], Value::new(10));
+        assert_eq!(store.values[3], Value::new(20));
+        store.values.swap(2, 3);
+        store.kids_starts.swap(2, 3);
         assert!(store.validate(&tree).is_err());
         // A duplicated value is rejected too.
         let (_, roots) = sample();
         let mut store = Store::freeze(&tree, &roots);
-        store.entries[3].value = store.entries[2].value;
+        store.values[3] = store.values[2];
         assert!(store.validate(&tree).is_err());
     }
 
@@ -814,7 +1074,7 @@ mod tests {
         // Point the A=1 entry's kid slot back at the A-union itself.
         let a_uid = store.roots[0];
         let kids_start =
-            store.entries[store.unions[a_uid as usize].entries_start as usize].kids_start as usize;
+            store.kids_starts[store.unions[a_uid as usize].entries_start as usize] as usize;
         store.kids[kids_start] = a_uid;
         assert!(store.validate(&tree).is_err());
     }
@@ -826,10 +1086,10 @@ mod tests {
         // Redirect the A=2 entry's kid slot at the A=1 entry's B-union: the
         // B-union of A=2 becomes unreachable.
         let a_rec = store.unions[store.roots[0] as usize];
-        let e1 = store.entries[a_rec.entries_start as usize];
-        let e2 = store.entries[a_rec.entries_start as usize + 1];
-        let shared = store.kids[e1.kids_start as usize];
-        store.kids[e2.kids_start as usize] = shared;
+        let ks1 = store.kids_starts[a_rec.entries_start as usize];
+        let ks2 = store.kids_starts[a_rec.entries_start as usize + 1];
+        let shared = store.kids[ks1 as usize];
+        store.kids[ks2 as usize] = shared;
         assert!(store.validate(&tree).is_err());
     }
 
@@ -841,10 +1101,18 @@ mod tests {
         // a union over the wrong node.
         let a_uid = store.roots[0] as usize;
         let b_uid = {
-            let e = store.entries[store.unions[a_uid].entries_start as usize];
-            store.kids[e.kids_start as usize] as usize
+            let ks = store.kids_starts[store.unions[a_uid].entries_start as usize];
+            store.kids[ks as usize] as usize
         };
         store.unions[b_uid].node = store.unions[a_uid].node;
+        assert!(store.validate(&tree).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_entry_arrays_out_of_lockstep() {
+        let (tree, roots) = sample();
+        let mut store = Store::freeze(&tree, &roots);
+        store.kids_starts.pop();
         assert!(store.validate(&tree).is_err());
     }
 
